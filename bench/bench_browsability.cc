@@ -1,0 +1,156 @@
+// Experiment E1 (DESIGN.md): navigational complexity of the three view
+// classes of Example 1 / Def. 2.
+//
+// For each view we drive the same client workload — browse the first
+// `results` answers of a source with `n` first-level children — and report
+// the *source navigations per client navigation command*:
+//
+//   * q_conc (bounded browsable):   constant, independent of n;
+//   * selection view (browsable):   grows with the data-dependent gap
+//                                   between matches;
+//   * selection + σ (bounded):      constant again — the Section 2 upgrade;
+//   * orderBy view (unbrowsable):   the first client command costs Θ(n).
+//
+// The workload source is flat: r[x,...,x,hit,x,...] with one `hit` every
+// `gap` children.
+#include <benchmark/benchmark.h>
+
+#include "algebra/get_descendants_op.h"
+#include "algebra/order_by_op.h"
+#include "algebra/source_op.h"
+#include "xml/doc_navigable.h"
+#include "xml/tree.h"
+
+namespace {
+
+using namespace mix;
+
+std::unique_ptr<xml::Document> FlatSource(int n, int gap) {
+  auto doc = std::make_unique<xml::Document>();
+  xml::Node* root = doc->NewElement("r");
+  for (int i = 0; i < n; ++i) {
+    xml::Node* child =
+        doc->NewElement(i % gap == gap - 1 ? "hit" : "x");
+    doc->AppendChild(child, doc->NewText(std::to_string(n - i)));
+    doc->AppendChild(root, child);
+  }
+  doc->set_root(root);
+  return doc;
+}
+
+/// Drives `results` NextBinding steps; returns client command count
+/// (1 per First/NextBinding in this abstraction).
+template <typename Stream>
+int64_t Drive(Stream* stream, int results) {
+  int64_t client_commands = 0;
+  auto b = stream->FirstBinding();
+  ++client_commands;
+  for (int i = 1; i < results && b.has_value(); ++i) {
+    b = stream->NextBinding(*b);
+    ++client_commands;
+  }
+  return client_commands;
+}
+
+// q_conc-like view: every first-level child is an answer (wildcard step).
+void BM_BoundedConcatView(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int results = static_cast<int>(state.range(1));
+  auto doc = FlatSource(n, /*gap=*/1);
+  for (auto _ : state) {
+    xml::DocNavigable nav(doc.get());
+    NavStats stats;
+    CountingNavigable counted(&nav, &stats);
+    algebra::SourceOp source(&counted, "R");
+    algebra::GetDescendantsOp view(
+        &source, "R", pathexpr::PathExpr::Parse("_").ValueOrDie(), "X");
+    int64_t client = Drive(&view, results);
+    state.counters["src_navs"] = static_cast<double>(stats.total());
+    state.counters["navs_per_client_cmd"] =
+        static_cast<double>(stats.total()) / static_cast<double>(client);
+  }
+}
+BENCHMARK(BM_BoundedConcatView)
+    ->ArgNames({"n", "results"})
+    ->Args({1000, 10})
+    ->Args({10000, 10})
+    ->Args({100000, 10});
+
+// Selection view without σ: r/f scan between matches.
+void BM_BrowsableSelectionView(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int gap = static_cast<int>(state.range(1));
+  auto doc = FlatSource(n, gap);
+  for (auto _ : state) {
+    xml::DocNavigable nav(doc.get());
+    NavStats stats;
+    CountingNavigable counted(&nav, &stats);
+    algebra::SourceOp source(&counted, "R");
+    algebra::GetDescendantsOp view(
+        &source, "R", pathexpr::PathExpr::Parse("hit").ValueOrDie(), "X");
+    int64_t client = Drive(&view, 10);
+    state.counters["src_navs"] = static_cast<double>(stats.total());
+    state.counters["navs_per_client_cmd"] =
+        static_cast<double>(stats.total()) / static_cast<double>(client);
+  }
+}
+BENCHMARK(BM_BrowsableSelectionView)
+    ->ArgNames({"n", "gap"})
+    ->Args({10000, 2})
+    ->Args({10000, 10})
+    ->Args({10000, 100})
+    ->Args({10000, 1000});
+
+// Selection view with σ: one select command replaces the scan.
+void BM_BoundedSelectionViewWithSigma(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int gap = static_cast<int>(state.range(1));
+  auto doc = FlatSource(n, gap);
+  for (auto _ : state) {
+    xml::DocNavigable nav(doc.get());
+    NavStats stats;
+    CountingNavigable counted(&nav, &stats);
+    algebra::SourceOp source(&counted, "R");
+    algebra::GetDescendantsOp::Options options;
+    options.use_select_sibling = true;
+    algebra::GetDescendantsOp view(
+        &source, "R", pathexpr::PathExpr::Parse("hit").ValueOrDie(), "X",
+        options);
+    int64_t client = Drive(&view, 10);
+    state.counters["src_navs"] = static_cast<double>(stats.total());
+    state.counters["navs_per_client_cmd"] =
+        static_cast<double>(stats.total()) / static_cast<double>(client);
+  }
+}
+BENCHMARK(BM_BoundedSelectionViewWithSigma)
+    ->ArgNames({"n", "gap"})
+    ->Args({10000, 2})
+    ->Args({10000, 10})
+    ->Args({10000, 100})
+    ->Args({10000, 1000});
+
+// orderBy view: the first client command drains the entire input.
+void BM_UnbrowsableOrderByView(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto doc = FlatSource(n, /*gap=*/1);
+  for (auto _ : state) {
+    xml::DocNavigable nav(doc.get());
+    NavStats stats;
+    CountingNavigable counted(&nav, &stats);
+    algebra::SourceOp source(&counted, "R");
+    algebra::GetDescendantsOp elems(
+        &source, "R", pathexpr::PathExpr::Parse("_._").ValueOrDie(), "A");
+    algebra::OrderByOp view(&elems, {"A"});
+    // ONE client command.
+    benchmark::DoNotOptimize(view.FirstBinding());
+    state.counters["src_navs_first_result"] =
+        static_cast<double>(stats.total());
+  }
+}
+BENCHMARK(BM_UnbrowsableOrderByView)
+    ->ArgNames({"n"})
+    ->Args({1000})
+    ->Args({10000})
+    ->Args({100000});
+
+}  // namespace

@@ -1,0 +1,272 @@
+// Experiment E5 (DESIGN.md): per-operator cost of lazy-mediator
+// navigation translation (Figs. 5, 9, 10) — the administrative overhead
+// of answering one output navigation through structured node-ids, versus
+// a direct walk of the underlying tree.
+#include <benchmark/benchmark.h>
+
+#include "algebra/concatenate_op.h"
+#include "algebra/create_element_op.h"
+#include "algebra/get_descendants_op.h"
+#include "algebra/group_by_op.h"
+#include "algebra/join_op.h"
+#include "algebra/select_op.h"
+#include "algebra/source_op.h"
+#include "xml/doc_navigable.h"
+#include "xml/random_tree.h"
+
+namespace {
+
+using namespace mix;
+using algebra::BindingPredicate;
+using algebra::CompareOp;
+
+// Baseline: iterate the home elements by walking the document directly.
+void BM_DirectChildWalk(benchmark::State& state) {
+  auto doc = xml::MakeHomesDoc(1000, 100);
+  xml::DocNavigable nav(doc.get());
+  for (auto _ : state) {
+    int64_t count = 0;
+    for (auto child = nav.Down(nav.Root()); child.has_value();
+         child = nav.Right(*child)) {
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DirectChildWalk);
+
+// getDescendants with a label chain: same iteration through the lazy
+// mediator (cursor snapshots, id minting).
+void BM_GetDescendantsIteration(benchmark::State& state) {
+  auto doc = xml::MakeHomesDoc(1000, 100);
+  for (auto _ : state) {
+    xml::DocNavigable nav(doc.get());
+    algebra::SourceOp source(&nav, "R");
+    algebra::GetDescendantsOp gd(
+        &source, "R", pathexpr::PathExpr::Parse("home").ValueOrDie(), "H");
+    int64_t count = 0;
+    for (auto b = gd.FirstBinding(); b.has_value(); b = gd.NextBinding(*b)) {
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_GetDescendantsIteration);
+
+// Recursive path expression over a deep random tree.
+void BM_GetDescendantsRecursive(benchmark::State& state) {
+  xml::RandomTreeOptions options;
+  options.seed = 3;
+  options.max_depth = 7;
+  options.max_fanout = 4;
+  auto doc = xml::RandomTree(options);
+  for (auto _ : state) {
+    xml::DocNavigable nav(doc.get());
+    algebra::SourceOp source(&nav, "R");
+    algebra::GetDescendantsOp gd(
+        &source, "R", pathexpr::PathExpr::Parse("_*.a1").ValueOrDie(), "X");
+    int64_t count = 0;
+    for (auto b = gd.FirstBinding(); b.has_value(); b = gd.NextBinding(*b)) {
+      ++count;
+    }
+    state.counters["matches"] = static_cast<double>(count);
+  }
+}
+BENCHMARK(BM_GetDescendantsRecursive);
+
+// Selection: scan-and-filter through the mediator.
+void BM_SelectIteration(benchmark::State& state) {
+  auto doc = xml::MakeHomesDoc(1000, 100);
+  for (auto _ : state) {
+    xml::DocNavigable nav(doc.get());
+    algebra::SourceOp source(&nav, "R");
+    algebra::GetDescendantsOp homes(
+        &source, "R", pathexpr::PathExpr::Parse("home").ValueOrDie(), "H");
+    algebra::GetDescendantsOp zips(
+        &homes, "H", pathexpr::PathExpr::Parse("zip._").ValueOrDie(), "Z");
+    algebra::SelectOp select(
+        &zips, BindingPredicate::VarConst("Z", CompareOp::kEq, "91042"));
+    int64_t count = 0;
+    for (auto b = select.FirstBinding(); b.has_value();
+         b = select.NextBinding(*b)) {
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_SelectIteration);
+
+// Join strategies: cache-less nested loops (0), the paper's cached nested
+// loops (1), and the hash-indexed "intermediate eager step" (2).
+void BM_JoinIteration(benchmark::State& state) {
+  int strategy = static_cast<int>(state.range(0));
+  int n = static_cast<int>(state.range(1));
+  auto homes = xml::MakeHomesDoc(n, n / 4);
+  auto schools = xml::MakeSchoolsDoc(n, n / 4);
+  for (auto _ : state) {
+    xml::DocNavigable homes_nav(homes.get());
+    xml::DocNavigable schools_nav(schools.get());
+    NavStats inner_stats;
+    CountingNavigable schools_counted(&schools_nav, &inner_stats);
+    algebra::SourceOp hs(&homes_nav, "RH");
+    algebra::SourceOp ss(&schools_counted, "RS");
+    algebra::GetDescendantsOp gh(
+        &hs, "RH", pathexpr::PathExpr::Parse("home").ValueOrDie(), "H");
+    algebra::GetDescendantsOp gs(
+        &ss, "RS", pathexpr::PathExpr::Parse("school").ValueOrDie(), "S");
+    algebra::GetDescendantsOp vh(
+        &gh, "H", pathexpr::PathExpr::Parse("zip._").ValueOrDie(), "V1");
+    algebra::GetDescendantsOp vs(
+        &gs, "S", pathexpr::PathExpr::Parse("zip._").ValueOrDie(), "V2");
+    algebra::JoinOp::Options options;
+    options.cache_inner = strategy >= 1;
+    options.index_inner = strategy == 2;
+    algebra::JoinOp join(&vh, &vs,
+                         BindingPredicate::VarVar("V1", CompareOp::kEq, "V2"),
+                         options);
+    int64_t count = 0;
+    for (auto b = join.FirstBinding(); b.has_value();
+         b = join.NextBinding(*b)) {
+      ++count;
+    }
+    state.counters["pairs"] = static_cast<double>(count);
+    state.counters["inner_src_navs"] =
+        static_cast<double>(inner_stats.total());
+  }
+}
+BENCHMARK(BM_JoinIteration)
+    ->ArgNames({"strategy", "n"})
+    ->Args({0, 100})
+    ->Args({1, 100})
+    ->Args({2, 100})
+    ->Args({0, 300})
+    ->Args({1, 300})
+    ->Args({2, 300});
+
+// First-result latency by join strategy: the eager index pays the full
+// inner drain before the first answer; nested loops stop at the first
+// match — the lazy/eager trade-off of Section 6 in one number.
+void BM_JoinFirstResultByStrategy(benchmark::State& state) {
+  int strategy = static_cast<int>(state.range(0));
+  int n = 2000;
+  auto homes = xml::MakeHomesDoc(n, n / 4);
+  auto schools = xml::MakeSchoolsDoc(n, n / 4);
+  for (auto _ : state) {
+    xml::DocNavigable homes_nav(homes.get());
+    xml::DocNavigable schools_nav(schools.get());
+    NavStats stats;
+    CountingNavigable hc(&homes_nav, &stats);
+    CountingNavigable sc(&schools_nav, &stats);
+    algebra::SourceOp hs(&hc, "RH");
+    algebra::SourceOp ss(&sc, "RS");
+    algebra::GetDescendantsOp gh(
+        &hs, "RH", pathexpr::PathExpr::Parse("home").ValueOrDie(), "H");
+    algebra::GetDescendantsOp gs(
+        &ss, "RS", pathexpr::PathExpr::Parse("school").ValueOrDie(), "S");
+    algebra::GetDescendantsOp vh(
+        &gh, "H", pathexpr::PathExpr::Parse("zip._").ValueOrDie(), "V1");
+    algebra::GetDescendantsOp vs(
+        &gs, "S", pathexpr::PathExpr::Parse("zip._").ValueOrDie(), "V2");
+    algebra::JoinOp::Options options;
+    options.cache_inner = strategy >= 1;
+    options.index_inner = strategy == 2;
+    algebra::JoinOp join(&vh, &vs,
+                         BindingPredicate::VarVar("V1", CompareOp::kEq, "V2"),
+                         options);
+    benchmark::DoNotOptimize(join.FirstBinding());
+    state.counters["src_navs_first_result"] =
+        static_cast<double>(stats.total());
+  }
+}
+BENCHMARK(BM_JoinFirstResultByStrategy)
+    ->ArgNames({"strategy"})
+    ->Args({0})
+    ->Args({1})
+    ->Args({2});
+
+// groupBy: iterating groups plus each group's items (Fig. 10's next_gb and
+// next scans). Grouping is by node identity (footnote 7), so the group key
+// must be a *shared* node: homes nest under region elements, and bindings
+// (R, H) share R within a region.
+std::unique_ptr<xml::Document> RegionsDoc(int regions, int homes_per_region) {
+  auto doc = std::make_unique<xml::Document>();
+  xml::Node* root = doc->NewElement("regions");
+  for (int r = 0; r < regions; ++r) {
+    xml::Node* region = doc->NewElement("region");
+    for (int h = 0; h < homes_per_region; ++h) {
+      xml::Node* home = doc->NewElement("home");
+      doc->AppendChild(home, doc->NewText("h" + std::to_string(h)));
+      doc->AppendChild(region, home);
+    }
+    doc->AppendChild(root, region);
+  }
+  doc->set_root(root);
+  return doc;
+}
+
+void BM_GroupByIteration(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto doc = RegionsDoc(/*regions=*/10, /*homes_per_region=*/n / 10);
+  for (auto _ : state) {
+    xml::DocNavigable nav(doc.get());
+    algebra::SourceOp source(&nav, "R");
+    algebra::GetDescendantsOp regions(
+        &source, "R", pathexpr::PathExpr::Parse("region").ValueOrDie(), "G");
+    algebra::GetDescendantsOp homes(
+        &regions, "G", pathexpr::PathExpr::Parse("home").ValueOrDie(), "H");
+    algebra::GroupByOp gb(&homes, {"G"}, "H", "Hs");
+    int64_t groups = 0;
+    int64_t items = 0;
+    for (auto b = gb.FirstBinding(); b.has_value(); b = gb.NextBinding(*b)) {
+      ++groups;
+      algebra::ValueRef list = gb.Attr(*b, "Hs");
+      for (auto item = list.nav->Down(list.id); item.has_value();
+           item = list.nav->Right(*item)) {
+        ++items;
+      }
+    }
+    state.counters["groups"] = static_cast<double>(groups);
+    state.counters["items"] = static_cast<double>(items);
+  }
+}
+BENCHMARK(BM_GroupByIteration)->ArgNames({"n"})->Args({100})->Args({1000})->Args({10000});
+
+// createElement + concatenate: navigating synthesized structure (Fig. 9's
+// pass-through rows).
+void BM_ConstructedValueNavigation(benchmark::State& state) {
+  auto doc = xml::MakeHomesDoc(500, 50);
+  for (auto _ : state) {
+    xml::DocNavigable nav(doc.get());
+    algebra::SourceOp source(&nav, "R");
+    algebra::GetDescendantsOp homes(
+        &source, "R", pathexpr::PathExpr::Parse("home").ValueOrDie(), "H");
+    algebra::GetDescendantsOp addrs(
+        &homes, "H", pathexpr::PathExpr::Parse("addr").ValueOrDie(), "A");
+    algebra::ConcatenateOp cc(&addrs, "A", "H", "Both");
+    algebra::CreateElementOp ce(
+        &cc, algebra::CreateElementOp::LabelSpec::Constant("card"), "Both",
+        "Card");
+    int64_t nodes = 0;
+    for (auto b = ce.FirstBinding(); b.has_value(); b = ce.NextBinding(*b)) {
+      algebra::ValueRef card = ce.Attr(*b, "Card");
+      // Walk the synthesized card element completely.
+      std::vector<NodeId> stack{card.id};
+      while (!stack.empty()) {
+        NodeId p = stack.back();
+        stack.pop_back();
+        benchmark::DoNotOptimize(card.nav->Fetch(p));
+        ++nodes;
+        for (auto c = card.nav->Down(p); c.has_value();
+             c = card.nav->Right(*c)) {
+          stack.push_back(*c);
+        }
+      }
+    }
+    state.counters["nodes_navigated"] = static_cast<double>(nodes);
+  }
+}
+BENCHMARK(BM_ConstructedValueNavigation);
+
+}  // namespace

@@ -1,0 +1,67 @@
+// Experiment E7 (DESIGN.md): asynchronous prefetching (Section 4: "a
+// buffer can be used to decouple the client-driven view navigation ...
+// and the production of results by the wrapped source ... based on an
+// asynchronous prefetching strategy"; Section 6 lists it as planned).
+//
+// Model: while the user thinks between navigations, the buffer fills up
+// to `prefetch` outstanding holes in the background. Background traffic is
+// charged to a separate channel (it overlaps think time); the *demand*
+// channel only pays for fills the user actually has to wait for.
+//
+// Workload: page through the first 600 books of a 10k-book store (25
+// books per page). Expected shape: client-visible (demand) latency drops
+// toward zero as prefetch depth covers the page rate; total bytes rise
+// slightly (speculation past the stop point).
+#include <benchmark/benchmark.h>
+
+#include "buffer/buffer.h"
+#include "net/sim_net.h"
+#include "wrappers/bookstore.h"
+
+namespace {
+
+using namespace mix;
+
+void BM_PrefetchDepthSweep(benchmark::State& state) {
+  int prefetch = static_cast<int>(state.range(0));
+  bool on_miss_only = state.range(1) != 0;
+  wrappers::BookstoreSite site("store",
+                               wrappers::MakeCatalog({10000, 42, 0}), 25);
+  for (auto _ : state) {
+    wrappers::BookstoreLxpWrapper wrapper(&site);
+    net::SimClock demand_clock;
+    net::Channel demand(&demand_clock, net::ChannelOptions{});
+    net::Channel background(nullptr, net::ChannelOptions{});
+    buffer::BufferComponent::Options options;
+    options.channel = &demand;
+    options.prefetch_per_command = prefetch;
+    options.prefetch_channel = &background;
+    options.prefetch_on_miss_only = on_miss_only;
+    buffer::BufferComponent buffer(&wrapper, "http://store", options);
+
+    std::optional<NodeId> book = buffer.Down(buffer.Root());
+    for (int i = 1; i < 600 && book.has_value(); ++i) {
+      benchmark::DoNotOptimize(buffer.Fetch(*book));
+      book = buffer.Right(*book);
+    }
+    state.counters["demand_wait_ms"] = demand_clock.now_ns() / 1e6;
+    state.counters["demand_msgs"] =
+        static_cast<double>(demand.stats().messages);
+    state.counters["background_msgs"] =
+        static_cast<double>(background.stats().messages);
+    state.counters["total_bytes"] = static_cast<double>(
+        demand.stats().bytes + background.stats().bytes);
+    state.counters["pages_fetched"] =
+        static_cast<double>(wrapper.pages_fetched());
+  }
+}
+BENCHMARK(BM_PrefetchDepthSweep)
+    ->ArgNames({"prefetch", "on_miss_only"})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({1, 0})
+    ->Args({4, 0});
+
+}  // namespace

@@ -1,0 +1,116 @@
+// A BBQ-flavored interactive browser (paper Sections 5-6: "the DTD-oriented
+// query interface BBQ which blends browsing and querying of XML data").
+//
+// Navigates the Fig. 3 virtual answer view with single-letter DOM-VXD
+// commands read from stdin, printing the per-command *source navigation*
+// cost — so you can watch the lazy mediator at work:
+//
+//   d            down (first child)
+//   r            right sibling
+//   s <label>    σ: next sibling with the given label
+//   u            up (client-side breadcrumb stack)
+//   p            print the subtree under the cursor (explores it!)
+//   q            quit
+//
+// Try:  echo "d p r p q" | ./bbq_browse
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "client/client.h"
+#include "mediator/instantiate.h"
+#include "mediator/translate.h"
+#include "xmas/parser.h"
+#include "xml/doc_navigable.h"
+#include "xml/random_tree.h"
+
+namespace {
+
+using namespace mix;
+
+void PrintSubtree(const client::XmlElement& e, int depth) {
+  std::printf("%*s%s\n", depth * 2, "", e.Name().c_str());
+  for (client::XmlElement c = e.FirstChild(); !c.IsNull();
+       c = c.NextSibling()) {
+    PrintSubtree(c, depth + 1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto homes = xml::MakeHomesDoc(100, 20);
+  auto schools = xml::MakeSchoolsDoc(100, 20);
+  xml::DocNavigable homes_nav(homes.get());
+  xml::DocNavigable schools_nav(schools.get());
+  NavStats stats;
+  CountingNavigable hc(&homes_nav, &stats);
+  CountingNavigable sc(&schools_nav, &stats);
+
+  auto query = xmas::ParseQuery(R"(
+    CONSTRUCT <answer> <med_home> $H $S {$S} </med_home> {$H} </answer> {}
+    WHERE homesSrc homes.home $H AND $H zip._ $V1
+      AND schoolsSrc schools.school $S AND $S zip._ $V2 AND $V1 = $V2
+  )").ValueOrDie();
+  auto plan = mediator::TranslateQuery(query).ValueOrDie();
+  mediator::SourceRegistry sources;
+  sources.Register("homesSrc", &hc);
+  sources.Register("schoolsSrc", &sc);
+  auto med = mediator::LazyMediator::Build(*plan, sources).ValueOrDie();
+
+  client::VirtualXmlDocument vdoc(med->document());
+  std::vector<client::XmlElement> breadcrumbs;
+  client::XmlElement cursor = vdoc.Root();
+  std::printf("browsing virtual <%s> — commands: d r s<label> u p q\n",
+              cursor.Name().c_str());
+
+  std::string cmd;
+  while (std::cin >> cmd) {
+    int64_t before = stats.total();
+    if (cmd == "q") break;
+    if (cmd == "d") {
+      client::XmlElement child = cursor.FirstChild();
+      if (child.IsNull()) {
+        std::printf("  (leaf)\n");
+      } else {
+        breadcrumbs.push_back(cursor);
+        cursor = child;
+      }
+    } else if (cmd == "r") {
+      client::XmlElement sib = cursor.NextSibling();
+      if (sib.IsNull()) {
+        std::printf("  (no right sibling)\n");
+      } else {
+        cursor = sib;
+      }
+    } else if (cmd == "s") {
+      std::string label;
+      if (!(std::cin >> label)) break;
+      client::XmlElement hit = cursor.SelectSibling(label);
+      if (hit.IsNull()) {
+        std::printf("  (no later sibling <%s>)\n", label.c_str());
+      } else {
+        cursor = hit;
+      }
+    } else if (cmd == "u") {
+      if (breadcrumbs.empty()) {
+        std::printf("  (at root)\n");
+      } else {
+        cursor = breadcrumbs.back();
+        breadcrumbs.pop_back();
+      }
+    } else if (cmd == "p") {
+      PrintSubtree(cursor, 1);
+    } else {
+      std::printf("  ? unknown command '%s'\n", cmd.c_str());
+      continue;
+    }
+    std::printf("@ <%s>  [+%lld source navs, %lld total]\n",
+                cursor.Name().c_str(),
+                static_cast<long long>(stats.total() - before),
+                static_cast<long long>(stats.total()));
+  }
+  std::printf("session done: %s\n", stats.ToString().c_str());
+  return 0;
+}

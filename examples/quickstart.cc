@@ -1,0 +1,56 @@
+// Quickstart: query an XML document with XMAS and browse the *virtual*
+// answer through the DOM-style client library.
+//
+// Pipeline: parse XML -> parse XMAS -> translate to an algebra plan
+// (Fig. 4) -> instantiate the tree of lazy mediators -> navigate.
+#include <cstdio>
+
+#include "client/client.h"
+#include "mediator/instantiate.h"
+#include "mediator/translate.h"
+#include "xmas/parser.h"
+#include "xml/doc_navigable.h"
+#include "xml/parser.h"
+
+int main() {
+  using namespace mix;
+
+  // 1. A small catalog source.
+  const char* catalog_xml = R"(
+    <catalog>
+      <item><name>lamp</name><price>40</price></item>
+      <item><name>desk</name><price>120</price></item>
+      <item><name>chair</name><price>55</price></item>
+      <item><name>rug</name><price>75</price></item>
+    </catalog>)";
+  auto doc = xml::Parse(catalog_xml).ValueOrDie();
+  xml::DocNavigable source(doc.get());
+
+  // 2. An XMAS view: names of items costing more than 50.
+  const char* query = R"(
+    CONSTRUCT <expensive> $N {$N} </expensive> {}
+    WHERE catalogSrc catalog.item $I
+      AND $I name._ $N
+      AND $I price._ $P
+      AND $P > 50
+  )";
+  auto parsed = xmas::ParseQuery(query).ValueOrDie();
+  auto plan = mediator::TranslateQuery(parsed).ValueOrDie();
+  std::printf("--- algebra plan ---\n%s\n", plan->ToString().c_str());
+
+  // 3. Instantiate the lazy mediator.
+  mediator::SourceRegistry sources;
+  sources.Register("catalogSrc", &source);
+  auto mediator_instance =
+      mediator::LazyMediator::Build(*plan, sources).ValueOrDie();
+
+  // 4. Browse the virtual answer exactly like a memory-resident document.
+  client::VirtualXmlDocument vdoc(mediator_instance->document());
+  client::XmlElement root = vdoc.Root();
+  std::printf("--- browsing <%s> ---\n", root.Name().c_str());
+  for (client::XmlElement name = root.FirstChild(); !name.IsNull();
+       name = name.NextSibling()) {
+    std::printf("  expensive item: %s\n", name.Text().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates every experiment (E1-E9) into results/, one CSV per bench.
+# Usage: scripts/run_experiments.sh [build-dir] (default: build)
+set -euo pipefail
+BUILD="${1:-build}"
+OUT=results
+mkdir -p "$OUT"
+for bench in "$BUILD"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "== $name"
+  "$bench" --benchmark_format=csv --benchmark_min_time=0.05 \
+    > "$OUT/$name.csv" 2> "$OUT/$name.log"
+done
+echo "results written to $OUT/"

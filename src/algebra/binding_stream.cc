@@ -1,0 +1,150 @@
+#include "algebra/binding_stream.h"
+
+#include <cstdlib>
+
+#include "core/check.h"
+
+namespace mix::algebra {
+
+bool ValueIsList(const ValueRef& v) {
+  MIX_CHECK(v.valid());
+  return v.nav->Fetch(v.id) == kListLabel;
+}
+
+namespace {
+
+void TermInto(Navigable* nav, const NodeId& id, std::string* out) {
+  Label label = nav->Fetch(id);
+  std::optional<NodeId> child = nav->Down(id);
+  if (!child.has_value()) {
+    *out += label;
+    return;
+  }
+  *out += label;
+  *out += '[';
+  bool first = true;
+  while (child.has_value()) {
+    if (!first) *out += ',';
+    first = false;
+    TermInto(nav, *child, out);
+    child = nav->Right(*child);
+  }
+  *out += ']';
+}
+
+/// Parses a full numeric literal; returns false on any trailing garbage.
+bool ParseNumber(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+std::string TermOfValue(const ValueRef& v) {
+  MIX_CHECK(v.valid());
+  std::string out;
+  TermInto(v.nav, v.id, &out);
+  return out;
+}
+
+std::string AtomOf(const ValueRef& v) {
+  MIX_CHECK(v.valid());
+  std::optional<NodeId> child = v.nav->Down(v.id);
+  if (!child.has_value()) return v.nav->Fetch(v.id);
+  return TermOfValue(v);
+}
+
+int CompareAtoms(const std::string& a, const std::string& b) {
+  double na = 0;
+  double nb = 0;
+  if (ParseNumber(a, &na) && ParseNumber(b, &nb)) {
+    if (na < nb) return -1;
+    if (na > nb) return 1;
+    return 0;
+  }
+  return a.compare(b) < 0 ? -1 : (a == b ? 0 : 1);
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool ApplyCompare(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+BindingPredicate BindingPredicate::VarVar(std::string left_var, CompareOp op,
+                                          std::string right_var) {
+  BindingPredicate p;
+  p.left_var_ = std::move(left_var);
+  p.op_ = op;
+  p.right_var_ = std::move(right_var);
+  return p;
+}
+
+BindingPredicate BindingPredicate::VarConst(std::string var, CompareOp op,
+                                            std::string constant) {
+  BindingPredicate p;
+  p.left_var_ = std::move(var);
+  p.op_ = op;
+  p.constant_ = std::move(constant);
+  return p;
+}
+
+bool BindingPredicate::Eval(BindingStream* stream, const NodeId& b) const {
+  std::string left = AtomOf(stream->Attr(b, left_var_));
+  std::string right =
+      is_var_var() ? AtomOf(stream->Attr(b, right_var_)) : constant_;
+  return ApplyCompare(op_, CompareAtoms(left, right));
+}
+
+bool BindingPredicate::EvalJoin(BindingStream* left, const NodeId& lb,
+                                BindingStream* right, const NodeId& rb) const {
+  MIX_CHECK_MSG(is_var_var(), "join predicate must compare two variables");
+  std::string lv = AtomOf(left->Attr(lb, left_var_));
+  std::string rv = AtomOf(right->Attr(rb, right_var_));
+  return ApplyCompare(op_, CompareAtoms(lv, rv));
+}
+
+std::string BindingPredicate::ToString() const {
+  std::string out = "$" + left_var_;
+  out += CompareOpName(op_);
+  if (is_var_var()) {
+    out += "$" + right_var_;
+  } else {
+    out += "'" + constant_ + "'";
+  }
+  return out;
+}
+
+}  // namespace mix::algebra

@@ -1,0 +1,138 @@
+// The operator-to-operator interface of the XMAS algebra (paper Section 3).
+//
+// Algebra operators input and output *lists of variable bindings*,
+// represented as trees bs[ b[X[x],Y[y]], ... ]. Implementing each operator
+// as a lazy mediator means it answers navigations into its output binding
+// tree by issuing navigations into its inputs.
+//
+// Following Appendix A ("Since the client of the lazy mediator ... is
+// another lazy mediator, it is wasteful to navigate over the attribute
+// lists of the input mediator. Instead we allow the operators to directly
+// request values of attributes."), operators talk to each other through
+// `BindingStream`:
+//
+//   * FirstBinding / NextBinding iterate the b-level nodes;
+//   * Attr(b, var) is the attribute shortcut b.X of Fig. 9 — it returns a
+//     handle to the variable's *value*.
+//
+// Values live in whatever component produced them: a wrapper/buffer for
+// source subtrees, or a constructing operator (createElement, groupBy,
+// concatenate) for synthesized nodes. `ValueRef` couples the node-id with
+// the Navigable that can serve navigations on it. Pass-through operators
+// hand input ValueRefs straight through — the navigational cost at the
+// source boundary is identical to the paper's chain of <id,p> pass-through
+// mappings, without the per-level administrative rewrap.
+//
+// The full bs-tree *document* view of a stream (what the paper's client
+// would navigate if it spoke to the operator directly) is provided by the
+// BindingsNavigable adaptor (bindings_navigable.h).
+#ifndef MIX_ALGEBRA_BINDING_STREAM_H_
+#define MIX_ALGEBRA_BINDING_STREAM_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/navigable.h"
+#include "core/node_id.h"
+
+namespace mix::algebra {
+
+/// Ordered list of variable names (no '$' prefix).
+using VarList = std::vector<std::string>;
+
+/// A navigable handle to a value node.
+struct ValueRef {
+  Navigable* nav = nullptr;
+  NodeId id;
+
+  bool valid() const { return nav != nullptr && id.valid(); }
+};
+
+/// One operator's output binding stream.
+class BindingStream {
+ public:
+  virtual ~BindingStream() = default;
+
+  /// Output schema: the variables each binding carries, in bs-tree order.
+  virtual const VarList& schema() const = 0;
+
+  /// First binding (b-level id), or nullopt for an empty stream.
+  virtual std::optional<NodeId> FirstBinding() = 0;
+
+  /// Binding following `b`. Navigation may resume from *any* previously
+  /// returned binding id, in any order (clients navigate from multiple
+  /// nodes; Section 1).
+  virtual std::optional<NodeId> NextBinding(const NodeId& b) = 0;
+
+  /// The attribute shortcut b.X: value of `var` in binding `b`.
+  virtual ValueRef Attr(const NodeId& b, const std::string& var) = 0;
+};
+
+/// Label reserved for list values (paper: "list is a special label for
+/// denoting lists").
+inline constexpr char kListLabel[] = "list";
+
+// ---------------------------------------------------------------------------
+// Value helpers (shared by selection, join, grouping, ordering).
+// ---------------------------------------------------------------------------
+
+/// True if the value is a list node.
+bool ValueIsList(const ValueRef& v);
+
+/// Atomic rendering for comparisons: a leaf's label; for a non-leaf, the
+/// full term serialization (deep navigation!). Comparing non-atomic values
+/// therefore explores them completely — which is semantically forced.
+std::string AtomOf(const ValueRef& v);
+
+/// Full term serialization of a value subtree via navigation.
+std::string TermOfValue(const ValueRef& v);
+
+/// Numeric-aware three-way comparison: if both render as numbers, compare
+/// numerically, else lexicographically. (The paper orders "according to
+/// some arithmetic attribute such as age".)
+int CompareAtoms(const std::string& a, const std::string& b);
+
+// ---------------------------------------------------------------------------
+// Binding predicates (WHERE-clause comparisons after pattern matching).
+// ---------------------------------------------------------------------------
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+bool ApplyCompare(CompareOp op, int cmp);
+
+/// A comparison between two variables or a variable and a constant,
+/// evaluated against one binding.
+class BindingPredicate {
+ public:
+  static BindingPredicate VarVar(std::string left_var, CompareOp op,
+                                 std::string right_var);
+  static BindingPredicate VarConst(std::string var, CompareOp op,
+                                   std::string constant);
+
+  bool Eval(BindingStream* stream, const NodeId& b) const;
+  /// For a join: evaluates with the two sides' values fetched from
+  /// different streams (left_var from `left`/`lb`, right from `right`/`rb`).
+  bool EvalJoin(BindingStream* left, const NodeId& lb, BindingStream* right,
+                const NodeId& rb) const;
+
+  bool is_var_var() const { return !right_var_.empty(); }
+  const std::string& left_var() const { return left_var_; }
+  const std::string& right_var() const { return right_var_; }
+  const std::string& constant() const { return constant_; }
+  CompareOp op() const { return op_; }
+  std::string ToString() const;
+
+ private:
+  BindingPredicate() = default;
+
+  std::string left_var_;
+  CompareOp op_ = CompareOp::kEq;
+  std::string right_var_;  ///< empty for var-const predicates.
+  std::string constant_;
+};
+
+}  // namespace mix::algebra
+
+#endif  // MIX_ALGEBRA_BINDING_STREAM_H_

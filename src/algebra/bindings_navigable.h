@@ -1,0 +1,37 @@
+// Document view of a binding stream: the bs[b[X[x],Y[y]],...] tree.
+//
+// This adaptor exposes what the paper's lazy mediator exports when its
+// client is the *user* rather than another operator — the full binding
+// tree navigable with plain DOM-VXD commands. Operators avoid it among
+// themselves (they use the attribute shortcut), but tests, debugging tools
+// and the examples use it to materialize intermediate binding lists and
+// compare them against the paper's worked examples.
+#ifndef MIX_ALGEBRA_BINDINGS_NAVIGABLE_H_
+#define MIX_ALGEBRA_BINDINGS_NAVIGABLE_H_
+
+#include "algebra/binding_stream.h"
+#include "algebra/value_space.h"
+
+namespace mix::algebra {
+
+class BindingsNavigable : public Navigable {
+ public:
+  /// `stream` is not owned and must outlive the adaptor.
+  explicit BindingsNavigable(BindingStream* stream);
+
+  NodeId Root() override;
+  std::optional<NodeId> Down(const NodeId& p) override;
+  std::optional<NodeId> Right(const NodeId& p) override;
+  Label Fetch(const NodeId& p) override;
+
+ private:
+  NodeId VarId(const NodeId& b, int64_t var_index) const;
+
+  BindingStream* stream_;
+  int64_t instance_;
+  ValueSpace space_;
+};
+
+}  // namespace mix::algebra
+
+#endif  // MIX_ALGEBRA_BINDINGS_NAVIGABLE_H_

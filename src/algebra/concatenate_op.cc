@@ -1,0 +1,109 @@
+#include "algebra/concatenate_op.h"
+
+#include <algorithm>
+
+namespace mix::algebra {
+
+ConcatenateOp::ConcatenateOp(BindingStream* input, std::string x_var,
+                             std::string y_var, std::string out_var)
+    : input_(input),
+      x_var_(std::move(x_var)),
+      y_var_(std::move(y_var)),
+      out_var_(std::move(out_var)) {
+  MIX_CHECK(input_ != nullptr);
+  const VarList& in = input_->schema();
+  MIX_CHECK_MSG(std::find(in.begin(), in.end(), x_var_) != in.end(),
+                "concatenate x variable not bound by input");
+  MIX_CHECK_MSG(std::find(in.begin(), in.end(), y_var_) != in.end(),
+                "concatenate y variable not bound by input");
+  schema_ = in;
+  MIX_CHECK_MSG(std::find(schema_.begin(), schema_.end(), out_var_) ==
+                    schema_.end(),
+                "concatenate output variable already bound");
+  schema_.push_back(out_var_);
+}
+
+std::optional<NodeId> ConcatenateOp::FirstBinding() {
+  std::optional<NodeId> ib = input_->FirstBinding();
+  if (!ib.has_value()) return std::nullopt;
+  return NodeId("cc_b", {instance_, *ib});
+}
+
+std::optional<NodeId> ConcatenateOp::NextBinding(const NodeId& b) {
+  CheckOwn(b, "cc_b");
+  std::optional<NodeId> ib = input_->NextBinding(b.IdAt(1));
+  if (!ib.has_value()) return std::nullopt;
+  return NodeId("cc_b", {instance_, *ib});
+}
+
+ValueRef ConcatenateOp::Attr(const NodeId& b, const std::string& var) {
+  CheckOwn(b, "cc_b");
+  if (var == out_var_) {
+    return ValueRef{this, NodeId("cc_list", {instance_, b.IdAt(1)})};
+  }
+  return input_->Attr(b.IdAt(1), var);
+}
+
+const std::string& ConcatenateOp::VarOfSide(int side) const {
+  return side == 0 ? x_var_ : y_var_;
+}
+
+std::optional<NodeId> ConcatenateOp::FirstItemOfSide(const NodeId& ib,
+                                                     int side) {
+  ValueRef value = input_->Attr(ib, VarOfSide(side));
+  if (ValueIsList(value)) {
+    std::optional<NodeId> first = value.nav->Down(value.id);
+    if (!first.has_value()) return std::nullopt;  // empty list side
+    return NodeId("cc_item", {instance_, ib, static_cast<int64_t>(side),
+                              space_.Wrap(ValueRef{value.nav, *first})});
+  }
+  // Non-list value: the value itself is the single item of this side.
+  return NodeId("cc_item", {instance_, ib, static_cast<int64_t>(side),
+                            space_.Wrap(value)});
+}
+
+std::optional<NodeId> ConcatenateOp::Down(const NodeId& p) {
+  if (space_.Owns(p)) return space_.Down(p);
+  if (p.tag() == "cc_list") {
+    MIX_CHECK(p.IntAt(0) == instance_);
+    NodeId ib = p.IdAt(1);
+    std::optional<NodeId> item = FirstItemOfSide(ib, 0);
+    if (!item.has_value()) item = FirstItemOfSide(ib, 1);
+    return item;
+  }
+  MIX_CHECK_MSG(p.tag() == "cc_item", "foreign value id passed to concatenate");
+  MIX_CHECK(p.IntAt(0) == instance_);
+  return space_.Down(p.IdAt(3));
+}
+
+std::optional<NodeId> ConcatenateOp::Right(const NodeId& p) {
+  if (space_.Owns(p)) return space_.Right(p);
+  if (p.tag() == "cc_list") return std::nullopt;  // value root: no siblings
+  MIX_CHECK_MSG(p.tag() == "cc_item", "foreign value id passed to concatenate");
+  MIX_CHECK(p.IntAt(0) == instance_);
+  NodeId ib = p.IdAt(1);
+  int side = static_cast<int>(p.IntAt(2));
+
+  // Within a list side, items advance along the underlying siblings; a
+  // single-value side has exactly one item.
+  if (ValueIsList(input_->Attr(ib, VarOfSide(side)))) {
+    std::optional<NodeId> next = space_.Right(p.IdAt(3));
+    if (next.has_value()) {
+      return NodeId("cc_item",
+                    {instance_, ib, static_cast<int64_t>(side), *next});
+    }
+  }
+  // Side exhausted: cross from x to y.
+  if (side == 0) return FirstItemOfSide(ib, 1);
+  return std::nullopt;
+}
+
+Label ConcatenateOp::Fetch(const NodeId& p) {
+  if (space_.Owns(p)) return space_.Fetch(p);
+  if (p.tag() == "cc_list") return kListLabel;
+  MIX_CHECK_MSG(p.tag() == "cc_item", "foreign value id passed to concatenate");
+  MIX_CHECK(p.IntAt(0) == instance_);
+  return space_.Fetch(p.IdAt(3));
+}
+
+}  // namespace mix::algebra

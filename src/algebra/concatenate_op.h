@@ -1,0 +1,51 @@
+// concatenate_{x,y -> z} (paper Section 3).
+//
+// For each input binding, z is bound to a synthesized list node whose
+// items are: the elements of b.x if b.x is a list, else b.x itself,
+// followed by the elements of b.y if b.y is a list, else b.y itself —
+// the four cases of the paper's definition.
+//
+// Lazy-mediator behavior: the list node is virtual. Down enters the first
+// item of the x side (falling through to y when x is an empty list);
+// Right within a list side follows the underlying siblings; crossing from
+// the last x item to the first y item is where the two inputs are stitched
+// together. Interior navigation is pure pass-through (ValueSpace).
+#ifndef MIX_ALGEBRA_CONCATENATE_OP_H_
+#define MIX_ALGEBRA_CONCATENATE_OP_H_
+
+#include "algebra/operator_base.h"
+
+namespace mix::algebra {
+
+class ConcatenateOp : public ConstructingOperatorBase {
+ public:
+  /// `input` is not owned and must outlive the operator.
+  ConcatenateOp(BindingStream* input, std::string x_var, std::string y_var,
+                std::string out_var);
+
+  const VarList& schema() const override { return schema_; }
+  std::optional<NodeId> FirstBinding() override;
+  std::optional<NodeId> NextBinding(const NodeId& b) override;
+  ValueRef Attr(const NodeId& b, const std::string& var) override;
+
+  std::optional<NodeId> Down(const NodeId& p) override;
+  std::optional<NodeId> Right(const NodeId& p) override;
+  Label Fetch(const NodeId& p) override;
+
+ private:
+  /// First item of side 0 (x) / 1 (y), or nullopt if that side is an empty
+  /// list. The item id is cc_item(instance, b, side, fw) with fw the
+  /// wrapped underlying node.
+  std::optional<NodeId> FirstItemOfSide(const NodeId& b, int side);
+  const std::string& VarOfSide(int side) const;
+
+  BindingStream* input_;
+  std::string x_var_;
+  std::string y_var_;
+  std::string out_var_;
+  VarList schema_;
+};
+
+}  // namespace mix::algebra
+
+#endif  // MIX_ALGEBRA_CONCATENATE_OP_H_

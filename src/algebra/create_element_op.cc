@@ -1,0 +1,84 @@
+#include "algebra/create_element_op.h"
+
+#include <algorithm>
+
+namespace mix::algebra {
+
+CreateElementOp::LabelSpec CreateElementOp::LabelSpec::Constant(
+    std::string label) {
+  return LabelSpec{true, std::move(label)};
+}
+
+CreateElementOp::LabelSpec CreateElementOp::LabelSpec::Variable(
+    std::string var) {
+  return LabelSpec{false, std::move(var)};
+}
+
+CreateElementOp::CreateElementOp(BindingStream* input, LabelSpec label,
+                                 std::string ch_var, std::string out_var)
+    : input_(input),
+      label_(std::move(label)),
+      ch_var_(std::move(ch_var)),
+      out_var_(std::move(out_var)) {
+  MIX_CHECK(input_ != nullptr);
+  const VarList& in = input_->schema();
+  MIX_CHECK_MSG(std::find(in.begin(), in.end(), ch_var_) != in.end(),
+                "createElement children variable not bound by input");
+  if (!label_.is_constant) {
+    MIX_CHECK_MSG(std::find(in.begin(), in.end(), label_.text) != in.end(),
+                  "createElement label variable not bound by input");
+  }
+  schema_ = in;
+  MIX_CHECK_MSG(std::find(schema_.begin(), schema_.end(), out_var_) ==
+                    schema_.end(),
+                "createElement output variable already bound");
+  schema_.push_back(out_var_);
+}
+
+std::optional<NodeId> CreateElementOp::FirstBinding() {
+  std::optional<NodeId> ib = input_->FirstBinding();
+  if (!ib.has_value()) return std::nullopt;
+  return NodeId("ce_b", {instance_, *ib});
+}
+
+std::optional<NodeId> CreateElementOp::NextBinding(const NodeId& b) {
+  CheckOwn(b, "ce_b");
+  std::optional<NodeId> ib = input_->NextBinding(b.IdAt(1));
+  if (!ib.has_value()) return std::nullopt;
+  return NodeId("ce_b", {instance_, *ib});
+}
+
+ValueRef CreateElementOp::Attr(const NodeId& b, const std::string& var) {
+  CheckOwn(b, "ce_b");
+  if (var == out_var_) {
+    return ValueRef{this, NodeId("ce_e", {instance_, b.IdAt(1)})};
+  }
+  return input_->Attr(b.IdAt(1), var);
+}
+
+std::optional<NodeId> CreateElementOp::Down(const NodeId& p) {
+  if (space_.Owns(p)) return space_.Down(p);
+  MIX_CHECK_MSG(p.tag() == "ce_e", "foreign value id passed to createElement");
+  MIX_CHECK(p.IntAt(0) == instance_);
+  // Fig. 9, 6th mapping: descend into the subtrees of b.ch.
+  ValueRef ch = input_->Attr(p.IdAt(1), ch_var_);
+  std::optional<NodeId> child = ch.nav->Down(ch.id);
+  if (!child.has_value()) return std::nullopt;
+  return space_.Wrap(ValueRef{ch.nav, *child});
+}
+
+std::optional<NodeId> CreateElementOp::Right(const NodeId& p) {
+  if (space_.Owns(p)) return space_.Right(p);
+  MIX_CHECK_MSG(p.tag() == "ce_e", "foreign value id passed to createElement");
+  return std::nullopt;  // a synthesized element is a value root
+}
+
+Label CreateElementOp::Fetch(const NodeId& p) {
+  if (space_.Owns(p)) return space_.Fetch(p);
+  MIX_CHECK_MSG(p.tag() == "ce_e", "foreign value id passed to createElement");
+  MIX_CHECK(p.IntAt(0) == instance_);
+  if (label_.is_constant) return label_.text;  // Fig. 9, 7th mapping
+  return AtomOf(input_->Attr(p.IdAt(1), label_.text));
+}
+
+}  // namespace mix::algebra

@@ -1,0 +1,53 @@
+// createElement_{label, ch -> e} (paper Section 3, Fig. 9).
+//
+// For each input binding, e is bound to a freshly synthesized element whose
+// label is either a constant or the (atomic) value of a label variable, and
+// whose children are the *subtrees of* b.ch (not b.ch itself) — Fig. 9's
+// 6th mapping: d(<v,pb>) = <id, d(pb.HLSs)>.
+//
+// Lazy-mediator behavior matches Fig. 9 row by row: fetching the new
+// element's label costs nothing (7th mapping), descending into it forwards
+// one d to the input's ch value, and everything below is pass-through
+// <id,p> navigation.
+#ifndef MIX_ALGEBRA_CREATE_ELEMENT_OP_H_
+#define MIX_ALGEBRA_CREATE_ELEMENT_OP_H_
+
+#include "algebra/operator_base.h"
+
+namespace mix::algebra {
+
+class CreateElementOp : public ConstructingOperatorBase {
+ public:
+  /// Element label: a constant, or the atomic value of a variable.
+  struct LabelSpec {
+    static LabelSpec Constant(std::string label);
+    static LabelSpec Variable(std::string var);
+
+    bool is_constant = true;
+    std::string text;  ///< the constant, or the variable name.
+  };
+
+  /// `input` is not owned and must outlive the operator.
+  CreateElementOp(BindingStream* input, LabelSpec label, std::string ch_var,
+                  std::string out_var);
+
+  const VarList& schema() const override { return schema_; }
+  std::optional<NodeId> FirstBinding() override;
+  std::optional<NodeId> NextBinding(const NodeId& b) override;
+  ValueRef Attr(const NodeId& b, const std::string& var) override;
+
+  std::optional<NodeId> Down(const NodeId& p) override;
+  std::optional<NodeId> Right(const NodeId& p) override;
+  Label Fetch(const NodeId& p) override;
+
+ private:
+  BindingStream* input_;
+  LabelSpec label_;
+  std::string ch_var_;
+  std::string out_var_;
+  VarList schema_;
+};
+
+}  // namespace mix::algebra
+
+#endif  // MIX_ALGEBRA_CREATE_ELEMENT_OP_H_

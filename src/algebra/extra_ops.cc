@@ -1,0 +1,170 @@
+#include "algebra/extra_ops.h"
+
+#include <algorithm>
+
+namespace mix::algebra {
+
+// ---------------------------------------------------------------------------
+// WrapListOp
+// ---------------------------------------------------------------------------
+
+WrapListOp::WrapListOp(BindingStream* input, std::string x_var,
+                       std::string out_var)
+    : input_(input), x_var_(std::move(x_var)), out_var_(std::move(out_var)) {
+  MIX_CHECK(input_ != nullptr);
+  const VarList& in = input_->schema();
+  MIX_CHECK_MSG(std::find(in.begin(), in.end(), x_var_) != in.end(),
+                "wrapList variable not bound by input");
+  schema_ = in;
+  MIX_CHECK_MSG(std::find(schema_.begin(), schema_.end(), out_var_) ==
+                    schema_.end(),
+                "wrapList output variable already bound");
+  schema_.push_back(out_var_);
+}
+
+std::optional<NodeId> WrapListOp::FirstBinding() {
+  std::optional<NodeId> ib = input_->FirstBinding();
+  if (!ib.has_value()) return std::nullopt;
+  return NodeId("wl_b", {instance_, *ib});
+}
+
+std::optional<NodeId> WrapListOp::NextBinding(const NodeId& b) {
+  CheckOwn(b, "wl_b");
+  std::optional<NodeId> ib = input_->NextBinding(b.IdAt(1));
+  if (!ib.has_value()) return std::nullopt;
+  return NodeId("wl_b", {instance_, *ib});
+}
+
+ValueRef WrapListOp::Attr(const NodeId& b, const std::string& var) {
+  CheckOwn(b, "wl_b");
+  if (var == out_var_) {
+    return ValueRef{this, NodeId("wl_list", {instance_, b.IdAt(1)})};
+  }
+  return input_->Attr(b.IdAt(1), var);
+}
+
+std::optional<NodeId> WrapListOp::Down(const NodeId& p) {
+  if (space_.Owns(p)) return space_.Down(p);
+  if (p.tag() == "wl_list") {
+    MIX_CHECK(p.IntAt(0) == instance_);
+    return NodeId("wl_item", {instance_, p.IdAt(1)});
+  }
+  MIX_CHECK_MSG(p.tag() == "wl_item", "foreign value id passed to wrapList");
+  MIX_CHECK(p.IntAt(0) == instance_);
+  ValueRef value = input_->Attr(p.IdAt(1), x_var_);
+  std::optional<NodeId> child = value.nav->Down(value.id);
+  if (!child.has_value()) return std::nullopt;
+  return space_.Wrap(ValueRef{value.nav, *child});
+}
+
+std::optional<NodeId> WrapListOp::Right(const NodeId& p) {
+  if (space_.Owns(p)) return space_.Right(p);
+  // Both the list root and its single item have no right sibling.
+  MIX_CHECK(p.tag() == "wl_list" || p.tag() == "wl_item");
+  return std::nullopt;
+}
+
+Label WrapListOp::Fetch(const NodeId& p) {
+  if (space_.Owns(p)) return space_.Fetch(p);
+  if (p.tag() == "wl_list") return kListLabel;
+  MIX_CHECK_MSG(p.tag() == "wl_item", "foreign value id passed to wrapList");
+  MIX_CHECK(p.IntAt(0) == instance_);
+  ValueRef value = input_->Attr(p.IdAt(1), x_var_);
+  return value.nav->Fetch(value.id);
+}
+
+// ---------------------------------------------------------------------------
+// RenameOp
+// ---------------------------------------------------------------------------
+
+RenameOp::RenameOp(BindingStream* input, std::string old_var,
+                   std::string new_var)
+    : input_(input),
+      old_var_(std::move(old_var)),
+      new_var_(std::move(new_var)) {
+  MIX_CHECK(input_ != nullptr);
+  schema_ = input_->schema();
+  bool found = false;
+  for (std::string& v : schema_) {
+    if (v == old_var_) {
+      v = new_var_;
+      found = true;
+    } else {
+      MIX_CHECK_MSG(v != new_var_, "rename target variable already bound");
+    }
+  }
+  MIX_CHECK_MSG(found, "rename source variable not bound by input");
+}
+
+std::optional<NodeId> RenameOp::FirstBinding() {
+  std::optional<NodeId> ib = input_->FirstBinding();
+  if (!ib.has_value()) return std::nullopt;
+  return NodeId("rn_b", {instance_, *ib});
+}
+
+std::optional<NodeId> RenameOp::NextBinding(const NodeId& b) {
+  CheckOwn(b, "rn_b");
+  std::optional<NodeId> ib = input_->NextBinding(b.IdAt(1));
+  if (!ib.has_value()) return std::nullopt;
+  return NodeId("rn_b", {instance_, *ib});
+}
+
+ValueRef RenameOp::Attr(const NodeId& b, const std::string& var) {
+  CheckOwn(b, "rn_b");
+  return input_->Attr(b.IdAt(1), var == new_var_ ? old_var_ : var);
+}
+
+// ---------------------------------------------------------------------------
+// ConstOp
+// ---------------------------------------------------------------------------
+
+ConstOp::ConstOp(BindingStream* input, std::string text, std::string out_var)
+    : input_(input), text_(std::move(text)), out_var_(std::move(out_var)) {
+  MIX_CHECK(input_ != nullptr);
+  schema_ = input_->schema();
+  MIX_CHECK_MSG(std::find(schema_.begin(), schema_.end(), out_var_) ==
+                    schema_.end(),
+                "const output variable already bound");
+  schema_.push_back(out_var_);
+}
+
+std::optional<NodeId> ConstOp::FirstBinding() {
+  std::optional<NodeId> ib = input_->FirstBinding();
+  if (!ib.has_value()) return std::nullopt;
+  return NodeId("ct_b", {instance_, *ib});
+}
+
+std::optional<NodeId> ConstOp::NextBinding(const NodeId& b) {
+  CheckOwn(b, "ct_b");
+  std::optional<NodeId> ib = input_->NextBinding(b.IdAt(1));
+  if (!ib.has_value()) return std::nullopt;
+  return NodeId("ct_b", {instance_, *ib});
+}
+
+ValueRef ConstOp::Attr(const NodeId& b, const std::string& var) {
+  CheckOwn(b, "ct_b");
+  if (var == out_var_) {
+    return ValueRef{this, NodeId("ct_leaf", {instance_})};
+  }
+  return input_->Attr(b.IdAt(1), var);
+}
+
+std::optional<NodeId> ConstOp::Down(const NodeId& p) {
+  if (space_.Owns(p)) return space_.Down(p);
+  MIX_CHECK(p.tag() == "ct_leaf");
+  return std::nullopt;
+}
+
+std::optional<NodeId> ConstOp::Right(const NodeId& p) {
+  if (space_.Owns(p)) return space_.Right(p);
+  MIX_CHECK(p.tag() == "ct_leaf");
+  return std::nullopt;
+}
+
+Label ConstOp::Fetch(const NodeId& p) {
+  if (space_.Owns(p)) return space_.Fetch(p);
+  MIX_CHECK(p.tag() == "ct_leaf");
+  return text_;
+}
+
+}  // namespace mix::algebra

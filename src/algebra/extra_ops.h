@@ -1,0 +1,84 @@
+// Convenience constructors used by XMAS head compilation.
+//
+// The paper's worked plan (Fig. 4) always feeds createElement from a
+// concatenate or groupBy, whose outputs are list nodes. Two degenerate
+// head shapes need tiny extra constructors (nested-relational singleton /
+// constant constructors; not named in the paper but implied by XMAS):
+//
+//   * wrapList_{x -> z}: binds z to list[x] — the singleton list, so that
+//     an element with a single scalar child can be built with
+//     createElement (whose children are the *subtrees* of ch);
+//   * const_{text -> z}: binds z to a fresh leaf labeled `text` — literal
+//     character content in CONSTRUCT templates.
+#ifndef MIX_ALGEBRA_EXTRA_OPS_H_
+#define MIX_ALGEBRA_EXTRA_OPS_H_
+
+#include "algebra/operator_base.h"
+
+namespace mix::algebra {
+
+class WrapListOp : public ConstructingOperatorBase {
+ public:
+  /// `input` is not owned and must outlive the operator.
+  WrapListOp(BindingStream* input, std::string x_var, std::string out_var);
+
+  const VarList& schema() const override { return schema_; }
+  std::optional<NodeId> FirstBinding() override;
+  std::optional<NodeId> NextBinding(const NodeId& b) override;
+  ValueRef Attr(const NodeId& b, const std::string& var) override;
+
+  std::optional<NodeId> Down(const NodeId& p) override;
+  std::optional<NodeId> Right(const NodeId& p) override;
+  Label Fetch(const NodeId& p) override;
+
+ private:
+  BindingStream* input_;
+  std::string x_var_;
+  std::string out_var_;
+  VarList schema_;
+};
+
+/// rename_{x -> y}: pass-through that renames one schema variable —
+/// the standard relational ρ, needed to align schemas for union and
+/// difference across independently built chains.
+class RenameOp : public OperatorBase {
+ public:
+  /// `input` is not owned and must outlive the operator.
+  RenameOp(BindingStream* input, std::string old_var, std::string new_var);
+
+  const VarList& schema() const override { return schema_; }
+  std::optional<NodeId> FirstBinding() override;
+  std::optional<NodeId> NextBinding(const NodeId& b) override;
+  ValueRef Attr(const NodeId& b, const std::string& var) override;
+
+ private:
+  BindingStream* input_;
+  std::string old_var_;
+  std::string new_var_;
+  VarList schema_;
+};
+
+class ConstOp : public ConstructingOperatorBase {
+ public:
+  /// `input` is not owned and must outlive the operator.
+  ConstOp(BindingStream* input, std::string text, std::string out_var);
+
+  const VarList& schema() const override { return schema_; }
+  std::optional<NodeId> FirstBinding() override;
+  std::optional<NodeId> NextBinding(const NodeId& b) override;
+  ValueRef Attr(const NodeId& b, const std::string& var) override;
+
+  std::optional<NodeId> Down(const NodeId& p) override;
+  std::optional<NodeId> Right(const NodeId& p) override;
+  Label Fetch(const NodeId& p) override;
+
+ private:
+  BindingStream* input_;
+  std::string text_;
+  std::string out_var_;
+  VarList schema_;
+};
+
+}  // namespace mix::algebra
+
+#endif  // MIX_ALGEBRA_EXTRA_OPS_H_

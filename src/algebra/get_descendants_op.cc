@@ -1,0 +1,154 @@
+#include "algebra/get_descendants_op.h"
+
+#include <algorithm>
+
+namespace mix::algebra {
+
+using pathexpr::Nfa;
+
+GetDescendantsOp::GetDescendantsOp(BindingStream* input, std::string parent_var,
+                                   pathexpr::PathExpr path, std::string out_var,
+                                   Options options)
+    : input_(input),
+      parent_var_(std::move(parent_var)),
+      path_(std::move(path)),
+      out_var_(std::move(out_var)),
+      options_(options) {
+  MIX_CHECK(input_ != nullptr);
+  schema_ = input_->schema();
+  MIX_CHECK_MSG(std::find(schema_.begin(), schema_.end(), out_var_) ==
+                    schema_.end(),
+                "getDescendants output variable already bound");
+  MIX_CHECK_MSG(std::find(schema_.begin(), schema_.end(), parent_var_) !=
+                    schema_.end(),
+                "getDescendants parent variable not bound by input");
+  schema_.push_back(out_var_);
+  sigma_usable_ = options_.use_select_sibling && path_.IsLabelChain(&chain_);
+}
+
+std::optional<GetDescendantsOp::Frame> GetDescendantsOp::TryLevel(
+    Navigable* nav, std::optional<NodeId> cand,
+    const Nfa::StateSet& parent_states, size_t depth) {
+  while (cand.has_value()) {
+    Label label = nav->Fetch(*cand);
+    Nfa::StateSet states = path_.nfa().Advance(parent_states, label);
+    if (!Nfa::Empty(states)) return Frame{*cand, std::move(states)};
+    if (sigma_usable_ && depth < chain_.size()) {
+      // One σ command finds the next sibling with the only label that can
+      // advance the chain at this depth.
+      std::optional<NodeId> hit =
+          nav->SelectSibling(*cand, LabelPredicate::Equals(chain_[depth]));
+      if (!hit.has_value()) return std::nullopt;
+      Nfa::StateSet st = path_.nfa().Advance(parent_states, chain_[depth]);
+      MIX_CHECK(!Nfa::Empty(st));
+      return Frame{*hit, std::move(st)};
+    }
+    cand = nav->Right(*cand);
+  }
+  return std::nullopt;
+}
+
+bool GetDescendantsOp::Seed(Cursor* cursor, const ValueRef& anchor) {
+  std::optional<NodeId> child = anchor.nav->Down(anchor.id);
+  std::optional<Frame> frame =
+      TryLevel(anchor.nav, child, path_.nfa().StartSet(), 0);
+  if (!frame.has_value()) return false;
+  cursor->stack.push_back(std::move(*frame));
+  return true;
+}
+
+bool GetDescendantsOp::Step(Cursor* cursor) {
+  Navigable* nav = cursor->nav;
+  auto& stack = cursor->stack;
+  MIX_CHECK(!stack.empty());
+
+  // 1. Try to descend — but only if the state set can still consume input;
+  // a dead-ended (e.g. just-accepted chain) frame skips its entire subtree
+  // without touching the source.
+  if (path_.nfa().AnyOutgoing(stack.back().states)) {
+    const Frame& top = stack.back();
+    std::optional<NodeId> child = nav->Down(top.node);
+    if (child.has_value()) {
+      Nfa::StateSet parent_states = top.states;  // copy: push invalidates ref
+      std::optional<Frame> frame =
+          TryLevel(nav, child, parent_states, stack.size());
+      if (frame.has_value()) {
+        stack.push_back(std::move(*frame));
+        return true;
+      }
+    }
+  }
+  // 2. Move right, popping levels as they exhaust.
+  while (!stack.empty()) {
+    Frame done = std::move(stack.back());
+    stack.pop_back();
+    const Nfa::StateSet parent_states =
+        stack.empty() ? path_.nfa().StartSet() : stack.back().states;
+    std::optional<NodeId> sibling = nav->Right(done.node);
+    std::optional<Frame> frame =
+        TryLevel(nav, sibling, parent_states, stack.size());
+    if (frame.has_value()) {
+      stack.push_back(std::move(*frame));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetDescendantsOp::NextMatch(Cursor* cursor) {
+  while (Step(cursor)) {
+    if (path_.nfa().AnyAccepting(cursor->stack.back().states)) return true;
+  }
+  return false;
+}
+
+NodeId GetDescendantsOp::StoreCursor(Cursor cursor) {
+  cursors_.push_back(std::move(cursor));
+  return NodeId("gd_b",
+                {instance_, static_cast<int64_t>(cursors_.size() - 1)});
+}
+
+const GetDescendantsOp::Cursor& GetDescendantsOp::CursorOf(
+    const NodeId& b) const {
+  CheckOwn(b, "gd_b");
+  int64_t handle = b.IntAt(1);
+  MIX_CHECK(handle >= 0 && handle < static_cast<int64_t>(cursors_.size()));
+  return cursors_[static_cast<size_t>(handle)];
+}
+
+std::optional<NodeId> GetDescendantsOp::ScanInput(std::optional<NodeId> ib) {
+  while (ib.has_value()) {
+    ValueRef anchor = input_->Attr(*ib, parent_var_);
+    Cursor cursor;
+    cursor.input_b = *ib;
+    cursor.nav = anchor.nav;
+    if (Seed(&cursor, anchor)) {
+      if (path_.nfa().AnyAccepting(cursor.stack.back().states) ||
+          NextMatch(&cursor)) {
+        return StoreCursor(std::move(cursor));
+      }
+    }
+    ib = input_->NextBinding(*ib);
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeId> GetDescendantsOp::FirstBinding() {
+  return ScanInput(input_->FirstBinding());
+}
+
+std::optional<NodeId> GetDescendantsOp::NextBinding(const NodeId& b) {
+  Cursor cursor = CursorOf(b);  // snapshot copy; the original stays valid
+  if (NextMatch(&cursor)) return StoreCursor(std::move(cursor));
+  return ScanInput(input_->NextBinding(cursor.input_b));
+}
+
+ValueRef GetDescendantsOp::Attr(const NodeId& b, const std::string& var) {
+  const Cursor& cursor = CursorOf(b);
+  if (var == out_var_) {
+    return ValueRef{cursor.nav, cursor.stack.back().node};
+  }
+  return input_->Attr(cursor.input_b, var);
+}
+
+}  // namespace mix::algebra

@@ -1,0 +1,233 @@
+#include "algebra/group_by_op.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mix::algebra {
+
+namespace {
+/// Sentinel handle for the empty-group binding of a no-group-vars groupBy
+/// over empty input.
+constexpr int64_t kEmptyGroupHandle = -1;
+}  // namespace
+
+GroupByOp::GroupByOp(BindingStream* input, VarList group_vars,
+                     std::string grouped_var, std::string out_var,
+                     Options options)
+    : input_(input),
+      group_vars_(std::move(group_vars)),
+      grouped_var_(std::move(grouped_var)),
+      out_var_(std::move(out_var)),
+      options_(options) {
+  MIX_CHECK(input_ != nullptr);
+  const VarList& in = input_->schema();
+  for (const std::string& v : group_vars_) {
+    MIX_CHECK_MSG(std::find(in.begin(), in.end(), v) != in.end(),
+                  "group-by variable not bound by input");
+    schema_.push_back(v);
+  }
+  MIX_CHECK_MSG(std::find(in.begin(), in.end(), grouped_var_) != in.end(),
+                "grouped variable not bound by input");
+  MIX_CHECK_MSG(std::find(schema_.begin(), schema_.end(), out_var_) ==
+                    schema_.end(),
+                "groupBy output variable collides with a group-by variable");
+  schema_.push_back(out_var_);
+}
+
+GroupByOp::Key GroupByOp::KeyOf(const NodeId& ib) {
+  Key key;
+  key.reserve(group_vars_.size());
+  for (const std::string& v : group_vars_) {
+    key.push_back(input_->Attr(ib, v).id);
+  }
+  return key;
+}
+
+bool GroupByOp::KeyEquals(const Key& a, const Key& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+bool GroupByOp::PrevContains(const PrevSet& set, const Key& key) {
+  for (const PrevNode* n = set.get(); n != nullptr; n = n->parent.get()) {
+    if (KeyEquals(n->key, key)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Input enumeration cache (Fig. 10's list-caching optimization).
+// ---------------------------------------------------------------------------
+
+const GroupByOp::SeqEntry* GroupByOp::SeqAt(size_t i) {
+  while (seq_.size() <= i && !seq_complete_) {
+    std::optional<NodeId> next = seq_.empty()
+                                     ? input_->FirstBinding()
+                                     : input_->NextBinding(seq_.back().ib);
+    if (!next.has_value()) {
+      seq_complete_ = true;
+      break;
+    }
+    seq_index_[*next] = seq_.size();
+    seq_.push_back(SeqEntry{*next, KeyOf(*next)});
+  }
+  if (i >= seq_.size()) return nullptr;
+  return &seq_[i];
+}
+
+size_t GroupByOp::SeqIndexOf(const NodeId& ib) {
+  // Ids handed around by this operator come from its own forward scans, so
+  // they are either memoized already or about to be appended.
+  for (;;) {
+    auto it = seq_index_.find(ib);
+    if (it != seq_index_.end()) return it->second;
+    const SeqEntry* entry = SeqAt(seq_.size());
+    MIX_CHECK_MSG(entry != nullptr, "binding id not part of the input stream");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The Fig. 10 scans, with and without the enumeration cache.
+// ---------------------------------------------------------------------------
+
+std::optional<NodeId> GroupByOp::NextGroupLeader(std::optional<NodeId> ib,
+                                                 const PrevSet& prev) {
+  if (!ib.has_value()) return std::nullopt;
+  if (options_.cache_input) {
+    for (size_t i = SeqIndexOf(*ib);; ++i) {
+      const SeqEntry* entry = SeqAt(i);
+      if (entry == nullptr) return std::nullopt;
+      if (!PrevContains(prev, entry->key)) return entry->ib;
+    }
+  }
+  while (ib.has_value()) {
+    if (!PrevContains(prev, KeyOf(*ib))) return ib;
+    ib = input_->NextBinding(*ib);
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeId> GroupByOp::NextInGroup(const NodeId& pb,
+                                             const NodeId& pg) {
+  if (options_.cache_input) {
+    const Key group_key = seq_[SeqIndexOf(pg)].key;
+    for (size_t i = SeqIndexOf(pb) + 1;; ++i) {
+      const SeqEntry* entry = SeqAt(i);
+      if (entry == nullptr) return std::nullopt;
+      if (KeyEquals(entry->key, group_key)) return entry->ib;
+    }
+  }
+  Key group_key = KeyOf(pg);
+  std::optional<NodeId> ib = input_->NextBinding(pb);
+  while (ib.has_value()) {
+    if (KeyEquals(KeyOf(*ib), group_key)) return ib;
+    ib = input_->NextBinding(*ib);
+  }
+  return std::nullopt;
+}
+
+NodeId GroupByOp::StoreState(GroupState state) {
+  states_.push_back(std::move(state));
+  return NodeId("gb_b", {instance_, static_cast<int64_t>(states_.size() - 1)});
+}
+
+const GroupByOp::GroupState& GroupByOp::StateOf(int64_t handle) const {
+  MIX_CHECK(handle >= 0 && handle < static_cast<int64_t>(states_.size()));
+  return states_[static_cast<size_t>(handle)];
+}
+
+std::optional<NodeId> GroupByOp::FirstBinding() {
+  std::optional<NodeId> first =
+      options_.cache_input
+          ? (SeqAt(0) != nullptr ? std::optional<NodeId>(seq_[0].ib)
+                                 : std::nullopt)
+          : input_->FirstBinding();
+  if (!first.has_value()) {
+    if (group_vars_.empty()) {
+      // "create one answer element (= for each {})": one group, empty list.
+      return NodeId("gb_b", {instance_, kEmptyGroupHandle});
+    }
+    return std::nullopt;
+  }
+  return StoreState(GroupState{*first, nullptr});
+}
+
+std::optional<NodeId> GroupByOp::NextBinding(const NodeId& b) {
+  CheckOwn(b, "gb_b");
+  int64_t handle = b.IntAt(1);
+  if (handle == kEmptyGroupHandle) return std::nullopt;
+  const GroupState& state = StateOf(handle);
+  auto new_prev =
+      std::make_shared<PrevNode>(PrevNode{KeyOf(state.pg), state.prev});
+  std::optional<NodeId> after = options_.cache_input
+                                    ? [&]() -> std::optional<NodeId> {
+    const SeqEntry* entry = SeqAt(SeqIndexOf(state.pg) + 1);
+    return entry == nullptr ? std::nullopt
+                            : std::optional<NodeId>(entry->ib);
+  }()
+                                    : input_->NextBinding(state.pg);
+  std::optional<NodeId> leader = NextGroupLeader(after, new_prev);
+  if (!leader.has_value()) return std::nullopt;
+  return StoreState(GroupState{*leader, std::move(new_prev)});
+}
+
+ValueRef GroupByOp::Attr(const NodeId& b, const std::string& var) {
+  CheckOwn(b, "gb_b");
+  int64_t handle = b.IntAt(1);
+  if (var == out_var_) {
+    return ValueRef{this, NodeId("gb_list", {instance_, handle})};
+  }
+  MIX_CHECK_MSG(handle != kEmptyGroupHandle,
+                "empty-group binding has only the list variable");
+  MIX_CHECK_MSG(std::find(group_vars_.begin(), group_vars_.end(), var) !=
+                    group_vars_.end(),
+                "unknown variable requested from groupBy");
+  return input_->Attr(StateOf(handle).pg, var);
+}
+
+std::optional<NodeId> GroupByOp::Down(const NodeId& p) {
+  if (space_.Owns(p)) return space_.Down(p);
+  if (p.tag() == "gb_list") {
+    MIX_CHECK(p.IntAt(0) == instance_);
+    int64_t handle = p.IntAt(1);
+    if (handle == kEmptyGroupHandle) return std::nullopt;
+    const GroupState& state = StateOf(handle);
+    // First grouped value: the group leader's own v value.
+    return NodeId("gb_item", {instance_, handle, state.pg});
+  }
+  MIX_CHECK_MSG(p.tag() == "gb_item", "foreign value id passed to groupBy");
+  MIX_CHECK(p.IntAt(0) == instance_);
+  ValueRef value = input_->Attr(p.IdAt(2), grouped_var_);
+  std::optional<NodeId> child = value.nav->Down(value.id);
+  if (!child.has_value()) return std::nullopt;
+  return space_.Wrap(ValueRef{value.nav, *child});
+}
+
+std::optional<NodeId> GroupByOp::Right(const NodeId& p) {
+  if (space_.Owns(p)) return space_.Right(p);
+  if (p.tag() == "gb_list") {
+    // A synthesized list is a value root; it has no siblings of its own.
+    return std::nullopt;
+  }
+  MIX_CHECK_MSG(p.tag() == "gb_item", "foreign value id passed to groupBy");
+  MIX_CHECK(p.IntAt(0) == instance_);
+  int64_t handle = p.IntAt(1);
+  const GroupState& state = StateOf(handle);
+  std::optional<NodeId> next = NextInGroup(p.IdAt(2), state.pg);
+  if (!next.has_value()) return std::nullopt;
+  return NodeId("gb_item", {instance_, handle, *next});
+}
+
+Label GroupByOp::Fetch(const NodeId& p) {
+  if (space_.Owns(p)) return space_.Fetch(p);
+  if (p.tag() == "gb_list") return kListLabel;
+  MIX_CHECK_MSG(p.tag() == "gb_item", "foreign value id passed to groupBy");
+  MIX_CHECK(p.IntAt(0) == instance_);
+  ValueRef value = input_->Attr(p.IdAt(2), grouped_var_);
+  return value.nav->Fetch(value.id);
+}
+
+}  // namespace mix::algebra

@@ -1,0 +1,177 @@
+#include "algebra/join_op.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mix::algebra {
+
+namespace {
+bool Contains(const VarList& vars, const std::string& v) {
+  return std::find(vars.begin(), vars.end(), v) != vars.end();
+}
+
+/// Hash key under which CompareAtoms-equal atoms collide: numerics are
+/// canonicalized (so "2.5" and "2.50" index identically, matching the
+/// numeric-aware equality of the nested-loops path).
+std::string NormalizeAtomKey(const std::string& atom) {
+  if (atom.empty()) return atom;
+  char* end = nullptr;
+  double value = std::strtod(atom.c_str(), &end);
+  if (end != atom.c_str() + atom.size()) return atom;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "#num:%.17g", value);
+  return buf;
+}
+}  // namespace
+
+JoinOp::JoinOp(BindingStream* left, BindingStream* right,
+               BindingPredicate predicate, Options options)
+    : left_(left),
+      right_(right),
+      predicate_(std::move(predicate)),
+      options_(options) {
+  MIX_CHECK(left_ != nullptr && right_ != nullptr);
+  MIX_CHECK_MSG(predicate_.is_var_var(),
+                "join predicate must compare two variables");
+  schema_ = left_->schema();
+  for (const std::string& v : right_->schema()) {
+    MIX_CHECK_MSG(!Contains(schema_, v), "join input schemas must be disjoint");
+    schema_.push_back(v);
+  }
+  // Indexing needs the memoized inner cache.
+  if (options_.index_inner) options_.cache_inner = true;
+  left_has_left_var_ = Contains(left_->schema(), predicate_.left_var());
+  const std::string& lv =
+      left_has_left_var_ ? predicate_.left_var() : predicate_.right_var();
+  const std::string& rv =
+      left_has_left_var_ ? predicate_.right_var() : predicate_.left_var();
+  MIX_CHECK_MSG(Contains(left_->schema(), lv) && Contains(right_->schema(), rv),
+                "join predicate variables must come from both sides");
+}
+
+const JoinOp::InnerEntry* JoinOp::Inner(size_t i) {
+  const std::string& inner_var =
+      left_has_left_var_ ? predicate_.right_var() : predicate_.left_var();
+  if (!options_.cache_inner) {
+    // Ablation mode: no memoization — every access re-derives the inner
+    // binding and re-fetches its join attribute from the source. Accesses
+    // are overwhelmingly sequential (Scan iterates ri upward), so keep a
+    // one-entry position cursor; a backward jump restarts the stream, as a
+    // cache-less mediator would.
+    if (!scratch_valid_ || scratch_index_ > i) {
+      scratch_index_ = 0;
+      std::optional<NodeId> rb = right_->FirstBinding();
+      if (!rb.has_value()) return nullptr;
+      scratch_rb_ = *rb;
+      scratch_valid_ = true;
+    }
+    while (scratch_index_ < i) {
+      std::optional<NodeId> rb = right_->NextBinding(scratch_rb_);
+      if (!rb.has_value()) {
+        scratch_valid_ = false;
+        return nullptr;
+      }
+      scratch_rb_ = *rb;
+      ++scratch_index_;
+    }
+    scratch_ = InnerEntry{scratch_rb_,
+                          AtomOf(right_->Attr(scratch_rb_, inner_var))};
+    return &scratch_;
+  }
+  while (inner_cache_.size() <= i && !inner_exhausted_) {
+    std::optional<NodeId> rb =
+        inner_cache_.empty()
+            ? right_->FirstBinding()
+            : right_->NextBinding(inner_cache_.back().rb);
+    if (!rb.has_value()) {
+      inner_exhausted_ = true;
+      break;
+    }
+    inner_cache_.push_back({*rb, AtomOf(right_->Attr(*rb, inner_var))});
+  }
+  if (i >= inner_cache_.size()) return nullptr;
+  return &inner_cache_[i];
+}
+
+void JoinOp::EnsureIndex() {
+  if (index_built_) return;
+  index_built_ = true;
+  // Eager step: drain the inner stream completely...
+  for (size_t i = 0; Inner(i) != nullptr; ++i) {
+  }
+  // ...and index it by atom. Positions are appended in ascending order.
+  for (size_t i = 0; i < inner_cache_.size(); ++i) {
+    inner_index_[NormalizeAtomKey(inner_cache_[i].atom)].push_back(i);
+  }
+}
+
+std::optional<size_t> JoinOp::IndexProbe(const std::string& atom,
+                                         size_t from) const {
+  auto it = inner_index_.find(NormalizeAtomKey(atom));
+  if (it == inner_index_.end()) return std::nullopt;
+  const std::vector<size_t>& positions = it->second;
+  auto pos = std::lower_bound(positions.begin(), positions.end(), from);
+  if (pos == positions.end()) return std::nullopt;
+  return *pos;
+}
+
+std::optional<NodeId> JoinOp::Scan(std::optional<NodeId> lb, size_t ri) {
+  const std::string& outer_var =
+      left_has_left_var_ ? predicate_.left_var() : predicate_.right_var();
+
+  // Hash-indexed probing (equality predicates only).
+  if (options_.index_inner && predicate_.op() == CompareOp::kEq) {
+    EnsureIndex();
+    while (lb.has_value()) {
+      std::string left_atom = AtomOf(left_->Attr(*lb, outer_var));
+      std::optional<size_t> hit = IndexProbe(left_atom, ri);
+      if (hit.has_value()) {
+        return NodeId("jn_b", {instance_, *lb, static_cast<int64_t>(*hit)});
+      }
+      lb = left_->NextBinding(*lb);
+      ri = 0;
+    }
+    return std::nullopt;
+  }
+
+  while (lb.has_value()) {
+    std::string left_atom = AtomOf(left_->Attr(*lb, outer_var));
+    for (const InnerEntry* entry = Inner(ri); entry != nullptr;
+         entry = Inner(++ri)) {
+      // Predicate orientation: left_var op right_var.
+      int cmp = left_has_left_var_ ? CompareAtoms(left_atom, entry->atom)
+                                   : CompareAtoms(entry->atom, left_atom);
+      if (ApplyCompare(predicate_.op(), cmp)) {
+        return NodeId("jn_b",
+                      {instance_, *lb, static_cast<int64_t>(ri)});
+      }
+    }
+    lb = left_->NextBinding(*lb);
+    ri = 0;
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeId> JoinOp::FirstBinding() {
+  return Scan(left_->FirstBinding(), 0);
+}
+
+std::optional<NodeId> JoinOp::NextBinding(const NodeId& b) {
+  CheckOwn(b, "jn_b");
+  NodeId lb = b.IdAt(1);
+  size_t ri = static_cast<size_t>(b.IntAt(2));
+  return Scan(lb, ri + 1);
+}
+
+ValueRef JoinOp::Attr(const NodeId& b, const std::string& var) {
+  CheckOwn(b, "jn_b");
+  if (Contains(left_->schema(), var)) {
+    return left_->Attr(b.IdAt(1), var);
+  }
+  const InnerEntry* entry = Inner(static_cast<size_t>(b.IntAt(2)));
+  MIX_CHECK_MSG(entry != nullptr, "stale inner index in join binding id");
+  return right_->Attr(entry->rb, var);
+}
+
+}  // namespace mix::algebra

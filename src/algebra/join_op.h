@@ -1,0 +1,88 @@
+// ⋈_pred: nested-loops join of two binding streams (paper Section 3).
+//
+// Output bindings carry the union of both schemas; ids are
+// jn_b(instance, lb, rb) — the association a(p) is the *pair* of input
+// pointers, directly encoded Skolem-style.
+//
+// Per the paper's caching note ("the nested-loops join operator stores the
+// parts of the inner argument of the loop ... the 'binding' nodes along
+// with the attributes that participate in the join condition"), the
+// operator memoizes the inner stream: binding ids plus the join-attribute
+// atom, so re-iterations of the inner loop do not re-navigate the source.
+// Result attributes are NOT cached (footnote 9: low join selectivity makes
+// them relatively infrequent).
+#ifndef MIX_ALGEBRA_JOIN_OP_H_
+#define MIX_ALGEBRA_JOIN_OP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/operator_base.h"
+
+namespace mix::algebra {
+
+class JoinOp : public OperatorBase {
+ public:
+  struct Options {
+    /// Memoize inner bindings + join atoms (the paper's caching). Turning
+    /// it off re-scans the inner stream — useful for ablation benches.
+    bool cache_inner = true;
+    /// "Intermediate eager step" (paper Section 6): on first use, drain
+    /// the inner stream completely and hash-index it by join atom. Makes
+    /// every subsequent inner probe O(1) at the price of one eager inner
+    /// evaluation up front. Only effective for equality predicates;
+    /// implies cache_inner.
+    bool index_inner = false;
+  };
+
+  /// Inputs are not owned; their schemas must be disjoint. The predicate
+  /// must be var-var with left_var from `left` and right_var from `right`.
+  JoinOp(BindingStream* left, BindingStream* right, BindingPredicate predicate,
+         Options options);
+  JoinOp(BindingStream* left, BindingStream* right, BindingPredicate predicate)
+      : JoinOp(left, right, std::move(predicate), Options()) {}
+
+  const VarList& schema() const override { return schema_; }
+  std::optional<NodeId> FirstBinding() override;
+  std::optional<NodeId> NextBinding(const NodeId& b) override;
+  ValueRef Attr(const NodeId& b, const std::string& var) override;
+
+ private:
+  struct InnerEntry {
+    NodeId rb;
+    std::string atom;
+  };
+
+  /// Inner binding at cache position `i`, extending the cache on demand;
+  /// nullptr when the inner stream is exhausted.
+  const InnerEntry* Inner(size_t i);
+  /// First match at or after (lb, inner index ri).
+  std::optional<NodeId> Scan(std::optional<NodeId> lb, size_t ri);
+  /// Eagerly drains + indexes the inner cache (Options::index_inner).
+  void EnsureIndex();
+  /// Smallest indexed inner position >= `from` whose atom equals `atom`.
+  std::optional<size_t> IndexProbe(const std::string& atom, size_t from) const;
+
+  BindingStream* left_;
+  BindingStream* right_;
+  BindingPredicate predicate_;
+  Options options_;
+  VarList schema_;
+  bool left_has_left_var_ = true;
+
+  std::vector<InnerEntry> inner_cache_;
+  bool inner_exhausted_ = false;
+  /// index_inner: join atom -> ascending inner cache positions.
+  std::unordered_map<std::string, std::vector<size_t>> inner_index_;
+  bool index_built_ = false;
+  /// Position cursor + result slot for the cache-disabled ablation path.
+  InnerEntry scratch_;
+  NodeId scratch_rb_;
+  size_t scratch_index_ = 0;
+  bool scratch_valid_ = false;
+};
+
+}  // namespace mix::algebra
+
+#endif  // MIX_ALGEBRA_JOIN_OP_H_

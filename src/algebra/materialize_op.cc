@@ -1,0 +1,40 @@
+#include "algebra/materialize_op.h"
+
+namespace mix::algebra {
+
+MaterializeOp::MaterializeOp(BindingStream* input) : input_(input) {
+  MIX_CHECK(input_ != nullptr);
+}
+
+void MaterializeOp::Ensure() {
+  if (materialized_) return;
+  materialized_ = true;
+  for (std::optional<NodeId> ib = input_->FirstBinding(); ib.has_value();
+       ib = input_->NextBinding(*ib)) {
+    bindings_.push_back(*ib);
+  }
+}
+
+std::optional<NodeId> MaterializeOp::FirstBinding() {
+  Ensure();
+  if (bindings_.empty()) return std::nullopt;
+  return NodeId("mz_b", {instance_, int64_t{0}});
+}
+
+std::optional<NodeId> MaterializeOp::NextBinding(const NodeId& b) {
+  CheckOwn(b, "mz_b");
+  Ensure();
+  int64_t next = b.IntAt(1) + 1;
+  if (next >= static_cast<int64_t>(bindings_.size())) return std::nullopt;
+  return NodeId("mz_b", {instance_, next});
+}
+
+ValueRef MaterializeOp::Attr(const NodeId& b, const std::string& var) {
+  CheckOwn(b, "mz_b");
+  Ensure();
+  int64_t i = b.IntAt(1);
+  MIX_CHECK(i >= 0 && i < static_cast<int64_t>(bindings_.size()));
+  return input_->Attr(bindings_[static_cast<size_t>(i)], var);
+}
+
+}  // namespace mix::algebra

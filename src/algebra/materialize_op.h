@@ -1,0 +1,48 @@
+// materialize: an intermediate eager step (paper Section 6).
+//
+// The paper's optimization outlook: "The resulting strategy will be a
+// combination of lazy demand-driven evaluation and intermediate eager
+// steps." This operator is that building block: on first access it drains
+// its input binding stream completely and replays the memoized bindings.
+// Semantically the identity; navigationally it converts an input whose
+// NextBinding cost is unbounded (e.g. the output of a selective join) into
+// a bounded-browsable stream — at the price of one eager evaluation.
+//
+// Values still pass through by reference: only binding *ids* are
+// memoized, not subtree contents, so the eager step does not copy data.
+#ifndef MIX_ALGEBRA_MATERIALIZE_OP_H_
+#define MIX_ALGEBRA_MATERIALIZE_OP_H_
+
+#include <vector>
+
+#include "algebra/operator_base.h"
+
+namespace mix::algebra {
+
+class MaterializeOp : public OperatorBase {
+ public:
+  /// `input` is not owned and must outlive the operator.
+  explicit MaterializeOp(BindingStream* input);
+
+  const VarList& schema() const override { return input_->schema(); }
+  std::optional<NodeId> FirstBinding() override;
+  std::optional<NodeId> NextBinding(const NodeId& b) override;
+  ValueRef Attr(const NodeId& b, const std::string& var) override;
+
+  /// Whether the eager drain has run (observability for tests/benches).
+  bool materialized() const { return materialized_; }
+  int64_t binding_count() const {
+    return static_cast<int64_t>(bindings_.size());
+  }
+
+ private:
+  void Ensure();
+
+  BindingStream* input_;
+  bool materialized_ = false;
+  std::vector<NodeId> bindings_;
+};
+
+}  // namespace mix::algebra
+
+#endif  // MIX_ALGEBRA_MATERIALIZE_OP_H_

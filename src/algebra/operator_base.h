@@ -1,0 +1,49 @@
+// Base classes for algebra operators implemented as lazy mediators.
+#ifndef MIX_ALGEBRA_OPERATOR_BASE_H_
+#define MIX_ALGEBRA_OPERATOR_BASE_H_
+
+#include "algebra/binding_stream.h"
+#include "algebra/value_space.h"
+#include "core/check.h"
+
+namespace mix::algebra {
+
+/// Common state: a process-unique instance id stamped into every node-id
+/// the operator mints, so that decoding a foreign id fails fast.
+class OperatorBase : public BindingStream {
+ public:
+  OperatorBase() : instance_(NextOperatorInstance()) {}
+
+  int64_t instance() const { return instance_; }
+
+ protected:
+  /// Verifies that `b` is a binding id minted by this operator with the
+  /// expected tag.
+  void CheckOwn(const NodeId& b, const char* tag) const {
+    MIX_CHECK_MSG(b.valid() && b.tag() == tag && b.IntAt(0) == instance_,
+                  "navigation from a foreign binding id");
+  }
+
+  int64_t instance_;
+};
+
+/// Base for operators that synthesize value nodes and therefore must serve
+/// value navigation themselves (createElement, concatenate, groupBy).
+/// Root() is meaningless on an operator's value space and aborts.
+class ConstructingOperatorBase : public OperatorBase, public Navigable {
+ public:
+  ConstructingOperatorBase() : space_(instance_) {}
+
+  NodeId Root() override {
+    MIX_CHECK_MSG(false, "operators expose no document root; use Attr()");
+    return NodeId();
+  }
+
+ protected:
+  /// Pass-through value forwarding (the <id,p> rows of Figs. 9/10).
+  ValueSpace space_;
+};
+
+}  // namespace mix::algebra
+
+#endif  // MIX_ALGEBRA_OPERATOR_BASE_H_

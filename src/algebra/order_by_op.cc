@@ -1,0 +1,91 @@
+#include "algebra/order_by_op.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mix::algebra {
+
+OrderByOp::OrderByOp(BindingStream* input, VarList sort_vars, Mode mode)
+    : input_(input), sort_vars_(std::move(sort_vars)), mode_(mode) {
+  MIX_CHECK(input_ != nullptr);
+  const VarList& in = input_->schema();
+  for (const std::string& v : sort_vars_) {
+    MIX_CHECK_MSG(std::find(in.begin(), in.end(), v) != in.end(),
+                  "orderBy variable not bound by input");
+  }
+}
+
+void OrderByOp::Ensure() {
+  if (materialized_) return;
+  materialized_ = true;
+
+  struct Entry {
+    NodeId ib;
+    std::vector<std::string> atom_key;  // kByValue
+    int64_t occurrence_key = 0;         // kByOccurrence
+  };
+  // For kByOccurrence: first-seen rank of a sort-variable value tuple,
+  // keyed by node identity (footnote 7's preserved identities).
+  std::unordered_map<NodeId, int64_t, NodeIdHash> first_seen;
+  std::vector<Entry> entries;
+  for (std::optional<NodeId> ib = input_->FirstBinding(); ib.has_value();
+       ib = input_->NextBinding(*ib)) {
+    Entry e;
+    e.ib = *ib;
+    if (mode_ == Mode::kByValue) {
+      for (const std::string& v : sort_vars_) {
+        e.atom_key.push_back(AtomOf(input_->Attr(*ib, v)));
+      }
+    } else {
+      // Rank = first occurrence of the (composite) value identity.
+      NodeId composite("obk", [&] {
+        std::vector<NodeIdComponent> parts;
+        for (const std::string& v : sort_vars_) {
+          parts.push_back(input_->Attr(*ib, v).id);
+        }
+        return parts;
+      }());
+      auto [it, inserted] = first_seen.try_emplace(
+          composite, static_cast<int64_t>(first_seen.size()));
+      e.occurrence_key = it->second;
+    }
+    entries.push_back(std::move(e));
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [&](const Entry& a, const Entry& b) {
+                     if (mode_ == Mode::kByOccurrence) {
+                       return a.occurrence_key < b.occurrence_key;
+                     }
+                     for (size_t i = 0; i < a.atom_key.size(); ++i) {
+                       int cmp = CompareAtoms(a.atom_key[i], b.atom_key[i]);
+                       if (cmp != 0) return cmp < 0;
+                     }
+                     return false;
+                   });
+  sorted_.reserve(entries.size());
+  for (Entry& e : entries) sorted_.push_back(std::move(e.ib));
+}
+
+std::optional<NodeId> OrderByOp::FirstBinding() {
+  Ensure();
+  if (sorted_.empty()) return std::nullopt;
+  return NodeId("ob_b", {instance_, int64_t{0}});
+}
+
+std::optional<NodeId> OrderByOp::NextBinding(const NodeId& b) {
+  CheckOwn(b, "ob_b");
+  Ensure();
+  int64_t next = b.IntAt(1) + 1;
+  if (next >= static_cast<int64_t>(sorted_.size())) return std::nullopt;
+  return NodeId("ob_b", {instance_, next});
+}
+
+ValueRef OrderByOp::Attr(const NodeId& b, const std::string& var) {
+  CheckOwn(b, "ob_b");
+  Ensure();
+  int64_t i = b.IntAt(1);
+  MIX_CHECK(i >= 0 && i < static_cast<int64_t>(sorted_.size()));
+  return input_->Attr(sorted_[static_cast<size_t>(i)], var);
+}
+
+}  // namespace mix::algebra

@@ -1,0 +1,54 @@
+// orderBy_{x1..xk} (paper Section 3).
+//
+// Two ordering modes:
+//   * kByValue — reorders the bindings by the (atomic) values of the sort
+//     variables; this is Example 1's "reorder ... according to some
+//     arithmetic attribute such as age";
+//   * kByOccurrence — the paper's literal definition: "reorders the
+//     bindings in the output according to the occurrence of bindings
+//     bin.x1...xk in the input" — bindings cluster by the first occurrence
+//     of their sort-variable values (node identity), in input order.
+//
+// Either way this is the canonical *unbrowsable* operator: the mediator
+// "cannot respond to the user until it has seen the complete list" — the
+// first navigation into the output drains the input entirely.
+#ifndef MIX_ALGEBRA_ORDER_BY_OP_H_
+#define MIX_ALGEBRA_ORDER_BY_OP_H_
+
+#include <vector>
+
+#include "algebra/operator_base.h"
+
+namespace mix::algebra {
+
+class OrderByOp : public OperatorBase {
+ public:
+  enum class Mode {
+    kByValue,       ///< numeric-aware atom ordering, stable
+    kByOccurrence,  ///< first-occurrence clustering (paper's definition)
+  };
+
+  /// `input` is not owned and must outlive the operator.
+  OrderByOp(BindingStream* input, VarList sort_vars, Mode mode);
+  OrderByOp(BindingStream* input, VarList sort_vars)
+      : OrderByOp(input, std::move(sort_vars), Mode::kByValue) {}
+
+  const VarList& schema() const override { return input_->schema(); }
+  std::optional<NodeId> FirstBinding() override;
+  std::optional<NodeId> NextBinding(const NodeId& b) override;
+  ValueRef Attr(const NodeId& b, const std::string& var) override;
+
+ private:
+  /// Drains and sorts the input (idempotent).
+  void Ensure();
+
+  BindingStream* input_;
+  VarList sort_vars_;
+  Mode mode_;
+  bool materialized_ = false;
+  std::vector<NodeId> sorted_;
+};
+
+}  // namespace mix::algebra
+
+#endif  // MIX_ALGEBRA_ORDER_BY_OP_H_

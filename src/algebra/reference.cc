@@ -1,0 +1,336 @@
+#include "algebra/reference.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "core/check.h"
+
+namespace mix::algebra::reference {
+
+size_t Table::IndexOf(const std::string& var) const {
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i] == var) return i;
+  }
+  MIX_CHECK_MSG(false, ("variable not in table schema: " + var).c_str());
+  return 0;
+}
+
+std::string AtomOfNode(const xml::Node* n) {
+  MIX_CHECK(n != nullptr);
+  if (n->is_leaf()) return n->label;
+  return xml::ToTerm(n);
+}
+
+xml::Node* CopyInto(xml::Document* doc, const xml::Node* n) {
+  if (n->is_leaf()) {
+    return n->kind == xml::NodeKind::kText ? doc->NewText(n->label)
+                                           : doc->NewElement(n->label);
+  }
+  xml::Node* e = doc->NewElement(n->label);
+  for (const xml::Node* c : n->children) {
+    doc->AppendChild(e, CopyInto(doc, c));
+  }
+  return e;
+}
+
+Evaluator::Evaluator(xml::Document* scratch) : scratch_(scratch) {
+  MIX_CHECK(scratch_ != nullptr);
+}
+
+Table Evaluator::Source(const xml::Node* root, const std::string& var) const {
+  Table t;
+  t.schema.push_back(var);
+  t.rows.push_back({root});
+  return t;
+}
+
+namespace {
+
+void CollectMatches(const xml::Node* n, const pathexpr::Nfa& nfa,
+                    const pathexpr::Nfa::StateSet& parent_states,
+                    std::vector<const xml::Node*>* out) {
+  for (const xml::Node* child : n->children) {
+    pathexpr::Nfa::StateSet states = nfa.Advance(parent_states, child->label);
+    if (pathexpr::Nfa::Empty(states)) continue;
+    if (nfa.AnyAccepting(states)) out->push_back(child);
+    CollectMatches(child, nfa, states, out);
+  }
+}
+
+}  // namespace
+
+Table Evaluator::GetDescendants(const Table& in, const std::string& parent_var,
+                                const pathexpr::PathExpr& path,
+                                const std::string& out_var) const {
+  size_t anchor = in.IndexOf(parent_var);
+  Table out;
+  out.schema = in.schema;
+  out.schema.push_back(out_var);
+  for (const auto& row : in.rows) {
+    std::vector<const xml::Node*> matches;
+    CollectMatches(row[anchor], path.nfa(), path.nfa().StartSet(), &matches);
+    for (const xml::Node* m : matches) {
+      auto extended = row;
+      extended.push_back(m);
+      out.rows.push_back(std::move(extended));
+    }
+  }
+  return out;
+}
+
+bool Evaluator::EvalPredicateRow(const Table& table,
+                                 const std::vector<const xml::Node*>& row,
+                                 const BindingPredicate& pred) const {
+  std::string left = AtomOfNode(row[table.IndexOf(pred.left_var())]);
+  std::string right = pred.is_var_var()
+                          ? AtomOfNode(row[table.IndexOf(pred.right_var())])
+                          : pred.constant();
+  return ApplyCompare(pred.op(), CompareAtoms(left, right));
+}
+
+Table Evaluator::Select(const Table& in, const BindingPredicate& pred) const {
+  Table out;
+  out.schema = in.schema;
+  for (const auto& row : in.rows) {
+    if (EvalPredicateRow(in, row, pred)) out.rows.push_back(row);
+  }
+  return out;
+}
+
+Table Evaluator::Join(const Table& left, const Table& right,
+                      const BindingPredicate& pred) const {
+  Table out;
+  out.schema = left.schema;
+  for (const std::string& v : right.schema) out.schema.push_back(v);
+
+  // Orient the predicate.
+  bool left_has =
+      std::find(left.schema.begin(), left.schema.end(), pred.left_var()) !=
+      left.schema.end();
+  size_t li = left.IndexOf(left_has ? pred.left_var() : pred.right_var());
+  size_t ri = right.IndexOf(left_has ? pred.right_var() : pred.left_var());
+
+  for (const auto& lrow : left.rows) {
+    for (const auto& rrow : right.rows) {
+      int cmp = left_has
+                    ? CompareAtoms(AtomOfNode(lrow[li]), AtomOfNode(rrow[ri]))
+                    : CompareAtoms(AtomOfNode(rrow[ri]), AtomOfNode(lrow[li]));
+      if (!ApplyCompare(pred.op(), cmp)) continue;
+      auto row = lrow;
+      row.insert(row.end(), rrow.begin(), rrow.end());
+      out.rows.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+Table Evaluator::GroupBy(const Table& in, const VarList& group_vars,
+                         const std::string& grouped_var,
+                         const std::string& out_var) const {
+  std::vector<size_t> gidx;
+  gidx.reserve(group_vars.size());
+  for (const std::string& v : group_vars) gidx.push_back(in.IndexOf(v));
+  size_t vidx = in.IndexOf(grouped_var);
+
+  using Key = std::vector<const xml::Node*>;
+  std::vector<Key> order;
+  std::map<Key, std::vector<const xml::Node*>> groups;
+  for (const auto& row : in.rows) {
+    Key key;
+    key.reserve(gidx.size());
+    for (size_t i : gidx) key.push_back(row[i]);
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) order.push_back(key);
+    it->second.push_back(row[vidx]);
+  }
+
+  Table out;
+  out.schema = group_vars;
+  out.schema.push_back(out_var);
+  if (in.rows.empty() && group_vars.empty()) {
+    // groupBy{} over an empty input: one group with an empty list.
+    out.rows.push_back({scratch_->NewElement(kListLabel)});
+    return out;
+  }
+  for (const Key& key : order) {
+    xml::Node* list = scratch_->NewElement(kListLabel);
+    for (const xml::Node* member : groups[key]) {
+      scratch_->AppendChild(list, CopyInto(scratch_, member));
+    }
+    std::vector<const xml::Node*> row(key.begin(), key.end());
+    row.push_back(list);
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<const xml::Node*> Evaluator::ItemsOf(const xml::Node* value) const {
+  if (!value->is_leaf() && value->label == kListLabel) {
+    return {value->children.begin(), value->children.end()};
+  }
+  // An empty element labeled "list" is also an (empty) list.
+  if (value->kind == xml::NodeKind::kElement && value->label == kListLabel) {
+    return {};
+  }
+  return {value};
+}
+
+Table Evaluator::Concatenate(const Table& in, const std::string& x_var,
+                             const std::string& y_var,
+                             const std::string& z_var) const {
+  size_t xi = in.IndexOf(x_var);
+  size_t yi = in.IndexOf(y_var);
+  Table out;
+  out.schema = in.schema;
+  out.schema.push_back(z_var);
+  for (const auto& row : in.rows) {
+    xml::Node* list = scratch_->NewElement(kListLabel);
+    for (const xml::Node* item : ItemsOf(row[xi])) {
+      scratch_->AppendChild(list, CopyInto(scratch_, item));
+    }
+    for (const xml::Node* item : ItemsOf(row[yi])) {
+      scratch_->AppendChild(list, CopyInto(scratch_, item));
+    }
+    auto extended = row;
+    extended.push_back(list);
+    out.rows.push_back(std::move(extended));
+  }
+  return out;
+}
+
+Table Evaluator::CreateElement(const Table& in, bool label_is_constant,
+                               const std::string& label,
+                               const std::string& ch_var,
+                               const std::string& out_var) const {
+  size_t ci = in.IndexOf(ch_var);
+  Table out;
+  out.schema = in.schema;
+  out.schema.push_back(out_var);
+  for (const auto& row : in.rows) {
+    std::string l =
+        label_is_constant ? label : AtomOfNode(row[in.IndexOf(label)]);
+    xml::Node* e = scratch_->NewElement(std::move(l));
+    for (const xml::Node* child : row[ci]->children) {
+      scratch_->AppendChild(e, CopyInto(scratch_, child));
+    }
+    auto extended = row;
+    extended.push_back(e);
+    out.rows.push_back(std::move(extended));
+  }
+  return out;
+}
+
+Table Evaluator::OrderBy(const Table& in, const VarList& sort_vars) const {
+  std::vector<size_t> sidx;
+  sidx.reserve(sort_vars.size());
+  for (const std::string& v : sort_vars) sidx.push_back(in.IndexOf(v));
+  Table out = in;
+  std::stable_sort(out.rows.begin(), out.rows.end(),
+                   [&](const auto& a, const auto& b) {
+                     for (size_t i : sidx) {
+                       int cmp =
+                           CompareAtoms(AtomOfNode(a[i]), AtomOfNode(b[i]));
+                       if (cmp != 0) return cmp < 0;
+                     }
+                     return false;
+                   });
+  return out;
+}
+
+Table Evaluator::OrderByOccurrence(const Table& in,
+                                   const VarList& sort_vars) const {
+  std::vector<size_t> sidx;
+  sidx.reserve(sort_vars.size());
+  for (const std::string& v : sort_vars) sidx.push_back(in.IndexOf(v));
+
+  std::map<std::vector<const xml::Node*>, size_t> first_seen;
+  std::vector<std::pair<size_t, std::vector<const xml::Node*>>> keyed;
+  for (const auto& row : in.rows) {
+    std::vector<const xml::Node*> key;
+    key.reserve(sidx.size());
+    for (size_t i : sidx) key.push_back(row[i]);
+    auto [it, inserted] = first_seen.try_emplace(key, first_seen.size());
+    keyed.emplace_back(it->second, row);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  Table out;
+  out.schema = in.schema;
+  for (auto& [rank, row] : keyed) out.rows.push_back(std::move(row));
+  return out;
+}
+
+Table Evaluator::Union(const Table& left, const Table& right) const {
+  MIX_CHECK_MSG(left.schema == right.schema,
+                "union inputs must have identical schemas");
+  Table out = left;
+  out.rows.insert(out.rows.end(), right.rows.begin(), right.rows.end());
+  return out;
+}
+
+namespace {
+std::string RowKey(const std::vector<const xml::Node*>& row) {
+  std::string key;
+  for (const xml::Node* n : row) {
+    key += xml::ToTerm(n);
+    key += '\x1f';
+  }
+  return key;
+}
+}  // namespace
+
+Table Evaluator::Difference(const Table& left, const Table& right) const {
+  MIX_CHECK_MSG(left.schema == right.schema,
+                "difference inputs must have identical schemas");
+  std::unordered_set<std::string> right_keys;
+  for (const auto& row : right.rows) right_keys.insert(RowKey(row));
+  Table out;
+  out.schema = left.schema;
+  for (const auto& row : left.rows) {
+    if (right_keys.count(RowKey(row)) == 0) out.rows.push_back(row);
+  }
+  return out;
+}
+
+Table Evaluator::Distinct(const Table& in) const {
+  std::unordered_set<std::string> seen;
+  Table out;
+  out.schema = in.schema;
+  for (const auto& row : in.rows) {
+    if (seen.insert(RowKey(row)).second) out.rows.push_back(row);
+  }
+  return out;
+}
+
+Table Evaluator::Project(const Table& in, const VarList& vars) const {
+  std::vector<size_t> idx;
+  idx.reserve(vars.size());
+  for (const std::string& v : vars) idx.push_back(in.IndexOf(v));
+  Table out;
+  out.schema = vars;
+  for (const auto& row : in.rows) {
+    std::vector<const xml::Node*> projected;
+    projected.reserve(idx.size());
+    for (size_t i : idx) projected.push_back(row[i]);
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+const xml::Node* Evaluator::TupleDestroy(const Table& in,
+                                         const std::string& var) const {
+  MIX_CHECK_MSG(in.rows.size() == 1,
+                "tupleDestroy requires a singleton binding list");
+  size_t idx = 0;
+  if (var.empty()) {
+    MIX_CHECK_MSG(in.schema.size() == 1, "tupleDestroy needs a unary schema");
+  } else {
+    idx = in.IndexOf(var);
+  }
+  return in.rows[0][idx];
+}
+
+}  // namespace mix::algebra::reference

@@ -1,0 +1,85 @@
+// Eager reference evaluator — the differential-testing oracle.
+//
+// Implements the denotational semantics of every XMAS algebra operator
+// directly on materialized trees and in-memory binding tables, with *no*
+// shared machinery with the lazy mediators (beyond the path-expression
+// NFA). Property tests check that materializing a lazy plan's virtual
+// answer yields a tree equal to the reference evaluation, for random
+// documents and plans.
+//
+// It also serves as the "current mediator systems" baseline of Section 1
+// (compute the full result up front) in the lazy-vs-eager benchmarks.
+#ifndef MIX_ALGEBRA_REFERENCE_H_
+#define MIX_ALGEBRA_REFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/binding_stream.h"
+#include "pathexpr/path_expr.h"
+#include "xml/tree.h"
+
+namespace mix::algebra::reference {
+
+/// A fully materialized binding list.
+struct Table {
+  VarList schema;
+  std::vector<std::vector<const xml::Node*>> rows;
+
+  /// Column index of `var`; MIX_CHECKs presence.
+  size_t IndexOf(const std::string& var) const;
+};
+
+/// Atomic rendering of a node (leaf label, else full term) — must agree
+/// with algebra::AtomOf on equal trees.
+std::string AtomOfNode(const xml::Node* n);
+
+/// Deep copy into `doc` (detached).
+xml::Node* CopyInto(xml::Document* doc, const xml::Node* n);
+
+/// Eager operator semantics. Constructed nodes are allocated in `scratch`,
+/// which must outlive every returned Table/node.
+class Evaluator {
+ public:
+  explicit Evaluator(xml::Document* scratch);
+
+  Table Source(const xml::Node* root, const std::string& var) const;
+  Table GetDescendants(const Table& in, const std::string& parent_var,
+                       const pathexpr::PathExpr& path,
+                       const std::string& out_var) const;
+  Table Select(const Table& in, const BindingPredicate& pred) const;
+  Table Join(const Table& left, const Table& right,
+             const BindingPredicate& pred) const;
+  Table GroupBy(const Table& in, const VarList& group_vars,
+                const std::string& grouped_var,
+                const std::string& out_var) const;
+  Table Concatenate(const Table& in, const std::string& x_var,
+                    const std::string& y_var, const std::string& z_var) const;
+  Table CreateElement(const Table& in, bool label_is_constant,
+                      const std::string& label, const std::string& ch_var,
+                      const std::string& out_var) const;
+  Table OrderBy(const Table& in, const VarList& sort_vars) const;
+  /// Occurrence-mode orderBy: cluster rows by the first occurrence of
+  /// their sort-variable node identities, preserving input order within
+  /// clusters.
+  Table OrderByOccurrence(const Table& in, const VarList& sort_vars) const;
+  Table Union(const Table& left, const Table& right) const;
+  Table Difference(const Table& left, const Table& right) const;
+  Table Distinct(const Table& in) const;
+  Table Project(const Table& in, const VarList& vars) const;
+  const xml::Node* TupleDestroy(const Table& in,
+                                const std::string& var = "") const;
+
+ private:
+  bool EvalPredicateRow(const Table& table,
+                        const std::vector<const xml::Node*>& row,
+                        const BindingPredicate& pred) const;
+  /// The list items a concatenate side contributes (paper's four cases).
+  std::vector<const xml::Node*> ItemsOf(const xml::Node* value) const;
+
+  xml::Document* scratch_;
+};
+
+}  // namespace mix::algebra::reference
+
+#endif  // MIX_ALGEBRA_REFERENCE_H_

@@ -1,0 +1,37 @@
+#include "algebra/select_op.h"
+
+namespace mix::algebra {
+
+SelectOp::SelectOp(BindingStream* input, BindingPredicate predicate)
+    : input_(input), predicate_(std::move(predicate)) {
+  MIX_CHECK(input_ != nullptr);
+}
+
+NodeId SelectOp::Unwrap(const NodeId& b) const {
+  CheckOwn(b, "sel_b");
+  return b.IdAt(1);
+}
+
+std::optional<NodeId> SelectOp::Scan(std::optional<NodeId> ib) {
+  while (ib.has_value()) {
+    if (predicate_.Eval(input_, *ib)) {
+      return NodeId("sel_b", {instance_, *ib});
+    }
+    ib = input_->NextBinding(*ib);
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeId> SelectOp::FirstBinding() {
+  return Scan(input_->FirstBinding());
+}
+
+std::optional<NodeId> SelectOp::NextBinding(const NodeId& b) {
+  return Scan(input_->NextBinding(Unwrap(b)));
+}
+
+ValueRef SelectOp::Attr(const NodeId& b, const std::string& var) {
+  return input_->Attr(Unwrap(b), var);
+}
+
+}  // namespace mix::algebra

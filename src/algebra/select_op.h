@@ -1,0 +1,38 @@
+// select_pred (σ on binding lists): filters bindings by a comparison
+// predicate. This is the paper's conventional relational selection operating
+// on lists of bindings (Section 3).
+//
+// Lazy-mediator behavior: each First/NextBinding scans the input until the
+// predicate holds — the canonical *(unbounded) browsable* operator of
+// Example 1: a prefix of the answer may be computable from a prefix of the
+// input, but no bound on the scan length exists.
+#ifndef MIX_ALGEBRA_SELECT_OP_H_
+#define MIX_ALGEBRA_SELECT_OP_H_
+
+#include "algebra/operator_base.h"
+
+namespace mix::algebra {
+
+class SelectOp : public OperatorBase {
+ public:
+  /// `input` is not owned and must outlive the operator.
+  SelectOp(BindingStream* input, BindingPredicate predicate);
+
+  const VarList& schema() const override { return input_->schema(); }
+  std::optional<NodeId> FirstBinding() override;
+  std::optional<NodeId> NextBinding(const NodeId& b) override;
+  ValueRef Attr(const NodeId& b, const std::string& var) override;
+
+  const BindingPredicate& predicate() const { return predicate_; }
+
+ private:
+  std::optional<NodeId> Scan(std::optional<NodeId> ib);
+  NodeId Unwrap(const NodeId& b) const;
+
+  BindingStream* input_;
+  BindingPredicate predicate_;
+};
+
+}  // namespace mix::algebra
+
+#endif  // MIX_ALGEBRA_SELECT_OP_H_

@@ -1,0 +1,194 @@
+#include "algebra/set_ops.h"
+
+#include <algorithm>
+
+namespace mix::algebra {
+
+// ---------------------------------------------------------------------------
+// UnionOp
+// ---------------------------------------------------------------------------
+
+UnionOp::UnionOp(BindingStream* left, BindingStream* right)
+    : left_(left), right_(right) {
+  MIX_CHECK(left_ != nullptr && right_ != nullptr);
+  MIX_CHECK_MSG(left_->schema() == right_->schema(),
+                "union inputs must have identical schemas");
+}
+
+BindingStream* UnionOp::SideOf(int64_t side) const {
+  return side == 0 ? left_ : right_;
+}
+
+std::optional<NodeId> UnionOp::FirstBinding() {
+  std::optional<NodeId> lb = left_->FirstBinding();
+  if (lb.has_value()) return NodeId("un_b", {instance_, int64_t{0}, *lb});
+  std::optional<NodeId> rb = right_->FirstBinding();
+  if (rb.has_value()) return NodeId("un_b", {instance_, int64_t{1}, *rb});
+  return std::nullopt;
+}
+
+std::optional<NodeId> UnionOp::NextBinding(const NodeId& b) {
+  CheckOwn(b, "un_b");
+  int64_t side = b.IntAt(1);
+  std::optional<NodeId> next = SideOf(side)->NextBinding(b.IdAt(2));
+  if (next.has_value()) return NodeId("un_b", {instance_, side, *next});
+  if (side == 0) {
+    std::optional<NodeId> rb = right_->FirstBinding();
+    if (rb.has_value()) return NodeId("un_b", {instance_, int64_t{1}, *rb});
+  }
+  return std::nullopt;
+}
+
+ValueRef UnionOp::Attr(const NodeId& b, const std::string& var) {
+  CheckOwn(b, "un_b");
+  return SideOf(b.IntAt(1))->Attr(b.IdAt(2), var);
+}
+
+// ---------------------------------------------------------------------------
+// DifferenceOp
+// ---------------------------------------------------------------------------
+
+DifferenceOp::DifferenceOp(BindingStream* left, BindingStream* right)
+    : left_(left), right_(right) {
+  MIX_CHECK(left_ != nullptr && right_ != nullptr);
+  MIX_CHECK_MSG(left_->schema() == right_->schema(),
+                "difference inputs must have identical schemas");
+}
+
+std::string DifferenceOp::KeyOf(BindingStream* stream, const NodeId& b) const {
+  std::string key;
+  for (const std::string& v : left_->schema()) {
+    key += TermOfValue(stream->Attr(b, v));
+    key += '\x1f';
+  }
+  return key;
+}
+
+void DifferenceOp::EnsureRightKeys() {
+  if (right_drained_) return;
+  right_drained_ = true;
+  for (std::optional<NodeId> rb = right_->FirstBinding(); rb.has_value();
+       rb = right_->NextBinding(*rb)) {
+    right_keys_.insert(KeyOf(right_, *rb));
+  }
+}
+
+std::optional<NodeId> DifferenceOp::Scan(std::optional<NodeId> lb) {
+  EnsureRightKeys();
+  while (lb.has_value()) {
+    if (right_keys_.count(KeyOf(left_, *lb)) == 0) {
+      return NodeId("df_b", {instance_, *lb});
+    }
+    lb = left_->NextBinding(*lb);
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeId> DifferenceOp::FirstBinding() {
+  return Scan(left_->FirstBinding());
+}
+
+std::optional<NodeId> DifferenceOp::NextBinding(const NodeId& b) {
+  CheckOwn(b, "df_b");
+  return Scan(left_->NextBinding(b.IdAt(1)));
+}
+
+ValueRef DifferenceOp::Attr(const NodeId& b, const std::string& var) {
+  CheckOwn(b, "df_b");
+  return left_->Attr(b.IdAt(1), var);
+}
+
+// ---------------------------------------------------------------------------
+// DistinctOp
+// ---------------------------------------------------------------------------
+
+DistinctOp::DistinctOp(BindingStream* input) : input_(input) {
+  MIX_CHECK(input_ != nullptr);
+}
+
+std::string DistinctOp::KeyOf(const NodeId& ib) const {
+  std::string key;
+  for (const std::string& v : input_->schema()) {
+    key += TermOfValue(input_->Attr(ib, v));
+    key += '\x1f';
+  }
+  return key;
+}
+
+bool DistinctOp::Contains(const SeenSet& seen, const std::string& key) {
+  for (const SeenNode* n = seen.get(); n != nullptr; n = n->parent.get()) {
+    if (n->key == key) return true;
+  }
+  return false;
+}
+
+NodeId DistinctOp::StoreState(State state) {
+  states_.push_back(std::move(state));
+  return NodeId("dt_b", {instance_, static_cast<int64_t>(states_.size() - 1)});
+}
+
+std::optional<NodeId> DistinctOp::Scan(std::optional<NodeId> ib, SeenSet seen) {
+  while (ib.has_value()) {
+    if (!Contains(seen, KeyOf(*ib))) {
+      return StoreState(State{*ib, std::move(seen)});
+    }
+    ib = input_->NextBinding(*ib);
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeId> DistinctOp::FirstBinding() {
+  return Scan(input_->FirstBinding(), nullptr);
+}
+
+std::optional<NodeId> DistinctOp::NextBinding(const NodeId& b) {
+  CheckOwn(b, "dt_b");
+  int64_t handle = b.IntAt(1);
+  MIX_CHECK(handle >= 0 && handle < static_cast<int64_t>(states_.size()));
+  const State& state = states_[static_cast<size_t>(handle)];
+  auto seen = std::make_shared<SeenNode>(SeenNode{KeyOf(state.ib), state.seen});
+  return Scan(input_->NextBinding(state.ib), std::move(seen));
+}
+
+ValueRef DistinctOp::Attr(const NodeId& b, const std::string& var) {
+  CheckOwn(b, "dt_b");
+  int64_t handle = b.IntAt(1);
+  MIX_CHECK(handle >= 0 && handle < static_cast<int64_t>(states_.size()));
+  return input_->Attr(states_[static_cast<size_t>(handle)].ib, var);
+}
+
+// ---------------------------------------------------------------------------
+// ProjectOp
+// ---------------------------------------------------------------------------
+
+ProjectOp::ProjectOp(BindingStream* input, VarList vars)
+    : input_(input), vars_(std::move(vars)) {
+  MIX_CHECK(input_ != nullptr);
+  const VarList& in = input_->schema();
+  for (const std::string& v : vars_) {
+    MIX_CHECK_MSG(std::find(in.begin(), in.end(), v) != in.end(),
+                  "projection variable not bound by input");
+  }
+}
+
+std::optional<NodeId> ProjectOp::FirstBinding() {
+  std::optional<NodeId> ib = input_->FirstBinding();
+  if (!ib.has_value()) return std::nullopt;
+  return NodeId("pj_b", {instance_, *ib});
+}
+
+std::optional<NodeId> ProjectOp::NextBinding(const NodeId& b) {
+  CheckOwn(b, "pj_b");
+  std::optional<NodeId> ib = input_->NextBinding(b.IdAt(1));
+  if (!ib.has_value()) return std::nullopt;
+  return NodeId("pj_b", {instance_, *ib});
+}
+
+ValueRef ProjectOp::Attr(const NodeId& b, const std::string& var) {
+  CheckOwn(b, "pj_b");
+  MIX_CHECK_MSG(std::find(vars_.begin(), vars_.end(), var) != vars_.end(),
+                "variable was projected away");
+  return input_->Attr(b.IdAt(1), var);
+}
+
+}  // namespace mix::algebra

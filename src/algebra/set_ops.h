@@ -1,0 +1,115 @@
+// The conventional relational operators on binding lists the paper lists
+// alongside σ/π/⋈: union (∪), difference (\), duplicate elimination, and
+// projection (paper Section 3).
+//
+// Navigational complexity notes:
+//   * union is bounded: output navigations map 1:1 to input navigations
+//     (plus one cross-over from the left list's end to the right's start);
+//   * projection is bounded (pure pass-through);
+//   * duplicate elimination is (unbounded) browsable: each NextBinding may
+//     scan arbitrarily far, and seen-keys grow like groupBy's Gprev;
+//   * difference is unbrowsable: the right input must be drained before the
+//     first output binding can be emitted (value equality, not identity).
+#ifndef MIX_ALGEBRA_SET_OPS_H_
+#define MIX_ALGEBRA_SET_OPS_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_set>
+
+#include "algebra/operator_base.h"
+
+namespace mix::algebra {
+
+/// bs1 ∪ bs2: list concatenation of two streams with identical schemas.
+class UnionOp : public OperatorBase {
+ public:
+  UnionOp(BindingStream* left, BindingStream* right);
+
+  const VarList& schema() const override { return left_->schema(); }
+  std::optional<NodeId> FirstBinding() override;
+  std::optional<NodeId> NextBinding(const NodeId& b) override;
+  ValueRef Attr(const NodeId& b, const std::string& var) override;
+
+ private:
+  BindingStream* SideOf(int64_t side) const;
+
+  BindingStream* left_;
+  BindingStream* right_;
+};
+
+/// bs1 \ bs2: left bindings whose values (deep equality over the whole
+/// schema) do not occur in the right stream.
+class DifferenceOp : public OperatorBase {
+ public:
+  DifferenceOp(BindingStream* left, BindingStream* right);
+
+  const VarList& schema() const override { return left_->schema(); }
+  std::optional<NodeId> FirstBinding() override;
+  std::optional<NodeId> NextBinding(const NodeId& b) override;
+  ValueRef Attr(const NodeId& b, const std::string& var) override;
+
+ private:
+  /// Deep-equality key of a binding: concatenated value terms.
+  std::string KeyOf(BindingStream* stream, const NodeId& b) const;
+  /// Drains the right input into the key set (unbrowsable step).
+  void EnsureRightKeys();
+  std::optional<NodeId> Scan(std::optional<NodeId> lb);
+
+  BindingStream* left_;
+  BindingStream* right_;
+  bool right_drained_ = false;
+  std::unordered_set<std::string> right_keys_;
+};
+
+/// Duplicate elimination by deep value equality, preserving first
+/// occurrences. Seen keys are kept as a persistent chain referenced from
+/// the binding ids (same technique as groupBy's Gprev).
+class DistinctOp : public OperatorBase {
+ public:
+  explicit DistinctOp(BindingStream* input);
+
+  const VarList& schema() const override { return input_->schema(); }
+  std::optional<NodeId> FirstBinding() override;
+  std::optional<NodeId> NextBinding(const NodeId& b) override;
+  ValueRef Attr(const NodeId& b, const std::string& var) override;
+
+ private:
+  struct SeenNode {
+    std::string key;
+    std::shared_ptr<const SeenNode> parent;
+  };
+  using SeenSet = std::shared_ptr<const SeenNode>;
+
+  struct State {
+    NodeId ib;
+    SeenSet seen;  ///< keys seen strictly before ib.
+  };
+
+  std::string KeyOf(const NodeId& ib) const;
+  static bool Contains(const SeenSet& seen, const std::string& key);
+  std::optional<NodeId> Scan(std::optional<NodeId> ib, SeenSet seen);
+  NodeId StoreState(State state);
+
+  BindingStream* input_;
+  std::deque<State> states_;
+};
+
+/// π: restricts the schema to `vars` (pass-through).
+class ProjectOp : public OperatorBase {
+ public:
+  ProjectOp(BindingStream* input, VarList vars);
+
+  const VarList& schema() const override { return vars_; }
+  std::optional<NodeId> FirstBinding() override;
+  std::optional<NodeId> NextBinding(const NodeId& b) override;
+  ValueRef Attr(const NodeId& b, const std::string& var) override;
+
+ private:
+  BindingStream* input_;
+  VarList vars_;
+};
+
+}  // namespace mix::algebra
+
+#endif  // MIX_ALGEBRA_SET_OPS_H_

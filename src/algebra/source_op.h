@@ -1,0 +1,32 @@
+// source_{url -> v}: creates the singleton binding list bs[b[v[e]]] for the
+// root element e of a navigable source (paper Section 3).
+//
+// The source Navigable is typically a BufferComponent over an LXP wrapper
+// (Fig. 7) or a DocNavigable for in-memory documents; either way, the
+// operator touches it only when the root value is actually navigated — the
+// preprocessing phase can hand out plan handles without any source access.
+#ifndef MIX_ALGEBRA_SOURCE_OP_H_
+#define MIX_ALGEBRA_SOURCE_OP_H_
+
+#include "algebra/operator_base.h"
+
+namespace mix::algebra {
+
+class SourceOp : public OperatorBase {
+ public:
+  /// `source` is not owned and must outlive the operator.
+  SourceOp(Navigable* source, std::string var);
+
+  const VarList& schema() const override { return schema_; }
+  std::optional<NodeId> FirstBinding() override;
+  std::optional<NodeId> NextBinding(const NodeId& b) override;
+  ValueRef Attr(const NodeId& b, const std::string& var) override;
+
+ private:
+  Navigable* source_;
+  VarList schema_;
+};
+
+}  // namespace mix::algebra
+
+#endif  // MIX_ALGEBRA_SOURCE_OP_H_

@@ -1,0 +1,65 @@
+#include "algebra/tuple_destroy_op.h"
+
+namespace mix::algebra {
+
+TupleDestroyOp::TupleDestroyOp(BindingStream* input, std::string var)
+    : input_(input),
+      var_(std::move(var)),
+      instance_(NextOperatorInstance()),
+      space_(instance_) {
+  MIX_CHECK(input_ != nullptr);
+  if (var_.empty()) {
+    MIX_CHECK_MSG(input_->schema().size() == 1,
+                  "tupleDestroy without a variable requires a unary schema");
+    var_ = input_->schema()[0];
+  }
+}
+
+NodeId TupleDestroyOp::Root() {
+  // The paper's preprocessing contract: the root handle is symbolic and
+  // costs zero source navigations; resolution happens on first use.
+  return NodeId("td_root", {instance_});
+}
+
+const ValueRef& TupleDestroyOp::Resolve() {
+  if (!root_value_.valid()) {
+    std::optional<NodeId> b = input_->FirstBinding();
+    MIX_CHECK_MSG(
+        b.has_value(),
+        "tupleDestroy requires the singleton binding list bs[b[v[e]]]");
+    // The singleton property of the *whole list* is intentionally not
+    // probed: checking NextBinding eagerly could force source navigation.
+    root_value_ = input_->Attr(*b, var_);
+  }
+  return root_value_;
+}
+
+bool TupleDestroyOp::IsRoot(const NodeId& p) const {
+  return p.valid() && p.tag() == "td_root" && p.arity() == 1 &&
+         p.IntAt(0) == instance_;
+}
+
+std::optional<NodeId> TupleDestroyOp::Down(const NodeId& p) {
+  if (IsRoot(p)) {
+    const ValueRef& value = Resolve();
+    std::optional<NodeId> child = value.nav->Down(value.id);
+    if (!child.has_value()) return std::nullopt;
+    return space_.Wrap(ValueRef{value.nav, *child});
+  }
+  return space_.Down(p);
+}
+
+std::optional<NodeId> TupleDestroyOp::Right(const NodeId& p) {
+  if (IsRoot(p)) return std::nullopt;  // document roots have no siblings
+  return space_.Right(p);
+}
+
+Label TupleDestroyOp::Fetch(const NodeId& p) {
+  if (IsRoot(p)) {
+    const ValueRef& value = Resolve();
+    return value.nav->Fetch(value.id);
+  }
+  return space_.Fetch(p);
+}
+
+}  // namespace mix::algebra

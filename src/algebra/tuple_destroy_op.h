@@ -1,0 +1,45 @@
+// tupleDestroy (paper Section 3): returns the element e from the singleton
+// binding list bs[b[v[e]]] — the plan root that turns the final binding
+// stream into the virtual answer *document* the client navigates.
+//
+// Root() is lazy all the way down: obtaining the handle builds binding ids
+// through the operator tree without a single source navigation, realizing
+// the paper's guarantee that the mediator "returns a handle to the root
+// element of the virtual XML answer document without even accessing the
+// sources".
+#ifndef MIX_ALGEBRA_TUPLE_DESTROY_OP_H_
+#define MIX_ALGEBRA_TUPLE_DESTROY_OP_H_
+
+#include "algebra/binding_stream.h"
+#include "algebra/value_space.h"
+#include "core/check.h"
+
+namespace mix::algebra {
+
+class TupleDestroyOp : public Navigable {
+ public:
+  /// `input` is not owned; it must produce exactly one binding, whose
+  /// `var` value becomes the document root (MIX_CHECKed on first access).
+  /// With an empty `var`, the input's single schema variable is used.
+  explicit TupleDestroyOp(BindingStream* input, std::string var = "");
+
+  NodeId Root() override;
+  std::optional<NodeId> Down(const NodeId& p) override;
+  std::optional<NodeId> Right(const NodeId& p) override;
+  Label Fetch(const NodeId& p) override;
+
+ private:
+  /// Resolves (and caches) the root value from the input's first binding.
+  const ValueRef& Resolve();
+  bool IsRoot(const NodeId& p) const;
+
+  BindingStream* input_;
+  std::string var_;
+  int64_t instance_;
+  ValueSpace space_;
+  ValueRef root_value_;
+};
+
+}  // namespace mix::algebra
+
+#endif  // MIX_ALGEBRA_TUPLE_DESTROY_OP_H_

@@ -1,0 +1,59 @@
+#include "algebra/value_space.h"
+
+#include <atomic>
+
+#include "core/check.h"
+
+namespace mix::algebra {
+
+int64_t NextOperatorInstance() {
+  static std::atomic<int64_t> counter{1};
+  return counter.fetch_add(1);
+}
+
+int64_t ValueSpace::HandleFor(Navigable* nav) {
+  auto it = handle_of_.find(nav);
+  if (it != handle_of_.end()) return it->second;
+  int64_t handle = static_cast<int64_t>(navs_.size());
+  navs_.push_back(nav);
+  handle_of_[nav] = handle;
+  return handle;
+}
+
+NodeId ValueSpace::Wrap(const ValueRef& ref) {
+  MIX_CHECK(ref.valid());
+  return NodeId("fw", {owner_, HandleFor(ref.nav), ref.id});
+}
+
+bool ValueSpace::Owns(const NodeId& id) const {
+  return id.valid() && id.tag() == "fw" && id.arity() == 3 &&
+         id.IntAt(0) == owner_;
+}
+
+ValueRef ValueSpace::Unwrap(const NodeId& id) const {
+  MIX_CHECK_MSG(Owns(id), "foreign fw-id passed to ValueSpace");
+  int64_t handle = id.IntAt(1);
+  MIX_CHECK(handle >= 0 && handle < static_cast<int64_t>(navs_.size()));
+  return ValueRef{navs_[static_cast<size_t>(handle)], id.IdAt(2)};
+}
+
+std::optional<NodeId> ValueSpace::Down(const NodeId& id) {
+  ValueRef ref = Unwrap(id);
+  std::optional<NodeId> child = ref.nav->Down(ref.id);
+  if (!child.has_value()) return std::nullopt;
+  return Wrap(ValueRef{ref.nav, *child});
+}
+
+std::optional<NodeId> ValueSpace::Right(const NodeId& id) {
+  ValueRef ref = Unwrap(id);
+  std::optional<NodeId> sibling = ref.nav->Right(ref.id);
+  if (!sibling.has_value()) return std::nullopt;
+  return Wrap(ValueRef{ref.nav, *sibling});
+}
+
+Label ValueSpace::Fetch(const NodeId& id) {
+  ValueRef ref = Unwrap(id);
+  return ref.nav->Fetch(ref.id);
+}
+
+}  // namespace mix::algebra

@@ -1,0 +1,49 @@
+// Pass-through value forwarding for constructing operators.
+//
+// Operators that synthesize nodes (createElement, concatenate, groupBy)
+// must serve navigations on them; once navigation descends *inside* an
+// underlying input value, every further command is a pure pass-through —
+// the <id, p_i> rows of Figs. 9 and 10, where d/r/f map to d/r/f on the
+// input pointer. `ValueSpace` implements exactly that: it wraps a foreign
+// ValueRef into an id `fw(owner, handle, inner)` (the handle resolves the
+// foreign Navigable through an operator-local table) and forwards d/r/f,
+// rewrapping results so the client can keep talking to the owner.
+#ifndef MIX_ALGEBRA_VALUE_SPACE_H_
+#define MIX_ALGEBRA_VALUE_SPACE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/binding_stream.h"
+#include "core/navigable.h"
+
+namespace mix::algebra {
+
+class ValueSpace {
+ public:
+  /// `owner_instance` stamps the minted ids so foreign fw-ids are rejected.
+  explicit ValueSpace(int64_t owner_instance) : owner_(owner_instance) {}
+
+  NodeId Wrap(const ValueRef& ref);
+  bool Owns(const NodeId& id) const;
+  ValueRef Unwrap(const NodeId& id) const;
+
+  /// Forwarded navigation (<id,p> rows of Fig. 9).
+  std::optional<NodeId> Down(const NodeId& id);
+  std::optional<NodeId> Right(const NodeId& id);
+  Label Fetch(const NodeId& id);
+
+ private:
+  int64_t HandleFor(Navigable* nav);
+
+  int64_t owner_;
+  std::vector<Navigable*> navs_;
+  std::unordered_map<Navigable*, int64_t> handle_of_;
+};
+
+/// Process-unique operator instance id (stamped into operator node-ids).
+int64_t NextOperatorInstance();
+
+}  // namespace mix::algebra
+
+#endif  // MIX_ALGEBRA_VALUE_SPACE_H_

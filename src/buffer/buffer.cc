@@ -1,0 +1,261 @@
+#include "buffer/buffer.h"
+
+#include <atomic>
+
+#include "core/check.h"
+
+namespace mix::buffer {
+
+namespace {
+int64_t NextInstanceId() {
+  static std::atomic<int64_t> counter{1};
+  return counter.fetch_add(1);
+}
+
+/// "No two adjacent holes" applies to every (nested) child list.
+void CheckNoAdjacentHoles(const FragmentList& list) {
+  bool prev_hole = false;
+  for (const Fragment& f : list) {
+    if (f.is_hole) {
+      MIX_CHECK_MSG(!prev_hole, "LXP fill contains two adjacent holes");
+      prev_hole = true;
+    } else {
+      prev_hole = false;
+      CheckNoAdjacentHoles(f.children);
+    }
+  }
+}
+
+/// Progress conditions the paper imposes on fills: a non-empty result may
+/// not consist only of holes (top-level — a nested [hole] list simply
+/// means "children unexplored"), and no two holes may be adjacent anywhere.
+void CheckProgress(const FragmentList& list) {
+  bool any_element = list.empty();
+  for (const Fragment& f : list) {
+    if (!f.is_hole) any_element = true;
+  }
+  MIX_CHECK_MSG(any_element, "non-empty LXP fill consists only of holes");
+  CheckNoAdjacentHoles(list);
+}
+}  // namespace
+
+BufferComponent::BufferComponent(LxpWrapper* wrapper, std::string uri,
+                                 Options options)
+    : wrapper_(wrapper),
+      uri_(std::move(uri)),
+      options_(options),
+      instance_(NextInstanceId()) {
+  MIX_CHECK(wrapper_ != nullptr);
+}
+
+BufferComponent::BNode* BufferComponent::NewNode() {
+  arena_.emplace_back();
+  BNode* n = &arena_.back();
+  n->index = static_cast<int64_t>(by_index_.size());
+  by_index_.push_back(n);
+  return n;
+}
+
+BufferComponent::BNode* BufferComponent::Graft(const Fragment& fragment) {
+  BNode* n = NewNode();
+  if (fragment.is_hole) {
+    n->is_hole = true;
+    n->hole_id = fragment.hole_id;
+    ++holes_outstanding_;
+    hole_queue_.push_back(n->index);
+    MIX_CHECK_MSG(hole_by_id_.emplace(n->hole_id, n->index).second,
+                  "wrapper reused a hole id");
+  } else {
+    n->label = fragment.label;
+    ++nodes_buffered_;
+    for (const Fragment& c : fragment.children) {
+      BNode* child = Graft(c);
+      child->parent = n;
+      child->pos = static_cast<int32_t>(n->children.size());
+      n->children.push_back(child);
+    }
+  }
+  return n;
+}
+
+void BufferComponent::Charge(int64_t request_bytes, int64_t response_bytes,
+                             bool background) {
+  net::Channel* channel =
+      background ? options_.prefetch_channel : options_.channel;
+  if (channel == nullptr) return;
+  channel->Send(request_bytes);
+  channel->Send(response_bytes);
+}
+
+void BufferComponent::FillHole(BNode* hole, bool background) {
+  MIX_CHECK(hole->is_hole);
+  FragmentList fragments = wrapper_->Fill(hole->hole_id);
+  ++fill_count_;
+  if (!background) demand_fill_in_command_ = true;
+  Charge(16 + static_cast<int64_t>(hole->hole_id.size()),
+         FragmentListByteSize(fragments), background);
+  Splice(hole, fragments);
+}
+
+void BufferComponent::Splice(BNode* hole, const FragmentList& fragments) {
+  CheckProgress(fragments);
+  BNode* parent = hole->parent;
+  MIX_CHECK(parent != nullptr);
+  size_t at = static_cast<size_t>(hole->pos);
+  MIX_CHECK(parent->children[at] == hole);
+
+  std::vector<BNode*> grafted;
+  grafted.reserve(fragments.size());
+  for (const Fragment& f : fragments) grafted.push_back(Graft(f));
+
+  auto& siblings = parent->children;
+  siblings.erase(siblings.begin() + static_cast<std::ptrdiff_t>(at));
+  siblings.insert(siblings.begin() + static_cast<std::ptrdiff_t>(at),
+                  grafted.begin(), grafted.end());
+  for (size_t i = at; i < siblings.size(); ++i) {
+    siblings[i]->parent = parent;
+    siblings[i]->pos = static_cast<int32_t>(i);
+  }
+  // The filled hole is gone; mark it so queued prefetches skip it.
+  hole_by_id_.erase(hole->hole_id);
+  hole->is_hole = false;
+  hole->parent = nullptr;
+  --holes_outstanding_;
+}
+
+bool BufferComponent::ApplyPushedFill(const std::string& hole_id,
+                                      const FragmentList& fragments) {
+  EnsureRoot();
+  auto it = hole_by_id_.find(hole_id);
+  if (it == hole_by_id_.end()) return false;
+  BNode* hole = by_index_[static_cast<size_t>(it->second)];
+  if (!hole->is_hole) return false;
+  if (options_.prefetch_channel != nullptr) {
+    options_.prefetch_channel->Send(FragmentListByteSize(fragments));
+  }
+  Splice(hole, fragments);
+  return true;
+}
+
+BufferComponent::BNode* BufferComponent::ChaseFirst(BNode* parent, size_t pos) {
+  while (pos < parent->children.size()) {
+    BNode* n = parent->children[pos];
+    if (!n->is_hole) return n;
+    FillHole(n, /*background=*/false);
+    // The list changed in place; re-examine the same position.
+  }
+  return nullptr;
+}
+
+void BufferComponent::Prefetch(bool had_demand_fill) {
+  if (options_.prefetch_on_miss_only && !had_demand_fill) return;
+  for (int i = 0; i < options_.prefetch_per_command; ++i) {
+    BNode* hole = nullptr;
+    while (!hole_queue_.empty()) {
+      BNode* candidate = by_index_[static_cast<size_t>(hole_queue_.front())];
+      hole_queue_.pop_front();
+      if (candidate->is_hole) {
+        hole = candidate;
+        break;
+      }
+    }
+    if (hole == nullptr) return;
+    FillHole(hole, /*background=*/true);
+  }
+}
+
+void BufferComponent::EnsureRoot() {
+  if (initialized_) return;
+  initialized_ = true;
+  std::string root_id = wrapper_->GetRoot(uri_);
+  // get_root is one small request/response exchange.
+  Charge(16 + static_cast<int64_t>(uri_.size()),
+         16 + static_cast<int64_t>(root_id.size()), /*background=*/false);
+  super_root_ = NewNode();
+  super_root_->label = "#super-root";
+  BNode* hole = NewNode();
+  hole->is_hole = true;
+  hole->hole_id = std::move(root_id);
+  hole->parent = super_root_;
+  hole->pos = 0;
+  super_root_->children.push_back(hole);
+  ++holes_outstanding_;
+  hole_queue_.push_back(hole->index);
+  hole_by_id_.emplace(hole->hole_id, hole->index);
+}
+
+NodeId BufferComponent::MakeId(const BNode* n) const {
+  return NodeId("buf", {instance_, n->index});
+}
+
+BufferComponent::BNode* BufferComponent::Resolve(const NodeId& p) const {
+  MIX_CHECK_MSG(p.valid() && p.tag() == "buf" && p.IntAt(0) == instance_,
+                "foreign node-id passed to BufferComponent");
+  int64_t index = p.IntAt(1);
+  MIX_CHECK(index >= 0 && index < static_cast<int64_t>(by_index_.size()));
+  return by_index_[static_cast<size_t>(index)];
+}
+
+NodeId BufferComponent::Root() {
+  demand_fill_in_command_ = false;
+  EnsureRoot();
+  BNode* root = ChaseFirst(super_root_, 0);
+  MIX_CHECK_MSG(root != nullptr, "LXP source exported an empty view");
+  Prefetch(demand_fill_in_command_);
+  return MakeId(root);
+}
+
+std::optional<NodeId> BufferComponent::Down(const NodeId& p) {
+  demand_fill_in_command_ = false;
+  BNode* n = Resolve(p);
+  MIX_CHECK(!n->is_hole);
+  BNode* child = ChaseFirst(n, 0);
+  Prefetch(demand_fill_in_command_);
+  if (child == nullptr) return std::nullopt;
+  return MakeId(child);
+}
+
+std::optional<NodeId> BufferComponent::Right(const NodeId& p) {
+  demand_fill_in_command_ = false;
+  BNode* n = Resolve(p);
+  MIX_CHECK(n->parent != nullptr);
+  BNode* sibling = ChaseFirst(n->parent, static_cast<size_t>(n->pos) + 1);
+  Prefetch(demand_fill_in_command_);
+  if (sibling == nullptr) return std::nullopt;
+  return MakeId(sibling);
+}
+
+Label BufferComponent::Fetch(const NodeId& p) {
+  BNode* n = Resolve(p);
+  MIX_CHECK(!n->is_hole);
+  return n->label;
+}
+
+std::string BufferComponent::TermOf(const BNode* n) const {
+  if (n->is_hole) return "hole[" + n->hole_id + "]";
+  if (n->children.empty()) return n->label;
+  std::string out = n->label + "[";
+  bool first = true;
+  for (const BNode* c : n->children) {
+    if (!first) out += ",";
+    first = false;
+    out += TermOf(c);
+  }
+  out += "]";
+  return out;
+}
+
+std::string BufferComponent::OpenTreeTerm() {
+  EnsureRoot();
+  std::string out = "[";
+  bool first = true;
+  for (const BNode* c : super_root_->children) {
+    if (!first) out += ",";
+    first = false;
+    out += TermOf(c);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace mix::buffer

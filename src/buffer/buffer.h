@@ -1,0 +1,134 @@
+// The generic buffer component (paper Section 4, Figs. 7–8).
+//
+// The buffer sits between a lazy mediator (which speaks fine-grained
+// DOM-VXD navigations) and a wrapper (which speaks coarse-grained LXP
+// fills). It maintains an *open tree* — a partial image of the wrapper's
+// XML view whose unexplored parts are holes — and answers navigation
+// commands from the buffered tree when possible. When a navigation "hits a
+// hole", the buffer issues fill(hole[id]) and grafts the returned fragment
+// list in place of the hole (Fig. 8's d(p)/chase_first, generalized to the
+// most liberal LXP policy, where fills may contain holes at arbitrary
+// positions).
+//
+// One generic implementation serves every wrapper — the modularity argument
+// of Section 4 against "fat" wrappers with ad-hoc buffering.
+#ifndef MIX_BUFFER_BUFFER_H_
+#define MIX_BUFFER_BUFFER_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "buffer/lxp.h"
+#include "core/navigable.h"
+#include "net/sim_net.h"
+
+namespace mix::buffer {
+
+class BufferComponent : public Navigable {
+ public:
+  struct Options {
+    /// Mediator↔wrapper link; fills are charged here (request + response).
+    /// nullptr disables accounting.
+    net::Channel* channel = nullptr;
+
+    /// Asynchronous prefetching (Section 4 / future work in Section 6):
+    /// opportunistically fill up to this many outstanding holes after a
+    /// client command. Modeling the asynchrony: prefetch traffic is
+    /// charged to `prefetch_channel` (background time that overlaps client
+    /// think time), not to `channel`.
+    int prefetch_per_command = 0;
+    net::Channel* prefetch_channel = nullptr;
+    /// Readahead-on-miss (default): prefetch only after commands that had
+    /// to issue a demand fill, bounding the run-ahead to
+    /// prefetch_per_command fills per frontier hit. When false, every
+    /// client command prefetches — unthrottled speculation that can stream
+    /// the entire source (measured in bench_prefetch).
+    bool prefetch_on_miss_only = true;
+  };
+
+  /// `wrapper` is not owned and must outlive the buffer.
+  BufferComponent(LxpWrapper* wrapper, std::string uri, Options options);
+  BufferComponent(LxpWrapper* wrapper, std::string uri)
+      : BufferComponent(wrapper, std::move(uri), Options()) {}
+
+  NodeId Root() override;
+  std::optional<NodeId> Down(const NodeId& p) override;
+  std::optional<NodeId> Right(const NodeId& p) override;
+  Label Fetch(const NodeId& p) override;
+
+  /// Wrapper-initiated (push) fill — the asynchronous LXP variant of
+  /// Section 4: "the wrapper can prefetch data from the source and fill
+  /// in previously left open holes at the buffer". Splices `fragments`
+  /// into the outstanding hole `hole_id`; returns false when that hole is
+  /// unknown or was already filled (the push is simply dropped, as a late
+  /// network message would be). Traffic is charged to the prefetch
+  /// channel (it overlaps client think time), never to the demand path.
+  bool ApplyPushedFill(const std::string& hole_id,
+                       const FragmentList& fragments);
+
+  /// Number of fill requests issued so far (demand + prefetch).
+  int64_t fill_count() const { return fill_count_; }
+  /// Elements currently materialized in the open tree.
+  int64_t nodes_buffered() const { return nodes_buffered_; }
+  /// Unfilled holes currently present.
+  int64_t holes_outstanding() const { return holes_outstanding_; }
+
+  /// Term rendering of the current open tree (root list), holes included —
+  /// lets tests assert the refinement sequence of Ex. 7.
+  std::string OpenTreeTerm();
+
+ private:
+  struct BNode {
+    bool is_hole = false;
+    std::string hole_id;
+    std::string label;
+    std::vector<BNode*> children;
+    BNode* parent = nullptr;
+    int32_t pos = 0;
+    int64_t index = 0;
+  };
+
+  BNode* NewNode();
+  BNode* Graft(const Fragment& fragment);
+  /// Splices `fragments` in place of `hole` and renumbers positions.
+  void Splice(BNode* hole, const FragmentList& fragments);
+  /// Issues fill() for `hole`, splices the result into the parent list, and
+  /// renumbers sibling positions. `background` selects the charge channel.
+  void FillHole(BNode* hole, bool background);
+  /// First element at or after `pos` in `parent`'s list, filling holes as
+  /// needed (Fig. 8 chase_first). nullptr if the list is exhausted.
+  BNode* ChaseFirst(BNode* parent, size_t pos);
+  void Prefetch(bool had_demand_fill);
+  void EnsureRoot();
+  BNode* Resolve(const NodeId& p) const;
+  NodeId MakeId(const BNode* n) const;
+  void Charge(int64_t request_bytes, int64_t response_bytes, bool background);
+  std::string TermOf(const BNode* n) const;
+
+  LxpWrapper* wrapper_;
+  std::string uri_;
+  Options options_;
+  int64_t instance_;
+
+  std::deque<BNode> arena_;
+  std::vector<BNode*> by_index_;
+  BNode* super_root_ = nullptr;  ///< sentinel; its children are the root list.
+  bool initialized_ = false;
+
+  /// FIFO of outstanding hole indices for the prefetcher.
+  std::deque<int64_t> hole_queue_;
+  /// Outstanding holes by wrapper id (for push fills).
+  std::map<std::string, int64_t> hole_by_id_;
+
+  int64_t fill_count_ = 0;
+  int64_t nodes_buffered_ = 0;
+  int64_t holes_outstanding_ = 0;
+  /// True while the current client command has triggered a demand fill.
+  bool demand_fill_in_command_ = false;
+};
+
+}  // namespace mix::buffer
+
+#endif  // MIX_BUFFER_BUFFER_H_

@@ -1,0 +1,82 @@
+#include "buffer/lxp.h"
+
+#include "core/check.h"
+
+namespace mix::buffer {
+
+Fragment Fragment::Hole(std::string id) {
+  Fragment f;
+  f.is_hole = true;
+  f.hole_id = std::move(id);
+  return f;
+}
+
+Fragment Fragment::Element(std::string label, std::vector<Fragment> children) {
+  Fragment f;
+  f.label = std::move(label);
+  f.children = std::move(children);
+  return f;
+}
+
+Fragment Fragment::Text(std::string content) {
+  Fragment f;
+  f.label = std::move(content);
+  f.is_text = true;
+  return f;
+}
+
+Fragment Fragment::FromXmlSubtree(const xml::Node* node) {
+  MIX_CHECK(node != nullptr);
+  if (node->kind == xml::NodeKind::kText) return Text(node->label);
+  Fragment f = Element(node->label);
+  f.children.reserve(node->children.size());
+  for (const xml::Node* c : node->children) {
+    f.children.push_back(FromXmlSubtree(c));
+  }
+  return f;
+}
+
+int64_t Fragment::ByteSize() const {
+  if (is_hole) {
+    // <hole id="..."/>
+    return 12 + static_cast<int64_t>(hole_id.size());
+  }
+  // Open+close tag overhead plus label bytes.
+  int64_t n = 5 + 2 * static_cast<int64_t>(label.size());
+  for (const Fragment& c : children) n += c.ByteSize();
+  return n;
+}
+
+std::string Fragment::ToTerm() const {
+  if (is_hole) return "hole[" + hole_id + "]";
+  if (children.empty()) return label;
+  std::string out = label + "[";
+  bool first = true;
+  for (const Fragment& c : children) {
+    if (!first) out += ",";
+    first = false;
+    out += c.ToTerm();
+  }
+  out += "]";
+  return out;
+}
+
+int64_t FragmentListByteSize(const FragmentList& list) {
+  int64_t n = 0;
+  for (const Fragment& f : list) n += f.ByteSize();
+  return n;
+}
+
+std::string ScriptedLxpWrapper::GetRoot(const std::string& uri) {
+  (void)uri;
+  return root_;
+}
+
+FragmentList ScriptedLxpWrapper::Fill(const std::string& hole_id) {
+  fill_log_.push_back(hole_id);
+  auto it = fills_.find(hole_id);
+  MIX_CHECK_MSG(it != fills_.end(), ("no scripted fill for " + hole_id).c_str());
+  return it->second;
+}
+
+}  // namespace mix::buffer

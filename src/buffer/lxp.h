@@ -1,0 +1,96 @@
+// The Lean XML fragment Protocol (LXP), paper Section 4.
+//
+// LXP has exactly two commands:
+//
+//   get_root(URI)    -> hole[id]     — handle for the root of a source view;
+//   fill(hole[id])   -> [T*]         — a fragment list refining that hole.
+//
+// Holes (Def. 3) are reserved elements `hole[id]` representing zero or more
+// unexplored sibling elements (Def. 4). A fill may be *liberal* (Ex. 7):
+// holes may appear at arbitrary positions, subject to the progress
+// conditions the paper imposes for termination: a non-empty fill cannot
+// consist only of holes, and no two holes may be adjacent.
+//
+// `Fragment` is the value exchanged by fills — an open tree. Wrappers decide
+// the granularity: a relational wrapper ships n tuples per fill, a Web
+// wrapper ships a page, etc. The generic buffer (buffer.h) grafts fragments
+// into its open tree and never needs wrapper-specific code.
+#ifndef MIX_BUFFER_LXP_H_
+#define MIX_BUFFER_LXP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "xml/tree.h"
+
+namespace mix::buffer {
+
+/// One node of an open tree fragment: an element/leaf or a hole.
+struct Fragment {
+  bool is_hole = false;
+  std::string hole_id;              ///< valid when is_hole.
+  std::string label;                ///< valid when !is_hole.
+  bool is_text = false;             ///< cosmetic (serialization only).
+  std::vector<Fragment> children;   ///< valid when !is_hole.
+
+  static Fragment Hole(std::string id);
+  static Fragment Element(std::string label, std::vector<Fragment> children = {});
+  static Fragment Text(std::string content);
+
+  /// Deep-copies an in-memory subtree (no holes) into a fragment.
+  static Fragment FromXmlSubtree(const xml::Node* node);
+
+  /// Serialized-size estimate in bytes, used for channel accounting.
+  int64_t ByteSize() const;
+
+  /// Term rendering, holes as `hole[id]` — for tests against Ex. 6/7.
+  std::string ToTerm() const;
+};
+
+using FragmentList = std::vector<Fragment>;
+
+int64_t FragmentListByteSize(const FragmentList& list);
+
+/// The LXP server role, implemented by every wrapper.
+///
+/// Contract (paper Section 4): all ids handed out via GetRoot/embedded holes
+/// remain valid; Fill must satisfy the progress conditions (a non-empty
+/// result is not all holes; no two adjacent holes) and the sequence of
+/// refinements must be extendable to the complete source tree.
+class LxpWrapper {
+ public:
+  virtual ~LxpWrapper() = default;
+
+  /// get_root: establishes the connection and returns the root hole id.
+  virtual std::string GetRoot(const std::string& uri) = 0;
+
+  /// fill: refines the hole into a fragment list.
+  virtual FragmentList Fill(const std::string& hole_id) = 0;
+};
+
+/// Scripted wrapper for tests: replays a fixed hole-id → fragment-list map
+/// (e.g. the Ex. 7 trace verbatim).
+class ScriptedLxpWrapper : public LxpWrapper {
+ public:
+  ScriptedLxpWrapper(std::string root_hole_id,
+                     std::map<std::string, FragmentList> fills)
+      : root_(std::move(root_hole_id)), fills_(std::move(fills)) {}
+
+  std::string GetRoot(const std::string& uri) override;
+  FragmentList Fill(const std::string& hole_id) override;
+
+  /// Fill requests received, in order (for asserting minimality).
+  const std::vector<std::string>& fill_log() const { return fill_log_; }
+
+ private:
+  std::string root_;
+  std::map<std::string, FragmentList> fills_;
+  std::vector<std::string> fill_log_;
+};
+
+}  // namespace mix::buffer
+
+#endif  // MIX_BUFFER_LXP_H_

@@ -1,0 +1,76 @@
+#include "client/client.h"
+
+#include "core/check.h"
+
+namespace mix::client {
+
+std::string XmlElement::Name() const {
+  MIX_CHECK_MSG(!IsNull(), "Name() on a null element");
+  return nav_->Fetch(id_);
+}
+
+XmlElement XmlElement::FirstChild() const {
+  MIX_CHECK_MSG(!IsNull(), "FirstChild() on a null element");
+  std::optional<NodeId> child = nav_->Down(id_);
+  if (!child.has_value()) return XmlElement();
+  return XmlElement(nav_, std::move(*child));
+}
+
+XmlElement XmlElement::NextSibling() const {
+  MIX_CHECK_MSG(!IsNull(), "NextSibling() on a null element");
+  std::optional<NodeId> sibling = nav_->Right(id_);
+  if (!sibling.has_value()) return XmlElement();
+  return XmlElement(nav_, std::move(*sibling));
+}
+
+XmlElement XmlElement::SelectSibling(const std::string& name) const {
+  MIX_CHECK_MSG(!IsNull(), "SelectSibling() on a null element");
+  std::optional<NodeId> hit =
+      nav_->SelectSibling(id_, LabelPredicate::Equals(name));
+  if (!hit.has_value()) return XmlElement();
+  return XmlElement(nav_, std::move(*hit));
+}
+
+std::vector<XmlElement> XmlElement::Children() const {
+  std::vector<XmlElement> out;
+  for (XmlElement c = FirstChild(); !c.IsNull(); c = c.NextSibling()) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+XmlElement XmlElement::Child(const std::string& name) const {
+  for (XmlElement c = FirstChild(); !c.IsNull(); c = c.NextSibling()) {
+    if (c.Name() == name) return c;
+  }
+  return XmlElement();
+}
+
+std::string XmlElement::Text() const {
+  XmlElement cur = *this;
+  for (;;) {
+    XmlElement child = cur.FirstChild();
+    if (child.IsNull()) return cur.Name();
+    cur = child;
+  }
+}
+
+XmlElement XmlElement::ChildAt(int64_t index) const {
+  MIX_CHECK_MSG(!IsNull(), "ChildAt() on a null element");
+  std::optional<NodeId> child = nav_->NthChild(id_, index);
+  if (!child.has_value()) return XmlElement();
+  return XmlElement(nav_, std::move(*child));
+}
+
+std::string XmlElement::Attribute(const std::string& name) const {
+  XmlElement attr = Child("@" + name);
+  if (attr.IsNull()) return "";
+  return attr.Text();
+}
+
+XmlElement VirtualXmlDocument::Root() const {
+  MIX_CHECK(doc_ != nullptr);
+  return XmlElement(doc_, doc_->Root());
+}
+
+}  // namespace mix::client

@@ -1,0 +1,88 @@
+// The thin client library (paper Section 5).
+//
+// "A thin client library between the mediator and the client application
+// makes the virtual document exported by the mediator indistinguishable
+// from a main memory resident document accessed via DOM": `XmlElement`
+// objects hide the mediator's structured node-ids in a private field and
+// translate DOM-style calls (FirstChild, NextSibling, Name) into DOM-VXD
+// commands on the mediator. The same class works over a materialized
+// DocNavigable — client code cannot tell the difference, which is the
+// transparency property tests assert.
+#ifndef MIX_CLIENT_CLIENT_H_
+#define MIX_CLIENT_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/navigable.h"
+
+namespace mix::client {
+
+/// A handle to one element/leaf of a (possibly virtual) XML document.
+/// Cheap to copy; null handles answer IsNull().
+class XmlElement {
+ public:
+  XmlElement() = default;
+
+  bool IsNull() const { return nav_ == nullptr; }
+
+  /// Tag name of an element, or the character content of a leaf (f).
+  std::string Name() const;
+
+  /// First child (d); null for leaves.
+  XmlElement FirstChild() const;
+
+  /// Right sibling (r); null at the end of a child list.
+  XmlElement NextSibling() const;
+
+  /// First following sibling whose name equals `name` (σ).
+  XmlElement SelectSibling(const std::string& name) const;
+
+  // --- conveniences layered on the three primitives ---
+
+  /// All children (fully explores one level).
+  std::vector<XmlElement> Children() const;
+
+  /// First child named `name`, or null.
+  XmlElement Child(const std::string& name) const;
+
+  /// The `index`-th (0-based) child, or null (XPointer-style NthChild).
+  XmlElement ChildAt(int64_t index) const;
+
+  /// The label of the first leaf descendant (typical "text content" of
+  /// record-shaped elements like <zip>91220</zip>).
+  std::string Text() const;
+
+  /// Value of the XML attribute `name`. Attributes surface as leading
+  /// "@name" child elements (xml/tree.h); returns "" when absent.
+  std::string Attribute(const std::string& name) const;
+
+  bool IsLeaf() const { return FirstChild().IsNull(); }
+
+ private:
+  friend class VirtualXmlDocument;
+  XmlElement(Navigable* nav, NodeId id) : nav_(nav), id_(std::move(id)) {}
+
+  // The paper's "private field node_id that contains the corresponding
+  // node-id exported by the mediator".
+  Navigable* nav_ = nullptr;
+  NodeId id_;
+};
+
+/// Entry point: wraps a mediator's virtual answer document (or any
+/// Navigable).
+class VirtualXmlDocument {
+ public:
+  /// `doc` is not owned and must outlive the document and every element
+  /// handle obtained from it.
+  explicit VirtualXmlDocument(Navigable* doc) : doc_(doc) {}
+
+  XmlElement Root() const;
+
+ private:
+  Navigable* doc_;
+};
+
+}  // namespace mix::client
+
+#endif  // MIX_CLIENT_CLIENT_H_

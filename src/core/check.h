@@ -1,0 +1,28 @@
+// Internal invariant checking. MIX_CHECK aborts (with location and message)
+// when an invariant that must hold regardless of user input is violated.
+// User-input errors are reported through Status/Result instead (status.h).
+#ifndef MIX_CORE_CHECK_H_
+#define MIX_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define MIX_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "MIX_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define MIX_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "MIX_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // MIX_CORE_CHECK_H_

@@ -1,0 +1,20 @@
+#include "core/navigable.h"
+
+namespace mix {
+
+NavStats& NavStats::operator+=(const NavStats& o) {
+  downs += o.downs;
+  rights += o.rights;
+  fetches += o.fetches;
+  selects += o.selects;
+  nths += o.nths;
+  return *this;
+}
+
+std::string NavStats::ToString() const {
+  return "d=" + std::to_string(downs) + " r=" + std::to_string(rights) +
+         " f=" + std::to_string(fetches) + " sel=" + std::to_string(selects) +
+         " nth=" + std::to_string(nths) + " total=" + std::to_string(total());
+}
+
+}  // namespace mix

@@ -1,0 +1,66 @@
+#include "core/navigable.h"
+
+namespace mix {
+
+LabelPredicate LabelPredicate::Equals(std::string label) {
+  std::string desc = "=" + label;
+  return LabelPredicate(
+      [label = std::move(label)](const Label& l) { return l == label; },
+      std::move(desc));
+}
+
+LabelPredicate LabelPredicate::Any() {
+  return LabelPredicate([](const Label&) { return true; }, "_");
+}
+
+LabelPredicate LabelPredicate::Fn(std::function<bool(const Label&)> fn,
+                                  std::string description) {
+  return LabelPredicate(std::move(fn), std::move(description));
+}
+
+std::optional<NodeId> Navigable::SelectSibling(const NodeId& p,
+                                               const LabelPredicate& pred) {
+  std::optional<NodeId> cur = Right(p);
+  while (cur.has_value()) {
+    if (pred.Matches(Fetch(*cur))) return cur;
+    cur = Right(*cur);
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeId> Navigable::NthChild(const NodeId& p, int64_t index) {
+  std::optional<NodeId> cur = Down(p);
+  for (int64_t i = 0; i < index && cur.has_value(); ++i) {
+    cur = Right(*cur);
+  }
+  return cur;
+}
+
+std::optional<NodeId> CountingNavigable::Down(const NodeId& p) {
+  ++stats_->downs;
+  return inner_->Down(p);
+}
+
+std::optional<NodeId> CountingNavigable::Right(const NodeId& p) {
+  ++stats_->rights;
+  return inner_->Right(p);
+}
+
+Label CountingNavigable::Fetch(const NodeId& p) {
+  ++stats_->fetches;
+  return inner_->Fetch(p);
+}
+
+std::optional<NodeId> CountingNavigable::SelectSibling(
+    const NodeId& p, const LabelPredicate& pred) {
+  ++stats_->selects;
+  return inner_->SelectSibling(p, pred);
+}
+
+std::optional<NodeId> CountingNavigable::NthChild(const NodeId& p,
+                                                  int64_t index) {
+  ++stats_->nths;
+  return inner_->NthChild(p, index);
+}
+
+}  // namespace mix

@@ -1,0 +1,136 @@
+// The DOM-VXD navigational interface (paper Section 2).
+//
+// XML documents — real or virtual — are explored with a minimal command set
+// NC sufficient to completely explore arbitrary trees:
+//
+//   d (down):  p' := d(p)  — first child of p, or null for a leaf;
+//   r (right): p' := r(p)  — right sibling of p, or null;
+//   f (fetch): l  := f(p)  — the label of p;
+//
+// plus the optional sibling-selection command of Section 2:
+//
+//   select(σ): p' := σ(p)  — first sibling to the right whose label
+//                            satisfies σ, or null.
+//
+// Every component that exports an XML tree — wrappers, the buffer, every
+// algebra operator acting as a lazy mediator, and the top-level virtual
+// answer document — implements `Navigable`. Node positions are passed as
+// structured `NodeId`s (node_id.h).
+#ifndef MIX_CORE_NAVIGABLE_H_
+#define MIX_CORE_NAVIGABLE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/node_id.h"
+
+namespace mix {
+
+/// Labels are the paper's domain D: element names and character content.
+using Label = std::string;
+
+/// A predicate over labels, used by the σ (select-sibling) command and by
+/// selection operators. Carries a description for plan/diagnostic printing.
+class LabelPredicate {
+ public:
+  /// Matches exactly `label`.
+  static LabelPredicate Equals(std::string label);
+  /// Matches any label (the `_` wildcard).
+  static LabelPredicate Any();
+  /// Arbitrary predicate with a human-readable description.
+  static LabelPredicate Fn(std::function<bool(const Label&)> fn,
+                           std::string description);
+
+  bool Matches(const Label& label) const { return fn_(label); }
+  const std::string& description() const { return description_; }
+
+ private:
+  LabelPredicate(std::function<bool(const Label&)> fn, std::string description)
+      : fn_(std::move(fn)), description_(std::move(description)) {}
+
+  std::function<bool(const Label&)> fn_;
+  std::string description_;
+};
+
+/// A navigable (possibly virtual) labeled ordered tree.
+///
+/// Null results are conveyed as std::nullopt (the paper's ⊥). Implementations
+/// must tolerate navigation from any id they previously handed out, in any
+/// order — the client may proceed from multiple nodes whose descendants or
+/// siblings have not been visited yet (Section 1, Related Work).
+class Navigable {
+ public:
+  virtual ~Navigable() = default;
+
+  /// Handle to the root element. By the paper's contract this must not
+  /// touch the sources (the preprocessing phase returns a handle "without
+  /// even accessing the sources").
+  virtual NodeId Root() = 0;
+
+  /// d: first child of `p`, or nullopt if `p` is a leaf.
+  virtual std::optional<NodeId> Down(const NodeId& p) = 0;
+
+  /// r: right sibling of `p`, or nullopt.
+  virtual std::optional<NodeId> Right(const NodeId& p) = 0;
+
+  /// f: label of `p`.
+  virtual Label Fetch(const NodeId& p) = 0;
+
+  /// σ: first sibling to the right of `p` (exclusive) whose label satisfies
+  /// `pred`. The default implementation loops r/f; sources that can evaluate
+  /// predicates natively override it — this is what upgrades selection views
+  /// from browsable to bounded browsable (end of Section 2).
+  virtual std::optional<NodeId> SelectSibling(const NodeId& p,
+                                              const LabelPredicate& pred);
+
+  /// XPointer-style indexed access (Section 2: "additional navigation
+  /// commands can be provided in the style of [XPo]"): the `index`-th
+  /// (0-based) child of `p`, or nullopt. The default implementation loops
+  /// d/r; random-access sources override it with O(1) lookups.
+  virtual std::optional<NodeId> NthChild(const NodeId& p, int64_t index);
+};
+
+/// Navigation-command counters — the measuring stick of navigational
+/// complexity (Def. 2). One `NavStats` is typically attached per
+/// mediator/source boundary.
+struct NavStats {
+  int64_t downs = 0;
+  int64_t rights = 0;
+  int64_t fetches = 0;
+  int64_t selects = 0;
+  int64_t nths = 0;
+
+  int64_t total() const {
+    return downs + rights + fetches + selects + nths;
+  }
+  NavStats& operator+=(const NavStats& o);
+  std::string ToString() const;
+};
+
+/// Decorator that forwards to an underlying Navigable while counting
+/// commands into a caller-owned NavStats. Used to measure the source
+/// navigations a lazy mediator issues per client navigation.
+class CountingNavigable : public Navigable {
+ public:
+  /// Neither pointer is owned; both must outlive this object.
+  CountingNavigable(Navigable* inner, NavStats* stats)
+      : inner_(inner), stats_(stats) {}
+
+  NodeId Root() override { return inner_->Root(); }
+  std::optional<NodeId> Down(const NodeId& p) override;
+  std::optional<NodeId> Right(const NodeId& p) override;
+  Label Fetch(const NodeId& p) override;
+  std::optional<NodeId> SelectSibling(const NodeId& p,
+                                      const LabelPredicate& pred) override;
+  std::optional<NodeId> NthChild(const NodeId& p, int64_t index) override;
+
+ private:
+  Navigable* inner_;
+  NavStats* stats_;
+};
+
+}  // namespace mix
+
+#endif  // MIX_CORE_NAVIGABLE_H_

@@ -1,0 +1,112 @@
+#include "core/node_id.h"
+
+#include <functional>
+
+#include "core/check.h"
+
+namespace mix {
+
+namespace {
+
+size_t CombineHash(size_t seed, size_t value) {
+  // Boost-style hash combining.
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+size_t HashComponent(const NodeIdComponent& c) {
+  if (const auto* i = std::get_if<int64_t>(&c)) {
+    return std::hash<int64_t>()(*i);
+  }
+  if (const auto* s = std::get_if<std::string>(&c)) {
+    return std::hash<std::string>()(*s);
+  }
+  return std::get<NodeId>(c).Hash();
+}
+
+}  // namespace
+
+NodeId::NodeId(std::string tag, std::vector<NodeIdComponent> components) {
+  auto rep = std::make_shared<Rep>();
+  rep->tag = std::move(tag);
+  rep->components = std::move(components);
+  size_t h = std::hash<std::string>()(rep->tag);
+  for (const auto& c : rep->components) {
+    h = CombineHash(h, HashComponent(c));
+  }
+  rep->hash = h;
+  rep_ = std::move(rep);
+}
+
+const std::string& NodeId::tag() const {
+  MIX_CHECK(valid());
+  return rep_->tag;
+}
+
+const std::vector<NodeIdComponent>& NodeId::components() const {
+  MIX_CHECK(valid());
+  return rep_->components;
+}
+
+int64_t NodeId::IntAt(size_t i) const {
+  const auto& cs = components();
+  MIX_CHECK(i < cs.size());
+  const auto* v = std::get_if<int64_t>(&cs[i]);
+  MIX_CHECK_MSG(v != nullptr, "NodeId component is not an int");
+  return *v;
+}
+
+const std::string& NodeId::StrAt(size_t i) const {
+  const auto& cs = components();
+  MIX_CHECK(i < cs.size());
+  const auto* v = std::get_if<std::string>(&cs[i]);
+  MIX_CHECK_MSG(v != nullptr, "NodeId component is not a string");
+  return *v;
+}
+
+const NodeId& NodeId::IdAt(size_t i) const {
+  const auto& cs = components();
+  MIX_CHECK(i < cs.size());
+  const auto* v = std::get_if<NodeId>(&cs[i]);
+  MIX_CHECK_MSG(v != nullptr, "NodeId component is not a NodeId");
+  return *v;
+}
+
+bool NodeId::operator==(const NodeId& other) const {
+  if (rep_ == other.rep_) return true;
+  if (!rep_ || !other.rep_) return false;
+  if (rep_->hash != other.rep_->hash) return false;
+  if (rep_->tag != other.rep_->tag) return false;
+  if (rep_->components.size() != other.rep_->components.size()) return false;
+  for (size_t i = 0; i < rep_->components.size(); ++i) {
+    if (rep_->components[i] != other.rep_->components[i]) return false;
+  }
+  return true;
+}
+
+size_t NodeId::Hash() const {
+  if (!rep_) return 0;
+  return rep_->hash;
+}
+
+std::string NodeId::ToString() const {
+  if (!rep_) return "<null>";
+  std::string s = rep_->tag;
+  if (rep_->components.empty()) return s;
+  s += "(";
+  bool first = true;
+  for (const auto& c : rep_->components) {
+    if (!first) s += ",";
+    first = false;
+    if (const auto* i = std::get_if<int64_t>(&c)) {
+      s += std::to_string(*i);
+    } else if (const auto* str = std::get_if<std::string>(&c)) {
+      s += "'" + *str + "'";
+    } else {
+      s += std::get<NodeId>(c).ToString();
+    }
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace mix

@@ -1,0 +1,77 @@
+// Structured, Skolem-style node identifiers.
+//
+// The paper (Section 3) observes that maintaining association tables mapping
+// every issued pointer p to its input associations a(p) is wasteful, because
+// the mediator cannot know when the client drops a pointer. MIX therefore
+// encodes the association information directly inside the node-id, like a
+// Skolem term: the node-id pV of Example 4 is <v, p'V>, the binding-level id
+// pB is <b, p'B, p''B>, and so on.
+//
+// `NodeId` realizes this: an immutable term with a short tag (the level
+// marker, e.g. "b", "v", "id", "fwd") and a component list whose entries are
+// integers (indices, state-table handles, child positions), strings
+// (variable names, hole ids), or nested NodeIds (input pointers). Ids are
+// cheaply copyable (shared representation), value-comparable, and hashable,
+// so operators can decode navigation requests without per-pointer state.
+#ifndef MIX_CORE_NODE_ID_H_
+#define MIX_CORE_NODE_ID_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mix {
+
+class NodeId;
+
+/// One component of a structured node-id.
+using NodeIdComponent = std::variant<int64_t, std::string, NodeId>;
+
+class NodeId {
+ public:
+  /// An invalid (null) id; `valid()` is false. Navigating from it is a bug.
+  NodeId() = default;
+
+  /// Builds the term tag(components...).
+  explicit NodeId(std::string tag, std::vector<NodeIdComponent> components = {});
+
+  bool valid() const { return rep_ != nullptr; }
+  const std::string& tag() const;
+  const std::vector<NodeIdComponent>& components() const;
+  size_t arity() const { return components().size(); }
+
+  /// Typed component accessors; MIX_CHECK on type/index mismatch
+  /// (a mismatch means an operator decoded a foreign id — an internal bug).
+  int64_t IntAt(size_t i) const;
+  const std::string& StrAt(size_t i) const;
+  const NodeId& IdAt(size_t i) const;
+
+  bool operator==(const NodeId& other) const;
+  bool operator!=(const NodeId& other) const { return !(*this == other); }
+
+  /// Structural hash (precomputed at construction).
+  size_t Hash() const;
+
+  /// Debug rendering, e.g. `b(v(doc:17),3)`.
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    std::string tag;
+    std::vector<NodeIdComponent> components;
+    size_t hash = 0;
+  };
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Hash functor for unordered containers keyed by NodeId.
+struct NodeIdHash {
+  size_t operator()(const NodeId& id) const { return id.Hash(); }
+};
+
+}  // namespace mix
+
+#endif  // MIX_CORE_NODE_ID_H_

@@ -1,0 +1,35 @@
+#include "core/status.h"
+
+namespace mix {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kParseError:
+      return "ParseError";
+    case Status::Code::kUnimplemented:
+      return "Unimplemented";
+    case Status::Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = CodeName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace mix

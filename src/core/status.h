@@ -1,0 +1,98 @@
+// Error handling for the MIX library.
+//
+// Follows the RocksDB/Arrow convention: fallible public APIs return a
+// `Status` (or a `Result<T>` which couples a Status with a value) instead of
+// throwing. Internal invariants use MIX_CHECK (check.h).
+#ifndef MIX_CORE_STATUS_H_
+#define MIX_CORE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/check.h"
+
+namespace mix {
+
+/// Outcome of a fallible operation.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kParseError,
+    kUnimplemented,
+    kInternal,
+  };
+
+  /// Default-constructed status is OK.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(Code::kParseError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(Code::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "ParseError: unexpected token '}'".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// A value or an error. `ValueOrDie()` aborts on error (for tests/examples
+/// where failure is a bug); production call sites check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {
+    MIX_CHECK_MSG(!status_.ok(), "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MIX_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    MIX_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    MIX_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mix
+
+#endif  // MIX_CORE_STATUS_H_

@@ -1,0 +1,68 @@
+#include "core/super_root.h"
+
+#include <atomic>
+
+#include "core/check.h"
+
+namespace mix {
+
+namespace {
+int64_t NextInstance() {
+  static std::atomic<int64_t> counter{1};
+  return counter.fetch_add(1);
+}
+}  // namespace
+
+SuperRootNavigable::SuperRootNavigable(Navigable* inner)
+    : inner_(inner), instance_(NextInstance()) {
+  MIX_CHECK(inner_ != nullptr);
+}
+
+bool SuperRootNavigable::IsSuperRoot(const NodeId& p) const {
+  return p.valid() && p.tag() == "sup" && p.arity() == 1 &&
+         p.IntAt(0) == instance_;
+}
+
+bool SuperRootNavigable::IsInnerRoot(const NodeId& p) const {
+  return inner_root_.valid() && p == inner_root_;
+}
+
+NodeId SuperRootNavigable::Root() { return NodeId("sup", {instance_}); }
+
+std::optional<NodeId> SuperRootNavigable::Down(const NodeId& p) {
+  if (IsSuperRoot(p)) {
+    // First real source access happens here, not at Root().
+    inner_root_ = inner_->Root();
+    return inner_root_;
+  }
+  return inner_->Down(p);
+}
+
+std::optional<NodeId> SuperRootNavigable::Right(const NodeId& p) {
+  if (IsSuperRoot(p)) return std::nullopt;
+  // The root element is the document node's only child.
+  if (IsInnerRoot(p)) return std::nullopt;
+  return inner_->Right(p);
+}
+
+Label SuperRootNavigable::Fetch(const NodeId& p) {
+  if (IsSuperRoot(p)) return "#document";
+  return inner_->Fetch(p);
+}
+
+std::optional<NodeId> SuperRootNavigable::SelectSibling(
+    const NodeId& p, const LabelPredicate& pred) {
+  if (IsSuperRoot(p) || IsInnerRoot(p)) return std::nullopt;
+  return inner_->SelectSibling(p, pred);
+}
+
+std::optional<NodeId> SuperRootNavigable::NthChild(const NodeId& p,
+                                                   int64_t index) {
+  if (IsSuperRoot(p)) {
+    if (index != 0) return std::nullopt;
+    return Down(p);
+  }
+  return inner_->NthChild(p, index);
+}
+
+}  // namespace mix

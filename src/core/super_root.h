@@ -1,0 +1,48 @@
+// Document-node adapter.
+//
+// XMAS source conditions match paths *from the root of the source*
+// inclusive of the root element's label ("$H binds to home trees, reachable
+// by following the path homes.home from the root of homesSrc", §3 — `homes`
+// is the root element). getDescendants, however, matches paths over an
+// anchor's *descendants*. The two compose by anchoring source bindings at a
+// virtual document node (DOM's Document vs. documentElement) whose single
+// child is the root element. `SuperRootNavigable` provides that node and
+// forwards everything else — including σ — to the wrapped source.
+//
+// Laziness: constructing the adapter and fetching its root cost nothing;
+// the wrapped source's Root() is first called when the client descends.
+#ifndef MIX_CORE_SUPER_ROOT_H_
+#define MIX_CORE_SUPER_ROOT_H_
+
+#include <optional>
+
+#include "core/navigable.h"
+
+namespace mix {
+
+class SuperRootNavigable : public Navigable {
+ public:
+  /// `inner` is not owned and must outlive the adapter.
+  explicit SuperRootNavigable(Navigable* inner);
+
+  NodeId Root() override;
+  std::optional<NodeId> Down(const NodeId& p) override;
+  std::optional<NodeId> Right(const NodeId& p) override;
+  Label Fetch(const NodeId& p) override;
+  std::optional<NodeId> SelectSibling(const NodeId& p,
+                                      const LabelPredicate& pred) override;
+  std::optional<NodeId> NthChild(const NodeId& p, int64_t index) override;
+
+ private:
+  bool IsSuperRoot(const NodeId& p) const;
+  bool IsInnerRoot(const NodeId& p) const;
+
+  Navigable* inner_;
+  int64_t instance_;
+  /// Cached inner root id (valid once the client first descended).
+  NodeId inner_root_;
+};
+
+}  // namespace mix
+
+#endif  // MIX_CORE_SUPER_ROOT_H_

@@ -1,0 +1,102 @@
+#include "mediator/browsability.h"
+
+#include "pathexpr/path_expr.h"
+
+namespace mix::mediator {
+
+const char* BrowsabilityName(Browsability b) {
+  switch (b) {
+    case Browsability::kBoundedBrowsable:
+      return "bounded browsable";
+    case Browsability::kBrowsable:
+      return "browsable";
+    case Browsability::kUnbrowsable:
+      return "unbrowsable";
+  }
+  return "?";
+}
+
+namespace {
+
+void Worsen(BrowsabilityReport* report, Browsability cls, std::string reason) {
+  if (static_cast<int>(cls) > static_cast<int>(report->cls)) {
+    report->cls = cls;
+  }
+  report->reasons.push_back(std::move(reason));
+}
+
+void Visit(const PlanNode& node, const BrowsabilityOptions& options,
+           BrowsabilityReport* report) {
+  using Kind = PlanNode::Kind;
+  switch (node.kind) {
+    case Kind::kSource:
+    case Kind::kConcatenate:
+    case Kind::kCreateElement:
+    case Kind::kUnion:
+    case Kind::kProject:
+    case Kind::kWrapList:
+    case Kind::kConst:
+    case Kind::kRename:
+    case Kind::kTupleDestroy:
+      // Structural operators: output navigations map to a bounded number
+      // of input navigations (Example 1's q_conc).
+      break;
+    case Kind::kGetDescendants: {
+      auto path = pathexpr::PathExpr::Parse(node.path);
+      bool chain = path.ok() && path.value().IsLabelChain();
+      if (chain && (node.use_sigma || options.sigma_available)) {
+        // One σ per level retrieves the next match: bounded (Section 2).
+        break;
+      }
+      Worsen(report, Browsability::kBrowsable,
+             "getDescendants[" + node.path +
+                 "]: sibling scan length depends on the data" +
+                 (chain ? " (σ would make it bounded)" : ""));
+      break;
+    }
+    case Kind::kSelect:
+      Worsen(report, Browsability::kBrowsable,
+             "select[" + node.predicate->ToString() +
+                 "]: scan to the next satisfying binding is unbounded");
+      break;
+    case Kind::kJoin:
+      Worsen(report, Browsability::kBrowsable,
+             "join[" + node.predicate->ToString() +
+                 "]: inner scans per output binding are unbounded");
+      break;
+    case Kind::kGroupBy:
+      Worsen(report, Browsability::kBrowsable,
+             "groupBy: next_gb/next scans are unbounded");
+      break;
+    case Kind::kDistinct:
+      Worsen(report, Browsability::kBrowsable,
+             "distinct: scan past duplicates is unbounded");
+      break;
+    case Kind::kOrderBy:
+      Worsen(report, Browsability::kUnbrowsable,
+             "orderBy: requires the complete input list before the first "
+             "result");
+      break;
+    case Kind::kMaterialize:
+      Worsen(report, Browsability::kUnbrowsable,
+             "materialize: intermediate eager step drains its whole input");
+      break;
+    case Kind::kDifference:
+      Worsen(report, Browsability::kUnbrowsable,
+             "difference: requires the complete right input before the "
+             "first result");
+      break;
+  }
+  for (const PlanPtr& c : node.children) Visit(*c, options, report);
+}
+
+}  // namespace
+
+BrowsabilityReport Classify(const PlanNode& plan,
+                            const BrowsabilityOptions& options) {
+  BrowsabilityReport report;
+  Visit(plan, options, &report);
+  return report;
+}
+
+}  // namespace mix::mediator

@@ -1,0 +1,360 @@
+#include "mediator/compose.h"
+
+#include <map>
+#include <vector>
+
+#include "core/check.h"
+#include "pathexpr/path_expr.h"
+
+namespace mix::mediator {
+
+namespace {
+
+using algebra::BindingPredicate;
+
+Status Bail(const std::string& why) {
+  return Status::InvalidArgument("not composable: " + why);
+}
+
+// ---------------------------------------------------------------------------
+// Variable renaming (capture avoidance).
+// ---------------------------------------------------------------------------
+
+std::string Prefixed(const std::string& v) { return "#v" + v; }
+
+void PrefixVars(PlanNode* node) {
+  using Kind = PlanNode::Kind;
+  auto fix = [](std::string* v) {
+    if (!v->empty()) *v = Prefixed(*v);
+  };
+  fix(&node->var);
+  fix(&node->parent_var);
+  fix(&node->out_var);
+  fix(&node->grouped_var);
+  fix(&node->x_var);
+  fix(&node->y_var);
+  if (!node->label_is_constant) fix(&node->label);
+  for (std::string& v : node->vars) v = Prefixed(v);
+  if (node->predicate.has_value()) {
+    const BindingPredicate& p = *node->predicate;
+    node->predicate =
+        p.is_var_var()
+            ? BindingPredicate::VarVar(Prefixed(p.left_var()), p.op(),
+                                       Prefixed(p.right_var()))
+            : BindingPredicate::VarConst(Prefixed(p.left_var()), p.op(),
+                                         p.constant());
+  }
+  // kConst's text and kSource's source_name are not variables.
+  (void)Kind::kConst;
+  for (PlanPtr& c : node->children) PrefixVars(c.get());
+}
+
+// ---------------------------------------------------------------------------
+// Definition lookup within a plan subtree.
+// ---------------------------------------------------------------------------
+
+/// The node that introduces `var` (out_var for constructors, var for
+/// sources), or nullptr.
+PlanNode* FindDef(PlanNode* node, const std::string& var) {
+  using Kind = PlanNode::Kind;
+  if ((node->kind == Kind::kSource && node->var == var) ||
+      (node->kind != Kind::kSource && node->kind != Kind::kTupleDestroy &&
+       node->out_var == var)) {
+    return node;
+  }
+  // rename introduces out_var too (handled above via out_var).
+  for (PlanPtr& c : node->children) {
+    if (PlanNode* hit = FindDef(c.get(), var)) return hit;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Content-item enumeration (static image of the value a variable holds).
+// ---------------------------------------------------------------------------
+
+struct Item {
+  enum class Kind { kElement, kLeaf, kGroup };
+  Kind kind = Kind::kElement;
+  std::string label;   ///< element label / leaf text
+  std::string var;     ///< the construction variable holding the item
+  PlanNode* group = nullptr;  ///< kGroup: the groupBy node
+};
+
+/// Enumerates the list items the value of `var` splices into an enclosing
+/// construction, resolving through wrapList/concatenate/rename. A value
+/// whose label cannot be determined statically fails.
+Status ItemsOf(PlanNode* scope, const std::string& var,
+               std::vector<Item>* out) {
+  using Kind = PlanNode::Kind;
+  PlanNode* def = FindDef(scope, var);
+  if (def == nullptr) return Bail("no definition for $" + var);
+  switch (def->kind) {
+    case Kind::kCreateElement: {
+      if (!def->label_is_constant) {
+        return Bail("variable-labelled element $" + var);
+      }
+      out->push_back(Item{Item::Kind::kElement, def->label, var, nullptr});
+      return Status::OK();
+    }
+    case Kind::kConst:
+      out->push_back(Item{Item::Kind::kLeaf, def->text, var, nullptr});
+      return Status::OK();
+    case Kind::kWrapList:
+      return ItemsOf(def->children[0].get(), def->x_var, out);
+    case Kind::kConcatenate: {
+      Status s = ItemsOf(def->children[0].get(), def->x_var, out);
+      if (!s.ok()) return s;
+      return ItemsOf(def->children[0].get(), def->y_var, out);
+    }
+    case Kind::kGroupBy: {
+      // The grouped member must itself be statically labelled.
+      std::vector<Item> member;
+      Status s = ItemsOf(def->children[0].get(), def->grouped_var, &member);
+      if (!s.ok()) return s;
+      if (member.size() != 1 || member[0].kind == Item::Kind::kGroup) {
+        return Bail("grouped member of $" + var + " is not a single element");
+      }
+      out->push_back(Item{Item::Kind::kGroup, member[0].label,
+                          def->grouped_var, def});
+      return Status::OK();
+    }
+    case Kind::kRename:
+      return ItemsOf(def->children[0].get(),
+                     var == def->out_var ? def->x_var : var, out);
+    default:
+      return Bail("content of $" + var + " depends on the sources (" +
+                  PlanKindName(def->kind) + ")");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Query-side checks.
+// ---------------------------------------------------------------------------
+
+/// Counts how many times `var` is *used* (not defined) in the subtree.
+int CountUses(const PlanNode& node, const std::string& var) {
+  using Kind = PlanNode::Kind;
+  int n = 0;
+  auto use = [&](const std::string& v) {
+    if (v == var) ++n;
+  };
+  switch (node.kind) {
+    case Kind::kGetDescendants:
+      use(node.parent_var);
+      break;
+    case Kind::kSelect:
+    case Kind::kJoin:
+      use(node.predicate->left_var());
+      if (node.predicate->is_var_var()) use(node.predicate->right_var());
+      break;
+    case Kind::kGroupBy:
+      for (const auto& v : node.vars) use(v);
+      use(node.grouped_var);
+      break;
+    case Kind::kConcatenate:
+      use(node.x_var);
+      use(node.y_var);
+      break;
+    case Kind::kCreateElement:
+      use(node.x_var);
+      if (!node.label_is_constant) use(node.label);
+      break;
+    case Kind::kOrderBy:
+    case Kind::kProject:
+      for (const auto& v : node.vars) use(v);
+      break;
+    case Kind::kWrapList:
+    case Kind::kRename:
+      use(node.x_var);
+      break;
+    case Kind::kTupleDestroy:
+      use(node.var);
+      break;
+    default:
+      break;
+  }
+  for (const PlanPtr& c : node.children) n += CountUses(*c, var);
+  return n;
+}
+
+/// Finds the unique getDescendants anchored at `var` whose child is the
+/// source node itself; returns the owning slot so it can be replaced.
+PlanPtr* FindAnchoredGd(PlanPtr* slot, const std::string& var,
+                        const std::string& source_name) {
+  PlanNode* node = slot->get();
+  if (node->kind == PlanNode::Kind::kGetDescendants &&
+      node->parent_var == var &&
+      node->children[0]->kind == PlanNode::Kind::kSource &&
+      node->children[0]->source_name == source_name) {
+    return slot;
+  }
+  for (PlanPtr& c : node->children) {
+    if (PlanPtr* hit = FindAnchoredGd(&c, var, source_name)) return hit;
+  }
+  return nullptr;
+}
+
+int CountSources(const PlanNode& node, const std::string& name) {
+  int n = node.kind == PlanNode::Kind::kSource && node.source_name == name ? 1
+                                                                           : 0;
+  for (const PlanPtr& c : node.children) n += CountSources(*c, name);
+  return n;
+}
+
+}  // namespace
+
+Result<PlanPtr> ComposeQueryOverView(const PlanNode& query_plan,
+                                     const std::string& view_source_name,
+                                     const PlanNode& view_plan) {
+  using Kind = PlanNode::Kind;
+
+  // --- view side ---------------------------------------------------------
+  if (view_plan.kind != Kind::kTupleDestroy) {
+    return Bail("view root must be tupleDestroy");
+  }
+  PlanPtr view_stream = view_plan.children[0]->Clone();
+  PrefixVars(view_stream.get());
+  std::string root_var = view_plan.var.empty() ? "" : Prefixed(view_plan.var);
+  if (root_var.empty()) {
+    auto schema = ComputeSchema(*view_stream);
+    if (!schema.ok()) return schema.status();
+    if (schema.value().size() != 1) return Bail("ambiguous view root variable");
+    root_var = schema.value()[0];
+  }
+  PlanNode* root_def = FindDef(view_stream.get(), root_var);
+  if (root_def == nullptr || root_def->kind != Kind::kCreateElement ||
+      !root_def->label_is_constant) {
+    return Bail("view root is not a constant-labelled createElement");
+  }
+
+  // --- query side --------------------------------------------------------
+  PlanPtr query = query_plan.Clone();
+  int sources = CountSources(*query, view_source_name);
+  if (sources == 0) return query;  // nothing to do
+  if (sources > 1) return Bail("view source referenced more than once");
+
+  // Locate the view source and its anchor variable.
+  PlanNode* source_node = nullptr;
+  {
+    std::vector<PlanNode*> stack{query.get()};
+    while (!stack.empty()) {
+      PlanNode* n = stack.back();
+      stack.pop_back();
+      if (n->kind == Kind::kSource && n->source_name == view_source_name) {
+        source_node = n;
+        break;
+      }
+      for (PlanPtr& c : n->children) stack.push_back(c.get());
+    }
+  }
+  MIX_CHECK(source_node != nullptr);
+  const std::string anchor = source_node->var;
+  if (CountUses(*query, anchor) != 1) {
+    return Bail("view root variable used more than once");
+  }
+  PlanPtr* gd_slot = FindAnchoredGd(&query, anchor, view_source_name);
+  if (gd_slot == nullptr) {
+    return Bail("the single use of the view is not a getDescendants "
+                "anchored directly on the source");
+  }
+  auto path = pathexpr::PathExpr::Parse((*gd_slot)->path);
+  if (!path.ok()) return path.status();
+  std::vector<std::string> chain;
+  if (!path.value().IsLabelChain(&chain)) {
+    return Bail("view navigation path is not a literal label chain");
+  }
+  const std::string out_var = (*gd_slot)->out_var;
+
+  // --- unfold the chain through the view's construction -------------------
+  if (chain[0] != root_def->label) {
+    return Bail("path root '" + chain[0] + "' does not match the view root");
+  }
+  if (chain.size() == 1) {
+    // Binding the whole view root would need the top stream's cardinality
+    // (tupleDestroy takes its first binding only) — not statically known.
+    return Bail("path stops at the view root");
+  }
+  PlanNode* stream_root = view_stream.get();
+  PlanNode* matched_def = root_def;  // createElement of the current element
+  std::string matched_var = root_var;
+  algebra::VarList pending_occurrence;
+  bool crossed_nonempty_group = false;
+
+  for (size_t step = 1; step < chain.size(); ++step) {
+    if (matched_def == nullptr ||
+        matched_def->kind != Kind::kCreateElement) {
+      return Bail("cannot descend into non-element content at step " +
+                  chain[step]);
+    }
+    std::vector<Item> items;
+    Status s = ItemsOf(matched_def->children[0].get(), matched_def->x_var,
+                       &items);
+    if (!s.ok()) return s;
+
+    const Item* hit = nullptr;
+    for (const Item& item : items) {
+      if (item.label != chain[step]) continue;
+      if (hit != nullptr) return Bail("label '" + chain[step] +
+                                      "' matches more than one content item");
+      hit = &item;
+    }
+    if (hit == nullptr) {
+      return Bail("label '" + chain[step] + "' matches no content item");
+    }
+
+    if (hit->kind == Item::Kind::kGroup) {
+      PlanNode* gb = hit->group;
+      if (step == 1 && !gb->vars.empty()) {
+        return Bail("the answer collector must be an empty-group groupBy");
+      }
+      if (!gb->vars.empty()) {
+        if (crossed_nonempty_group) {
+          return Bail("more than one grouped level crossed");
+        }
+        crossed_nonempty_group = true;
+        pending_occurrence = gb->vars;
+      }
+      stream_root = gb->children[0].get();
+      matched_var = hit->var;
+      matched_def = FindDef(stream_root, matched_var);
+    } else if (hit->kind == Item::Kind::kElement) {
+      if (step == 1) {
+        // A scalar item at the top level repeats per top-stream binding,
+        // whose cardinality is not statically known.
+        return Bail("top-level scalar content has unknown multiplicity");
+      }
+      matched_var = hit->var;
+      matched_def = FindDef(stream_root, matched_var);
+    } else {  // kLeaf
+      if (step + 1 < chain.size()) {
+        return Bail("path descends into literal text");
+      }
+      if (step == 1) {
+        return Bail("top-level scalar content has unknown multiplicity");
+      }
+      matched_var = hit->var;
+      matched_def = nullptr;
+    }
+  }
+
+  // --- build the replacement subtree --------------------------------------
+  PlanPtr unfolded = stream_root->Clone();
+  if (!pending_occurrence.empty()) {
+    unfolded =
+        PlanNode::OrderByOccurrence(std::move(unfolded), pending_occurrence);
+  }
+  unfolded = PlanNode::Project(std::move(unfolded), {matched_var});
+  unfolded = PlanNode::Rename(std::move(unfolded), matched_var, out_var);
+
+  *gd_slot = std::move(unfolded);
+
+  // Final sanity: the composed stream must type-check.
+  if (query->kind == Kind::kTupleDestroy) {
+    auto schema = ComputeSchema(*query->children[0]);
+    if (!schema.ok()) return schema.status();
+  }
+  return query;
+}
+
+}  // namespace mix::mediator

@@ -1,0 +1,49 @@
+// Static query∘view composition (paper Section 3, "Preprocessing": "the
+// preprocessing phase will compose the query and the view and generate the
+// initial plan for q0 ∘ q").
+//
+// Runtime plan stacking (a lower mediator's virtual document registered as
+// an upper mediator's source) is always available and fully general. This
+// module additionally *unfolds* the view into the query plan when the
+// query's navigation into the view can be resolved statically, producing
+// one flat plan that the rewriter can then optimize across the former view
+// boundary (e.g. pushing the query's selections below the view's join).
+//
+// Supported shape (conservative; anything else returns InvalidArgument and
+// the caller falls back to stacking):
+//   * the query references the view source exactly once, through a single
+//     getDescendants whose path is a literal label chain anchored directly
+//     on the view source;
+//   * the chain steps resolve through the view's *constructed* structure
+//     (createElement labels, concatenate/wrapList splicing, groupBy lists);
+//     a step that would have to match source-dependent content (ANY) bails;
+//   * the first step descends through an empty-group groupBy (the
+//     translator's answer collector), so multiplicities are exact;
+//   * at most one non-empty-group groupBy is crossed; crossing it inserts
+//     an occurrence-mode orderBy on its group variables so the unfolded
+//     stream reproduces the flattened group order.
+//
+// The resulting plan is *navigationally equivalent* to the stacked pair:
+// same answer tree, same order (differentially tested in compose_test).
+#ifndef MIX_MEDIATOR_COMPOSE_H_
+#define MIX_MEDIATOR_COMPOSE_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "mediator/plan.h"
+
+namespace mix::mediator {
+
+/// Unfolds `view_plan` (a tupleDestroy-rooted view) into `query_plan`
+/// wherever the query reads source `view_source_name`. Neither input is
+/// modified. View-side variables are renamed (prefix "#v") to avoid
+/// capture. Returns InvalidArgument with a reason when the shape is not
+/// statically composable.
+Result<PlanPtr> ComposeQueryOverView(const PlanNode& query_plan,
+                                     const std::string& view_source_name,
+                                     const PlanNode& view_plan);
+
+}  // namespace mix::mediator
+
+#endif  // MIX_MEDIATOR_COMPOSE_H_

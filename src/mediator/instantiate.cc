@@ -1,0 +1,144 @@
+#include "mediator/instantiate.h"
+
+#include "algebra/concatenate_op.h"
+#include "algebra/create_element_op.h"
+#include "algebra/extra_ops.h"
+#include "algebra/get_descendants_op.h"
+#include "algebra/group_by_op.h"
+#include "algebra/join_op.h"
+#include "algebra/materialize_op.h"
+#include "algebra/order_by_op.h"
+#include "algebra/select_op.h"
+#include "algebra/set_ops.h"
+#include "algebra/source_op.h"
+#include "algebra/tuple_destroy_op.h"
+#include "core/super_root.h"
+#include "pathexpr/path_expr.h"
+
+namespace mix::mediator {
+
+void SourceRegistry::Register(std::string name, Navigable* source) {
+  sources_[std::move(name)] = source;
+}
+
+Navigable* SourceRegistry::Get(const std::string& name) const {
+  auto it = sources_.find(name);
+  return it == sources_.end() ? nullptr : it->second;
+}
+
+Result<algebra::BindingStream*> LazyMediator::BuildStream(
+    const PlanNode& node, const SourceRegistry& sources) {
+  using Kind = PlanNode::Kind;
+  namespace alg = mix::algebra;
+
+  // Children first.
+  std::vector<alg::BindingStream*> inputs;
+  for (const PlanPtr& c : node.children) {
+    auto child = BuildStream(*c, sources);
+    if (!child.ok()) return child.status();
+    inputs.push_back(child.value());
+  }
+
+  auto keep = [this](std::unique_ptr<alg::BindingStream> op)
+      -> alg::BindingStream* {
+    streams_.push_back(std::move(op));
+    return streams_.back().get();
+  };
+
+  switch (node.kind) {
+    case Kind::kSource: {
+      Navigable* src = sources.Get(node.source_name);
+      if (src == nullptr) {
+        return Status::NotFound("unknown source: " + node.source_name);
+      }
+      // Source bindings anchor at a virtual document node so that source
+      // path expressions match from the root element inclusive (see
+      // core/super_root.h).
+      auto adapter = std::make_unique<SuperRootNavigable>(src);
+      Navigable* anchored = adapter.get();
+      navigables_.push_back(std::move(adapter));
+      return keep(std::make_unique<alg::SourceOp>(anchored, node.var));
+    }
+    case Kind::kGetDescendants: {
+      auto path = pathexpr::PathExpr::Parse(node.path);
+      if (!path.ok()) return path.status();
+      alg::GetDescendantsOp::Options options;
+      options.use_select_sibling = node.use_sigma;
+      return keep(std::make_unique<alg::GetDescendantsOp>(
+          inputs[0], node.parent_var, std::move(path).ValueOrDie(),
+          node.out_var, options));
+    }
+    case Kind::kSelect:
+      return keep(std::make_unique<alg::SelectOp>(inputs[0], *node.predicate));
+    case Kind::kJoin: {
+      alg::JoinOp::Options options;
+      options.cache_inner = node.join_cache_inner;
+      options.index_inner = node.join_index_inner;
+      return keep(std::make_unique<alg::JoinOp>(inputs[0], inputs[1],
+                                                *node.predicate, options));
+    }
+    case Kind::kGroupBy:
+      return keep(std::make_unique<alg::GroupByOp>(
+          inputs[0], node.vars, node.grouped_var, node.out_var));
+    case Kind::kConcatenate:
+      return keep(std::make_unique<alg::ConcatenateOp>(
+          inputs[0], node.x_var, node.y_var, node.out_var));
+    case Kind::kCreateElement: {
+      auto label = node.label_is_constant
+                       ? alg::CreateElementOp::LabelSpec::Constant(node.label)
+                       : alg::CreateElementOp::LabelSpec::Variable(node.label);
+      return keep(std::make_unique<alg::CreateElementOp>(
+          inputs[0], std::move(label), node.x_var, node.out_var));
+    }
+    case Kind::kOrderBy:
+      return keep(std::make_unique<alg::OrderByOp>(
+          inputs[0], node.vars,
+          node.order_by_occurrence ? alg::OrderByOp::Mode::kByOccurrence
+                                   : alg::OrderByOp::Mode::kByValue));
+    case Kind::kMaterialize:
+      return keep(std::make_unique<alg::MaterializeOp>(inputs[0]));
+    case Kind::kUnion:
+      return keep(std::make_unique<alg::UnionOp>(inputs[0], inputs[1]));
+    case Kind::kDifference:
+      return keep(std::make_unique<alg::DifferenceOp>(inputs[0], inputs[1]));
+    case Kind::kDistinct:
+      return keep(std::make_unique<alg::DistinctOp>(inputs[0]));
+    case Kind::kProject:
+      return keep(std::make_unique<alg::ProjectOp>(inputs[0], node.vars));
+    case Kind::kWrapList:
+      return keep(std::make_unique<alg::WrapListOp>(inputs[0], node.x_var,
+                                                    node.out_var));
+    case Kind::kConst:
+      return keep(
+          std::make_unique<alg::ConstOp>(inputs[0], node.text, node.out_var));
+    case Kind::kRename:
+      return keep(std::make_unique<alg::RenameOp>(inputs[0], node.x_var,
+                                                  node.out_var));
+    case Kind::kTupleDestroy:
+      return Status::Internal("tupleDestroy inside a binding-stream subtree");
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+Result<std::unique_ptr<LazyMediator>> LazyMediator::Build(
+    const PlanNode& plan, const SourceRegistry& sources) {
+  if (plan.kind != PlanNode::Kind::kTupleDestroy) {
+    return Status::InvalidArgument("plan root must be tupleDestroy");
+  }
+  // Validate the stream schema below the root up front.
+  auto schema = ComputeSchema(*plan.children[0]);
+  if (!schema.ok()) return schema.status();
+
+  auto mediator = std::unique_ptr<LazyMediator>(new LazyMediator());
+  auto stream = mediator->BuildStream(*plan.children[0], sources);
+  if (!stream.ok()) return stream.status();
+  mediator->root_stream_ = stream.value();
+
+  auto doc = std::make_unique<algebra::TupleDestroyOp>(stream.value(),
+                                                       plan.var);
+  mediator->document_ = doc.get();
+  mediator->navigables_.push_back(std::move(doc));
+  return mediator;
+}
+
+}  // namespace mix::mediator

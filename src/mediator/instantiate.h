@@ -1,0 +1,68 @@
+// Plan instantiation: building the tree of lazy mediators (Fig. 4 → the
+// runtime of Fig. 2).
+//
+// `LazyMediator` owns one lazy-mediator object per algebra operator and
+// exposes the virtual answer document. Obtaining `document()` performs the
+// paper's preprocessing contract: a handle to the root of the virtual
+// answer is available "without even accessing the sources"; sources are
+// first touched when the client starts navigating.
+//
+// Mediator stacking (Fig. 1): a LazyMediator's document() is itself a
+// Navigable, so registering it in another mediator's SourceRegistry builds
+// a tree of mediators — query ∘ view composition by plan stacking.
+#ifndef MIX_MEDIATOR_INSTANTIATE_H_
+#define MIX_MEDIATOR_INSTANTIATE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/binding_stream.h"
+#include "core/navigable.h"
+#include "core/status.h"
+#include "mediator/plan.h"
+
+namespace mix::mediator {
+
+/// Name → navigable source (wrapped source, buffered LXP source, or a
+/// lower mediator's virtual document). Pointers are not owned.
+class SourceRegistry {
+ public:
+  void Register(std::string name, Navigable* source);
+  /// nullptr when unknown.
+  Navigable* Get(const std::string& name) const;
+
+ private:
+  std::map<std::string, Navigable*> sources_;
+};
+
+class LazyMediator {
+ public:
+  /// Builds the operator tree for `plan` (whose root must be tupleDestroy)
+  /// against `sources`. Fails on unknown sources, malformed path
+  /// expressions, or schema violations.
+  static Result<std::unique_ptr<LazyMediator>> Build(
+      const PlanNode& plan, const SourceRegistry& sources);
+
+  /// The virtual XML answer document.
+  Navigable* document() { return document_; }
+
+  /// The binding stream feeding tupleDestroy (for tests and tools).
+  algebra::BindingStream* root_stream() { return root_stream_; }
+
+ private:
+  LazyMediator() = default;
+
+  Result<algebra::BindingStream*> BuildStream(const PlanNode& node,
+                                              const SourceRegistry& sources);
+
+  std::vector<std::unique_ptr<algebra::BindingStream>> streams_;
+  std::vector<std::unique_ptr<Navigable>> navigables_;
+  algebra::BindingStream* root_stream_ = nullptr;
+  Navigable* document_ = nullptr;
+};
+
+}  // namespace mix::mediator
+
+#endif  // MIX_MEDIATOR_INSTANTIATE_H_

@@ -1,0 +1,30 @@
+// Textual plan format: parse the exact rendering PlanNode::ToString()
+// produces (the Fig. 4-style operator tree), so plans can be stored in
+// files, diffed, and fed to tools (`mixql --algebra`) without going
+// through XMAS.
+//
+//   tupleDestroy[$E]
+//     createElement[answer,$L -> $E]
+//       groupBy[{},$X -> $L]
+//         getDescendants[$R,homes.home -> $X, sigma]
+//           source[homesSrc -> $R]
+//
+// Children are nested by two-space indentation; binary operators (join,
+// union, difference) take two child subtrees.
+#ifndef MIX_MEDIATOR_PLAN_TEXT_H_
+#define MIX_MEDIATOR_PLAN_TEXT_H_
+
+#include <string_view>
+
+#include "core/status.h"
+#include "mediator/plan.h"
+
+namespace mix::mediator {
+
+/// Parses a plan rendered by PlanNode::ToString(). Round-trip guarantee:
+/// ParsePlanText(p->ToString())->ToString() == p->ToString().
+Result<PlanPtr> ParsePlanText(std::string_view text);
+
+}  // namespace mix::mediator
+
+#endif  // MIX_MEDIATOR_PLAN_TEXT_H_

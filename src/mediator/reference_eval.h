@@ -1,0 +1,31 @@
+// Eager plan evaluation against materialized sources — the oracle for
+// differential testing and the "compute the full result up front" baseline.
+#ifndef MIX_MEDIATOR_REFERENCE_EVAL_H_
+#define MIX_MEDIATOR_REFERENCE_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "algebra/reference.h"
+#include "core/status.h"
+#include "mediator/plan.h"
+
+namespace mix::mediator {
+
+/// Materialized sources: name → document root.
+using ReferenceSources = std::map<std::string, const xml::Node*>;
+
+/// Evaluates a binding-stream plan eagerly. Constructed nodes live in
+/// `scratch`.
+Result<algebra::reference::Table> EvaluateReferenceTable(
+    const PlanNode& node, const ReferenceSources& sources,
+    xml::Document* scratch);
+
+/// Evaluates a full (tupleDestroy-rooted) plan to the answer document root.
+Result<const xml::Node*> EvaluateReference(const PlanNode& root,
+                                           const ReferenceSources& sources,
+                                           xml::Document* scratch);
+
+}  // namespace mix::mediator
+
+#endif  // MIX_MEDIATOR_REFERENCE_EVAL_H_

@@ -1,0 +1,43 @@
+// Plan rewriting for navigational complexity (paper Section 3 mentions a
+// rewriting phase but omits the rules "due to space limitations"; these
+// are our reconstruction, documented in DESIGN.md §6).
+//
+// Rules (applied to fixpoint):
+//   1. enable-σ      — getDescendants over a literal label chain uses the
+//                      σ sibling-selection command when sources support it
+//                      (upgrades browsable → bounded browsable, Section 2);
+//   2. select-pushdown — a selection above a join moves into the side that
+//                      binds all its variables; a selection not involving
+//                      a getDescendants output moves below it; a selection
+//                      on group-by variables moves below the groupBy.
+//                      Earlier filtering means lazier scans;
+//   3. project-prune — projections that keep the full schema are dropped.
+#ifndef MIX_MEDIATOR_REWRITE_H_
+#define MIX_MEDIATOR_REWRITE_H_
+
+#include <string>
+
+#include "mediator/plan.h"
+
+namespace mix::mediator {
+
+struct RewriteOptions {
+  /// Sources answer σ natively; enables rule 1.
+  bool sigma_capable_sources = false;
+};
+
+struct RewriteStats {
+  int sigma_enabled = 0;
+  int selects_pushed = 0;
+  int projects_removed = 0;
+
+  int total() const { return sigma_enabled + selects_pushed + projects_removed; }
+  std::string ToString() const;
+};
+
+/// Rewrites in place; `*plan` may be re-rooted.
+RewriteStats Rewrite(PlanPtr* plan, const RewriteOptions& options);
+
+}  // namespace mix::mediator
+
+#endif  // MIX_MEDIATOR_REWRITE_H_

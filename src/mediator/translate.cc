@@ -1,0 +1,367 @@
+#include "mediator/translate.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace mix::mediator {
+
+namespace {
+
+using algebra::BindingPredicate;
+using algebra::VarList;
+using xmas::Condition;
+using xmas::HeadNode;
+
+bool Contains(const VarList& vars, const std::string& v) {
+  return std::find(vars.begin(), vars.end(), v) != vars.end();
+}
+
+/// One WHERE-clause operator chain under construction.
+struct Stream {
+  PlanPtr plan;
+  VarList schema;
+};
+
+class Translator {
+ public:
+  Result<PlanPtr> Run(const xmas::Query& q) {
+    Status s = ProcessConditions(q.conditions);
+    if (!s.ok()) return s;
+    if (streams_.empty()) {
+      return Status::InvalidArgument("XMAS: WHERE clause binds no variables");
+    }
+    if (streams_.size() > 1) {
+      return Status::Unimplemented(
+          "XMAS: sources are not connected by join predicates "
+          "(cross products are not supported)");
+    }
+    if (q.head == nullptr) {
+      return Status::InvalidArgument("XMAS: missing CONSTRUCT clause");
+    }
+    if (!q.head->group.has_value() || !q.head->group->empty()) {
+      return Status::InvalidArgument(
+          "XMAS: the root template must carry the {} annotation");
+    }
+    if (q.head->kind != HeadNode::Kind::kElement) {
+      return Status::InvalidArgument(
+          "XMAS: the root template must be an element");
+    }
+    bool is_list = false;
+    auto root_var = CompileTemplate(*q.head, {}, &is_list);
+    if (!root_var.ok()) return root_var.status();
+    return PlanNode::TupleDestroy(std::move(streams_[0].plan),
+                                  root_var.value());
+  }
+
+ private:
+  // -------------------------------------------------------------------
+  // WHERE clause
+  // -------------------------------------------------------------------
+
+  int StreamOf(const std::string& var) const {
+    for (size_t i = 0; i < streams_.size(); ++i) {
+      if (Contains(streams_[i].schema, var)) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  Status BindFresh(const std::string& var) {
+    if (bound_.count(var) > 0) {
+      return Status::InvalidArgument("XMAS: variable $" + var + " bound twice");
+    }
+    bound_.insert(var);
+    return Status::OK();
+  }
+
+  /// Tries to place one condition; returns true on success, false when its
+  /// dependencies are not bound yet.
+  Result<bool> TryPlace(const Condition& c) {
+    switch (c.kind) {
+      case Condition::Kind::kSourcePath: {
+        Status s = BindFresh(c.out_var);
+        if (!s.ok()) return s;
+        int idx;
+        auto it = source_stream_.find(c.source);
+        if (it == source_stream_.end()) {
+          std::string root_var = "#root_" + c.source;
+          Stream stream;
+          stream.plan = PlanNode::Source(c.source, root_var);
+          stream.schema = {root_var};
+          streams_.push_back(std::move(stream));
+          idx = static_cast<int>(streams_.size() - 1);
+          source_stream_[c.source] = idx;
+          source_root_[c.source] = root_var;
+        } else {
+          idx = it->second;
+        }
+        Stream& stream = streams_[static_cast<size_t>(idx)];
+        stream.plan = PlanNode::GetDescendants(
+            std::move(stream.plan), source_root_[c.source], c.path, c.out_var);
+        stream.schema.push_back(c.out_var);
+        return true;
+      }
+      case Condition::Kind::kVarPath: {
+        int idx = StreamOf(c.src_var);
+        if (idx < 0) return false;  // anchor not bound yet
+        Status s = BindFresh(c.out_var);
+        if (!s.ok()) return s;
+        Stream& stream = streams_[static_cast<size_t>(idx)];
+        stream.plan = PlanNode::GetDescendants(std::move(stream.plan),
+                                               c.src_var, c.path, c.out_var);
+        stream.schema.push_back(c.out_var);
+        return true;
+      }
+      case Condition::Kind::kCompare: {
+        int li = StreamOf(c.left_var);
+        if (li < 0) return false;
+        if (!c.right_is_var) {
+          Stream& stream = streams_[static_cast<size_t>(li)];
+          stream.plan = PlanNode::Select(
+              std::move(stream.plan),
+              BindingPredicate::VarConst(c.left_var, c.op, c.right));
+          return true;
+        }
+        int ri = StreamOf(c.right);
+        if (ri < 0) return false;
+        BindingPredicate pred =
+            BindingPredicate::VarVar(c.left_var, c.op, c.right);
+        if (li == ri) {
+          Stream& stream = streams_[static_cast<size_t>(li)];
+          stream.plan =
+              PlanNode::Select(std::move(stream.plan), std::move(pred));
+          return true;
+        }
+        // Merge the two streams with a join (left = earlier stream).
+        int lo = std::min(li, ri);
+        int hi = std::max(li, ri);
+        Stream merged;
+        merged.plan = PlanNode::Join(std::move(streams_[static_cast<size_t>(lo)].plan),
+                                     std::move(streams_[static_cast<size_t>(hi)].plan),
+                                     std::move(pred));
+        merged.schema = streams_[static_cast<size_t>(lo)].schema;
+        for (const std::string& v : streams_[static_cast<size_t>(hi)].schema) {
+          merged.schema.push_back(v);
+        }
+        streams_.erase(streams_.begin() + hi);
+        streams_[static_cast<size_t>(lo)] = std::move(merged);
+        // Re-point source stream indices.
+        for (auto& [name, idx] : source_stream_) {
+          if (idx == hi) idx = lo;
+          if (idx > hi) --idx;
+        }
+        return true;
+      }
+    }
+    return Status::Internal("unknown condition kind");
+  }
+
+  Status ProcessConditions(const std::vector<Condition>& conditions) {
+    std::vector<const Condition*> pending;
+    pending.reserve(conditions.size());
+    for (const Condition& c : conditions) pending.push_back(&c);
+
+    bool progress = true;
+    while (progress && !pending.empty()) {
+      progress = false;
+      for (auto it = pending.begin(); it != pending.end();) {
+        auto placed = TryPlace(**it);
+        if (!placed.ok()) return placed.status();
+        if (placed.value()) {
+          it = pending.erase(it);
+          progress = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (!pending.empty()) {
+      return Status::InvalidArgument(
+          "XMAS: condition references unbound variable: " +
+          pending.front()->ToString());
+    }
+    return Status::OK();
+  }
+
+  // -------------------------------------------------------------------
+  // CONSTRUCT clause
+  // -------------------------------------------------------------------
+
+  std::string FreshVar(const std::string& hint) {
+    return "#" + std::to_string(fresh_counter_++) + hint;
+  }
+
+  Stream& S() { return streams_[0]; }
+
+  /// Counts grouped (annotated) nodes reachable from `node`'s children
+  /// without crossing another annotated node.
+  static int CountGroupedAtLevel(const HeadNode& node) {
+    int count = 0;
+    for (const auto& c : node.children) {
+      if (c->group.has_value()) {
+        ++count;
+      } else if (c->kind == HeadNode::Kind::kElement) {
+        count += CountGroupedAtLevel(*c);
+      }
+    }
+    return count;
+  }
+
+  static bool HasGroupedAtLevel(const HeadNode& node) {
+    return CountGroupedAtLevel(node) > 0;
+  }
+
+  /// Compiles one template node produced in grouping context `ctx`.
+  /// Returns the variable holding the node's content for one binding;
+  /// `*is_list` reports whether that variable holds a list value.
+  Result<std::string> CompileTemplate(const HeadNode& node, const VarList& ctx,
+                                      bool* is_list) {
+    *is_list = false;
+    switch (node.kind) {
+      case HeadNode::Kind::kVar:
+        if (!Contains(S().schema, node.var)) {
+          return Status::InvalidArgument(
+              "XMAS: CONSTRUCT uses $" + node.var +
+              " which is not (or no longer) bound — scalar content must be "
+              "part of its grouping context");
+        }
+        return node.var;
+      case HeadNode::Kind::kText: {
+        std::string v = FreshVar("t");
+        S().plan = PlanNode::Const(std::move(S().plan), node.label, v);
+        S().schema.push_back(v);
+        return v;
+      }
+      case HeadNode::Kind::kElement:
+        return CompileElement(node, ctx, is_list);
+    }
+    return Status::Internal("unknown template node kind");
+  }
+
+  Result<std::string> CompileElement(const HeadNode& node, const VarList& ctx,
+                                     bool* is_list) {
+    *is_list = false;
+
+    if (CountGroupedAtLevel(node) > 1) {
+      return Status::Unimplemented(
+          "XMAS: at most one grouped child per grouping level is supported");
+    }
+
+    // Context in which this element's children are produced.
+    VarList child_ctx = ctx;
+    if (node.group.has_value()) {
+      for (const std::string& v : *node.group) {
+        if (!Contains(child_ctx, v)) child_ctx.push_back(v);
+      }
+    }
+
+    // Content slots in document order; filled as children compile.
+    struct Slot {
+      std::string var;
+      bool is_list = false;
+    };
+    std::vector<Slot> slots(node.children.size());
+
+    // Pass 1: the child that performs the grouping for this level — a
+    // directly annotated child, or a scalar element containing one — must
+    // compile first, because its groupBy narrows the stream schema.
+    bool grouped_handled = false;
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      const HeadNode& c = *node.children[i];
+      if (c.group.has_value()) {
+        bool content_is_list = false;
+        auto vc = CompileTemplate(c, child_ctx, &content_is_list);
+        if (!vc.ok()) return vc.status();
+        std::string list_var = FreshVar("L");
+        S().plan = PlanNode::GroupBy(std::move(S().plan), child_ctx,
+                                     vc.value(), list_var);
+        S().schema = child_ctx;
+        S().schema.push_back(list_var);
+        slots[i] = Slot{list_var, true};
+        grouped_handled = true;
+      } else if (c.kind == HeadNode::Kind::kElement && HasGroupedAtLevel(c)) {
+        bool sub_is_list = false;
+        auto vc = CompileTemplate(c, child_ctx, &sub_is_list);
+        if (!vc.ok()) return vc.status();
+        slots[i] = Slot{vc.value(), sub_is_list};
+        grouped_handled = true;
+      }
+    }
+
+    // Collapse: an annotated element with no grouping child still needs one
+    // binding per child_ctx group.
+    if (node.group.has_value() && !grouped_handled) {
+      std::string dummy;
+      for (const std::string& v : S().schema) {
+        if (!Contains(child_ctx, v)) {
+          dummy = v;
+          break;
+        }
+      }
+      if (!dummy.empty()) {
+        std::string d = FreshVar("D");
+        S().plan =
+            PlanNode::GroupBy(std::move(S().plan), child_ctx, dummy, d);
+        S().schema = child_ctx;
+        S().schema.push_back(d);
+      }
+    }
+
+    // Pass 2: remaining (plain scalar) children.
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      if (!slots[i].var.empty()) continue;
+      bool child_is_list = false;
+      auto vc = CompileTemplate(*node.children[i], child_ctx, &child_is_list);
+      if (!vc.ok()) return vc.status();
+      slots[i] = Slot{vc.value(), child_is_list};
+    }
+
+    // Fold content in document order.
+    std::string ch_var;
+    if (slots.empty()) {
+      // Empty element: a fresh leaf has no subtrees.
+      ch_var = FreshVar("e");
+      S().plan = PlanNode::Const(std::move(S().plan), "", ch_var);
+      S().schema.push_back(ch_var);
+    } else if (slots.size() == 1) {
+      if (slots[0].is_list) {
+        ch_var = slots[0].var;
+      } else {
+        ch_var = FreshVar("W");
+        S().plan =
+            PlanNode::WrapList(std::move(S().plan), slots[0].var, ch_var);
+        S().schema.push_back(ch_var);
+      }
+    } else {
+      ch_var = slots[0].var;
+      for (size_t i = 1; i < slots.size(); ++i) {
+        std::string z = FreshVar("C");
+        S().plan = PlanNode::Concatenate(std::move(S().plan), ch_var,
+                                         slots[i].var, z);
+        S().schema.push_back(z);
+        ch_var = z;
+      }
+    }
+
+    std::string e_var = FreshVar("E");
+    S().plan = PlanNode::CreateElement(std::move(S().plan),
+                                       /*label_is_constant=*/true, node.label,
+                                       ch_var, e_var);
+    S().schema.push_back(e_var);
+    return e_var;
+  }
+
+  std::vector<Stream> streams_;
+  std::map<std::string, int> source_stream_;
+  std::map<std::string, std::string> source_root_;
+  std::set<std::string> bound_;
+  int fresh_counter_ = 0;
+};
+
+}  // namespace
+
+Result<PlanPtr> TranslateQuery(const xmas::Query& query) {
+  return Translator().Run(query);
+}
+
+}  // namespace mix::mediator

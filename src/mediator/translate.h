@@ -1,0 +1,41 @@
+// XMAS → algebra translation (paper Section 3: "a XMAS mediator view q is
+// first translated into an equivalent algebra expression Eq").
+//
+// WHERE clause: one operator chain per source — source → getDescendants*,
+// σ-selections for comparisons within one chain, nested-loops joins to
+// merge chains on cross-source comparisons. Disconnected sources (a cross
+// product with no join predicate) are rejected.
+//
+// CONSTRUCT clause: compiled bottom-up following the shape of Fig. 4.
+// For an element E produced in grouping context A with annotation Ge:
+//   * E's children are produced in context A ∪ Ge;
+//   * a grouped child (annotation {v..}) compiles its content per-binding,
+//     then groupBy_{A∪Ge, content -> L} collects the group's list;
+//   * if E is annotated but has no grouped child, a collapse groupBy
+//     reduces the stream to one binding per A ∪ Ge group;
+//   * children fold left-to-right with concatenate (which itemizes scalars
+//     and splices lists); singleton scalar content is wrapped with
+//     wrapList; literal text becomes const;
+//   * createElement_{label, content -> Ve} builds E.
+// The root template must carry the annotation {} and becomes the argument
+// of tupleDestroy.
+//
+// Supported fragment note: at most one grouped child per grouping level
+// (multiple sibling groups would require a multi-nest operator the paper
+// does not define); grouped-child annotations are treated as markers, as
+// in the paper's example plan, which inserts no duplicate elimination.
+#ifndef MIX_MEDIATOR_TRANSLATE_H_
+#define MIX_MEDIATOR_TRANSLATE_H_
+
+#include "core/status.h"
+#include "mediator/plan.h"
+#include "xmas/ast.h"
+
+namespace mix::mediator {
+
+/// Translates a parsed XMAS query into the initial plan E_q.
+Result<PlanPtr> TranslateQuery(const xmas::Query& query);
+
+}  // namespace mix::mediator
+
+#endif  // MIX_MEDIATOR_TRANSLATE_H_

@@ -1,0 +1,212 @@
+#include "mediator/view_schema.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace mix::mediator {
+
+namespace {
+
+constexpr char kAny[] = "ANY";
+constexpr char kText[] = "#text";
+
+/// Shape of a variable's value: a single node, or a list of item nodes
+/// (item `repeated` flags already set).
+struct Shape {
+  bool is_list = false;
+  std::unique_ptr<SchemaNode> node;                 ///< !is_list
+  std::vector<std::unique_ptr<SchemaNode>> items;   ///< is_list
+};
+
+std::unique_ptr<SchemaNode> Leaf(std::string label) {
+  auto n = std::make_unique<SchemaNode>();
+  n->label = std::move(label);
+  return n;
+}
+
+/// The list items a value contributes when spliced (concatenate /
+/// createElement semantics): a list contributes its items, a single value
+/// contributes itself.
+std::vector<std::unique_ptr<SchemaNode>> Flatten(Shape shape) {
+  if (shape.is_list) return std::move(shape.items);
+  std::vector<std::unique_ptr<SchemaNode>> out;
+  out.push_back(std::move(shape.node));
+  return out;
+}
+
+Result<Shape> ShapeOf(const PlanNode& node, const std::string& var);
+
+/// Shape of `var` in the binding stream produced by `node`'s child that
+/// binds it.
+Result<Shape> ShapeFromInputs(const PlanNode& node, const std::string& var) {
+  for (const PlanPtr& c : node.children) {
+    auto schema = ComputeSchema(*c);
+    if (!schema.ok()) return schema.status();
+    if (std::find(schema.value().begin(), schema.value().end(), var) !=
+        schema.value().end()) {
+      return ShapeOf(*c, var);
+    }
+  }
+  return Status::InvalidArgument("schema inference: variable $" + var +
+                                 " not bound below " + PlanKindName(node.kind));
+}
+
+Result<Shape> ShapeOf(const PlanNode& node, const std::string& var) {
+  using Kind = PlanNode::Kind;
+  switch (node.kind) {
+    case Kind::kSource:
+    case Kind::kGetDescendants:
+      if ((node.kind == Kind::kSource && var == node.var) ||
+          (node.kind == Kind::kGetDescendants && var == node.out_var)) {
+        // Source-dependent content: the wildcard.
+        Shape s;
+        s.node = Leaf(kAny);
+        return s;
+      }
+      if (node.kind == Kind::kSource) {
+        return Status::InvalidArgument("schema inference: unknown variable $" +
+                                       var);
+      }
+      return ShapeFromInputs(node, var);
+
+    case Kind::kConst:
+      if (var == node.out_var) {
+        Shape s;
+        s.node = Leaf(kText);
+        return s;
+      }
+      return ShapeFromInputs(node, var);
+
+    case Kind::kWrapList:
+      if (var == node.out_var) {
+        auto inner = ShapeOf(*node.children[0], node.x_var);
+        if (!inner.ok()) return inner.status();
+        Shape s;
+        s.is_list = true;
+        s.items = Flatten(std::move(inner).ValueOrDie());
+        return s;
+      }
+      return ShapeFromInputs(node, var);
+
+    case Kind::kGroupBy:
+      if (var == node.out_var) {
+        auto inner = ShapeOf(*node.children[0], node.grouped_var);
+        if (!inner.ok()) return inner.status();
+        Shape s;
+        s.is_list = true;
+        for (auto& item : Flatten(std::move(inner).ValueOrDie())) {
+          item->repeated = true;
+          s.items.push_back(std::move(item));
+        }
+        return s;
+      }
+      return ShapeFromInputs(node, var);
+
+    case Kind::kConcatenate:
+      if (var == node.out_var) {
+        auto x = ShapeOf(*node.children[0], node.x_var);
+        if (!x.ok()) return x.status();
+        auto y = ShapeOf(*node.children[0], node.y_var);
+        if (!y.ok()) return y.status();
+        Shape s;
+        s.is_list = true;
+        for (auto& item : Flatten(std::move(x).ValueOrDie())) {
+          s.items.push_back(std::move(item));
+        }
+        for (auto& item : Flatten(std::move(y).ValueOrDie())) {
+          s.items.push_back(std::move(item));
+        }
+        return s;
+      }
+      return ShapeFromInputs(node, var);
+
+    case Kind::kCreateElement:
+      if (var == node.out_var) {
+        auto ch = ShapeOf(*node.children[0], node.x_var);
+        if (!ch.ok()) return ch.status();
+        Shape s;
+        s.node = Leaf(node.label_is_constant ? node.label : kAny);
+        s.node->children = Flatten(std::move(ch).ValueOrDie());
+        return s;
+      }
+      return ShapeFromInputs(node, var);
+
+    case Kind::kSelect:
+    case Kind::kJoin:
+    case Kind::kOrderBy:
+    case Kind::kMaterialize:
+    case Kind::kDistinct:
+    case Kind::kProject:
+    case Kind::kDifference:
+      return ShapeFromInputs(node, var);
+
+    case Kind::kRename:
+      return ShapeOf(*node.children[0],
+                     var == node.out_var ? node.x_var : var);
+
+    case Kind::kUnion:
+      // Both branches have the same schema; their shapes may differ — a
+      // faithful answer would be the disjunction, we approximate with the
+      // left branch (documented limitation).
+      return ShapeOf(*node.children[0], var);
+
+    case Kind::kTupleDestroy:
+      return Status::InvalidArgument(
+          "schema inference: tupleDestroy is not a binding-stream node");
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+void Render(const SchemaNode& n, std::string* out) {
+  *out += n.label;
+  if (!n.children.empty()) {
+    *out += "(";
+    bool first = true;
+    for (const auto& c : n.children) {
+      if (!first) *out += ",";
+      first = false;
+      Render(*c, out);
+    }
+    *out += ")";
+  }
+  if (n.repeated) *out += "*";
+}
+
+}  // namespace
+
+std::string SchemaNode::ToString() const {
+  std::string out;
+  Render(*this, &out);
+  return out;
+}
+
+Result<std::unique_ptr<SchemaNode>> InferAnswerSchema(const PlanNode& plan) {
+  if (plan.kind != PlanNode::Kind::kTupleDestroy) {
+    return Status::InvalidArgument("plan root must be tupleDestroy");
+  }
+  std::string var = plan.var;
+  if (var.empty()) {
+    auto schema = ComputeSchema(*plan.children[0]);
+    if (!schema.ok()) return schema.status();
+    if (schema.value().size() != 1) {
+      return Status::InvalidArgument(
+          "schema inference: ambiguous tupleDestroy variable");
+    }
+    var = schema.value()[0];
+  }
+  auto shape = ShapeOf(*plan.children[0], var);
+  if (!shape.ok()) return shape.status();
+  Shape s = std::move(shape).ValueOrDie();
+  if (s.is_list || s.node == nullptr) {
+    return Status::InvalidArgument(
+        "schema inference: the answer root is not a single element");
+  }
+  if (s.node->label == kAny) {
+    return Status::InvalidArgument(
+        "schema inference: the answer root's shape depends on the sources");
+  }
+  return std::move(s.node);
+}
+
+}  // namespace mix::mediator

@@ -1,0 +1,49 @@
+// Answer-document schema inference (paper Section 6 / [LPVV99]).
+//
+// Section 6 motivates the DTD-oriented BBQ interface, which needs to know
+// the *shape* of a virtual answer without evaluating it; the companion
+// paper "View Definition and DTD Inference for XML" studies the general
+// problem. This module implements the practical core: from an algebra
+// plan, infer a content-model tree for the answer document —
+//
+//   answer                      answer
+//     med_home*          for      <med_home> $H $S {$S} </med_home> {$H}
+//       ANY                       (element content from a variable)
+//       ANY*
+//
+// Each schema node is an element label with a multiplicity (exactly-one or
+// zero-or-more); content originating from a query variable (whose type
+// depends on the sources) is the wildcard ANY. This is what a BBQ-style
+// interface renders as the navigable skeleton before any source access.
+#ifndef MIX_MEDIATOR_VIEW_SCHEMA_H_
+#define MIX_MEDIATOR_VIEW_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "mediator/plan.h"
+
+namespace mix::mediator {
+
+struct SchemaNode {
+  /// Element label; "ANY" for variable-typed content, "#text" for literal
+  /// character content.
+  std::string label;
+  /// True if this position repeats (list content: grouped children).
+  bool repeated = false;
+  std::vector<std::unique_ptr<SchemaNode>> children;
+
+  /// DTD-flavored rendering, e.g. `answer(med_home(ANY,ANY*)*)`.
+  std::string ToString() const;
+};
+
+/// Infers the answer schema of a tupleDestroy-rooted plan. Fails on plans
+/// whose root content cannot be traced to a createElement (e.g. a raw
+/// source passthrough, whose shape depends entirely on the data).
+Result<std::unique_ptr<SchemaNode>> InferAnswerSchema(const PlanNode& plan);
+
+}  // namespace mix::mediator
+
+#endif  // MIX_MEDIATOR_VIEW_SCHEMA_H_

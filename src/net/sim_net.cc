@@ -1,0 +1,23 @@
+#include "net/sim_net.h"
+
+#include "core/check.h"
+
+namespace mix::net {
+
+std::string ChannelStats::ToString() const {
+  return "messages=" + std::to_string(messages) +
+         " bytes=" + std::to_string(bytes) +
+         " busy_ms=" + std::to_string(busy_ns / 1'000'000.0);
+}
+
+void Channel::Send(int64_t payload_bytes) {
+  MIX_CHECK(payload_bytes >= 0);
+  int64_t cost =
+      options_.latency_per_message_ns + payload_bytes * options_.ns_per_byte;
+  if (clock_ != nullptr) clock_->Advance(cost);
+  ++stats_.messages;
+  stats_.bytes += payload_bytes;
+  stats_.busy_ns += cost;
+}
+
+}  // namespace mix::net

@@ -1,0 +1,64 @@
+// Deterministic simulated transport.
+//
+// Section 4 argues that node-at-a-time navigation over a network incurs a
+// packet per command, and that bulk transfers (chunked LXP fills) cut the
+// overhead. The paper's testbed is real sockets; we substitute a virtual
+// clock with per-message and per-byte costs so that the benchmark harness
+// reproduces the *shape* of those claims deterministically (DESIGN.md,
+// substitution table).
+#ifndef MIX_NET_SIM_NET_H_
+#define MIX_NET_SIM_NET_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mix::net {
+
+/// Monotonic virtual clock, advanced by simulated activity.
+class SimClock {
+ public:
+  int64_t now_ns() const { return now_ns_; }
+  void Advance(int64_t ns) { now_ns_ += ns; }
+
+ private:
+  int64_t now_ns_ = 0;
+};
+
+/// Cost model of one mediator↔wrapper link.
+struct ChannelOptions {
+  /// Fixed cost per message (request or response) — models RTT/packet cost.
+  int64_t latency_per_message_ns = 500'000;  // 0.5 ms
+  /// Marginal cost per payload byte — models bandwidth (~100 MB/s default).
+  int64_t ns_per_byte = 10;
+};
+
+struct ChannelStats {
+  int64_t messages = 0;
+  int64_t bytes = 0;
+  int64_t busy_ns = 0;
+
+  std::string ToString() const;
+};
+
+/// A half-duplex message channel with accounting. `Send` models one message
+/// of `payload_bytes` crossing the link: it advances the clock and updates
+/// the stats. A request/response exchange is two Sends.
+class Channel {
+ public:
+  Channel(SimClock* clock, ChannelOptions options)
+      : clock_(clock), options_(options) {}
+
+  void Send(int64_t payload_bytes);
+
+  const ChannelStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ChannelStats(); }
+
+ private:
+  SimClock* clock_;
+  ChannelOptions options_;
+  ChannelStats stats_;
+};
+
+}  // namespace mix::net
+
+#endif  // MIX_NET_SIM_NET_H_

@@ -1,0 +1,364 @@
+#include "pathexpr/path_expr.h"
+
+#include <cctype>
+
+#include "core/check.h"
+
+namespace mix::pathexpr {
+
+int Nfa::AddState() {
+  transitions_.emplace_back();
+  epsilon_.emplace_back();
+  accepting_.push_back(false);
+  return state_count() - 1;
+}
+
+void Nfa::AddTransition(int from, int to, bool wildcard, std::string label) {
+  transitions_[static_cast<size_t>(from)].push_back(
+      Transition{to, wildcard, std::move(label)});
+}
+
+void Nfa::AddEpsilon(int from, int to) {
+  epsilon_[static_cast<size_t>(from)].push_back(to);
+}
+
+void Nfa::EpsilonClose(StateSet* set) const {
+  std::vector<int> work;
+  for (int s = 0; s < state_count(); ++s) {
+    if ((*set)[static_cast<size_t>(s)]) work.push_back(s);
+  }
+  while (!work.empty()) {
+    int s = work.back();
+    work.pop_back();
+    for (int t : epsilon_[static_cast<size_t>(s)]) {
+      if (!(*set)[static_cast<size_t>(t)]) {
+        (*set)[static_cast<size_t>(t)] = true;
+        work.push_back(t);
+      }
+    }
+  }
+}
+
+Nfa::StateSet Nfa::StartSet() const {
+  StateSet set(static_cast<size_t>(state_count()), false);
+  set[static_cast<size_t>(start_)] = true;
+  EpsilonClose(&set);
+  return set;
+}
+
+Nfa::StateSet Nfa::Advance(const StateSet& set, const std::string& label) const {
+  StateSet next(static_cast<size_t>(state_count()), false);
+  for (int s = 0; s < state_count(); ++s) {
+    if (!set[static_cast<size_t>(s)]) continue;
+    for (const Transition& t : transitions_[static_cast<size_t>(s)]) {
+      if (t.wildcard || t.label == label) {
+        next[static_cast<size_t>(t.target)] = true;
+      }
+    }
+  }
+  EpsilonClose(&next);
+  return next;
+}
+
+bool Nfa::AnyAccepting(const StateSet& set) const {
+  for (int s = 0; s < state_count(); ++s) {
+    if (set[static_cast<size_t>(s)] && accepting_[static_cast<size_t>(s)]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Nfa::AnyOutgoing(const StateSet& set) const {
+  for (int s = 0; s < state_count(); ++s) {
+    if (set[static_cast<size_t>(s)] &&
+        !transitions_[static_cast<size_t>(s)].empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Nfa::Empty(const StateSet& set) {
+  for (bool b : set) {
+    if (b) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// AST for parsing; compiled away into the NFA.
+struct Ast {
+  enum class Kind { kLabel, kWildcard, kSeq, kAlt, kStar, kPlus, kOpt };
+  Kind kind;
+  std::string label;
+  std::vector<std::unique_ptr<Ast>> children;
+};
+
+bool IsLabelChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '@' || c == ':';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<std::unique_ptr<Ast>> Run() {
+    auto ast = ParseAlt();
+    if (!ast.ok()) return ast.status();
+    SkipWs();
+    if (pos_ < text_.size()) {
+      return Err("unexpected character '" + std::string(1, text_[pos_]) + "'");
+    }
+    return std::move(ast).ValueOrDie();
+  }
+
+ private:
+  Status Err(const std::string& msg) {
+    return Status::ParseError("path expression: " + msg + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::unique_ptr<Ast>> ParseAlt() {
+    auto left = ParseSeq();
+    if (!left.ok()) return left.status();
+    auto node = std::move(left).ValueOrDie();
+    while (Eat('|')) {
+      auto right = ParseSeq();
+      if (!right.ok()) return right.status();
+      auto alt = std::make_unique<Ast>();
+      alt->kind = Ast::Kind::kAlt;
+      alt->children.push_back(std::move(node));
+      alt->children.push_back(std::move(right).ValueOrDie());
+      node = std::move(alt);
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Ast>> ParseSeq() {
+    auto left = ParseRep();
+    if (!left.ok()) return left.status();
+    auto node = std::move(left).ValueOrDie();
+    while (Eat('.')) {
+      auto right = ParseRep();
+      if (!right.ok()) return right.status();
+      auto seq = std::make_unique<Ast>();
+      seq->kind = Ast::Kind::kSeq;
+      seq->children.push_back(std::move(node));
+      seq->children.push_back(std::move(right).ValueOrDie());
+      node = std::move(seq);
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Ast>> ParseRep() {
+    auto atom = ParseAtom();
+    if (!atom.ok()) return atom.status();
+    auto node = std::move(atom).ValueOrDie();
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size()) break;
+      char c = text_[pos_];
+      Ast::Kind kind;
+      if (c == '*') {
+        kind = Ast::Kind::kStar;
+      } else if (c == '+') {
+        kind = Ast::Kind::kPlus;
+      } else if (c == '?') {
+        kind = Ast::Kind::kOpt;
+      } else {
+        break;
+      }
+      ++pos_;
+      auto rep = std::make_unique<Ast>();
+      rep->kind = kind;
+      rep->children.push_back(std::move(node));
+      node = std::move(rep);
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Ast>> ParseAtom() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("expected label, '_' or '('");
+    if (text_[pos_] == '(') {
+      ++pos_;
+      auto inner = ParseAlt();
+      if (!inner.ok()) return inner.status();
+      if (!Eat(')')) return Err("expected ')'");
+      return std::move(inner).ValueOrDie();
+    }
+    if (!IsLabelChar(text_[pos_])) {
+      return Err("expected label, '_' or '('");
+    }
+    std::string label;
+    while (pos_ < text_.size() && IsLabelChar(text_[pos_])) {
+      label.push_back(text_[pos_++]);
+    }
+    auto node = std::make_unique<Ast>();
+    if (label == "_") {
+      node->kind = Ast::Kind::kWildcard;
+    } else {
+      node->kind = Ast::Kind::kLabel;
+      node->label = std::move(label);
+    }
+    return node;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Thompson construction: compiles `ast` into `nfa`, returning
+/// (entry, exit) states; `exit` has no outgoing edges of its own.
+struct Frag {
+  int entry;
+  int exit;
+};
+
+Frag Compile(const Ast& ast, Nfa* nfa) {
+  switch (ast.kind) {
+    case Ast::Kind::kLabel:
+    case Ast::Kind::kWildcard: {
+      int a = nfa->AddState();
+      int b = nfa->AddState();
+      nfa->AddTransition(a, b, ast.kind == Ast::Kind::kWildcard, ast.label);
+      return {a, b};
+    }
+    case Ast::Kind::kSeq: {
+      Frag l = Compile(*ast.children[0], nfa);
+      Frag r = Compile(*ast.children[1], nfa);
+      nfa->AddEpsilon(l.exit, r.entry);
+      return {l.entry, r.exit};
+    }
+    case Ast::Kind::kAlt: {
+      int a = nfa->AddState();
+      int b = nfa->AddState();
+      Frag l = Compile(*ast.children[0], nfa);
+      Frag r = Compile(*ast.children[1], nfa);
+      nfa->AddEpsilon(a, l.entry);
+      nfa->AddEpsilon(a, r.entry);
+      nfa->AddEpsilon(l.exit, b);
+      nfa->AddEpsilon(r.exit, b);
+      return {a, b};
+    }
+    case Ast::Kind::kStar: {
+      int a = nfa->AddState();
+      int b = nfa->AddState();
+      Frag inner = Compile(*ast.children[0], nfa);
+      nfa->AddEpsilon(a, inner.entry);
+      nfa->AddEpsilon(a, b);
+      nfa->AddEpsilon(inner.exit, inner.entry);
+      nfa->AddEpsilon(inner.exit, b);
+      return {a, b};
+    }
+    case Ast::Kind::kPlus: {
+      Frag inner = Compile(*ast.children[0], nfa);
+      nfa->AddEpsilon(inner.exit, inner.entry);
+      return inner;
+    }
+    case Ast::Kind::kOpt: {
+      Frag inner = Compile(*ast.children[0], nfa);
+      nfa->AddEpsilon(inner.entry, inner.exit);
+      return inner;
+    }
+  }
+  MIX_CHECK_MSG(false, "unreachable AST kind");
+  return {0, 0};
+}
+
+bool HasClosure(const Ast& ast) {
+  if (ast.kind == Ast::Kind::kStar || ast.kind == Ast::Kind::kPlus) return true;
+  for (const auto& c : ast.children) {
+    if (HasClosure(*c)) return true;
+  }
+  return false;
+}
+
+/// Extracts a literal chain a.b.c if the AST is pure Seq-of-Labels.
+bool ExtractChain(const Ast& ast, std::vector<std::string>* out) {
+  if (ast.kind == Ast::Kind::kLabel) {
+    out->push_back(ast.label);
+    return true;
+  }
+  if (ast.kind == Ast::Kind::kSeq) {
+    return ExtractChain(*ast.children[0], out) &&
+           ExtractChain(*ast.children[1], out);
+  }
+  return false;
+}
+
+std::string AstToString(const Ast& ast) {
+  switch (ast.kind) {
+    case Ast::Kind::kLabel:
+      return ast.label;
+    case Ast::Kind::kWildcard:
+      return "_";
+    case Ast::Kind::kSeq:
+      return AstToString(*ast.children[0]) + "." + AstToString(*ast.children[1]);
+    case Ast::Kind::kAlt:
+      return "(" + AstToString(*ast.children[0]) + "|" +
+             AstToString(*ast.children[1]) + ")";
+    case Ast::Kind::kStar:
+      return "(" + AstToString(*ast.children[0]) + ")*";
+    case Ast::Kind::kPlus:
+      return "(" + AstToString(*ast.children[0]) + ")+";
+    case Ast::Kind::kOpt:
+      return "(" + AstToString(*ast.children[0]) + ")?";
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<PathExpr> PathExpr::Parse(std::string_view text) {
+  auto ast = Parser(text).Run();
+  if (!ast.ok()) return ast.status();
+  const Ast& root = *ast.value();
+
+  auto nfa = std::make_shared<Nfa>();
+  Frag frag = Compile(root, nfa.get());
+  nfa->SetStart(frag.entry);
+  nfa->SetAccepting(frag.exit);
+
+  std::vector<std::string> chain;
+  if (!ExtractChain(root, &chain)) chain.clear();
+
+  return PathExpr(std::move(nfa), AstToString(root), HasClosure(root),
+                  std::move(chain));
+}
+
+bool PathExpr::IsLabelChain(std::vector<std::string>* labels) const {
+  if (chain_.empty()) return false;
+  if (labels != nullptr) *labels = chain_;
+  return true;
+}
+
+bool PathExpr::Matches(const std::vector<std::string>& path) const {
+  Nfa::StateSet set = nfa_->StartSet();
+  for (const std::string& label : path) {
+    set = nfa_->Advance(set, label);
+    if (Nfa::Empty(set)) return false;
+  }
+  return nfa_->AnyAccepting(set);
+}
+
+}  // namespace mix::pathexpr

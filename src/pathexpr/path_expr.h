@@ -1,0 +1,111 @@
+// Generalized regular path expressions (paper Section 3).
+//
+// XMAS conditions such as `homesSrc homes.home $H` and `$H zip._ $V1` bind
+// variables to nodes reachable over label paths matching a regular
+// expression. The supported operators are the paper's ". | * _" plus "+"
+// and "?" for convenience:
+//
+//   expr  := seq ('|' seq)*
+//   seq   := rep ('.' rep)*
+//   rep   := atom ('*' | '+' | '?')*
+//   atom  := label | '_' | '(' expr ')'
+//
+// A path [l1,...,lk] is the sequence of labels of the nodes visited from a
+// child of the anchor element down to (and including) the extracted node.
+// `_` matches any single label.
+//
+// Expressions compile to a Thompson NFA. The lazy getDescendants mediator
+// runs the NFA alongside its depth-first traversal of the input subtree,
+// pruning branches whose state set becomes empty.
+#ifndef MIX_PATHEXPR_PATH_EXPR_H_
+#define MIX_PATHEXPR_PATH_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace mix::pathexpr {
+
+/// Thompson NFA over labels. States are dense ints; `StateSet` is a bitset.
+class Nfa {
+ public:
+  using StateSet = std::vector<bool>;
+
+  struct Transition {
+    int target = 0;
+    bool wildcard = false;  ///< `_` — matches any label.
+    std::string label;      ///< valid when !wildcard.
+  };
+
+  int AddState();
+  void AddTransition(int from, int to, bool wildcard, std::string label);
+  void AddEpsilon(int from, int to);
+  void SetStart(int s) { start_ = s; }
+  void SetAccepting(int s) { accepting_[static_cast<size_t>(s)] = true; }
+
+  int state_count() const { return static_cast<int>(transitions_.size()); }
+
+  /// ε-closure of the start state.
+  StateSet StartSet() const;
+  /// States reachable from `set` by consuming `label` (ε-closed).
+  StateSet Advance(const StateSet& set, const std::string& label) const;
+  bool AnyAccepting(const StateSet& set) const;
+  /// True if any state in `set` has an outgoing (labeled) transition —
+  /// i.e. the set could still consume input. Lets the matcher skip whole
+  /// child lists once a path is complete and dead-ended.
+  bool AnyOutgoing(const StateSet& set) const;
+  static bool Empty(const StateSet& set);
+
+ private:
+  void EpsilonClose(StateSet* set) const;
+
+  std::vector<std::vector<Transition>> transitions_;
+  std::vector<std::vector<int>> epsilon_;
+  std::vector<bool> accepting_;
+  int start_ = 0;
+};
+
+/// A parsed, compiled path expression.
+class PathExpr {
+ public:
+  static Result<PathExpr> Parse(std::string_view text);
+
+  const Nfa& nfa() const { return *nfa_; }
+  /// The original (normalized) text, for plan printing.
+  const std::string& text() const { return text_; }
+
+  /// True if the expression is a plain chain of literal labels `a.b.c`
+  /// (no alternation/closure/wildcard); fills `labels` when non-null.
+  /// Such expressions make getDescendants σ-selectable, which is what the
+  /// end of Section 2 uses to upgrade browsability.
+  bool IsLabelChain(std::vector<std::string>* labels = nullptr) const;
+
+  /// True if the expression contains a closure operator. The paper's
+  /// getDescendants caches visited input nodes exactly "when [it] has a
+  /// recursive regular path expression as a parameter".
+  bool IsRecursive() const { return recursive_; }
+
+  /// Whole-path match test (primarily for tests).
+  bool Matches(const std::vector<std::string>& path) const;
+
+ private:
+  PathExpr(std::shared_ptr<const Nfa> nfa, std::string text, bool recursive,
+           std::vector<std::string> chain)
+      : nfa_(std::move(nfa)),
+        text_(std::move(text)),
+        recursive_(recursive),
+        chain_(std::move(chain)) {}
+
+  std::shared_ptr<const Nfa> nfa_;
+  std::string text_;
+  bool recursive_ = false;
+  /// Non-empty iff IsLabelChain().
+  std::vector<std::string> chain_;
+};
+
+}  // namespace mix::pathexpr
+
+#endif  // MIX_PATHEXPR_PATH_EXPR_H_

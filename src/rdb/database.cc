@@ -1,0 +1,22 @@
+#include "rdb/database.h"
+
+namespace mix::rdb {
+
+Result<Table*> Database::CreateTable(const std::string& table_name,
+                                     Schema schema) {
+  if (tables_.count(table_name) > 0) {
+    return Status::InvalidArgument("table already exists: " + table_name);
+  }
+  auto table = std::make_unique<Table>(table_name, std::move(schema));
+  Table* ptr = table.get();
+  tables_[table_name] = std::move(table);
+  order_.push_back(table_name);
+  return ptr;
+}
+
+Table* Database::GetTable(const std::string& table_name) const {
+  auto it = tables_.find(table_name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace mix::rdb

@@ -1,0 +1,39 @@
+// Database catalog for the relational substrate.
+#ifndef MIX_RDB_DATABASE_H_
+#define MIX_RDB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "rdb/table.h"
+
+namespace mix::rdb {
+
+class Database {
+ public:
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Creates an empty table; InvalidArgument if the name exists.
+  Result<Table*> CreateTable(const std::string& table_name, Schema schema);
+
+  /// Lookup; nullptr if absent.
+  Table* GetTable(const std::string& table_name) const;
+
+  /// Table names in creation order (the relational wrapper exports the
+  /// schema in this order at the database level, Section 4).
+  const std::vector<std::string>& table_names() const { return order_; }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace mix::rdb
+
+#endif  // MIX_RDB_DATABASE_H_

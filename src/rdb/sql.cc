@@ -1,0 +1,269 @@
+#include "rdb/sql.h"
+
+#include <cctype>
+
+namespace mix::rdb {
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view sql) : sql_(sql) {}
+
+  /// Token kinds: identifier/keyword, punctuation, string, number, end.
+  struct Token {
+    enum class Kind { kIdent, kPunct, kString, kNumber, kEnd };
+    Kind kind;
+    std::string text;
+    bool is_double = false;  // for kNumber
+  };
+
+  Token Next() {
+    SkipWs();
+    if (pos_ >= sql_.size()) return {Token::Kind::kEnd, "", false};
+    char c = sql_[pos_];
+    if (c == '\'') {
+      ++pos_;
+      std::string s;
+      while (pos_ < sql_.size() && sql_[pos_] != '\'') {
+        s.push_back(sql_[pos_++]);
+      }
+      if (pos_ < sql_.size()) ++pos_;  // closing quote
+      return {Token::Kind::kString, std::move(s), false};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < sql_.size() &&
+         std::isdigit(static_cast<unsigned char>(sql_[pos_ + 1])))) {
+      std::string s;
+      bool is_double = false;
+      if (c == '-') s.push_back(sql_[pos_++]);
+      while (pos_ < sql_.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql_[pos_])) ||
+              sql_[pos_] == '.')) {
+        if (sql_[pos_] == '.') is_double = true;
+        s.push_back(sql_[pos_++]);
+      }
+      return {Token::Kind::kNumber, std::move(s), is_double};
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string s;
+      while (pos_ < sql_.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql_[pos_])) ||
+              sql_[pos_] == '_' || sql_[pos_] == '.')) {
+        s.push_back(sql_[pos_++]);
+      }
+      return {Token::Kind::kIdent, std::move(s), false};
+    }
+    // Punctuation: multi-char operators first.
+    for (std::string_view op : {"<=", ">=", "<>", "!="}) {
+      if (sql_.substr(pos_, 2) == op) {
+        pos_ += 2;
+        return {Token::Kind::kPunct, std::string(op), false};
+      }
+    }
+    ++pos_;
+    return {Token::Kind::kPunct, std::string(1, c), false};
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < sql_.size() &&
+           std::isspace(static_cast<unsigned char>(sql_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view sql_;
+  size_t pos_ = 0;
+};
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+Result<Predicate::Op> ParseOp(const std::string& text) {
+  if (text == "=") return Predicate::Op::kEq;
+  if (text == "<>" || text == "!=") return Predicate::Op::kNe;
+  if (text == "<") return Predicate::Op::kLt;
+  if (text == "<=") return Predicate::Op::kLe;
+  if (text == ">") return Predicate::Op::kGt;
+  if (text == ">=") return Predicate::Op::kGe;
+  return Status::ParseError("unknown operator '" + text + "'");
+}
+
+}  // namespace
+
+std::string SelectStatement::ToString() const {
+  std::string s = "SELECT ";
+  if (columns.empty()) {
+    s += "*";
+  } else {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += columns[i];
+    }
+  }
+  s += " FROM " + table;
+  for (size_t i = 0; i < filters.size(); ++i) {
+    s += i == 0 ? " WHERE " : " AND ";
+    s += filters[i].column;
+    s += " ";
+    s += Predicate::OpName(filters[i].op);
+    s += " ";
+    if (filters[i].literal.type() == Type::kString) {
+      s += "'" + filters[i].literal.ToString() + "'";
+    } else {
+      s += filters[i].literal.ToString();
+    }
+  }
+  if (limit.has_value()) s += " LIMIT " + std::to_string(*limit);
+  return s;
+}
+
+Result<SelectStatement> ParseSelect(std::string_view sql) {
+  Lexer lexer(sql);
+  using Token = Lexer::Token;
+  SelectStatement stmt;
+
+  Token t = lexer.Next();
+  if (t.kind != Token::Kind::kIdent || Upper(t.text) != "SELECT") {
+    return Status::ParseError("expected SELECT");
+  }
+  // Column list.
+  t = lexer.Next();
+  if (t.kind == Token::Kind::kPunct && t.text == "*") {
+    t = lexer.Next();
+  } else {
+    for (;;) {
+      if (t.kind != Token::Kind::kIdent) {
+        return Status::ParseError("expected column name");
+      }
+      stmt.columns.push_back(t.text);
+      t = lexer.Next();
+      if (t.kind == Token::Kind::kPunct && t.text == ",") {
+        t = lexer.Next();
+        continue;
+      }
+      break;
+    }
+  }
+  if (t.kind != Token::Kind::kIdent || Upper(t.text) != "FROM") {
+    return Status::ParseError("expected FROM");
+  }
+  t = lexer.Next();
+  if (t.kind != Token::Kind::kIdent) {
+    return Status::ParseError("expected table name");
+  }
+  stmt.table = t.text;
+
+  t = lexer.Next();
+  if (t.kind == Token::Kind::kIdent && Upper(t.text) == "WHERE") {
+    for (;;) {
+      Token col = lexer.Next();
+      if (col.kind != Token::Kind::kIdent) {
+        return Status::ParseError("expected column in WHERE");
+      }
+      Token op = lexer.Next();
+      if (op.kind != Token::Kind::kPunct) {
+        return Status::ParseError("expected comparison operator");
+      }
+      auto parsed_op = ParseOp(op.text);
+      if (!parsed_op.ok()) return parsed_op.status();
+      Token lit = lexer.Next();
+      Value value;
+      if (lit.kind == Token::Kind::kString) {
+        value = Value(lit.text);
+      } else if (lit.kind == Token::Kind::kNumber) {
+        value = lit.is_double ? Value(std::stod(lit.text))
+                              : Value(static_cast<int64_t>(std::stoll(lit.text)));
+      } else {
+        return Status::ParseError("expected literal in WHERE");
+      }
+      stmt.filters.push_back({col.text, parsed_op.value(), std::move(value)});
+      t = lexer.Next();
+      if (t.kind == Token::Kind::kIdent && Upper(t.text) == "AND") continue;
+      break;
+    }
+  }
+  if (t.kind == Token::Kind::kIdent && Upper(t.text) == "LIMIT") {
+    Token n = lexer.Next();
+    if (n.kind != Token::Kind::kNumber || n.is_double) {
+      return Status::ParseError("expected integer after LIMIT");
+    }
+    stmt.limit = std::stoll(n.text);
+    t = lexer.Next();
+  }
+  if (t.kind != Token::Kind::kEnd) {
+    return Status::ParseError("trailing tokens after statement");
+  }
+  return stmt;
+}
+
+bool SelectResult::RowCursor::Next(Row* out) {
+  if (result_->limit_.has_value() && produced_ >= *result_->limit_) return false;
+  const Row* row = cursor_.Next();
+  if (row == nullptr) return false;
+  out->clear();
+  for (int idx : result_->projection_) {
+    out->push_back((*row)[static_cast<size_t>(idx)]);
+  }
+  ++produced_;
+  return true;
+}
+
+Result<SelectResult> BindSelect(const Database& db, const SelectStatement& stmt) {
+  const Table* table = db.GetTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + stmt.table);
+  }
+  const Schema& schema = table->schema();
+
+  std::vector<int> projection;
+  std::vector<Column> out_columns;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.column_count(); ++i) {
+      projection.push_back(static_cast<int>(i));
+      out_columns.push_back(schema.columns()[i]);
+    }
+  } else {
+    for (const std::string& name : stmt.columns) {
+      int idx = schema.IndexOf(name);
+      if (idx < 0) {
+        return Status::NotFound("no such column: " + name + " in " + stmt.table);
+      }
+      projection.push_back(idx);
+      out_columns.push_back(schema.columns()[static_cast<size_t>(idx)]);
+    }
+  }
+
+  std::vector<Predicate> predicates;
+  for (const auto& f : stmt.filters) {
+    int idx = schema.IndexOf(f.column);
+    if (idx < 0) {
+      return Status::NotFound("no such column: " + f.column + " in " + stmt.table);
+    }
+    Type col_type = schema.columns()[static_cast<size_t>(idx)].type;
+    Value literal = f.literal;
+    // INT literal against DOUBLE column: widen.
+    if (col_type == Type::kDouble && literal.type() == Type::kInt) {
+      literal = Value(static_cast<double>(literal.as_int()));
+    }
+    if (literal.type() != col_type) {
+      return Status::InvalidArgument("literal type does not match column " +
+                                     f.column);
+    }
+    predicates.push_back(Predicate{idx, f.op, std::move(literal)});
+  }
+
+  return SelectResult(Schema(std::move(out_columns)), table,
+                      std::move(predicates), std::move(projection), stmt.limit);
+}
+
+Result<SelectResult> ExecuteSelect(const Database& db, std::string_view sql) {
+  auto stmt = ParseSelect(sql);
+  if (!stmt.ok()) return stmt.status();
+  return BindSelect(db, stmt.value());
+}
+
+}  // namespace mix::rdb

@@ -1,0 +1,95 @@
+// Mini-SQL for the relational substrate.
+//
+// Section 4's relational wrapper "has translated a XMAS query into an SQL
+// query"; this module supplies the receiving end. Supported grammar:
+//
+//   SELECT (col (',' col)* | '*') FROM table
+//     [WHERE col op literal (AND col op literal)*]
+//     [LIMIT n]
+//
+// with op ∈ {=, <>, !=, <, <=, >, >=}, string literals in single quotes,
+// and integer/double literals. Keywords are case-insensitive.
+#ifndef MIX_RDB_SQL_H_
+#define MIX_RDB_SQL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "rdb/database.h"
+
+namespace mix::rdb {
+
+/// A parsed SELECT statement.
+struct SelectStatement {
+  std::vector<std::string> columns;  ///< empty means '*'.
+  std::string table;
+  /// WHERE atoms by column *name* (resolved against the schema at bind time).
+  struct Filter {
+    std::string column;
+    Predicate::Op op;
+    Value literal;
+  };
+  std::vector<Filter> filters;
+  std::optional<int64_t> limit;
+
+  std::string ToString() const;
+};
+
+Result<SelectStatement> ParseSelect(std::string_view sql);
+
+/// Result of executing a SELECT: an output schema plus a cursor factory.
+class SelectResult {
+ public:
+  SelectResult(Schema schema, const Table* table,
+               std::vector<Predicate> predicates, std::vector<int> projection,
+               std::optional<int64_t> limit)
+      : schema_(std::move(schema)),
+        table_(table),
+        predicates_(std::move(predicates)),
+        projection_(std::move(projection)),
+        limit_(limit) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Streams result rows; each call to Next fills `out` (projected).
+  class RowCursor {
+   public:
+    explicit RowCursor(const SelectResult* result)
+        : result_(result), cursor_(result->table_, result->predicates_) {}
+
+    /// Returns false at end-of-results.
+    bool Next(Row* out);
+    /// Absolute source-row position for LXP hole encoding.
+    void Seek(int64_t row_number) { cursor_.Seek(row_number); }
+    int64_t rows_scanned() const { return cursor_.rows_scanned(); }
+
+   private:
+    const SelectResult* result_;
+    Cursor cursor_;
+    int64_t produced_ = 0;
+  };
+
+  RowCursor Open() const { return RowCursor(this); }
+
+ private:
+  friend class RowCursor;
+  Schema schema_;
+  const Table* table_;
+  std::vector<Predicate> predicates_;
+  std::vector<int> projection_;
+  std::optional<int64_t> limit_;
+};
+
+/// Parses, binds and prepares `sql` against `db`.
+Result<SelectResult> ExecuteSelect(const Database& db, std::string_view sql);
+
+/// Binds an already-parsed statement.
+Result<SelectResult> BindSelect(const Database& db, const SelectStatement& stmt);
+
+}  // namespace mix::rdb
+
+#endif  // MIX_RDB_SQL_H_

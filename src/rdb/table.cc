@@ -1,0 +1,97 @@
+#include "rdb/table.h"
+
+#include "core/check.h"
+
+namespace mix::rdb {
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Predicate::Eval(const Row& row) const {
+  const Value& v = row[static_cast<size_t>(column)];
+  switch (op) {
+    case Op::kEq:
+      return v == literal;
+    case Op::kNe:
+      return v != literal;
+    case Op::kLt:
+      return v < literal;
+    case Op::kLe:
+      return v < literal || v == literal;
+    case Op::kGt:
+      return !(v < literal) && v != literal;
+    case Op::kGe:
+      return !(v < literal);
+  }
+  return false;
+}
+
+const char* Predicate::OpName(Op op) {
+  switch (op) {
+    case Op::kEq:
+      return "=";
+    case Op::kNe:
+      return "<>";
+    case Op::kLt:
+      return "<";
+    case Op::kLe:
+      return "<=";
+    case Op::kGt:
+      return ">";
+    case Op::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Status Table::Insert(Row row) {
+  if (row.size() != schema_.column_count()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema of " +
+        name_ + " (" + std::to_string(schema_.column_count()) + ")");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != schema_.columns()[i].type) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     schema_.columns()[i].name + " of " + name_);
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+const Row& Table::row(int64_t i) const {
+  MIX_CHECK(i >= 0 && i < row_count());
+  return rows_[static_cast<size_t>(i)];
+}
+
+Cursor::Cursor(const Table* table, std::vector<Predicate> predicates)
+    : table_(table), predicates_(std::move(predicates)) {
+  MIX_CHECK(table_ != nullptr);
+}
+
+const Row* Cursor::Next(int64_t* row_number) {
+  while (pos_ < table_->row_count()) {
+    const Row& r = table_->row(pos_);
+    int64_t current = pos_++;
+    ++rows_scanned_;
+    bool match = true;
+    for (const Predicate& p : predicates_) {
+      if (!p.Eval(r)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      if (row_number != nullptr) *row_number = current;
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace mix::rdb

@@ -1,0 +1,95 @@
+// Tables, schemas and cursors for the relational substrate.
+#ifndef MIX_RDB_TABLE_H_
+#define MIX_RDB_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "rdb/value.h"
+
+namespace mix::rdb {
+
+struct Column {
+  std::string name;
+  Type type;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t column_count() const { return columns_.size(); }
+  /// Index of `name` or -1.
+  int IndexOf(const std::string& name) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+using Row = std::vector<Value>;
+
+/// Comparison predicate `column op literal` — the WHERE atoms of mini-SQL
+/// and the pushdown unit of the relational wrapper.
+struct Predicate {
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe };
+  int column = 0;
+  Op op = Op::kEq;
+  Value literal;
+
+  bool Eval(const Row& row) const;
+  static const char* OpName(Op op);
+};
+
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Arity- and type-checks the row.
+  Status Insert(Row row);
+
+  int64_t row_count() const { return static_cast<int64_t>(rows_.size()); }
+  const Row& row(int64_t i) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+/// Forward-only scan cursor — the JDBC-style access path. The relational
+/// wrapper advances it tuple-at-a-time; `Seek` supports hole ids of the form
+/// db.table.row (Section 4) which address an absolute row position.
+class Cursor {
+ public:
+  /// `table` not owned. `predicates` are conjunctive filters.
+  explicit Cursor(const Table* table, std::vector<Predicate> predicates = {});
+
+  /// Next matching row, or nullptr at end. Also reports the absolute row
+  /// number through `row_number` when non-null.
+  const Row* Next(int64_t* row_number = nullptr);
+  void Reset() { pos_ = 0; }
+  /// Positions the cursor so that the next `Next()` returns the first
+  /// matching row with absolute number >= `row_number`.
+  void Seek(int64_t row_number) { pos_ = row_number; }
+
+  /// Rows the cursor has stepped over so far (I/O proxy for benchmarks).
+  int64_t rows_scanned() const { return rows_scanned_; }
+
+ private:
+  const Table* table_;
+  std::vector<Predicate> predicates_;
+  int64_t pos_ = 0;
+  int64_t rows_scanned_ = 0;
+};
+
+}  // namespace mix::rdb
+
+#endif  // MIX_RDB_TABLE_H_

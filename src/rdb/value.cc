@@ -1,0 +1,51 @@
+#include "rdb/value.h"
+
+#include "core/check.h"
+
+namespace mix::rdb {
+
+const char* TypeName(Type t) {
+  switch (t) {
+    case Type::kInt:
+      return "INT";
+    case Type::kDouble:
+      return "DOUBLE";
+    case Type::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+Type Value::type() const {
+  if (std::holds_alternative<int64_t>(v_)) return Type::kInt;
+  if (std::holds_alternative<double>(v_)) return Type::kDouble;
+  return Type::kString;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case Type::kInt:
+      return std::to_string(as_int());
+    case Type::kDouble: {
+      std::string s = std::to_string(as_double());
+      // Trim trailing zeros for stable rendering.
+      size_t dot = s.find('.');
+      if (dot != std::string::npos) {
+        size_t last = s.find_last_not_of('0');
+        if (last == dot) last = dot - 1;
+        s.erase(last + 1);
+      }
+      return s;
+    }
+    case Type::kString:
+      return as_string();
+  }
+  return "";
+}
+
+bool Value::operator<(const Value& o) const {
+  MIX_CHECK_MSG(type() == o.type(), "ordering across value types");
+  return v_ < o.v_;
+}
+
+}  // namespace mix::rdb

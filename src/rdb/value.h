@@ -1,0 +1,46 @@
+// Typed values for the in-memory relational substrate.
+//
+// The paper's relational wrapper sits on a JDBC connection to a real RDBMS;
+// this substrate replaces it with an embedded engine that exposes the same
+// access pattern (schema catalog + forward-only cursors delivering whole
+// tuples), which is what the granularity arguments of Section 4 rely on.
+#ifndef MIX_RDB_VALUE_H_
+#define MIX_RDB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace mix::rdb {
+
+enum class Type { kInt, kDouble, kString };
+
+const char* TypeName(Type t);
+
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  Type type() const;
+  int64_t as_int() const { return std::get<int64_t>(v_); }
+  double as_double() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  /// Rendering used when tuples are exported as XML leaves.
+  std::string ToString() const;
+
+  bool operator==(const Value& o) const { return v_ == o.v_; }
+  bool operator!=(const Value& o) const { return v_ != o.v_; }
+  /// Ordering is only defined between same-typed values; MIX_CHECKed.
+  bool operator<(const Value& o) const;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace mix::rdb
+
+#endif  // MIX_RDB_VALUE_H_

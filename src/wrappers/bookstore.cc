@@ -1,0 +1,192 @@
+#include "wrappers/bookstore.h"
+
+#include <cstdlib>
+
+#include "core/check.h"
+#include "xml/parser.h"
+
+namespace mix::wrappers {
+
+using buffer::Fragment;
+using buffer::FragmentList;
+
+namespace {
+
+/// SplitMix64, as in xml/random_tree.cc (kept local: different stream).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+const char* kAdjectives[] = {"Silent", "Crimson", "Hidden", "Broken",
+                             "Golden", "Lonely",  "Rapid",  "Ancient"};
+const char* kNouns[] = {"River",  "Garden", "Mediator", "Query",
+                        "Schema", "Harbor", "Compass",  "Lantern"};
+const char* kFirst[] = {"Ada", "Edgar", "Grace", "Alan", "Barbara", "Jim"};
+const char* kLast[] = {"Codd", "Hopper", "Gray", "Stonebraker", "Ullman"};
+
+Book MakeBook(uint64_t key) {
+  Book b;
+  uint64_t h1 = Mix(key);
+  uint64_t h2 = Mix(h1);
+  uint64_t h3 = Mix(h2);
+  b.title = std::string(kAdjectives[h1 % 8]) + " " + kNouns[h2 % 8] + " #" +
+            std::to_string(key % 100000);
+  b.author = std::string(kFirst[h2 % 6]) + " " + kLast[h3 % 5];
+  b.price_cents = 499 + static_cast<int64_t>(h3 % 9000);
+  b.stock = static_cast<int64_t>(h1 % 20);
+  return b;
+}
+
+}  // namespace
+
+std::vector<Book> MakeCatalog(const CatalogOptions& options) {
+  std::vector<Book> catalog;
+  catalog.reserve(static_cast<size_t>(options.size));
+  for (int i = 0; i < options.size; ++i) {
+    // Shared-prefix books derive from a store-independent key so that two
+    // catalogs overlap on them exactly.
+    uint64_t key = i < options.shared_prefix
+                       ? 0xC0FFEEULL * 1000003ULL + static_cast<uint64_t>(i)
+                       : options.seed * 0x100000001b3ULL + static_cast<uint64_t>(i);
+    catalog.push_back(MakeBook(key));
+  }
+  return catalog;
+}
+
+BookstoreSite::BookstoreSite(std::string name, std::vector<Book> catalog,
+                             int page_size)
+    : name_(std::move(name)), catalog_(std::move(catalog)), page_size_(page_size) {
+  MIX_CHECK(page_size_ >= 1);
+}
+
+int BookstoreSite::page_count() const {
+  return static_cast<int>((catalog_.size() + static_cast<size_t>(page_size_) - 1) /
+                          static_cast<size_t>(page_size_));
+}
+
+std::string BookstoreSite::RenderPageHtml(int page) const {
+  MIX_CHECK(page >= 0 && page < page_count());
+  ++pages_served_;
+  size_t lo = static_cast<size_t>(page) * static_cast<size_t>(page_size_);
+  size_t hi = std::min(catalog_.size(), lo + static_cast<size_t>(page_size_));
+
+  std::string html = "<html><head><title>" + name_ +
+                     " page " + std::to_string(page) + "</title></head><body>";
+  html += "<ul class=\"results\">";
+  for (size_t i = lo; i < hi; ++i) {
+    const Book& b = catalog_[i];
+    html += "<li class=\"book\">";
+    html += "<span class=\"title\">" + b.title + "</span>";
+    html += "<span class=\"author\">" + b.author + "</span>";
+    html += "<span class=\"price\">" + std::to_string(b.price_cents) + "</span>";
+    html += "<span class=\"stock\">" + std::to_string(b.stock) + "</span>";
+    html += "</li>";
+  }
+  html += "</ul>";
+  if (page + 1 < page_count()) {
+    html += "<a rel=\"next\" href=\"?page=" + std::to_string(page + 1) +
+            "\">next</a>";
+  }
+  html += "</body></html>";
+  return html;
+}
+
+BookstoreLxpWrapper::BookstoreLxpWrapper(const BookstoreSite* site)
+    : site_(site) {
+  MIX_CHECK(site_ != nullptr);
+}
+
+std::string BookstoreLxpWrapper::GetRoot(const std::string& uri) {
+  (void)uri;
+  return "books:root";
+}
+
+namespace {
+
+/// Collects all <li class="book"> elements.
+void CollectBooks(const xml::Node* n, std::vector<const xml::Node*>* out) {
+  if (n->kind == xml::NodeKind::kElement && n->label == "li") {
+    for (const xml::Node* c : n->children) {
+      if (c->label == "@class" && !c->children.empty() &&
+          c->children[0]->label == "book") {
+        out->push_back(n);
+        break;
+      }
+    }
+  }
+  for (const xml::Node* c : n->children) CollectBooks(c, out);
+}
+
+/// Extracts the text of the <span class="..."> field named `cls`.
+std::string SpanText(const xml::Node* li, const std::string& cls) {
+  for (const xml::Node* span : li->children) {
+    if (span->label != "span") continue;
+    bool match = false;
+    std::string text;
+    for (const xml::Node* c : span->children) {
+      if (c->label == "@class" && !c->children.empty() &&
+          c->children[0]->label == cls) {
+        match = true;
+      } else if (c->kind == xml::NodeKind::kText) {
+        text = c->label;
+      }
+    }
+    if (match) return text;
+  }
+  return "";
+}
+
+Fragment FieldFragment(const std::string& name, std::string value) {
+  Fragment f = Fragment::Element(name);
+  f.children.push_back(Fragment::Text(std::move(value)));
+  return f;
+}
+
+}  // namespace
+
+FragmentList BookstoreLxpWrapper::Fill(const std::string& hole_id) {
+  int page = 0;
+  bool root = hole_id == "books:root";
+  if (!root) {
+    MIX_CHECK_MSG(hole_id.rfind("page:", 0) == 0,
+                  "foreign hole id passed to BookstoreLxpWrapper");
+    page = std::atoi(hole_id.c_str() + 5);
+  }
+
+  // Fetch + scrape one page: the HTML is parsed with the XML parser
+  // (pages are well-formed XHTML) and book fields are extracted.
+  ++pages_fetched_;
+  int fetch_page = root ? 0 : page;
+  std::string html = site_->RenderPageHtml(fetch_page);
+  auto parsed = xml::Parse(html);
+  MIX_CHECK_MSG(parsed.ok(), parsed.status().ToString().c_str());
+
+  std::vector<const xml::Node*> lis;
+  CollectBooks(parsed.value()->root(), &lis);
+
+  FragmentList books;
+  for (const xml::Node* li : lis) {
+    Fragment book = Fragment::Element("book");
+    book.children.push_back(FieldFragment("title", SpanText(li, "title")));
+    book.children.push_back(FieldFragment("author", SpanText(li, "author")));
+    book.children.push_back(FieldFragment("price", SpanText(li, "price")));
+    book.children.push_back(FieldFragment("stock", SpanText(li, "stock")));
+    books.push_back(std::move(book));
+  }
+  bool has_next = fetch_page + 1 < site_->page_count();
+  if (has_next) {
+    books.push_back(Fragment::Hole("page:" + std::to_string(fetch_page + 1)));
+  }
+
+  if (root) {
+    Fragment view = Fragment::Element("books");
+    view.children = std::move(books);
+    return {std::move(view)};
+  }
+  return books;
+}
+
+}  // namespace mix::wrappers

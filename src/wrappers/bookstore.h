@@ -1,0 +1,91 @@
+// Simulated Web bookstore sources — the introduction's allbooks scenario.
+//
+// The paper motivates virtual views with a mediator integrating
+// amazon.com and barnesandnoble.com: the complete dataset cannot be
+// obtained, availability changes constantly, and users browse only the
+// first few results. We cannot scrape the real sites (DESIGN.md
+// substitution table), so this module provides:
+//
+//   * a deterministic synthetic catalog generator (titles, authors, price,
+//     stock), with configurable overlap between two stores;
+//   * an XHTML page renderer — each "site" serves its catalog as paginated
+//     HTML listing pages;
+//   * `BookstoreLxpWrapper`, an HTML-XML wrapper (Fig. 1) that fetches a
+//     page at a time, *parses the HTML* and exports the books as an XML
+//     view `books[book[title,author,price,stock]...]`, page-at-a-time —
+//     the Section 4 coarse-granularity Web source.
+#ifndef MIX_WRAPPERS_BOOKSTORE_H_
+#define MIX_WRAPPERS_BOOKSTORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "buffer/lxp.h"
+
+namespace mix::wrappers {
+
+struct Book {
+  std::string title;
+  std::string author;
+  int64_t price_cents = 0;
+  int64_t stock = 0;
+};
+
+struct CatalogOptions {
+  int size = 100;
+  uint64_t seed = 1;
+  /// Books [0, shared_prefix) are generated from a seed common to both
+  /// stores, so two catalogs with the same shared_prefix overlap on them.
+  int shared_prefix = 0;
+};
+
+/// Deterministic synthetic catalog.
+std::vector<Book> MakeCatalog(const CatalogOptions& options);
+
+/// One paginated "web site" serving a catalog as XHTML listing pages.
+class BookstoreSite {
+ public:
+  BookstoreSite(std::string name, std::vector<Book> catalog, int page_size);
+
+  const std::string& name() const { return name_; }
+  int page_count() const;
+  int page_size() const { return page_size_; }
+  int64_t catalog_size() const { return static_cast<int64_t>(catalog_.size()); }
+
+  /// Renders listing page `page` (0-based) as XHTML. The page embeds each
+  /// book as <li class="book"> with <span> fields, plus a rel="next" link
+  /// when more pages exist — the structure the wrapper scrapes.
+  std::string RenderPageHtml(int page) const;
+
+  int64_t pages_served() const { return pages_served_; }
+
+ private:
+  std::string name_;
+  std::vector<Book> catalog_;
+  int page_size_;
+  mutable int64_t pages_served_ = 0;
+};
+
+/// HTML-XML wrapper over a BookstoreSite: fetches pages on demand, scrapes
+/// them with the XML parser (pages are well-formed XHTML) and exports
+///   books[ book[title[..],author[..],price[..],stock[..]]* ]
+/// with one LXP fill per page and a trailing hole "page:<k+1>".
+class BookstoreLxpWrapper : public buffer::LxpWrapper {
+ public:
+  /// `site` is not owned and must outlive the wrapper.
+  explicit BookstoreLxpWrapper(const BookstoreSite* site);
+
+  std::string GetRoot(const std::string& uri) override;
+  buffer::FragmentList Fill(const std::string& hole_id) override;
+
+  int64_t pages_fetched() const { return pages_fetched_; }
+
+ private:
+  const BookstoreSite* site_;
+  int64_t pages_fetched_ = 0;
+};
+
+}  // namespace mix::wrappers
+
+#endif  // MIX_WRAPPERS_BOOKSTORE_H_

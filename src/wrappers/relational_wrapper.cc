@@ -1,0 +1,155 @@
+#include "wrappers/relational_wrapper.h"
+
+#include <cstdlib>
+
+#include "core/check.h"
+
+namespace mix::wrappers {
+
+using buffer::Fragment;
+using buffer::FragmentList;
+
+RelationalLxpWrapper::RelationalLxpWrapper(const rdb::Database* db,
+                                           Options options)
+    : db_(db), options_(options) {
+  MIX_CHECK(db_ != nullptr);
+  MIX_CHECK(options_.chunk >= 1);
+}
+
+std::string RelationalLxpWrapper::GetRoot(const std::string& uri) {
+  if (uri == "db" || uri.empty()) {
+    return "dbroot";
+  }
+  constexpr std::string_view kSqlPrefix = "sql:";
+  MIX_CHECK_MSG(uri.rfind(kSqlPrefix, 0) == 0,
+                "RelationalLxpWrapper URI must be 'db' or 'sql:<stmt>'");
+  auto stmt = rdb::ParseSelect(uri.substr(kSqlPrefix.size()));
+  MIX_CHECK_MSG(stmt.ok(), stmt.status().ToString().c_str());
+  // LIMIT state cannot be carried across stateless chunked fills (each fill
+  // reopens a cursor from the hole id); chunking already bounds transfers.
+  MIX_CHECK_MSG(!stmt.value().limit.has_value(),
+                "LIMIT is not supported on LXP query views");
+  auto bound = rdb::BindSelect(*db_, stmt.value());
+  MIX_CHECK_MSG(bound.ok(), bound.status().ToString().c_str());
+  RegisteredQuery q;
+  q.statement = stmt.value();
+  q.result = std::make_unique<rdb::SelectResult>(std::move(bound).ValueOrDie());
+  queries_.push_back(std::move(q));
+  return "q:" + std::to_string(queries_.size() - 1) + ":root";
+}
+
+Fragment RelationalLxpWrapper::RowFragment(const rdb::Schema& schema,
+                                           const rdb::Row& row) {
+  Fragment f = Fragment::Element("row");
+  for (size_t i = 0; i < schema.column_count(); ++i) {
+    Fragment att = Fragment::Element(schema.columns()[i].name);
+    att.children.push_back(Fragment::Text(row[i].ToString()));
+    f.children.push_back(std::move(att));
+  }
+  return f;
+}
+
+FragmentList RelationalLxpWrapper::FillDatabase() {
+  // Database level: the schema — one element per table, each with a hole
+  // for its rows (the paper returns the relational schema here).
+  Fragment db = Fragment::Element(db_->name());
+  for (const std::string& name : db_->table_names()) {
+    const rdb::Table* table = db_->GetTable(name);
+    Fragment t = Fragment::Element(name);
+    if (table->row_count() > 0) {
+      t.children.push_back(Fragment::Hole("t:" + name + ":0"));
+    }
+    db.children.push_back(std::move(t));
+  }
+  return {std::move(db)};
+}
+
+FragmentList RelationalLxpWrapper::FillTable(const std::string& table_name,
+                                             int64_t from_row) {
+  const rdb::Table* table = db_->GetTable(table_name);
+  MIX_CHECK_MSG(table != nullptr, "hole id names unknown table");
+  MIX_CHECK(from_row >= 0 && from_row <= table->row_count());
+
+  FragmentList out;
+  int64_t hi = std::min<int64_t>(from_row + options_.chunk, table->row_count());
+  for (int64_t i = from_row; i < hi; ++i) {
+    out.push_back(RowFragment(table->schema(), table->row(i)));
+    ++rows_scanned_;
+  }
+  if (hi < table->row_count()) {
+    out.push_back(Fragment::Hole("t:" + table_name + ":" + std::to_string(hi)));
+  }
+  return out;
+}
+
+FragmentList RelationalLxpWrapper::FillQuery(int64_t query_id, int64_t from_row,
+                                             bool root_fill) {
+  MIX_CHECK(query_id >= 0 &&
+            query_id < static_cast<int64_t>(queries_.size()));
+  const RegisteredQuery& q = queries_[static_cast<size_t>(query_id)];
+
+  // Cursors are recreated per fill and positioned from the hole id — the
+  // wrapper keeps no per-hole state (Section 4's id-encoding advice).
+  auto cursor = q.result->Open();
+  cursor.Seek(from_row);
+
+  FragmentList rows;
+  rdb::Row row;
+  int64_t produced = 0;
+  std::string next_hole;
+  // The underlying cursor reports absolute source positions through
+  // rows_scanned; we rebuild the absolute position of the *next* match by
+  // walking matches one at a time.
+  int64_t absolute = from_row;
+  while (produced < options_.chunk) {
+    int64_t scanned_before = cursor.rows_scanned();
+    if (!cursor.Next(&row)) break;
+    absolute += cursor.rows_scanned() - scanned_before;
+    rows.push_back(RowFragment(q.result->schema(), row));
+    ++produced;
+  }
+  // Probe for one more match to decide whether a trailing hole is needed.
+  int64_t scanned_before = cursor.rows_scanned();
+  if (cursor.Next(&row)) {
+    int64_t next_abs = absolute + (cursor.rows_scanned() - scanned_before) - 1;
+    next_hole = "q:" + std::to_string(query_id) + ":" + std::to_string(next_abs);
+  }
+  rows_scanned_ += cursor.rows_scanned();
+
+  if (root_fill) {
+    Fragment view = Fragment::Element("view");
+    view.children = std::move(rows);
+    if (!next_hole.empty()) {
+      view.children.push_back(Fragment::Hole(next_hole));
+    }
+    return {std::move(view)};
+  }
+  FragmentList out = std::move(rows);
+  if (!next_hole.empty()) out.push_back(Fragment::Hole(next_hole));
+  return out;
+}
+
+FragmentList RelationalLxpWrapper::Fill(const std::string& hole_id) {
+  ++fills_served_;
+  if (hole_id == "dbroot") return FillDatabase();
+
+  if (hole_id.rfind("t:", 0) == 0) {
+    size_t colon = hole_id.rfind(':');
+    MIX_CHECK(colon > 2);
+    std::string table = hole_id.substr(2, colon - 2);
+    int64_t from_row = std::strtoll(hole_id.c_str() + colon + 1, nullptr, 10);
+    return FillTable(table, from_row);
+  }
+
+  MIX_CHECK_MSG(hole_id.rfind("q:", 0) == 0,
+                "foreign hole id passed to RelationalLxpWrapper");
+  size_t colon = hole_id.find(':', 2);
+  MIX_CHECK(colon != std::string::npos);
+  int64_t query_id = std::strtoll(hole_id.c_str() + 2, nullptr, 10);
+  std::string rest = hole_id.substr(colon + 1);
+  if (rest == "root") return FillQuery(query_id, 0, /*root_fill=*/true);
+  return FillQuery(query_id, std::strtoll(rest.c_str(), nullptr, 10),
+                   /*root_fill=*/false);
+}
+
+}  // namespace mix::wrappers

@@ -1,0 +1,103 @@
+#include "wrappers/xml_lxp_wrapper.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/check.h"
+
+namespace mix::wrappers {
+
+using buffer::Fragment;
+using buffer::FragmentList;
+
+namespace {
+
+/// Hole ids address a child range: "x:<node>:<lo>:<hi>" = children of arena
+/// node <node> at positions [lo, hi).
+std::string HoleId(int64_t node_index, int64_t lo, int64_t hi) {
+  return "x:" + std::to_string(node_index) + ":" + std::to_string(lo) + ":" +
+         std::to_string(hi);
+}
+
+void ParseHoleId(const std::string& id, int64_t* node_index, int64_t* lo,
+                 int64_t* hi) {
+  MIX_CHECK_MSG(id.size() > 2 && id[0] == 'x' && id[1] == ':',
+                "foreign hole id passed to XmlLxpWrapper");
+  const char* p = id.c_str() + 2;
+  char* end = nullptr;
+  *node_index = std::strtoll(p, &end, 10);
+  MIX_CHECK(end != nullptr && *end == ':');
+  *lo = std::strtoll(end + 1, &end, 10);
+  MIX_CHECK(end != nullptr && *end == ':');
+  *hi = std::strtoll(end + 1, &end, 10);
+}
+
+}  // namespace
+
+XmlLxpWrapper::XmlLxpWrapper(const xml::Document* doc, Options options)
+    : doc_(doc), options_(options) {
+  MIX_CHECK(doc_ != nullptr && doc_->root() != nullptr);
+  MIX_CHECK(options_.chunk >= 1);
+}
+
+std::string XmlLxpWrapper::GetRoot(const std::string& uri) {
+  (void)uri;
+  return "xroot";
+}
+
+Fragment XmlLxpWrapper::FragmentFor(const xml::Node* child) {
+  if (options_.inline_limit > 0 &&
+      xml::SubtreeSize(child) <= options_.inline_limit) {
+    return Fragment::FromXmlSubtree(child);
+  }
+  if (child->kind == xml::NodeKind::kText) {
+    return Fragment::Text(child->label);
+  }
+  if (child->children.empty()) {
+    return Fragment::Element(child->label);
+  }
+  Fragment f = Fragment::Element(child->label);
+  f.children.push_back(Fragment::Hole(
+      HoleId(child->index, 0, static_cast<int64_t>(child->children.size()))));
+  return f;
+}
+
+FragmentList XmlLxpWrapper::Fill(const std::string& hole_id) {
+  ++fills_served_;
+  if (hole_id == "xroot") {
+    return {FragmentFor(doc_->root())};
+  }
+  int64_t node_index = 0;
+  int64_t lo = 0;
+  int64_t hi = 0;
+  ParseHoleId(hole_id, &node_index, &lo, &hi);
+  const xml::Node* parent = doc_->NodeAt(node_index);
+  MIX_CHECK(lo >= 0 && lo <= hi &&
+            hi <= static_cast<int64_t>(parent->children.size()));
+
+  int64_t take = std::min<int64_t>(options_.chunk, hi - lo);
+  FragmentList out;
+  if (take == 0) return out;
+
+  if (options_.policy == FillPolicy::kLeftToRight) {
+    // [e_lo ... e_{lo+take-1}, hole(lo+take, hi)?]
+    for (int64_t i = lo; i < lo + take; ++i) {
+      out.push_back(FragmentFor(parent->children[static_cast<size_t>(i)]));
+    }
+    if (lo + take < hi) {
+      out.push_back(Fragment::Hole(HoleId(node_index, lo + take, hi)));
+    }
+  } else {
+    // Liberal (Ex. 7 style): [hole(lo, hi-take)?, e_{hi-take} ... e_{hi-1}]
+    int64_t front_end = hi - take;
+    if (front_end > lo) {
+      out.push_back(Fragment::Hole(HoleId(node_index, lo, front_end)));
+    }
+    for (int64_t i = front_end; i < hi; ++i) {
+      out.push_back(FragmentFor(parent->children[static_cast<size_t>(i)]));
+    }
+  }
+  return out;
+}
+
+}  // namespace mix::wrappers

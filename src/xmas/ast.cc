@@ -1,0 +1,83 @@
+#include "xmas/ast.h"
+
+namespace mix::xmas {
+
+namespace {
+
+std::string GroupToString(const std::optional<std::vector<std::string>>& group) {
+  if (!group.has_value()) return "";
+  std::string out = " {";
+  bool first = true;
+  for (const std::string& v : *group) {
+    if (!first) out += ",";
+    first = false;
+    out += "$" + v;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string HeadNode::ToString() const {
+  switch (kind) {
+    case Kind::kVar:
+      return "$" + var + GroupToString(group);
+    case Kind::kText:
+      return "'" + label + "'" + GroupToString(group);
+    case Kind::kElement: {
+      std::string out = "<" + label + ">";
+      for (const auto& c : children) {
+        out += " " + c->ToString();
+      }
+      out += " </" + label + ">" + GroupToString(group);
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string Condition::ToString() const {
+  switch (kind) {
+    case Kind::kSourcePath:
+      return source + " " + path + " $" + out_var;
+    case Kind::kVarPath:
+      return "$" + src_var + " " + path + " $" + out_var;
+    case Kind::kCompare: {
+      std::string out = "$" + left_var;
+      out += " ";
+      out += algebra::CompareOpName(op);
+      out += " ";
+      out += right_is_var ? "$" + right : "'" + right + "'";
+      return out;
+    }
+  }
+  return "";
+}
+
+std::vector<std::string> Query::SourceNames() const {
+  std::vector<std::string> names;
+  for (const Condition& c : conditions) {
+    if (c.kind != Condition::Kind::kSourcePath) continue;
+    bool seen = false;
+    for (const std::string& n : names) {
+      if (n == c.source) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) names.push_back(c.source);
+  }
+  return names;
+}
+
+std::string Query::ToString() const {
+  std::string out = "CONSTRUCT " + head->ToString() + "\nWHERE ";
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    if (i > 0) out += "\n  AND ";
+    out += conditions[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace mix::xmas

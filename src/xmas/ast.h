@@ -1,0 +1,88 @@
+// XMAS — the XML Matching And Structuring Language (paper Section 3).
+//
+// A query has the shape of Fig. 3:
+//
+//   CONSTRUCT <answer>
+//               <med_home> $H $S {$S} </med_home> {$H}
+//             </answer> {}
+//   WHERE   homesSrc homes.home $H AND $H zip._ $V1
+//     AND   schoolsSrc schools.school $S AND $S zip._ $V2
+//     AND   $V1 = $V2
+//
+// The WHERE clause is a list of conditions: generalized-path-expression
+// matches rooted at a source (`source path $V`) or at a bound variable
+// (`$X path $V`), and comparisons (`$X op $Y`, `$X op 'const'`). The
+// CONSTRUCT clause (head) is an element template whose nodes may carry a
+// grouping annotation {v1,..,vk}; an unannotated node is a scalar within
+// its enclosing group. `%` starts a line comment. Literal text content is
+// written in single quotes.
+//
+// Unlike XML-QL/Lorel-style languages, XMAS uses *explicit group-by*
+// instead of Skolem functions, "thereby facilitating a direct translation
+// of the queries into an algebra" — see mediator/translate.h.
+#ifndef MIX_XMAS_AST_H_
+#define MIX_XMAS_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/binding_stream.h"
+#include "core/status.h"
+
+namespace mix::xmas {
+
+/// A node of the CONSTRUCT template.
+struct HeadNode {
+  enum class Kind { kElement, kVar, kText };
+
+  Kind kind = Kind::kElement;
+  std::string label;  ///< element tag (kElement) or literal text (kText).
+  std::string var;    ///< variable name without '$' (kVar).
+  std::vector<std::unique_ptr<HeadNode>> children;  ///< kElement only.
+  /// Grouping annotation: {v1..vk} (possibly empty = "{}"); nullopt means
+  /// the node is a scalar within the enclosing group.
+  std::optional<std::vector<std::string>> group;
+
+  std::string ToString() const;
+};
+
+/// One WHERE condition.
+struct Condition {
+  enum class Kind {
+    kSourcePath,  ///< source path $V
+    kVarPath,     ///< $X path $V
+    kCompare,     ///< $X op ($Y | 'const')
+  };
+
+  Kind kind = Kind::kCompare;
+
+  // kSourcePath / kVarPath:
+  std::string source;   ///< source name (kSourcePath).
+  std::string src_var;  ///< anchor variable (kVarPath).
+  std::string path;     ///< path-expression text.
+  std::string out_var;  ///< bound variable.
+
+  // kCompare:
+  std::string left_var;
+  algebra::CompareOp op = algebra::CompareOp::kEq;
+  bool right_is_var = false;
+  std::string right;  ///< variable name or constant text.
+
+  std::string ToString() const;
+};
+
+struct Query {
+  std::unique_ptr<HeadNode> head;
+  std::vector<Condition> conditions;
+
+  /// Source names mentioned in the WHERE clause, in first-use order.
+  std::vector<std::string> SourceNames() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace mix::xmas
+
+#endif  // MIX_XMAS_AST_H_

@@ -1,0 +1,491 @@
+#include "xmas/parser.h"
+
+#include <cctype>
+
+namespace mix::xmas {
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    kWord,      ///< identifier / path expression / number
+    kVar,       ///< $name
+    kTagOpen,   ///< <name>
+    kTagClose,  ///< </name>
+    kQuoted,    ///< 'text'
+    kOp,        ///< = != <> < <= > >=
+    kLBrace,
+    kRBrace,
+    kComma,
+    kEnd,
+  };
+  Kind kind;
+  std::string text;
+  int line = 1;
+};
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '|' || c == '*' || c == '+' || c == '?' || c == '(' ||
+         c == ')' || c == '@' || c == ':' || c == '-';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    for (;;) {
+      SkipWsAndComments();
+      if (pos_ >= text_.size()) {
+        out.push_back({Token::Kind::kEnd, "", line_});
+        return out;
+      }
+      char c = text_[pos_];
+      if (c == '<') {
+        auto tag = LexTag();
+        if (!tag.ok()) return tag.status();
+        out.push_back(std::move(tag).ValueOrDie());
+      } else if (c == '$') {
+        ++pos_;
+        std::string name = LexWordText();
+        if (name.empty()) return Err("expected variable name after '$'");
+        out.push_back({Token::Kind::kVar, std::move(name), line_});
+      } else if (c == '\'') {
+        ++pos_;
+        std::string s;
+        while (pos_ < text_.size() && text_[pos_] != '\'') {
+          s.push_back(text_[pos_++]);
+        }
+        if (pos_ >= text_.size()) return Err("unterminated string literal");
+        ++pos_;
+        out.push_back({Token::Kind::kQuoted, std::move(s), line_});
+      } else if (c == '{') {
+        ++pos_;
+        out.push_back({Token::Kind::kLBrace, "{", line_});
+      } else if (c == '}') {
+        ++pos_;
+        out.push_back({Token::Kind::kRBrace, "}", line_});
+      } else if (c == ',') {
+        ++pos_;
+        out.push_back({Token::Kind::kComma, ",", line_});
+      } else if (c == '=' || c == '!' || c == '>') {
+        out.push_back(LexOp());
+      } else if (IsWordChar(c)) {
+        out.push_back({Token::Kind::kWord, LexWordText(), line_});
+      } else {
+        return Err(std::string("unexpected character '") + c + "'");
+      }
+    }
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return Status::ParseError("XMAS: " + msg + " at line " +
+                              std::to_string(line_));
+  }
+
+  void SkipWsAndComments() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        if (text_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '%') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string LexWordText() {
+    std::string s;
+    while (pos_ < text_.size() && IsWordChar(text_[pos_])) {
+      s.push_back(text_[pos_++]);
+    }
+    return s;
+  }
+
+  Token LexOp() {
+    char c = text_[pos_++];
+    if (c == '=') return {Token::Kind::kOp, "=", line_};
+    if (c == '!' && pos_ < text_.size() && text_[pos_] == '=') {
+      ++pos_;
+      return {Token::Kind::kOp, "!=", line_};
+    }
+    // '>' or '>='
+    if (pos_ < text_.size() && text_[pos_] == '=') {
+      ++pos_;
+      return {Token::Kind::kOp, std::string(1, c) + "=", line_};
+    }
+    return {Token::Kind::kOp, std::string(1, c), line_};
+  }
+
+  Result<Token> LexTag() {
+    // pos_ at '<'. Could be <name>, </name>, or the operators < <= <>.
+    size_t start = pos_;
+    ++pos_;
+    bool closing = false;
+    if (pos_ < text_.size() && text_[pos_] == '/') {
+      closing = true;
+      ++pos_;
+    }
+    std::string name = LexWordText();
+    if (!name.empty() && pos_ < text_.size() && text_[pos_] == '>') {
+      ++pos_;
+      return Token{closing ? Token::Kind::kTagClose : Token::Kind::kTagOpen,
+                   std::move(name), line_};
+    }
+    // Not a tag: treat as comparison operator.
+    pos_ = start + 1;
+    if (pos_ < text_.size() && (text_[pos_] == '=' || text_[pos_] == '>')) {
+      std::string op = std::string("<") + text_[pos_];
+      ++pos_;
+      return Token{Token::Kind::kOp, op == "<>" ? "!=" : op, line_};
+    }
+    return Token{Token::Kind::kOp, "<", line_};
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+std::string Upper(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+Result<algebra::CompareOp> OpFromText(const std::string& text) {
+  using algebra::CompareOp;
+  if (text == "=") return CompareOp::kEq;
+  if (text == "!=") return CompareOp::kNe;
+  if (text == "<") return CompareOp::kLt;
+  if (text == "<=") return CompareOp::kLe;
+  if (text == ">") return CompareOp::kGt;
+  if (text == ">=") return CompareOp::kGe;
+  return Status::ParseError("XMAS: unknown comparison operator " + text);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Run() {
+    if (!EatKeyword("CONSTRUCT")) return Err("expected CONSTRUCT");
+    auto head = ParseTemplate();
+    if (!head.ok()) return head.status();
+    if (!EatKeyword("WHERE")) return Err("expected WHERE");
+    Query q;
+    q.head = std::move(head).ValueOrDie();
+    for (;;) {
+      if (Peek().kind == Token::Kind::kTagOpen) {
+        auto pattern_conds = ParsePatternCondition();
+        if (!pattern_conds.ok()) return pattern_conds.status();
+        for (Condition& c : pattern_conds.value()) {
+          q.conditions.push_back(std::move(c));
+        }
+      } else {
+        auto cond = ParseCondition();
+        if (!cond.ok()) return cond.status();
+        q.conditions.push_back(std::move(cond).ValueOrDie());
+      }
+      if (!EatKeyword("AND")) break;
+    }
+    if (Peek().kind != Token::Kind::kEnd) return Err("trailing tokens");
+    return q;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;  // kEnd sentinel
+    return tokens_[i];
+  }
+  Token Next() { return tokens_[pos_ >= tokens_.size() ? tokens_.size() - 1 : pos_++]; }
+
+  bool EatKeyword(const char* kw) {
+    if (Peek().kind == Token::Kind::kWord && Upper(Peek().text) == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError("XMAS: " + msg + " at line " +
+                              std::to_string(Peek().line) + " near '" +
+                              Peek().text + "'");
+  }
+
+  /// Parses an optional grouping annotation `{ $v, ... }`.
+  Result<std::optional<std::vector<std::string>>> TryParseGroup() {
+    if (Peek().kind != Token::Kind::kLBrace) {
+      return std::optional<std::vector<std::string>>();
+    }
+    Next();
+    std::vector<std::string> vars;
+    if (Peek().kind == Token::Kind::kRBrace) {
+      Next();
+      return std::optional<std::vector<std::string>>(std::move(vars));
+    }
+    for (;;) {
+      if (Peek().kind != Token::Kind::kVar) {
+        return Err("expected variable in grouping annotation");
+      }
+      vars.push_back(Next().text);
+      if (Peek().kind == Token::Kind::kComma) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    if (Peek().kind != Token::Kind::kRBrace) return Err("expected '}'");
+    Next();
+    return std::optional<std::vector<std::string>>(std::move(vars));
+  }
+
+  Result<std::unique_ptr<HeadNode>> ParseTemplate() {
+    auto node = std::make_unique<HeadNode>();
+    if (Peek().kind == Token::Kind::kTagOpen) {
+      Token open = Next();
+      node->kind = HeadNode::Kind::kElement;
+      node->label = open.text;
+      while (Peek().kind != Token::Kind::kTagClose) {
+        if (Peek().kind == Token::Kind::kEnd) {
+          return Err("unterminated element <" + node->label + ">");
+        }
+        auto child = ParseTemplate();
+        if (!child.ok()) return child.status();
+        node->children.push_back(std::move(child).ValueOrDie());
+      }
+      Token close = Next();
+      if (close.text != node->label) {
+        return Err("mismatched </" + close.text + ">, expected </" +
+                   node->label + ">");
+      }
+    } else if (Peek().kind == Token::Kind::kVar) {
+      node->kind = HeadNode::Kind::kVar;
+      node->var = Next().text;
+    } else if (Peek().kind == Token::Kind::kQuoted) {
+      node->kind = HeadNode::Kind::kText;
+      node->label = Next().text;
+    } else {
+      return Err("expected element, variable or literal in CONSTRUCT");
+    }
+    auto group = TryParseGroup();
+    if (!group.ok()) return group.status();
+    node->group = std::move(group).ValueOrDie();
+    return node;
+  }
+
+  // -----------------------------------------------------------------
+  // Tree patterns (footnote 6): `<homes> $H: <home> <zip>$V1</zip>
+  // </home> </homes> IN homesSrc` is sugar for path conditions. A
+  // pattern element matches a child step; `$X:` before an element binds
+  // X to it; a bare `$X` inside an element binds X to (any) content.
+  // Desugaring folds unbound single-child chains into composite paths,
+  // so the example becomes exactly `homesSrc homes.home $H AND
+  // $H zip._ $V1`.
+  // -----------------------------------------------------------------
+
+  struct PatternNode {
+    std::string label;
+    std::string bound_var;  ///< via the `$X:` binder; empty if unbound.
+    struct Item {
+      bool is_var = false;
+      std::string var;                   ///< is_var
+      std::unique_ptr<PatternNode> sub;  ///< !is_var
+    };
+    std::vector<Item> items;
+  };
+
+  Result<std::unique_ptr<PatternNode>> ParsePatternNode() {
+    if (Peek().kind != Token::Kind::kTagOpen) {
+      return Err("expected pattern element");
+    }
+    Token open = Next();
+    auto node = std::make_unique<PatternNode>();
+    node->label = open.text;
+    while (Peek().kind != Token::Kind::kTagClose) {
+      PatternNode::Item item;
+      if (Peek().kind == Token::Kind::kVar) {
+        std::string var = Next().text;
+        bool binder = false;
+        if (!var.empty() && var.back() == ':') {
+          var.pop_back();
+          binder = true;
+        } else if (Peek().kind == Token::Kind::kWord && Peek().text == ":") {
+          Next();
+          binder = true;
+        }
+        if (var.empty()) return Err("expected variable name in pattern");
+        if (binder) {
+          auto sub = ParsePatternNode();
+          if (!sub.ok()) return sub.status();
+          item.sub = std::move(sub).ValueOrDie();
+          item.sub->bound_var = std::move(var);
+        } else {
+          item.is_var = true;
+          item.var = std::move(var);
+        }
+      } else if (Peek().kind == Token::Kind::kTagOpen) {
+        auto sub = ParsePatternNode();
+        if (!sub.ok()) return sub.status();
+        item.sub = std::move(sub).ValueOrDie();
+      } else {
+        return Err("expected variable or nested element in pattern");
+      }
+      node->items.push_back(std::move(item));
+    }
+    Token close = Next();
+    if (close.text != node->label) {
+      return Err("mismatched pattern tag </" + close.text + ">");
+    }
+    return node;
+  }
+
+  /// Emits the conditions for `node` anchored at `anchor` (a source name
+  /// when `anchor_is_source`), appending to `out`.
+  Status DesugarPattern(const std::string& anchor, bool anchor_is_source,
+                        const PatternNode& node, std::vector<Condition>* out) {
+    auto emit = [&](std::string path, std::string out_var) {
+      Condition c;
+      c.kind = anchor_is_source ? Condition::Kind::kSourcePath
+                                : Condition::Kind::kVarPath;
+      c.source = anchor_is_source ? anchor : "";
+      c.src_var = anchor_is_source ? "" : anchor;
+      c.path = std::move(path);
+      c.out_var = std::move(out_var);
+      out->push_back(std::move(c));
+    };
+
+    // Fold single-child chains into one composite path, descending until a
+    // binder, a content variable, or a branching element.
+    std::string path = node.label;
+    const PatternNode* cur = &node;
+    while (cur->bound_var.empty() && cur->items.size() == 1) {
+      const PatternNode::Item& item = cur->items[0];
+      if (item.is_var) {
+        // <zip>$V1</zip>: the content step — path ends in a wildcard.
+        emit(path + "._", item.var);
+        return Status::OK();
+      }
+      path += "." + item.sub->label;
+      cur = item.sub.get();
+    }
+
+    std::string target = cur->bound_var;
+    if (target.empty()) {
+      // Branching or leaf element with no binder: fresh anchor variable
+      // (also serves as the existence witness for empty patterns).
+      target = "#p" + std::to_string(fresh_pattern_vars_++);
+    }
+    emit(std::move(path), target);
+    for (const auto& item : cur->items) {
+      Status s = DesugarItem(target, item, out);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  Status DesugarItem(const std::string& anchor,
+                     const PatternNode::Item& item,
+                     std::vector<Condition>* out) {
+    if (item.is_var) {
+      Condition c;
+      c.kind = Condition::Kind::kVarPath;
+      c.src_var = anchor;
+      c.path = "_";
+      c.out_var = item.var;
+      out->push_back(std::move(c));
+      return Status::OK();
+    }
+    return DesugarPattern(anchor, /*anchor_is_source=*/false, *item.sub, out);
+  }
+
+  /// Parses `pattern IN source`, returning the desugared conditions.
+  Result<std::vector<Condition>> ParsePatternCondition() {
+    auto pattern = ParsePatternNode();
+    if (!pattern.ok()) return pattern.status();
+    if (!EatKeyword("IN")) return Err("expected IN after tree pattern");
+    if (Peek().kind != Token::Kind::kWord) {
+      return Err("expected source name after IN");
+    }
+    std::string source = Next().text;
+    std::vector<Condition> out;
+    Status s = DesugarPattern(source, /*anchor_is_source=*/true,
+                              *pattern.value(), &out);
+    if (!s.ok()) return s;
+    return out;
+  }
+
+  Result<Condition> ParseCondition() {
+    Condition cond;
+    if (Peek().kind == Token::Kind::kVar) {
+      std::string var = Next().text;
+      if (Peek().kind == Token::Kind::kOp) {
+        cond.kind = Condition::Kind::kCompare;
+        cond.left_var = std::move(var);
+        auto op = OpFromText(Next().text);
+        if (!op.ok()) return op.status();
+        cond.op = op.value();
+        if (Peek().kind == Token::Kind::kVar) {
+          cond.right_is_var = true;
+          cond.right = Next().text;
+        } else if (Peek().kind == Token::Kind::kQuoted ||
+                   Peek().kind == Token::Kind::kWord) {
+          cond.right_is_var = false;
+          cond.right = Next().text;
+        } else {
+          return Err("expected variable or constant after comparison");
+        }
+        return cond;
+      }
+      if (Peek().kind == Token::Kind::kWord) {
+        cond.kind = Condition::Kind::kVarPath;
+        cond.src_var = std::move(var);
+        cond.path = Next().text;
+        if (Peek().kind != Token::Kind::kVar) {
+          return Err("expected output variable after path expression");
+        }
+        cond.out_var = Next().text;
+        return cond;
+      }
+      return Err("expected path or comparison after variable");
+    }
+    if (Peek().kind == Token::Kind::kWord) {
+      cond.kind = Condition::Kind::kSourcePath;
+      cond.source = Next().text;
+      if (Peek().kind != Token::Kind::kWord) {
+        return Err("expected path expression after source name");
+      }
+      cond.path = Next().text;
+      if (Peek().kind != Token::Kind::kVar) {
+        return Err("expected output variable after path expression");
+      }
+      cond.out_var = Next().text;
+      return cond;
+    }
+    return Err("expected condition");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int fresh_pattern_vars_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  auto tokens = Lexer(text).Run();
+  if (!tokens.ok()) return tokens.status();
+  return Parser(std::move(tokens).ValueOrDie()).Run();
+}
+
+}  // namespace mix::xmas

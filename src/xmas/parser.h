@@ -1,0 +1,17 @@
+// Parser for the XMAS surface syntax of Fig. 3. See ast.h for the grammar
+// notes; `%` starts a line comment, literal text is single-quoted.
+#ifndef MIX_XMAS_PARSER_H_
+#define MIX_XMAS_PARSER_H_
+
+#include <string_view>
+
+#include "core/status.h"
+#include "xmas/ast.h"
+
+namespace mix::xmas {
+
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace mix::xmas
+
+#endif  // MIX_XMAS_PARSER_H_

@@ -1,0 +1,56 @@
+#include "xml/doc_navigable.h"
+
+#include <atomic>
+
+#include "core/check.h"
+
+namespace mix::xml {
+
+namespace {
+int64_t NextInstanceId() {
+  static std::atomic<int64_t> counter{1};
+  return counter.fetch_add(1);
+}
+}  // namespace
+
+DocNavigable::DocNavigable(const Document* doc)
+    : doc_(doc), instance_(NextInstanceId()) {
+  MIX_CHECK(doc_ != nullptr);
+  MIX_CHECK_MSG(doc_->root() != nullptr, "document has no root");
+}
+
+NodeId DocNavigable::MakeId(const Node* n) const {
+  return NodeId("src", {instance_, n->index});
+}
+
+const Node* DocNavigable::Resolve(const NodeId& p) const {
+  MIX_CHECK_MSG(p.valid() && p.tag() == "src" && p.IntAt(0) == instance_,
+                "foreign node-id passed to DocNavigable");
+  return doc_->NodeAt(p.IntAt(1));
+}
+
+NodeId DocNavigable::Root() { return MakeId(doc_->root()); }
+
+std::optional<NodeId> DocNavigable::Down(const NodeId& p) {
+  const Node* n = Resolve(p)->first_child();
+  if (n == nullptr) return std::nullopt;
+  return MakeId(n);
+}
+
+std::optional<NodeId> DocNavigable::Right(const NodeId& p) {
+  const Node* n = Resolve(p)->right_sibling();
+  if (n == nullptr) return std::nullopt;
+  return MakeId(n);
+}
+
+Label DocNavigable::Fetch(const NodeId& p) { return Resolve(p)->label; }
+
+std::optional<NodeId> DocNavigable::NthChild(const NodeId& p, int64_t index) {
+  const Node* n = Resolve(p);
+  if (index < 0 || index >= static_cast<int64_t>(n->children.size())) {
+    return std::nullopt;
+  }
+  return MakeId(n->children[static_cast<size_t>(index)]);
+}
+
+}  // namespace mix::xml

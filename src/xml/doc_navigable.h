@@ -1,0 +1,39 @@
+// Navigable view over a materialized (memory-resident) Document.
+//
+// This is the "ideal source" of the paper: it answers every DOM-VXD command
+// in O(1) from the in-memory tree. Node-ids are `src(instance, index)` where
+// `instance` distinguishes documents (so ids cannot be confused across
+// sources) and `index` is the node's dense arena index.
+#ifndef MIX_XML_DOC_NAVIGABLE_H_
+#define MIX_XML_DOC_NAVIGABLE_H_
+
+#include "core/navigable.h"
+#include "xml/tree.h"
+
+namespace mix::xml {
+
+class DocNavigable : public Navigable {
+ public:
+  /// `doc` is not owned and must outlive this navigable; it must have a root.
+  explicit DocNavigable(const Document* doc);
+
+  NodeId Root() override;
+  std::optional<NodeId> Down(const NodeId& p) override;
+  std::optional<NodeId> Right(const NodeId& p) override;
+  Label Fetch(const NodeId& p) override;
+  /// O(1) indexed child access (in-memory children vector).
+  std::optional<NodeId> NthChild(const NodeId& p, int64_t index) override;
+
+  /// Decodes one of this navigable's ids back to the underlying node.
+  const Node* Resolve(const NodeId& p) const;
+
+ private:
+  NodeId MakeId(const Node* n) const;
+
+  const Document* doc_;
+  int64_t instance_;
+};
+
+}  // namespace mix::xml
+
+#endif  // MIX_XML_DOC_NAVIGABLE_H_

@@ -1,0 +1,56 @@
+#include "xml/materialize.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/check.h"
+
+namespace mix::xml {
+
+namespace {
+
+struct Budget {
+  int64_t remaining;
+  bool unlimited;
+  bool Take() {
+    if (unlimited) return true;
+    if (remaining <= 0) return false;
+    --remaining;
+    return true;
+  }
+};
+
+Node* Copy(Navigable* nav, const NodeId& p, Document* doc, Budget* budget) {
+  Label label = nav->Fetch(p);
+  std::optional<NodeId> child = nav->Down(p);
+  if (!child.has_value()) {
+    return doc->NewText(std::move(label));
+  }
+  Node* element = doc->NewElement(std::move(label));
+  while (child.has_value() && budget->Take()) {
+    doc->AppendChild(element, Copy(nav, *child, doc, budget));
+    child = nav->Right(*child);
+  }
+  return element;
+}
+
+}  // namespace
+
+Node* MaterializeInto(Navigable* nav, Document* doc) {
+  return MaterializePrefixInto(nav, doc, -1);
+}
+
+std::unique_ptr<Document> Materialize(Navigable* nav) {
+  auto doc = std::make_unique<Document>();
+  doc->set_root(MaterializeInto(nav, doc.get()));
+  return doc;
+}
+
+Node* MaterializePrefixInto(Navigable* nav, Document* doc, int64_t max_nodes) {
+  MIX_CHECK(nav != nullptr && doc != nullptr);
+  Budget budget{max_nodes, max_nodes < 0};
+  budget.Take();  // the root itself
+  return Copy(nav, nav->Root(), doc, &budget);
+}
+
+}  // namespace mix::xml

@@ -1,0 +1,32 @@
+// Materialization: fully exploring a Navigable into a memory-resident tree.
+//
+// This is both a test oracle (a lazily navigated virtual answer must
+// materialize to the same tree as the reference evaluation) and the "current
+// mediator systems" baseline of Section 1, which computes and returns the
+// result of the user query completely.
+#ifndef MIX_XML_MATERIALIZE_H_
+#define MIX_XML_MATERIALIZE_H_
+
+#include <memory>
+
+#include "core/navigable.h"
+#include "xml/tree.h"
+
+namespace mix::xml {
+
+/// Depth-first explores `nav` from its root using only d/r/f and copies the
+/// tree into `doc`, returning the copied root. Leaves become text nodes
+/// (the abstraction cannot distinguish empty elements from character data).
+Node* MaterializeInto(Navigable* nav, Document* doc);
+
+/// Convenience: materializes into a fresh document.
+std::unique_ptr<Document> Materialize(Navigable* nav);
+
+/// Materializes only `max_nodes` nodes (depth-first prefix); used by
+/// benchmarks that model a user who stops after browsing a few results.
+/// A negative limit means no limit.
+Node* MaterializePrefixInto(Navigable* nav, Document* doc, int64_t max_nodes);
+
+}  // namespace mix::xml
+
+#endif  // MIX_XML_MATERIALIZE_H_

@@ -1,0 +1,338 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace mix::xml {
+
+namespace {
+
+/// Cursor over the input with line/column tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool StartsWith(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  char Next() {
+    char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void Skip(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) Next();
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Next();
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(line_) +
+                              ", column " + std::to_string(col_));
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.' || c == ':' || c == '@';
+}
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view input) : cur_(input) {}
+
+  Result<std::unique_ptr<Document>> Run() {
+    auto doc = std::make_unique<Document>();
+    Status s = SkipMisc();
+    if (!s.ok()) return s;
+    if (cur_.AtEnd() || cur_.Peek() != '<') {
+      return cur_.Error("expected root element");
+    }
+    Node* root = nullptr;
+    s = ParseElement(doc.get(), &root);
+    if (!s.ok()) return s;
+    doc->set_root(root);
+    s = SkipMisc();
+    if (!s.ok()) return s;
+    if (!cur_.AtEnd()) return cur_.Error("trailing content after root element");
+    return doc;
+  }
+
+ private:
+  /// Skips whitespace, comments, PIs and DOCTYPE between markup.
+  Status SkipMisc() {
+    for (;;) {
+      cur_.SkipWhitespace();
+      if (cur_.StartsWith("<!--")) {
+        cur_.Skip(4);
+        while (!cur_.AtEnd() && !cur_.StartsWith("-->")) cur_.Next();
+        if (cur_.AtEnd()) return cur_.Error("unterminated comment");
+        cur_.Skip(3);
+      } else if (cur_.StartsWith("<?")) {
+        cur_.Skip(2);
+        while (!cur_.AtEnd() && !cur_.StartsWith("?>")) cur_.Next();
+        if (cur_.AtEnd()) return cur_.Error("unterminated processing instruction");
+        cur_.Skip(2);
+      } else if (cur_.StartsWith("<!DOCTYPE")) {
+        while (!cur_.AtEnd() && cur_.Peek() != '>') cur_.Next();
+        if (cur_.AtEnd()) return cur_.Error("unterminated DOCTYPE");
+        cur_.Next();
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  Status ParseName(std::string* out) {
+    out->clear();
+    while (!cur_.AtEnd() && IsNameChar(cur_.Peek())) out->push_back(cur_.Next());
+    if (out->empty()) return cur_.Error("expected name");
+    return Status::OK();
+  }
+
+  Status DecodeEntity(std::string* out) {
+    // cur_ points just past '&'.
+    std::string name;
+    while (!cur_.AtEnd() && cur_.Peek() != ';') name.push_back(cur_.Next());
+    if (cur_.AtEnd()) return cur_.Error("unterminated entity reference");
+    cur_.Next();  // ';'
+    if (name == "lt") {
+      *out += '<';
+    } else if (name == "gt") {
+      *out += '>';
+    } else if (name == "amp") {
+      *out += '&';
+    } else if (name == "quot") {
+      *out += '"';
+    } else if (name == "apos") {
+      *out += '\'';
+    } else if (name.size() > 1 && name[0] == '#') {
+      int code = name[1] == 'x' ? std::stoi(name.substr(2), nullptr, 16)
+                                : std::atoi(name.c_str() + 1);
+      *out += static_cast<char>(code);
+    } else {
+      return cur_.Error("unknown entity &" + name + ";");
+    }
+    return Status::OK();
+  }
+
+  Status ParseAttributes(Document* doc, Node* element) {
+    for (;;) {
+      cur_.SkipWhitespace();
+      if (cur_.AtEnd()) return cur_.Error("unterminated start tag");
+      char c = cur_.Peek();
+      if (c == '>' || c == '/') return Status::OK();
+      std::string name;
+      Status s = ParseName(&name);
+      if (!s.ok()) return s;
+      cur_.SkipWhitespace();
+      if (cur_.AtEnd() || cur_.Peek() != '=') {
+        return cur_.Error("expected '=' after attribute name");
+      }
+      cur_.Next();
+      cur_.SkipWhitespace();
+      if (cur_.AtEnd() || (cur_.Peek() != '"' && cur_.Peek() != '\'')) {
+        return cur_.Error("expected quoted attribute value");
+      }
+      char quote = cur_.Next();
+      std::string value;
+      while (!cur_.AtEnd() && cur_.Peek() != quote) {
+        if (cur_.Peek() == '&') {
+          cur_.Next();
+          s = DecodeEntity(&value);
+          if (!s.ok()) return s;
+        } else {
+          value.push_back(cur_.Next());
+        }
+      }
+      if (cur_.AtEnd()) return cur_.Error("unterminated attribute value");
+      cur_.Next();  // closing quote
+      // Attribute a="v" becomes child element @a[v] (footnote 3 treatment).
+      Node* attr = doc->NewElement("@" + name);
+      doc->AppendChild(attr, doc->NewText(value));
+      doc->AppendChild(element, attr);
+    }
+  }
+
+  Status ParseContent(Document* doc, Node* element) {
+    std::string text;
+    auto flush_text = [&] {
+      // Whitespace-only runs between elements are formatting, not data.
+      bool all_ws = true;
+      for (char c : text) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          all_ws = false;
+          break;
+        }
+      }
+      if (!text.empty() && !all_ws) {
+        // Trim leading/trailing whitespace of mixed content.
+        size_t b = text.find_first_not_of(" \t\r\n");
+        size_t e = text.find_last_not_of(" \t\r\n");
+        doc->AppendChild(element, doc->NewText(text.substr(b, e - b + 1)));
+      }
+      text.clear();
+    };
+    for (;;) {
+      if (cur_.AtEnd()) return cur_.Error("unterminated element <" + element->label + ">");
+      if (cur_.StartsWith("</")) {
+        flush_text();
+        cur_.Skip(2);
+        std::string name;
+        Status s = ParseName(&name);
+        if (!s.ok()) return s;
+        if (name != element->label) {
+          return cur_.Error("mismatched end tag </" + name + ">, expected </" +
+                            element->label + ">");
+        }
+        cur_.SkipWhitespace();
+        if (cur_.AtEnd() || cur_.Peek() != '>') return cur_.Error("expected '>'");
+        cur_.Next();
+        return Status::OK();
+      }
+      if (cur_.StartsWith("<!--")) {
+        flush_text();
+        Status s = SkipMisc();
+        if (!s.ok()) return s;
+        continue;
+      }
+      if (cur_.Peek() == '<') {
+        flush_text();
+        Node* child = nullptr;
+        Status s = ParseElement(doc, &child);
+        if (!s.ok()) return s;
+        doc->AppendChild(element, child);
+        continue;
+      }
+      if (cur_.Peek() == '&') {
+        cur_.Next();
+        Status s = DecodeEntity(&text);
+        if (!s.ok()) return s;
+        continue;
+      }
+      text.push_back(cur_.Next());
+    }
+  }
+
+  Status ParseElement(Document* doc, Node** out) {
+    // cur_ points at '<'.
+    cur_.Next();
+    std::string name;
+    Status s = ParseName(&name);
+    if (!s.ok()) return s;
+    Node* element = doc->NewElement(name);
+    s = ParseAttributes(doc, element);
+    if (!s.ok()) return s;
+    if (cur_.Peek() == '/') {
+      cur_.Next();
+      if (cur_.AtEnd() || cur_.Peek() != '>') return cur_.Error("expected '>'");
+      cur_.Next();
+      *out = element;
+      return Status::OK();
+    }
+    cur_.Next();  // '>'
+    s = ParseContent(doc, element);
+    if (!s.ok()) return s;
+    *out = element;
+    return Status::OK();
+  }
+
+  Cursor cur_;
+};
+
+/// Parser for the paper's term notation.
+class TermParser {
+ public:
+  explicit TermParser(std::string_view input) : cur_(input) {}
+
+  Result<std::unique_ptr<Document>> Run() {
+    auto doc = std::make_unique<Document>();
+    Node* root = nullptr;
+    Status s = ParseTree(doc.get(), &root);
+    if (!s.ok()) return s;
+    cur_.SkipWhitespace();
+    if (!cur_.AtEnd()) return cur_.Error("trailing content");
+    doc->set_root(root);
+    return doc;
+  }
+
+ private:
+  Status ParseLabel(std::string* out) {
+    out->clear();
+    cur_.SkipWhitespace();
+    while (!cur_.AtEnd()) {
+      char c = cur_.Peek();
+      if (c == '[' || c == ']' || c == ',') break;
+      out->push_back(cur_.Next());
+    }
+    // Trim trailing whitespace.
+    while (!out->empty() && std::isspace(static_cast<unsigned char>(out->back()))) {
+      out->pop_back();
+    }
+    if (out->empty()) return cur_.Error("expected label");
+    return Status::OK();
+  }
+
+  Status ParseTree(Document* doc, Node** out) {
+    std::string label;
+    Status s = ParseLabel(&label);
+    if (!s.ok()) return s;
+    cur_.SkipWhitespace();
+    if (cur_.AtEnd() || cur_.Peek() != '[') {
+      *out = doc->NewText(label);
+      return Status::OK();
+    }
+    cur_.Next();  // '['
+    Node* element = doc->NewElement(label);
+    cur_.SkipWhitespace();
+    if (!cur_.AtEnd() && cur_.Peek() == ']') {
+      cur_.Next();
+      *out = element;
+      return Status::OK();
+    }
+    for (;;) {
+      Node* child = nullptr;
+      s = ParseTree(doc, &child);
+      if (!s.ok()) return s;
+      doc->AppendChild(element, child);
+      cur_.SkipWhitespace();
+      if (cur_.AtEnd()) return cur_.Error("unterminated '['");
+      char c = cur_.Next();
+      if (c == ']') break;
+      if (c != ',') return cur_.Error("expected ',' or ']'");
+    }
+    *out = element;
+    return Status::OK();
+  }
+
+  Cursor cur_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Document>> Parse(std::string_view input) {
+  return XmlParser(input).Run();
+}
+
+Result<std::unique_ptr<Document>> ParseTerm(std::string_view input) {
+  return TermParser(input).Run();
+}
+
+}  // namespace mix::xml

@@ -1,0 +1,28 @@
+// A small XML parser covering the subset the MIX reproduction needs:
+// elements, nested elements, character content, attributes (mapped to
+// leading "@name" child elements per tree.h), self-closing tags, comments,
+// processing instructions, DOCTYPE (skipped), and the five predefined
+// entities. Namespaces are treated as opaque label text.
+#ifndef MIX_XML_PARSER_H_
+#define MIX_XML_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "core/status.h"
+#include "xml/tree.h"
+
+namespace mix::xml {
+
+/// Parses `input` into a fresh Document. Returns ParseError with a
+/// line/column locus on malformed input.
+Result<std::unique_ptr<Document>> Parse(std::string_view input);
+
+/// Parses the paper's term notation, e.g. "bs[b[H[home1],S[school1]]]".
+/// Labels are runs of characters other than '[', ']', ',' (trimmed).
+/// Useful for writing tests that quote the paper's examples verbatim.
+Result<std::unique_ptr<Document>> ParseTerm(std::string_view input);
+
+}  // namespace mix::xml
+
+#endif  // MIX_XML_PARSER_H_

@@ -1,0 +1,90 @@
+#include "xml/random_tree.h"
+
+#include <string>
+
+namespace mix::xml {
+
+namespace {
+
+/// SplitMix64 — small deterministic PRNG, stable across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  int Uniform(int bound) { return static_cast<int>(Next() % static_cast<uint64_t>(bound)); }
+
+ private:
+  uint64_t state_;
+};
+
+Node* Generate(Document* doc, Rng* rng, const RandomTreeOptions& o, int depth) {
+  bool leaf = depth >= o.max_depth ||
+              (depth > 0 && rng->Uniform(100) >= o.element_percent);
+  if (leaf) {
+    if (rng->Uniform(2) == 0) {
+      return doc->NewText("t" + std::to_string(rng->Uniform(1000)));
+    }
+    return doc->NewElement("a" + std::to_string(rng->Uniform(o.label_alphabet)));
+  }
+  Node* e = doc->NewElement("a" + std::to_string(rng->Uniform(o.label_alphabet)));
+  int fanout = 1 + rng->Uniform(o.max_fanout);
+  for (int i = 0; i < fanout; ++i) {
+    doc->AppendChild(e, Generate(doc, rng, o, depth + 1));
+  }
+  return e;
+}
+
+}  // namespace
+
+std::unique_ptr<Document> RandomTree(const RandomTreeOptions& options) {
+  auto doc = std::make_unique<Document>();
+  Rng rng(options.seed);
+  doc->set_root(Generate(doc.get(), &rng, options, 0));
+  return doc;
+}
+
+std::string ZipFor(int i, int zip_count, uint64_t seed) {
+  Rng rng(seed + static_cast<uint64_t>(i) * 1315423911ULL);
+  return std::to_string(91000 + rng.Uniform(zip_count));
+}
+
+std::unique_ptr<Document> MakeHomesDoc(int n, int zip_count, uint64_t seed) {
+  auto doc = std::make_unique<Document>();
+  Node* root = doc->NewElement("homes");
+  for (int i = 0; i < n; ++i) {
+    Node* home = doc->NewElement("home");
+    Node* addr = doc->NewElement("addr");
+    doc->AppendChild(addr, doc->NewText("street " + std::to_string(i)));
+    Node* zip = doc->NewElement("zip");
+    doc->AppendChild(zip, doc->NewText(ZipFor(i, zip_count, seed)));
+    doc->AppendChild(home, addr);
+    doc->AppendChild(home, zip);
+    doc->AppendChild(root, home);
+  }
+  doc->set_root(root);
+  return doc;
+}
+
+std::unique_ptr<Document> MakeSchoolsDoc(int n, int zip_count, uint64_t seed) {
+  auto doc = std::make_unique<Document>();
+  Node* root = doc->NewElement("schools");
+  for (int i = 0; i < n; ++i) {
+    Node* school = doc->NewElement("school");
+    Node* dir = doc->NewElement("dir");
+    doc->AppendChild(dir, doc->NewText("director " + std::to_string(i)));
+    Node* zip = doc->NewElement("zip");
+    doc->AppendChild(zip, doc->NewText(ZipFor(i, zip_count, seed)));
+    doc->AppendChild(school, dir);
+    doc->AppendChild(school, zip);
+    doc->AppendChild(root, school);
+  }
+  doc->set_root(root);
+  return doc;
+}
+
+}  // namespace mix::xml

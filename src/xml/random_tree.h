@@ -1,0 +1,48 @@
+// Deterministic synthetic document generators.
+//
+// Used by property tests (random labeled ordered trees) and by the
+// benchmark harness (the paper's running example: homes and schools
+// joined on zip code, Fig. 3).
+#ifndef MIX_XML_RANDOM_TREE_H_
+#define MIX_XML_RANDOM_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace mix::xml {
+
+/// Shape parameters for random tree generation.
+struct RandomTreeOptions {
+  uint64_t seed = 42;
+  /// Maximum tree depth (root is depth 0).
+  int max_depth = 5;
+  /// Maximum children per element.
+  int max_fanout = 5;
+  /// Probability (in percent) that a non-root node at depth < max_depth is
+  /// an internal element rather than a leaf.
+  int element_percent = 60;
+  /// Number of distinct element labels (a0..a{n-1}).
+  int label_alphabet = 6;
+};
+
+/// Generates a random labeled ordered tree into a fresh document.
+std::unique_ptr<Document> RandomTree(const RandomTreeOptions& options);
+
+/// homes[home[addr[...],zip[...]]*] — `n` homes with zip codes drawn from
+/// `zip_count` distinct values (deterministic in `seed`).
+std::unique_ptr<Document> MakeHomesDoc(int n, int zip_count, uint64_t seed = 7);
+
+/// schools[school[dir[...],zip[...]]*].
+std::unique_ptr<Document> MakeSchoolsDoc(int n, int zip_count,
+                                         uint64_t seed = 11);
+
+/// The zip value used for position `i` given `zip_count` distinct zips;
+/// exposed so tests/benches can predict join selectivity.
+std::string ZipFor(int i, int zip_count, uint64_t seed);
+
+}  // namespace mix::xml
+
+#endif  // MIX_XML_RANDOM_TREE_H_

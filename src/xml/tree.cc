@@ -1,0 +1,146 @@
+#include "xml/tree.h"
+
+#include "core/check.h"
+
+namespace mix::xml {
+
+Node* Node::right_sibling() const {
+  if (parent == nullptr) return nullptr;
+  size_t next = static_cast<size_t>(pos_in_parent) + 1;
+  if (next >= parent->children.size()) return nullptr;
+  return parent->children[next];
+}
+
+Node* Document::Alloc(NodeKind kind, std::string label) {
+  nodes_.emplace_back();
+  Node* n = &nodes_.back();
+  n->kind = kind;
+  n->label = std::move(label);
+  n->index = static_cast<int64_t>(by_index_.size());
+  by_index_.push_back(n);
+  return n;
+}
+
+Node* Document::NewElement(std::string tag) {
+  return Alloc(NodeKind::kElement, std::move(tag));
+}
+
+Node* Document::NewText(std::string text) {
+  return Alloc(NodeKind::kText, std::move(text));
+}
+
+void Document::AppendChild(Node* parent, Node* child) {
+  MIX_CHECK(parent != nullptr && child != nullptr);
+  MIX_CHECK_MSG(child->parent == nullptr, "node already attached");
+  child->parent = parent;
+  child->pos_in_parent = static_cast<int32_t>(parent->children.size());
+  parent->children.push_back(child);
+}
+
+Node* Document::NewElement(std::string tag, const std::vector<Node*>& children) {
+  Node* e = NewElement(std::move(tag));
+  for (Node* c : children) AppendChild(e, c);
+  return e;
+}
+
+Node* Document::NodeAt(int64_t index) const {
+  MIX_CHECK(index >= 0 && index < node_count());
+  return by_index_[static_cast<size_t>(index)];
+}
+
+bool TreeEquals(const Node* a, const Node* b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->label != b->label) return false;
+  if (a->children.size() != b->children.size()) return false;
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    if (!TreeEquals(a->children[i], b->children[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        *out += "&lt;";
+        break;
+      case '>':
+        *out += "&gt;";
+        break;
+      case '&':
+        *out += "&amp;";
+        break;
+      case '"':
+        *out += "&quot;";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+void ToXmlInto(const Node* node, bool pretty, int depth, std::string* out) {
+  auto indent = [&] {
+    if (pretty) out->append(static_cast<size_t>(depth) * 2, ' ');
+  };
+  if (node->kind == NodeKind::kText) {
+    indent();
+    EscapeInto(node->label, out);
+    if (pretty) *out += '\n';
+    return;
+  }
+  indent();
+  *out += '<';
+  *out += node->label;
+  if (node->children.empty()) {
+    *out += "/>";
+    if (pretty) *out += '\n';
+    return;
+  }
+  *out += '>';
+  if (pretty) *out += '\n';
+  for (const Node* c : node->children) {
+    ToXmlInto(c, pretty, depth + 1, out);
+  }
+  indent();
+  *out += "</";
+  *out += node->label;
+  *out += '>';
+  if (pretty) *out += '\n';
+}
+
+}  // namespace
+
+std::string ToXml(const Node* node, bool pretty) {
+  MIX_CHECK(node != nullptr);
+  std::string out;
+  ToXmlInto(node, pretty, 0, &out);
+  return out;
+}
+
+std::string ToTerm(const Node* node) {
+  MIX_CHECK(node != nullptr);
+  if (node->is_leaf()) return node->label;
+  std::string out = node->label;
+  out += '[';
+  bool first = true;
+  for (const Node* c : node->children) {
+    if (!first) out += ',';
+    first = false;
+    out += ToTerm(c);
+  }
+  out += ']';
+  return out;
+}
+
+int64_t SubtreeSize(const Node* node) {
+  MIX_CHECK(node != nullptr);
+  int64_t n = 1;
+  for (const Node* c : node->children) n += SubtreeSize(c);
+  return n;
+}
+
+}  // namespace mix::xml

@@ -1,0 +1,95 @@
+// Labeled ordered trees — the paper's data model (Section 2).
+//
+// An XML document is abstracted as a labeled ordered tree over a domain D:
+// a tree t is either a leaf (an atomic label d ∈ D) or d[t1,...,tn]. In XML
+// terms, t is an element, a non-leaf label is the tag name, and a leaf label
+// is character content or an empty element. Following footnote 3, attributes
+// are folded into the tree: the parser maps attribute a="v" to a leading
+// child element labeled "@a" with text child "v".
+//
+// `Document` is an arena that owns every `Node`; nodes are identified by a
+// dense index, which document navigables embed in NodeIds.
+#ifndef MIX_XML_TREE_H_
+#define MIX_XML_TREE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace mix::xml {
+
+/// Distinguishes character content from (possibly empty) elements. The
+/// paper's abstraction does not need the distinction (both are leaves); it
+/// only affects serialization.
+enum class NodeKind { kElement, kText };
+
+class Document;
+
+/// One tree node. Owned by a Document arena; never created directly.
+struct Node {
+  NodeKind kind = NodeKind::kElement;
+  /// Tag name for elements, character content for text nodes.
+  std::string label;
+  std::vector<Node*> children;
+
+  Node* parent = nullptr;
+  /// Position within parent->children (0-based); 0 for the root.
+  int32_t pos_in_parent = 0;
+  /// Dense index within the owning Document.
+  int64_t index = 0;
+
+  bool is_leaf() const { return children.empty(); }
+  /// First child or nullptr.
+  Node* first_child() const { return children.empty() ? nullptr : children[0]; }
+  /// Right sibling or nullptr.
+  Node* right_sibling() const;
+};
+
+/// Arena-owning XML document.
+class Document {
+ public:
+  Document() = default;
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  /// Creates a detached element node.
+  Node* NewElement(std::string tag);
+  /// Creates a detached text node.
+  Node* NewText(std::string text);
+  /// Appends `child` under `parent`, fixing parent/position links.
+  void AppendChild(Node* parent, Node* child);
+  /// Convenience: element with the given (already created) children.
+  Node* NewElement(std::string tag, const std::vector<Node*>& children);
+
+  void set_root(Node* root) { root_ = root; }
+  Node* root() const { return root_; }
+
+  /// Node lookup by dense index; MIX_CHECKs bounds.
+  Node* NodeAt(int64_t index) const;
+  int64_t node_count() const { return static_cast<int64_t>(nodes_.size()); }
+
+ private:
+  Node* Alloc(NodeKind kind, std::string label);
+
+  std::deque<Node> nodes_;
+  std::vector<Node*> by_index_;
+  Node* root_ = nullptr;
+};
+
+/// Structural equality on (label, children); NodeKind is ignored (the
+/// paper's abstraction cannot observe it).
+bool TreeEquals(const Node* a, const Node* b);
+
+/// Serializes to XML text. `pretty` adds indentation/newlines.
+std::string ToXml(const Node* node, bool pretty = false);
+
+/// Renders in the paper's term notation, e.g. `home[addr[La Jolla],zip[91220]]`.
+std::string ToTerm(const Node* node);
+
+/// Number of nodes in the subtree rooted at `node`.
+int64_t SubtreeSize(const Node* node);
+
+}  // namespace mix::xml
+
+#endif  // MIX_XML_TREE_H_

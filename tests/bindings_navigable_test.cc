@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "algebra/bindings_navigable.h"
+#include "test_util.h"
+#include "xml/doc_navigable.h"
+
+namespace mix::algebra {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : doc(testing::Doc("d[home[zip[1]],school[zip[1]]]")), nav(doc.get()) {
+    auto node = [&](int i) {
+      return testing::RefTo(&nav, doc->root()->children[static_cast<size_t>(i)]);
+    };
+    stream = std::make_unique<testing::VectorBindingStream>(
+        VarList{"H", "S"},
+        std::vector<std::vector<ValueRef>>{{node(0), node(1)},
+                                           {node(1), node(0)}});
+  }
+  std::unique_ptr<xml::Document> doc;
+  xml::DocNavigable nav;
+  std::unique_ptr<testing::VectorBindingStream> stream;
+};
+
+TEST(BindingsNavigableTest, FullTreeShape) {
+  Fixture f;
+  BindingsNavigable bn(f.stream.get());
+  EXPECT_EQ(testing::MaterializeToTerm(&bn),
+            "bs[b[H[home[zip[1]]],S[school[zip[1]]]],"
+            "b[H[school[zip[1]]],S[home[zip[1]]]]]");
+}
+
+TEST(BindingsNavigableTest, StepwiseNavigation) {
+  Fixture f;
+  BindingsNavigable bn(f.stream.get());
+  NodeId bs = bn.Root();
+  EXPECT_EQ(bn.Fetch(bs), "bs");
+  EXPECT_FALSE(bn.Right(bs).has_value());
+
+  auto b1 = bn.Down(bs);
+  ASSERT_TRUE(b1.has_value());
+  EXPECT_EQ(bn.Fetch(*b1), "b");
+
+  auto h = bn.Down(*b1);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(bn.Fetch(*h), "H");
+  auto s = bn.Right(*h);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(bn.Fetch(*s), "S");
+  EXPECT_FALSE(bn.Right(*s).has_value());
+
+  // Value root below a variable element; single child, no siblings.
+  auto home = bn.Down(*h);
+  ASSERT_TRUE(home.has_value());
+  EXPECT_EQ(bn.Fetch(*home), "home");
+  EXPECT_FALSE(bn.Right(*home).has_value());
+  // Interior: zip then its leaf.
+  auto zip = bn.Down(*home);
+  EXPECT_EQ(bn.Fetch(*zip), "zip");
+  auto one = bn.Down(*zip);
+  EXPECT_EQ(bn.Fetch(*one), "1");
+  EXPECT_FALSE(bn.Down(*one).has_value());
+
+  auto b2 = bn.Right(*b1);
+  ASSERT_TRUE(b2.has_value());
+  EXPECT_FALSE(bn.Right(*b2).has_value());
+}
+
+TEST(BindingsNavigableTest, EmptyStream) {
+  testing::VectorBindingStream empty(VarList{"X"}, {});
+  BindingsNavigable bn(&empty);
+  EXPECT_EQ(testing::MaterializeToTerm(&bn), "bs");
+}
+
+}  // namespace
+}  // namespace mix::algebra

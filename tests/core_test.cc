@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/navigable.h"
+#include "core/node_id.h"
+#include "core/status.h"
+#include "xml/doc_navigable.h"
+#include "xml/parser.h"
+
+namespace mix {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kParseError);
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(ResultTest, ValueAccess) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, ErrorAccess) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(NodeIdTest, InvalidByDefault) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(NodeIdTest, TagAndComponents) {
+  NodeId inner("src", {int64_t{1}, int64_t{7}});
+  NodeId id("b", {int64_t{3}, std::string("H"), inner});
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.tag(), "b");
+  ASSERT_EQ(id.arity(), 3u);
+  EXPECT_EQ(id.IntAt(0), 3);
+  EXPECT_EQ(id.StrAt(1), "H");
+  EXPECT_EQ(id.IdAt(2), inner);
+}
+
+TEST(NodeIdTest, StructuralEquality) {
+  NodeId a("v", {int64_t{1}, std::string("x")});
+  NodeId b("v", {int64_t{1}, std::string("x")});
+  NodeId c("v", {int64_t{2}, std::string("x")});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(NodeIdTest, NestedEquality) {
+  NodeId inner1("src", {int64_t{1}});
+  NodeId inner2("src", {int64_t{1}});
+  EXPECT_EQ(NodeId("b", {inner1}), NodeId("b", {inner2}));
+  EXPECT_NE(NodeId("b", {inner1}), NodeId("c", {inner2}));
+}
+
+TEST(NodeIdTest, HashableInUnorderedContainers) {
+  std::unordered_set<NodeId, NodeIdHash> set;
+  set.insert(NodeId("a", {int64_t{1}}));
+  set.insert(NodeId("a", {int64_t{1}}));
+  set.insert(NodeId("a", {int64_t{2}}));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(NodeIdTest, ToStringIsReadable) {
+  NodeId id("b", {int64_t{3}, std::string("H"), NodeId("src", {int64_t{1}})});
+  EXPECT_EQ(id.ToString(), "b(3,'H',src(1))");
+  EXPECT_EQ(NodeId().ToString(), "<null>");
+  EXPECT_EQ(NodeId("bs").ToString(), "bs");
+}
+
+TEST(LabelPredicateTest, Matchers) {
+  EXPECT_TRUE(LabelPredicate::Equals("zip").Matches("zip"));
+  EXPECT_FALSE(LabelPredicate::Equals("zip").Matches("zap"));
+  EXPECT_TRUE(LabelPredicate::Any().Matches("anything"));
+  auto pred = LabelPredicate::Fn(
+      [](const Label& l) { return l.size() == 3; }, "len3");
+  EXPECT_TRUE(pred.Matches("abc"));
+  EXPECT_FALSE(pred.Matches("ab"));
+  EXPECT_EQ(pred.description(), "len3");
+}
+
+TEST(NavStatsTest, AccumulatesAndPrints) {
+  NavStats a{1, 2, 3, 4};
+  NavStats b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.downs, 11);
+  EXPECT_EQ(a.rights, 22);
+  EXPECT_EQ(a.fetches, 33);
+  EXPECT_EQ(a.selects, 44);
+  EXPECT_EQ(a.total(), 110);
+  EXPECT_NE(a.ToString().find("total=110"), std::string::npos);
+}
+
+TEST(CountingNavigableTest, CountsEveryCommand) {
+  auto doc = xml::ParseTerm("r[a,b,c]").ValueOrDie();
+  xml::DocNavigable nav(doc.get());
+  NavStats stats;
+  CountingNavigable counted(&nav, &stats);
+
+  NodeId root = counted.Root();
+  auto child = counted.Down(root);
+  ASSERT_TRUE(child.has_value());
+  EXPECT_EQ(counted.Fetch(*child), "a");
+  auto sibling = counted.Right(*child);
+  ASSERT_TRUE(sibling.has_value());
+  auto hit = counted.SelectSibling(*child, LabelPredicate::Equals("c"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(counted.Fetch(*hit), "c");
+
+  EXPECT_EQ(stats.downs, 1);
+  EXPECT_EQ(stats.rights, 1);
+  EXPECT_EQ(stats.fetches, 2);
+  EXPECT_EQ(stats.selects, 1);
+}
+
+TEST(NavigableTest, DefaultSelectSiblingScans) {
+  auto doc = xml::ParseTerm("r[a,b,c,b]").ValueOrDie();
+  xml::DocNavigable nav(doc.get());
+  auto first = nav.Down(nav.Root());
+  ASSERT_TRUE(first.has_value());
+  auto hit = nav.SelectSibling(*first, LabelPredicate::Equals("b"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(nav.Fetch(*hit), "b");
+  // σ is exclusive: starting *at* a b finds the later b.
+  auto second_b = nav.SelectSibling(*hit, LabelPredicate::Equals("b"));
+  ASSERT_TRUE(second_b.has_value());
+  auto none = nav.SelectSibling(*second_b, LabelPredicate::Equals("b"));
+  EXPECT_FALSE(none.has_value());
+}
+
+}  // namespace
+}  // namespace mix
+
+namespace mix {
+namespace {
+
+TEST(NthChildTest, DefaultImplementationLoops) {
+  auto doc = xml::ParseTerm("r[a,b,c]").ValueOrDie();
+  xml::DocNavigable nav(doc.get());
+  // Through the base-class default (CountingNavigable has its own counter
+  // but forwards to the O(1) override; exercise both).
+  NavStats stats;
+  CountingNavigable counted(&nav, &stats);
+  auto b = counted.NthChild(counted.Root(), 1);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(counted.Fetch(*b), "b");
+  EXPECT_EQ(stats.nths, 1);
+  EXPECT_FALSE(counted.NthChild(counted.Root(), 3).has_value());
+  EXPECT_FALSE(counted.NthChild(counted.Root(), -1).has_value());
+}
+
+TEST(NthChildTest, DocNavigableIsRandomAccess) {
+  auto doc = xml::ParseTerm("r[a,b,c,d]").ValueOrDie();
+  xml::DocNavigable nav(doc.get());
+  EXPECT_EQ(nav.Fetch(*nav.NthChild(nav.Root(), 0)), "a");
+  EXPECT_EQ(nav.Fetch(*nav.NthChild(nav.Root(), 3)), "d");
+  EXPECT_FALSE(nav.NthChild(nav.Root(), 4).has_value());
+  auto leaf = nav.NthChild(nav.Root(), 0);
+  EXPECT_FALSE(nav.NthChild(*leaf, 0).has_value());
+}
+
+TEST(NavStatsTest, NthCounted) {
+  NavStats a{1, 2, 3, 4, 5};
+  EXPECT_EQ(a.total(), 15);
+  EXPECT_NE(a.ToString().find("nth=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mix

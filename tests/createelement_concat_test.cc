@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "algebra/concatenate_op.h"
+#include "algebra/create_element_op.h"
+#include "algebra/extra_ops.h"
+#include "algebra/group_by_op.h"
+#include "test_util.h"
+#include "xml/doc_navigable.h"
+
+namespace mix::algebra {
+namespace {
+
+struct Fixture {
+  explicit Fixture(const std::string& term) : doc(testing::Doc(term)), nav(doc.get()) {}
+
+  ValueRef Node(std::initializer_list<int> path) {
+    const xml::Node* n = doc->root();
+    for (int i : path) n = n->children[static_cast<size_t>(i)];
+    return testing::RefTo(&nav, n);
+  }
+
+  std::unique_ptr<xml::Document> doc;
+  xml::DocNavigable nav;
+};
+
+// ---------------------------------------------------------------------------
+// concatenate: the four cases of the paper's definition.
+// ---------------------------------------------------------------------------
+
+TEST(ConcatenateTest, ListList) {
+  Fixture f("d[list[a,b],list[c,d]]");
+  testing::VectorBindingStream in(VarList{"X", "Y"},
+                                  {{f.Node({0}), f.Node({1})}});
+  ConcatenateOp cc(&in, "X", "Y", "Z");
+  auto b = cc.FirstBinding();
+  EXPECT_EQ(TermOfValue(cc.Attr(*b, "Z")), "list[a,b,c,d]");
+}
+
+TEST(ConcatenateTest, ListValue) {
+  Fixture f("d[list[a,b],v]");
+  testing::VectorBindingStream in(VarList{"X", "Y"},
+                                  {{f.Node({0}), f.Node({1})}});
+  ConcatenateOp cc(&in, "X", "Y", "Z");
+  auto b = cc.FirstBinding();
+  EXPECT_EQ(TermOfValue(cc.Attr(*b, "Z")), "list[a,b,v]");
+}
+
+TEST(ConcatenateTest, ValueList) {
+  Fixture f("d[v,list[c,d]]");
+  testing::VectorBindingStream in(VarList{"X", "Y"},
+                                  {{f.Node({0}), f.Node({1})}});
+  ConcatenateOp cc(&in, "X", "Y", "Z");
+  auto b = cc.FirstBinding();
+  EXPECT_EQ(TermOfValue(cc.Attr(*b, "Z")), "list[v,c,d]");
+}
+
+TEST(ConcatenateTest, ValueValue) {
+  Fixture f("d[home[zip[1]],school[zip[1]]]");
+  testing::VectorBindingStream in(VarList{"X", "Y"},
+                                  {{f.Node({0}), f.Node({1})}});
+  ConcatenateOp cc(&in, "X", "Y", "Z");
+  auto b = cc.FirstBinding();
+  EXPECT_EQ(TermOfValue(cc.Attr(*b, "Z")), "list[home[zip[1]],school[zip[1]]]");
+}
+
+TEST(ConcatenateTest, EmptyListSides) {
+  Fixture f("d[list,list[c]]");
+  testing::VectorBindingStream in(VarList{"X", "Y"},
+                                  {{f.Node({0}), f.Node({1})}});
+  ConcatenateOp cc(&in, "X", "Y", "Z");
+  auto b = cc.FirstBinding();
+  EXPECT_EQ(TermOfValue(cc.Attr(*b, "Z")), "list[c]");
+
+  testing::VectorBindingStream in2(VarList{"X", "Y"},
+                                   {{f.Node({0}), f.Node({0})}});
+  ConcatenateOp cc2(&in2, "X", "Y", "Z");
+  auto b2 = cc2.FirstBinding();
+  // Both sides empty: the result list is empty (a leaf when materialized).
+  EXPECT_EQ(TermOfValue(cc2.Attr(*b2, "Z")), "list");
+}
+
+TEST(ConcatenateTest, CrossingFromXToYMidNavigation) {
+  Fixture f("d[list[a,b],list[c]]");
+  testing::VectorBindingStream in(VarList{"X", "Y"},
+                                  {{f.Node({0}), f.Node({1})}});
+  ConcatenateOp cc(&in, "X", "Y", "Z");
+  auto b = cc.FirstBinding();
+  ValueRef z = cc.Attr(*b, "Z");
+  auto item = z.nav->Down(z.id);
+  EXPECT_EQ(z.nav->Fetch(*item), "a");
+  item = z.nav->Right(*item);
+  EXPECT_EQ(z.nav->Fetch(*item), "b");
+  item = z.nav->Right(*item);  // crosses to the y side
+  EXPECT_EQ(z.nav->Fetch(*item), "c");
+  EXPECT_FALSE(z.nav->Right(*item).has_value());
+}
+
+TEST(ConcatenateTest, PreservesOtherVariables) {
+  Fixture f("d[k,list[a],list[b]]");
+  testing::VectorBindingStream in(
+      VarList{"K", "X", "Y"}, {{f.Node({0}), f.Node({1}), f.Node({2})}});
+  ConcatenateOp cc(&in, "X", "Y", "Z");
+  EXPECT_EQ(cc.schema(), (VarList{"K", "X", "Y", "Z"}));
+  auto b = cc.FirstBinding();
+  EXPECT_EQ(AtomOf(cc.Attr(*b, "K")), "k");
+  EXPECT_EQ(TermOfValue(cc.Attr(*b, "X")), "list[a]");
+}
+
+// ---------------------------------------------------------------------------
+// createElement (Fig. 9).
+// ---------------------------------------------------------------------------
+
+TEST(CreateElementTest, ConstantLabelChildrenFromList) {
+  Fixture f("d[list[home[zip[1]],school[zip[1]]]]");
+  testing::VectorBindingStream in(VarList{"HLSs"}, {{f.Node({0})}});
+  CreateElementOp ce(&in, CreateElementOp::LabelSpec::Constant("med_home"),
+                     "HLSs", "MH");
+  auto b = ce.FirstBinding();
+  // Fig. 9, 7th mapping: fetching the label needs no input navigation.
+  ValueRef mh = ce.Attr(*b, "MH");
+  EXPECT_EQ(mh.nav->Fetch(mh.id), "med_home");
+  // 6th mapping: children are the subtrees of b.ch.
+  EXPECT_EQ(TermOfValue(mh), "med_home[home[zip[1]],school[zip[1]]]");
+}
+
+TEST(CreateElementTest, VariableLabel) {
+  Fixture f("d[tagname[med_home],list[x]]");
+  testing::VectorBindingStream in(VarList{"T", "Ch"},
+                                  {{f.Node({0, 0}), f.Node({1})}});
+  CreateElementOp ce(&in, CreateElementOp::LabelSpec::Variable("T"), "Ch",
+                     "E");
+  auto b = ce.FirstBinding();
+  EXPECT_EQ(TermOfValue(ce.Attr(*b, "E")), "med_home[x]");
+}
+
+TEST(CreateElementTest, EmptyChildren) {
+  Fixture f("d[list]");
+  testing::VectorBindingStream in(VarList{"Ch"}, {{f.Node({0})}});
+  CreateElementOp ce(&in, CreateElementOp::LabelSpec::Constant("answer"), "Ch",
+                     "E");
+  auto b = ce.FirstBinding();
+  ValueRef e = ce.Attr(*b, "E");
+  EXPECT_EQ(e.nav->Fetch(e.id), "answer");
+  EXPECT_FALSE(e.nav->Down(e.id).has_value());
+  EXPECT_FALSE(e.nav->Right(e.id).has_value());
+}
+
+TEST(CreateElementTest, PerBindingElements) {
+  Fixture f("d[list[a],list[b]]");
+  testing::VectorBindingStream in(VarList{"Ch"},
+                                  {{f.Node({0})}, {f.Node({1})}});
+  CreateElementOp ce(&in, CreateElementOp::LabelSpec::Constant("e"), "Ch",
+                     "E");
+  EXPECT_EQ(testing::StreamToTerm(&ce),
+            "bs[b[Ch[list[a]],E[e[a]]],b[Ch[list[b]],E[e[b]]]]");
+}
+
+// ---------------------------------------------------------------------------
+// The paper's pipeline fragment: groupBy → concatenate → createElement
+// reproduces the §3 worked example output.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineTest, GroupConcatCreateMatchesPaperExample) {
+  Fixture f(
+      "d[home[addr[La Jolla],zip[91220]],home[addr[El Cajon],zip[91223]],"
+      "school[dir[Smith],zip[91220]],school[dir[Bar],zip[91220]],"
+      "school[dir[Hart],zip[91223]]]");
+  // Join output from §3: (home1,school1),(home1,school2),(home2,school3).
+  testing::VectorBindingStream in(
+      VarList{"H", "S"},
+      {{f.Node({0}), f.Node({2})},
+       {f.Node({0}), f.Node({3})},
+       {f.Node({1}), f.Node({4})}});
+  GroupByOp gb(&in, {"H"}, "S", "LSs");
+  ConcatenateOp cc(&gb, "H", "LSs", "HLSs");
+  CreateElementOp ce(&cc, CreateElementOp::LabelSpec::Constant("med_home"),
+                     "HLSs", "MHs");
+
+  std::vector<std::string> med_homes;
+  for (auto b = ce.FirstBinding(); b.has_value(); b = ce.NextBinding(*b)) {
+    med_homes.push_back(TermOfValue(ce.Attr(*b, "MHs")));
+  }
+  ASSERT_EQ(med_homes.size(), 2u);
+  EXPECT_EQ(med_homes[0],
+            "med_home[home[addr[La Jolla],zip[91220]],"
+            "school[dir[Smith],zip[91220]],school[dir[Bar],zip[91220]]]");
+  EXPECT_EQ(med_homes[1],
+            "med_home[home[addr[El Cajon],zip[91223]],"
+            "school[dir[Hart],zip[91223]]]");
+}
+
+// ---------------------------------------------------------------------------
+// wrapList / const.
+// ---------------------------------------------------------------------------
+
+TEST(WrapListTest, SingletonList) {
+  Fixture f("d[home[zip[1]]]");
+  testing::VectorBindingStream in(VarList{"H"}, {{f.Node({0})}});
+  WrapListOp wl(&in, "H", "L");
+  auto b = wl.FirstBinding();
+  EXPECT_EQ(TermOfValue(wl.Attr(*b, "L")), "list[home[zip[1]]]");
+  // The wrapped item has no right sibling even though the underlying node
+  // might (it is the sole list member).
+  ValueRef l = wl.Attr(*b, "L");
+  auto item = l.nav->Down(l.id);
+  EXPECT_FALSE(l.nav->Right(*item).has_value());
+}
+
+TEST(ConstTest, LeafPerBinding) {
+  Fixture f("d[a,b]");
+  testing::VectorBindingStream in(VarList{"X"}, {{f.Node({0})}, {f.Node({1})}});
+  ConstOp c(&in, "hello", "T");
+  EXPECT_EQ(testing::StreamToTerm(&c),
+            "bs[b[X[a],T[hello]],b[X[b],T[hello]]]");
+}
+
+}  // namespace
+}  // namespace mix::algebra

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "buffer/buffer.h"
+#include "mediator/instantiate.h"
+#include "mediator/translate.h"
+#include "test_util.h"
+#include "wrappers/csv_wrapper.h"
+#include "xmas/parser.h"
+
+namespace mix::wrappers {
+namespace {
+
+TEST(CsvParseTest, BasicTable) {
+  CsvTable t = ParseCsv("name,zip\nAda,91220\nEdgar,91223\n").ValueOrDie();
+  EXPECT_EQ(t.columns, (std::vector<std::string>{"name", "zip"}));
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0], (std::vector<std::string>{"Ada", "91220"}));
+  EXPECT_EQ(t.rows[1], (std::vector<std::string>{"Edgar", "91223"}));
+}
+
+TEST(CsvParseTest, QuotingAndEscapes) {
+  CsvTable t =
+      ParseCsv("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\nplain,\"\"\n")
+          .ValueOrDie();
+  EXPECT_EQ(t.rows[0][0], "x,y");
+  EXPECT_EQ(t.rows[0][1], "he said \"hi\"");
+  EXPECT_EQ(t.rows[1][1], "");
+}
+
+TEST(CsvParseTest, CrLfAndMissingTrailingNewline) {
+  CsvTable t = ParseCsv("a,b\r\n1,2\r\n3,4").ValueOrDie();
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvParseTest, EmptyFieldsAndBlankLines) {
+  CsvTable t = ParseCsv("a,b\n,\n\nx,\n").ValueOrDie();
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0], (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(t.rows[1], (std::vector<std::string>{"x", ""}));
+}
+
+TEST(CsvParseTest, Errors) {
+  EXPECT_FALSE(ParseCsv("").ok());
+  EXPECT_FALSE(ParseCsv("a,b\n1\n").ok());       // arity mismatch
+  EXPECT_FALSE(ParseCsv("a,b\n\"open\n").ok());  // unterminated quote
+  EXPECT_FALSE(ParseCsv("a,b\nx\"y,2\n").ok());  // quote mid-field
+}
+
+TEST(CsvWrapperTest, BufferedViewShape) {
+  CsvTable table =
+      ParseCsv("name,zip\nAda,91220\nEdgar,91223\n").ValueOrDie();
+  CsvLxpWrapper wrapper(&table);
+  buffer::BufferComponent buffer(&wrapper, "file.csv");
+  EXPECT_EQ(testing::MaterializeToTerm(&buffer),
+            "csv[row[name[Ada],zip[91220]],row[name[Edgar],zip[91223]]]");
+}
+
+TEST(CsvWrapperTest, ChunkedFills) {
+  std::string csv = "v\n";
+  for (int i = 0; i < 95; ++i) csv += std::to_string(i) + "\n";
+  CsvTable table = ParseCsv(csv).ValueOrDie();
+  CsvLxpWrapper::Options options;
+  options.chunk = 10;
+  CsvLxpWrapper wrapper(&table, options);
+  buffer::BufferComponent buffer(&wrapper, "file.csv");
+  testing::MaterializeToTerm(&buffer);
+  // 1 root + ceil(95/10) row fills.
+  EXPECT_EQ(buffer.fill_count(), 11);
+}
+
+TEST(CsvWrapperTest, EmptyTable) {
+  CsvTable table = ParseCsv("only,header\n").ValueOrDie();
+  CsvLxpWrapper wrapper(&table);
+  buffer::BufferComponent buffer(&wrapper, "file.csv");
+  EXPECT_EQ(testing::MaterializeToTerm(&buffer), "csv");
+}
+
+TEST(CsvWrapperTest, QueriableThroughTheMediator) {
+  CsvTable table = ParseCsv("title,price\nlamp,40\ndesk,120\nrug,75\n")
+                       .ValueOrDie();
+  CsvLxpWrapper wrapper(&table);
+  buffer::BufferComponent buffer(&wrapper, "items.csv");
+
+  auto q = xmas::ParseQuery(
+      "CONSTRUCT <pricey> $T {$T} </pricey> {} "
+      "WHERE itemsSrc csv.row $R AND $R title._ $T AND $R price._ $P "
+      "AND $P > 50");
+  auto plan = mediator::TranslateQuery(q.value()).ValueOrDie();
+  mediator::SourceRegistry sources;
+  sources.Register("itemsSrc", &buffer);
+  auto med = mediator::LazyMediator::Build(*plan, sources).ValueOrDie();
+  EXPECT_EQ(testing::MaterializeToTerm(med->document()),
+            "pricey[desk,rug]");
+}
+
+}  // namespace
+}  // namespace mix::wrappers

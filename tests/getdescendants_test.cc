@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "algebra/get_descendants_op.h"
+#include "algebra/source_op.h"
+#include "test_util.h"
+#include "xml/doc_navigable.h"
+
+namespace mix::algebra {
+namespace {
+
+using pathexpr::PathExpr;
+
+std::vector<std::string> Matches(const std::string& term,
+                                 const std::string& path,
+                                 GetDescendantsOp::Options options = {}) {
+  auto doc = testing::Doc(term);
+  xml::DocNavigable nav(doc.get());
+  SourceOp source(&nav, "R");
+  GetDescendantsOp gd(&source, "R", PathExpr::Parse(path).ValueOrDie(), "X",
+                      options);
+  std::vector<std::string> out;
+  for (auto b = gd.FirstBinding(); b.has_value(); b = gd.NextBinding(*b)) {
+    out.push_back(TermOfValue(gd.Attr(*b, "X")));
+  }
+  return out;
+}
+
+TEST(GetDescendantsTest, PaperExampleZipExtraction) {
+  // The §3 example: getDescendants_{$H, zip._ -> $V1} on home trees.
+  auto doc = testing::Doc(
+      "homes[home[addr[La Jolla],zip[91220]],home[addr[El Cajon],zip[91223]]]");
+  xml::DocNavigable nav(doc.get());
+  SourceOp source(&nav, "R");
+  GetDescendantsOp homes(&source, "R",
+                         PathExpr::Parse("home").ValueOrDie(), "H");
+  GetDescendantsOp zips(&homes, "H", PathExpr::Parse("zip._").ValueOrDie(),
+                        "V1");
+  EXPECT_EQ(zips.schema(), (VarList{"R", "H", "V1"}));
+
+  // Matches the paper's output binding list.
+  EXPECT_EQ(testing::StreamToTerm(&zips),
+            "bs[b[R[homes[home[addr[La Jolla],zip[91220]],"
+            "home[addr[El Cajon],zip[91223]]]],"
+            "H[home[addr[La Jolla],zip[91220]]],V1[91220]],"
+            "b[R[homes[home[addr[La Jolla],zip[91220]],"
+            "home[addr[El Cajon],zip[91223]]]],"
+            "H[home[addr[El Cajon],zip[91223]]],V1[91223]]]");
+}
+
+TEST(GetDescendantsTest, DocumentOrder) {
+  EXPECT_EQ(Matches("r[a[b[x]],b[y],c[b[z]]]", "_.b|b"),
+            (std::vector<std::string>{"b[x]", "b[y]", "b[z]"}));
+}
+
+TEST(GetDescendantsTest, WildcardStep) {
+  EXPECT_EQ(Matches("r[a[1],b[2]]", "_._"),
+            (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(GetDescendantsTest, RecursiveDescent) {
+  EXPECT_EQ(Matches("r[a[a[a[leaf]]],a[x]]", "a+"),
+            (std::vector<std::string>{"a[a[a[leaf]]]", "a[a[leaf]]", "a[leaf]",
+                                      "a[x]"}));
+}
+
+TEST(GetDescendantsTest, AnyDepthSearch) {
+  EXPECT_EQ(Matches("r[x[y[zip[1]]],zip[2],q[zip[3]]]", "_*.zip"),
+            (std::vector<std::string>{"zip[1]", "zip[2]", "zip[3]"}));
+}
+
+TEST(GetDescendantsTest, NoMatchesSkipsBinding) {
+  EXPECT_TRUE(Matches("r[a,b,c]", "nothing").empty());
+}
+
+TEST(GetDescendantsTest, AcceptingNodeMayHaveMatchingDescendants) {
+  // a and a.b both match a.b? — wait: re a.b? matches [a] and [a,b].
+  EXPECT_EQ(Matches("r[a[b[1],c[2]]]", "a.b?"),
+            (std::vector<std::string>{"a[b[1],c[2]]", "b[1]"}));
+}
+
+TEST(GetDescendantsTest, PruningSkipsDeadSubtrees) {
+  auto doc = testing::Doc("r[junk[deep[deep[deep[x]]]],home[zip[1]]]");
+  xml::DocNavigable nav(doc.get());
+  NavStats stats;
+  CountingNavigable counted(&nav, &stats);
+  SourceOp source(&counted, "R");
+  GetDescendantsOp gd(&source, "R", PathExpr::Parse("home.zip").ValueOrDie(),
+                      "X");
+  auto b = gd.FirstBinding();
+  ASSERT_TRUE(b.has_value());
+  // The junk subtree is pruned at its root: its interior (4 nodes deep) is
+  // never descended into.
+  EXPECT_LE(stats.downs, 4);
+}
+
+TEST(GetDescendantsTest, SigmaModeFindsSameMatches) {
+  GetDescendantsOp::Options sigma;
+  sigma.use_select_sibling = true;
+  const std::string doc = "r[x,home[zip[1]],y,home[zip[2]],z]";
+  EXPECT_EQ(Matches(doc, "home.zip", sigma), Matches(doc, "home.zip"));
+}
+
+TEST(GetDescendantsTest, SigmaModeReducesSourceCommands) {
+  // A long list where only the last child matches.
+  std::string term = "r[";
+  for (int i = 0; i < 50; ++i) term += "x,";
+  term += "home[zip[1]]]";
+
+  auto count = [&](bool use_sigma) {
+    auto doc = testing::Doc(term);
+    xml::DocNavigable nav(doc.get());
+    NavStats stats;
+    CountingNavigable counted(&nav, &stats);
+    SourceOp source(&counted, "R");
+    GetDescendantsOp::Options options;
+    options.use_select_sibling = use_sigma;
+    GetDescendantsOp gd(&source, "R", PathExpr::Parse("home").ValueOrDie(),
+                        "X", options);
+    EXPECT_TRUE(gd.FirstBinding().has_value());
+    return stats;
+  };
+  NavStats with_sigma = count(true);
+  NavStats without = count(false);
+  // Without σ: ~50 r and ~50 f commands. With σ: one f + one σ.
+  EXPECT_GT(without.total(), 50);
+  EXPECT_LE(with_sigma.total(), 5);
+  EXPECT_EQ(with_sigma.selects, 1);
+}
+
+TEST(GetDescendantsTest, ResumeFromStaleBindingIsConstantCost) {
+  auto doc = testing::Doc("r[n[1],n[2],n[3],n[4]]");
+  xml::DocNavigable nav(doc.get());
+  SourceOp source(&nav, "R");
+  GetDescendantsOp gd(&source, "R", PathExpr::Parse("n").ValueOrDie(), "X");
+
+  auto b1 = gd.FirstBinding();
+  auto b2 = gd.NextBinding(*b1);
+  auto b3 = gd.NextBinding(*b2);
+  ASSERT_TRUE(b3.has_value());
+  // Resuming from b1 again yields an id equivalent to b2's match.
+  auto again = gd.NextBinding(*b1);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(TermOfValue(gd.Attr(*again, "X")), "n[2]");
+  // And the old ids still resolve.
+  EXPECT_EQ(TermOfValue(gd.Attr(*b1, "X")), "n[1]");
+  EXPECT_EQ(TermOfValue(gd.Attr(*b3, "X")), "n[3]");
+}
+
+TEST(GetDescendantsTest, MultipleInputBindings) {
+  // Two anchors, each with matches: output is the concatenation.
+  auto doc = testing::Doc("r[g[m[1],m[2]],g[m[3]]]");
+  xml::DocNavigable nav(doc.get());
+  SourceOp source(&nav, "R");
+  GetDescendantsOp groups(&source, "R", PathExpr::Parse("g").ValueOrDie(),
+                          "G");
+  GetDescendantsOp members(&groups, "G", PathExpr::Parse("m._").ValueOrDie(),
+                           "M");
+  std::vector<std::string> out;
+  for (auto b = members.FirstBinding(); b.has_value();
+       b = members.NextBinding(*b)) {
+    out.push_back(AtomOf(members.Attr(*b, "M")));
+  }
+  EXPECT_EQ(out, (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(GetDescendantsTest, AlternationPaths) {
+  EXPECT_EQ(Matches("r[home[zip[1]],school[zip[2]],shop[zip[3]]]",
+                    "(home|school).zip._"),
+            (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(GetDescendantsTest, LazyFirstMatchTouchesPrefixOnly) {
+  // 1000 children; the first one matches — FirstBinding must not scan on.
+  std::string term = "r[home[zip[1]]";
+  for (int i = 0; i < 1000; ++i) term += ",x";
+  term += "]";
+  auto doc = testing::Doc(term);
+  xml::DocNavigable nav(doc.get());
+  NavStats stats;
+  CountingNavigable counted(&nav, &stats);
+  SourceOp source(&counted, "R");
+  GetDescendantsOp gd(&source, "R", PathExpr::Parse("home").ValueOrDie(), "X");
+  ASSERT_TRUE(gd.FirstBinding().has_value());
+  EXPECT_LE(stats.total(), 5);
+}
+
+}  // namespace
+}  // namespace mix::algebra

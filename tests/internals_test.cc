@@ -1,0 +1,91 @@
+// Low-level invariants: ValueSpace wrapping, id-ownership checks, and the
+// abort-on-misuse contracts of the Skolem-id machinery.
+#include <gtest/gtest.h>
+
+#include "algebra/source_op.h"
+#include "algebra/value_space.h"
+#include "test_util.h"
+#include "xml/doc_navigable.h"
+
+namespace mix::algebra {
+namespace {
+
+TEST(ValueSpaceTest, WrapUnwrapRoundTrip) {
+  auto doc = testing::Doc("r[a[x],b]");
+  xml::DocNavigable nav(doc.get());
+  ValueSpace space(NextOperatorInstance());
+
+  ValueRef root{&nav, nav.Root()};
+  NodeId wrapped = space.Wrap(root);
+  EXPECT_TRUE(space.Owns(wrapped));
+  ValueRef back = space.Unwrap(wrapped);
+  EXPECT_EQ(back.nav, &nav);
+  EXPECT_EQ(back.id, nav.Root());
+}
+
+TEST(ValueSpaceTest, ForwardedNavigationRewraps) {
+  auto doc = testing::Doc("r[a[x],b]");
+  xml::DocNavigable nav(doc.get());
+  ValueSpace space(NextOperatorInstance());
+  NodeId wrapped = space.Wrap({&nav, nav.Root()});
+
+  auto a = space.Down(wrapped);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(space.Owns(*a));
+  EXPECT_EQ(space.Fetch(*a), "a");
+  auto b = space.Right(*a);
+  EXPECT_EQ(space.Fetch(*b), "b");
+  EXPECT_FALSE(space.Right(*b).has_value());
+  auto x = space.Down(*a);
+  EXPECT_EQ(space.Fetch(*x), "x");
+  EXPECT_FALSE(space.Down(*x).has_value());
+}
+
+TEST(ValueSpaceTest, SharedHandlePerNavigable) {
+  auto doc = testing::Doc("r[a,b]");
+  xml::DocNavigable nav(doc.get());
+  ValueSpace space(NextOperatorInstance());
+  NodeId w1 = space.Wrap({&nav, nav.Root()});
+  NodeId w2 = space.Wrap({&nav, *nav.Down(nav.Root())});
+  // Same navigable -> same handle component.
+  EXPECT_EQ(w1.IntAt(1), w2.IntAt(1));
+}
+
+TEST(ValueSpaceDeathTest, ForeignIdsRejected) {
+  auto doc = testing::Doc("r[a]");
+  xml::DocNavigable nav(doc.get());
+  ValueSpace space1(NextOperatorInstance());
+  ValueSpace space2(NextOperatorInstance());
+  NodeId wrapped = space1.Wrap({&nav, nav.Root()});
+  EXPECT_FALSE(space2.Owns(wrapped));
+  EXPECT_DEATH(space2.Unwrap(wrapped), "foreign");
+  EXPECT_DEATH(space1.Unwrap(nav.Root()), "foreign");
+}
+
+TEST(OperatorDeathTest, ForeignBindingIdsRejected) {
+  auto doc = testing::Doc("r[a]");
+  xml::DocNavigable nav(doc.get());
+  SourceOp source1(&nav, "A");
+  SourceOp source2(&nav, "A");
+  NodeId b = *source1.FirstBinding();
+  // Another operator instance must refuse the id.
+  EXPECT_DEATH(source2.NextBinding(b), "foreign binding id");
+}
+
+TEST(NodeIdDeathTest, ComponentTypeMismatch) {
+  NodeId id("t", {int64_t{1}, std::string("s")});
+  EXPECT_DEATH(id.StrAt(0), "not a string");
+  EXPECT_DEATH(id.IntAt(1), "not an int");
+  EXPECT_DEATH(id.IdAt(0), "not a NodeId");
+}
+
+TEST(DocNavigableDeathTest, CrossDocumentIdsRejected) {
+  auto doc1 = testing::Doc("r[a]");
+  auto doc2 = testing::Doc("r[b]");
+  xml::DocNavigable nav1(doc1.get());
+  xml::DocNavigable nav2(doc2.get());
+  EXPECT_DEATH(nav2.Fetch(nav1.Root()), "foreign node-id");
+}
+
+}  // namespace
+}  // namespace mix::algebra

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "net/sim_net.h"
+
+namespace mix::net {
+namespace {
+
+TEST(SimClockTest, Advances) {
+  SimClock clock;
+  EXPECT_EQ(clock.now_ns(), 0);
+  clock.Advance(100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.now_ns(), 150);
+}
+
+TEST(ChannelTest, CostModel) {
+  SimClock clock;
+  ChannelOptions options;
+  options.latency_per_message_ns = 1000;
+  options.ns_per_byte = 2;
+  Channel channel(&clock, options);
+
+  channel.Send(100);
+  EXPECT_EQ(clock.now_ns(), 1000 + 200);
+  EXPECT_EQ(channel.stats().messages, 1);
+  EXPECT_EQ(channel.stats().bytes, 100);
+  EXPECT_EQ(channel.stats().busy_ns, 1200);
+
+  channel.Send(0);  // empty message still pays latency
+  EXPECT_EQ(clock.now_ns(), 2200);
+  EXPECT_EQ(channel.stats().messages, 2);
+}
+
+TEST(ChannelTest, ResetStatsKeepsClock) {
+  SimClock clock;
+  Channel channel(&clock, ChannelOptions{10, 1});
+  channel.Send(5);
+  channel.ResetStats();
+  EXPECT_EQ(channel.stats().messages, 0);
+  EXPECT_EQ(channel.stats().bytes, 0);
+  EXPECT_GT(clock.now_ns(), 0);
+}
+
+TEST(ChannelTest, NullClockStillCounts) {
+  Channel channel(nullptr, ChannelOptions{10, 1});
+  channel.Send(5);
+  EXPECT_EQ(channel.stats().messages, 1);
+  EXPECT_EQ(channel.stats().bytes, 5);
+}
+
+TEST(ChannelStatsTest, ToString) {
+  ChannelStats stats{3, 500, 2'000'000};
+  std::string s = stats.ToString();
+  EXPECT_NE(s.find("messages=3"), std::string::npos);
+  EXPECT_NE(s.find("bytes=500"), std::string::npos);
+}
+
+// The chunking claim in miniature: shipping N bytes in k messages costs
+// k*latency + N*per_byte — fewer, bigger messages are strictly cheaper.
+TEST(ChannelTest, BulkTransferBeatsNodeAtATime) {
+  ChannelOptions options;  // defaults
+  SimClock fine_clock;
+  Channel fine(&fine_clock, options);
+  for (int i = 0; i < 100; ++i) fine.Send(10);
+
+  SimClock bulk_clock;
+  Channel bulk(&bulk_clock, options);
+  bulk.Send(1000);
+
+  EXPECT_EQ(fine.stats().bytes, bulk.stats().bytes);
+  EXPECT_GT(fine_clock.now_ns(), bulk_clock.now_ns());
+}
+
+}  // namespace
+}  // namespace mix::net

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "algebra/get_descendants_op.h"
+#include "algebra/order_by_op.h"
+#include "algebra/source_op.h"
+#include "test_util.h"
+#include "xml/doc_navigable.h"
+
+namespace mix::algebra {
+namespace {
+
+using pathexpr::PathExpr;
+
+struct Fixture {
+  explicit Fixture(const std::string& term)
+      : doc(testing::Doc(term)),
+        nav(doc.get()),
+        counting(&nav, &stats),
+        source(&counting, "R"),
+        people(&source, "R", PathExpr::Parse("person").ValueOrDie(), "P"),
+        ages(&people, "P", PathExpr::Parse("age._").ValueOrDie(), "A") {}
+
+  std::unique_ptr<xml::Document> doc;
+  xml::DocNavigable nav;
+  NavStats stats;
+  CountingNavigable counting;
+  SourceOp source;
+  GetDescendantsOp people;
+  GetDescendantsOp ages;
+};
+
+const char* kPeople =
+    "people[person[name[bob],age[30]],person[name[amy],age[9]],"
+    "person[name[cy],age[120]]]";
+
+TEST(OrderByTest, NumericOrdering) {
+  // Example 1's unbrowsable view: reorder by the arithmetic attribute age.
+  Fixture f(kPeople);
+  OrderByOp ordered(&f.ages, {"A"});
+  std::vector<std::string> ages;
+  for (auto b = ordered.FirstBinding(); b.has_value();
+       b = ordered.NextBinding(*b)) {
+    ages.push_back(AtomOf(ordered.Attr(*b, "A")));
+  }
+  // Numeric: 9 < 30 < 120 (lexicographic would give 120 < 30 < 9).
+  EXPECT_EQ(ages, (std::vector<std::string>{"9", "30", "120"}));
+}
+
+TEST(OrderByTest, SchemaUnchanged) {
+  Fixture f(kPeople);
+  OrderByOp ordered(&f.ages, {"A"});
+  EXPECT_EQ(ordered.schema(), f.ages.schema());
+  auto b = ordered.FirstBinding();
+  EXPECT_EQ(TermOfValue(ordered.Attr(*b, "P")), "person[name[amy],age[9]]");
+}
+
+TEST(OrderByTest, FirstNavigationDrainsInput) {
+  // The unbrowsable signature: even the *first* output binding costs a
+  // full scan of the input.
+  Fixture f(kPeople);
+  OrderByOp ordered(&f.ages, {"A"});
+  EXPECT_EQ(f.stats.total(), 0);
+  ordered.FirstBinding();
+  int64_t after_first = f.stats.total();
+  // All three persons (and their ages) were visited for the first result.
+  EXPECT_GT(after_first, 10);
+  // Subsequent bindings come from the materialized order: no new source
+  // navigation for the binding scan itself.
+  auto b = ordered.FirstBinding();
+  ordered.NextBinding(*b);
+  EXPECT_EQ(f.stats.total(), after_first);
+}
+
+TEST(OrderByTest, StableForEqualKeys) {
+  Fixture f(
+      "people[person[name[a],age[5]],person[name[b],age[5]],"
+      "person[name[c],age[1]]]");
+  OrderByOp ordered(&f.ages, {"A"});
+  std::vector<std::string> names;
+  for (auto b = ordered.FirstBinding(); b.has_value();
+       b = ordered.NextBinding(*b)) {
+    names.push_back(TermOfValue(ordered.Attr(*b, "P")));
+  }
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "person[name[c],age[1]]");
+  EXPECT_EQ(names[1], "person[name[a],age[5]]");  // input order preserved
+  EXPECT_EQ(names[2], "person[name[b],age[5]]");
+}
+
+TEST(OrderByTest, MultiKeyOrdering) {
+  Fixture f(
+      "people[person[name[x],age[5]],person[name[y],age[5]],"
+      "person[name[z],age[3]]]");
+  GetDescendantsOp names(&f.ages, "P", PathExpr::Parse("name._").ValueOrDie(),
+                         "N");
+  OrderByOp ordered(&names, {"A", "N"});
+  std::vector<std::string> out;
+  for (auto b = ordered.FirstBinding(); b.has_value();
+       b = ordered.NextBinding(*b)) {
+    out.push_back(AtomOf(ordered.Attr(*b, "N")));
+  }
+  EXPECT_EQ(out, (std::vector<std::string>{"z", "x", "y"}));
+}
+
+TEST(OrderByTest, EmptyInput) {
+  Fixture f("people[nobody]");
+  OrderByOp ordered(&f.ages, {"A"});
+  EXPECT_FALSE(ordered.FirstBinding().has_value());
+}
+
+}  // namespace
+}  // namespace mix::algebra
+
+namespace mix::algebra {
+namespace {
+
+TEST(OrderByOccurrenceTest, ClustersByFirstOccurrence) {
+  // Input order of P values: p1, p2, p1, p3, p2 — occurrence mode clusters
+  // all p1 bindings first, then p2, then p3 (the paper's "according to the
+  // occurrence of bindings bin.x in the input").
+  auto doc = testing::Doc("d[p1,p2,p3,a,b,c,d,e]");
+  xml::DocNavigable nav(doc.get());
+  auto node = [&](int i) {
+    return testing::RefTo(&nav, doc->root()->children[static_cast<size_t>(i)]);
+  };
+  testing::VectorBindingStream in(
+      VarList{"P", "V"},
+      {{node(0), node(3)},
+       {node(1), node(4)},
+       {node(0), node(5)},
+       {node(2), node(6)},
+       {node(1), node(7)}});
+  OrderByOp ordered(&in, {"P"}, OrderByOp::Mode::kByOccurrence);
+  std::vector<std::string> out;
+  for (auto b = ordered.FirstBinding(); b.has_value();
+       b = ordered.NextBinding(*b)) {
+    out.push_back(AtomOf(ordered.Attr(*b, "P")) + ":" +
+                  AtomOf(ordered.Attr(*b, "V")));
+  }
+  EXPECT_EQ(out, (std::vector<std::string>{"p1:a", "p1:c", "p2:b", "p2:e",
+                                           "p3:d"}));
+}
+
+TEST(OrderByOccurrenceTest, IdentityNotValueClustering) {
+  // Two distinct nodes with equal labels are distinct occurrences.
+  auto doc = testing::Doc("d[k,k,x,y,z]");
+  xml::DocNavigable nav(doc.get());
+  auto node = [&](int i) {
+    return testing::RefTo(&nav, doc->root()->children[static_cast<size_t>(i)]);
+  };
+  testing::VectorBindingStream in(
+      VarList{"K", "V"},
+      {{node(0), node(2)}, {node(1), node(3)}, {node(0), node(4)}});
+  OrderByOp ordered(&in, {"K"}, OrderByOp::Mode::kByOccurrence);
+  std::vector<std::string> out;
+  for (auto b = ordered.FirstBinding(); b.has_value();
+       b = ordered.NextBinding(*b)) {
+    out.push_back(AtomOf(ordered.Attr(*b, "V")));
+  }
+  // node(0)'s bindings cluster (x, z), node(1)'s stays between.
+  EXPECT_EQ(out, (std::vector<std::string>{"x", "z", "y"}));
+}
+
+}  // namespace
+}  // namespace mix::algebra

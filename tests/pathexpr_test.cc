@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "pathexpr/path_expr.h"
+
+namespace mix::pathexpr {
+namespace {
+
+bool Matches(const std::string& expr, const std::vector<std::string>& path) {
+  auto p = PathExpr::Parse(expr);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return p.value().Matches(path);
+}
+
+TEST(PathExprTest, SingleLabel) {
+  EXPECT_TRUE(Matches("home", {"home"}));
+  EXPECT_FALSE(Matches("home", {"school"}));
+  EXPECT_FALSE(Matches("home", {"home", "zip"}));
+  EXPECT_FALSE(Matches("home", {}));
+}
+
+TEST(PathExprTest, Chain) {
+  EXPECT_TRUE(Matches("homes.home", {"homes", "home"}));
+  EXPECT_FALSE(Matches("homes.home", {"homes"}));
+  EXPECT_FALSE(Matches("homes.home", {"home", "homes"}));
+}
+
+TEST(PathExprTest, Wildcard) {
+  EXPECT_TRUE(Matches("zip._", {"zip", "91220"}));
+  EXPECT_TRUE(Matches("zip._", {"zip", "anything"}));
+  EXPECT_FALSE(Matches("zip._", {"zip"}));
+  EXPECT_FALSE(Matches("_", {}));
+  EXPECT_TRUE(Matches("_", {"x"}));
+}
+
+TEST(PathExprTest, Alternation) {
+  EXPECT_TRUE(Matches("a|b", {"a"}));
+  EXPECT_TRUE(Matches("a|b", {"b"}));
+  EXPECT_FALSE(Matches("a|b", {"c"}));
+  EXPECT_TRUE(Matches("x.(a|b).y", {"x", "b", "y"}));
+}
+
+TEST(PathExprTest, Star) {
+  EXPECT_TRUE(Matches("a*.b", {"b"}));
+  EXPECT_TRUE(Matches("a*.b", {"a", "b"}));
+  EXPECT_TRUE(Matches("a*.b", {"a", "a", "a", "b"}));
+  EXPECT_FALSE(Matches("a*.b", {"a", "c", "b"}));
+}
+
+TEST(PathExprTest, AnyDepthDescendant) {
+  // `_*.zip` — zip at any depth.
+  EXPECT_TRUE(Matches("_*.zip", {"zip"}));
+  EXPECT_TRUE(Matches("_*.zip", {"home", "zip"}));
+  EXPECT_TRUE(Matches("_*.zip", {"a", "b", "c", "zip"}));
+  EXPECT_FALSE(Matches("_*.zip", {"a", "b"}));
+}
+
+TEST(PathExprTest, PlusAndOpt) {
+  EXPECT_FALSE(Matches("a+.b", {"b"}));
+  EXPECT_TRUE(Matches("a+.b", {"a", "b"}));
+  EXPECT_TRUE(Matches("a+.b", {"a", "a", "b"}));
+  EXPECT_TRUE(Matches("a?.b", {"b"}));
+  EXPECT_TRUE(Matches("a?.b", {"a", "b"}));
+  EXPECT_FALSE(Matches("a?.b", {"a", "a", "b"}));
+}
+
+TEST(PathExprTest, GroupedExpressions) {
+  EXPECT_TRUE(Matches("(a.b)*.c", {"c"}));
+  EXPECT_TRUE(Matches("(a.b)*.c", {"a", "b", "c"}));
+  EXPECT_TRUE(Matches("(a.b)*.c", {"a", "b", "a", "b", "c"}));
+  EXPECT_FALSE(Matches("(a.b)*.c", {"a", "c"}));
+}
+
+TEST(PathExprTest, LabelChainDetection) {
+  std::vector<std::string> chain;
+  EXPECT_TRUE(PathExpr::Parse("homes.home").value().IsLabelChain(&chain));
+  EXPECT_EQ(chain, (std::vector<std::string>{"homes", "home"}));
+  EXPECT_TRUE(PathExpr::Parse("a").value().IsLabelChain(&chain));
+  EXPECT_EQ(chain, (std::vector<std::string>{"a"}));
+  EXPECT_FALSE(PathExpr::Parse("zip._").value().IsLabelChain());
+  EXPECT_FALSE(PathExpr::Parse("a|b").value().IsLabelChain());
+  EXPECT_FALSE(PathExpr::Parse("a*").value().IsLabelChain());
+}
+
+TEST(PathExprTest, RecursiveDetection) {
+  EXPECT_FALSE(PathExpr::Parse("a.b").value().IsRecursive());
+  EXPECT_FALSE(PathExpr::Parse("a|b").value().IsRecursive());
+  EXPECT_TRUE(PathExpr::Parse("a*").value().IsRecursive());
+  EXPECT_TRUE(PathExpr::Parse("x.(a.b)+").value().IsRecursive());
+  EXPECT_FALSE(PathExpr::Parse("a?").value().IsRecursive());
+}
+
+TEST(PathExprTest, TextNormalization) {
+  EXPECT_EQ(PathExpr::Parse(" homes . home ").value().text(), "homes.home");
+}
+
+TEST(PathExprTest, ParseErrors) {
+  EXPECT_FALSE(PathExpr::Parse("").ok());
+  EXPECT_FALSE(PathExpr::Parse("a..b").ok());
+  EXPECT_FALSE(PathExpr::Parse("(a").ok());
+  EXPECT_FALSE(PathExpr::Parse("a)").ok());
+  EXPECT_FALSE(PathExpr::Parse("|a").ok());
+  EXPECT_FALSE(PathExpr::Parse("*").ok());
+}
+
+TEST(PathExprTest, LabelsWithSpecialNameChars) {
+  EXPECT_TRUE(Matches("med_home", {"med_home"}));
+  EXPECT_TRUE(Matches("@class", {"@class"}));
+  EXPECT_TRUE(Matches("ns:tag", {"ns:tag"}));
+}
+
+// Property-style sweep: chains of length k match exactly their own path.
+class ChainLengthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainLengthTest, ChainMatchesExactlyItself) {
+  int k = GetParam();
+  std::string expr;
+  std::vector<std::string> path;
+  for (int i = 0; i < k; ++i) {
+    if (i > 0) expr += ".";
+    std::string label = "l" + std::to_string(i);
+    expr += label;
+    path.push_back(label);
+  }
+  auto p = PathExpr::Parse(expr);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p.value().Matches(path));
+  // Any prefix fails; any extension fails.
+  std::vector<std::string> prefix(path.begin(), path.end() - 1);
+  EXPECT_FALSE(p.value().Matches(prefix));
+  auto extended = path;
+  extended.push_back("extra");
+  EXPECT_FALSE(p.value().Matches(extended));
+}
+
+INSTANTIATE_TEST_SUITE_P(Chains, ChainLengthTest, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace mix::pathexpr

@@ -1,0 +1,146 @@
+// Wrapper-initiated (push) LXP fills — the asynchronous protocol variant
+// of Section 4 — and the SuperRootNavigable document-node adapter.
+#include <gtest/gtest.h>
+
+#include "buffer/buffer.h"
+#include "core/super_root.h"
+#include "test_util.h"
+#include "wrappers/xml_lxp_wrapper.h"
+#include "xml/doc_navigable.h"
+#include "xml/materialize.h"
+
+namespace mix {
+namespace {
+
+using buffer::BufferComponent;
+using buffer::Fragment;
+using buffer::FragmentList;
+using buffer::ScriptedLxpWrapper;
+
+ScriptedLxpWrapper MakeWrapper() {
+  std::map<std::string, FragmentList> fills;
+  fills["h0"] = {Fragment::Element("r", {Fragment::Hole("h1")})};
+  fills["h1"] = {Fragment::Element("a"), Fragment::Hole("h2")};
+  fills["h2"] = {Fragment::Element("b"), Fragment::Element("c")};
+  return ScriptedLxpWrapper("h0", std::move(fills));
+}
+
+TEST(PushFillTest, PushedFillAnswersLaterNavigationForFree) {
+  ScriptedLxpWrapper wrapper = MakeWrapper();
+  BufferComponent buffer(&wrapper, "u");
+  NodeId root = buffer.Root();
+  auto a = buffer.Down(root);
+  ASSERT_TRUE(a.has_value());
+  int64_t demand_fills = buffer.fill_count();
+
+  // The wrapper pushes the h2 continuation before the client asks.
+  EXPECT_TRUE(buffer.ApplyPushedFill(
+      "h2", {Fragment::Element("b"), Fragment::Element("c")}));
+
+  auto b = buffer.Right(*a);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(buffer.Fetch(*b), "b");
+  auto c = buffer.Right(*b);
+  EXPECT_EQ(buffer.Fetch(*c), "c");
+  // No demand fill happened: the push already satisfied the navigation.
+  EXPECT_EQ(buffer.fill_count(), demand_fills);
+  EXPECT_TRUE(wrapper.fill_log().size() <= 2u);
+}
+
+TEST(PushFillTest, UnknownOrFilledHoleIsDropped) {
+  ScriptedLxpWrapper wrapper = MakeWrapper();
+  BufferComponent buffer(&wrapper, "u");
+  buffer.Root();
+  EXPECT_FALSE(buffer.ApplyPushedFill("nope", {Fragment::Element("x")}));
+  // h0 was already demand-filled by Root().
+  EXPECT_FALSE(buffer.ApplyPushedFill("h0", {Fragment::Element("x")}));
+  // A duplicate push for the same hole: first lands, second is dropped.
+  EXPECT_TRUE(buffer.ApplyPushedFill("h1", {Fragment::Element("a")}));
+  EXPECT_FALSE(buffer.ApplyPushedFill("h1", {Fragment::Element("z")}));
+  EXPECT_EQ(testing::MaterializeToTerm(&buffer), "r[a]");
+}
+
+TEST(PushFillTest, PushTrafficChargedToBackgroundChannel) {
+  ScriptedLxpWrapper wrapper = MakeWrapper();
+  net::Channel demand(nullptr, net::ChannelOptions{});
+  net::Channel background(nullptr, net::ChannelOptions{});
+  BufferComponent::Options options;
+  options.channel = &demand;
+  options.prefetch_channel = &background;
+  BufferComponent buffer(&wrapper, "u", options);
+  buffer.Root();
+  int64_t demand_msgs = demand.stats().messages;
+
+  EXPECT_TRUE(buffer.ApplyPushedFill("h1", {Fragment::Element("a")}));
+  EXPECT_EQ(demand.stats().messages, demand_msgs);
+  EXPECT_EQ(background.stats().messages, 1);
+  EXPECT_GT(background.stats().bytes, 0);
+}
+
+TEST(PushFillTest, PushedFillsMayContainHoles) {
+  ScriptedLxpWrapper wrapper = MakeWrapper();
+  BufferComponent buffer(&wrapper, "u");
+  buffer.Root();
+  EXPECT_TRUE(buffer.ApplyPushedFill(
+      "h1", {Fragment::Element("a"), Fragment::Hole("h9")}));
+  // The pushed hole is live: it can itself be pushed to.
+  EXPECT_TRUE(buffer.ApplyPushedFill("h9", {Fragment::Element("z")}));
+  EXPECT_EQ(testing::MaterializeToTerm(&buffer), "r[a,z]");
+}
+
+// ---------------------------------------------------------------------------
+// SuperRootNavigable
+// ---------------------------------------------------------------------------
+
+TEST(SuperRootTest, DocumentNodeAboveRoot) {
+  auto doc = testing::Doc("homes[home[zip[1]],home[zip[2]]]");
+  xml::DocNavigable inner(doc.get());
+  SuperRootNavigable sup(&inner);
+
+  NodeId top = sup.Root();
+  EXPECT_EQ(sup.Fetch(top), "#document");
+  EXPECT_FALSE(sup.Right(top).has_value());
+
+  auto root = sup.Down(top);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_EQ(sup.Fetch(*root), "homes");
+  // The root element is the document node's only child.
+  EXPECT_FALSE(sup.Right(*root).has_value());
+  EXPECT_FALSE(sup.SelectSibling(*root, LabelPredicate::Any()).has_value());
+
+  // Interior navigation forwards.
+  auto home = sup.Down(*root);
+  EXPECT_EQ(sup.Fetch(*home), "home");
+  auto home2 = sup.Right(*home);
+  ASSERT_TRUE(home2.has_value());
+  EXPECT_EQ(testing::MaterializeToTerm(&sup),
+            "#document[homes[home[zip[1]],home[zip[2]]]]");
+}
+
+TEST(SuperRootTest, LazyInnerRootAccess) {
+  auto doc = testing::Doc("r[x]");
+  xml::DocNavigable inner(doc.get());
+  NavStats stats;
+  CountingNavigable counted(&inner, &stats);
+  SuperRootNavigable sup(&counted);
+  NodeId top = sup.Root();
+  EXPECT_EQ(sup.Fetch(top), "#document");
+  EXPECT_EQ(stats.total(), 0);  // the wrapped source is still untouched
+  sup.Down(top);
+  // Down resolves the inner root (Root() itself is not a counted command).
+  EXPECT_EQ(stats.total(), 0);
+}
+
+TEST(SuperRootTest, SigmaForwardsToInterior) {
+  auto doc = testing::Doc("r[x,y,x]");
+  xml::DocNavigable inner(doc.get());
+  SuperRootNavigable sup(&inner);
+  auto root = sup.Down(sup.Root());
+  auto first = sup.Down(*root);
+  auto hit = sup.SelectSibling(*first, LabelPredicate::Equals("x"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(sup.Fetch(*hit), "x");
+}
+
+}  // namespace
+}  // namespace mix

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "rdb/database.h"
+#include "rdb/sql.h"
+
+namespace mix::rdb {
+namespace {
+
+Database MakeDb() {
+  Database db("realty");
+  Schema homes({{"addr", Type::kString}, {"zip", Type::kInt}});
+  Table* t = db.CreateTable("homes", homes).ValueOrDie();
+  EXPECT_TRUE(t->Insert({Value(std::string("La Jolla")), Value(int64_t{91220})}).ok());
+  EXPECT_TRUE(t->Insert({Value(std::string("El Cajon")), Value(int64_t{91223})}).ok());
+  EXPECT_TRUE(t->Insert({Value(std::string("Del Mar")), Value(int64_t{91220})}).ok());
+  return db;
+}
+
+TEST(ValueTest, TypesAndToString) {
+  EXPECT_EQ(Value(int64_t{42}).type(), Type::kInt);
+  EXPECT_EQ(Value(3.5).type(), Type::kDouble);
+  EXPECT_EQ(Value(std::string("x")).type(), Type::kString);
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value(std::string("x")).ToString(), "x");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, Comparisons) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value(std::string("a")), Value(std::string("b")));
+}
+
+TEST(TableTest, InsertChecksArityAndTypes) {
+  Table t("t", Schema({{"a", Type::kInt}}));
+  EXPECT_TRUE(t.Insert({Value(int64_t{1})}).ok());
+  EXPECT_FALSE(t.Insert({Value(int64_t{1}), Value(int64_t{2})}).ok());
+  EXPECT_FALSE(t.Insert({Value(std::string("nope"))}).ok());
+  EXPECT_EQ(t.row_count(), 1);
+}
+
+TEST(DatabaseTest, CatalogOrderAndDuplicates) {
+  Database db("d");
+  db.CreateTable("b", Schema()).ValueOrDie();
+  db.CreateTable("a", Schema()).ValueOrDie();
+  EXPECT_FALSE(db.CreateTable("a", Schema()).ok());
+  EXPECT_EQ(db.table_names(), (std::vector<std::string>{"b", "a"}));
+  EXPECT_NE(db.GetTable("a"), nullptr);
+  EXPECT_EQ(db.GetTable("zzz"), nullptr);
+}
+
+TEST(CursorTest, ScanAll) {
+  Database db = MakeDb();
+  Cursor c(db.GetTable("homes"));
+  int64_t row_number = -1;
+  int count = 0;
+  while (c.Next(&row_number) != nullptr) {
+    EXPECT_EQ(row_number, count);
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(c.rows_scanned(), 3);
+}
+
+TEST(CursorTest, PredicateAndSeek) {
+  Database db = MakeDb();
+  const Table* t = db.GetTable("homes");
+  Cursor c(t, {Predicate{1, Predicate::Op::kEq, Value(int64_t{91220})}});
+  int64_t n = -1;
+  ASSERT_NE(c.Next(&n), nullptr);
+  EXPECT_EQ(n, 0);
+  ASSERT_NE(c.Next(&n), nullptr);
+  EXPECT_EQ(n, 2);
+  EXPECT_EQ(c.Next(&n), nullptr);
+
+  Cursor c2(t);
+  c2.Seek(2);
+  ASSERT_NE(c2.Next(&n), nullptr);
+  EXPECT_EQ(n, 2);
+}
+
+TEST(PredicateTest, AllOperators) {
+  Row row{Value(int64_t{5})};
+  auto eval = [&](Predicate::Op op, int64_t lit) {
+    return Predicate{0, op, Value(lit)}.Eval(row);
+  };
+  EXPECT_TRUE(eval(Predicate::Op::kEq, 5));
+  EXPECT_TRUE(eval(Predicate::Op::kNe, 4));
+  EXPECT_TRUE(eval(Predicate::Op::kLt, 6));
+  EXPECT_TRUE(eval(Predicate::Op::kLe, 5));
+  EXPECT_TRUE(eval(Predicate::Op::kGt, 4));
+  EXPECT_TRUE(eval(Predicate::Op::kGe, 5));
+  EXPECT_FALSE(eval(Predicate::Op::kLt, 5));
+  EXPECT_FALSE(eval(Predicate::Op::kEq, 6));
+}
+
+TEST(SqlTest, ParseBasic) {
+  auto stmt = ParseSelect("SELECT addr, zip FROM homes").ValueOrDie();
+  EXPECT_EQ(stmt.columns, (std::vector<std::string>{"addr", "zip"}));
+  EXPECT_EQ(stmt.table, "homes");
+  EXPECT_TRUE(stmt.filters.empty());
+}
+
+TEST(SqlTest, ParseStarWhereLimit) {
+  auto stmt =
+      ParseSelect("select * from homes where zip = 91220 and addr <> 'x' limit 5")
+          .ValueOrDie();
+  EXPECT_TRUE(stmt.columns.empty());
+  ASSERT_EQ(stmt.filters.size(), 2u);
+  EXPECT_EQ(stmt.filters[0].column, "zip");
+  EXPECT_EQ(stmt.filters[0].op, Predicate::Op::kEq);
+  EXPECT_EQ(stmt.filters[1].op, Predicate::Op::kNe);
+  EXPECT_EQ(stmt.limit, 5);
+}
+
+TEST(SqlTest, ToStringRoundTrips) {
+  auto stmt =
+      ParseSelect("SELECT a FROM t WHERE b >= 3 AND c = 'x' LIMIT 2").ValueOrDie();
+  auto again = ParseSelect(stmt.ToString()).ValueOrDie();
+  EXPECT_EQ(again.ToString(), stmt.ToString());
+}
+
+TEST(SqlTest, ParseErrors) {
+  EXPECT_FALSE(ParseSelect("DELETE FROM x").ok());
+  EXPECT_FALSE(ParseSelect("SELECT FROM x").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t garbage").ok());
+}
+
+TEST(SqlTest, ExecuteProjectsAndFilters) {
+  Database db = MakeDb();
+  auto result =
+      ExecuteSelect(db, "SELECT addr FROM homes WHERE zip = 91220").ValueOrDie();
+  ASSERT_EQ(result.schema().column_count(), 1u);
+  EXPECT_EQ(result.schema().columns()[0].name, "addr");
+
+  auto cursor = result.Open();
+  Row row;
+  std::vector<std::string> addrs;
+  while (cursor.Next(&row)) addrs.push_back(row[0].as_string());
+  EXPECT_EQ(addrs, (std::vector<std::string>{"La Jolla", "Del Mar"}));
+}
+
+TEST(SqlTest, ExecuteLimit) {
+  Database db = MakeDb();
+  auto result = ExecuteSelect(db, "SELECT * FROM homes LIMIT 2").ValueOrDie();
+  auto cursor = result.Open();
+  Row row;
+  int count = 0;
+  while (cursor.Next(&row)) ++count;
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SqlTest, BindErrors) {
+  Database db = MakeDb();
+  EXPECT_EQ(ExecuteSelect(db, "SELECT x FROM homes").status().code(),
+            Status::Code::kNotFound);
+  EXPECT_EQ(ExecuteSelect(db, "SELECT * FROM nope").status().code(),
+            Status::Code::kNotFound);
+  EXPECT_EQ(
+      ExecuteSelect(db, "SELECT * FROM homes WHERE addr = 3").status().code(),
+      Status::Code::kInvalidArgument);
+}
+
+TEST(SqlTest, IntLiteralWidensToDouble) {
+  Database db("d");
+  Table* t = db.CreateTable("m", Schema({{"v", Type::kDouble}})).ValueOrDie();
+  ASSERT_TRUE(t->Insert({Value(2.5)}).ok());
+  auto result = ExecuteSelect(db, "SELECT * FROM m WHERE v > 2").ValueOrDie();
+  auto cursor = result.Open();
+  Row row;
+  EXPECT_TRUE(cursor.Next(&row));
+}
+
+}  // namespace
+}  // namespace mix::rdb

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "buffer/buffer.h"
+#include "test_util.h"
+#include "wrappers/relational_wrapper.h"
+
+namespace mix::wrappers {
+namespace {
+
+rdb::Database MakeDb(int rows = 5) {
+  rdb::Database db("realty");
+  rdb::Schema schema({{"addr", rdb::Type::kString}, {"zip", rdb::Type::kInt}});
+  rdb::Table* t = db.CreateTable("homes", schema).ValueOrDie();
+  for (int i = 0; i < rows; ++i) {
+    EXPECT_TRUE(t->Insert({rdb::Value("street " + std::to_string(i)),
+                           rdb::Value(int64_t{91220 + i % 2})})
+                    .ok());
+  }
+  return db;
+}
+
+TEST(RelationalWrapperTest, DatabaseViewShape) {
+  rdb::Database db = MakeDb(2);
+  RelationalLxpWrapper wrapper(&db);
+  buffer::BufferComponent buffer(&wrapper, "db");
+  // Fig. 6's relational-data-as-XML format, with the whole-db view of §4:
+  // db[table[row[att[v]...]...]].
+  EXPECT_EQ(testing::MaterializeToTerm(&buffer),
+            "realty[homes[row[addr[street 0],zip[91220]],"
+            "row[addr[street 1],zip[91221]]]]");
+}
+
+TEST(RelationalWrapperTest, ChunkedTableFills) {
+  rdb::Database db = MakeDb(25);
+  RelationalLxpWrapper::Options options;
+  options.chunk = 10;
+  RelationalLxpWrapper wrapper(&db, options);
+  buffer::BufferComponent buffer(&wrapper, "db");
+  testing::MaterializeToTerm(&buffer);
+  // 1 root fill + ceil(25/10) = 3 table fills.
+  EXPECT_EQ(buffer.fill_count(), 4);
+  EXPECT_EQ(wrapper.fills_served(), 4);
+}
+
+TEST(RelationalWrapperTest, HoleIdsEncodeRowPositions) {
+  rdb::Database db = MakeDb(15);
+  RelationalLxpWrapper::Options options;
+  options.chunk = 10;
+  RelationalLxpWrapper wrapper(&db, options);
+  auto root = wrapper.Fill("dbroot");
+  // realty[homes[hole[t:homes:0]]]
+  ASSERT_EQ(root.size(), 1u);
+  const buffer::Fragment& table = root[0].children[0];
+  ASSERT_EQ(table.children.size(), 1u);
+  EXPECT_EQ(table.children[0].hole_id, "t:homes:0");
+
+  auto rows = wrapper.Fill("t:homes:0");
+  ASSERT_EQ(rows.size(), 11u);  // 10 rows + trailing hole
+  EXPECT_EQ(rows.back().hole_id, "t:homes:10");
+  auto rest = wrapper.Fill("t:homes:10");
+  EXPECT_EQ(rest.size(), 5u);  // final chunk, no hole
+  EXPECT_FALSE(rest.back().is_hole);
+}
+
+TEST(RelationalWrapperTest, TupleAtATimeGranularity) {
+  // Rows ship complete: navigating into attributes needs no further fills.
+  rdb::Database db = MakeDb(3);
+  RelationalLxpWrapper wrapper(&db);
+  buffer::BufferComponent buffer(&wrapper, "db");
+
+  NodeId root = buffer.Root();
+  auto table = buffer.Down(root);
+  auto row = buffer.Down(*table);
+  int64_t fills = buffer.fill_count();
+  auto addr = buffer.Down(*row);
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(buffer.Fetch(*addr), "addr");
+  auto value = buffer.Down(*addr);
+  EXPECT_EQ(buffer.Fetch(*value), "street 0");
+  auto zip = buffer.Right(*addr);
+  EXPECT_EQ(buffer.Fetch(*zip), "zip");
+  EXPECT_EQ(buffer.fill_count(), fills);  // all answered from the buffer
+}
+
+TEST(RelationalWrapperTest, QueryViewFiltersAndProjects) {
+  rdb::Database db = MakeDb(6);
+  RelationalLxpWrapper::Options options;
+  options.chunk = 2;
+  RelationalLxpWrapper wrapper(&db, options);
+  buffer::BufferComponent buffer(
+      &wrapper, "sql:SELECT addr FROM homes WHERE zip = 91220");
+  EXPECT_EQ(testing::MaterializeToTerm(&buffer),
+            "view[row[addr[street 0]],row[addr[street 2]],"
+            "row[addr[street 4]]]");
+}
+
+TEST(RelationalWrapperTest, QueryViewChunkingScansLazily) {
+  rdb::Database db = MakeDb(100);
+  RelationalLxpWrapper::Options options;
+  options.chunk = 2;
+  RelationalLxpWrapper wrapper(&db, options);
+  buffer::BufferComponent buffer(&wrapper, "sql:SELECT * FROM homes");
+
+  NodeId view = buffer.Root();
+  auto row = buffer.Down(view);
+  ASSERT_TRUE(row.has_value());
+  // One root fill delivered the first chunk; most of the table unscanned.
+  EXPECT_LE(wrapper.rows_scanned(), 6);
+}
+
+TEST(RelationalWrapperTest, EmptyQueryResult) {
+  rdb::Database db = MakeDb(4);
+  RelationalLxpWrapper wrapper(&db);
+  buffer::BufferComponent buffer(&wrapper,
+                                 "sql:SELECT * FROM homes WHERE zip = 1");
+  NodeId view = buffer.Root();
+  EXPECT_EQ(buffer.Fetch(view), "view");
+  EXPECT_FALSE(buffer.Down(view).has_value());
+}
+
+TEST(RelationalWrapperTest, EmptyTableHasNoHole) {
+  rdb::Database db("d");
+  db.CreateTable("empty", rdb::Schema({{"a", rdb::Type::kInt}})).ValueOrDie();
+  RelationalLxpWrapper wrapper(&db);
+  buffer::BufferComponent buffer(&wrapper, "db");
+  EXPECT_EQ(testing::MaterializeToTerm(&buffer), "d[empty]");
+}
+
+}  // namespace
+}  // namespace mix::wrappers

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "algebra/get_descendants_op.h"
+#include "algebra/select_op.h"
+#include "algebra/source_op.h"
+#include "test_util.h"
+#include "xml/doc_navigable.h"
+
+namespace mix::algebra {
+namespace {
+
+using pathexpr::PathExpr;
+
+TEST(SourceOpTest, SingletonBindingList) {
+  auto doc = testing::Doc("homes[home[zip[1]]]");
+  xml::DocNavigable nav(doc.get());
+  SourceOp source(&nav, "R");
+
+  EXPECT_EQ(source.schema(), (VarList{"R"}));
+  auto b = source.FirstBinding();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_FALSE(source.NextBinding(*b).has_value());
+
+  ValueRef root = source.Attr(*b, "R");
+  EXPECT_EQ(root.nav->Fetch(root.id), "homes");
+}
+
+TEST(SourceOpTest, BsTreeShape) {
+  auto doc = testing::Doc("r[x]");
+  xml::DocNavigable nav(doc.get());
+  SourceOp source(&nav, "V");
+  EXPECT_EQ(testing::StreamToTerm(&source), "bs[b[V[r[x]]]]");
+}
+
+TEST(AtomHelpersTest, AtomOfLeafAndTree) {
+  auto doc = testing::Doc("r[zip[91220],home[addr[x],zip[2]]]");
+  xml::DocNavigable nav(doc.get());
+  NodeId root = nav.Root();
+  auto zip = nav.Down(root);
+  auto leaf = nav.Down(*zip);
+  EXPECT_EQ(AtomOf({&nav, *leaf}), "91220");
+  auto home = nav.Right(*zip);
+  EXPECT_EQ(AtomOf({&nav, *home}), "home[addr[x],zip[2]]");
+  EXPECT_EQ(TermOfValue({&nav, *zip}), "zip[91220]");
+}
+
+TEST(AtomHelpersTest, CompareAtomsNumericAware) {
+  EXPECT_EQ(CompareAtoms("10", "9"), 1);    // numeric, not lexicographic
+  EXPECT_EQ(CompareAtoms("9", "10"), -1);
+  EXPECT_EQ(CompareAtoms("2.5", "2.50"), 0);
+  EXPECT_LT(CompareAtoms("abc", "abd"), 0);
+  EXPECT_EQ(CompareAtoms("x", "x"), 0);
+  // Mixed: falls back to string comparison.
+  EXPECT_NE(CompareAtoms("10", "1x"), 0);
+}
+
+/// Builds source → getDescendants(p) over the given doc for select tests.
+struct Fixture {
+  explicit Fixture(const std::string& term, const std::string& path)
+      : doc(testing::Doc(term)),
+        nav(doc.get()),
+        source(&nav, "R"),
+        gd(&source, "R", PathExpr::Parse(path).ValueOrDie(), "X") {}
+
+  std::unique_ptr<xml::Document> doc;
+  xml::DocNavigable nav;
+  SourceOp source;
+  GetDescendantsOp gd;
+};
+
+TEST(SelectOpTest, FiltersByConstant) {
+  Fixture f("r[item[a[1],b[x]],item[a[2],b[y]],item[a[1],b[z]]]", "item.a._");
+  SelectOp select(&f.gd,
+                  BindingPredicate::VarConst("X", CompareOp::kEq, "1"));
+  EXPECT_EQ(select.schema(), f.gd.schema());
+
+  int count = 0;
+  for (auto b = select.FirstBinding(); b.has_value();
+       b = select.NextBinding(*b)) {
+    EXPECT_EQ(AtomOf(select.Attr(*b, "X")), "1");
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SelectOpTest, VarVarPredicate) {
+  Fixture f("r[p[v[3],w[3]],p[v[1],w[2]]]", "p");
+  GetDescendantsOp v(&f.gd, "X", PathExpr::Parse("v._").ValueOrDie(), "V");
+  GetDescendantsOp w(&v, "X", PathExpr::Parse("w._").ValueOrDie(), "W");
+  SelectOp select(&w, BindingPredicate::VarVar("V", CompareOp::kEq, "W"));
+  auto b = select.FirstBinding();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(AtomOf(select.Attr(*b, "V")), "3");
+  EXPECT_FALSE(select.NextBinding(*b).has_value());
+}
+
+TEST(SelectOpTest, NumericComparisonOps) {
+  Fixture f("r[n[5],n[12],n[7],n[3]]", "n._");
+  SelectOp select(&f.gd,
+                  BindingPredicate::VarConst("X", CompareOp::kGt, "6"));
+  std::vector<std::string> hits;
+  for (auto b = select.FirstBinding(); b.has_value();
+       b = select.NextBinding(*b)) {
+    hits.push_back(AtomOf(select.Attr(*b, "X")));
+  }
+  // Numeric-aware: 12 > 6 even though "12" < "6" lexicographically.
+  EXPECT_EQ(hits, (std::vector<std::string>{"12", "7"}));
+}
+
+TEST(SelectOpTest, EmptyResult) {
+  Fixture f("r[n[1]]", "n._");
+  SelectOp select(&f.gd,
+                  BindingPredicate::VarConst("X", CompareOp::kEq, "nope"));
+  EXPECT_FALSE(select.FirstBinding().has_value());
+}
+
+TEST(SelectOpTest, ResumeFromStaleBinding) {
+  Fixture f("r[n[1],n[2],n[1],n[3],n[1]]", "n._");
+  SelectOp select(&f.gd,
+                  BindingPredicate::VarConst("X", CompareOp::kEq, "1"));
+  auto b1 = select.FirstBinding();
+  auto b2 = select.NextBinding(*b1);
+  auto b3 = select.NextBinding(*b2);
+  ASSERT_TRUE(b3.has_value());
+  // Navigate again from the stale first binding: same logical position
+  // (getDescendants handles differ, so compare values, not raw ids).
+  auto again = select.NextBinding(*b1);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(AtomOf(select.Attr(*again, "X")),
+            AtomOf(select.Attr(*b2, "X")));
+  EXPECT_EQ(AtomOf(select.Attr(*b1, "X")), "1");
+}
+
+TEST(PredicateTest, ToString) {
+  EXPECT_EQ(BindingPredicate::VarVar("V1", CompareOp::kEq, "V2").ToString(),
+            "$V1=$V2");
+  EXPECT_EQ(BindingPredicate::VarConst("X", CompareOp::kGe, "5").ToString(),
+            "$X>='5'");
+}
+
+}  // namespace
+}  // namespace mix::algebra

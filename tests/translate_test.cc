@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "mediator/translate.h"
+#include "xmas/parser.h"
+
+namespace mix::mediator {
+namespace {
+
+const char* kFig3 = R"(
+CONSTRUCT <answer>
+  <med_home> $H $S {$S} </med_home> {$H}
+</answer> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+  AND schoolsSrc schools.school $S AND $S zip._ $V2
+  AND $V1 = $V2
+)";
+
+PlanPtr Translate(const std::string& text) {
+  auto q = xmas::ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  auto plan = TranslateQuery(q.value());
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return std::move(plan).ValueOrDie();
+}
+
+/// Collects operator kinds along the left spine (child 0 chain).
+std::vector<PlanNode::Kind> Spine(const PlanNode& root) {
+  std::vector<PlanNode::Kind> kinds;
+  for (const PlanNode* n = &root;; n = n->children[0].get()) {
+    kinds.push_back(n->kind);
+    if (n->children.empty()) break;
+  }
+  return kinds;
+}
+
+TEST(TranslateTest, Fig3ProducesFig4PlanShape) {
+  PlanPtr plan = Translate(kFig3);
+  using K = PlanNode::Kind;
+  // Fig. 4 top-down: tupleDestroy, createElement(answer), groupBy{},
+  // createElement(med_home), concatenate, groupBy{H}, join, then the two
+  // getDescendants/source chains.
+  EXPECT_EQ(Spine(*plan),
+            (std::vector<K>{K::kTupleDestroy, K::kCreateElement, K::kGroupBy,
+                            K::kCreateElement, K::kConcatenate, K::kGroupBy,
+                            K::kJoin, K::kGetDescendants, K::kGetDescendants,
+                            K::kSource}));
+
+  // Check key parameters along the way.
+  const PlanNode* ce_answer = plan->children[0].get();
+  EXPECT_EQ(ce_answer->label, "answer");
+  const PlanNode* gb_all = ce_answer->children[0].get();
+  EXPECT_TRUE(gb_all->vars.empty());  // groupBy{}
+  const PlanNode* ce_mh = gb_all->children[0].get();
+  EXPECT_EQ(ce_mh->label, "med_home");
+  const PlanNode* concat = ce_mh->children[0].get();
+  EXPECT_EQ(concat->x_var, "H");
+  const PlanNode* gb_h = concat->children[0].get();
+  EXPECT_EQ(gb_h->vars, (algebra::VarList{"H"}));
+  EXPECT_EQ(gb_h->grouped_var, "S");
+
+  const PlanNode* join = gb_h->children[0].get();
+  ASSERT_EQ(join->children.size(), 2u);
+  EXPECT_EQ(join->predicate->ToString(), "$V1=$V2");
+
+  // Both join inputs are getDescendants chains ending in a source.
+  const PlanNode* left = join->children[0].get();
+  EXPECT_EQ(left->kind, PlanNode::Kind::kGetDescendants);
+  EXPECT_EQ(left->path, "zip._");
+  EXPECT_EQ(left->children[0]->path, "homes.home");
+  EXPECT_EQ(left->children[0]->children[0]->source_name, "homesSrc");
+  const PlanNode* right = join->children[1].get();
+  EXPECT_EQ(right->children[0]->children[0]->source_name, "schoolsSrc");
+}
+
+TEST(TranslateTest, SchemaOfFig3StreamValidates) {
+  PlanPtr plan = Translate(kFig3);
+  auto schema = ComputeSchema(*plan->children[0]);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  // Final stream holds only the answer element variable (plus nothing else
+  // surviving groupBy{}).
+  EXPECT_EQ(schema.value().back(), plan->var);
+}
+
+TEST(TranslateTest, PlanPrints) {
+  PlanPtr plan = Translate(kFig3);
+  std::string s = plan->ToString();
+  EXPECT_NE(s.find("tupleDestroy"), std::string::npos);
+  EXPECT_NE(s.find("createElement[answer"), std::string::npos);
+  EXPECT_NE(s.find("join[$V1=$V2]"), std::string::npos);
+  EXPECT_NE(s.find("source[homesSrc -> $#root_homesSrc]"), std::string::npos);
+}
+
+TEST(TranslateTest, VarConstSelection) {
+  PlanPtr plan = Translate(
+      "CONSTRUCT <out> $H {$H} </out> {} "
+      "WHERE src homes.home $H AND $H zip._ $V AND $V = '91220'");
+  std::string s = plan->ToString();
+  EXPECT_NE(s.find("select[$V='91220']"), std::string::npos);
+}
+
+TEST(TranslateTest, ScalarOnlyElementGetsCollapseGroupBy) {
+  // <out>$H</out>{$H}: one out element per distinct H requires a collapse.
+  PlanPtr plan = Translate(
+      "CONSTRUCT <answer> <out> $H </out> {$H} </answer> {} "
+      "WHERE src homes.home $H");
+  auto schema = ComputeSchema(*plan->children[0]);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  std::string s = plan->ToString();
+  // Two groupBys: the collapse for {$H} and the outer {} grouping.
+  EXPECT_NE(s.find("groupBy[{$H}"), std::string::npos);
+  EXPECT_NE(s.find("groupBy[{}"), std::string::npos);
+  EXPECT_NE(s.find("wrapList[$H"), std::string::npos);
+}
+
+TEST(TranslateTest, LiteralTextBecomesConst) {
+  PlanPtr plan = Translate(
+      "CONSTRUCT <answer> <p> 'price' $V </p> {$V} </answer> {} "
+      "WHERE src a.b $V");
+  std::string s = plan->ToString();
+  EXPECT_NE(s.find("const['price'"), std::string::npos);
+  EXPECT_NE(s.find("concatenate"), std::string::npos);
+}
+
+TEST(TranslateTest, OutOfOrderConditionsResolve) {
+  // $H referenced before its binding condition appears.
+  PlanPtr plan = Translate(
+      "CONSTRUCT <a> $V {$V} </a> {} "
+      "WHERE $H zip._ $V AND src homes.home $H");
+  auto schema = ComputeSchema(*plan->children[0]);
+  EXPECT_TRUE(schema.ok());
+}
+
+TEST(TranslateTest, ErrorOnCrossProduct) {
+  auto q = xmas::ParseQuery(
+      "CONSTRUCT <a> $X {$X} </a> {} WHERE s1 p $X AND s2 q $Y");
+  auto plan = TranslateQuery(q.value());
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), Status::Code::kUnimplemented);
+}
+
+TEST(TranslateTest, ErrorOnDoubleBinding) {
+  auto q = xmas::ParseQuery(
+      "CONSTRUCT <a> $X {$X} </a> {} WHERE s p $X AND s q $X");
+  auto plan = TranslateQuery(q.value());
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().ToString().find("bound twice"), std::string::npos);
+}
+
+TEST(TranslateTest, ErrorOnUnboundConditionVar) {
+  auto q = xmas::ParseQuery(
+      "CONSTRUCT <a> $X {$X} </a> {} WHERE s p $X AND $Z q $W");
+  auto plan = TranslateQuery(q.value());
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().ToString().find("unbound"), std::string::npos);
+}
+
+TEST(TranslateTest, ErrorOnMissingRootAnnotation) {
+  auto q = xmas::ParseQuery("CONSTRUCT <a> $X {$X} </a> WHERE s p $X");
+  auto plan = TranslateQuery(q.value());
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().ToString().find("{}"), std::string::npos);
+}
+
+TEST(TranslateTest, ErrorOnTwoGroupedChildren) {
+  auto q = xmas::ParseQuery(
+      "CONSTRUCT <a> $X {$X} $Y {$Y} </a> {} "
+      "WHERE s p $X AND $X q $Y");
+  auto plan = TranslateQuery(q.value());
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), Status::Code::kUnimplemented);
+}
+
+TEST(TranslateTest, ErrorOnScalarOutsideContext) {
+  // $V2 is not part of the grouping context of <a>'s children.
+  auto q = xmas::ParseQuery(
+      "CONSTRUCT <answer> <a> $V2 $X {$X} </a> {} </answer> {} "
+      "WHERE s p $X AND $X q $V2");
+  auto plan = TranslateQuery(q.value());
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().ToString().find("no longer"), std::string::npos);
+}
+
+TEST(TranslateTest, NestedScalarElements) {
+  PlanPtr plan = Translate(
+      "CONSTRUCT <answer> <card> <name> $H </name> </card> {$H} </answer> {} "
+      "WHERE src homes.home $H");
+  auto schema = ComputeSchema(*plan->children[0]);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  std::string s = plan->ToString();
+  EXPECT_NE(s.find("createElement[name"), std::string::npos);
+  EXPECT_NE(s.find("createElement[card"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mix::mediator

@@ -1,0 +1,116 @@
+// Tree patterns (paper footnote 6): XML-QL-style pattern syntax in the
+// WHERE clause, desugared to generalized path conditions.
+#include <gtest/gtest.h>
+
+#include "mediator/instantiate.h"
+#include "mediator/translate.h"
+#include "test_util.h"
+#include "xmas/parser.h"
+#include "xml/doc_navigable.h"
+
+namespace mix::xmas {
+namespace {
+
+TEST(TreePatternTest, FootnoteSixDesugarsToPathConditions) {
+  // The footnote's example: `<homes> $H: <home> <zip>$V1</zip> </home>
+  // </homes> IN homesSrc` ≡ `homesSrc homes.home $H AND $H zip._ $V1`.
+  Query q = ParseQuery(
+                "CONSTRUCT <out> $H {$H} </out> {} "
+                "WHERE <homes> $H: <home> <zip> $V1 </zip> </home> </homes> "
+                "IN homesSrc")
+                .ValueOrDie();
+  ASSERT_EQ(q.conditions.size(), 2u);
+  EXPECT_EQ(q.conditions[0].ToString(), "homesSrc homes.home $H");
+  EXPECT_EQ(q.conditions[1].ToString(), "$H zip._ $V1");
+}
+
+TEST(TreePatternTest, BinderColonVariants) {
+  // `$H:` glued and `$H :` spaced both work.
+  for (const char* cond :
+       {"<homes> $H: <home> </home> </homes> IN s",
+        "<homes> $H : <home> </home> </homes> IN s"}) {
+    Query q = ParseQuery(std::string("CONSTRUCT <o> $H {$H} </o> {} WHERE ") +
+                         cond)
+                  .ValueOrDie();
+    ASSERT_EQ(q.conditions.size(), 1u) << cond;
+    EXPECT_EQ(q.conditions[0].ToString(), "s homes.home $H") << cond;
+  }
+}
+
+TEST(TreePatternTest, BranchingElementGetsFreshAnchor) {
+  Query q = ParseQuery(
+                "CONSTRUCT <o> $A {$A} </o> {} "
+                "WHERE <r> <p> <a> $A </a> <b> $B </b> </p> </r> IN s")
+                .ValueOrDie();
+  // r.p gets a fresh anchor; a and b chain below it.
+  ASSERT_EQ(q.conditions.size(), 3u);
+  EXPECT_EQ(q.conditions[0].kind, Condition::Kind::kSourcePath);
+  EXPECT_EQ(q.conditions[0].path, "r.p");
+  std::string anchor = q.conditions[0].out_var;
+  EXPECT_EQ(anchor.rfind("#p", 0), 0u);  // fresh pattern variable
+  EXPECT_EQ(q.conditions[1].src_var, anchor);
+  EXPECT_EQ(q.conditions[1].path, "a._");
+  EXPECT_EQ(q.conditions[1].out_var, "A");
+  EXPECT_EQ(q.conditions[2].path, "b._");
+}
+
+TEST(TreePatternTest, MixedPatternAndPathConditions) {
+  Query q = ParseQuery(
+                "CONSTRUCT <o> $V {$V} </o> {} "
+                "WHERE <homes> $H: <home> </home> </homes> IN src "
+                "AND $H zip._ $V AND $V = '91220'")
+                .ValueOrDie();
+  ASSERT_EQ(q.conditions.size(), 3u);
+  EXPECT_EQ(q.conditions[2].kind, Condition::Kind::kCompare);
+}
+
+TEST(TreePatternTest, PatternErrors) {
+  EXPECT_FALSE(ParseQuery("CONSTRUCT <o> $X {$X} </o> {} "
+                          "WHERE <a> $X </a>")
+                   .ok());  // missing IN
+  EXPECT_FALSE(ParseQuery("CONSTRUCT <o> $X {$X} </o> {} "
+                          "WHERE <a> $X </b> IN s")
+                   .ok());  // mismatched tags
+  EXPECT_FALSE(ParseQuery("CONSTRUCT <o> $X {$X} </o> {} "
+                          "WHERE <a> 'txt' </a> IN s")
+                   .ok());  // literals not allowed in patterns
+}
+
+TEST(TreePatternTest, PatternQueryEvaluatesLikePathQuery) {
+  const char* pattern_q =
+      "CONSTRUCT <out> <med> $H $V1 {$V1} </med> {$H} </out> {} "
+      "WHERE <homes> $H: <home> <zip> $V1 </zip> </home> </homes> "
+      "IN homesSrc";
+  const char* path_q =
+      "CONSTRUCT <out> <med> $H $V1 {$V1} </med> {$H} </out> {} "
+      "WHERE homesSrc homes.home $H AND $H zip._ $V1";
+
+  auto homes = testing::Doc(
+      "homes[home[addr[A],zip[1]],home[addr[B],zip[2]]]");
+
+  auto run = [&](const char* text) {
+    auto q = ParseQuery(text).ValueOrDie();
+    auto plan = mediator::TranslateQuery(q).ValueOrDie();
+    xml::DocNavigable nav(homes.get());
+    mediator::SourceRegistry sources;
+    sources.Register("homesSrc", &nav);
+    auto med = mediator::LazyMediator::Build(*plan, sources).ValueOrDie();
+    return testing::MaterializeToTerm(med->document());
+  };
+  EXPECT_EQ(run(pattern_q), run(path_q));
+  EXPECT_EQ(run(pattern_q),
+            "out[med[home[addr[A],zip[1]],1],med[home[addr[B],zip[2]],2]]");
+}
+
+TEST(TreePatternTest, DeepUnboundChainFolds) {
+  Query q = ParseQuery(
+                "CONSTRUCT <o> $X {$X} </o> {} "
+                "WHERE <a> <b> <c> <d> $X: <e> </e> </d> </c> </b> </a> IN s")
+                .ValueOrDie();
+  ASSERT_EQ(q.conditions.size(), 1u);
+  EXPECT_EQ(q.conditions[0].path, "a.b.c.d.e");
+  EXPECT_EQ(q.conditions[0].out_var, "X");
+}
+
+}  // namespace
+}  // namespace mix::xmas

@@ -1,0 +1,23 @@
+// The umbrella header must compile standalone and expose the full surface.
+#include "mix.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaTest, EndToEndThroughUmbrellaHeader) {
+  auto doc = mix::xml::Parse("<r><a>1</a><a>2</a></r>").ValueOrDie();
+  mix::xml::DocNavigable nav(doc.get());
+  auto q = mix::xmas::ParseQuery(
+               "CONSTRUCT <out> $X {$X} </out> {} WHERE s r.a._ $X")
+               .ValueOrDie();
+  auto plan = mix::mediator::TranslateQuery(q).ValueOrDie();
+  mix::mediator::SourceRegistry sources;
+  sources.Register("s", &nav);
+  auto med = mix::mediator::LazyMediator::Build(*plan, sources).ValueOrDie();
+  mix::client::VirtualXmlDocument vdoc(med->document());
+  EXPECT_EQ(vdoc.Root().Name(), "out");
+  EXPECT_EQ(vdoc.Root().FirstChild().Name(), "1");
+}
+
+}  // namespace

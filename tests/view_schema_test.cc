@@ -1,0 +1,87 @@
+// Answer-schema inference (Section 6's DTD-oriented BBQ support).
+#include <gtest/gtest.h>
+
+#include "mediator/translate.h"
+#include "mediator/view_schema.h"
+#include "xmas/parser.h"
+
+namespace mix::mediator {
+namespace {
+
+std::string SchemaOf(const std::string& query) {
+  auto q = xmas::ParseQuery(query);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  auto plan = TranslateQuery(q.value());
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  auto schema = InferAnswerSchema(*plan.value());
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  return schema.value()->ToString();
+}
+
+TEST(ViewSchemaTest, Fig3AnswerShape) {
+  // One answer; zero-or-more med_homes; each holds the home (ANY) followed
+  // by zero-or-more schools (ANY).
+  EXPECT_EQ(SchemaOf(
+                "CONSTRUCT <answer> <med_home> $H $S {$S} </med_home> {$H} "
+                "</answer> {} "
+                "WHERE homesSrc homes.home $H AND $H zip._ $V1 "
+                "AND schoolsSrc schools.school $S AND $S zip._ $V2 "
+                "AND $V1 = $V2"),
+            "answer(med_home(ANY,ANY*)*)");
+}
+
+TEST(ViewSchemaTest, FlatListView) {
+  EXPECT_EQ(SchemaOf("CONSTRUCT <out> $X {$X} </out> {} WHERE s a.b $X"),
+            "out(ANY*)");
+}
+
+TEST(ViewSchemaTest, LiteralTextAndNestedElements) {
+  EXPECT_EQ(SchemaOf(
+                "CONSTRUCT <out> <tag> 'price' $P </tag> {$P} </out> {} "
+                "WHERE s a.b $P"),
+            "out(tag(#text,ANY)*)");
+}
+
+TEST(ViewSchemaTest, ScalarCollapseView) {
+  EXPECT_EQ(SchemaOf(
+                "CONSTRUCT <answer> <card> $H </card> {$H} </answer> {} "
+                "WHERE s homes.home $H"),
+            "answer(card(ANY)*)");
+}
+
+TEST(ViewSchemaTest, DeepNesting) {
+  EXPECT_EQ(
+      SchemaOf("CONSTRUCT <a> <b> <c> $X </c> </b> {$X} </a> {} "
+               "WHERE s p.q $X"),
+      "a(b(c(ANY))*)");
+}
+
+TEST(ViewSchemaTest, FailsOnVariableRoot) {
+  // A plan whose root element is a raw source value has no static shape.
+  auto plan = PlanNode::TupleDestroy(
+      PlanNode::GetDescendants(PlanNode::Source("s", "R"), "R", "a", "A"),
+      "A");
+  auto schema = InferAnswerSchema(*plan);
+  ASSERT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ViewSchemaTest, HandCraftedPlanWithConcat) {
+  // createElement(pair, concat(X, Y)) — two ANY children, not repeated.
+  auto plan = PlanNode::TupleDestroy(
+      PlanNode::CreateElement(
+          PlanNode::Concatenate(
+              PlanNode::GetDescendants(
+                  PlanNode::GetDescendants(PlanNode::Source("s", "R"), "R",
+                                           "a", "X"),
+                  "X", "b", "Y"),
+              "X", "Y", "Z"),
+          true, "pair", "Z", "E"),
+      "E");
+  auto schema = InferAnswerSchema(*plan);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema.value()->ToString(), "pair(ANY,ANY)");
+}
+
+}  // namespace
+}  // namespace mix::mediator

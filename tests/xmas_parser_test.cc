@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "xmas/parser.h"
+
+namespace mix::xmas {
+namespace {
+
+/// The Fig. 3 query, verbatim (including the paper's % comments).
+const char* kFig3 = R"(
+CONSTRUCT <answer>
+  <med_home> $H          % ... med_home elements followed by
+    $S {$S}              % ... school elements (one for each $S)
+  </med_home> {$H}       % (one med_home element for each $H)
+</answer> {}             % create one answer element (= for each {})
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+  AND schoolsSrc schools.school $S AND $S zip._ $V2
+  AND $V1 = $V2
+)";
+
+TEST(XmasParserTest, Fig3QueryParses) {
+  Query q = ParseQuery(kFig3).ValueOrDie();
+  ASSERT_EQ(q.conditions.size(), 5u);
+
+  EXPECT_EQ(q.conditions[0].kind, Condition::Kind::kSourcePath);
+  EXPECT_EQ(q.conditions[0].source, "homesSrc");
+  EXPECT_EQ(q.conditions[0].path, "homes.home");
+  EXPECT_EQ(q.conditions[0].out_var, "H");
+
+  EXPECT_EQ(q.conditions[1].kind, Condition::Kind::kVarPath);
+  EXPECT_EQ(q.conditions[1].src_var, "H");
+  EXPECT_EQ(q.conditions[1].path, "zip._");
+  EXPECT_EQ(q.conditions[1].out_var, "V1");
+
+  EXPECT_EQ(q.conditions[4].kind, Condition::Kind::kCompare);
+  EXPECT_EQ(q.conditions[4].left_var, "V1");
+  EXPECT_EQ(q.conditions[4].op, algebra::CompareOp::kEq);
+  EXPECT_TRUE(q.conditions[4].right_is_var);
+  EXPECT_EQ(q.conditions[4].right, "V2");
+
+  EXPECT_EQ(q.SourceNames(),
+            (std::vector<std::string>{"homesSrc", "schoolsSrc"}));
+}
+
+TEST(XmasParserTest, Fig3HeadShape) {
+  Query q = ParseQuery(kFig3).ValueOrDie();
+  const HeadNode& answer = *q.head;
+  EXPECT_EQ(answer.kind, HeadNode::Kind::kElement);
+  EXPECT_EQ(answer.label, "answer");
+  ASSERT_TRUE(answer.group.has_value());
+  EXPECT_TRUE(answer.group->empty());  // {}
+
+  ASSERT_EQ(answer.children.size(), 1u);
+  const HeadNode& med_home = *answer.children[0];
+  EXPECT_EQ(med_home.label, "med_home");
+  ASSERT_TRUE(med_home.group.has_value());
+  EXPECT_EQ(*med_home.group, (std::vector<std::string>{"H"}));
+
+  ASSERT_EQ(med_home.children.size(), 2u);
+  EXPECT_EQ(med_home.children[0]->kind, HeadNode::Kind::kVar);
+  EXPECT_EQ(med_home.children[0]->var, "H");
+  EXPECT_FALSE(med_home.children[0]->group.has_value());  // scalar
+  EXPECT_EQ(med_home.children[1]->var, "S");
+  EXPECT_EQ(*med_home.children[1]->group, (std::vector<std::string>{"S"}));
+}
+
+TEST(XmasParserTest, PrintParseFixpoint) {
+  Query q = ParseQuery(kFig3).ValueOrDie();
+  std::string printed = q.ToString();
+  Query q2 = ParseQuery(printed).ValueOrDie();
+  EXPECT_EQ(q2.ToString(), printed);
+}
+
+TEST(XmasParserTest, ComparisonOperators) {
+  const char* ops[] = {"=", "!=", "<", "<=", ">", ">="};
+  algebra::CompareOp expected[] = {
+      algebra::CompareOp::kEq, algebra::CompareOp::kNe, algebra::CompareOp::kLt,
+      algebra::CompareOp::kLe, algebra::CompareOp::kGt, algebra::CompareOp::kGe};
+  for (int i = 0; i < 6; ++i) {
+    std::string text = std::string("CONSTRUCT <a> $X </a> {} WHERE s p $X AND $X ") +
+                       ops[i] + " 5";
+    Query q = ParseQuery(text).ValueOrDie();
+    ASSERT_EQ(q.conditions.size(), 2u) << ops[i];
+    EXPECT_EQ(q.conditions[1].op, expected[i]);
+    EXPECT_FALSE(q.conditions[1].right_is_var);
+    EXPECT_EQ(q.conditions[1].right, "5");
+  }
+}
+
+TEST(XmasParserTest, AngleBracketOperatorVsTagDisambiguation) {
+  // `<>` inside WHERE is not a tag.
+  Query q = ParseQuery("CONSTRUCT <a> $X </a> {} WHERE s p $X AND $X <> 'y'")
+                .ValueOrDie();
+  EXPECT_EQ(q.conditions[1].op, algebra::CompareOp::kNe);
+}
+
+TEST(XmasParserTest, QuotedLiteralsAndNestedElements) {
+  Query q = ParseQuery(
+                "CONSTRUCT <out> <label> 'price:' $P </label> {$P} </out> {} "
+                "WHERE src items.item.price._ $P")
+                .ValueOrDie();
+  const HeadNode& label = *q.head->children[0];
+  EXPECT_EQ(label.children[0]->kind, HeadNode::Kind::kText);
+  EXPECT_EQ(label.children[0]->label, "price:");
+  EXPECT_EQ(q.conditions[0].path, "items.item.price._");
+}
+
+TEST(XmasParserTest, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(
+      ParseQuery("construct <a> $X </a> {} where s p $X").ok());
+}
+
+TEST(XmasParserTest, GroupAnnotationVariants) {
+  Query q = ParseQuery(
+                "CONSTRUCT <a> <b> $X {$X,$Y} </b> {$Y} </a> {} "
+                "WHERE s p $X AND s q $Y")
+                .ValueOrDie();
+  EXPECT_EQ(*q.head->children[0]->children[0]->group,
+            (std::vector<std::string>{"X", "Y"}));
+}
+
+TEST(XmasParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("WHERE s p $X").ok());
+  EXPECT_FALSE(ParseQuery("CONSTRUCT <a> $X </a> {}").ok());  // no WHERE
+  EXPECT_FALSE(
+      ParseQuery("CONSTRUCT <a> $X </b> {} WHERE s p $X").ok());  // mismatch
+  EXPECT_FALSE(
+      ParseQuery("CONSTRUCT <a> $X </a> {} WHERE s p").ok());  // no out var
+  EXPECT_FALSE(ParseQuery("CONSTRUCT <a> $X </a> {} WHERE s p $X AND").ok());
+  EXPECT_FALSE(
+      ParseQuery("CONSTRUCT <a> $X {$} </a> {} WHERE s p $X").ok());
+}
+
+TEST(XmasParserTest, ConditionToString) {
+  Query q = ParseQuery(kFig3).ValueOrDie();
+  EXPECT_EQ(q.conditions[0].ToString(), "homesSrc homes.home $H");
+  EXPECT_EQ(q.conditions[1].ToString(), "$H zip._ $V1");
+  EXPECT_EQ(q.conditions[4].ToString(), "$V1 = $V2");
+}
+
+}  // namespace
+}  // namespace mix::xmas

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "buffer/buffer.h"
+#include "test_util.h"
+#include "wrappers/xml_lxp_wrapper.h"
+#include "xml/random_tree.h"
+
+namespace mix::wrappers {
+namespace {
+
+TEST(XmlLxpWrapperTest, RootFillShipsSmallTreesWhole) {
+  auto doc = testing::Doc("r[a,b]");
+  XmlLxpWrapper::Options options;
+  options.inline_limit = 100;
+  XmlLxpWrapper wrapper(doc.get(), options);
+  auto frags = wrapper.Fill(wrapper.GetRoot("u"));
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_EQ(frags[0].ToTerm(), "r[a,b]");
+}
+
+TEST(XmlLxpWrapperTest, LargeTreesShipWithHoles) {
+  auto doc = testing::Doc("r[a,b,c,d]");
+  XmlLxpWrapper::Options options;
+  options.inline_limit = 0;  // never inline
+  options.chunk = 2;
+  XmlLxpWrapper wrapper(doc.get(), options);
+  auto frags = wrapper.Fill(wrapper.GetRoot("u"));
+  ASSERT_EQ(frags.size(), 1u);
+  ASSERT_EQ(frags[0].children.size(), 1u);
+  EXPECT_TRUE(frags[0].children[0].is_hole);
+
+  auto level = wrapper.Fill(frags[0].children[0].hole_id);
+  // chunk=2 children plus one trailing hole.
+  ASSERT_EQ(level.size(), 3u);
+  EXPECT_EQ(level[0].ToTerm(), "a");
+  EXPECT_EQ(level[1].ToTerm(), "b");
+  EXPECT_TRUE(level[2].is_hole);
+}
+
+class XmlWrapperEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int64_t, int>> {};
+
+// Whatever the chunk size, inline limit and fill policy, buffered
+// navigation must reconstruct exactly the source document.
+TEST_P(XmlWrapperEquivalenceTest, BufferedViewEqualsSource) {
+  auto [chunk, inline_limit, policy] = GetParam();
+  xml::RandomTreeOptions tree_options;
+  tree_options.seed = 1234;
+  tree_options.max_depth = 5;
+  tree_options.max_fanout = 4;
+  auto doc = xml::RandomTree(tree_options);
+
+  XmlLxpWrapper::Options options;
+  options.chunk = chunk;
+  options.inline_limit = inline_limit;
+  options.policy = policy == 0 ? XmlLxpWrapper::FillPolicy::kLeftToRight
+                               : XmlLxpWrapper::FillPolicy::kRightToLeft;
+  XmlLxpWrapper wrapper(doc.get(), options);
+  buffer::BufferComponent buffer(&wrapper, "u");
+  EXPECT_EQ(testing::MaterializeToTerm(&buffer), xml::ToTerm(doc->root()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Granularities, XmlWrapperEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 2, 7, 100),
+                       ::testing::Values<int64_t>(0, 4, 1000),
+                       ::testing::Values(0, 1)));
+
+TEST(XmlLxpWrapperTest, BiggerChunksMeanFewerFills) {
+  auto doc = xml::MakeHomesDoc(200, 10);
+  auto count_fills = [&](int chunk) {
+    XmlLxpWrapper::Options options;
+    options.chunk = chunk;
+    options.inline_limit = 10;
+    XmlLxpWrapper wrapper(doc.get(), options);
+    buffer::BufferComponent buffer(&wrapper, "u");
+    testing::MaterializeToTerm(&buffer);
+    return buffer.fill_count();
+  };
+  int64_t small = count_fills(1);
+  int64_t medium = count_fills(10);
+  int64_t large = count_fills(100);
+  EXPECT_GT(small, medium);
+  EXPECT_GT(medium, large);
+}
+
+TEST(XmlLxpWrapperTest, LazyPrefixTouchesFewFills) {
+  auto doc = xml::MakeHomesDoc(1000, 10);
+  XmlLxpWrapper::Options options;
+  options.chunk = 4;
+  options.inline_limit = 10;
+  XmlLxpWrapper wrapper(doc.get(), options);
+  buffer::BufferComponent buffer(&wrapper, "u");
+
+  // Walk the first three homes only.
+  NodeId root = buffer.Root();
+  auto home = buffer.Down(root);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(home.has_value());
+    home = buffer.Right(*home);
+  }
+  // 1000 homes with chunk 4 would need 250 fills to materialize; the
+  // prefix walk needs a small constant number.
+  EXPECT_LE(buffer.fill_count(), 4);
+}
+
+TEST(XmlLxpWrapperTest, RightToLeftPolicyExercisesFrontHoles) {
+  auto doc = testing::Doc("r[a,b,c,d,e]");
+  XmlLxpWrapper::Options options;
+  options.chunk = 2;
+  options.inline_limit = 1;
+  options.policy = XmlLxpWrapper::FillPolicy::kRightToLeft;
+  XmlLxpWrapper wrapper(doc.get(), options);
+  auto root_frags = wrapper.Fill(wrapper.GetRoot("u"));
+  auto level = wrapper.Fill(root_frags[0].children[0].hole_id);
+  // Liberal: [hole, d, e].
+  ASSERT_EQ(level.size(), 3u);
+  EXPECT_TRUE(level[0].is_hole);
+  EXPECT_EQ(level[1].ToTerm(), "d");
+  EXPECT_EQ(level[2].ToTerm(), "e");
+
+  // And the buffer still reconstructs the document in order.
+  XmlLxpWrapper wrapper2(doc.get(), options);
+  buffer::BufferComponent buffer(&wrapper2, "u");
+  EXPECT_EQ(testing::MaterializeToTerm(&buffer), "r[a,b,c,d,e]");
+}
+
+}  // namespace
+}  // namespace mix::wrappers
