@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_browsability.dir/bench_browsability.cc.o"
+  "CMakeFiles/bench_browsability.dir/bench_browsability.cc.o.d"
+  "bench_browsability"
+  "bench_browsability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_browsability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lxp_chunking.dir/bench_lxp_chunking.cc.o"
+  "CMakeFiles/bench_lxp_chunking.dir/bench_lxp_chunking.cc.o.d"
+  "bench_lxp_chunking"
+  "bench_lxp_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lxp_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

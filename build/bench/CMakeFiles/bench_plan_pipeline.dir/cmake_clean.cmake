@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_pipeline.dir/bench_plan_pipeline.cc.o"
+  "CMakeFiles/bench_plan_pipeline.dir/bench_plan_pipeline.cc.o.d"
+  "bench_plan_pipeline"
+  "bench_plan_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

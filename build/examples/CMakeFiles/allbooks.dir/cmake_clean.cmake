@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allbooks.dir/allbooks.cc.o"
+  "CMakeFiles/allbooks.dir/allbooks.cc.o.d"
+  "allbooks"
+  "allbooks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allbooks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbq_browse.dir/bbq_browse.cc.o"
+  "CMakeFiles/bbq_browse.dir/bbq_browse.cc.o.d"
+  "bbq_browse"
+  "bbq_browse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbq_browse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

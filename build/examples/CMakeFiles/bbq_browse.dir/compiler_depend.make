@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bbq_browse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homes_schools.dir/homes_schools.cc.o"
+  "CMakeFiles/homes_schools.dir/homes_schools.cc.o.d"
+  "homes_schools"
+  "homes_schools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homes_schools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for homes_schools.
+# This may be replaced when dependencies are built.

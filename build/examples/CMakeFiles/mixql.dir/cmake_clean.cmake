@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixql.dir/mixql.cc.o"
+  "CMakeFiles/mixql.dir/mixql.cc.o.d"
+  "mixql"
+  "mixql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

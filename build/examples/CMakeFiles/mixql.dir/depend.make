@@ -1,0 +1,2 @@
+# Empty dependencies file for mixql.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_browse.dir/relational_browse.cc.o"
+  "CMakeFiles/relational_browse.dir/relational_browse.cc.o.d"
+  "relational_browse"
+  "relational_browse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_browse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacked_mediators.dir/stacked_mediators.cc.o"
+  "CMakeFiles/stacked_mediators.dir/stacked_mediators.cc.o.d"
+  "stacked_mediators"
+  "stacked_mediators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacked_mediators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("xml")
+subdirs("pathexpr")
+subdirs("rdb")
+subdirs("net")
+subdirs("buffer")
+subdirs("wrappers")
+subdirs("algebra")
+subdirs("xmas")
+subdirs("mediator")
+subdirs("client")

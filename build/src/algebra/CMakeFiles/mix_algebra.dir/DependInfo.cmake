@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/binding_stream.cc" "src/algebra/CMakeFiles/mix_algebra.dir/binding_stream.cc.o" "gcc" "src/algebra/CMakeFiles/mix_algebra.dir/binding_stream.cc.o.d"
+  "/root/repo/src/algebra/bindings_navigable.cc" "src/algebra/CMakeFiles/mix_algebra.dir/bindings_navigable.cc.o" "gcc" "src/algebra/CMakeFiles/mix_algebra.dir/bindings_navigable.cc.o.d"
+  "/root/repo/src/algebra/concatenate_op.cc" "src/algebra/CMakeFiles/mix_algebra.dir/concatenate_op.cc.o" "gcc" "src/algebra/CMakeFiles/mix_algebra.dir/concatenate_op.cc.o.d"
+  "/root/repo/src/algebra/create_element_op.cc" "src/algebra/CMakeFiles/mix_algebra.dir/create_element_op.cc.o" "gcc" "src/algebra/CMakeFiles/mix_algebra.dir/create_element_op.cc.o.d"
+  "/root/repo/src/algebra/extra_ops.cc" "src/algebra/CMakeFiles/mix_algebra.dir/extra_ops.cc.o" "gcc" "src/algebra/CMakeFiles/mix_algebra.dir/extra_ops.cc.o.d"
+  "/root/repo/src/algebra/get_descendants_op.cc" "src/algebra/CMakeFiles/mix_algebra.dir/get_descendants_op.cc.o" "gcc" "src/algebra/CMakeFiles/mix_algebra.dir/get_descendants_op.cc.o.d"
+  "/root/repo/src/algebra/group_by_op.cc" "src/algebra/CMakeFiles/mix_algebra.dir/group_by_op.cc.o" "gcc" "src/algebra/CMakeFiles/mix_algebra.dir/group_by_op.cc.o.d"
+  "/root/repo/src/algebra/join_op.cc" "src/algebra/CMakeFiles/mix_algebra.dir/join_op.cc.o" "gcc" "src/algebra/CMakeFiles/mix_algebra.dir/join_op.cc.o.d"
+  "/root/repo/src/algebra/materialize_op.cc" "src/algebra/CMakeFiles/mix_algebra.dir/materialize_op.cc.o" "gcc" "src/algebra/CMakeFiles/mix_algebra.dir/materialize_op.cc.o.d"
+  "/root/repo/src/algebra/order_by_op.cc" "src/algebra/CMakeFiles/mix_algebra.dir/order_by_op.cc.o" "gcc" "src/algebra/CMakeFiles/mix_algebra.dir/order_by_op.cc.o.d"
+  "/root/repo/src/algebra/reference.cc" "src/algebra/CMakeFiles/mix_algebra.dir/reference.cc.o" "gcc" "src/algebra/CMakeFiles/mix_algebra.dir/reference.cc.o.d"
+  "/root/repo/src/algebra/select_op.cc" "src/algebra/CMakeFiles/mix_algebra.dir/select_op.cc.o" "gcc" "src/algebra/CMakeFiles/mix_algebra.dir/select_op.cc.o.d"
+  "/root/repo/src/algebra/set_ops.cc" "src/algebra/CMakeFiles/mix_algebra.dir/set_ops.cc.o" "gcc" "src/algebra/CMakeFiles/mix_algebra.dir/set_ops.cc.o.d"
+  "/root/repo/src/algebra/source_op.cc" "src/algebra/CMakeFiles/mix_algebra.dir/source_op.cc.o" "gcc" "src/algebra/CMakeFiles/mix_algebra.dir/source_op.cc.o.d"
+  "/root/repo/src/algebra/tuple_destroy_op.cc" "src/algebra/CMakeFiles/mix_algebra.dir/tuple_destroy_op.cc.o" "gcc" "src/algebra/CMakeFiles/mix_algebra.dir/tuple_destroy_op.cc.o.d"
+  "/root/repo/src/algebra/value_space.cc" "src/algebra/CMakeFiles/mix_algebra.dir/value_space.cc.o" "gcc" "src/algebra/CMakeFiles/mix_algebra.dir/value_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pathexpr/CMakeFiles/mix_pathexpr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

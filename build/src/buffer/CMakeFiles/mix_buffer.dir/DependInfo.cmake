@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buffer/buffer.cc" "src/buffer/CMakeFiles/mix_buffer.dir/buffer.cc.o" "gcc" "src/buffer/CMakeFiles/mix_buffer.dir/buffer.cc.o.d"
+  "/root/repo/src/buffer/lxp.cc" "src/buffer/CMakeFiles/mix_buffer.dir/lxp.cc.o" "gcc" "src/buffer/CMakeFiles/mix_buffer.dir/lxp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mix_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

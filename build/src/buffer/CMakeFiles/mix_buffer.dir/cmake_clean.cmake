@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_buffer.dir/buffer.cc.o"
+  "CMakeFiles/mix_buffer.dir/buffer.cc.o.d"
+  "CMakeFiles/mix_buffer.dir/lxp.cc.o"
+  "CMakeFiles/mix_buffer.dir/lxp.cc.o.d"
+  "libmix_buffer.a"
+  "libmix_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

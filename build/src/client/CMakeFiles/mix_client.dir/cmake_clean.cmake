@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_client.dir/client.cc.o"
+  "CMakeFiles/mix_client.dir/client.cc.o.d"
+  "libmix_client.a"
+  "libmix_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

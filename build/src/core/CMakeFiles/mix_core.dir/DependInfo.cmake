@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/nav_stats.cc" "src/core/CMakeFiles/mix_core.dir/nav_stats.cc.o" "gcc" "src/core/CMakeFiles/mix_core.dir/nav_stats.cc.o.d"
+  "/root/repo/src/core/navigable.cc" "src/core/CMakeFiles/mix_core.dir/navigable.cc.o" "gcc" "src/core/CMakeFiles/mix_core.dir/navigable.cc.o.d"
+  "/root/repo/src/core/node_id.cc" "src/core/CMakeFiles/mix_core.dir/node_id.cc.o" "gcc" "src/core/CMakeFiles/mix_core.dir/node_id.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/core/CMakeFiles/mix_core.dir/status.cc.o" "gcc" "src/core/CMakeFiles/mix_core.dir/status.cc.o.d"
+  "/root/repo/src/core/super_root.cc" "src/core/CMakeFiles/mix_core.dir/super_root.cc.o" "gcc" "src/core/CMakeFiles/mix_core.dir/super_root.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

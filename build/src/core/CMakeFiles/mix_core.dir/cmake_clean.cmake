@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_core.dir/nav_stats.cc.o"
+  "CMakeFiles/mix_core.dir/nav_stats.cc.o.d"
+  "CMakeFiles/mix_core.dir/navigable.cc.o"
+  "CMakeFiles/mix_core.dir/navigable.cc.o.d"
+  "CMakeFiles/mix_core.dir/node_id.cc.o"
+  "CMakeFiles/mix_core.dir/node_id.cc.o.d"
+  "CMakeFiles/mix_core.dir/status.cc.o"
+  "CMakeFiles/mix_core.dir/status.cc.o.d"
+  "CMakeFiles/mix_core.dir/super_root.cc.o"
+  "CMakeFiles/mix_core.dir/super_root.cc.o.d"
+  "libmix_core.a"
+  "libmix_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mediator/browsability.cc" "src/mediator/CMakeFiles/mix_mediator.dir/browsability.cc.o" "gcc" "src/mediator/CMakeFiles/mix_mediator.dir/browsability.cc.o.d"
+  "/root/repo/src/mediator/compose.cc" "src/mediator/CMakeFiles/mix_mediator.dir/compose.cc.o" "gcc" "src/mediator/CMakeFiles/mix_mediator.dir/compose.cc.o.d"
+  "/root/repo/src/mediator/instantiate.cc" "src/mediator/CMakeFiles/mix_mediator.dir/instantiate.cc.o" "gcc" "src/mediator/CMakeFiles/mix_mediator.dir/instantiate.cc.o.d"
+  "/root/repo/src/mediator/plan.cc" "src/mediator/CMakeFiles/mix_mediator.dir/plan.cc.o" "gcc" "src/mediator/CMakeFiles/mix_mediator.dir/plan.cc.o.d"
+  "/root/repo/src/mediator/plan_text.cc" "src/mediator/CMakeFiles/mix_mediator.dir/plan_text.cc.o" "gcc" "src/mediator/CMakeFiles/mix_mediator.dir/plan_text.cc.o.d"
+  "/root/repo/src/mediator/reference_eval.cc" "src/mediator/CMakeFiles/mix_mediator.dir/reference_eval.cc.o" "gcc" "src/mediator/CMakeFiles/mix_mediator.dir/reference_eval.cc.o.d"
+  "/root/repo/src/mediator/rewrite.cc" "src/mediator/CMakeFiles/mix_mediator.dir/rewrite.cc.o" "gcc" "src/mediator/CMakeFiles/mix_mediator.dir/rewrite.cc.o.d"
+  "/root/repo/src/mediator/translate.cc" "src/mediator/CMakeFiles/mix_mediator.dir/translate.cc.o" "gcc" "src/mediator/CMakeFiles/mix_mediator.dir/translate.cc.o.d"
+  "/root/repo/src/mediator/view_schema.cc" "src/mediator/CMakeFiles/mix_mediator.dir/view_schema.cc.o" "gcc" "src/mediator/CMakeFiles/mix_mediator.dir/view_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/mix_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmas/CMakeFiles/mix_xmas.dir/DependInfo.cmake"
+  "/root/repo/build/src/pathexpr/CMakeFiles/mix_pathexpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mix_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

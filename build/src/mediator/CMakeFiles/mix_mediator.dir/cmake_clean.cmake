@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_mediator.dir/browsability.cc.o"
+  "CMakeFiles/mix_mediator.dir/browsability.cc.o.d"
+  "CMakeFiles/mix_mediator.dir/compose.cc.o"
+  "CMakeFiles/mix_mediator.dir/compose.cc.o.d"
+  "CMakeFiles/mix_mediator.dir/instantiate.cc.o"
+  "CMakeFiles/mix_mediator.dir/instantiate.cc.o.d"
+  "CMakeFiles/mix_mediator.dir/plan.cc.o"
+  "CMakeFiles/mix_mediator.dir/plan.cc.o.d"
+  "CMakeFiles/mix_mediator.dir/plan_text.cc.o"
+  "CMakeFiles/mix_mediator.dir/plan_text.cc.o.d"
+  "CMakeFiles/mix_mediator.dir/reference_eval.cc.o"
+  "CMakeFiles/mix_mediator.dir/reference_eval.cc.o.d"
+  "CMakeFiles/mix_mediator.dir/rewrite.cc.o"
+  "CMakeFiles/mix_mediator.dir/rewrite.cc.o.d"
+  "CMakeFiles/mix_mediator.dir/translate.cc.o"
+  "CMakeFiles/mix_mediator.dir/translate.cc.o.d"
+  "CMakeFiles/mix_mediator.dir/view_schema.cc.o"
+  "CMakeFiles/mix_mediator.dir/view_schema.cc.o.d"
+  "libmix_mediator.a"
+  "libmix_mediator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_mediator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_net.dir/sim_net.cc.o"
+  "CMakeFiles/mix_net.dir/sim_net.cc.o.d"
+  "libmix_net.a"
+  "libmix_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_pathexpr.dir/path_expr.cc.o"
+  "CMakeFiles/mix_pathexpr.dir/path_expr.cc.o.d"
+  "libmix_pathexpr.a"
+  "libmix_pathexpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_pathexpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdb/database.cc" "src/rdb/CMakeFiles/mix_rdb.dir/database.cc.o" "gcc" "src/rdb/CMakeFiles/mix_rdb.dir/database.cc.o.d"
+  "/root/repo/src/rdb/sql.cc" "src/rdb/CMakeFiles/mix_rdb.dir/sql.cc.o" "gcc" "src/rdb/CMakeFiles/mix_rdb.dir/sql.cc.o.d"
+  "/root/repo/src/rdb/table.cc" "src/rdb/CMakeFiles/mix_rdb.dir/table.cc.o" "gcc" "src/rdb/CMakeFiles/mix_rdb.dir/table.cc.o.d"
+  "/root/repo/src/rdb/value.cc" "src/rdb/CMakeFiles/mix_rdb.dir/value.cc.o" "gcc" "src/rdb/CMakeFiles/mix_rdb.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mix_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

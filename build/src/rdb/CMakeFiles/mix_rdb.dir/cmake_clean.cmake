@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_rdb.dir/database.cc.o"
+  "CMakeFiles/mix_rdb.dir/database.cc.o.d"
+  "CMakeFiles/mix_rdb.dir/sql.cc.o"
+  "CMakeFiles/mix_rdb.dir/sql.cc.o.d"
+  "CMakeFiles/mix_rdb.dir/table.cc.o"
+  "CMakeFiles/mix_rdb.dir/table.cc.o.d"
+  "CMakeFiles/mix_rdb.dir/value.cc.o"
+  "CMakeFiles/mix_rdb.dir/value.cc.o.d"
+  "libmix_rdb.a"
+  "libmix_rdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_rdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wrappers/bookstore.cc" "src/wrappers/CMakeFiles/mix_wrappers.dir/bookstore.cc.o" "gcc" "src/wrappers/CMakeFiles/mix_wrappers.dir/bookstore.cc.o.d"
+  "/root/repo/src/wrappers/csv_wrapper.cc" "src/wrappers/CMakeFiles/mix_wrappers.dir/csv_wrapper.cc.o" "gcc" "src/wrappers/CMakeFiles/mix_wrappers.dir/csv_wrapper.cc.o.d"
+  "/root/repo/src/wrappers/relational_wrapper.cc" "src/wrappers/CMakeFiles/mix_wrappers.dir/relational_wrapper.cc.o" "gcc" "src/wrappers/CMakeFiles/mix_wrappers.dir/relational_wrapper.cc.o.d"
+  "/root/repo/src/wrappers/xml_lxp_wrapper.cc" "src/wrappers/CMakeFiles/mix_wrappers.dir/xml_lxp_wrapper.cc.o" "gcc" "src/wrappers/CMakeFiles/mix_wrappers.dir/xml_lxp_wrapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/mix_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdb/CMakeFiles/mix_rdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mix_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

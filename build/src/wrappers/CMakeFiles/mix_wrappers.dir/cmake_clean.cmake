@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_wrappers.dir/bookstore.cc.o"
+  "CMakeFiles/mix_wrappers.dir/bookstore.cc.o.d"
+  "CMakeFiles/mix_wrappers.dir/csv_wrapper.cc.o"
+  "CMakeFiles/mix_wrappers.dir/csv_wrapper.cc.o.d"
+  "CMakeFiles/mix_wrappers.dir/relational_wrapper.cc.o"
+  "CMakeFiles/mix_wrappers.dir/relational_wrapper.cc.o.d"
+  "CMakeFiles/mix_wrappers.dir/xml_lxp_wrapper.cc.o"
+  "CMakeFiles/mix_wrappers.dir/xml_lxp_wrapper.cc.o.d"
+  "libmix_wrappers.a"
+  "libmix_wrappers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_wrappers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

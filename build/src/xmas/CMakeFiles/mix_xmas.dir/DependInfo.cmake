@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xmas/ast.cc" "src/xmas/CMakeFiles/mix_xmas.dir/ast.cc.o" "gcc" "src/xmas/CMakeFiles/mix_xmas.dir/ast.cc.o.d"
+  "/root/repo/src/xmas/parser.cc" "src/xmas/CMakeFiles/mix_xmas.dir/parser.cc.o" "gcc" "src/xmas/CMakeFiles/mix_xmas.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/mix_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pathexpr/CMakeFiles/mix_pathexpr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_xmas.dir/ast.cc.o"
+  "CMakeFiles/mix_xmas.dir/ast.cc.o.d"
+  "CMakeFiles/mix_xmas.dir/parser.cc.o"
+  "CMakeFiles/mix_xmas.dir/parser.cc.o.d"
+  "libmix_xmas.a"
+  "libmix_xmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_xmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

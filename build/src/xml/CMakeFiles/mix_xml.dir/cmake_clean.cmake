@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_xml.dir/doc_navigable.cc.o"
+  "CMakeFiles/mix_xml.dir/doc_navigable.cc.o.d"
+  "CMakeFiles/mix_xml.dir/materialize.cc.o"
+  "CMakeFiles/mix_xml.dir/materialize.cc.o.d"
+  "CMakeFiles/mix_xml.dir/parser.cc.o"
+  "CMakeFiles/mix_xml.dir/parser.cc.o.d"
+  "CMakeFiles/mix_xml.dir/random_tree.cc.o"
+  "CMakeFiles/mix_xml.dir/random_tree.cc.o.d"
+  "CMakeFiles/mix_xml.dir/tree.cc.o"
+  "CMakeFiles/mix_xml.dir/tree.cc.o.d"
+  "libmix_xml.a"
+  "libmix_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

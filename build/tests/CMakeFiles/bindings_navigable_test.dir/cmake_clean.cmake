@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bindings_navigable_test.dir/bindings_navigable_test.cc.o"
+  "CMakeFiles/bindings_navigable_test.dir/bindings_navigable_test.cc.o.d"
+  "bindings_navigable_test"
+  "bindings_navigable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bindings_navigable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

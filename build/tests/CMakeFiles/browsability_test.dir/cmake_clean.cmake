@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browsability_test.dir/browsability_test.cc.o"
+  "CMakeFiles/browsability_test.dir/browsability_test.cc.o.d"
+  "browsability_test"
+  "browsability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browsability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

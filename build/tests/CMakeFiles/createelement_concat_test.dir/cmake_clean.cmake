@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/createelement_concat_test.dir/createelement_concat_test.cc.o"
+  "CMakeFiles/createelement_concat_test.dir/createelement_concat_test.cc.o.d"
+  "createelement_concat_test"
+  "createelement_concat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/createelement_concat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

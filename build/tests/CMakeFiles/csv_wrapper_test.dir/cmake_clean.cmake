@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_wrapper_test.dir/csv_wrapper_test.cc.o"
+  "CMakeFiles/csv_wrapper_test.dir/csv_wrapper_test.cc.o.d"
+  "csv_wrapper_test"
+  "csv_wrapper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_wrapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eager_steps_test.dir/eager_steps_test.cc.o"
+  "CMakeFiles/eager_steps_test.dir/eager_steps_test.cc.o.d"
+  "eager_steps_test"
+  "eager_steps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eager_steps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/getdescendants_test.dir/getdescendants_test.cc.o"
+  "CMakeFiles/getdescendants_test.dir/getdescendants_test.cc.o.d"
+  "getdescendants_test"
+  "getdescendants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/getdescendants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internals_test.dir/internals_test.cc.o"
+  "CMakeFiles/internals_test.dir/internals_test.cc.o.d"
+  "internals_test"
+  "internals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_setops_test.dir/join_setops_test.cc.o"
+  "CMakeFiles/join_setops_test.dir/join_setops_test.cc.o.d"
+  "join_setops_test"
+  "join_setops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_setops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

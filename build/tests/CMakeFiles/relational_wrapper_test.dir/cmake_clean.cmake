@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_wrapper_test.dir/relational_wrapper_test.cc.o"
+  "CMakeFiles/relational_wrapper_test.dir/relational_wrapper_test.cc.o.d"
+  "relational_wrapper_test"
+  "relational_wrapper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_wrapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/source_select_test.cc" "tests/CMakeFiles/source_select_test.dir/source_select_test.cc.o" "gcc" "tests/CMakeFiles/source_select_test.dir/source_select_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pathexpr/CMakeFiles/mix_pathexpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdb/CMakeFiles/mix_rdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mix_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/mix_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/wrappers/CMakeFiles/mix_wrappers.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/mix_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmas/CMakeFiles/mix_xmas.dir/DependInfo.cmake"
+  "/root/repo/build/src/mediator/CMakeFiles/mix_mediator.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/mix_client.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_select_test.dir/source_select_test.cc.o"
+  "CMakeFiles/source_select_test.dir/source_select_test.cc.o.d"
+  "source_select_test"
+  "source_select_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_pattern_test.dir/tree_pattern_test.cc.o"
+  "CMakeFiles/tree_pattern_test.dir/tree_pattern_test.cc.o.d"
+  "tree_pattern_test"
+  "tree_pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_schema_test.dir/view_schema_test.cc.o"
+  "CMakeFiles/view_schema_test.dir/view_schema_test.cc.o.d"
+  "view_schema_test"
+  "view_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

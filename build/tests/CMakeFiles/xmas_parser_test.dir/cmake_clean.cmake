@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmas_parser_test.dir/xmas_parser_test.cc.o"
+  "CMakeFiles/xmas_parser_test.dir/xmas_parser_test.cc.o.d"
+  "xmas_parser_test"
+  "xmas_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmas_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

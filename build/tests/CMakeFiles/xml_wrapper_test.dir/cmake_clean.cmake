@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_wrapper_test.dir/xml_wrapper_test.cc.o"
+  "CMakeFiles/xml_wrapper_test.dir/xml_wrapper_test.cc.o.d"
+  "xml_wrapper_test"
+  "xml_wrapper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_wrapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
