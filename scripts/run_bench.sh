@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Records the perf trajectory of the navigation hot path across PRs.
+#
+# Runs the two tracked microbenchmark suites and writes their JSON next to
+# the sources as BENCH_<name>.json; commit the refreshed files alongside any
+# change that moves them. Compare two revisions by checking out each and
+# diffing the emitted JSON (real_time per benchmark).
+#
+# Usage: scripts/run_bench.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+MIN_TIME="${BENCH_MIN_TIME:-0.2}"
+
+for name in node_id plan_pipeline; do
+  bin="$BUILD/bench/bench_$name"
+  if [ ! -x "$bin" ]; then
+    echo "missing $bin — build first: cmake -B $BUILD -S . && cmake --build $BUILD" >&2
+    exit 1
+  fi
+  echo "== bench_$name"
+  "$bin" --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
+    > "BENCH_$name.json"
+done
+echo "wrote BENCH_node_id.json BENCH_plan_pipeline.json"

@@ -4,6 +4,13 @@
 
 namespace mix::algebra {
 
+namespace {
+const Atom kBnBsTag = Atom::Intern("bn_bs");
+const Atom kBnBTag = Atom::Intern("bn_b");
+const Atom kBnVarTag = Atom::Intern("bn_var");
+const Atom kBnVrootTag = Atom::Intern("bn_vroot");
+}  // namespace
+
 // Id layout:
 //   bn_bs(instance)                      — the bs root
 //   bn_b(instance, ib)                   — one binding element
@@ -18,63 +25,63 @@ BindingsNavigable::BindingsNavigable(BindingStream* stream)
   MIX_CHECK(stream_ != nullptr);
 }
 
-NodeId BindingsNavigable::Root() { return NodeId("bn_bs", {instance_}); }
+NodeId BindingsNavigable::Root() { return NodeId(kBnBsTag, instance_); }
 
 NodeId BindingsNavigable::VarId(const NodeId& b, int64_t var_index) const {
-  return NodeId("bn_var", {instance_, b, var_index});
+  return NodeId(kBnVarTag, instance_, b, var_index);
 }
 
 std::optional<NodeId> BindingsNavigable::Down(const NodeId& p) {
   if (space_.Owns(p)) return space_.Down(p);
   MIX_CHECK(p.valid() && p.IntAt(0) == instance_);
-  if (p.tag() == "bn_bs") {
+  if (p.tag_atom() == kBnBsTag) {
     std::optional<NodeId> b = stream_->FirstBinding();
     if (!b.has_value()) return std::nullopt;
-    return NodeId("bn_b", {instance_, *b});
+    return NodeId(kBnBTag, instance_, *b);
   }
-  if (p.tag() == "bn_b") {
+  if (p.tag_atom() == kBnBTag) {
     if (stream_->schema().empty()) return std::nullopt;
     return VarId(p.IdAt(1), 0);
   }
-  if (p.tag() == "bn_var") {
+  if (p.tag_atom() == kBnVarTag) {
     const std::string& var =
         stream_->schema()[static_cast<size_t>(p.IntAt(2))];
     ValueRef value = stream_->Attr(p.IdAt(1), var);
-    return NodeId("bn_vroot", {instance_, space_.Wrap(value)});
+    return NodeId(kBnVrootTag, instance_, space_.Wrap(value));
   }
-  MIX_CHECK_MSG(p.tag() == "bn_vroot", "foreign id passed to BindingsNavigable");
+  MIX_CHECK_MSG(p.tag_atom() == kBnVrootTag, "foreign id passed to BindingsNavigable");
   return space_.Down(p.IdAt(1));
 }
 
 std::optional<NodeId> BindingsNavigable::Right(const NodeId& p) {
   if (space_.Owns(p)) return space_.Right(p);
   MIX_CHECK(p.valid() && p.IntAt(0) == instance_);
-  if (p.tag() == "bn_bs") return std::nullopt;
-  if (p.tag() == "bn_b") {
+  if (p.tag_atom() == kBnBsTag) return std::nullopt;
+  if (p.tag_atom() == kBnBTag) {
     std::optional<NodeId> next = stream_->NextBinding(p.IdAt(1));
     if (!next.has_value()) return std::nullopt;
-    return NodeId("bn_b", {instance_, *next});
+    return NodeId(kBnBTag, instance_, *next);
   }
-  if (p.tag() == "bn_var") {
+  if (p.tag_atom() == kBnVarTag) {
     int64_t next = p.IntAt(2) + 1;
     if (next >= static_cast<int64_t>(stream_->schema().size())) {
       return std::nullopt;
     }
     return VarId(p.IdAt(1), next);
   }
-  MIX_CHECK_MSG(p.tag() == "bn_vroot", "foreign id passed to BindingsNavigable");
+  MIX_CHECK_MSG(p.tag_atom() == kBnVrootTag, "foreign id passed to BindingsNavigable");
   return std::nullopt;  // a value is the sole child of its variable element
 }
 
 Label BindingsNavigable::Fetch(const NodeId& p) {
   if (space_.Owns(p)) return space_.Fetch(p);
   MIX_CHECK(p.valid() && p.IntAt(0) == instance_);
-  if (p.tag() == "bn_bs") return "bs";
-  if (p.tag() == "bn_b") return "b";
-  if (p.tag() == "bn_var") {
+  if (p.tag_atom() == kBnBsTag) return "bs";
+  if (p.tag_atom() == kBnBTag) return "b";
+  if (p.tag_atom() == kBnVarTag) {
     return stream_->schema()[static_cast<size_t>(p.IntAt(2))];
   }
-  MIX_CHECK_MSG(p.tag() == "bn_vroot", "foreign id passed to BindingsNavigable");
+  MIX_CHECK_MSG(p.tag_atom() == kBnVrootTag, "foreign id passed to BindingsNavigable");
   return space_.Fetch(p.IdAt(1));
 }
 

@@ -4,6 +4,12 @@
 
 namespace mix::algebra {
 
+namespace {
+const Atom kCcBTag = Atom::Intern("cc_b");
+const Atom kCcListTag = Atom::Intern("cc_list");
+const Atom kCcItemTag = Atom::Intern("cc_item");
+}  // namespace
+
 ConcatenateOp::ConcatenateOp(BindingStream* input, std::string x_var,
                              std::string y_var, std::string out_var)
     : input_(input),
@@ -26,20 +32,20 @@ ConcatenateOp::ConcatenateOp(BindingStream* input, std::string x_var,
 std::optional<NodeId> ConcatenateOp::FirstBinding() {
   std::optional<NodeId> ib = input_->FirstBinding();
   if (!ib.has_value()) return std::nullopt;
-  return NodeId("cc_b", {instance_, *ib});
+  return NodeId(kCcBTag, instance_, *ib);
 }
 
 std::optional<NodeId> ConcatenateOp::NextBinding(const NodeId& b) {
-  CheckOwn(b, "cc_b");
+  CheckOwn(b, kCcBTag);
   std::optional<NodeId> ib = input_->NextBinding(b.IdAt(1));
   if (!ib.has_value()) return std::nullopt;
-  return NodeId("cc_b", {instance_, *ib});
+  return NodeId(kCcBTag, instance_, *ib);
 }
 
 ValueRef ConcatenateOp::Attr(const NodeId& b, const std::string& var) {
-  CheckOwn(b, "cc_b");
+  CheckOwn(b, kCcBTag);
   if (var == out_var_) {
-    return ValueRef{this, NodeId("cc_list", {instance_, b.IdAt(1)})};
+    return ValueRef{this, NodeId(kCcListTag, instance_, b.IdAt(1))};
   }
   return input_->Attr(b.IdAt(1), var);
 }
@@ -54,32 +60,36 @@ std::optional<NodeId> ConcatenateOp::FirstItemOfSide(const NodeId& ib,
   if (ValueIsList(value)) {
     std::optional<NodeId> first = value.nav->Down(value.id);
     if (!first.has_value()) return std::nullopt;  // empty list side
-    return NodeId("cc_item", {instance_, ib, static_cast<int64_t>(side),
-                              space_.Wrap(ValueRef{value.nav, *first})});
+    return NodeId(kCcItemTag, instance_, ib, static_cast<int64_t>(side),
+                  space_.Wrap(ValueRef{value.nav, *first}));
   }
   // Non-list value: the value itself is the single item of this side.
-  return NodeId("cc_item", {instance_, ib, static_cast<int64_t>(side),
-                            space_.Wrap(value)});
+  return NodeId(kCcItemTag, instance_, ib, static_cast<int64_t>(side),
+                space_.Wrap(value));
 }
 
 std::optional<NodeId> ConcatenateOp::Down(const NodeId& p) {
   if (space_.Owns(p)) return space_.Down(p);
-  if (p.tag() == "cc_list") {
+  if (p.tag_atom() == kCcListTag) {
     MIX_CHECK(p.IntAt(0) == instance_);
     NodeId ib = p.IdAt(1);
     std::optional<NodeId> item = FirstItemOfSide(ib, 0);
     if (!item.has_value()) item = FirstItemOfSide(ib, 1);
     return item;
   }
-  MIX_CHECK_MSG(p.tag() == "cc_item", "foreign value id passed to concatenate");
+  MIX_CHECK_MSG(p.tag_atom() == kCcItemTag,
+                "foreign value id passed to concatenate");
   MIX_CHECK(p.IntAt(0) == instance_);
   return space_.Down(p.IdAt(3));
 }
 
 std::optional<NodeId> ConcatenateOp::Right(const NodeId& p) {
   if (space_.Owns(p)) return space_.Right(p);
-  if (p.tag() == "cc_list") return std::nullopt;  // value root: no siblings
-  MIX_CHECK_MSG(p.tag() == "cc_item", "foreign value id passed to concatenate");
+  if (p.tag_atom() == kCcListTag) {
+    return std::nullopt;  // value root: no siblings
+  }
+  MIX_CHECK_MSG(p.tag_atom() == kCcItemTag,
+                "foreign value id passed to concatenate");
   MIX_CHECK(p.IntAt(0) == instance_);
   NodeId ib = p.IdAt(1);
   int side = static_cast<int>(p.IntAt(2));
@@ -89,8 +99,8 @@ std::optional<NodeId> ConcatenateOp::Right(const NodeId& p) {
   if (ValueIsList(input_->Attr(ib, VarOfSide(side)))) {
     std::optional<NodeId> next = space_.Right(p.IdAt(3));
     if (next.has_value()) {
-      return NodeId("cc_item",
-                    {instance_, ib, static_cast<int64_t>(side), *next});
+      return NodeId(kCcItemTag, instance_, ib, static_cast<int64_t>(side),
+                    *next);
     }
   }
   // Side exhausted: cross from x to y.
@@ -100,8 +110,9 @@ std::optional<NodeId> ConcatenateOp::Right(const NodeId& p) {
 
 Label ConcatenateOp::Fetch(const NodeId& p) {
   if (space_.Owns(p)) return space_.Fetch(p);
-  if (p.tag() == "cc_list") return kListLabel;
-  MIX_CHECK_MSG(p.tag() == "cc_item", "foreign value id passed to concatenate");
+  if (p.tag_atom() == kCcListTag) return kListLabel;
+  MIX_CHECK_MSG(p.tag_atom() == kCcItemTag,
+                "foreign value id passed to concatenate");
   MIX_CHECK(p.IntAt(0) == instance_);
   return space_.Fetch(p.IdAt(3));
 }

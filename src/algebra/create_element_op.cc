@@ -4,6 +4,11 @@
 
 namespace mix::algebra {
 
+namespace {
+const Atom kCeBTag = Atom::Intern("ce_b");
+const Atom kCeETag = Atom::Intern("ce_e");
+}  // namespace
+
 CreateElementOp::LabelSpec CreateElementOp::LabelSpec::Constant(
     std::string label) {
   return LabelSpec{true, std::move(label)};
@@ -38,27 +43,28 @@ CreateElementOp::CreateElementOp(BindingStream* input, LabelSpec label,
 std::optional<NodeId> CreateElementOp::FirstBinding() {
   std::optional<NodeId> ib = input_->FirstBinding();
   if (!ib.has_value()) return std::nullopt;
-  return NodeId("ce_b", {instance_, *ib});
+  return NodeId(kCeBTag, instance_, *ib);
 }
 
 std::optional<NodeId> CreateElementOp::NextBinding(const NodeId& b) {
-  CheckOwn(b, "ce_b");
+  CheckOwn(b, kCeBTag);
   std::optional<NodeId> ib = input_->NextBinding(b.IdAt(1));
   if (!ib.has_value()) return std::nullopt;
-  return NodeId("ce_b", {instance_, *ib});
+  return NodeId(kCeBTag, instance_, *ib);
 }
 
 ValueRef CreateElementOp::Attr(const NodeId& b, const std::string& var) {
-  CheckOwn(b, "ce_b");
+  CheckOwn(b, kCeBTag);
   if (var == out_var_) {
-    return ValueRef{this, NodeId("ce_e", {instance_, b.IdAt(1)})};
+    return ValueRef{this, NodeId(kCeETag, instance_, b.IdAt(1))};
   }
   return input_->Attr(b.IdAt(1), var);
 }
 
 std::optional<NodeId> CreateElementOp::Down(const NodeId& p) {
   if (space_.Owns(p)) return space_.Down(p);
-  MIX_CHECK_MSG(p.tag() == "ce_e", "foreign value id passed to createElement");
+  MIX_CHECK_MSG(p.tag_atom() == kCeETag,
+                "foreign value id passed to createElement");
   MIX_CHECK(p.IntAt(0) == instance_);
   // Fig. 9, 6th mapping: descend into the subtrees of b.ch.
   ValueRef ch = input_->Attr(p.IdAt(1), ch_var_);
@@ -69,13 +75,15 @@ std::optional<NodeId> CreateElementOp::Down(const NodeId& p) {
 
 std::optional<NodeId> CreateElementOp::Right(const NodeId& p) {
   if (space_.Owns(p)) return space_.Right(p);
-  MIX_CHECK_MSG(p.tag() == "ce_e", "foreign value id passed to createElement");
+  MIX_CHECK_MSG(p.tag_atom() == kCeETag,
+                "foreign value id passed to createElement");
   return std::nullopt;  // a synthesized element is a value root
 }
 
 Label CreateElementOp::Fetch(const NodeId& p) {
   if (space_.Owns(p)) return space_.Fetch(p);
-  MIX_CHECK_MSG(p.tag() == "ce_e", "foreign value id passed to createElement");
+  MIX_CHECK_MSG(p.tag_atom() == kCeETag,
+                "foreign value id passed to createElement");
   MIX_CHECK(p.IntAt(0) == instance_);
   if (label_.is_constant) return label_.text;  // Fig. 9, 7th mapping
   return AtomOf(input_->Attr(p.IdAt(1), label_.text));

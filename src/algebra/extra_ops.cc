@@ -4,6 +4,15 @@
 
 namespace mix::algebra {
 
+namespace {
+const Atom kWlBTag = Atom::Intern("wl_b");
+const Atom kWlListTag = Atom::Intern("wl_list");
+const Atom kWlItemTag = Atom::Intern("wl_item");
+const Atom kRnBTag = Atom::Intern("rn_b");
+const Atom kCtBTag = Atom::Intern("ct_b");
+const Atom kCtLeafTag = Atom::Intern("ct_leaf");
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // WrapListOp
 // ---------------------------------------------------------------------------
@@ -25,31 +34,31 @@ WrapListOp::WrapListOp(BindingStream* input, std::string x_var,
 std::optional<NodeId> WrapListOp::FirstBinding() {
   std::optional<NodeId> ib = input_->FirstBinding();
   if (!ib.has_value()) return std::nullopt;
-  return NodeId("wl_b", {instance_, *ib});
+  return NodeId(kWlBTag, instance_, *ib);
 }
 
 std::optional<NodeId> WrapListOp::NextBinding(const NodeId& b) {
-  CheckOwn(b, "wl_b");
+  CheckOwn(b, kWlBTag);
   std::optional<NodeId> ib = input_->NextBinding(b.IdAt(1));
   if (!ib.has_value()) return std::nullopt;
-  return NodeId("wl_b", {instance_, *ib});
+  return NodeId(kWlBTag, instance_, *ib);
 }
 
 ValueRef WrapListOp::Attr(const NodeId& b, const std::string& var) {
-  CheckOwn(b, "wl_b");
+  CheckOwn(b, kWlBTag);
   if (var == out_var_) {
-    return ValueRef{this, NodeId("wl_list", {instance_, b.IdAt(1)})};
+    return ValueRef{this, NodeId(kWlListTag, instance_, b.IdAt(1))};
   }
   return input_->Attr(b.IdAt(1), var);
 }
 
 std::optional<NodeId> WrapListOp::Down(const NodeId& p) {
   if (space_.Owns(p)) return space_.Down(p);
-  if (p.tag() == "wl_list") {
+  if (p.tag_atom() == kWlListTag) {
     MIX_CHECK(p.IntAt(0) == instance_);
-    return NodeId("wl_item", {instance_, p.IdAt(1)});
+    return NodeId(kWlItemTag, instance_, p.IdAt(1));
   }
-  MIX_CHECK_MSG(p.tag() == "wl_item", "foreign value id passed to wrapList");
+  MIX_CHECK_MSG(p.tag_atom() == kWlItemTag, "foreign value id passed to wrapList");
   MIX_CHECK(p.IntAt(0) == instance_);
   ValueRef value = input_->Attr(p.IdAt(1), x_var_);
   std::optional<NodeId> child = value.nav->Down(value.id);
@@ -60,14 +69,14 @@ std::optional<NodeId> WrapListOp::Down(const NodeId& p) {
 std::optional<NodeId> WrapListOp::Right(const NodeId& p) {
   if (space_.Owns(p)) return space_.Right(p);
   // Both the list root and its single item have no right sibling.
-  MIX_CHECK(p.tag() == "wl_list" || p.tag() == "wl_item");
+  MIX_CHECK(p.tag_atom() == kWlListTag || p.tag_atom() == kWlItemTag);
   return std::nullopt;
 }
 
 Label WrapListOp::Fetch(const NodeId& p) {
   if (space_.Owns(p)) return space_.Fetch(p);
-  if (p.tag() == "wl_list") return kListLabel;
-  MIX_CHECK_MSG(p.tag() == "wl_item", "foreign value id passed to wrapList");
+  if (p.tag_atom() == kWlListTag) return kListLabel;
+  MIX_CHECK_MSG(p.tag_atom() == kWlItemTag, "foreign value id passed to wrapList");
   MIX_CHECK(p.IntAt(0) == instance_);
   ValueRef value = input_->Attr(p.IdAt(1), x_var_);
   return value.nav->Fetch(value.id);
@@ -99,18 +108,18 @@ RenameOp::RenameOp(BindingStream* input, std::string old_var,
 std::optional<NodeId> RenameOp::FirstBinding() {
   std::optional<NodeId> ib = input_->FirstBinding();
   if (!ib.has_value()) return std::nullopt;
-  return NodeId("rn_b", {instance_, *ib});
+  return NodeId(kRnBTag, instance_, *ib);
 }
 
 std::optional<NodeId> RenameOp::NextBinding(const NodeId& b) {
-  CheckOwn(b, "rn_b");
+  CheckOwn(b, kRnBTag);
   std::optional<NodeId> ib = input_->NextBinding(b.IdAt(1));
   if (!ib.has_value()) return std::nullopt;
-  return NodeId("rn_b", {instance_, *ib});
+  return NodeId(kRnBTag, instance_, *ib);
 }
 
 ValueRef RenameOp::Attr(const NodeId& b, const std::string& var) {
-  CheckOwn(b, "rn_b");
+  CheckOwn(b, kRnBTag);
   return input_->Attr(b.IdAt(1), var == new_var_ ? old_var_ : var);
 }
 
@@ -131,39 +140,39 @@ ConstOp::ConstOp(BindingStream* input, std::string text, std::string out_var)
 std::optional<NodeId> ConstOp::FirstBinding() {
   std::optional<NodeId> ib = input_->FirstBinding();
   if (!ib.has_value()) return std::nullopt;
-  return NodeId("ct_b", {instance_, *ib});
+  return NodeId(kCtBTag, instance_, *ib);
 }
 
 std::optional<NodeId> ConstOp::NextBinding(const NodeId& b) {
-  CheckOwn(b, "ct_b");
+  CheckOwn(b, kCtBTag);
   std::optional<NodeId> ib = input_->NextBinding(b.IdAt(1));
   if (!ib.has_value()) return std::nullopt;
-  return NodeId("ct_b", {instance_, *ib});
+  return NodeId(kCtBTag, instance_, *ib);
 }
 
 ValueRef ConstOp::Attr(const NodeId& b, const std::string& var) {
-  CheckOwn(b, "ct_b");
+  CheckOwn(b, kCtBTag);
   if (var == out_var_) {
-    return ValueRef{this, NodeId("ct_leaf", {instance_})};
+    return ValueRef{this, NodeId(kCtLeafTag, instance_)};
   }
   return input_->Attr(b.IdAt(1), var);
 }
 
 std::optional<NodeId> ConstOp::Down(const NodeId& p) {
   if (space_.Owns(p)) return space_.Down(p);
-  MIX_CHECK(p.tag() == "ct_leaf");
+  MIX_CHECK(p.tag_atom() == kCtLeafTag);
   return std::nullopt;
 }
 
 std::optional<NodeId> ConstOp::Right(const NodeId& p) {
   if (space_.Owns(p)) return space_.Right(p);
-  MIX_CHECK(p.tag() == "ct_leaf");
+  MIX_CHECK(p.tag_atom() == kCtLeafTag);
   return std::nullopt;
 }
 
 Label ConstOp::Fetch(const NodeId& p) {
   if (space_.Owns(p)) return space_.Fetch(p);
-  MIX_CHECK(p.tag() == "ct_leaf");
+  MIX_CHECK(p.tag_atom() == kCtLeafTag);
   return text_;
 }
 

@@ -6,6 +6,10 @@ namespace mix::algebra {
 
 using pathexpr::Nfa;
 
+namespace {
+const Atom kGdBTag = Atom::Intern("gd_b");
+}  // namespace
+
 GetDescendantsOp::GetDescendantsOp(BindingStream* input, std::string parent_var,
                                    pathexpr::PathExpr path, std::string out_var,
                                    Options options)
@@ -24,22 +28,31 @@ GetDescendantsOp::GetDescendantsOp(BindingStream* input, std::string parent_var,
                 "getDescendants parent variable not bound by input");
   schema_.push_back(out_var_);
   sigma_usable_ = options_.use_select_sibling && path_.IsLabelChain(&chain_);
+  if (sigma_usable_) {
+    chain_atoms_.reserve(chain_.size());
+    chain_preds_.reserve(chain_.size());
+    for (const std::string& label : chain_) {
+      chain_atoms_.push_back(Atom::Intern(label));
+      chain_preds_.push_back(LabelPredicate::Equals(label));
+    }
+  }
+  EnableNavMemo();
 }
 
 std::optional<GetDescendantsOp::Frame> GetDescendantsOp::TryLevel(
     Navigable* nav, std::optional<NodeId> cand,
     const Nfa::StateSet& parent_states, size_t depth) {
   while (cand.has_value()) {
-    Label label = nav->Fetch(*cand);
+    Atom label = nav->FetchAtom(*cand);
     Nfa::StateSet states = path_.nfa().Advance(parent_states, label);
     if (!Nfa::Empty(states)) return Frame{*cand, std::move(states)};
     if (sigma_usable_ && depth < chain_.size()) {
       // One σ command finds the next sibling with the only label that can
       // advance the chain at this depth.
       std::optional<NodeId> hit =
-          nav->SelectSibling(*cand, LabelPredicate::Equals(chain_[depth]));
+          nav->SelectSibling(*cand, chain_preds_[depth]);
       if (!hit.has_value()) return std::nullopt;
-      Nfa::StateSet st = path_.nfa().Advance(parent_states, chain_[depth]);
+      Nfa::StateSet st = path_.nfa().Advance(parent_states, chain_atoms_[depth]);
       MIX_CHECK(!Nfa::Empty(st));
       return Frame{*hit, std::move(st)};
     }
@@ -104,13 +117,13 @@ bool GetDescendantsOp::NextMatch(Cursor* cursor) {
 
 NodeId GetDescendantsOp::StoreCursor(Cursor cursor) {
   cursors_.push_back(std::move(cursor));
-  return NodeId("gd_b",
-                {instance_, static_cast<int64_t>(cursors_.size() - 1)});
+  return NodeId(kGdBTag, instance_,
+                static_cast<int64_t>(cursors_.size() - 1));
 }
 
 const GetDescendantsOp::Cursor& GetDescendantsOp::CursorOf(
     const NodeId& b) const {
-  CheckOwn(b, "gd_b");
+  CheckOwn(b, kGdBTag);
   int64_t handle = b.IntAt(1);
   MIX_CHECK(handle >= 0 && handle < static_cast<int64_t>(cursors_.size()));
   return cursors_[static_cast<size_t>(handle)];
@@ -134,13 +147,36 @@ std::optional<NodeId> GetDescendantsOp::ScanInput(std::optional<NodeId> ib) {
 }
 
 std::optional<NodeId> GetDescendantsOp::FirstBinding() {
-  return ScanInput(input_->FirstBinding());
+  std::optional<NodeId> first = ScanInput(input_->FirstBinding());
+  memo_.SetFrontier(NavMemo::Command::kNextBinding, first);
+  return first;
 }
 
 std::optional<NodeId> GetDescendantsOp::NextBinding(const NodeId& b) {
+  // Memoized for *revisits*: re-asking NextBinding from an already-advanced
+  // binding is a pure lookup — no source navigation and no duplicate cursor
+  // snapshot. The forward scan itself (NextBinding on the binding just
+  // issued) bypasses the memo: each frontier key is seen exactly once, so
+  // caching it would be pure overhead.
+  const bool frontier = memo_.IsFrontier(NavMemo::Command::kNextBinding, b);
+  if (!frontier) {
+    if (const auto* hit = memo_.Lookup(NavMemo::Command::kNextBinding, b)) {
+      return *hit;
+    }
+  }
   Cursor cursor = CursorOf(b);  // snapshot copy; the original stays valid
-  if (NextMatch(&cursor)) return StoreCursor(std::move(cursor));
-  return ScanInput(input_->NextBinding(cursor.input_b));
+  std::optional<NodeId> next;
+  if (NextMatch(&cursor)) {
+    next = StoreCursor(std::move(cursor));
+  } else {
+    next = ScanInput(input_->NextBinding(cursor.input_b));
+  }
+  if (frontier) {
+    memo_.SetFrontier(NavMemo::Command::kNextBinding, next);
+  } else {
+    memo_.Insert(NavMemo::Command::kNextBinding, b, next);
+  }
+  return next;
 }
 
 ValueRef GetDescendantsOp::Attr(const NodeId& b, const std::string& var) {

@@ -95,6 +95,10 @@ class GetDescendantsOp : public OperatorBase {
 
   bool sigma_usable_ = false;
   std::vector<std::string> chain_;
+  /// Interned chain labels and prebuilt σ predicates, one per depth —
+  /// avoids re-interning and rebuilding a predicate on every level scan.
+  std::vector<Atom> chain_atoms_;
+  std::vector<LabelPredicate> chain_preds_;
 
   std::deque<Cursor> cursors_;
 };

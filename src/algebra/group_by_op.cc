@@ -9,6 +9,10 @@ namespace {
 /// Sentinel handle for the empty-group binding of a no-group-vars groupBy
 /// over empty input.
 constexpr int64_t kEmptyGroupHandle = -1;
+
+const Atom kGbBTag = Atom::Intern("gb_b");
+const Atom kGbListTag = Atom::Intern("gb_list");
+const Atom kGbItemTag = Atom::Intern("gb_item");
 }  // namespace
 
 GroupByOp::GroupByOp(BindingStream* input, VarList group_vars,
@@ -32,6 +36,9 @@ GroupByOp::GroupByOp(BindingStream* input, VarList group_vars,
                     schema_.end(),
                 "groupBy output variable collides with a group-by variable");
   schema_.push_back(out_var_);
+  // cache_input=false is the cache-less ablation; it must stay cache-less,
+  // so the navigation memo follows the same switch.
+  if (options_.cache_input) EnableNavMemo();
 }
 
 GroupByOp::Key GroupByOp::KeyOf(const NodeId& ib) {
@@ -131,7 +138,7 @@ std::optional<NodeId> GroupByOp::NextInGroup(const NodeId& pb,
 
 NodeId GroupByOp::StoreState(GroupState state) {
   states_.push_back(std::move(state));
-  return NodeId("gb_b", {instance_, static_cast<int64_t>(states_.size() - 1)});
+  return NodeId(kGbBTag, instance_, static_cast<int64_t>(states_.size() - 1));
 }
 
 const GroupByOp::GroupState& GroupByOp::StateOf(int64_t handle) const {
@@ -148,17 +155,29 @@ std::optional<NodeId> GroupByOp::FirstBinding() {
   if (!first.has_value()) {
     if (group_vars_.empty()) {
       // "create one answer element (= for each {})": one group, empty list.
-      return NodeId("gb_b", {instance_, kEmptyGroupHandle});
+      return NodeId(kGbBTag, instance_, kEmptyGroupHandle);
     }
     return std::nullopt;
   }
-  return StoreState(GroupState{*first, nullptr});
+  NodeId leader = StoreState(GroupState{*first, nullptr});
+  memo_.SetFrontier(NavMemo::Command::kNextBinding, leader);
+  return leader;
 }
 
 std::optional<NodeId> GroupByOp::NextBinding(const NodeId& b) {
-  CheckOwn(b, "gb_b");
+  CheckOwn(b, kGbBTag);
   int64_t handle = b.IntAt(1);
   if (handle == kEmptyGroupHandle) return std::nullopt;
+  // Memoized for revisits: the next_gb scan from a given group leader is
+  // deterministic, so revisits (second materialization pass, sibling
+  // re-walks) become pure lookups instead of re-driving the input stream.
+  // The forward scan bypasses the memo via the frontier.
+  const bool frontier = memo_.IsFrontier(NavMemo::Command::kNextBinding, b);
+  if (!frontier) {
+    if (const auto* hit = memo_.Lookup(NavMemo::Command::kNextBinding, b)) {
+      return *hit;
+    }
+  }
   const GroupState& state = StateOf(handle);
   auto new_prev =
       std::make_shared<PrevNode>(PrevNode{KeyOf(state.pg), state.prev});
@@ -170,15 +189,23 @@ std::optional<NodeId> GroupByOp::NextBinding(const NodeId& b) {
   }()
                                     : input_->NextBinding(state.pg);
   std::optional<NodeId> leader = NextGroupLeader(after, new_prev);
-  if (!leader.has_value()) return std::nullopt;
-  return StoreState(GroupState{*leader, std::move(new_prev)});
+  std::optional<NodeId> next;
+  if (leader.has_value()) {
+    next = StoreState(GroupState{*leader, std::move(new_prev)});
+  }
+  if (frontier) {
+    memo_.SetFrontier(NavMemo::Command::kNextBinding, next);
+  } else {
+    memo_.Insert(NavMemo::Command::kNextBinding, b, next);
+  }
+  return next;
 }
 
 ValueRef GroupByOp::Attr(const NodeId& b, const std::string& var) {
-  CheckOwn(b, "gb_b");
+  CheckOwn(b, kGbBTag);
   int64_t handle = b.IntAt(1);
   if (var == out_var_) {
-    return ValueRef{this, NodeId("gb_list", {instance_, handle})};
+    return ValueRef{this, NodeId(kGbListTag, instance_, handle)};
   }
   MIX_CHECK_MSG(handle != kEmptyGroupHandle,
                 "empty-group binding has only the list variable");
@@ -190,15 +217,18 @@ ValueRef GroupByOp::Attr(const NodeId& b, const std::string& var) {
 
 std::optional<NodeId> GroupByOp::Down(const NodeId& p) {
   if (space_.Owns(p)) return space_.Down(p);
-  if (p.tag() == "gb_list") {
+  if (p.tag_atom() == kGbListTag) {
     MIX_CHECK(p.IntAt(0) == instance_);
     int64_t handle = p.IntAt(1);
     if (handle == kEmptyGroupHandle) return std::nullopt;
     const GroupState& state = StateOf(handle);
     // First grouped value: the group leader's own v value.
-    return NodeId("gb_item", {instance_, handle, state.pg});
+    NodeId first(kGbItemTag, instance_, handle, state.pg);
+    memo_.SetFrontier(NavMemo::Command::kRight, first);
+    return first;
   }
-  MIX_CHECK_MSG(p.tag() == "gb_item", "foreign value id passed to groupBy");
+  MIX_CHECK_MSG(p.tag_atom() == kGbItemTag,
+                "foreign value id passed to groupBy");
   MIX_CHECK(p.IntAt(0) == instance_);
   ValueRef value = input_->Attr(p.IdAt(2), grouped_var_);
   std::optional<NodeId> child = value.nav->Down(value.id);
@@ -208,23 +238,42 @@ std::optional<NodeId> GroupByOp::Down(const NodeId& p) {
 
 std::optional<NodeId> GroupByOp::Right(const NodeId& p) {
   if (space_.Owns(p)) return space_.Right(p);
-  if (p.tag() == "gb_list") {
+  if (p.tag_atom() == kGbListTag) {
     // A synthesized list is a value root; it has no siblings of its own.
     return std::nullopt;
   }
-  MIX_CHECK_MSG(p.tag() == "gb_item", "foreign value id passed to groupBy");
+  MIX_CHECK_MSG(p.tag_atom() == kGbItemTag,
+                "foreign value id passed to groupBy");
   MIX_CHECK(p.IntAt(0) == instance_);
+  // Memoized for revisits: r over grouped items replays the (deterministic)
+  // next-in-group scan; a re-walk of the same group's list never
+  // re-navigates. The first walk bypasses the memo via the frontier.
+  const bool frontier = memo_.IsFrontier(NavMemo::Command::kRight, p);
+  if (!frontier) {
+    if (const auto* hit = memo_.Lookup(NavMemo::Command::kRight, p)) {
+      return *hit;
+    }
+  }
   int64_t handle = p.IntAt(1);
   const GroupState& state = StateOf(handle);
   std::optional<NodeId> next = NextInGroup(p.IdAt(2), state.pg);
-  if (!next.has_value()) return std::nullopt;
-  return NodeId("gb_item", {instance_, handle, *next});
+  std::optional<NodeId> result;
+  if (next.has_value()) {
+    result = NodeId(kGbItemTag, instance_, handle, *next);
+  }
+  if (frontier) {
+    memo_.SetFrontier(NavMemo::Command::kRight, result);
+  } else {
+    memo_.Insert(NavMemo::Command::kRight, p, result);
+  }
+  return result;
 }
 
 Label GroupByOp::Fetch(const NodeId& p) {
   if (space_.Owns(p)) return space_.Fetch(p);
-  if (p.tag() == "gb_list") return kListLabel;
-  MIX_CHECK_MSG(p.tag() == "gb_item", "foreign value id passed to groupBy");
+  if (p.tag_atom() == kGbListTag) return kListLabel;
+  MIX_CHECK_MSG(p.tag_atom() == kGbItemTag,
+                "foreign value id passed to groupBy");
   MIX_CHECK(p.IntAt(0) == instance_);
   ValueRef value = input_->Attr(p.IdAt(2), grouped_var_);
   return value.nav->Fetch(value.id);

@@ -7,6 +7,8 @@
 namespace mix::algebra {
 
 namespace {
+const Atom kJnBTag = Atom::Intern("jn_b");
+
 bool Contains(const VarList& vars, const std::string& v) {
   return std::find(vars.begin(), vars.end(), v) != vars.end();
 }
@@ -48,6 +50,9 @@ JoinOp::JoinOp(BindingStream* left, BindingStream* right,
       left_has_left_var_ ? predicate_.right_var() : predicate_.left_var();
   MIX_CHECK_MSG(Contains(left_->schema(), lv) && Contains(right_->schema(), rv),
                 "join predicate variables must come from both sides");
+  // cache_inner=false is the cache-less ablation; the navigation memo
+  // follows the same switch so ablation benches measure the uncached path.
+  if (options_.cache_inner) EnableNavMemo();
 }
 
 const JoinOp::InnerEntry* JoinOp::Inner(size_t i) {
@@ -127,7 +132,7 @@ std::optional<NodeId> JoinOp::Scan(std::optional<NodeId> lb, size_t ri) {
       std::string left_atom = AtomOf(left_->Attr(*lb, outer_var));
       std::optional<size_t> hit = IndexProbe(left_atom, ri);
       if (hit.has_value()) {
-        return NodeId("jn_b", {instance_, *lb, static_cast<int64_t>(*hit)});
+        return NodeId(kJnBTag, instance_, *lb, static_cast<int64_t>(*hit));
       }
       lb = left_->NextBinding(*lb);
       ri = 0;
@@ -143,8 +148,7 @@ std::optional<NodeId> JoinOp::Scan(std::optional<NodeId> lb, size_t ri) {
       int cmp = left_has_left_var_ ? CompareAtoms(left_atom, entry->atom)
                                    : CompareAtoms(entry->atom, left_atom);
       if (ApplyCompare(predicate_.op(), cmp)) {
-        return NodeId("jn_b",
-                      {instance_, *lb, static_cast<int64_t>(ri)});
+        return NodeId(kJnBTag, instance_, *lb, static_cast<int64_t>(ri));
       }
     }
     lb = left_->NextBinding(*lb);
@@ -154,18 +158,35 @@ std::optional<NodeId> JoinOp::Scan(std::optional<NodeId> lb, size_t ri) {
 }
 
 std::optional<NodeId> JoinOp::FirstBinding() {
-  return Scan(left_->FirstBinding(), 0);
+  std::optional<NodeId> first = Scan(left_->FirstBinding(), 0);
+  memo_.SetFrontier(NavMemo::Command::kNextBinding, first);
+  return first;
 }
 
 std::optional<NodeId> JoinOp::NextBinding(const NodeId& b) {
-  CheckOwn(b, "jn_b");
+  CheckOwn(b, kJnBTag);
+  // Memoized for revisits: repeated NextBinding from the same output binding
+  // (clients re-walking materialized structure) skips the outer/inner
+  // re-scan. The forward scan bypasses the memo via the frontier.
+  const bool frontier = memo_.IsFrontier(NavMemo::Command::kNextBinding, b);
+  if (!frontier) {
+    if (const auto* hit = memo_.Lookup(NavMemo::Command::kNextBinding, b)) {
+      return *hit;
+    }
+  }
   NodeId lb = b.IdAt(1);
   size_t ri = static_cast<size_t>(b.IntAt(2));
-  return Scan(lb, ri + 1);
+  std::optional<NodeId> next = Scan(lb, ri + 1);
+  if (frontier) {
+    memo_.SetFrontier(NavMemo::Command::kNextBinding, next);
+  } else {
+    memo_.Insert(NavMemo::Command::kNextBinding, b, next);
+  }
+  return next;
 }
 
 ValueRef JoinOp::Attr(const NodeId& b, const std::string& var) {
-  CheckOwn(b, "jn_b");
+  CheckOwn(b, kJnBTag);
   if (Contains(left_->schema(), var)) {
     return left_->Attr(b.IdAt(1), var);
   }

@@ -2,6 +2,10 @@
 
 namespace mix::algebra {
 
+namespace {
+const Atom kMzBTag = Atom::Intern("mz_b");
+}  // namespace
+
 MaterializeOp::MaterializeOp(BindingStream* input) : input_(input) {
   MIX_CHECK(input_ != nullptr);
 }
@@ -18,19 +22,19 @@ void MaterializeOp::Ensure() {
 std::optional<NodeId> MaterializeOp::FirstBinding() {
   Ensure();
   if (bindings_.empty()) return std::nullopt;
-  return NodeId("mz_b", {instance_, int64_t{0}});
+  return NodeId(kMzBTag, instance_, int64_t{0});
 }
 
 std::optional<NodeId> MaterializeOp::NextBinding(const NodeId& b) {
-  CheckOwn(b, "mz_b");
+  CheckOwn(b, kMzBTag);
   Ensure();
   int64_t next = b.IntAt(1) + 1;
   if (next >= static_cast<int64_t>(bindings_.size())) return std::nullopt;
-  return NodeId("mz_b", {instance_, next});
+  return NodeId(kMzBTag, instance_, next);
 }
 
 ValueRef MaterializeOp::Attr(const NodeId& b, const std::string& var) {
-  CheckOwn(b, "mz_b");
+  CheckOwn(b, kMzBTag);
   Ensure();
   int64_t i = b.IntAt(1);
   MIX_CHECK(i >= 0 && i < static_cast<int64_t>(bindings_.size()));

@@ -1,0 +1,19 @@
+#include "algebra/nav_memo.h"
+
+#include <atomic>
+
+namespace mix::algebra {
+
+namespace {
+std::atomic<size_t> g_default_capacity{1024};
+}  // namespace
+
+size_t DefaultNavMemoCapacity() {
+  return g_default_capacity.load(std::memory_order_relaxed);
+}
+
+void SetDefaultNavMemoCapacity(size_t capacity) {
+  g_default_capacity.store(capacity, std::memory_order_relaxed);
+}
+
+}  // namespace mix::algebra

@@ -1,0 +1,166 @@
+// Selective operator-local navigation caching (paper Section 3, Figs. 9/10).
+//
+// The paper prescribes that "some of the operators use caching of parts of
+// the input they have already seen" — selectively, on the operators where a
+// repeated navigation re-drives an expensive scan of the inputs
+// (getDescendants resumes a DFS, join re-scans the inner stream, groupBy
+// re-runs the next_gb/next scans). `NavMemo` is that cache: a bounded map
+// from (navigation command, node-id) to the command's result, owned by one
+// operator instance.
+//
+// Safety: node-ids are immutable Skolem terms and every operator is a
+// deterministic function of its (immutable) input streams, so a memoized
+// (command, id) -> result entry can never go stale. Caching only ever
+// *removes* source navigations — the NavStats regression test in
+// tests/nav_memo_test.cc pins this down.
+//
+// Representation: a direct-mapped slot array (capacity rounded up to a power
+// of two), evict-on-collision. Operators sit on the navigation hot path and
+// iterate forward far more often than clients revisit, so the memo must cost
+// almost nothing when it never hits: a direct-mapped probe is one hash and
+// one compare, and an insert overwrites a slot in place — no allocation, no
+// rebalancing, no eviction bookkeeping. A collision simply forgets the older
+// entry (the next revisit recomputes it), which bounds memory at `capacity`
+// entries regardless of how long a client browses.
+#ifndef MIX_ALGEBRA_NAV_MEMO_H_
+#define MIX_ALGEBRA_NAV_MEMO_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/node_id.h"
+
+namespace mix::algebra {
+
+/// Process-wide default capacity for newly constructed expensive operators
+/// (getDescendants, join, groupBy). 0 disables memoization — used by
+/// ablation benchmarks and the NavStats regression test.
+size_t DefaultNavMemoCapacity();
+void SetDefaultNavMemoCapacity(size_t capacity);
+
+class NavMemo {
+ public:
+  /// Which navigation command a memo entry answers.
+  enum class Command : uint8_t {
+    kNextBinding,
+    kDown,
+    kRight,
+  };
+
+  /// `capacity` == 0 disables the memo (Lookup always misses, Insert is a
+  /// no-op). The slot array starts tiny and grows geometrically up to
+  /// `capacity`, so short-lived operators never pay for a full-size table.
+  explicit NavMemo(size_t capacity = 0) : capacity_(SlotCount(capacity)) {}
+
+  bool enabled() const { return capacity_ != 0; }
+
+  /// Forward-scan fast path. Operators iterate forward (NextBinding on the
+  /// binding they just issued) far more often than clients revisit old
+  /// bindings; memoizing that frontier step is pure overhead because each
+  /// key is seen exactly once. `IsFrontier` tells the operator "this is the
+  /// forward scan" so it can skip Lookup/Insert and just advance the
+  /// frontier. The frontier is a *raw* rep pointer, compared but never
+  /// dereferenced: a stale pointer can at worst misclassify one step
+  /// (changing what gets cached, never what is returned).
+  bool IsFrontier(Command cmd, const NodeId& key) const {
+    return enabled() && frontier_[Index(cmd)] == key.rep_identity();
+  }
+  void SetFrontier(Command cmd, const std::optional<NodeId>& next) {
+    frontier_[Index(cmd)] =
+        next.has_value() ? next->rep_identity() : nullptr;
+  }
+
+  /// Returns the memoized result for (cmd, key), or nullptr on a miss.
+  /// The pointer is valid until the next Insert.
+  const std::optional<NodeId>* Lookup(Command cmd, const NodeId& key) {
+    if (slots_.empty()) {
+      if (enabled()) ++misses_;
+      return nullptr;
+    }
+    const Entry& e = slots_[SlotOf(cmd, key)];
+    if (e.used && e.cmd == cmd && e.key == key) {
+      ++hits_;
+      return &e.value;
+    }
+    ++misses_;
+    return nullptr;
+  }
+
+  void Insert(Command cmd, const NodeId& key, std::optional<NodeId> value) {
+    if (!enabled()) return;
+    if (slots_.empty() || (size_ * 2 >= slots_.size() &&
+                           slots_.size() < capacity_)) {
+      Grow();
+    }
+    Entry& e = slots_[SlotOf(cmd, key)];
+    if (!e.used) {
+      e.used = true;
+      ++size_;
+    }
+    e.cmd = cmd;
+    e.key = key;
+    e.value = std::move(value);
+  }
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  /// Number of occupied slots.
+  size_t size() const { return size_; }
+
+ private:
+  struct Entry {
+    bool used = false;
+    Command cmd = Command::kNextBinding;
+    NodeId key;
+    std::optional<NodeId> value;
+  };
+
+  /// Rounds `capacity` up to a power of two; 0 stays 0 (disabled).
+  static size_t SlotCount(size_t capacity) {
+    if (capacity == 0) return 0;
+    size_t n = 1;
+    while (n < capacity) n <<= 1;
+    return n;
+  }
+
+  static size_t Index(Command cmd) { return static_cast<size_t>(cmd); }
+
+  size_t SlotOf(Command cmd, const NodeId& key) const {
+    size_t h = key.Hash() + static_cast<size_t>(cmd) * 0x9e3779b97f4a7c15ULL;
+    return (h ^ (h >> 29)) & (slots_.size() - 1);
+  }
+
+  /// Doubles the slot array (first growth: 16 slots), re-slotting occupied
+  /// entries. A collision during re-slotting keeps the later entry — this
+  /// is a cache, dropping an entry is always safe.
+  void Grow() {
+    size_t next = slots_.empty() ? 16 : slots_.size() * 2;
+    if (next > capacity_) next = capacity_;
+    if (next == slots_.size()) return;
+    std::vector<Entry> old = std::move(slots_);
+    slots_.assign(next, Entry{});
+    size_ = 0;
+    for (Entry& e : old) {
+      if (!e.used) continue;
+      Entry& dst = slots_[SlotOf(e.cmd, e.key)];
+      if (!dst.used) ++size_;
+      dst = std::move(e);
+      dst.used = true;
+    }
+  }
+
+  /// Slot-count ceiling (power of two); 0 when disabled.
+  size_t capacity_;
+  std::vector<Entry> slots_;
+  size_t size_ = 0;
+  /// Per-command raw rep pointer of the most recently issued result;
+  /// compare-only (see IsFrontier).
+  const void* frontier_[3] = {nullptr, nullptr, nullptr};
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace mix::algebra
+
+#endif  // MIX_ALGEBRA_NAV_MEMO_H_

@@ -3,7 +3,9 @@
 #define MIX_ALGEBRA_OPERATOR_BASE_H_
 
 #include "algebra/binding_stream.h"
+#include "algebra/nav_memo.h"
 #include "algebra/value_space.h"
+#include "core/atom.h"
 #include "core/check.h"
 
 namespace mix::algebra {
@@ -16,15 +18,25 @@ class OperatorBase : public BindingStream {
 
   int64_t instance() const { return instance_; }
 
+  /// Memo observability for tests/benchmarks (zeros when disabled).
+  int64_t nav_memo_hits() const { return memo_.hits(); }
+  int64_t nav_memo_misses() const { return memo_.misses(); }
+
  protected:
   /// Verifies that `b` is a binding id minted by this operator with the
-  /// expected tag.
-  void CheckOwn(const NodeId& b, const char* tag) const {
-    MIX_CHECK_MSG(b.valid() && b.tag() == tag && b.IntAt(0) == instance_,
+  /// expected (interned) tag.
+  void CheckOwn(const NodeId& b, Atom tag) const {
+    MIX_CHECK_MSG(b.valid() && b.tag_atom() == tag && b.IntAt(0) == instance_,
                   "navigation from a foreign binding id");
   }
 
+  /// Opts this operator into the selective navigation memo (paper §3's
+  /// operator-local caching) at the process-wide default capacity. Called
+  /// from the constructors of the expensive translators only.
+  void EnableNavMemo() { memo_ = NavMemo(DefaultNavMemoCapacity()); }
+
   int64_t instance_;
+  NavMemo memo_;
 };
 
 /// Base for operators that synthesize value nodes and therefore must serve

@@ -5,6 +5,11 @@
 
 namespace mix::algebra {
 
+namespace {
+const Atom kObBTag = Atom::Intern("ob_b");
+const Atom kObkTag = Atom::Intern("obk");
+}  // namespace
+
 OrderByOp::OrderByOp(BindingStream* input, VarList sort_vars, Mode mode)
     : input_(input), sort_vars_(std::move(sort_vars)), mode_(mode) {
   MIX_CHECK(input_ != nullptr);
@@ -38,7 +43,7 @@ void OrderByOp::Ensure() {
       }
     } else {
       // Rank = first occurrence of the (composite) value identity.
-      NodeId composite("obk", [&] {
+      NodeId composite(kObkTag, [&] {
         std::vector<NodeIdComponent> parts;
         for (const std::string& v : sort_vars_) {
           parts.push_back(input_->Attr(*ib, v).id);
@@ -69,19 +74,19 @@ void OrderByOp::Ensure() {
 std::optional<NodeId> OrderByOp::FirstBinding() {
   Ensure();
   if (sorted_.empty()) return std::nullopt;
-  return NodeId("ob_b", {instance_, int64_t{0}});
+  return NodeId(kObBTag, instance_, int64_t{0});
 }
 
 std::optional<NodeId> OrderByOp::NextBinding(const NodeId& b) {
-  CheckOwn(b, "ob_b");
+  CheckOwn(b, kObBTag);
   Ensure();
   int64_t next = b.IntAt(1) + 1;
   if (next >= static_cast<int64_t>(sorted_.size())) return std::nullopt;
-  return NodeId("ob_b", {instance_, next});
+  return NodeId(kObBTag, instance_, next);
 }
 
 ValueRef OrderByOp::Attr(const NodeId& b, const std::string& var) {
-  CheckOwn(b, "ob_b");
+  CheckOwn(b, kObBTag);
   Ensure();
   int64_t i = b.IntAt(1);
   MIX_CHECK(i >= 0 && i < static_cast<int64_t>(sorted_.size()));

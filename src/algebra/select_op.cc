@@ -2,20 +2,24 @@
 
 namespace mix::algebra {
 
+namespace {
+const Atom kSelBTag = Atom::Intern("sel_b");
+}  // namespace
+
 SelectOp::SelectOp(BindingStream* input, BindingPredicate predicate)
     : input_(input), predicate_(std::move(predicate)) {
   MIX_CHECK(input_ != nullptr);
 }
 
 NodeId SelectOp::Unwrap(const NodeId& b) const {
-  CheckOwn(b, "sel_b");
+  CheckOwn(b, kSelBTag);
   return b.IdAt(1);
 }
 
 std::optional<NodeId> SelectOp::Scan(std::optional<NodeId> ib) {
   while (ib.has_value()) {
     if (predicate_.Eval(input_, *ib)) {
-      return NodeId("sel_b", {instance_, *ib});
+      return NodeId(kSelBTag, instance_, *ib);
     }
     ib = input_->NextBinding(*ib);
   }

@@ -4,6 +4,13 @@
 
 namespace mix::algebra {
 
+namespace {
+const Atom kUnBTag = Atom::Intern("un_b");
+const Atom kDfBTag = Atom::Intern("df_b");
+const Atom kDtBTag = Atom::Intern("dt_b");
+const Atom kPjBTag = Atom::Intern("pj_b");
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // UnionOp
 // ---------------------------------------------------------------------------
@@ -21,26 +28,26 @@ BindingStream* UnionOp::SideOf(int64_t side) const {
 
 std::optional<NodeId> UnionOp::FirstBinding() {
   std::optional<NodeId> lb = left_->FirstBinding();
-  if (lb.has_value()) return NodeId("un_b", {instance_, int64_t{0}, *lb});
+  if (lb.has_value()) return NodeId(kUnBTag, instance_, int64_t{0}, *lb);
   std::optional<NodeId> rb = right_->FirstBinding();
-  if (rb.has_value()) return NodeId("un_b", {instance_, int64_t{1}, *rb});
+  if (rb.has_value()) return NodeId(kUnBTag, instance_, int64_t{1}, *rb);
   return std::nullopt;
 }
 
 std::optional<NodeId> UnionOp::NextBinding(const NodeId& b) {
-  CheckOwn(b, "un_b");
+  CheckOwn(b, kUnBTag);
   int64_t side = b.IntAt(1);
   std::optional<NodeId> next = SideOf(side)->NextBinding(b.IdAt(2));
-  if (next.has_value()) return NodeId("un_b", {instance_, side, *next});
+  if (next.has_value()) return NodeId(kUnBTag, instance_, side, *next);
   if (side == 0) {
     std::optional<NodeId> rb = right_->FirstBinding();
-    if (rb.has_value()) return NodeId("un_b", {instance_, int64_t{1}, *rb});
+    if (rb.has_value()) return NodeId(kUnBTag, instance_, int64_t{1}, *rb);
   }
   return std::nullopt;
 }
 
 ValueRef UnionOp::Attr(const NodeId& b, const std::string& var) {
-  CheckOwn(b, "un_b");
+  CheckOwn(b, kUnBTag);
   return SideOf(b.IntAt(1))->Attr(b.IdAt(2), var);
 }
 
@@ -77,7 +84,7 @@ std::optional<NodeId> DifferenceOp::Scan(std::optional<NodeId> lb) {
   EnsureRightKeys();
   while (lb.has_value()) {
     if (right_keys_.count(KeyOf(left_, *lb)) == 0) {
-      return NodeId("df_b", {instance_, *lb});
+      return NodeId(kDfBTag, instance_, *lb);
     }
     lb = left_->NextBinding(*lb);
   }
@@ -89,12 +96,12 @@ std::optional<NodeId> DifferenceOp::FirstBinding() {
 }
 
 std::optional<NodeId> DifferenceOp::NextBinding(const NodeId& b) {
-  CheckOwn(b, "df_b");
+  CheckOwn(b, kDfBTag);
   return Scan(left_->NextBinding(b.IdAt(1)));
 }
 
 ValueRef DifferenceOp::Attr(const NodeId& b, const std::string& var) {
-  CheckOwn(b, "df_b");
+  CheckOwn(b, kDfBTag);
   return left_->Attr(b.IdAt(1), var);
 }
 
@@ -124,7 +131,7 @@ bool DistinctOp::Contains(const SeenSet& seen, const std::string& key) {
 
 NodeId DistinctOp::StoreState(State state) {
   states_.push_back(std::move(state));
-  return NodeId("dt_b", {instance_, static_cast<int64_t>(states_.size() - 1)});
+  return NodeId(kDtBTag, instance_, static_cast<int64_t>(states_.size() - 1));
 }
 
 std::optional<NodeId> DistinctOp::Scan(std::optional<NodeId> ib, SeenSet seen) {
@@ -142,7 +149,7 @@ std::optional<NodeId> DistinctOp::FirstBinding() {
 }
 
 std::optional<NodeId> DistinctOp::NextBinding(const NodeId& b) {
-  CheckOwn(b, "dt_b");
+  CheckOwn(b, kDtBTag);
   int64_t handle = b.IntAt(1);
   MIX_CHECK(handle >= 0 && handle < static_cast<int64_t>(states_.size()));
   const State& state = states_[static_cast<size_t>(handle)];
@@ -151,7 +158,7 @@ std::optional<NodeId> DistinctOp::NextBinding(const NodeId& b) {
 }
 
 ValueRef DistinctOp::Attr(const NodeId& b, const std::string& var) {
-  CheckOwn(b, "dt_b");
+  CheckOwn(b, kDtBTag);
   int64_t handle = b.IntAt(1);
   MIX_CHECK(handle >= 0 && handle < static_cast<int64_t>(states_.size()));
   return input_->Attr(states_[static_cast<size_t>(handle)].ib, var);
@@ -174,18 +181,18 @@ ProjectOp::ProjectOp(BindingStream* input, VarList vars)
 std::optional<NodeId> ProjectOp::FirstBinding() {
   std::optional<NodeId> ib = input_->FirstBinding();
   if (!ib.has_value()) return std::nullopt;
-  return NodeId("pj_b", {instance_, *ib});
+  return NodeId(kPjBTag, instance_, *ib);
 }
 
 std::optional<NodeId> ProjectOp::NextBinding(const NodeId& b) {
-  CheckOwn(b, "pj_b");
+  CheckOwn(b, kPjBTag);
   std::optional<NodeId> ib = input_->NextBinding(b.IdAt(1));
   if (!ib.has_value()) return std::nullopt;
-  return NodeId("pj_b", {instance_, *ib});
+  return NodeId(kPjBTag, instance_, *ib);
 }
 
 ValueRef ProjectOp::Attr(const NodeId& b, const std::string& var) {
-  CheckOwn(b, "pj_b");
+  CheckOwn(b, kPjBTag);
   MIX_CHECK_MSG(std::find(vars_.begin(), vars_.end(), var) != vars_.end(),
                 "variable was projected away");
   return input_->Attr(b.IdAt(1), var);

@@ -2,22 +2,26 @@
 
 namespace mix::algebra {
 
+namespace {
+const Atom kSrcBTag = Atom::Intern("src_b");
+}  // namespace
+
 SourceOp::SourceOp(Navigable* source, std::string var) : source_(source) {
   MIX_CHECK(source_ != nullptr);
   schema_.push_back(std::move(var));
 }
 
 std::optional<NodeId> SourceOp::FirstBinding() {
-  return NodeId("src_b", {instance_});
+  return NodeId(kSrcBTag, instance_);
 }
 
 std::optional<NodeId> SourceOp::NextBinding(const NodeId& b) {
-  CheckOwn(b, "src_b");
+  CheckOwn(b, kSrcBTag);
   return std::nullopt;
 }
 
 ValueRef SourceOp::Attr(const NodeId& b, const std::string& var) {
-  CheckOwn(b, "src_b");
+  CheckOwn(b, kSrcBTag);
   MIX_CHECK_MSG(var == schema_[0], "unknown variable requested from source");
   return ValueRef{source_, source_->Root()};
 }

@@ -2,6 +2,10 @@
 
 namespace mix::algebra {
 
+namespace {
+const Atom kTdRootTag = Atom::Intern("td_root");
+}  // namespace
+
 TupleDestroyOp::TupleDestroyOp(BindingStream* input, std::string var)
     : input_(input),
       var_(std::move(var)),
@@ -18,7 +22,7 @@ TupleDestroyOp::TupleDestroyOp(BindingStream* input, std::string var)
 NodeId TupleDestroyOp::Root() {
   // The paper's preprocessing contract: the root handle is symbolic and
   // costs zero source navigations; resolution happens on first use.
-  return NodeId("td_root", {instance_});
+  return NodeId(kTdRootTag, instance_);
 }
 
 const ValueRef& TupleDestroyOp::Resolve() {
@@ -35,7 +39,7 @@ const ValueRef& TupleDestroyOp::Resolve() {
 }
 
 bool TupleDestroyOp::IsRoot(const NodeId& p) const {
-  return p.valid() && p.tag() == "td_root" && p.arity() == 1 &&
+  return p.valid() && p.tag_atom() == kTdRootTag && p.arity() == 1 &&
          p.IntAt(0) == instance_;
 }
 

@@ -6,6 +6,10 @@
 
 namespace mix::algebra {
 
+namespace {
+const Atom kFwTag = Atom::Intern("fw");
+}  // namespace
+
 int64_t NextOperatorInstance() {
   static std::atomic<int64_t> counter{1};
   return counter.fetch_add(1);
@@ -22,11 +26,19 @@ int64_t ValueSpace::HandleFor(Navigable* nav) {
 
 NodeId ValueSpace::Wrap(const ValueRef& ref) {
   MIX_CHECK(ref.valid());
-  return NodeId("fw", {owner_, HandleFor(ref.nav), ref.id});
+  if (wrap_cache_.empty()) wrap_cache_.resize(kWrapCacheSize);
+  size_t slot = (ref.id.Hash() ^
+                 (reinterpret_cast<uintptr_t>(ref.nav) >> 4)) &
+                (kWrapCacheSize - 1);
+  WrapEntry& entry = wrap_cache_[slot];
+  if (entry.nav == ref.nav && entry.inner == ref.id) return entry.wrapped;
+  NodeId wrapped(kFwTag, owner_, HandleFor(ref.nav), ref.id);
+  entry = WrapEntry{ref.nav, ref.id, wrapped};
+  return wrapped;
 }
 
 bool ValueSpace::Owns(const NodeId& id) const {
-  return id.valid() && id.tag() == "fw" && id.arity() == 3 &&
+  return id.valid() && id.tag_atom() == kFwTag && id.arity() == 3 &&
          id.IntAt(0) == owner_;
 }
 
@@ -54,6 +66,11 @@ std::optional<NodeId> ValueSpace::Right(const NodeId& id) {
 Label ValueSpace::Fetch(const NodeId& id) {
   ValueRef ref = Unwrap(id);
   return ref.nav->Fetch(ref.id);
+}
+
+Atom ValueSpace::FetchAtom(const NodeId& id) {
+  ValueRef ref = Unwrap(id);
+  return ref.nav->FetchAtom(ref.id);
 }
 
 }  // namespace mix::algebra

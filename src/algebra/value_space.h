@@ -8,6 +8,11 @@
 // ValueRef into an id `fw(owner, handle, inner)` (the handle resolves the
 // foreign Navigable through an operator-local table) and forwards d/r/f,
 // rewrapping results so the client can keep talking to the owner.
+//
+// Wrap() deduplicates through a small direct-mapped cache: a client that
+// repeatedly crosses the same pass-through boundary (every d/r on
+// synthesized structure re-wraps the result) gets the previously minted
+// fw-id back instead of re-hash-consing it.
 #ifndef MIX_ALGEBRA_VALUE_SPACE_H_
 #define MIX_ALGEBRA_VALUE_SPACE_H_
 
@@ -15,6 +20,7 @@
 #include <vector>
 
 #include "algebra/binding_stream.h"
+#include "core/atom.h"
 #include "core/navigable.h"
 
 namespace mix::algebra {
@@ -32,13 +38,25 @@ class ValueSpace {
   std::optional<NodeId> Down(const NodeId& id);
   std::optional<NodeId> Right(const NodeId& id);
   Label Fetch(const NodeId& id);
+  Atom FetchAtom(const NodeId& id);
 
  private:
+  struct WrapEntry {
+    Navigable* nav = nullptr;
+    NodeId inner;
+    NodeId wrapped;
+  };
+  /// Direct-mapped; 256 entries ≈ the client's active working set of
+  /// forwarded handles. Collisions just overwrite (correctness does not
+  /// depend on hits — Wrap re-mints on a miss).
+  static constexpr size_t kWrapCacheSize = 256;
+
   int64_t HandleFor(Navigable* nav);
 
   int64_t owner_;
   std::vector<Navigable*> navs_;
   std::unordered_map<Navigable*, int64_t> handle_of_;
+  std::vector<WrapEntry> wrap_cache_;  ///< lazily sized to kWrapCacheSize
 };
 
 /// Process-unique operator instance id (stamped into operator node-ids).

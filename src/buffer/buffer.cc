@@ -12,6 +12,8 @@ int64_t NextInstanceId() {
   return counter.fetch_add(1);
 }
 
+const Atom kBufTag = Atom::Intern("buf");
+
 /// "No two adjacent holes" applies to every (nested) child list.
 void CheckNoAdjacentHoles(const FragmentList& list) {
   bool prev_hole = false;
@@ -67,6 +69,7 @@ BufferComponent::BNode* BufferComponent::Graft(const Fragment& fragment) {
                   "wrapper reused a hole id");
   } else {
     n->label = fragment.label;
+    n->label_atom = Atom::Intern(n->label);
     ++nodes_buffered_;
     for (const Fragment& c : fragment.children) {
       BNode* child = Graft(c);
@@ -173,6 +176,7 @@ void BufferComponent::EnsureRoot() {
          16 + static_cast<int64_t>(root_id.size()), /*background=*/false);
   super_root_ = NewNode();
   super_root_->label = "#super-root";
+  super_root_->label_atom = Atom::Intern(super_root_->label);
   BNode* hole = NewNode();
   hole->is_hole = true;
   hole->hole_id = std::move(root_id);
@@ -185,11 +189,11 @@ void BufferComponent::EnsureRoot() {
 }
 
 NodeId BufferComponent::MakeId(const BNode* n) const {
-  return NodeId("buf", {instance_, n->index});
+  return NodeId(kBufTag, instance_, n->index);
 }
 
 BufferComponent::BNode* BufferComponent::Resolve(const NodeId& p) const {
-  MIX_CHECK_MSG(p.valid() && p.tag() == "buf" && p.IntAt(0) == instance_,
+  MIX_CHECK_MSG(p.valid() && p.tag_atom() == kBufTag && p.IntAt(0) == instance_,
                 "foreign node-id passed to BufferComponent");
   int64_t index = p.IntAt(1);
   MIX_CHECK(index >= 0 && index < static_cast<int64_t>(by_index_.size()));
@@ -229,6 +233,12 @@ Label BufferComponent::Fetch(const NodeId& p) {
   BNode* n = Resolve(p);
   MIX_CHECK(!n->is_hole);
   return n->label;
+}
+
+Atom BufferComponent::FetchAtom(const NodeId& p) {
+  BNode* n = Resolve(p);
+  MIX_CHECK(!n->is_hole);
+  return n->label_atom;
 }
 
 std::string BufferComponent::TermOf(const BNode* n) const {

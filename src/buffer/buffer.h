@@ -57,6 +57,8 @@ class BufferComponent : public Navigable {
   std::optional<NodeId> Down(const NodeId& p) override;
   std::optional<NodeId> Right(const NodeId& p) override;
   Label Fetch(const NodeId& p) override;
+  /// O(1): returns the atom interned when the fragment was grafted.
+  Atom FetchAtom(const NodeId& p) override;
 
   /// Wrapper-initiated (push) fill — the asynchronous LXP variant of
   /// Section 4: "the wrapper can prefetch data from the source and fill
@@ -84,6 +86,8 @@ class BufferComponent : public Navigable {
     bool is_hole = false;
     std::string hole_id;
     std::string label;
+    /// `label`, interned at graft time — answers f without re-hashing.
+    Atom label_atom;
     std::vector<BNode*> children;
     BNode* parent = nullptr;
     int32_t pos = 0;

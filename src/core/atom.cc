@@ -1,0 +1,125 @@
+#include "core/atom.h"
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/check.h"
+
+namespace mix {
+
+namespace {
+
+// Interned strings are stored in fixed-size chunks so that readers can
+// resolve an Atom to its text without taking the intern lock: the chunk
+// pointer array is a fixed static table of atomics, a chunk is published
+// (release) before any handle pointing into it escapes, and chunks are
+// never freed or moved.
+constexpr uint32_t kChunkShift = 10;
+constexpr uint32_t kChunkSize = 1u << kChunkShift;  // strings per chunk
+constexpr uint32_t kMaxChunks = 1u << 12;           // 4M atoms max
+
+struct Chunk {
+  std::array<std::string, kChunkSize> names;
+};
+
+// Lock-free lookup index: open-addressed table of (hash-tag, id) entries,
+// probed with plain acquire loads. Slots are written exactly once, under the
+// intern lock, after the backing string is stored — so any entry a reader
+// observes names a fully-published atom. 0 means empty (ids start at 1, so
+// a populated entry is never 0 even when the hash tag is). The table is a
+// cache in front of the authoritative map: when a probe window fills up the
+// entry simply isn't published and lookups for it take the locked path.
+constexpr uint32_t kFastBits = 16;
+constexpr uint32_t kFastSize = 1u << kFastBits;  // 64K cached atoms
+constexpr uint32_t kMaxProbe = 16;
+
+class Table {
+ public:
+  static Table& Instance() {
+    // Leaky singleton: atoms must stay resolvable during static destruction.
+    static Table* table = new Table();
+    return *table;
+  }
+
+  uint32_t Intern(std::string_view text) {
+    const size_t hash = std::hash<std::string_view>()(text);
+    const uint32_t tag = static_cast<uint32_t>(hash >> 32);
+    for (uint32_t probe = 0; probe < kMaxProbe; ++probe) {
+      uint64_t entry =
+          fast_[(hash + probe) & (kFastSize - 1)].load(std::memory_order_acquire);
+      if (entry == 0) break;
+      if (static_cast<uint32_t>(entry >> 32) == tag) {
+        uint32_t id = static_cast<uint32_t>(entry);
+        if (NameOf(id) == text) return id;
+      }
+    }
+    return InternSlow(text, hash, tag);
+  }
+
+  const std::string& NameOf(uint32_t id) const {
+    Chunk* chunk = chunks_[id >> kChunkShift].load(std::memory_order_acquire);
+    MIX_CHECK_MSG(chunk != nullptr, "invalid atom handle");
+    return chunk->names[id & (kChunkSize - 1)];
+  }
+
+  size_t Count() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.size();
+  }
+
+ private:
+  Table() = default;
+
+  uint32_t InternSlow(std::string_view text, size_t hash, uint32_t tag) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(text);
+    if (it != index_.end()) return it->second;
+    uint32_t id = next_id_++;
+    uint32_t chunk_index = id >> kChunkShift;
+    MIX_CHECK_MSG(chunk_index < kMaxChunks, "atom table exhausted");
+    Chunk* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new Chunk();
+      chunks_[chunk_index].store(chunk, std::memory_order_release);
+    }
+    std::string& stored = chunk->names[id & (kChunkSize - 1)];
+    stored.assign(text.data(), text.size());
+    index_.emplace(std::string_view(stored), id);
+    // Publish to the lock-free index; if the probe window is full the atom
+    // stays lookup-able through the map only.
+    for (uint32_t probe = 0; probe < kMaxProbe; ++probe) {
+      std::atomic<uint64_t>& slot = fast_[(hash + probe) & (kFastSize - 1)];
+      if (slot.load(std::memory_order_relaxed) == 0) {
+        slot.store((static_cast<uint64_t>(tag) << 32) | id,
+                   std::memory_order_release);
+        break;
+      }
+    }
+    return id;
+  }
+
+  std::mutex mu_;
+  /// Views point into chunk storage, which never moves.
+  std::unordered_map<std::string_view, uint32_t> index_;
+  std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
+  std::array<std::atomic<uint64_t>, kFastSize> fast_{};
+  uint32_t next_id_ = 1;  // 0 is the invalid atom
+};
+
+}  // namespace
+
+Atom Atom::Intern(std::string_view text) {
+  return Atom(Table::Instance().Intern(text));
+}
+
+size_t Atom::InternedCount() { return Table::Instance().Count(); }
+
+const std::string& Atom::name() const {
+  MIX_CHECK_MSG(valid(), "name() on the invalid atom");
+  return Table::Instance().NameOf(id_);
+}
+
+}  // namespace mix

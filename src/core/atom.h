@@ -1,0 +1,64 @@
+// Interned strings ("atoms") for the navigation hot path.
+//
+// Node-id tags ("src", "gd_b", "fw", ...) and element labels recur millions
+// of times during plan evaluation; carrying them as std::string means a
+// copy, a heap block, and a byte-wise compare at every operator boundary.
+// An `Atom` is a small integer handle into a process-wide intern table:
+// interning the same text always yields the same handle, so equality is one
+// integer compare and the text itself is stored exactly once.
+//
+// Thread-safety: interning takes a lock; resolving an Atom back to its text
+// is lock-free (handles are only handed out after the string is published,
+// and interned strings live — at a stable address — for the process
+// lifetime, so `name()` references never dangle).
+#ifndef MIX_CORE_ATOM_H_
+#define MIX_CORE_ATOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mix {
+
+class Atom {
+ public:
+  /// The invalid atom; `valid()` is false. Interning "" yields a *valid*
+  /// atom distinct from this.
+  constexpr Atom() = default;
+
+  /// Returns the unique atom for `text`, interning it on first use.
+  static Atom Intern(std::string_view text);
+
+  /// Number of distinct atoms interned so far (diagnostics/tests).
+  static size_t InternedCount();
+
+  bool valid() const { return id_ != 0; }
+
+  /// The interned text. Stable address for the process lifetime.
+  /// Must not be called on an invalid atom.
+  const std::string& name() const;
+
+  /// Dense handle (> 0 for valid atoms); suitable for table indexing.
+  uint32_t id() const { return id_; }
+
+  bool operator==(const Atom& other) const { return id_ == other.id_; }
+  bool operator!=(const Atom& other) const { return id_ != other.id_; }
+  bool operator<(const Atom& other) const { return id_ < other.id_; }
+
+ private:
+  explicit constexpr Atom(uint32_t id) : id_(id) {}
+
+  uint32_t id_ = 0;
+};
+
+/// Hash functor for unordered containers keyed by Atom.
+struct AtomHash {
+  size_t operator()(const Atom& a) const {
+    // Fibonacci mixing: atom ids are small and dense.
+    return static_cast<size_t>(a.id()) * 0x9e3779b97f4a7c15ULL;
+  }
+};
+
+}  // namespace mix
+
+#endif  // MIX_CORE_ATOM_H_

@@ -4,9 +4,12 @@ namespace mix {
 
 LabelPredicate LabelPredicate::Equals(std::string label) {
   std::string desc = "=" + label;
-  return LabelPredicate(
+  Atom atom = Atom::Intern(label);
+  LabelPredicate pred(
       [label = std::move(label)](const Label& l) { return l == label; },
       std::move(desc));
+  pred.equals_atom_ = atom;
+  return pred;
 }
 
 LabelPredicate LabelPredicate::Any() {
@@ -21,6 +24,15 @@ LabelPredicate LabelPredicate::Fn(std::function<bool(const Label&)> fn,
 std::optional<NodeId> Navigable::SelectSibling(const NodeId& p,
                                                const LabelPredicate& pred) {
   std::optional<NodeId> cur = Right(p);
+  if (pred.is_equality()) {
+    // Equality σ: match by interned atom — no label string copies.
+    const Atom target = pred.equals_atom();
+    while (cur.has_value()) {
+      if (FetchAtom(*cur) == target) return cur;
+      cur = Right(*cur);
+    }
+    return std::nullopt;
+  }
   while (cur.has_value()) {
     if (pred.Matches(Fetch(*cur))) return cur;
     cur = Right(*cur);
@@ -49,6 +61,12 @@ std::optional<NodeId> CountingNavigable::Right(const NodeId& p) {
 Label CountingNavigable::Fetch(const NodeId& p) {
   ++stats_->fetches;
   return inner_->Fetch(p);
+}
+
+Atom CountingNavigable::FetchAtom(const NodeId& p) {
+  // One f command, whichever form the caller asked for.
+  ++stats_->fetches;
+  return inner_->FetchAtom(p);
 }
 
 std::optional<NodeId> CountingNavigable::SelectSibling(

@@ -24,6 +24,7 @@
 #include <optional>
 #include <string>
 
+#include "core/atom.h"
 #include "core/node_id.h"
 
 namespace mix {
@@ -46,12 +47,18 @@ class LabelPredicate {
   bool Matches(const Label& label) const { return fn_(label); }
   const std::string& description() const { return description_; }
 
+  /// Equality predicates expose their interned target label, letting σ
+  /// loops match by atom compare instead of fetching label strings.
+  bool is_equality() const { return equals_atom_.valid(); }
+  Atom equals_atom() const { return equals_atom_; }
+
  private:
   LabelPredicate(std::function<bool(const Label&)> fn, std::string description)
       : fn_(std::move(fn)), description_(std::move(description)) {}
 
   std::function<bool(const Label&)> fn_;
   std::string description_;
+  Atom equals_atom_;  ///< valid iff built via Equals().
 };
 
 /// A navigable (possibly virtual) labeled ordered tree.
@@ -77,6 +84,13 @@ class Navigable {
 
   /// f: label of `p`.
   virtual Label Fetch(const NodeId& p) = 0;
+
+  /// f, interned: the label of `p` as an Atom. Semantically identical to
+  /// `Atom::Intern(Fetch(p))` (the default implementation); sources that
+  /// store interned labels override it to answer without copying or
+  /// re-hashing the label string. Hot consumers (getDescendants' NFA
+  /// lockstep, σ equality scans) match labels through this.
+  virtual Atom FetchAtom(const NodeId& p) { return Atom::Intern(Fetch(p)); }
 
   /// σ: first sibling to the right of `p` (exclusive) whose label satisfies
   /// `pred`. The default implementation loops r/f; sources that can evaluate
@@ -122,6 +136,7 @@ class CountingNavigable : public Navigable {
   std::optional<NodeId> Down(const NodeId& p) override;
   std::optional<NodeId> Right(const NodeId& p) override;
   Label Fetch(const NodeId& p) override;
+  Atom FetchAtom(const NodeId& p) override;
   std::optional<NodeId> SelectSibling(const NodeId& p,
                                       const LabelPredicate& pred) override;
   std::optional<NodeId> NthChild(const NodeId& p, int64_t index) override;

@@ -13,6 +13,25 @@
 // (variable names, hole ids), or nested NodeIds (input pointers). Ids are
 // cheaply copyable (shared representation), value-comparable, and hashable,
 // so operators can decode navigation requests without per-pointer state.
+//
+// Representation (perf-critical — every navigation across an operator
+// boundary mints or decodes ids):
+//   * tags are interned `Atom`s, so tag dispatch is an integer compare;
+//   * small arities (<= 4, which covers every id the system mints today)
+//     store their components in-situ in the shared rep — no component
+//     vector allocation;
+//   * construction is hash-consed through a bounded, thread-local intern
+//     cache (lock-free by construction): a recurring id is admitted to the
+//     cache on its second mint, and every re-mint after that returns the
+//     *same* rep — the common re-mint patterns become allocation-free and
+//     equality and container probes upgrade to a pointer compare. One-shot
+//     ids (forward scans) are never admitted, so they never evict and pay
+//     nothing beyond a probe;
+//   * rep blocks are recycled through a thread-local free-list pool, so even
+//     intern-cache misses usually avoid the general-purpose allocator.
+// The intern cache is an accelerator, not an identity guarantee: equal ids
+// built before/after an eviction, or on different threads, may hold distinct
+// reps, and operator== falls back to structural comparison in that case.
 #ifndef MIX_CORE_NODE_ID_H_
 #define MIX_CORE_NODE_ID_H_
 
@@ -21,6 +40,8 @@
 #include <string>
 #include <variant>
 #include <vector>
+
+#include "core/atom.h"
 
 namespace mix {
 
@@ -31,16 +52,31 @@ using NodeIdComponent = std::variant<int64_t, std::string, NodeId>;
 
 class NodeId {
  public:
+  /// Shared immutable representation; defined in node_id.cc. Public only so
+  /// the intern-cache machinery there can name it — not part of the API.
+  struct Rep;
+
   /// An invalid (null) id; `valid()` is false. Navigating from it is a bug.
   NodeId() = default;
 
-  /// Builds the term tag(components...).
+  /// Builds the term tag(components...), interning the tag. Prefer the
+  /// Atom overloads on hot paths (call sites cache the interned tag).
   explicit NodeId(std::string tag, std::vector<NodeIdComponent> components = {});
 
+  /// Fast-path constructors: no tag interning, no component vector.
+  explicit NodeId(Atom tag);
+  NodeId(Atom tag, NodeIdComponent c0);
+  NodeId(Atom tag, NodeIdComponent c0, NodeIdComponent c1);
+  NodeId(Atom tag, NodeIdComponent c0, NodeIdComponent c1, NodeIdComponent c2);
+  NodeId(Atom tag, NodeIdComponent c0, NodeIdComponent c1, NodeIdComponent c2,
+         NodeIdComponent c3);
+  NodeId(Atom tag, std::vector<NodeIdComponent> components);
+
   bool valid() const { return rep_ != nullptr; }
+  Atom tag_atom() const;
   const std::string& tag() const;
-  const std::vector<NodeIdComponent>& components() const;
-  size_t arity() const { return components().size(); }
+  size_t arity() const;
+  const NodeIdComponent& ComponentAt(size_t i) const;
 
   /// Typed component accessors; MIX_CHECK on type/index mismatch
   /// (a mismatch means an operator decoded a foreign id — an internal bug).
@@ -48,7 +84,10 @@ class NodeId {
   const std::string& StrAt(size_t i) const;
   const NodeId& IdAt(size_t i) const;
 
-  bool operator==(const NodeId& other) const;
+  bool operator==(const NodeId& other) const {
+    if (rep_ == other.rep_) return true;  // hash-consing fast path
+    return EqualsSlow(other);
+  }
   bool operator!=(const NodeId& other) const { return !(*this == other); }
 
   /// Structural hash (precomputed at construction).
@@ -57,12 +96,17 @@ class NodeId {
   /// Debug rendering, e.g. `b(v(doc:17),3)`.
   std::string ToString() const;
 
+  /// Identity of the shared rep — for tests/diagnostics of hash-consing
+  /// (equal ids *usually* share a rep; see header comment).
+  const void* rep_identity() const { return rep_.get(); }
+
  private:
-  struct Rep {
-    std::string tag;
-    std::vector<NodeIdComponent> components;
-    size_t hash = 0;
-  };
+  explicit NodeId(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+
+  bool EqualsSlow(const NodeId& other) const;
+
+  static std::shared_ptr<const Rep> Mint(Atom tag, NodeIdComponent* components,
+                                         size_t arity);
 
   std::shared_ptr<const Rep> rep_;
 };

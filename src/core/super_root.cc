@@ -11,6 +11,8 @@ int64_t NextInstance() {
   static std::atomic<int64_t> counter{1};
   return counter.fetch_add(1);
 }
+
+const Atom kSupTag = Atom::Intern("sup");
 }  // namespace
 
 SuperRootNavigable::SuperRootNavigable(Navigable* inner)
@@ -19,7 +21,7 @@ SuperRootNavigable::SuperRootNavigable(Navigable* inner)
 }
 
 bool SuperRootNavigable::IsSuperRoot(const NodeId& p) const {
-  return p.valid() && p.tag() == "sup" && p.arity() == 1 &&
+  return p.valid() && p.tag_atom() == kSupTag && p.arity() == 1 &&
          p.IntAt(0) == instance_;
 }
 
@@ -27,7 +29,7 @@ bool SuperRootNavigable::IsInnerRoot(const NodeId& p) const {
   return inner_root_.valid() && p == inner_root_;
 }
 
-NodeId SuperRootNavigable::Root() { return NodeId("sup", {instance_}); }
+NodeId SuperRootNavigable::Root() { return NodeId(kSupTag, instance_); }
 
 std::optional<NodeId> SuperRootNavigable::Down(const NodeId& p) {
   if (IsSuperRoot(p)) {
@@ -48,6 +50,14 @@ std::optional<NodeId> SuperRootNavigable::Right(const NodeId& p) {
 Label SuperRootNavigable::Fetch(const NodeId& p) {
   if (IsSuperRoot(p)) return "#document";
   return inner_->Fetch(p);
+}
+
+Atom SuperRootNavigable::FetchAtom(const NodeId& p) {
+  if (IsSuperRoot(p)) {
+    static const Atom kDocument = Atom::Intern("#document");
+    return kDocument;
+  }
+  return inner_->FetchAtom(p);
 }
 
 std::optional<NodeId> SuperRootNavigable::SelectSibling(

@@ -29,6 +29,7 @@ class SuperRootNavigable : public Navigable {
   std::optional<NodeId> Down(const NodeId& p) override;
   std::optional<NodeId> Right(const NodeId& p) override;
   Label Fetch(const NodeId& p) override;
+  Atom FetchAtom(const NodeId& p) override;
   std::optional<NodeId> SelectSibling(const NodeId& p,
                                       const LabelPredicate& pred) override;
   std::optional<NodeId> NthChild(const NodeId& p, int64_t index) override;

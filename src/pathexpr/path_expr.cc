@@ -14,8 +14,9 @@ int Nfa::AddState() {
 }
 
 void Nfa::AddTransition(int from, int to, bool wildcard, std::string label) {
+  Atom atom = wildcard ? Atom() : Atom::Intern(label);
   transitions_[static_cast<size_t>(from)].push_back(
-      Transition{to, wildcard, std::move(label)});
+      Transition{to, wildcard, std::move(label), atom});
 }
 
 void Nfa::AddEpsilon(int from, int to) {
@@ -46,12 +47,12 @@ Nfa::StateSet Nfa::StartSet() const {
   return set;
 }
 
-Nfa::StateSet Nfa::Advance(const StateSet& set, const std::string& label) const {
+Nfa::StateSet Nfa::Advance(const StateSet& set, Atom label) const {
   StateSet next(static_cast<size_t>(state_count()), false);
   for (int s = 0; s < state_count(); ++s) {
     if (!set[static_cast<size_t>(s)]) continue;
     for (const Transition& t : transitions_[static_cast<size_t>(s)]) {
-      if (t.wildcard || t.label == label) {
+      if (t.wildcard || t.label_atom == label) {
         next[static_cast<size_t>(t.target)] = true;
       }
     }

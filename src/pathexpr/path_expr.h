@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/atom.h"
 #include "core/status.h"
 
 namespace mix::pathexpr {
@@ -38,6 +39,7 @@ class Nfa {
     int target = 0;
     bool wildcard = false;  ///< `_` — matches any label.
     std::string label;      ///< valid when !wildcard.
+    Atom label_atom;        ///< interned `label` — the hot-loop compare key.
   };
 
   int AddState();
@@ -50,8 +52,13 @@ class Nfa {
 
   /// ε-closure of the start state.
   StateSet StartSet() const;
-  /// States reachable from `set` by consuming `label` (ε-closed).
-  StateSet Advance(const StateSet& set, const std::string& label) const;
+  /// States reachable from `set` by consuming `label` (ε-closed). The Atom
+  /// overload is the hot path (one integer compare per transition); the
+  /// string overload interns and delegates.
+  StateSet Advance(const StateSet& set, Atom label) const;
+  StateSet Advance(const StateSet& set, const std::string& label) const {
+    return Advance(set, Atom::Intern(label));
+  }
   bool AnyAccepting(const StateSet& set) const;
   /// True if any state in `set` has an outgoing (labeled) transition —
   /// i.e. the set could still consume input. Lets the matcher skip whole

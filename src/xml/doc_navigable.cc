@@ -11,6 +11,8 @@ int64_t NextInstanceId() {
   static std::atomic<int64_t> counter{1};
   return counter.fetch_add(1);
 }
+
+const Atom kSrcTag = Atom::Intern("src");
 }  // namespace
 
 DocNavigable::DocNavigable(const Document* doc)
@@ -20,11 +22,11 @@ DocNavigable::DocNavigable(const Document* doc)
 }
 
 NodeId DocNavigable::MakeId(const Node* n) const {
-  return NodeId("src", {instance_, n->index});
+  return NodeId(kSrcTag, instance_, n->index);
 }
 
 const Node* DocNavigable::Resolve(const NodeId& p) const {
-  MIX_CHECK_MSG(p.valid() && p.tag() == "src" && p.IntAt(0) == instance_,
+  MIX_CHECK_MSG(p.valid() && p.tag_atom() == kSrcTag && p.IntAt(0) == instance_,
                 "foreign node-id passed to DocNavigable");
   return doc_->NodeAt(p.IntAt(1));
 }
@@ -44,6 +46,8 @@ std::optional<NodeId> DocNavigable::Right(const NodeId& p) {
 }
 
 Label DocNavigable::Fetch(const NodeId& p) { return Resolve(p)->label; }
+
+Atom DocNavigable::FetchAtom(const NodeId& p) { return Resolve(p)->label_atom; }
 
 std::optional<NodeId> DocNavigable::NthChild(const NodeId& p, int64_t index) {
   const Node* n = Resolve(p);

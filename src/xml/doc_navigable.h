@@ -21,6 +21,8 @@ class DocNavigable : public Navigable {
   std::optional<NodeId> Down(const NodeId& p) override;
   std::optional<NodeId> Right(const NodeId& p) override;
   Label Fetch(const NodeId& p) override;
+  /// O(1): returns the atom interned at node allocation.
+  Atom FetchAtom(const NodeId& p) override;
   /// O(1) indexed child access (in-memory children vector).
   std::optional<NodeId> NthChild(const NodeId& p, int64_t index) override;
 

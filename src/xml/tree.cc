@@ -16,6 +16,7 @@ Node* Document::Alloc(NodeKind kind, std::string label) {
   Node* n = &nodes_.back();
   n->kind = kind;
   n->label = std::move(label);
+  n->label_atom = Atom::Intern(n->label);
   n->index = static_cast<int64_t>(by_index_.size());
   by_index_.push_back(n);
   return n;

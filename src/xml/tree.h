@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "core/atom.h"
+
 namespace mix::xml {
 
 /// Distinguishes character content from (possibly empty) elements. The
@@ -31,6 +33,9 @@ struct Node {
   NodeKind kind = NodeKind::kElement;
   /// Tag name for elements, character content for text nodes.
   std::string label;
+  /// `label`, interned at allocation — lets the fetch path answer the f
+  /// command without hashing or copying the label string.
+  mix::Atom label_atom;
   std::vector<Node*> children;
 
   Node* parent = nullptr;

@@ -6,6 +6,7 @@
 #include "algebra/group_by_op.h"
 #include "algebra/join_op.h"
 #include "algebra/materialize_op.h"
+#include "algebra/nav_memo.h"
 #include "algebra/source_op.h"
 #include "mediator/browsability.h"
 #include "mediator/instantiate.h"
@@ -204,6 +205,11 @@ TEST(GroupByCacheTest, SameResultsWithAndWithoutCache) {
 }
 
 TEST(GroupByCacheTest, CacheCutsScanNavigations) {
+  // Pin the per-operator navigation memo off so this ablation isolates the
+  // Fig. 10 input-enumeration cache (otherwise the upstream getDescendants
+  // memo absorbs the cache-less groupBy's re-drives and both runs tie).
+  size_t saved = DefaultNavMemoCapacity();
+  SetDefaultNavMemoCapacity(0);
   auto run = [](bool cache) {
     auto doc = testing::Doc(
         "regions[region[h[1],h[2]],region[h[3]],region[h[4],h[5]],"
@@ -216,6 +222,7 @@ TEST(GroupByCacheTest, CacheCutsScanNavigations) {
   };
   int64_t cached = run(true);
   int64_t plain = run(false);
+  SetDefaultNavMemoCapacity(saved);
   // Item scans + next_gb scans revisit the same input regions; only the
   // cache-less operator re-drives the input operator for them.
   EXPECT_LT(cached, plain);

@@ -1,0 +1,153 @@
+// Atom table and NodeId hash-consing invariants (the interning layer under
+// every navigation command).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/get_descendants_op.h"
+#include "algebra/source_op.h"
+#include "core/atom.h"
+#include "core/node_id.h"
+#include "pathexpr/path_expr.h"
+#include "test_util.h"
+#include "xml/doc_navigable.h"
+
+namespace mix {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Atom table
+// ---------------------------------------------------------------------------
+
+TEST(AtomTest, InternIsIdempotent) {
+  Atom a = Atom::Intern("home");
+  Atom b = Atom::Intern("home");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.name(), "home");
+}
+
+TEST(AtomTest, DistinctStringsGetDistinctAtoms) {
+  EXPECT_NE(Atom::Intern("zip"), Atom::Intern("zipcode"));
+  EXPECT_NE(Atom::Intern(""), Atom::Intern(" "));
+  EXPECT_EQ(Atom::Intern("").name(), "");
+}
+
+TEST(AtomTest, InvalidAtomCompares) {
+  Atom invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_NE(invalid, Atom::Intern("x"));
+}
+
+TEST(AtomTest, StableAcrossThreads) {
+  // Every thread interns the same labels (plus private noise to force
+  // concurrent table growth); all threads must agree on the handles.
+  const std::vector<std::string> shared = {"home",   "school", "zip",
+                                           "answer", "b",      "fw"};
+  constexpr int kThreads = 8;
+  std::vector<std::vector<Atom>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &shared, &results]() {
+      for (int round = 0; round < 200; ++round) {
+        Atom::Intern("noise_" + std::to_string(t) + "_" +
+                     std::to_string(round));
+        for (const std::string& s : shared) {
+          Atom a = Atom::Intern(s);
+          if (round == 199) results[t].push_back(a);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t], results[0]);
+  }
+  for (size_t i = 0; i < shared.size(); ++i) {
+    EXPECT_EQ(results[0][i].name(), shared[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NodeId hash-consing
+// ---------------------------------------------------------------------------
+
+TEST(NodeIdInterningTest, RecurringIdsShareOneRep) {
+  // The intern cache admits a key on its second mint (doorkeeper policy), so
+  // re-mints from the third one on must return the same shared rep.
+  auto mint = [] {
+    return NodeId("intern_test_b",
+                  {int64_t{400}, NodeId("intern_test_src", {int64_t{7}}),
+                   int64_t{12}});
+  };
+  NodeId first = mint();
+  NodeId second = mint();
+  NodeId third = mint();
+  NodeId fourth = mint();
+  EXPECT_EQ(third.rep_identity(), fourth.rep_identity());
+  // Structural equality holds whether or not reps are shared.
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, fourth);
+  EXPECT_EQ(first.Hash(), fourth.Hash());
+}
+
+TEST(NodeIdInterningTest, SharedRepsPreserveComponents) {
+  NodeId warm;
+  for (int i = 0; i < 3; ++i) {
+    warm = NodeId("intern_test_c", {int64_t{1}, std::string("hole_3")});
+  }
+  EXPECT_EQ(warm.tag(), "intern_test_c");
+  ASSERT_EQ(warm.arity(), 2u);
+  EXPECT_EQ(warm.IntAt(0), 1);
+  EXPECT_EQ(warm.StrAt(1), "hole_3");
+}
+
+TEST(NodeIdInterningTest, EqualityAcrossThreadsWithoutSharedReps) {
+  // The intern cache is thread-local: equal ids minted on different threads
+  // may hold distinct reps but must still compare equal (structural
+  // fallback) and hash identically.
+  NodeId local("intern_test_d", {int64_t{3}, int64_t{9}});
+  NodeId remote;
+  std::thread t([&remote]() {
+    remote = NodeId("intern_test_d", {int64_t{3}, int64_t{9}});
+  });
+  t.join();
+  EXPECT_EQ(local, remote);
+  EXPECT_EQ(local.Hash(), remote.Hash());
+}
+
+TEST(NodeIdInterningTest, UnorderedContainersSeeOneKey) {
+  std::unordered_map<NodeId, int, NodeIdHash> map;
+  for (int i = 0; i < 4; ++i) {
+    map[NodeId("intern_test_e", {int64_t{5}, int64_t{i % 2}})]++;
+  }
+  EXPECT_EQ(map.size(), 2u);
+  for (const auto& [id, count] : map) {
+    EXPECT_EQ(count, 2) << id.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Foreign-id rejection: interning must not weaken CheckOwn.
+// ---------------------------------------------------------------------------
+
+using NodeIdInterningDeathTest = ::testing::Test;
+
+TEST(NodeIdInterningDeathTest, ForeignBindingIdStillAborts) {
+  auto doc = testing::Doc("r[a[1],a[2]]");
+  xml::DocNavigable nav(doc.get());
+  algebra::SourceOp source(&nav, "R");
+  algebra::GetDescendantsOp gd(
+      &source, "R", pathexpr::PathExpr::Parse("a").ValueOrDie(), "A");
+  auto sb = source.FirstBinding();
+  ASSERT_TRUE(sb.has_value());
+  ASSERT_TRUE(gd.FirstBinding().has_value());
+  // A source-level binding handed to getDescendants is a foreign id; the
+  // operator must refuse it, shared reps or not.
+  EXPECT_DEATH(gd.NextBinding(*sb), "MIX_CHECK failed");
+}
+
+}  // namespace
+}  // namespace mix
