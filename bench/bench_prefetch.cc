@@ -49,6 +49,9 @@ void BM_PrefetchDepthSweep(benchmark::State& state) {
         static_cast<double>(demand.stats().messages);
     state.counters["background_msgs"] =
         static_cast<double>(background.stats().messages);
+    // FillMany coalescing: how many fills rode inside batch messages.
+    state.counters["background_batched_parts"] =
+        static_cast<double>(background.stats().batched_parts);
     state.counters["total_bytes"] = static_cast<double>(
         demand.stats().bytes + background.stats().bytes);
     state.counters["pages_fetched"] =

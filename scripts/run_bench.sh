@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Records the perf trajectory of the navigation hot path across PRs.
 #
-# Runs the two tracked microbenchmark suites and writes their JSON next to
+# Runs the tracked microbenchmark suites and writes their JSON next to
 # the sources as BENCH_<name>.json; commit the refreshed files alongside any
 # change that moves them. Compare two revisions by checking out each and
-# diffing the emitted JSON (real_time per benchmark).
+# diffing the emitted JSON (real_time per benchmark; for batch navigation
+# also the `messages` counter of the batched=0 vs batched=1 rows in
+# BENCH_batch_nav.json / BENCH_lxp_chunking.json / BENCH_prefetch.json —
+# the before/after message counts of the vectored fill path).
 #
 # Usage: scripts/run_bench.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -12,7 +15,8 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
-for name in node_id plan_pipeline; do
+SUITES=(node_id plan_pipeline batch_nav lxp_chunking prefetch)
+for name in "${SUITES[@]}"; do
   bin="$BUILD/bench/bench_$name"
   if [ ! -x "$bin" ]; then
     echo "missing $bin — build first: cmake -B $BUILD -S . && cmake --build $BUILD" >&2
@@ -22,4 +26,4 @@ for name in node_id plan_pipeline; do
   "$bin" --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
     > "BENCH_$name.json"
 done
-echo "wrote BENCH_node_id.json BENCH_plan_pipeline.json"
+echo "wrote: $(printf 'BENCH_%s.json ' "${SUITES[@]}")"

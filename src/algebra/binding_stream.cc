@@ -11,25 +11,49 @@ bool ValueIsList(const ValueRef& v) {
   return v.nav->Fetch(v.id) == kListLabel;
 }
 
+void BindingStream::NextBindings(const NodeId& after, int64_t limit,
+                                 std::vector<NodeId>* out) {
+  if (limit == 0) return;
+  int64_t taken = 0;
+  std::optional<NodeId> b = after.valid() ? NextBinding(after) : FirstBinding();
+  while (b.has_value()) {
+    out->push_back(*b);
+    if (limit >= 0 && ++taken >= limit) return;
+    b = NextBinding(out->back());
+  }
+}
+
 namespace {
 
-void TermInto(Navigable* nav, const NodeId& id, std::string* out) {
-  Label label = nav->Fetch(id);
-  std::optional<NodeId> child = nav->Down(id);
-  if (!child.has_value()) {
-    *out += label;
-    return;
+/// Serializes a pre-order SubtreeEntry range (one FetchSubtree batch)
+/// into term syntax — replaces the d/r/f-per-node recursion.
+void TermFromEntries(const std::vector<SubtreeEntry>& entries,
+                     std::string* out) {
+  int32_t depth = 0;
+  bool need_comma = false;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const SubtreeEntry& e = entries[i];
+    while (depth > e.depth) {
+      *out += ']';
+      --depth;
+      need_comma = true;
+    }
+    if (need_comma) *out += ',';
+    *out += e.label.name();
+    const bool has_children =
+        i + 1 < entries.size() && entries[i + 1].depth > e.depth;
+    if (has_children) {
+      *out += '[';
+      ++depth;
+      need_comma = false;
+    } else {
+      need_comma = true;
+    }
   }
-  *out += label;
-  *out += '[';
-  bool first = true;
-  while (child.has_value()) {
-    if (!first) *out += ',';
-    first = false;
-    TermInto(nav, *child, out);
-    child = nav->Right(*child);
+  while (depth > 0) {
+    *out += ']';
+    --depth;
   }
-  *out += ']';
 }
 
 /// Parses a full numeric literal; returns false on any trailing garbage.
@@ -44,8 +68,12 @@ bool ParseNumber(const std::string& s, double* out) {
 
 std::string TermOfValue(const ValueRef& v) {
   MIX_CHECK(v.valid());
+  // One vectored fetch instead of d/r/f per node: key computation and
+  // deep comparison ride the same batch path as materialization.
+  std::vector<SubtreeEntry> entries;
+  v.nav->FetchSubtree(v.id, -1, &entries);
   std::string out;
-  TermInto(v.nav, v.id, &out);
+  TermFromEntries(entries, &out);
   return out;
 }
 

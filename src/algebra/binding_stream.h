@@ -67,6 +67,15 @@ class BindingStream {
 
   /// The attribute shortcut b.X: value of `var` in binding `b`.
   virtual ValueRef Attr(const NodeId& b, const std::string& var) = 0;
+
+  /// Batched iteration: appends up to `limit` bindings following `after`
+  /// (`limit < 0`: all remaining). An invalid `after` starts from the first
+  /// binding. The default loops First/NextBinding; forward-scanning
+  /// operators override it so one batch request on their output becomes one
+  /// batch request on their input. Overrides never pull more input bindings
+  /// than the node-at-a-time loop producing the same prefix would.
+  virtual void NextBindings(const NodeId& after, int64_t limit,
+                            std::vector<NodeId>* out);
 };
 
 /// Label reserved for list values (paper: "list is a special label for

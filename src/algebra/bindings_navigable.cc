@@ -9,6 +9,8 @@ const Atom kBnBsTag = Atom::Intern("bn_bs");
 const Atom kBnBTag = Atom::Intern("bn_b");
 const Atom kBnVarTag = Atom::Intern("bn_var");
 const Atom kBnVrootTag = Atom::Intern("bn_vroot");
+const Atom kBsLabel = Atom::Intern("bs");
+const Atom kBLabel = Atom::Intern("b");
 }  // namespace
 
 // Id layout:
@@ -83,6 +85,118 @@ Label BindingsNavigable::Fetch(const NodeId& p) {
   }
   MIX_CHECK_MSG(p.tag_atom() == kBnVrootTag, "foreign id passed to BindingsNavigable");
   return space_.Fetch(p.IdAt(1));
+}
+
+void BindingsNavigable::DownAll(const NodeId& p, std::vector<NodeId>* out) {
+  if (space_.Owns(p)) {
+    space_.DownAll(p, out);
+    return;
+  }
+  MIX_CHECK(p.valid() && p.IntAt(0) == instance_);
+  if (p.tag_atom() == kBnBsTag) {
+    const size_t before = out->size();
+    stream_->NextBindings(NodeId(), -1, out);
+    for (size_t i = before; i < out->size(); ++i) {
+      (*out)[i] = NodeId(kBnBTag, instance_, (*out)[i]);
+    }
+    return;
+  }
+  if (p.tag_atom() == kBnBTag) {
+    const int64_t vars = static_cast<int64_t>(stream_->schema().size());
+    for (int64_t v = 0; v < vars; ++v) out->push_back(VarId(p.IdAt(1), v));
+    return;
+  }
+  if (p.tag_atom() == kBnVarTag) {
+    std::optional<NodeId> vroot = Down(p);
+    if (vroot.has_value()) out->push_back(*vroot);
+    return;
+  }
+  MIX_CHECK_MSG(p.tag_atom() == kBnVrootTag,
+                "foreign id passed to BindingsNavigable");
+  space_.DownAll(p.IdAt(1), out);
+}
+
+void BindingsNavigable::NextSiblings(const NodeId& p, int64_t limit,
+                                     std::vector<NodeId>* out) {
+  if (space_.Owns(p)) {
+    space_.NextSiblings(p, limit, out);
+    return;
+  }
+  MIX_CHECK(p.valid() && p.IntAt(0) == instance_);
+  if (limit == 0) return;
+  if (p.tag_atom() == kBnBTag) {
+    const size_t before = out->size();
+    stream_->NextBindings(p.IdAt(1), limit, out);
+    for (size_t i = before; i < out->size(); ++i) {
+      (*out)[i] = NodeId(kBnBTag, instance_, (*out)[i]);
+    }
+    return;
+  }
+  if (p.tag_atom() == kBnVarTag) {
+    const int64_t vars = static_cast<int64_t>(stream_->schema().size());
+    int64_t taken = 0;
+    for (int64_t v = p.IntAt(2) + 1; v < vars; ++v) {
+      out->push_back(VarId(p.IdAt(1), v));
+      if (limit >= 0 && ++taken >= limit) return;
+    }
+    return;
+  }
+  // bs root and value roots have no siblings.
+  MIX_CHECK(p.tag_atom() == kBnBsTag || p.tag_atom() == kBnVrootTag);
+}
+
+void BindingsNavigable::FetchSubtree(const NodeId& p, int64_t depth,
+                                     std::vector<SubtreeEntry>* out) {
+  if (space_.Owns(p)) {
+    space_.FetchSubtree(p, depth, out);
+    return;
+  }
+  MIX_CHECK(p.valid() && p.IntAt(0) == instance_);
+  if (p.tag_atom() == kBnVrootTag) {
+    // A value root is an alias of the wrapped value node.
+    space_.FetchSubtree(p.IdAt(1), depth, out);
+    return;
+  }
+  if (depth == 0) {
+    const bool has_children = Down(p).has_value();
+    out->push_back(SubtreeEntry{FetchAtom(p), 0, has_children,
+                                has_children ? p : NodeId()});
+    return;
+  }
+  const int64_t child_depth = depth < 0 ? -1 : depth - 1;
+  if (p.tag_atom() == kBnBsTag) {
+    out->push_back(SubtreeEntry{kBsLabel, 0, false, NodeId()});
+    std::vector<NodeId> bindings;
+    stream_->NextBindings(NodeId(), -1, &bindings);
+    for (const NodeId& ib : bindings) {
+      const size_t from = out->size();
+      FetchSubtree(NodeId(kBnBTag, instance_, ib), child_depth, out);
+      ShiftSubtreeDepths(out, from, 1);
+    }
+    return;
+  }
+  if (p.tag_atom() == kBnBTag) {
+    out->push_back(SubtreeEntry{kBLabel, 0, false, NodeId()});
+    const int64_t vars = static_cast<int64_t>(stream_->schema().size());
+    for (int64_t v = 0; v < vars; ++v) {
+      const size_t from = out->size();
+      FetchSubtree(VarId(p.IdAt(1), v), child_depth, out);
+      ShiftSubtreeDepths(out, from, 1);
+    }
+    return;
+  }
+  MIX_CHECK_MSG(p.tag_atom() == kBnVarTag,
+                "foreign id passed to BindingsNavigable");
+  out->push_back(SubtreeEntry{FetchAtom(p), 0, false, NodeId()});
+  const std::string& var = stream_->schema()[static_cast<size_t>(p.IntAt(2))];
+  ValueRef value = stream_->Attr(p.IdAt(1), var);
+  const size_t from = out->size();
+  value.nav->FetchSubtree(value.id, child_depth, out);
+  ShiftSubtreeDepths(out, from, 1);
+  for (size_t i = from; i < out->size(); ++i) {
+    SubtreeEntry& e = (*out)[i];
+    if (e.truncated) e.id = space_.Wrap(ValueRef{value.nav, e.id});
+  }
 }
 
 }  // namespace mix::algebra

@@ -24,6 +24,15 @@ class BindingsNavigable : public Navigable {
   std::optional<NodeId> Right(const NodeId& p) override;
   Label Fetch(const NodeId& p) override;
 
+  /// Vectored navigation: the binding level batches through the stream's
+  /// NextBindings, the value level through the producing Navigable — a
+  /// full-tree fetch of the bs-document is one cascade of batch calls.
+  void DownAll(const NodeId& p, std::vector<NodeId>* out) override;
+  void NextSiblings(const NodeId& p, int64_t limit,
+                    std::vector<NodeId>* out) override;
+  void FetchSubtree(const NodeId& p, int64_t depth,
+                    std::vector<SubtreeEntry>* out) override;
+
  private:
   NodeId VarId(const NodeId& b, int64_t var_index) const;
 

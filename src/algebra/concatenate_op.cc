@@ -8,6 +8,7 @@ namespace {
 const Atom kCcBTag = Atom::Intern("cc_b");
 const Atom kCcListTag = Atom::Intern("cc_list");
 const Atom kCcItemTag = Atom::Intern("cc_item");
+const Atom kCcListLabel = Atom::Intern(kListLabel);
 }  // namespace
 
 ConcatenateOp::ConcatenateOp(BindingStream* input, std::string x_var,
@@ -115,6 +116,115 @@ Label ConcatenateOp::Fetch(const NodeId& p) {
                 "foreign value id passed to concatenate");
   MIX_CHECK(p.IntAt(0) == instance_);
   return space_.Fetch(p.IdAt(3));
+}
+
+void ConcatenateOp::NextBindings(const NodeId& after, int64_t limit,
+                                 std::vector<NodeId>* out) {
+  NodeId ia;
+  if (after.valid()) {
+    CheckOwn(after, kCcBTag);
+    ia = after.IdAt(1);
+  }
+  const size_t before = out->size();
+  input_->NextBindings(ia, limit, out);
+  for (size_t i = before; i < out->size(); ++i) {
+    (*out)[i] = NodeId(kCcBTag, instance_, (*out)[i]);
+  }
+}
+
+void ConcatenateOp::DownAll(const NodeId& p, std::vector<NodeId>* out) {
+  if (space_.Owns(p)) {
+    space_.DownAll(p, out);
+    return;
+  }
+  if (p.tag_atom() == kCcListTag) {
+    MIX_CHECK(p.IntAt(0) == instance_);
+    NodeId ib = p.IdAt(1);
+    for (int side = 0; side < 2; ++side) {
+      ValueRef value = input_->Attr(ib, VarOfSide(side));
+      if (ValueIsList(value)) {
+        const size_t before = out->size();
+        value.nav->DownAll(value.id, out);
+        for (size_t i = before; i < out->size(); ++i) {
+          (*out)[i] =
+              NodeId(kCcItemTag, instance_, ib, static_cast<int64_t>(side),
+                     space_.Wrap(ValueRef{value.nav, (*out)[i]}));
+        }
+      } else {
+        out->push_back(NodeId(kCcItemTag, instance_, ib,
+                              static_cast<int64_t>(side), space_.Wrap(value)));
+      }
+    }
+    return;
+  }
+  MIX_CHECK_MSG(p.tag_atom() == kCcItemTag,
+                "foreign value id passed to concatenate");
+  MIX_CHECK(p.IntAt(0) == instance_);
+  space_.DownAll(p.IdAt(3), out);
+}
+
+void ConcatenateOp::NextSiblings(const NodeId& p, int64_t limit,
+                                 std::vector<NodeId>* out) {
+  if (space_.Owns(p)) {
+    space_.NextSiblings(p, limit, out);
+    return;
+  }
+  if (p.tag_atom() == kCcListTag) return;  // value root: no siblings
+  MIX_CHECK_MSG(p.tag_atom() == kCcItemTag,
+                "foreign value id passed to concatenate");
+  MIX_CHECK(p.IntAt(0) == instance_);
+  if (limit == 0) return;
+  NodeId ib = p.IdAt(1);
+  int side = static_cast<int>(p.IntAt(2));
+  const size_t before = out->size();
+  if (ValueIsList(input_->Attr(ib, VarOfSide(side)))) {
+    space_.NextSiblings(p.IdAt(3), limit, out);
+    for (size_t i = before; i < out->size(); ++i) {
+      (*out)[i] = NodeId(kCcItemTag, instance_, ib,
+                         static_cast<int64_t>(side), (*out)[i]);
+    }
+  }
+  int64_t taken = static_cast<int64_t>(out->size() - before);
+  if (limit >= 0 && taken >= limit) return;
+  if (side != 0) return;
+  // Side exhausted within the request: cross from x to y.
+  std::optional<NodeId> first = FirstItemOfSide(ib, 1);
+  if (!first.has_value()) return;
+  out->push_back(*first);
+  if (limit >= 0 && ++taken >= limit) return;
+  NextSiblings(out->back(), limit < 0 ? -1 : limit - taken, out);
+}
+
+void ConcatenateOp::FetchSubtree(const NodeId& p, int64_t depth,
+                                 std::vector<SubtreeEntry>* out) {
+  if (space_.Owns(p)) {
+    space_.FetchSubtree(p, depth, out);
+    return;
+  }
+  if (p.tag_atom() == kCcListTag) {
+    MIX_CHECK(p.IntAt(0) == instance_);
+    if (depth == 0) {
+      const bool has_items = Down(p).has_value();
+      out->push_back(SubtreeEntry{kCcListLabel, 0, has_items,
+                                  has_items ? p : NodeId()});
+      return;
+    }
+    out->push_back(SubtreeEntry{kCcListLabel, 0, false, NodeId()});
+    std::vector<NodeId> items;
+    DownAll(p, &items);
+    for (const NodeId& item : items) {
+      const size_t from = out->size();
+      FetchSubtree(item, depth < 0 ? -1 : depth - 1, out);
+      ShiftSubtreeDepths(out, from, 1);
+    }
+    return;
+  }
+  MIX_CHECK_MSG(p.tag_atom() == kCcItemTag,
+                "foreign value id passed to concatenate");
+  MIX_CHECK(p.IntAt(0) == instance_);
+  // Items delegate to the underlying value; a truncated root resumes via
+  // the fw-id, which this operator serves through its ValueSpace.
+  space_.FetchSubtree(p.IdAt(3), depth, out);
 }
 
 }  // namespace mix::algebra

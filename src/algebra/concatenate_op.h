@@ -32,6 +32,16 @@ class ConcatenateOp : public ConstructingOperatorBase {
   std::optional<NodeId> Right(const NodeId& p) override;
   Label Fetch(const NodeId& p) override;
 
+  /// Vectored navigation: a batch on the stitched list fans out to one
+  /// batch per underlying side, crossing from x to y inside the same call.
+  void NextBindings(const NodeId& after, int64_t limit,
+                    std::vector<NodeId>* out) override;
+  void DownAll(const NodeId& p, std::vector<NodeId>* out) override;
+  void NextSiblings(const NodeId& p, int64_t limit,
+                    std::vector<NodeId>* out) override;
+  void FetchSubtree(const NodeId& p, int64_t depth,
+                    std::vector<SubtreeEntry>* out) override;
+
  private:
   /// First item of side 0 (x) / 1 (y), or nullopt if that side is an empty
   /// list. The item id is cc_item(instance, b, side, fw) with fw the

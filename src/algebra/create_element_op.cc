@@ -89,4 +89,73 @@ Label CreateElementOp::Fetch(const NodeId& p) {
   return AtomOf(input_->Attr(p.IdAt(1), label_.text));
 }
 
+void CreateElementOp::NextBindings(const NodeId& after, int64_t limit,
+                                   std::vector<NodeId>* out) {
+  NodeId ia;
+  if (after.valid()) {
+    CheckOwn(after, kCeBTag);
+    ia = after.IdAt(1);
+  }
+  const size_t before = out->size();
+  input_->NextBindings(ia, limit, out);
+  for (size_t i = before; i < out->size(); ++i) {
+    (*out)[i] = NodeId(kCeBTag, instance_, (*out)[i]);
+  }
+}
+
+void CreateElementOp::DownAll(const NodeId& p, std::vector<NodeId>* out) {
+  if (space_.Owns(p)) {
+    space_.DownAll(p, out);
+    return;
+  }
+  MIX_CHECK_MSG(p.tag_atom() == kCeETag,
+                "foreign value id passed to createElement");
+  ValueRef ch = input_->Attr(p.IdAt(1), ch_var_);
+  const size_t before = out->size();
+  ch.nav->DownAll(ch.id, out);
+  for (size_t i = before; i < out->size(); ++i) {
+    (*out)[i] = space_.Wrap(ValueRef{ch.nav, (*out)[i]});
+  }
+}
+
+void CreateElementOp::NextSiblings(const NodeId& p, int64_t limit,
+                                   std::vector<NodeId>* out) {
+  if (space_.Owns(p)) {
+    space_.NextSiblings(p, limit, out);
+    return;
+  }
+  MIX_CHECK_MSG(p.tag_atom() == kCeETag,
+                "foreign value id passed to createElement");
+  // a synthesized element is a value root: no siblings
+}
+
+void CreateElementOp::FetchSubtree(const NodeId& p, int64_t depth,
+                                   std::vector<SubtreeEntry>* out) {
+  if (space_.Owns(p)) {
+    space_.FetchSubtree(p, depth, out);
+    return;
+  }
+  MIX_CHECK_MSG(p.tag_atom() == kCeETag,
+                "foreign value id passed to createElement");
+  if (depth == 0) {
+    ValueRef ch = input_->Attr(p.IdAt(1), ch_var_);
+    const bool has_children = ch.nav->Down(ch.id).has_value();
+    out->push_back(SubtreeEntry{FetchAtom(p), 0, has_children,
+                                has_children ? p : NodeId()});
+    return;
+  }
+  out->push_back(SubtreeEntry{FetchAtom(p), 0, false, NodeId()});
+  // The element's children are b.ch's children, at the same depths below
+  // their shared parent — fetch ch's subtree with the same cutoff and erase
+  // the ch-root entry; the descendant depths are already correct.
+  ValueRef ch = input_->Attr(p.IdAt(1), ch_var_);
+  const size_t from = out->size();
+  ch.nav->FetchSubtree(ch.id, depth, out);
+  out->erase(out->begin() + static_cast<ptrdiff_t>(from));
+  for (size_t i = from; i < out->size(); ++i) {
+    SubtreeEntry& e = (*out)[i];
+    if (e.truncated) e.id = space_.Wrap(ValueRef{ch.nav, e.id});
+  }
+}
+
 }  // namespace mix::algebra

@@ -40,6 +40,16 @@ class CreateElementOp : public ConstructingOperatorBase {
   std::optional<NodeId> Right(const NodeId& p) override;
   Label Fetch(const NodeId& p) override;
 
+  /// Vectored navigation: batch requests on the synthesized element become
+  /// one batch request on b.ch's value space.
+  void NextBindings(const NodeId& after, int64_t limit,
+                    std::vector<NodeId>* out) override;
+  void DownAll(const NodeId& p, std::vector<NodeId>* out) override;
+  void NextSiblings(const NodeId& p, int64_t limit,
+                    std::vector<NodeId>* out) override;
+  void FetchSubtree(const NodeId& p, int64_t depth,
+                    std::vector<SubtreeEntry>* out) override;
+
  private:
   BindingStream* input_;
   LabelSpec label_;

@@ -179,6 +179,24 @@ std::optional<NodeId> GetDescendantsOp::NextBinding(const NodeId& b) {
   return next;
 }
 
+void GetDescendantsOp::NextBindings(const NodeId& after, int64_t limit,
+                                    std::vector<NodeId>* out) {
+  if (limit == 0) return;
+  auto advance = [this](const NodeId& b) -> std::optional<NodeId> {
+    Cursor cursor = CursorOf(b);  // snapshot copy; the original stays valid
+    if (NextMatch(&cursor)) return StoreCursor(std::move(cursor));
+    return ScanInput(input_->NextBinding(cursor.input_b));
+  };
+  std::optional<NodeId> b =
+      after.valid() ? advance(after) : ScanInput(input_->FirstBinding());
+  int64_t taken = 0;
+  while (b.has_value()) {
+    out->push_back(*b);
+    if (limit >= 0 && ++taken >= limit) return;
+    b = advance(out->back());
+  }
+}
+
 ValueRef GetDescendantsOp::Attr(const NodeId& b, const std::string& var) {
   const Cursor& cursor = CursorOf(b);
   if (var == out_var_) {

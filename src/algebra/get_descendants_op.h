@@ -53,6 +53,12 @@ class GetDescendantsOp : public OperatorBase {
   std::optional<NodeId> FirstBinding() override;
   std::optional<NodeId> NextBinding(const NodeId& b) override;
   ValueRef Attr(const NodeId& b, const std::string& var) override;
+  /// Batched match enumeration. The NFA-lockstep DFS itself stays
+  /// node-at-a-time (a vectored child fetch would pull pruned branches the
+  /// pruning walk never touches); only the per-output memo/snapshot
+  /// bookkeeping is skipped between batch elements.
+  void NextBindings(const NodeId& after, int64_t limit,
+                    std::vector<NodeId>* out) override;
 
   const pathexpr::PathExpr& path() const { return path_; }
 

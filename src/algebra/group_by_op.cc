@@ -13,6 +13,7 @@ constexpr int64_t kEmptyGroupHandle = -1;
 const Atom kGbBTag = Atom::Intern("gb_b");
 const Atom kGbListTag = Atom::Intern("gb_list");
 const Atom kGbItemTag = Atom::Intern("gb_item");
+const Atom kGbListLabel = Atom::Intern(kListLabel);
 }  // namespace
 
 GroupByOp::GroupByOp(BindingStream* input, VarList group_vars,
@@ -277,6 +278,99 @@ Label GroupByOp::Fetch(const NodeId& p) {
   MIX_CHECK(p.IntAt(0) == instance_);
   ValueRef value = input_->Attr(p.IdAt(2), grouped_var_);
   return value.nav->Fetch(value.id);
+}
+
+void GroupByOp::DownAll(const NodeId& p, std::vector<NodeId>* out) {
+  if (space_.Owns(p)) {
+    space_.DownAll(p, out);
+    return;
+  }
+  if (p.tag_atom() == kGbListTag) {
+    MIX_CHECK(p.IntAt(0) == instance_);
+    int64_t handle = p.IntAt(1);
+    if (handle == kEmptyGroupHandle) return;
+    const GroupState& state = StateOf(handle);
+    NodeId cur = state.pg;
+    out->push_back(NodeId(kGbItemTag, instance_, handle, cur));
+    for (std::optional<NodeId> next = NextInGroup(cur, state.pg);
+         next.has_value(); next = NextInGroup(cur, state.pg)) {
+      cur = *next;
+      out->push_back(NodeId(kGbItemTag, instance_, handle, cur));
+    }
+    return;
+  }
+  MIX_CHECK_MSG(p.tag_atom() == kGbItemTag,
+                "foreign value id passed to groupBy");
+  MIX_CHECK(p.IntAt(0) == instance_);
+  ValueRef value = input_->Attr(p.IdAt(2), grouped_var_);
+  const size_t before = out->size();
+  value.nav->DownAll(value.id, out);
+  for (size_t i = before; i < out->size(); ++i) {
+    (*out)[i] = space_.Wrap(ValueRef{value.nav, (*out)[i]});
+  }
+}
+
+void GroupByOp::NextSiblings(const NodeId& p, int64_t limit,
+                             std::vector<NodeId>* out) {
+  if (space_.Owns(p)) {
+    space_.NextSiblings(p, limit, out);
+    return;
+  }
+  if (p.tag_atom() == kGbListTag) return;  // value root: no siblings
+  MIX_CHECK_MSG(p.tag_atom() == kGbItemTag,
+                "foreign value id passed to groupBy");
+  MIX_CHECK(p.IntAt(0) == instance_);
+  if (limit == 0) return;
+  int64_t handle = p.IntAt(1);
+  const GroupState& state = StateOf(handle);
+  NodeId cur = p.IdAt(2);
+  int64_t taken = 0;
+  for (std::optional<NodeId> next = NextInGroup(cur, state.pg);
+       next.has_value(); next = NextInGroup(cur, state.pg)) {
+    cur = *next;
+    out->push_back(NodeId(kGbItemTag, instance_, handle, cur));
+    if (limit >= 0 && ++taken >= limit) return;
+  }
+}
+
+void GroupByOp::FetchSubtree(const NodeId& p, int64_t depth,
+                             std::vector<SubtreeEntry>* out) {
+  if (space_.Owns(p)) {
+    space_.FetchSubtree(p, depth, out);
+    return;
+  }
+  if (p.tag_atom() == kGbListTag) {
+    MIX_CHECK(p.IntAt(0) == instance_);
+    int64_t handle = p.IntAt(1);
+    const bool has_items = handle != kEmptyGroupHandle;
+    if (depth == 0) {
+      out->push_back(SubtreeEntry{kGbListLabel, 0, has_items,
+                                  has_items ? p : NodeId()});
+      return;
+    }
+    out->push_back(SubtreeEntry{kGbListLabel, 0, false, NodeId()});
+    if (!has_items) return;
+    std::vector<NodeId> items;
+    DownAll(p, &items);
+    for (const NodeId& item : items) {
+      const size_t from = out->size();
+      FetchSubtree(item, depth < 0 ? -1 : depth - 1, out);
+      ShiftSubtreeDepths(out, from, 1);
+    }
+    return;
+  }
+  MIX_CHECK_MSG(p.tag_atom() == kGbItemTag,
+                "foreign value id passed to groupBy");
+  MIX_CHECK(p.IntAt(0) == instance_);
+  // A grouped item is an alias of the underlying value: same label, same
+  // children. Forward the whole fetch, rewrapping only truncated resume ids.
+  ValueRef value = input_->Attr(p.IdAt(2), grouped_var_);
+  const size_t from = out->size();
+  value.nav->FetchSubtree(value.id, depth, out);
+  for (size_t i = from; i < out->size(); ++i) {
+    SubtreeEntry& e = (*out)[i];
+    if (e.truncated) e.id = space_.Wrap(ValueRef{value.nav, e.id});
+  }
 }
 
 }  // namespace mix::algebra

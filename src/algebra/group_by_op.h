@@ -68,6 +68,14 @@ class GroupByOp : public ConstructingOperatorBase {
   std::optional<NodeId> Right(const NodeId& p) override;
   Label Fetch(const NodeId& p) override;
 
+  /// Vectored navigation: a batch on the synthesized list enumerates the
+  /// whole group in one next-in-group scan, without per-item memo traffic.
+  void DownAll(const NodeId& p, std::vector<NodeId>* out) override;
+  void NextSiblings(const NodeId& p, int64_t limit,
+                    std::vector<NodeId>* out) override;
+  void FetchSubtree(const NodeId& p, int64_t depth,
+                    std::vector<SubtreeEntry>* out) override;
+
   /// Input bindings enumerated (and memoized) so far — observability for
   /// the cache-ablation benchmarks.
   int64_t input_enumerated() const {

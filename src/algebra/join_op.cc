@@ -99,12 +99,25 @@ const JoinOp::InnerEntry* JoinOp::Inner(size_t i) {
   return &inner_cache_[i];
 }
 
+void JoinOp::DrainInner() {
+  if (inner_exhausted_) return;
+  const std::string& inner_var =
+      left_has_left_var_ ? predicate_.right_var() : predicate_.left_var();
+  std::vector<NodeId> rbs;
+  right_->NextBindings(
+      inner_cache_.empty() ? NodeId() : inner_cache_.back().rb, -1, &rbs);
+  inner_cache_.reserve(inner_cache_.size() + rbs.size());
+  for (const NodeId& rb : rbs) {
+    inner_cache_.push_back({rb, AtomOf(right_->Attr(rb, inner_var))});
+  }
+  inner_exhausted_ = true;
+}
+
 void JoinOp::EnsureIndex() {
   if (index_built_) return;
   index_built_ = true;
-  // Eager step: drain the inner stream completely...
-  for (size_t i = 0; Inner(i) != nullptr; ++i) {
-  }
+  // Eager step: drain the inner stream completely (one batched pull)...
+  DrainInner();
   // ...and index it by atom. Positions are appended in ascending order.
   for (size_t i = 0; i < inner_cache_.size(); ++i) {
     inner_index_[NormalizeAtomKey(inner_cache_[i].atom)].push_back(i);
@@ -183,6 +196,25 @@ std::optional<NodeId> JoinOp::NextBinding(const NodeId& b) {
     memo_.Insert(NavMemo::Command::kNextBinding, b, next);
   }
   return next;
+}
+
+void JoinOp::NextBindings(const NodeId& after, int64_t limit,
+                          std::vector<NodeId>* out) {
+  if (limit == 0) return;
+  std::optional<NodeId> b;
+  if (after.valid()) {
+    CheckOwn(after, kJnBTag);
+    b = Scan(after.IdAt(1), static_cast<size_t>(after.IntAt(2)) + 1);
+  } else {
+    b = Scan(left_->FirstBinding(), 0);
+  }
+  int64_t taken = 0;
+  while (b.has_value()) {
+    out->push_back(*b);
+    if (limit >= 0 && ++taken >= limit) return;
+    const NodeId& cur = out->back();
+    b = Scan(cur.IdAt(1), static_cast<size_t>(cur.IntAt(2)) + 1);
+  }
 }
 
 ValueRef JoinOp::Attr(const NodeId& b, const std::string& var) {

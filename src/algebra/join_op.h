@@ -47,6 +47,10 @@ class JoinOp : public OperatorBase {
   std::optional<NodeId> FirstBinding() override;
   std::optional<NodeId> NextBinding(const NodeId& b) override;
   ValueRef Attr(const NodeId& b, const std::string& var) override;
+  /// Batched scan: same outer/inner walk as the node-at-a-time path but
+  /// without per-step memo traffic for intermediate results.
+  void NextBindings(const NodeId& after, int64_t limit,
+                    std::vector<NodeId>* out) override;
 
  private:
   struct InnerEntry {
@@ -59,6 +63,9 @@ class JoinOp : public OperatorBase {
   const InnerEntry* Inner(size_t i);
   /// First match at or after (lb, inner index ri).
   std::optional<NodeId> Scan(std::optional<NodeId> lb, size_t ri);
+  /// Drains the remaining inner stream into the cache with one batched
+  /// NextBindings pull (the eager step consumes the whole inner anyway).
+  void DrainInner();
   /// Eagerly drains + indexes the inner cache (Options::index_inner).
   void EnsureIndex();
   /// Smallest indexed inner position >= `from` whose atom equals `atom`.

@@ -13,9 +13,22 @@ MaterializeOp::MaterializeOp(BindingStream* input) : input_(input) {
 void MaterializeOp::Ensure() {
   if (materialized_) return;
   materialized_ = true;
-  for (std::optional<NodeId> ib = input_->FirstBinding(); ib.has_value();
-       ib = input_->NextBinding(*ib)) {
-    bindings_.push_back(*ib);
+  input_->NextBindings(NodeId(), -1, &bindings_);
+}
+
+void MaterializeOp::NextBindings(const NodeId& after, int64_t limit,
+                                 std::vector<NodeId>* out) {
+  if (limit == 0) return;
+  Ensure();
+  int64_t from = 0;
+  if (after.valid()) {
+    CheckOwn(after, kMzBTag);
+    from = after.IntAt(1) + 1;
+  }
+  int64_t end = static_cast<int64_t>(bindings_.size());
+  if (limit >= 0 && from + limit < end) end = from + limit;
+  for (int64_t i = from; i < end; ++i) {
+    out->push_back(NodeId(kMzBTag, instance_, i));
   }
 }
 

@@ -28,6 +28,10 @@ class MaterializeOp : public OperatorBase {
   std::optional<NodeId> FirstBinding() override;
   std::optional<NodeId> NextBinding(const NodeId& b) override;
   ValueRef Attr(const NodeId& b, const std::string& var) override;
+  /// After the eager drain (itself one batched input pull), batched
+  /// iteration is a plain index-range emit.
+  void NextBindings(const NodeId& after, int64_t limit,
+                    std::vector<NodeId>* out) override;
 
   /// Whether the eager drain has run (observability for tests/benches).
   bool materialized() const { return materialized_; }

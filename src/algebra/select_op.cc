@@ -38,4 +38,29 @@ ValueRef SelectOp::Attr(const NodeId& b, const std::string& var) {
   return input_->Attr(Unwrap(b), var);
 }
 
+void SelectOp::NextBindings(const NodeId& after, int64_t limit,
+                            std::vector<NodeId>* out) {
+  if (limit == 0) return;
+  // Pull chunks of exactly `limit - taken` inputs: every emitted output
+  // consumes at least one input, so a node-at-a-time scan for the same
+  // prefix would have consumed at least as many input bindings.
+  constexpr int64_t kUnboundedChunk = 64;
+  NodeId cursor = after.valid() ? Unwrap(after) : NodeId();
+  int64_t taken = 0;
+  std::vector<NodeId> batch;
+  for (;;) {
+    int64_t want = limit < 0 ? kUnboundedChunk : limit - taken;
+    batch.clear();
+    input_->NextBindings(cursor, want, &batch);
+    if (batch.empty()) return;
+    for (const NodeId& ib : batch) {
+      if (predicate_.Eval(input_, ib)) {
+        out->push_back(NodeId(kSelBTag, instance_, ib));
+        if (limit >= 0 && ++taken >= limit) return;
+      }
+    }
+    cursor = batch.back();
+  }
+}
+
 }  // namespace mix::algebra

@@ -22,6 +22,11 @@ class SelectOp : public OperatorBase {
   std::optional<NodeId> FirstBinding() override;
   std::optional<NodeId> NextBinding(const NodeId& b) override;
   ValueRef Attr(const NodeId& b, const std::string& var) override;
+  /// Batched scan: pulls input bindings in chunks of exactly the number of
+  /// outputs still needed, so it never consumes more input than the
+  /// node-at-a-time scan producing the same prefix.
+  void NextBindings(const NodeId& after, int64_t limit,
+                    std::vector<NodeId>* out) override;
 
   const BindingPredicate& predicate() const { return predicate_; }
 

@@ -20,6 +20,12 @@ std::optional<NodeId> SourceOp::NextBinding(const NodeId& b) {
   return std::nullopt;
 }
 
+void SourceOp::NextBindings(const NodeId& after, int64_t limit,
+                            std::vector<NodeId>* out) {
+  if (after.valid() || limit == 0) return;
+  out->push_back(NodeId(kSrcBTag, instance_));
+}
+
 ValueRef SourceOp::Attr(const NodeId& b, const std::string& var) {
   CheckOwn(b, kSrcBTag);
   MIX_CHECK_MSG(var == schema_[0], "unknown variable requested from source");

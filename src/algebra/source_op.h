@@ -21,6 +21,8 @@ class SourceOp : public OperatorBase {
   std::optional<NodeId> FirstBinding() override;
   std::optional<NodeId> NextBinding(const NodeId& b) override;
   ValueRef Attr(const NodeId& b, const std::string& var) override;
+  void NextBindings(const NodeId& after, int64_t limit,
+                    std::vector<NodeId>* out) override;
 
  private:
   Navigable* source_;

@@ -66,4 +66,38 @@ Label TupleDestroyOp::Fetch(const NodeId& p) {
   return space_.Fetch(p);
 }
 
+void TupleDestroyOp::DownAll(const NodeId& p, std::vector<NodeId>* out) {
+  if (!IsRoot(p)) {
+    space_.DownAll(p, out);
+    return;
+  }
+  const ValueRef& value = Resolve();
+  const size_t before = out->size();
+  value.nav->DownAll(value.id, out);
+  for (size_t i = before; i < out->size(); ++i) {
+    (*out)[i] = space_.Wrap(ValueRef{value.nav, (*out)[i]});
+  }
+}
+
+void TupleDestroyOp::NextSiblings(const NodeId& p, int64_t limit,
+                                  std::vector<NodeId>* out) {
+  if (IsRoot(p)) return;  // document roots have no siblings
+  space_.NextSiblings(p, limit, out);
+}
+
+void TupleDestroyOp::FetchSubtree(const NodeId& p, int64_t depth,
+                                  std::vector<SubtreeEntry>* out) {
+  if (!IsRoot(p)) {
+    space_.FetchSubtree(p, depth, out);
+    return;
+  }
+  const ValueRef& value = Resolve();
+  const size_t from = out->size();
+  value.nav->FetchSubtree(value.id, depth, out);
+  for (size_t i = from; i < out->size(); ++i) {
+    SubtreeEntry& e = (*out)[i];
+    if (e.truncated) e.id = space_.Wrap(ValueRef{value.nav, e.id});
+  }
+}
+
 }  // namespace mix::algebra

@@ -28,6 +28,15 @@ class TupleDestroyOp : public Navigable {
   std::optional<NodeId> Right(const NodeId& p) override;
   Label Fetch(const NodeId& p) override;
 
+  /// Vectored navigation: a full-depth FetchSubtree on the plan root is ONE
+  /// call cascading through the whole operator tree — the entire answer
+  /// document arrives without minting a single pass-through id.
+  void DownAll(const NodeId& p, std::vector<NodeId>* out) override;
+  void NextSiblings(const NodeId& p, int64_t limit,
+                    std::vector<NodeId>* out) override;
+  void FetchSubtree(const NodeId& p, int64_t depth,
+                    std::vector<SubtreeEntry>* out) override;
+
  private:
   /// Resolves (and caches) the root value from the input's first binding.
   const ValueRef& Resolve();

@@ -73,4 +73,34 @@ Atom ValueSpace::FetchAtom(const NodeId& id) {
   return ref.nav->FetchAtom(ref.id);
 }
 
+void ValueSpace::DownAll(const NodeId& id, std::vector<NodeId>* out) {
+  ValueRef ref = Unwrap(id);
+  const size_t before = out->size();
+  ref.nav->DownAll(ref.id, out);
+  for (size_t i = before; i < out->size(); ++i) {
+    (*out)[i] = Wrap(ValueRef{ref.nav, (*out)[i]});
+  }
+}
+
+void ValueSpace::NextSiblings(const NodeId& id, int64_t limit,
+                              std::vector<NodeId>* out) {
+  ValueRef ref = Unwrap(id);
+  const size_t before = out->size();
+  ref.nav->NextSiblings(ref.id, limit, out);
+  for (size_t i = before; i < out->size(); ++i) {
+    (*out)[i] = Wrap(ValueRef{ref.nav, (*out)[i]});
+  }
+}
+
+void ValueSpace::FetchSubtree(const NodeId& id, int64_t depth,
+                              std::vector<SubtreeEntry>* out) {
+  ValueRef ref = Unwrap(id);
+  const size_t before = out->size();
+  ref.nav->FetchSubtree(ref.id, depth, out);
+  for (size_t i = before; i < out->size(); ++i) {
+    SubtreeEntry& e = (*out)[i];
+    if (e.truncated) e.id = Wrap(ValueRef{ref.nav, e.id});
+  }
+}
+
 }  // namespace mix::algebra

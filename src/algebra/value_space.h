@@ -40,6 +40,14 @@ class ValueSpace {
   Label Fetch(const NodeId& id);
   Atom FetchAtom(const NodeId& id);
 
+  /// Vectored forwarding: one batch call on the inner Navigable, results
+  /// rewrapped in place. FetchSubtree rewraps only truncated resume ids —
+  /// a full-depth fetch through a pass-through stack mints no ids at all.
+  void DownAll(const NodeId& id, std::vector<NodeId>* out);
+  void NextSiblings(const NodeId& id, int64_t limit, std::vector<NodeId>* out);
+  void FetchSubtree(const NodeId& id, int64_t depth,
+                    std::vector<SubtreeEntry>* out);
+
  private:
   struct WrapEntry {
     Navigable* nav = nullptr;

@@ -1,5 +1,6 @@
 #include "buffer/buffer.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "core/check.h"
@@ -100,6 +101,55 @@ void BufferComponent::FillHole(BNode* hole, bool background) {
   Splice(hole, fragments);
 }
 
+void BufferComponent::FillHolesBatch(const std::vector<BNode*>& holes,
+                                     const FillBudget& budget,
+                                     bool background) {
+  if (holes.empty()) return;
+  std::vector<std::string> ids;
+  ids.reserve(holes.size());
+  int64_t request_bytes = 16;
+  for (BNode* h : holes) {
+    MIX_CHECK(h->is_hole);
+    request_bytes += static_cast<int64_t>(h->hole_id.size());
+    ids.push_back(h->hole_id);
+  }
+  HoleFillList fills = wrapper_->FillMany(ids, budget);
+  MIX_CHECK_MSG(fills.size() >= ids.size(),
+                "FillMany returned fewer entries than requested holes");
+  fill_count_ += static_cast<int64_t>(fills.size());
+  if (!background) demand_fill_in_command_ = true;
+  net::Channel* channel =
+      background ? options_.prefetch_channel : options_.channel;
+  if (channel != nullptr) {
+    channel->SendBatch(request_bytes, static_cast<int64_t>(ids.size()));
+    channel->SendBatch(HoleFillListByteSize(fills),
+                       static_cast<int64_t>(fills.size()));
+  }
+  for (const HoleFill& f : fills) {
+    // Continuation entries refer to holes introduced by earlier splices in
+    // this same batch, so resolving in response order always succeeds.
+    auto it = hole_by_id_.find(f.hole_id);
+    MIX_CHECK_MSG(it != hole_by_id_.end(),
+                  "FillMany filled an unknown or already-filled hole");
+    BNode* hole = by_index_[static_cast<size_t>(it->second)];
+    MIX_CHECK(hole->is_hole);
+    Splice(hole, f.fragments);
+  }
+}
+
+void BufferComponent::CompleteChildList(BNode* parent) {
+  // One round for the chasing wrappers; non-chasing (default FillMany)
+  // wrappers converge by the progress conditions, one level per round.
+  for (;;) {
+    std::vector<BNode*> holes;
+    for (BNode* c : parent->children) {
+      if (c->is_hole) holes.push_back(c);
+    }
+    if (holes.empty()) return;
+    FillHolesBatch(holes, FillBudget{}, /*background=*/false);
+  }
+}
+
 void BufferComponent::Splice(BNode* hole, const FragmentList& fragments) {
   CheckProgress(fragments);
   BNode* parent = hole->parent;
@@ -152,18 +202,28 @@ BufferComponent::BNode* BufferComponent::ChaseFirst(BNode* parent, size_t pos) {
 
 void BufferComponent::Prefetch(bool had_demand_fill) {
   if (options_.prefetch_on_miss_only && !had_demand_fill) return;
-  for (int i = 0; i < options_.prefetch_per_command; ++i) {
-    BNode* hole = nullptr;
-    while (!hole_queue_.empty()) {
+  if (options_.prefetch_per_command <= 0) return;
+  // Coalesce the run-ahead: draw up to prefetch_per_command outstanding
+  // holes from the FIFO and fill them in one exchange, letting the wrapper
+  // spend the remaining fill budget chasing continuation holes — the same
+  // fills the one-at-a-time loop performed, in 2 messages instead of 2k.
+  // Wrappers that do not chase (default FillMany) converge over rounds.
+  int64_t fills_done = 0;
+  while (fills_done < options_.prefetch_per_command) {
+    std::vector<BNode*> holes;
+    while (static_cast<int64_t>(holes.size()) <
+               options_.prefetch_per_command - fills_done &&
+           !hole_queue_.empty()) {
       BNode* candidate = by_index_[static_cast<size_t>(hole_queue_.front())];
       hole_queue_.pop_front();
-      if (candidate->is_hole) {
-        hole = candidate;
-        break;
-      }
+      if (candidate->is_hole) holes.push_back(candidate);
     }
-    if (hole == nullptr) return;
-    FillHole(hole, /*background=*/true);
+    if (holes.empty()) return;
+    const int64_t before = fill_count_;
+    FillHolesBatch(holes,
+                   FillBudget{-1, options_.prefetch_per_command - fills_done},
+                   /*background=*/true);
+    fills_done += fill_count_ - before;
   }
 }
 
@@ -239,6 +299,82 @@ Atom BufferComponent::FetchAtom(const NodeId& p) {
   BNode* n = Resolve(p);
   MIX_CHECK(!n->is_hole);
   return n->label_atom;
+}
+
+void BufferComponent::DownAll(const NodeId& p, std::vector<NodeId>* out) {
+  demand_fill_in_command_ = false;
+  BNode* n = Resolve(p);
+  MIX_CHECK(!n->is_hole);
+  CompleteChildList(n);
+  out->reserve(out->size() + n->children.size());
+  for (const BNode* c : n->children) out->push_back(MakeId(c));
+  Prefetch(demand_fill_in_command_);
+}
+
+void BufferComponent::NextSiblings(const NodeId& p, int64_t limit,
+                                   std::vector<NodeId>* out) {
+  if (limit == 0) return;
+  demand_fill_in_command_ = false;
+  BNode* n = Resolve(p);
+  MIX_CHECK(n->parent != nullptr);
+  BNode* parent = n->parent;
+  size_t pos = static_cast<size_t>(n->pos) + 1;
+  int64_t taken = 0;
+  while (pos < parent->children.size() && (limit < 0 || taken < limit)) {
+    BNode* s = parent->children[pos];
+    if (s->is_hole) {
+      FillBudget budget;  // default: refine completely
+      if (limit >= 0) {
+        // Ask only for the elements still missing: siblings already
+        // buffered beyond the hole count against the limit too, so the
+        // batched page ships no more bytes than the one-fill-at-a-time
+        // walk would have.
+        int64_t buffered_after = 0;
+        for (size_t i = pos + 1; i < parent->children.size(); ++i) {
+          if (!parent->children[i]->is_hole) ++buffered_after;
+        }
+        budget.elements = std::max<int64_t>(limit - taken - buffered_after, 0);
+      }
+      FillHolesBatch({s}, budget, /*background=*/false);
+      continue;  // the list changed in place; re-examine the same position
+    }
+    out->push_back(MakeId(s));
+    ++taken;
+    ++pos;
+  }
+  Prefetch(demand_fill_in_command_);
+}
+
+void BufferComponent::FetchSubtreeOf(BNode* n, int32_t depth_here,
+                                     int64_t depth_limit,
+                                     std::vector<SubtreeEntry>* out) {
+  const size_t slot = out->size();
+  out->push_back(SubtreeEntry{n->label_atom, depth_here, false, NodeId()});
+  if (depth_limit >= 0 && depth_here >= depth_limit) {
+    // Probe exactly like a node-at-a-time d at the cutoff would: resolve
+    // leading holes until the first element (or an empty list) is known.
+    if (ChaseFirst(n, 0) != nullptr) {
+      (*out)[slot].truncated = true;
+      (*out)[slot].id = MakeId(n);
+    }
+    return;
+  }
+  CompleteChildList(n);
+  // Snapshot: CompleteChildList on a descendant cannot reallocate this
+  // vector (the list is already hole-free), but keep indices, not
+  // iterators, for clarity.
+  for (size_t i = 0; i < n->children.size(); ++i) {
+    FetchSubtreeOf(n->children[i], depth_here + 1, depth_limit, out);
+  }
+}
+
+void BufferComponent::FetchSubtree(const NodeId& p, int64_t depth,
+                                   std::vector<SubtreeEntry>* out) {
+  demand_fill_in_command_ = false;
+  BNode* n = Resolve(p);
+  MIX_CHECK(!n->is_hole);
+  FetchSubtreeOf(n, 0, depth, out);
+  Prefetch(demand_fill_in_command_);
 }
 
 std::string BufferComponent::TermOf(const BNode* n) const {

@@ -60,6 +60,16 @@ class BufferComponent : public Navigable {
   /// O(1): returns the atom interned when the fragment was grafted.
   Atom FetchAtom(const NodeId& p) override;
 
+  /// Vectored commands: outstanding holes on the traversed lists are
+  /// coalesced into FillMany batches, so completing a child list (or a
+  /// sibling page, or a whole subtree) costs one request/response exchange
+  /// on the demand channel instead of one per hole.
+  void DownAll(const NodeId& p, std::vector<NodeId>* out) override;
+  void NextSiblings(const NodeId& p, int64_t limit,
+                    std::vector<NodeId>* out) override;
+  void FetchSubtree(const NodeId& p, int64_t depth,
+                    std::vector<SubtreeEntry>* out) override;
+
   /// Wrapper-initiated (push) fill — the asynchronous LXP variant of
   /// Section 4: "the wrapper can prefetch data from the source and fill
   /// in previously left open holes at the buffer". Splices `fragments`
@@ -101,6 +111,16 @@ class BufferComponent : public Navigable {
   /// Issues fill() for `hole`, splices the result into the parent list, and
   /// renumbers sibling positions. `background` selects the charge channel.
   void FillHole(BNode* hole, bool background);
+  /// Issues one FillMany exchange for `holes` (all outstanding) under
+  /// `budget` and splices every returned entry. Charged as ONE request and
+  /// ONE response message, whatever the batch size.
+  void FillHolesBatch(const std::vector<BNode*>& holes,
+                      const FillBudget& budget, bool background);
+  /// Batch-fills until `parent`'s child list contains no holes.
+  void CompleteChildList(BNode* parent);
+  /// Pre-order emit of `n`'s subtree, completing child lists as it goes.
+  void FetchSubtreeOf(BNode* n, int32_t depth_here, int64_t depth_limit,
+                      std::vector<SubtreeEntry>* out);
   /// First element at or after `pos` in `parent`'s list, filling holes as
   /// needed (Fig. 8 chase_first). nullptr if the list is exhausted.
   BNode* ChaseFirst(BNode* parent, size_t pos);

@@ -1,5 +1,8 @@
 #include "buffer/lxp.h"
 
+#include <deque>
+#include <utility>
+
 #include "core/check.h"
 
 namespace mix::buffer {
@@ -65,6 +68,54 @@ int64_t FragmentListByteSize(const FragmentList& list) {
   int64_t n = 0;
   for (const Fragment& f : list) n += f.ByteSize();
   return n;
+}
+
+int64_t HoleFillListByteSize(const HoleFillList& fills) {
+  int64_t n = 0;
+  for (const HoleFill& f : fills) {
+    // Per-entry framing: the echoed hole id plus its fragment list.
+    n += 8 + static_cast<int64_t>(f.hole_id.size()) +
+         FragmentListByteSize(f.fragments);
+  }
+  return n;
+}
+
+HoleFillList LxpWrapper::FillMany(const std::vector<std::string>& holes,
+                                  const FillBudget& budget) {
+  (void)budget;
+  HoleFillList out;
+  out.reserve(holes.size());
+  for (const std::string& id : holes) out.push_back(HoleFill{id, Fill(id)});
+  return out;
+}
+
+HoleFillList LxpWrapper::ChaseFills(const std::vector<std::string>& holes,
+                                    const FillBudget& budget) {
+  HoleFillList out;
+  std::deque<std::string> pending;
+  int64_t elements = 0;
+  int64_t fills = 0;
+  auto serve = [&](std::string id) {
+    FragmentList list = Fill(id);
+    ++fills;
+    for (const Fragment& f : list) {
+      if (f.is_hole) {
+        pending.push_back(f.hole_id);
+      } else {
+        ++elements;
+      }
+    }
+    out.push_back(HoleFill{std::move(id), std::move(list)});
+  };
+  for (const std::string& id : holes) serve(id);
+  while (!pending.empty() &&
+         (budget.elements < 0 || elements < budget.elements) &&
+         (budget.fills < 0 || fills < budget.fills)) {
+    std::string next = std::move(pending.front());
+    pending.pop_front();
+    serve(next);
+  }
+  return out;
 }
 
 std::string ScriptedLxpWrapper::GetRoot(const std::string& uri) {

@@ -54,6 +54,34 @@ using FragmentList = std::vector<Fragment>;
 
 int64_t FragmentListByteSize(const FragmentList& list);
 
+/// One element of a batched fill response (`LxpWrapper::FillMany`): the
+/// refined hole and its fragment list. Each list obeys the same progress
+/// conditions as a single fill.
+struct HoleFill {
+  std::string hole_id;
+  FragmentList fragments;
+};
+
+using HoleFillList = std::vector<HoleFill>;
+
+int64_t HoleFillListByteSize(const HoleFillList& fills);
+
+/// Bounds on how far a batched fill may run ahead of the requested holes.
+/// Negative values mean unbounded. `{}` (both unbounded) asks the wrapper to
+/// refine the requested holes *completely* — chase every continuation hole
+/// its own responses introduce at the top level, leaving the affected
+/// sibling lists hole-free.
+struct FillBudget {
+  /// Stop chasing once this many top-level (non-hole) fragments have been
+  /// emitted across the whole batch — demand paging: "I need k more
+  /// siblings, stop as soon as you have shipped them".
+  int64_t elements = -1;
+  /// Stop chasing once this many fills have been performed (the requested
+  /// holes always count, and are always all served) — speculation depth:
+  /// "run at most k fills ahead", the prefetcher's budget.
+  int64_t fills = -1;
+};
+
 /// The LXP server role, implemented by every wrapper.
 ///
 /// Contract (paper Section 4): all ids handed out via GetRoot/embedded holes
@@ -69,6 +97,29 @@ class LxpWrapper {
 
   /// fill: refines the hole into a fragment list.
   virtual FragmentList Fill(const std::string& hole_id) = 0;
+
+  /// fill_many: coalesced fills — one request/response exchange refining
+  /// several holes. Returns one entry per requested hole (in request
+  /// order), each satisfying the single-fill contract; within `budget` the
+  /// wrapper may append further entries for *top-level* continuation holes
+  /// its own responses introduced, so a k-step hole chase costs one
+  /// exchange instead of k. Entries are ordered so that each filled hole
+  /// already exists once the entries before it are spliced.
+  ///
+  /// The default implementation loops Fill() over the requested holes and
+  /// never chases (safe for any wrapper, including scripted ones).
+  virtual HoleFillList FillMany(const std::vector<std::string>& holes,
+                                const FillBudget& budget);
+
+ protected:
+  /// Budgeted chasing loop shared by the concrete wrappers: serves each
+  /// requested hole via Fill(), then keeps filling top-level holes
+  /// introduced by its own responses (FIFO) while the budget allows.
+  /// Nested holes (unexplored children) are never chased — they do not
+  /// block the sibling lists the caller is completing, and filling them
+  /// would ship bytes the client never asked for.
+  HoleFillList ChaseFills(const std::vector<std::string>& holes,
+                          const FillBudget& budget);
 };
 
 /// Scripted wrapper for tests: replays a fixed hole-id → fragment-list map

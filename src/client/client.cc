@@ -32,10 +32,22 @@ XmlElement XmlElement::SelectSibling(const std::string& name) const {
 }
 
 std::vector<XmlElement> XmlElement::Children() const {
+  MIX_CHECK_MSG(!IsNull(), "Children() on a null element");
+  std::vector<NodeId> ids;
+  nav_->DownAll(id_, &ids);
   std::vector<XmlElement> out;
-  for (XmlElement c = FirstChild(); !c.IsNull(); c = c.NextSibling()) {
-    out.push_back(c);
-  }
+  out.reserve(ids.size());
+  for (NodeId& id : ids) out.push_back(XmlElement(nav_, std::move(id)));
+  return out;
+}
+
+std::vector<XmlElement> XmlElement::FollowingSiblings(int64_t limit) const {
+  MIX_CHECK_MSG(!IsNull(), "FollowingSiblings() on a null element");
+  std::vector<NodeId> ids;
+  nav_->NextSiblings(id_, limit, &ids);
+  std::vector<XmlElement> out;
+  out.reserve(ids.size());
+  for (NodeId& id : ids) out.push_back(XmlElement(nav_, std::move(id)));
   return out;
 }
 

@@ -40,8 +40,13 @@ class XmlElement {
 
   // --- conveniences layered on the three primitives ---
 
-  /// All children (fully explores one level).
+  /// All children, via one vectored DownAll (one request/response pair on a
+  /// demand-paged buffer instead of one per child).
   std::vector<XmlElement> Children() const;
+
+  /// Up to `limit` following siblings (`limit < 0`: all), via one vectored
+  /// NextSiblings — the result-paging call of a browsing client.
+  std::vector<XmlElement> FollowingSiblings(int64_t limit) const;
 
   /// First child named `name`, or null.
   XmlElement Child(const std::string& name) const;

@@ -48,6 +48,59 @@ std::optional<NodeId> Navigable::NthChild(const NodeId& p, int64_t index) {
   return cur;
 }
 
+void ShiftSubtreeDepths(std::vector<SubtreeEntry>* out, size_t from,
+                        int32_t delta) {
+  for (size_t i = from; i < out->size(); ++i) (*out)[i].depth += delta;
+}
+
+void Navigable::DownAll(const NodeId& p, std::vector<NodeId>* out) {
+  std::optional<NodeId> cur = Down(p);
+  while (cur.has_value()) {
+    out->push_back(*cur);
+    cur = Right(out->back());
+  }
+}
+
+void Navigable::NextSiblings(const NodeId& p, int64_t limit,
+                             std::vector<NodeId>* out) {
+  if (limit == 0) return;
+  int64_t taken = 0;
+  std::optional<NodeId> cur = Right(p);
+  while (cur.has_value()) {
+    out->push_back(*cur);
+    if (limit >= 0 && ++taken >= limit) return;
+    cur = Right(out->back());
+  }
+}
+
+namespace {
+/// Default pre-order walk. Routes child enumeration through the *virtual*
+/// DownAll, so a source that only overrides DownAll still answers subtree
+/// fetches with batched child lists.
+void FetchSubtreeWalk(Navigable* nav, const NodeId& p, int32_t depth_here,
+                      int64_t depth_limit, std::vector<SubtreeEntry>* out) {
+  const size_t slot = out->size();
+  out->push_back(SubtreeEntry{nav->FetchAtom(p), depth_here, false, NodeId()});
+  if (depth_limit >= 0 && depth_here >= depth_limit) {
+    if (nav->Down(p).has_value()) {
+      (*out)[slot].truncated = true;
+      (*out)[slot].id = p;
+    }
+    return;
+  }
+  std::vector<NodeId> children;
+  nav->DownAll(p, &children);
+  for (const NodeId& c : children) {
+    FetchSubtreeWalk(nav, c, depth_here + 1, depth_limit, out);
+  }
+}
+}  // namespace
+
+void Navigable::FetchSubtree(const NodeId& p, int64_t depth,
+                             std::vector<SubtreeEntry>* out) {
+  FetchSubtreeWalk(this, p, 0, depth, out);
+}
+
 std::optional<NodeId> CountingNavigable::Down(const NodeId& p) {
   ++stats_->downs;
   return inner_->Down(p);
@@ -79,6 +132,37 @@ std::optional<NodeId> CountingNavigable::NthChild(const NodeId& p,
                                                   int64_t index) {
   ++stats_->nths;
   return inner_->NthChild(p, index);
+}
+
+void CountingNavigable::DownAll(const NodeId& p, std::vector<NodeId>* out) {
+  const size_t before = out->size();
+  inner_->DownAll(p, out);
+  // Node-at-a-time equivalent: one d, then one r per child (the last r of
+  // the loop is the one that returns null).
+  ++stats_->downs;
+  stats_->rights += static_cast<int64_t>(out->size() - before);
+}
+
+void CountingNavigable::NextSiblings(const NodeId& p, int64_t limit,
+                                     std::vector<NodeId>* out) {
+  const size_t before = out->size();
+  inner_->NextSiblings(p, limit, out);
+  // k results cost k r commands when the limit stopped the loop, k+1 (the
+  // trailing null) when the sibling list ran out first.
+  const int64_t k = static_cast<int64_t>(out->size() - before);
+  stats_->rights += k + ((limit < 0 || k < limit) ? 1 : 0);
+}
+
+void CountingNavigable::FetchSubtree(const NodeId& p, int64_t depth,
+                                     std::vector<SubtreeEntry>* out) {
+  const size_t before = out->size();
+  inner_->FetchSubtree(p, depth, out);
+  // A single-step pre-order walk over n nodes issues n f, n d (including
+  // the leaf/cutoff probes) and n-1 r commands.
+  const int64_t n = static_cast<int64_t>(out->size() - before);
+  stats_->fetches += n;
+  stats_->downs += n;
+  if (n > 0) stats_->rights += n - 1;
 }
 
 }  // namespace mix

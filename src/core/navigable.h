@@ -19,10 +19,12 @@
 #ifndef MIX_CORE_NAVIGABLE_H_
 #define MIX_CORE_NAVIGABLE_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/atom.h"
 #include "core/node_id.h"
@@ -60,6 +62,25 @@ class LabelPredicate {
   std::string description_;
   Atom equals_atom_;  ///< valid iff built via Equals().
 };
+
+/// One node of a batched subtree snapshot (`Navigable::FetchSubtree`), in
+/// pre-order. `depth` is relative to the fetched node (0 = the node itself).
+/// `truncated` marks entries at the depth cutoff that have unexplored
+/// children; only those carry a valid `id` (a handle to resume navigation
+/// from). Interior entries deliberately carry no id: a full-depth fetch
+/// through pass-through layers then mints no per-node ids at all.
+struct SubtreeEntry {
+  Atom label;
+  int32_t depth = 0;
+  bool truncated = false;
+  NodeId id;
+};
+
+/// Shifts the depth of entries [from, out->size()) by `delta`. Helper for
+/// layered FetchSubtree implementations that emit a synthesized root and
+/// then splice an input subtree underneath it.
+void ShiftSubtreeDepths(std::vector<SubtreeEntry>* out, size_t from,
+                        int32_t delta);
 
 /// A navigable (possibly virtual) labeled ordered tree.
 ///
@@ -104,6 +125,29 @@ class Navigable {
   /// (0-based) child of `p`, or nullopt. The default implementation loops
   /// d/r; random-access sources override it with O(1) lookups.
   virtual std::optional<NodeId> NthChild(const NodeId& p, int64_t index);
+
+  // --- vectored navigation (batched d/r/f) ---
+  //
+  // Semantically these are pure compositions of the primitives above, and
+  // the default implementations are exactly those loops — so every
+  // implementation keeps the paper's Def. 1 contract unchanged. Sources and
+  // pass-through layers override them to answer a whole child list, sibling
+  // page, or subtree in one call instead of N single-step translations.
+
+  /// Appends the ids of all children of `p`, in order (d then r*).
+  virtual void DownAll(const NodeId& p, std::vector<NodeId>* out);
+
+  /// Appends up to `limit` siblings to the right of `p` (exclusive), in
+  /// order; `limit < 0` means all (r*).
+  virtual void NextSiblings(const NodeId& p, int64_t limit,
+                            std::vector<NodeId>* out);
+
+  /// Appends a pre-order snapshot of the subtree under `p`, down to `depth`
+  /// levels below it (`depth < 0`: the complete subtree; `depth == 0`: just
+  /// `p`). Entries at the cutoff with unexplored children are marked
+  /// `truncated` and carry a resume id; all other entries carry labels only.
+  virtual void FetchSubtree(const NodeId& p, int64_t depth,
+                            std::vector<SubtreeEntry>* out);
 };
 
 /// Navigation-command counters — the measuring stick of navigational
@@ -140,6 +184,16 @@ class CountingNavigable : public Navigable {
   std::optional<NodeId> SelectSibling(const NodeId& p,
                                       const LabelPredicate& pred) override;
   std::optional<NodeId> NthChild(const NodeId& p, int64_t index) override;
+
+  // Batch commands forward to the inner batch path but are charged at the
+  // node-at-a-time equivalent rate (one d plus one r per child, etc.), so a
+  // batched traversal can never report more source navigations than the
+  // single-step loop it replaces.
+  void DownAll(const NodeId& p, std::vector<NodeId>* out) override;
+  void NextSiblings(const NodeId& p, int64_t limit,
+                    std::vector<NodeId>* out) override;
+  void FetchSubtree(const NodeId& p, int64_t depth,
+                    std::vector<SubtreeEntry>* out) override;
 
  private:
   Navigable* inner_;

@@ -75,4 +75,39 @@ std::optional<NodeId> SuperRootNavigable::NthChild(const NodeId& p,
   return inner_->NthChild(p, index);
 }
 
+void SuperRootNavigable::DownAll(const NodeId& p, std::vector<NodeId>* out) {
+  if (IsSuperRoot(p)) {
+    inner_root_ = inner_->Root();
+    out->push_back(inner_root_);
+    return;
+  }
+  inner_->DownAll(p, out);
+}
+
+void SuperRootNavigable::NextSiblings(const NodeId& p, int64_t limit,
+                                      std::vector<NodeId>* out) {
+  if (IsSuperRoot(p) || IsInnerRoot(p)) return;
+  inner_->NextSiblings(p, limit, out);
+}
+
+void SuperRootNavigable::FetchSubtree(const NodeId& p, int64_t depth,
+                                      std::vector<SubtreeEntry>* out) {
+  if (!IsSuperRoot(p)) {
+    inner_->FetchSubtree(p, depth, out);
+    return;
+  }
+  static const Atom kDocument = Atom::Intern("#document");
+  const size_t slot = out->size();
+  out->push_back(SubtreeEntry{kDocument, 0, false, NodeId()});
+  if (depth == 0) {
+    (*out)[slot].truncated = true;
+    (*out)[slot].id = p;
+    return;
+  }
+  inner_root_ = inner_->Root();
+  const size_t from = out->size();
+  inner_->FetchSubtree(inner_root_, depth < 0 ? depth : depth - 1, out);
+  ShiftSubtreeDepths(out, from, 1);
+}
+
 }  // namespace mix

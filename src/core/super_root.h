@@ -34,6 +34,14 @@ class SuperRootNavigable : public Navigable {
                                       const LabelPredicate& pred) override;
   std::optional<NodeId> NthChild(const NodeId& p, int64_t index) override;
 
+  // Vectored commands forward to the wrapped source (the document node has
+  // exactly one child, the root element, and no siblings).
+  void DownAll(const NodeId& p, std::vector<NodeId>* out) override;
+  void NextSiblings(const NodeId& p, int64_t limit,
+                    std::vector<NodeId>* out) override;
+  void FetchSubtree(const NodeId& p, int64_t depth,
+                    std::vector<SubtreeEntry>* out) override;
+
  private:
   bool IsSuperRoot(const NodeId& p) const;
   bool IsInnerRoot(const NodeId& p) const;

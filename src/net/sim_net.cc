@@ -7,17 +7,28 @@ namespace mix::net {
 std::string ChannelStats::ToString() const {
   return "messages=" + std::to_string(messages) +
          " bytes=" + std::to_string(bytes) +
-         " busy_ms=" + std::to_string(busy_ns / 1'000'000.0);
+         " busy_ms=" + std::to_string(busy_ns / 1'000'000.0) +
+         " batches=" + std::to_string(batches) +
+         " batched_parts=" + std::to_string(batched_parts);
 }
 
 void Channel::Send(int64_t payload_bytes) {
   MIX_CHECK(payload_bytes >= 0);
   int64_t cost =
       options_.latency_per_message_ns + payload_bytes * options_.ns_per_byte;
+  // A detached channel (null clock) still accounts traffic; it only skips
+  // advancing simulated time.
   if (clock_ != nullptr) clock_->Advance(cost);
   ++stats_.messages;
   stats_.bytes += payload_bytes;
   stats_.busy_ns += cost;
+}
+
+void Channel::SendBatch(int64_t payload_bytes, int64_t parts) {
+  MIX_CHECK(parts >= 1);
+  Send(payload_bytes);
+  ++stats_.batches;
+  stats_.batched_parts += parts;
 }
 
 }  // namespace mix::net

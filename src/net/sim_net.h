@@ -36,6 +36,10 @@ struct ChannelStats {
   int64_t messages = 0;
   int64_t bytes = 0;
   int64_t busy_ns = 0;
+  /// Coalesced sends (SendBatch calls) and the logical parts they carried.
+  /// Messages saved by batching = batched_parts - batches.
+  int64_t batches = 0;
+  int64_t batched_parts = 0;
 
   std::string ToString() const;
 };
@@ -43,12 +47,22 @@ struct ChannelStats {
 /// A half-duplex message channel with accounting. `Send` models one message
 /// of `payload_bytes` crossing the link: it advances the clock and updates
 /// the stats. A request/response exchange is two Sends.
+///
+/// A null SimClock is explicitly supported: the channel still counts
+/// messages/bytes/busy time, it just cannot advance a shared clock. This is
+/// how background (prefetch) channels model traffic that overlaps client
+/// think time instead of adding latency to the demand path.
 class Channel {
  public:
   Channel(SimClock* clock, ChannelOptions options)
       : clock_(clock), options_(options) {}
 
   void Send(int64_t payload_bytes);
+
+  /// Coalesced send: `parts` logical payloads crossing the link as ONE
+  /// message — pays the per-message latency once plus the byte cost of the
+  /// combined payload. This is the wire-level shape of a FillMany exchange.
+  void SendBatch(int64_t payload_bytes, int64_t parts);
 
   const ChannelStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ChannelStats(); }

@@ -9,6 +9,8 @@ namespace mix::wrappers {
 
 using buffer::Fragment;
 using buffer::FragmentList;
+using buffer::FillBudget;
+using buffer::HoleFillList;
 
 namespace {
 
@@ -187,6 +189,11 @@ FragmentList BookstoreLxpWrapper::Fill(const std::string& hole_id) {
     return {std::move(view)};
   }
   return books;
+}
+
+HoleFillList BookstoreLxpWrapper::FillMany(const std::vector<std::string>& holes,
+                                  const FillBudget& budget) {
+  return ChaseFills(holes, budget);
 }
 
 }  // namespace mix::wrappers

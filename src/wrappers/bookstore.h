@@ -78,6 +78,10 @@ class BookstoreLxpWrapper : public buffer::LxpWrapper {
 
   std::string GetRoot(const std::string& uri) override;
   buffer::FragmentList Fill(const std::string& hole_id) override;
+  /// Batched fills with continuation-hole chasing: the hole-id encodings
+  /// are stateless, so the shared budgeted chase loop applies directly.
+  buffer::HoleFillList FillMany(const std::vector<std::string>& holes,
+                                const buffer::FillBudget& budget) override;
 
   int64_t pages_fetched() const { return pages_fetched_; }
 

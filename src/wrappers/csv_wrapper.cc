@@ -8,6 +8,8 @@ namespace mix::wrappers {
 
 using buffer::Fragment;
 using buffer::FragmentList;
+using buffer::FillBudget;
+using buffer::HoleFillList;
 
 Result<CsvTable> ParseCsv(std::string_view text) {
   CsvTable table;
@@ -132,6 +134,11 @@ FragmentList CsvLxpWrapper::Fill(const std::string& hole_id) {
     out.push_back(Fragment::Hole("c:" + std::to_string(to)));
   }
   return out;
+}
+
+HoleFillList CsvLxpWrapper::FillMany(const std::vector<std::string>& holes,
+                            const FillBudget& budget) {
+  return ChaseFills(holes, budget);
 }
 
 }  // namespace mix::wrappers

@@ -8,6 +8,8 @@ namespace mix::wrappers {
 
 using buffer::Fragment;
 using buffer::FragmentList;
+using buffer::FillBudget;
+using buffer::HoleFillList;
 
 RelationalLxpWrapper::RelationalLxpWrapper(const rdb::Database* db,
                                            Options options)
@@ -150,6 +152,11 @@ FragmentList RelationalLxpWrapper::Fill(const std::string& hole_id) {
   if (rest == "root") return FillQuery(query_id, 0, /*root_fill=*/true);
   return FillQuery(query_id, std::strtoll(rest.c_str(), nullptr, 10),
                    /*root_fill=*/false);
+}
+
+HoleFillList RelationalLxpWrapper::FillMany(const std::vector<std::string>& holes,
+                                   const FillBudget& budget) {
+  return ChaseFills(holes, budget);
 }
 
 }  // namespace mix::wrappers

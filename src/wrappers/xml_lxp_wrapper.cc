@@ -9,6 +9,8 @@ namespace mix::wrappers {
 
 using buffer::Fragment;
 using buffer::FragmentList;
+using buffer::FillBudget;
+using buffer::HoleFillList;
 
 namespace {
 
@@ -98,6 +100,11 @@ FragmentList XmlLxpWrapper::Fill(const std::string& hole_id) {
     }
   }
   return out;
+}
+
+HoleFillList XmlLxpWrapper::FillMany(const std::vector<std::string>& holes,
+                            const FillBudget& budget) {
+  return ChaseFills(holes, budget);
 }
 
 }  // namespace mix::wrappers

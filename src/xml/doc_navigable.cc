@@ -1,5 +1,6 @@
 #include "xml/doc_navigable.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "core/check.h"
@@ -55,6 +56,46 @@ std::optional<NodeId> DocNavigable::NthChild(const NodeId& p, int64_t index) {
     return std::nullopt;
   }
   return MakeId(n->children[static_cast<size_t>(index)]);
+}
+
+void DocNavigable::DownAll(const NodeId& p, std::vector<NodeId>* out) {
+  const Node* n = Resolve(p);
+  out->reserve(out->size() + n->children.size());
+  for (const Node* c : n->children) out->push_back(MakeId(c));
+}
+
+void DocNavigable::NextSiblings(const NodeId& p, int64_t limit,
+                                std::vector<NodeId>* out) {
+  const Node* n = Resolve(p);
+  if (n->parent == nullptr) return;
+  const auto& siblings = n->parent->children;
+  size_t from = static_cast<size_t>(n->pos_in_parent) + 1;
+  size_t count = siblings.size() - std::min(from, siblings.size());
+  if (limit >= 0) count = std::min(count, static_cast<size_t>(limit));
+  out->reserve(out->size() + count);
+  for (size_t i = 0; i < count; ++i) out->push_back(MakeId(siblings[from + i]));
+}
+
+void DocNavigable::FetchSubtree(const NodeId& p, int64_t depth,
+                                std::vector<SubtreeEntry>* out) {
+  struct Item {
+    const Node* node;
+    int32_t depth;
+  };
+  std::vector<Item> stack;
+  stack.push_back(Item{Resolve(p), 0});
+  while (!stack.empty()) {
+    Item it = stack.back();
+    stack.pop_back();
+    const bool cut =
+        depth >= 0 && it.depth >= depth && !it.node->children.empty();
+    out->push_back(SubtreeEntry{it.node->label_atom, it.depth, cut,
+                                cut ? MakeId(it.node) : NodeId()});
+    if (cut) continue;
+    for (size_t i = it.node->children.size(); i > 0; --i) {
+      stack.push_back(Item{it.node->children[i - 1], it.depth + 1});
+    }
+  }
 }
 
 }  // namespace mix::xml

@@ -26,6 +26,14 @@ class DocNavigable : public Navigable {
   /// O(1) indexed child access (in-memory children vector).
   std::optional<NodeId> NthChild(const NodeId& p, int64_t index) override;
 
+  /// Vectored commands: direct copies out of the in-memory children
+  /// vectors — one call per list/subtree instead of one per node.
+  void DownAll(const NodeId& p, std::vector<NodeId>* out) override;
+  void NextSiblings(const NodeId& p, int64_t limit,
+                    std::vector<NodeId>* out) override;
+  void FetchSubtree(const NodeId& p, int64_t depth,
+                    std::vector<SubtreeEntry>* out) override;
+
   /// Decodes one of this navigable's ids back to the underlying node.
   const Node* Resolve(const NodeId& p) const;
 

@@ -34,9 +34,46 @@ Node* Copy(Navigable* nav, const NodeId& p, Document* doc, Budget* budget) {
   return element;
 }
 
+/// Rebuilds a tree from a pre-order SubtreeEntry snapshot: an entry is a
+/// leaf iff its successor is not deeper; stack[d] tracks the open element
+/// at each depth for parent linking.
+Node* BuildFromPreorder(const std::vector<SubtreeEntry>& entries,
+                        Document* doc) {
+  MIX_CHECK(!entries.empty());
+  std::vector<Node*> stack;
+  Node* root = nullptr;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const SubtreeEntry& e = entries[i];
+    MIX_CHECK_MSG(!e.truncated, "full-depth fetch returned a truncated entry");
+    const bool has_children =
+        i + 1 < entries.size() && entries[i + 1].depth > e.depth;
+    Node* n = has_children ? doc->NewElement(std::string(e.label.name()))
+                           : doc->NewText(std::string(e.label.name()));
+    if (e.depth == 0) {
+      root = n;
+    } else {
+      doc->AppendChild(stack[static_cast<size_t>(e.depth) - 1], n);
+    }
+    if (stack.size() <= static_cast<size_t>(e.depth)) {
+      stack.resize(static_cast<size_t>(e.depth) + 1);
+    }
+    stack[static_cast<size_t>(e.depth)] = n;
+  }
+  return root;
+}
+
 }  // namespace
 
 Node* MaterializeInto(Navigable* nav, Document* doc) {
+  MIX_CHECK(nav != nullptr && doc != nullptr);
+  // One vectored fetch for the whole answer: the batch cascades through
+  // every mediation layer instead of a d/r/f round per node.
+  std::vector<SubtreeEntry> entries;
+  nav->FetchSubtree(nav->Root(), -1, &entries);
+  return BuildFromPreorder(entries, doc);
+}
+
+Node* MaterializeIntoNodeAtATime(Navigable* nav, Document* doc) {
   return MaterializePrefixInto(nav, doc, -1);
 }
 

@@ -14,10 +14,17 @@
 
 namespace mix::xml {
 
-/// Depth-first explores `nav` from its root using only d/r/f and copies the
-/// tree into `doc`, returning the copied root. Leaves become text nodes
-/// (the abstraction cannot distinguish empty elements from character data).
+/// Fully explores `nav` from its root and copies the tree into `doc`,
+/// returning the copied root. Leaves become text nodes (the abstraction
+/// cannot distinguish empty elements from character data). Uses ONE
+/// vectored FetchSubtree — the request cascades through the layered
+/// mediators as batch calls instead of d/r/f per node.
 Node* MaterializeInto(Navigable* nav, Document* doc);
+
+/// The node-at-a-time baseline: the same exploration driven by d/r/f per
+/// node. Kept callable for the batched-vs-baseline benchmarks and the
+/// byte-identical property tests.
+Node* MaterializeIntoNodeAtATime(Navigable* nav, Document* doc);
 
 /// Convenience: materializes into a fresh document.
 std::unique_ptr<Document> Materialize(Navigable* nav);

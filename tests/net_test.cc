@@ -48,6 +48,35 @@ TEST(ChannelTest, NullClockStillCounts) {
   EXPECT_EQ(channel.stats().bytes, 5);
 }
 
+TEST(ChannelTest, SendBatchCostsOneMessage) {
+  SimClock clock;
+  ChannelOptions options;
+  options.latency_per_message_ns = 1000;
+  options.ns_per_byte = 2;
+  Channel channel(&clock, options);
+
+  channel.SendBatch(100, 8);  // 8 coalesced parts, one wire message
+  EXPECT_EQ(channel.stats().messages, 1);
+  EXPECT_EQ(channel.stats().bytes, 100);
+  EXPECT_EQ(channel.stats().batches, 1);
+  EXPECT_EQ(channel.stats().batched_parts, 8);
+  // Latency is paid once, not per part.
+  EXPECT_EQ(clock.now_ns(), 1000 + 200);
+
+  std::string s = channel.stats().ToString();
+  EXPECT_NE(s.find("batches=1"), std::string::npos);
+  EXPECT_NE(s.find("batched_parts=8"), std::string::npos);
+}
+
+TEST(ChannelTest, SendBatchWithNullClock) {
+  Channel channel(nullptr, ChannelOptions{10, 1});
+  channel.SendBatch(64, 4);
+  EXPECT_EQ(channel.stats().messages, 1);
+  EXPECT_EQ(channel.stats().bytes, 64);
+  EXPECT_EQ(channel.stats().batches, 1);
+  EXPECT_EQ(channel.stats().batched_parts, 4);
+}
+
 TEST(ChannelStatsTest, ToString) {
   ChannelStats stats{3, 500, 2'000'000};
   std::string s = stats.ToString();
