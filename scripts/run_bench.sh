@@ -7,7 +7,11 @@
 # diffing the emitted JSON (real_time per benchmark; for batch navigation
 # also the `messages` counter of the batched=0 vs batched=1 rows in
 # BENCH_batch_nav.json / BENCH_lxp_chunking.json / BENCH_prefetch.json —
-# the before/after message counts of the vectored fill path).
+# the before/after message counts of the vectored fill path). For
+# BENCH_service.json the numbers that matter are items_per_second across the
+# BM_ServiceThroughput workers:1..8 rows (worker-pool scaling on the
+# 64-session workload), the mismatches counter (framed answers must equal
+# in-process evaluation), and BM_ServiceOverload's ok/rejected/dropped split.
 #
 # Usage: scripts/run_bench.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -15,7 +19,7 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
-SUITES=(node_id plan_pipeline batch_nav lxp_chunking prefetch)
+SUITES=(node_id plan_pipeline batch_nav lxp_chunking prefetch service)
 for name in "${SUITES[@]}"; do
   bin="$BUILD/bench/bench_$name"
   if [ ! -x "$bin" ]; then

@@ -87,6 +87,15 @@ class BufferComponent : public Navigable {
   /// Unfilled holes currently present.
   int64_t holes_outstanding() const { return holes_outstanding_; }
 
+  /// One-call snapshot of the counters above — what a per-session metrics
+  /// sweep (service layer) reads per buffered source.
+  struct Stats {
+    int64_t fills = 0;
+    int64_t nodes_buffered = 0;
+    int64_t holes_outstanding = 0;
+  };
+  Stats stats() const { return {fill_count_, nodes_buffered_, holes_outstanding_}; }
+
   /// Term rendering of the current open tree (root list), holes included —
   /// lets tests assert the refinement sequence of Ex. 7.
   std::string OpenTreeTerm();

@@ -1,0 +1,131 @@
+#include "client/framed_document.h"
+
+namespace mix::client {
+
+namespace {
+using service::wire::Frame;
+using service::wire::MsgType;
+}  // namespace
+
+Result<std::unique_ptr<FramedDocument>> FramedDocument::Open(
+    service::wire::FrameTransport* transport, const std::string& xmas_text,
+    int64_t deadline_ns) {
+  Frame req;
+  req.type = MsgType::kOpen;
+  req.text = xmas_text;
+  req.deadline_ns = deadline_ns;
+  Result<Frame> resp = service::wire::Call(transport, req);
+  if (!resp.ok()) return resp.status();
+  if (resp.value().type != MsgType::kOpenOk || resp.value().session == 0) {
+    return Status::Internal("malformed open response");
+  }
+  return std::unique_ptr<FramedDocument>(
+      new FramedDocument(transport, resp.value().session, deadline_ns));
+}
+
+Status FramedDocument::Close() {
+  Frame req = Request(MsgType::kClose);
+  Result<Frame> resp = service::wire::Call(transport_, req);
+  if (!resp.ok()) {
+    last_status_ = resp.status();
+    return resp.status();
+  }
+  return Status::OK();
+}
+
+Frame FramedDocument::Request(MsgType type) const {
+  Frame f;
+  f.type = type;
+  f.session = session_;
+  f.deadline_ns = deadline_ns_;
+  return f;
+}
+
+std::optional<Frame> FramedDocument::Dispatch(const Frame& request) {
+  Result<Frame> resp = service::wire::Call(transport_, request);
+  if (!resp.ok()) {
+    last_status_ = resp.status();
+    return std::nullopt;
+  }
+  return std::move(resp).ValueOrDie();
+}
+
+NodeId FramedDocument::Root() {
+  std::optional<Frame> resp = Dispatch(Request(MsgType::kRoot));
+  if (!resp.has_value() || !resp->flag) return NodeId();
+  return resp->node;
+}
+
+std::optional<NodeId> FramedDocument::Down(const NodeId& p) {
+  Frame req = Request(MsgType::kDown);
+  req.node = p;
+  std::optional<Frame> resp = Dispatch(req);
+  if (!resp.has_value() || !resp->flag) return std::nullopt;
+  return resp->node;
+}
+
+std::optional<NodeId> FramedDocument::Right(const NodeId& p) {
+  Frame req = Request(MsgType::kRight);
+  req.node = p;
+  std::optional<Frame> resp = Dispatch(req);
+  if (!resp.has_value() || !resp->flag) return std::nullopt;
+  return resp->node;
+}
+
+Label FramedDocument::Fetch(const NodeId& p) {
+  Frame req = Request(MsgType::kFetch);
+  req.node = p;
+  std::optional<Frame> resp = Dispatch(req);
+  if (!resp.has_value()) return "";
+  return std::move(resp->text);
+}
+
+std::optional<NodeId> FramedDocument::SelectSibling(
+    const NodeId& p, const LabelPredicate& pred) {
+  if (!pred.is_equality()) return Navigable::SelectSibling(p, pred);
+  Frame req = Request(MsgType::kSelectSibling);
+  req.node = p;
+  req.text2 = pred.equals_atom().name();
+  std::optional<Frame> resp = Dispatch(req);
+  if (!resp.has_value() || !resp->flag) return std::nullopt;
+  return resp->node;
+}
+
+std::optional<NodeId> FramedDocument::NthChild(const NodeId& p, int64_t index) {
+  Frame req = Request(MsgType::kNthChild);
+  req.node = p;
+  req.number = index;
+  std::optional<Frame> resp = Dispatch(req);
+  if (!resp.has_value() || !resp->flag) return std::nullopt;
+  return resp->node;
+}
+
+void FramedDocument::DownAll(const NodeId& p, std::vector<NodeId>* out) {
+  Frame req = Request(MsgType::kDownAll);
+  req.node = p;
+  std::optional<Frame> resp = Dispatch(req);
+  if (!resp.has_value()) return;
+  out->insert(out->end(), resp->nodes.begin(), resp->nodes.end());
+}
+
+void FramedDocument::NextSiblings(const NodeId& p, int64_t limit,
+                                  std::vector<NodeId>* out) {
+  Frame req = Request(MsgType::kNextSiblings);
+  req.node = p;
+  req.number = limit;
+  std::optional<Frame> resp = Dispatch(req);
+  if (!resp.has_value()) return;
+  out->insert(out->end(), resp->nodes.begin(), resp->nodes.end());
+}
+
+void FramedDocument::FetchSubtree(const NodeId& p, int64_t depth,
+                                  std::vector<SubtreeEntry>* out) {
+  Frame req = Request(MsgType::kFetchSubtree);
+  req.node = p;
+  req.number = depth;
+  std::optional<Frame> resp = Dispatch(req);
+  if (!resp.has_value()) return;
+  out->insert(out->end(), resp->entries.begin(), resp->entries.end());
+}
+
+}  // namespace mix::client

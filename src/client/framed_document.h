@@ -1,0 +1,83 @@
+// Client-side session stub: a Navigable over the mixd wire protocol.
+//
+// FramedDocument is what turns a remote mediator session into "just another
+// document": it implements the full Navigable interface by encoding each
+// DOM-VXD command as one frame, round-tripping it through a FrameTransport,
+// and decoding the response. Layered under client::VirtualXmlDocument, the
+// paper's transparency property (Section 5) extends across the service
+// boundary — XmlElement code cannot tell a framed session from an
+// in-process mediator, which the codec round-trip tests assert byte for
+// byte.
+//
+// Error model: Navigable has no Status channel (the paper's d/r/f return
+// node-or-⊥), so failures — overload, expired deadlines, closed sessions —
+// surface as ⊥/empty results, and the precise Status is latched in
+// last_status() for the application to inspect. Navigating on after an
+// error is safe: the session (if alive) is untouched by failed requests.
+#ifndef MIX_CLIENT_FRAMED_DOCUMENT_H_
+#define MIX_CLIENT_FRAMED_DOCUMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/navigable.h"
+#include "core/status.h"
+#include "service/wire.h"
+
+namespace mix::client {
+
+class FramedDocument : public Navigable {
+ public:
+  /// Opens a session for `xmas_text` on the server behind `transport`.
+  /// `deadline_ns` (0 = none) applies to the open and every later command.
+  static Result<std::unique_ptr<FramedDocument>> Open(
+      service::wire::FrameTransport* transport, const std::string& xmas_text,
+      int64_t deadline_ns = 0);
+
+  /// Closes the server-side session; further navigation returns ⊥ with
+  /// last_status() == kNotFound. Idempotent (second close reports the
+  /// server's kNotFound).
+  Status Close();
+
+  uint64_t session_id() const { return session_; }
+  const Status& last_status() const { return last_status_; }
+  void clear_last_status() { last_status_ = Status::OK(); }
+  /// Per-command deadline for subsequent requests (0 = none).
+  void set_deadline_ns(int64_t ns) { deadline_ns_ = ns; }
+
+  // --- Navigable over frames ---
+  NodeId Root() override;
+  std::optional<NodeId> Down(const NodeId& p) override;
+  std::optional<NodeId> Right(const NodeId& p) override;
+  Label Fetch(const NodeId& p) override;
+  /// Equality predicates travel as σ frames; arbitrary predicates fall back
+  /// to the base-class r/f loop (they cannot be serialized).
+  std::optional<NodeId> SelectSibling(const NodeId& p,
+                                      const LabelPredicate& pred) override;
+  std::optional<NodeId> NthChild(const NodeId& p, int64_t index) override;
+  void DownAll(const NodeId& p, std::vector<NodeId>* out) override;
+  void NextSiblings(const NodeId& p, int64_t limit,
+                    std::vector<NodeId>* out) override;
+  void FetchSubtree(const NodeId& p, int64_t depth,
+                    std::vector<SubtreeEntry>* out) override;
+
+ private:
+  FramedDocument(service::wire::FrameTransport* transport, uint64_t session,
+                 int64_t deadline_ns)
+      : transport_(transport), session_(session), deadline_ns_(deadline_ns) {}
+
+  /// Builds a request frame bound to this session/deadline.
+  service::wire::Frame Request(service::wire::MsgType type) const;
+  /// Calls and latches errors; nullopt response on failure.
+  std::optional<service::wire::Frame> Dispatch(
+      const service::wire::Frame& request);
+
+  service::wire::FrameTransport* transport_;
+  uint64_t session_;
+  int64_t deadline_ns_;
+  Status last_status_;
+};
+
+}  // namespace mix::client
+
+#endif  // MIX_CLIENT_FRAMED_DOCUMENT_H_

@@ -59,6 +59,15 @@ bool ComponentEquals(const NodeIdComponent& a, const NodeIdComponent& b) {
 
 class RepPool {
  public:
+  /// Forces construction of this thread's pool state. The intern cache
+  /// calls this from its own constructor so the pool's thread_local is
+  /// constructed FIRST and therefore destroyed LAST: cache teardown at
+  /// thread exit releases shared_ptrs whose deleter calls Give(), which
+  /// would otherwise touch an already-destroyed thread_local (UB). With
+  /// multiple worker threads minting ids (the mixd service), threads exit
+  /// while their caches still hold reps, so the ordering matters.
+  static void Warm() { Tls(); }
+
   static void* Take(size_t size) {
     Local& local = Tls();
     if (local.free != nullptr && size == local.block_size) {
@@ -203,6 +212,7 @@ struct InternSlot {
 };
 
 struct InternCache {
+  InternCache() { RepPool::Warm(); }  // pool TLS must outlive the cache
   std::array<InternSlot, kInternSlots> slots;
 };
 

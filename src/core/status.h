@@ -24,6 +24,11 @@ class Status {
     kParseError,
     kUnimplemented,
     kInternal,
+    /// The service is overloaded or shutting down; retrying later may
+    /// succeed (bounded admission queues reject with this).
+    kUnavailable,
+    /// The request's deadline elapsed before it could be served.
+    kDeadlineExceeded,
   };
 
   /// Default-constructed status is OK.
@@ -44,6 +49,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  /// Rebuilds a status from its parts — how a wire peer's error frame is
+  /// turned back into the Status the remote call site sees.
+  static Status FromCode(Code code, std::string msg) {
+    if (code == Code::kOk) return Status();
+    return Status(code, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "xmas/parser.h"
+
 namespace mix::mediator {
 
 namespace {
@@ -362,6 +364,12 @@ class Translator {
 
 Result<PlanPtr> TranslateQuery(const xmas::Query& query) {
   return Translator().Run(query);
+}
+
+Result<PlanPtr> CompileXmas(const std::string& xmas_text) {
+  Result<xmas::Query> query = xmas::ParseQuery(xmas_text);
+  if (!query.ok()) return query.status();
+  return TranslateQuery(query.value());
 }
 
 }  // namespace mix::mediator

@@ -36,6 +36,11 @@ namespace mix::mediator {
 /// Translates a parsed XMAS query into the initial plan E_q.
 Result<PlanPtr> TranslateQuery(const xmas::Query& query);
 
+/// Parse + translate in one step: XMAS text to the initial plan. This is
+/// the session-open path of the service layer (service/session.h) — one
+/// call from query text to something LazyMediator::Build accepts.
+Result<PlanPtr> CompileXmas(const std::string& xmas_text);
+
 }  // namespace mix::mediator
 
 #endif  // MIX_MEDIATOR_TRANSLATE_H_

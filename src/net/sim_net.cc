@@ -4,6 +4,15 @@
 
 namespace mix::net {
 
+ChannelStats& ChannelStats::operator+=(const ChannelStats& o) {
+  messages += o.messages;
+  bytes += o.bytes;
+  busy_ns += o.busy_ns;
+  batches += o.batches;
+  batched_parts += o.batched_parts;
+  return *this;
+}
+
 std::string ChannelStats::ToString() const {
   return "messages=" + std::to_string(messages) +
          " bytes=" + std::to_string(bytes) +

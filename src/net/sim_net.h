@@ -41,6 +41,10 @@ struct ChannelStats {
   int64_t batches = 0;
   int64_t batched_parts = 0;
 
+  /// Counter-wise accumulation — aggregating per-session link stats into a
+  /// service-wide snapshot.
+  ChannelStats& operator+=(const ChannelStats& o);
+
   std::string ToString() const;
 };
 

@@ -1,0 +1,71 @@
+#include "service/metrics.h"
+
+namespace mix::service {
+
+namespace {
+
+int BucketOf(int64_t ns) {
+  if (ns <= 1) return 0;
+  int b = 0;
+  uint64_t v = static_cast<uint64_t>(ns);
+  while (v > 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(int64_t ns) {
+  int b = BucketOf(ns < 0 ? 0 : ns);
+  if (b >= kBuckets) b = kBuckets - 1;
+  ++buckets_[b];
+  ++count_;
+}
+
+int64_t LatencyHistogram::PercentileNs(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  int64_t rank = static_cast<int64_t>(p * static_cast<double>(count_ - 1));
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > rank) return int64_t{1} << (i + 1);
+  }
+  return int64_t{1} << kBuckets;
+}
+
+LatencyHistogram& LatencyHistogram::operator+=(const LatencyHistogram& o) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+  count_ += o.count_;
+  return *this;
+}
+
+std::string SessionMetrics::ToString() const {
+  return "requests=" + std::to_string(requests) +
+         " errors=" + std::to_string(errors) +
+         " fills=" + std::to_string(fills) +
+         " p50_us=" + std::to_string(latency.PercentileNs(0.5) / 1000) +
+         " lxp{" + lxp.ToString() + "}";
+}
+
+std::string ServiceMetricsSnapshot::ToString() const {
+  return "sessions{open=" + std::to_string(sessions_open) +
+         " opened=" + std::to_string(sessions_opened) +
+         " closed=" + std::to_string(sessions_closed) +
+         " evicted=" + std::to_string(sessions_evicted) + "}" +
+         " requests{ok=" + std::to_string(requests_ok) +
+         " error=" + std::to_string(requests_error) +
+         " rejected=" + std::to_string(requests_rejected) +
+         " expired=" + std::to_string(requests_expired) +
+         " queued=" + std::to_string(queue_depth) + "}" +
+         " frames{in=" + std::to_string(frames_in) +
+         " out=" + std::to_string(frames_out) + "}" +
+         " wire{" + wire.ToString() + "}" +
+         " latency{p50_us=" + std::to_string(p50_ns / 1000) +
+         " p99_us=" + std::to_string(p99_ns / 1000) + "}";
+}
+
+}  // namespace mix::service

@@ -1,0 +1,77 @@
+// Service metrics: per-session and service-wide observability for mixd.
+//
+// Counters are aggregated under the service's mutexes and exported as
+// plain-value snapshots, so readers never hold a lock while formatting and
+// a snapshot is internally consistent. Request latencies go into a
+// log-scale histogram (power-of-two buckets) — constant space, and good
+// enough to quote p50/p99 within a factor of two, which is what a load
+// benchmark needs from a server it is saturating.
+#ifndef MIX_SERVICE_METRICS_H_
+#define MIX_SERVICE_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/navigable.h"
+#include "net/sim_net.h"
+
+namespace mix::service {
+
+/// Log2-bucketed latency histogram; bucket i counts samples in
+/// [2^i, 2^(i+1)) nanoseconds (bucket 0 also absorbs 0 ns).
+class LatencyHistogram {
+ public:
+  void Record(int64_t ns);
+  int64_t count() const { return count_; }
+  /// Upper bound of the bucket containing the p-th percentile (p in [0,1]);
+  /// 0 when empty.
+  int64_t PercentileNs(double p) const;
+  LatencyHistogram& operator+=(const LatencyHistogram& o);
+
+ private:
+  static constexpr int kBuckets = 63;
+  std::array<int64_t, kBuckets> buckets_{};
+  int64_t count_ = 0;
+};
+
+/// Per-session counters, owned by the session and mutated only while its
+/// (executor-serialized) commands run.
+struct SessionMetrics {
+  int64_t requests = 0;
+  int64_t errors = 0;
+  LatencyHistogram latency;
+  /// LXP traffic of this session's buffered sources (demand channel).
+  net::ChannelStats lxp;
+  int64_t fills = 0;
+
+  std::string ToString() const;
+};
+
+/// Service-wide snapshot; every field is a copy.
+struct ServiceMetricsSnapshot {
+  // Session registry.
+  int64_t sessions_open = 0;
+  int64_t sessions_opened = 0;
+  int64_t sessions_closed = 0;
+  int64_t sessions_evicted = 0;
+  // Admission / execution.
+  int64_t requests_ok = 0;
+  int64_t requests_error = 0;
+  int64_t requests_rejected = 0;   ///< kUnavailable at admission.
+  int64_t requests_expired = 0;    ///< kDeadlineExceeded before running.
+  int64_t queue_depth = 0;
+  // Wire accounting (frames crossing the service boundary).
+  int64_t frames_in = 0;
+  int64_t frames_out = 0;
+  net::ChannelStats wire;
+  // Latency over completed requests (admission to response).
+  int64_t p50_ns = 0;
+  int64_t p99_ns = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace mix::service
+
+#endif  // MIX_SERVICE_METRICS_H_

@@ -1,0 +1,280 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <future>
+
+namespace mix::service {
+
+namespace {
+
+using wire::Frame;
+using wire::MsgType;
+
+std::chrono::steady_clock::time_point DeadlineFor(const Frame& request) {
+  if (request.deadline_ns <= 0) {
+    return std::chrono::steady_clock::time_point::max();
+  }
+  return std::chrono::steady_clock::now() +
+         std::chrono::nanoseconds(request.deadline_ns);
+}
+
+bool IsLxp(MsgType t) {
+  return t == MsgType::kLxpGetRoot || t == MsgType::kLxpFill ||
+         t == MsgType::kLxpFillMany;
+}
+
+}  // namespace
+
+MediatorService::MediatorService(const SessionEnvironment* env, Options options)
+    : env_(env),
+      options_(options),
+      registry_(env, SessionRegistry::Options{options.max_sessions,
+                                              options.session_idle_ttl_ns}),
+      wire_channel_(&wire_clock_, options.wire_costs),
+      executor_(Executor::Options{options.workers, options.queue_capacity}) {
+  uint64_t key = kWrapperKeyBase;
+  for (const auto& [uri, wrapper] : env_->exported()) {
+    (void)wrapper;
+    wrapper_keys_[uri] = key++;
+  }
+}
+
+MediatorService::~MediatorService() = default;
+
+uint64_t MediatorService::KeyForRequest(const Frame& request,
+                                        Status* error) const {
+  switch (request.type) {
+    case MsgType::kOpen: {
+      // Opens have no session yet; give each a fresh key so concurrent
+      // opens spread over the pool instead of serializing on one lane.
+      static std::atomic<uint64_t> open_key{uint64_t{1} << 62};
+      return open_key.fetch_add(1, std::memory_order_relaxed);
+    }
+    case MsgType::kLxpGetRoot:
+    case MsgType::kLxpFill:
+    case MsgType::kLxpFillMany: {
+      auto it = wrapper_keys_.find(request.text);
+      if (it == wrapper_keys_.end()) {
+        *error = Status::NotFound("no exported wrapper '" + request.text + "'");
+        return 0;
+      }
+      return it->second;
+    }
+    default:
+      if (request.session == 0) {
+        *error = Status::InvalidArgument("request carries no session id");
+        return 0;
+      }
+      return request.session;
+  }
+}
+
+void MediatorService::CallAsync(
+    std::string request_bytes,
+    std::function<void(std::string response_bytes)> done) {
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++frames_in_;
+    wire_channel_.Send(static_cast<int64_t>(request_bytes.size()));
+  }
+  auto respond = [this, done = std::move(done)](const Frame& response) {
+    std::string bytes = wire::EncodeFrame(response);
+    FinishRequest(bytes, response.type == MsgType::kError);
+    done(std::move(bytes));
+  };
+
+  Result<Frame> decoded = wire::DecodeFrame(request_bytes);
+  if (!decoded.ok()) {
+    respond(Frame::Error(decoded.status()));
+    return;
+  }
+  Frame request = std::move(decoded).ValueOrDie();
+
+  // Metrics requests read shared state only; answer without a queue trip.
+  if (request.type == MsgType::kMetrics) {
+    Frame f;
+    f.type = MsgType::kMetricsText;
+    f.text = Metrics().ToString();
+    respond(f);
+    return;
+  }
+
+  Status key_error;
+  uint64_t key = KeyForRequest(request, &key_error);
+  if (!key_error.ok()) {
+    respond(Frame::Error(key_error));
+    return;
+  }
+
+  auto started = std::chrono::steady_clock::now();
+  Status admitted = executor_.Submit(
+      key, DeadlineFor(request),
+      [this, request = std::move(request), respond,
+       started](const Status& admission) {
+        Frame response =
+            admission.ok() ? Execute(request) : Frame::Error(admission);
+        auto elapsed = std::chrono::steady_clock::now() - started;
+        {
+          std::lock_guard<std::mutex> lock(metrics_mu_);
+          latency_.Record(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count());
+        }
+        respond(response);
+      });
+  if (!admitted.ok()) {
+    respond(Frame::Error(admitted));
+  }
+}
+
+Result<std::string> MediatorService::RoundTrip(const std::string& request_bytes) {
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  CallAsync(request_bytes,
+            [&promise](std::string bytes) { promise.set_value(std::move(bytes)); });
+  return future.get();
+}
+
+void MediatorService::FinishRequest(const std::string& response_bytes,
+                                    bool is_error) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  ++frames_out_;
+  if (is_error) {
+    ++requests_error_;
+  } else {
+    ++requests_ok_;
+  }
+  wire_channel_.Send(static_cast<int64_t>(response_bytes.size()));
+}
+
+Frame MediatorService::Execute(const Frame& request) {
+  switch (request.type) {
+    case MsgType::kOpen:
+      return ExecuteOpen(request);
+    case MsgType::kClose: {
+      Status s = registry_.Close(request.session);
+      if (!s.ok()) return Frame::Error(s);
+      Frame f;
+      f.type = MsgType::kCloseOk;
+      f.session = request.session;
+      return f;
+    }
+    default:
+      break;
+  }
+  if (IsLxp(request.type)) return ExecuteLxp(request);
+
+  std::shared_ptr<Session> session = registry_.Find(request.session);
+  if (session == nullptr) {
+    return Frame::Error(Status::NotFound("unknown session " +
+                                         std::to_string(request.session)));
+  }
+  Frame response = ExecuteNavigation(request, *session);
+  session->metrics().requests += 1;
+  if (response.type == MsgType::kError) session->metrics().errors += 1;
+  return response;
+}
+
+Frame MediatorService::ExecuteOpen(const Frame& request) {
+  Result<uint64_t> id = registry_.Open(request.text);
+  if (!id.ok()) return Frame::Error(id.status());
+  Frame f;
+  f.type = MsgType::kOpenOk;
+  f.session = id.value();
+  return f;
+}
+
+Frame MediatorService::ExecuteLxp(const Frame& request) {
+  auto it = env_->exported().find(request.text);
+  if (it == env_->exported().end()) {
+    return Frame::Error(
+        Status::NotFound("no exported wrapper '" + request.text + "'"));
+  }
+  buffer::LxpWrapper* wrapper = it->second;
+  Frame f;
+  switch (request.type) {
+    case MsgType::kLxpGetRoot:
+      f.type = MsgType::kLxpRoot;
+      f.text = wrapper->GetRoot(request.text);
+      return f;
+    case MsgType::kLxpFill:
+      f.type = MsgType::kLxpFillResp;
+      f.fragments = wrapper->Fill(request.text2);
+      return f;
+    case MsgType::kLxpFillMany: {
+      f.type = MsgType::kLxpFills;
+      buffer::FillBudget budget;
+      budget.elements = request.number;
+      budget.fills = request.number2;
+      f.hole_fills = wrapper->FillMany(request.strings, budget);
+      return f;
+    }
+    default:
+      return Frame::Error(Status::Internal("non-LXP frame in LXP path"));
+  }
+}
+
+Frame MediatorService::ExecuteNavigation(const Frame& request,
+                                         Session& session) {
+  Navigable* doc = session.document();
+  Frame f;
+  switch (request.type) {
+    case MsgType::kRoot:
+      return Frame::OptionalNode(doc->Root());
+    case MsgType::kDown:
+      return Frame::OptionalNode(doc->Down(request.node));
+    case MsgType::kRight:
+      return Frame::OptionalNode(doc->Right(request.node));
+    case MsgType::kFetch:
+      f.type = MsgType::kLabel;
+      f.text = doc->Fetch(request.node);
+      return f;
+    case MsgType::kSelectSibling:
+      return Frame::OptionalNode(doc->SelectSibling(
+          request.node, LabelPredicate::Equals(request.text2)));
+    case MsgType::kNthChild:
+      return Frame::OptionalNode(doc->NthChild(request.node, request.number));
+    case MsgType::kDownAll:
+      f.type = MsgType::kNodeList;
+      doc->DownAll(request.node, &f.nodes);
+      return f;
+    case MsgType::kNextSiblings:
+      f.type = MsgType::kNodeList;
+      doc->NextSiblings(request.node, request.number, &f.nodes);
+      return f;
+    case MsgType::kFetchSubtree:
+      f.type = MsgType::kSubtree;
+      doc->FetchSubtree(request.node, request.number, &f.entries);
+      return f;
+    default:
+      return Frame::Error(Status::InvalidArgument(
+          "frame type is not a request: " +
+          std::to_string(static_cast<int>(request.type))));
+  }
+}
+
+ServiceMetricsSnapshot MediatorService::Metrics() const {
+  ServiceMetricsSnapshot snap;
+  SessionRegistry::Counters sessions = registry_.counters();
+  snap.sessions_open = sessions.open;
+  snap.sessions_opened = sessions.opened;
+  snap.sessions_closed = sessions.closed;
+  snap.sessions_evicted = sessions.evicted;
+  Executor::Stats exec = executor_.stats();
+  snap.requests_rejected = exec.rejected;
+  snap.requests_expired = exec.expired;
+  snap.queue_depth = exec.queued;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    snap.requests_ok = requests_ok_;
+    snap.requests_error = requests_error_;
+    snap.frames_in = frames_in_;
+    snap.frames_out = frames_out_;
+    snap.wire = wire_channel_.stats();
+    snap.p50_ns = latency_.PercentileNs(0.5);
+    snap.p99_ns = latency_.PercentileNs(0.99);
+  }
+  return snap;
+}
+
+}  // namespace mix::service

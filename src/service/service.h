@@ -1,0 +1,108 @@
+// MediatorService ("mixd"): the MIX mediator as a concurrent multi-session
+// server.
+//
+// The service accepts framed requests (service/wire.h), admits them into a
+// bounded executor (service/executor.h) keyed by session — commands of one
+// session run in order, distinct sessions run in parallel — and answers
+// with framed responses. Every path a peer can influence degrades to an
+// error *frame*, never a crash: malformed frames, unknown sessions, expired
+// deadlines and overload all come back as kError with the corresponding
+// Status code, and the session (when one exists) stays usable.
+//
+// Request lifecycle:
+//   bytes in -> decode (Status-based) -> admit (kUnavailable if the queue
+//   is full) -> dequeue (kDeadlineExceeded if it waited too long) ->
+//   execute against the session's virtual document -> encode -> bytes out.
+// Frame traffic is charged to a service-wide net::Channel, so the wire
+// accounting of the simulated-network experiments extends to the server
+// boundary (frames_in/out, bytes, SendBatch-style cost model).
+#ifndef MIX_SERVICE_SERVICE_H_
+#define MIX_SERVICE_SERVICE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/sim_net.h"
+#include "service/executor.h"
+#include "service/metrics.h"
+#include "service/session.h"
+#include "service/wire.h"
+
+namespace mix::service {
+
+class MediatorService : public wire::FrameTransport {
+ public:
+  struct Options {
+    int workers = 4;
+    size_t queue_capacity = 256;
+    size_t max_sessions = 1024;
+    /// Idle session TTL in ns (< 0: never evict).
+    int64_t session_idle_ttl_ns = -1;
+    /// Cost model for the client<->service link (frame accounting).
+    net::ChannelOptions wire_costs;
+  };
+
+  /// `env` is not owned and must outlive the service; it must not be
+  /// mutated once serving starts.
+  MediatorService(const SessionEnvironment* env, Options options);
+  ~MediatorService() override;
+
+  /// Asynchronous entry point: decodes, admits, and eventually invokes
+  /// `done` with the encoded response frame — on a worker thread for
+  /// admitted requests, inline for requests refused at the door (decode
+  /// errors, overload). `done` is invoked exactly once.
+  void CallAsync(std::string request_bytes,
+                 std::function<void(std::string response_bytes)> done);
+
+  /// Synchronous FrameTransport: CallAsync + wait. Safe to call from many
+  /// client threads concurrently.
+  Result<std::string> RoundTrip(const std::string& request_bytes) override;
+
+  ServiceMetricsSnapshot Metrics() const;
+
+  /// Direct registry access for tests/tools (eviction sweeps, live ids).
+  SessionRegistry& registry() { return registry_; }
+
+ private:
+  /// Runs a decoded request against its session and produces the response.
+  wire::Frame Execute(const wire::Frame& request);
+  wire::Frame ExecuteOpen(const wire::Frame& request);
+  wire::Frame ExecuteLxp(const wire::Frame& request);
+  wire::Frame ExecuteNavigation(const wire::Frame& request, Session& session);
+
+  /// Serialization keys must not collide between sessions and exported
+  /// wrappers; wrappers use the top bit.
+  static constexpr uint64_t kWrapperKeyBase = uint64_t{1} << 63;
+  /// Opens are admitted under the id they will receive, so concurrent opens
+  /// parallelize while each open still occupies one queue slot.
+  uint64_t KeyForRequest(const wire::Frame& request, Status* error) const;
+
+  void FinishRequest(const std::string& response_bytes, bool is_error);
+
+  const SessionEnvironment* env_;
+  Options options_;
+  SessionRegistry registry_;
+
+  mutable std::mutex metrics_mu_;
+  net::SimClock wire_clock_;
+  net::Channel wire_channel_;
+  int64_t frames_in_ = 0;
+  int64_t frames_out_ = 0;
+  int64_t requests_ok_ = 0;
+  int64_t requests_error_ = 0;
+  LatencyHistogram latency_;
+
+  /// Exported-wrapper serialization keys (uri -> key). Built once in the
+  /// constructor from env; const while serving.
+  std::map<std::string, uint64_t> wrapper_keys_;
+
+  /// Executor last: destroyed first, so draining tasks can still touch the
+  /// registry and metrics above.
+  Executor executor_;
+};
+
+}  // namespace mix::service
+
+#endif  // MIX_SERVICE_SERVICE_H_

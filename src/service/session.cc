@@ -1,0 +1,163 @@
+#include "service/session.h"
+
+#include "mediator/translate.h"
+
+namespace mix::service {
+
+void SessionEnvironment::RegisterShared(std::string name, Navigable* nav) {
+  shared_.push_back(SharedSource{std::move(name), nav});
+}
+
+void SessionEnvironment::RegisterWrapperFactory(
+    std::string name, std::function<std::unique_ptr<buffer::LxpWrapper>()> factory,
+    std::string uri, WrapperOptions options) {
+  wrappers_.push_back(WrapperSource{std::move(name), std::move(factory),
+                                    std::move(uri), options});
+}
+
+void SessionEnvironment::ExportWrapper(std::string uri,
+                                       buffer::LxpWrapper* wrapper) {
+  exported_[std::move(uri)] = wrapper;
+}
+
+Result<std::shared_ptr<Session>> Session::Build(uint64_t id,
+                                                const SessionEnvironment& env,
+                                                const std::string& xmas_text) {
+  Result<mediator::PlanPtr> plan = mediator::CompileXmas(xmas_text);
+  if (!plan.ok()) return plan.status();
+
+  // shared_ptr with private constructor: build through a local subclass.
+  struct MakeShared : Session {};
+  std::shared_ptr<Session> session = std::make_shared<MakeShared>();
+  session->id_ = id;
+
+  mediator::SourceRegistry sources;
+  for (const auto& s : env.shared()) {
+    sources.Register(s.name, s.nav);
+  }
+  for (const auto& w : env.wrappers()) {
+    auto clock = std::make_unique<net::SimClock>();
+    auto channel =
+        std::make_unique<net::Channel>(clock.get(), w.options.channel);
+    std::unique_ptr<buffer::LxpWrapper> wrapper = w.factory();
+    buffer::BufferComponent::Options opts;
+    opts.channel = channel.get();
+    opts.prefetch_per_command = w.options.prefetch_per_command;
+    // Prefetch traffic, when enabled, is charged to the same per-session
+    // channel: a multi-session server has no separate "think time" lane.
+    opts.prefetch_channel = channel.get();
+    auto buffer = std::make_unique<buffer::BufferComponent>(wrapper.get(),
+                                                            w.uri, opts);
+    sources.Register(w.name, buffer.get());
+    session->clocks_.push_back(std::move(clock));
+    session->channels_.push_back(std::move(channel));
+    session->wrappers_.push_back(std::move(wrapper));
+    session->buffers_.push_back(std::move(buffer));
+  }
+
+  Result<std::unique_ptr<mediator::LazyMediator>> instance =
+      mediator::LazyMediator::Build(*plan.value(), sources);
+  if (!instance.ok()) return instance.status();
+  session->mediator_ = std::move(instance).ValueOrDie();
+  session->document_ = session->mediator_->document();
+  return session;
+}
+
+void Session::RefreshSourceMetrics() {
+  metrics_.fills = 0;
+  metrics_.lxp = net::ChannelStats();
+  for (const auto& buffer : buffers_) metrics_.fills += buffer->stats().fills;
+  for (const auto& channel : channels_) metrics_.lxp += channel->stats();
+}
+
+Result<uint64_t> SessionRegistry::Open(const std::string& xmas_text) {
+  EvictIdle();
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.size() >= options_.max_sessions) {
+      return Status::Unavailable(
+          "session table full (" + std::to_string(options_.max_sessions) +
+          " open)");
+    }
+    id = next_id_++;
+  }
+  // Compile/instantiate outside the registry lock — opens of different
+  // sessions proceed in parallel on different workers.
+  Result<std::shared_ptr<Session>> session = Session::Build(id, *env_, xmas_text);
+  if (!session.ok()) return session.status();
+  session.value()->Touch(NowNs());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.size() >= options_.max_sessions) {
+      return Status::Unavailable("session table full");
+    }
+    sessions_.emplace(id, session.value());
+    ++counters_.opened;
+    counters_.open = static_cast<int64_t>(sessions_.size());
+  }
+  return id;
+}
+
+Status SessionRegistry::Close(uint64_t id) {
+  std::shared_ptr<Session> victim;  // destroyed outside the lock
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session " + std::to_string(id));
+  }
+  victim = std::move(it->second);
+  sessions_.erase(it);
+  ++counters_.closed;
+  counters_.open = static_cast<int64_t>(sessions_.size());
+  return Status::OK();
+}
+
+std::shared_ptr<Session> SessionRegistry::Find(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return nullptr;
+  it->second->Touch(NowNs());
+  return it->second;
+}
+
+size_t SessionRegistry::EvictIdle() {
+  if (options_.idle_ttl_ns < 0) return 0;
+  int64_t cutoff = NowNs() - options_.idle_ttl_ns;
+  std::vector<std::shared_ptr<Session>> victims;  // destroyed outside lock
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (it->second->last_active_ns() < cutoff) {
+        victims.push_back(std::move(it->second));
+        it = sessions_.erase(it);
+        ++counters_.evicted;
+      } else {
+        ++it;
+      }
+    }
+    counters_.open = static_cast<int64_t>(sessions_.size());
+  }
+  return victims.size();
+}
+
+SessionRegistry::Counters SessionRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::vector<uint64_t> SessionRegistry::LiveIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) ids.push_back(id);
+  return ids;
+}
+
+int64_t SessionRegistry::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace mix::service

@@ -1,0 +1,193 @@
+// Multi-session state for the mixd mediator server.
+//
+// A *session* is one client's dialogue with one virtual answer document:
+// Open(xmas_text) compiles the query (mediator::CompileXmas), instantiates
+// the tree of lazy mediators, and — for every wrapper-backed source — gives
+// the session its OWN BufferComponent, simulated clock, and LXP channel, so
+// concurrent sessions never share mutable navigation state. Shared sources
+// registered as plain Navigables must be safe for concurrent reads (a
+// DocNavigable over an immutable document is; see DESIGN.md §4 on the Atom
+// and node-id thread-safety guarantees that make cross-thread ids work).
+//
+// Sessions are ref-counted: the registry holds one reference, and each
+// in-flight request holds another for the duration of its execution, so an
+// eviction or Close racing with a running command (on another session's
+// worker) can never destroy state mid-navigation — the session just
+// becomes unreachable and is reclaimed when its last command returns.
+//
+// Eviction: sessions idle longer than the TTL are closed by the sweep that
+// runs on every Open (and on demand via EvictIdle) — the paper's mediator
+// cannot know when a client drops a handle, so, exactly like the Skolem
+// node-ids, lifetime is bounded by policy rather than by client courtesy.
+#ifndef MIX_SERVICE_SESSION_H_
+#define MIX_SERVICE_SESSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer.h"
+#include "buffer/lxp.h"
+#include "core/navigable.h"
+#include "core/status.h"
+#include "mediator/instantiate.h"
+#include "net/sim_net.h"
+#include "service/metrics.h"
+
+namespace mix::service {
+
+/// The sources a service instance serves its sessions from. Registered
+/// once, before the service starts; const thereafter (shared across worker
+/// threads without locking).
+class SessionEnvironment {
+ public:
+  /// A source every session navigates directly. `nav` must tolerate
+  /// concurrent navigation calls from multiple threads.
+  void RegisterShared(std::string name, Navigable* nav);
+
+  /// A wrapper-backed source: every session that opens gets its own wrapper
+  /// instance (from `factory`), its own BufferComponent and its own
+  /// simulated channel/clock — the per-session LXP state of the paper's
+  /// Fig. 7, multiplied by the number of clients.
+  struct WrapperOptions {
+    net::ChannelOptions channel;
+    int prefetch_per_command = 0;
+  };
+  void RegisterWrapperFactory(
+      std::string name,
+      std::function<std::unique_ptr<buffer::LxpWrapper>()> factory,
+      std::string uri, WrapperOptions options);
+  void RegisterWrapperFactory(
+      std::string name,
+      std::function<std::unique_ptr<buffer::LxpWrapper>()> factory,
+      std::string uri) {
+    RegisterWrapperFactory(std::move(name), std::move(factory), std::move(uri),
+                           WrapperOptions());
+  }
+
+  /// Exports `wrapper` for remote LXP serving (wire kLxpGetRoot/kLxpFill/
+  /// kLxpFillMany frames address it by `uri`). The service serializes
+  /// access per exported wrapper, so `wrapper` itself needs no locking.
+  void ExportWrapper(std::string uri, buffer::LxpWrapper* wrapper);
+
+  struct SharedSource {
+    std::string name;
+    Navigable* nav;
+  };
+  struct WrapperSource {
+    std::string name;
+    std::function<std::unique_ptr<buffer::LxpWrapper>()> factory;
+    std::string uri;
+    WrapperOptions options;
+  };
+  const std::vector<SharedSource>& shared() const { return shared_; }
+  const std::vector<WrapperSource>& wrappers() const { return wrappers_; }
+  const std::map<std::string, buffer::LxpWrapper*>& exported() const {
+    return exported_;
+  }
+
+ private:
+  std::vector<SharedSource> shared_;
+  std::vector<WrapperSource> wrappers_;
+  std::map<std::string, buffer::LxpWrapper*> exported_;
+};
+
+/// One open session. Construction happens on a worker (plan compilation is
+/// part of the Open request); navigation state is only touched under the
+/// executor's per-session serialization.
+class Session {
+ public:
+  static Result<std::shared_ptr<Session>> Build(uint64_t id,
+                                                const SessionEnvironment& env,
+                                                const std::string& xmas_text);
+
+  uint64_t id() const { return id_; }
+  Navigable* document() { return document_; }
+  SessionMetrics& metrics() { return metrics_; }
+
+  /// Steady-clock ns of the last dispatched command (atomic: touched by the
+  /// dispatcher, read by the evicting sweep).
+  int64_t last_active_ns() const {
+    return last_active_ns_.load(std::memory_order_relaxed);
+  }
+  void Touch(int64_t now_ns) {
+    last_active_ns_.store(now_ns, std::memory_order_relaxed);
+  }
+
+  /// Folds the per-source buffer/channel counters into metrics() — called
+  /// under the session's serialization before a metrics read.
+  void RefreshSourceMetrics();
+
+ private:
+  Session() = default;
+
+  uint64_t id_ = 0;
+  // Order matters for destruction: the mediator navigates buffers, buffers
+  // call wrappers and charge channels; members are destroyed bottom-up.
+  std::vector<std::unique_ptr<net::SimClock>> clocks_;
+  std::vector<std::unique_ptr<net::Channel>> channels_;
+  std::vector<std::unique_ptr<buffer::LxpWrapper>> wrappers_;
+  std::vector<std::unique_ptr<buffer::BufferComponent>> buffers_;
+  std::unique_ptr<mediator::LazyMediator> mediator_;
+  Navigable* document_ = nullptr;
+  SessionMetrics metrics_;
+  std::atomic<int64_t> last_active_ns_{0};
+};
+
+/// Id → session map with TTL eviction. Thread-safe; lookups hand out
+/// shared_ptrs (see file comment for the lifetime argument).
+class SessionRegistry {
+ public:
+  struct Options {
+    size_t max_sessions = 1024;
+    /// Idle TTL in steady-clock ns; < 0 disables eviction.
+    int64_t idle_ttl_ns = -1;
+  };
+
+  SessionRegistry(const SessionEnvironment* env, Options options)
+      : env_(env), options_(options) {}
+
+  /// Compiles and instantiates; runs the idle sweep first so abandoned
+  /// sessions make room. kUnavailable when the session table is full.
+  Result<uint64_t> Open(const std::string& xmas_text);
+
+  /// kNotFound for unknown (or already closed/evicted) ids.
+  Status Close(uint64_t id);
+
+  /// nullptr when unknown; touches the session's idle clock.
+  std::shared_ptr<Session> Find(uint64_t id);
+
+  /// Evicts sessions idle past the TTL; returns how many.
+  size_t EvictIdle();
+
+  struct Counters {
+    int64_t open = 0;
+    int64_t opened = 0;
+    int64_t closed = 0;
+    int64_t evicted = 0;
+  };
+  Counters counters() const;
+
+  /// Collects a snapshot of every live session's id (diagnostics/tests).
+  std::vector<uint64_t> LiveIds() const;
+
+ private:
+  static int64_t NowNs();
+
+  const SessionEnvironment* env_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  uint64_t next_id_ = 1;
+  Counters counters_;
+};
+
+}  // namespace mix::service
+
+#endif  // MIX_SERVICE_SESSION_H_

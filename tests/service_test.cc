@@ -1,0 +1,440 @@
+// Integration tests for the mixd service layer: session lifecycle, framed
+// navigation equivalence against in-process evaluation (the Fig. 3 running
+// example), deadline expiry, overload rejection, remote-LXP serving, and a
+// multi-worker concurrency smoke test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "buffer/buffer.h"
+#include "client/client.h"
+#include "client/framed_document.h"
+#include "mediator/instantiate.h"
+#include "mediator/translate.h"
+#include "service/service.h"
+#include "service/session.h"
+#include "service/wire.h"
+#include "test_util.h"
+#include "wrappers/xml_lxp_wrapper.h"
+#include "xml/doc_navigable.h"
+
+namespace mix::service {
+namespace {
+
+using client::FramedDocument;
+using wire::Frame;
+using wire::MsgType;
+
+// The Fig. 3 running example (same fixture as tests/mediator_test.cc).
+const char* kFig3 = R"(
+CONSTRUCT <answer>
+  <med_home> $H $S {$S} </med_home> {$H}
+</answer> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+  AND schoolsSrc schools.school $S AND $S zip._ $V2
+  AND $V1 = $V2
+)";
+
+const char* kHomes =
+    "homes[home[addr[La Jolla],zip[91220]],home[addr[El Cajon],zip[91223]],"
+    "home[addr[Nowhere],zip[99999]]]";
+const char* kSchools =
+    "schools[school[dir[Smith],zip[91220]],school[dir[Bar],zip[91220]],"
+    "school[dir[Hart],zip[91223]]]";
+
+const char* kExpectedAnswer =
+    "answer["
+    "med_home[home[addr[La Jolla],zip[91220]],"
+    "school[dir[Smith],zip[91220]],school[dir[Bar],zip[91220]]],"
+    "med_home[home[addr[El Cajon],zip[91223]],school[dir[Hart],zip[91223]]]]";
+
+/// Decorator that sleeps in Fetch — a "distant source" that makes one
+/// navigation command take long enough to pile requests up behind it.
+class SlowNavigable : public Navigable {
+ public:
+  SlowNavigable(Navigable* inner, std::chrono::milliseconds delay)
+      : inner_(inner), delay_(delay) {}
+
+  NodeId Root() override { return inner_->Root(); }
+  std::optional<NodeId> Down(const NodeId& p) override {
+    return inner_->Down(p);
+  }
+  std::optional<NodeId> Right(const NodeId& p) override {
+    return inner_->Right(p);
+  }
+  Label Fetch(const NodeId& p) override {
+    std::this_thread::sleep_for(delay_);
+    return inner_->Fetch(p);
+  }
+
+ private:
+  Navigable* inner_;
+  std::chrono::milliseconds delay_;
+};
+
+/// A kFetch request for `doc`'s root — the command the deadline/overload
+/// tests queue up (Fetch resolves the first binding through the sources, so
+/// it is the slow one when a source is slow).
+std::optional<Frame> MakeFetchRoot(FramedDocument* doc) {
+  Frame f;
+  f.type = MsgType::kFetch;
+  f.session = doc->session_id();
+  f.node = doc->Root();
+  if (!f.node.valid()) return std::nullopt;
+  return f;
+}
+
+/// Environment with per-session wrapper-backed homes/schools sources (the
+/// full service stack: session-private BufferComponents over XmlLxpWrapper).
+class ServiceFixture {
+ public:
+  ServiceFixture() : homes_(testing::Doc(kHomes)), schools_(testing::Doc(kSchools)) {
+    env_.RegisterWrapperFactory(
+        "homesSrc",
+        [this] { return std::make_unique<wrappers::XmlLxpWrapper>(homes_.get()); },
+        "homes.xml");
+    env_.RegisterWrapperFactory(
+        "schoolsSrc",
+        [this] { return std::make_unique<wrappers::XmlLxpWrapper>(schools_.get()); },
+        "schools.xml");
+  }
+
+  SessionEnvironment& env() { return env_; }
+  const xml::Document* homes() const { return homes_.get(); }
+
+ private:
+  std::unique_ptr<xml::Document> homes_;
+  std::unique_ptr<xml::Document> schools_;
+  SessionEnvironment env_;
+};
+
+TEST(ServiceTest, SessionLifecycle) {
+  ServiceFixture fx;
+  MediatorService service(&fx.env(), {});
+
+  auto doc = FramedDocument::Open(&service, kFig3).ValueOrDie();
+  EXPECT_NE(doc->session_id(), 0u);
+  EXPECT_EQ(service.registry().LiveIds().size(), 1u);
+
+  NodeId root = doc->Root();
+  EXPECT_TRUE(root.valid());
+  EXPECT_EQ(doc->Fetch(root), "answer");
+  EXPECT_TRUE(doc->last_status().ok());
+
+  EXPECT_TRUE(doc->Close().ok());
+  EXPECT_EQ(service.registry().LiveIds().size(), 0u);
+
+  // Navigation after close: ⊥ result, kNotFound latched, no crash.
+  EXPECT_FALSE(doc->Down(root).has_value());
+  EXPECT_EQ(doc->last_status().code(), Status::Code::kNotFound);
+  // Second close reports the server's kNotFound.
+  EXPECT_EQ(doc->Close().code(), Status::Code::kNotFound);
+
+  ServiceMetricsSnapshot snap = service.Metrics();
+  EXPECT_EQ(snap.sessions_opened, 1);
+  EXPECT_EQ(snap.sessions_closed, 1);
+  EXPECT_EQ(snap.sessions_open, 0);
+  EXPECT_GT(snap.frames_in, 0);
+  EXPECT_EQ(snap.frames_in, snap.frames_out);
+}
+
+TEST(ServiceTest, OpenRejectsBadQuery) {
+  ServiceFixture fx;
+  MediatorService service(&fx.env(), {});
+  auto doc = FramedDocument::Open(&service, "THIS IS NOT XMAS");
+  EXPECT_FALSE(doc.ok());
+}
+
+TEST(ServiceTest, FramedAnswerMatchesInProcessEvaluation) {
+  ServiceFixture fx;
+  MediatorService service(&fx.env(), {});
+
+  // In-process evaluation of the same plan over the same documents.
+  auto homes = testing::Doc(kHomes);
+  auto schools = testing::Doc(kSchools);
+  xml::DocNavigable homes_nav(homes.get());
+  xml::DocNavigable schools_nav(schools.get());
+  mediator::SourceRegistry sources;
+  sources.Register("homesSrc", &homes_nav);
+  sources.Register("schoolsSrc", &schools_nav);
+  auto plan = mediator::CompileXmas(kFig3).ValueOrDie();
+  auto in_process = mediator::LazyMediator::Build(*plan, sources).ValueOrDie();
+  std::string local_term = testing::MaterializeToTerm(in_process->document());
+
+  // The framed session must produce the identical term — every d/r/f the
+  // materializer issues crosses the wire.
+  auto doc = FramedDocument::Open(&service, kFig3).ValueOrDie();
+  std::string remote_term = testing::MaterializeToTerm(doc.get());
+  EXPECT_EQ(remote_term, local_term);
+  EXPECT_EQ(remote_term, kExpectedAnswer);
+  EXPECT_TRUE(doc->last_status().ok());
+}
+
+TEST(ServiceTest, VectoredNavigationOverFrames) {
+  ServiceFixture fx;
+  MediatorService service(&fx.env(), {});
+  auto doc = FramedDocument::Open(&service, kFig3).ValueOrDie();
+
+  std::vector<NodeId> med_homes;
+  doc->DownAll(doc->Root(), &med_homes);
+  ASSERT_EQ(med_homes.size(), 2u);
+  for (const NodeId& mh : med_homes) EXPECT_EQ(doc->Fetch(mh), "med_home");
+
+  // σ as a frame: from the first child of med_home[0] (a home element),
+  // select the following sibling labeled "school".
+  std::optional<NodeId> home = doc->Down(med_homes[0]);
+  ASSERT_TRUE(home.has_value());
+  std::optional<NodeId> school =
+      doc->SelectSibling(*home, LabelPredicate::Equals("school"));
+  ASSERT_TRUE(school.has_value());
+  EXPECT_EQ(doc->Fetch(*school), "school");
+
+  // NthChild and NextSiblings.
+  std::optional<NodeId> second = doc->NthChild(doc->Root(), 1);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, med_homes[1]);
+  std::vector<NodeId> sibs;
+  doc->NextSiblings(med_homes[0], -1, &sibs);
+  ASSERT_EQ(sibs.size(), 1u);
+  EXPECT_EQ(sibs[0], med_homes[1]);
+
+  // FetchSubtree snapshots the whole answer in one frame.
+  std::vector<SubtreeEntry> entries;
+  doc->FetchSubtree(doc->Root(), -1, &entries);
+  EXPECT_FALSE(entries.empty());
+  EXPECT_EQ(entries[0].label.name(), "answer");
+
+  // The XmlElement client layer works unchanged over the framed session
+  // (transparency across the service boundary).
+  client::VirtualXmlDocument vdoc(doc.get());
+  client::XmlElement answer = vdoc.Root();
+  EXPECT_EQ(answer.Name(), "answer");
+  EXPECT_EQ(answer.Children().size(), 2u);
+  EXPECT_EQ(answer.FirstChild().Child("home").Child("zip").Text(), "91220");
+}
+
+TEST(ServiceTest, MalformedFramesLeaveSessionUsable) {
+  ServiceFixture fx;
+  MediatorService service(&fx.env(), {});
+  auto doc = FramedDocument::Open(&service, kFig3).ValueOrDie();
+  NodeId root = doc->Root();
+
+  // A parade of garbage: truncated, corrupt magic, bogus type. Every one
+  // comes back as a kError frame (or transport error), never a crash.
+  for (const std::string& junk :
+       {std::string(), std::string("\x01\x02\x03"), std::string(40, '\xff'),
+        std::string("\x00\x00\x00\x00MX\x01\x20", 8)}) {
+    Result<std::string> resp = service.RoundTrip(junk);
+    ASSERT_TRUE(resp.ok());
+    Result<Frame> decoded = wire::DecodeFrame(resp.value());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().type, MsgType::kError);
+    EXPECT_FALSE(decoded.value().ToStatus().ok());
+  }
+
+  // A well-formed frame with an unknown session: error frame, not a crash.
+  Frame stray;
+  stray.type = MsgType::kDown;
+  stray.session = 424242;
+  stray.node = root;
+  Result<Frame> r = wire::Call(&service, stray);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+
+  // The existing session is untouched by all of the above.
+  EXPECT_EQ(doc->Fetch(root), "answer");
+  EXPECT_EQ(testing::MaterializeToTerm(doc.get()), kExpectedAnswer);
+}
+
+TEST(ServiceTest, IdleSessionsAreEvicted) {
+  ServiceFixture fx;
+  MediatorService::Options options;
+  options.session_idle_ttl_ns = 1;  // everything idle >1ns is reclaimable
+  MediatorService service(&fx.env(), options);
+
+  auto doc = FramedDocument::Open(&service, kFig3).ValueOrDie();
+  EXPECT_EQ(doc->Fetch(doc->Root()), "answer");
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(service.registry().EvictIdle(), 1u);
+
+  EXPECT_FALSE(doc->Down(doc->Root()).has_value());
+  EXPECT_EQ(doc->last_status().code(), Status::Code::kNotFound);
+  EXPECT_EQ(service.Metrics().sessions_evicted, 1);
+}
+
+TEST(ServiceTest, SessionTableCapacity) {
+  ServiceFixture fx;
+  MediatorService::Options options;
+  options.max_sessions = 2;
+  MediatorService service(&fx.env(), options);
+
+  auto a = FramedDocument::Open(&service, kFig3).ValueOrDie();
+  auto b = FramedDocument::Open(&service, kFig3).ValueOrDie();
+  Result<std::unique_ptr<FramedDocument>> c =
+      FramedDocument::Open(&service, kFig3);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), Status::Code::kUnavailable);
+
+  // Closing one makes room again.
+  EXPECT_TRUE(a->Close().ok());
+  EXPECT_TRUE(FramedDocument::Open(&service, kFig3).ok());
+}
+
+TEST(ServiceTest, DeadlineExpiryWhileQueued) {
+  // One worker; the first command holds it for tens of ms, so a second
+  // command on the same session with a 1ms budget expires in the queue and
+  // is cancelled with kDeadlineExceeded at dequeue time.
+  auto homes = testing::Doc(kHomes);
+  auto schools = testing::Doc(kSchools);
+  xml::DocNavigable homes_nav(homes.get());
+  xml::DocNavigable schools_nav(schools.get());
+  SlowNavigable slow_homes(&homes_nav, std::chrono::milliseconds(30));
+
+  SessionEnvironment env;
+  env.RegisterShared("homesSrc", &slow_homes);
+  env.RegisterShared("schoolsSrc", &schools_nav);
+
+  MediatorService::Options options;
+  options.workers = 1;
+  MediatorService service(&env, options);
+  auto doc = FramedDocument::Open(&service, kFig3).ValueOrDie();
+
+  // Slow request first (async, no deadline): Fetch(root) resolves the first
+  // binding, which fetches through the slow source.
+  Frame slow = *MakeFetchRoot(doc.get());
+  std::atomic<bool> slow_done{false};
+  service.CallAsync(wire::EncodeFrame(slow),
+                    [&slow_done](std::string) { slow_done = true; });
+
+  // Second request on the same session with a 1ms budget.
+  Frame hurried = slow;
+  hurried.deadline_ns = 1'000'000;
+  Result<Frame> response = wire::Call(&service, hurried);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), Status::Code::kDeadlineExceeded);
+  EXPECT_TRUE(slow_done.load());  // Call() waited behind the slow one
+
+  EXPECT_GE(service.Metrics().requests_expired, 1);
+  // The session survived the expired request.
+  EXPECT_EQ(doc->Fetch(doc->Root()), "answer");
+}
+
+TEST(ServiceTest, OverloadRejectsWithUnavailable) {
+  auto homes = testing::Doc(kHomes);
+  auto schools = testing::Doc(kSchools);
+  xml::DocNavigable homes_nav(homes.get());
+  xml::DocNavigable schools_nav(schools.get());
+  SlowNavigable slow_homes(&homes_nav, std::chrono::milliseconds(50));
+
+  SessionEnvironment env;
+  env.RegisterShared("homesSrc", &slow_homes);
+  env.RegisterShared("schoolsSrc", &schools_nav);
+
+  MediatorService::Options options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  MediatorService service(&env, options);
+  auto doc = FramedDocument::Open(&service, kFig3).ValueOrDie();
+
+  Frame fetch = *MakeFetchRoot(doc.get());
+  std::string bytes = wire::EncodeFrame(fetch);
+
+  // #1 occupies the single worker (slow source); #2 fills the single queue
+  // slot; #3 must be refused at the door with kUnavailable.
+  std::atomic<int> completions{0};
+  service.CallAsync(bytes, [&completions](std::string) { ++completions; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // let #1 start
+  service.CallAsync(bytes, [&completions](std::string) { ++completions; });
+  Result<Frame> rejected = wire::Call(&service, fetch);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), Status::Code::kUnavailable);
+  EXPECT_GE(service.Metrics().requests_rejected, 1);
+
+  // The in-flight requests complete normally and the session stays usable.
+  while (completions.load() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(doc->Fetch(doc->Root()), "answer");
+}
+
+TEST(ServiceTest, RemoteLxpServing) {
+  // The service exports a wrapper; a client-side BufferComponent demand-
+  // pages the remote source through FramedLxpWrapper — the same open-tree
+  // machinery, now with fills as frames.
+  auto homes = testing::Doc(kHomes);
+  wrappers::XmlLxpWrapper wrapper(homes.get());
+  SessionEnvironment env;
+  env.ExportWrapper("homes.xml", &wrapper);
+  MediatorService service(&env, {});
+
+  wire::FramedLxpWrapper remote(&service, "homes.xml");
+  buffer::BufferComponent buffer(&remote, "homes.xml");
+  EXPECT_EQ(testing::MaterializeToTerm(&buffer), kHomes);
+  EXPECT_TRUE(remote.last_status().ok());
+  EXPECT_GT(wrapper.fills_served(), 0);
+
+  // Unknown URI: empty results, status latched, no crash.
+  wire::FramedLxpWrapper bogus(&service, "nope.xml");
+  EXPECT_EQ(bogus.GetRoot("nope.xml"), "");
+  EXPECT_EQ(bogus.last_status().code(), Status::Code::kNotFound);
+}
+
+TEST(ServiceTest, ConcurrentSessionsSmoke) {
+  ServiceFixture fx;
+  MediatorService::Options options;
+  options.workers = 8;
+  options.queue_capacity = 4096;
+  MediatorService service(&fx.env(), options);
+
+  constexpr int kThreads = 8;
+  constexpr int kSessionsPerThread = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &failures] {
+      for (int s = 0; s < kSessionsPerThread; ++s) {
+        auto doc = FramedDocument::Open(&service, kFig3);
+        if (!doc.ok()) {
+          ++failures;
+          continue;
+        }
+        if (testing::MaterializeToTerm(doc.value().get()) != kExpectedAnswer) {
+          ++failures;
+        }
+        if (!doc.value()->Close().ok()) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  ServiceMetricsSnapshot snap = service.Metrics();
+  EXPECT_EQ(snap.sessions_opened, kThreads * kSessionsPerThread);
+  EXPECT_EQ(snap.sessions_open, 0);
+  EXPECT_EQ(snap.requests_rejected, 0);
+  EXPECT_EQ(snap.requests_error, 0);
+  EXPECT_GT(snap.p99_ns, 0);
+}
+
+TEST(ServiceTest, MetricsFrameRoundTrip) {
+  ServiceFixture fx;
+  MediatorService service(&fx.env(), {});
+  auto doc = FramedDocument::Open(&service, kFig3).ValueOrDie();
+  (void)doc->Fetch(doc->Root());
+
+  Frame req;
+  req.type = MsgType::kMetrics;
+  Result<Frame> resp = wire::Call(&service, req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().type, MsgType::kMetricsText);
+  EXPECT_NE(resp.value().text.find("sessions"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mix::service
