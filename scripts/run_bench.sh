@@ -19,7 +19,7 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
-SUITES=(node_id plan_pipeline batch_nav lxp_chunking prefetch service)
+SUITES=(node_id plan_pipeline batch_nav lxp_chunking prefetch service faults)
 for name in "${SUITES[@]}"; do
   bin="$BUILD/bench/bench_$name"
   if [ ! -x "$bin" ]; then

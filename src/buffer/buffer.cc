@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 #include "core/check.h"
 
@@ -14,32 +15,7 @@ int64_t NextInstanceId() {
 }
 
 const Atom kBufTag = Atom::Intern("buf");
-
-/// "No two adjacent holes" applies to every (nested) child list.
-void CheckNoAdjacentHoles(const FragmentList& list) {
-  bool prev_hole = false;
-  for (const Fragment& f : list) {
-    if (f.is_hole) {
-      MIX_CHECK_MSG(!prev_hole, "LXP fill contains two adjacent holes");
-      prev_hole = true;
-    } else {
-      prev_hole = false;
-      CheckNoAdjacentHoles(f.children);
-    }
-  }
-}
-
-/// Progress conditions the paper imposes on fills: a non-empty result may
-/// not consist only of holes (top-level — a nested [hole] list simply
-/// means "children unexplored"), and no two holes may be adjacent anywhere.
-void CheckProgress(const FragmentList& list) {
-  bool any_element = list.empty();
-  for (const Fragment& f : list) {
-    if (!f.is_hole) any_element = true;
-  }
-  MIX_CHECK_MSG(any_element, "non-empty LXP fill consists only of holes");
-  CheckNoAdjacentHoles(list);
-}
+const char kUnavailableLabel[] = "#unavailable";
 }  // namespace
 
 BufferComponent::BufferComponent(LxpWrapper* wrapper, std::string uri,
@@ -47,7 +23,8 @@ BufferComponent::BufferComponent(LxpWrapper* wrapper, std::string uri,
     : wrapper_(wrapper),
       uri_(std::move(uri)),
       options_(options),
-      instance_(NextInstanceId()) {
+      instance_(NextInstanceId()),
+      retry_(options.retry, options.retry_seed) {
   MIX_CHECK(wrapper_ != nullptr);
 }
 
@@ -66,6 +43,7 @@ BufferComponent::BNode* BufferComponent::Graft(const Fragment& fragment) {
     n->hole_id = fragment.hole_id;
     ++holes_outstanding_;
     hole_queue_.push_back(n->index);
+    // Freshness was validated before any mutation; this is an invariant.
     MIX_CHECK_MSG(hole_by_id_.emplace(n->hole_id, n->index).second,
                   "wrapper reused a hole id");
   } else {
@@ -91,20 +69,190 @@ void BufferComponent::Charge(int64_t request_bytes, int64_t response_bytes,
   channel->Send(response_bytes);
 }
 
-void BufferComponent::FillHole(BNode* hole, bool background) {
-  MIX_CHECK(hole->is_hole);
-  FragmentList fragments = wrapper_->Fill(hole->hole_id);
-  ++fill_count_;
-  if (!background) demand_fill_in_command_ = true;
-  Charge(16 + static_cast<int64_t>(hole->hole_id.size()),
-         FragmentListByteSize(fragments), background);
-  Splice(hole, fragments);
+Status BufferComponent::ValidateFragments(
+    const FragmentList& list, bool top_level, std::set<std::string>* fresh,
+    const std::set<std::string>* consumed) const {
+  // Progress condition 1 (top-level only): a non-empty fill may not consist
+  // only of holes — that would merely rename the hole, no progress. A
+  // *nested* [hole] list simply means "children unexplored".
+  if (top_level && !list.empty()) {
+    bool any_element = false;
+    for (const Fragment& f : list) {
+      if (!f.is_hole) any_element = true;
+    }
+    if (!any_element) {
+      return Status::InvalidArgument(
+          "LXP fill violation: non-empty fill consists only of holes");
+    }
+  }
+  bool prev_hole = false;
+  for (const Fragment& f : list) {
+    if (f.is_hole) {
+      // Progress condition 2 (everywhere): no two adjacent holes.
+      if (prev_hole) {
+        return Status::InvalidArgument(
+            "LXP fill violation: two adjacent holes");
+      }
+      prev_hole = true;
+      // Freshness: a fill may only *introduce* hole ids — one that is still
+      // outstanding, was already introduced in this response, or was
+      // consumed by this response is a duplicate.
+      if (hole_by_id_.count(f.hole_id) != 0 || fresh->count(f.hole_id) != 0 ||
+          (consumed != nullptr && consumed->count(f.hole_id) != 0)) {
+        return Status::InvalidArgument(
+            "LXP fill violation: reused hole id '" + f.hole_id + "'");
+      }
+      fresh->insert(f.hole_id);
+    } else {
+      prev_hole = false;
+      Status s =
+          ValidateFragments(f.children, /*top_level=*/false, fresh, consumed);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::OK();
 }
 
-void BufferComponent::FillHolesBatch(const std::vector<BNode*>& holes,
-                                     const FillBudget& budget,
-                                     bool background) {
-  if (holes.empty()) return;
+Status BufferComponent::ValidateFill(const FragmentList& fragments) const {
+  std::set<std::string> fresh;
+  return ValidateFragments(fragments, /*top_level=*/true, &fresh,
+                           /*consumed=*/nullptr);
+}
+
+Status BufferComponent::ValidateBatch(const std::vector<std::string>& requested,
+                                      const HoleFillList& fills) const {
+  // Two-phase discipline: the WHOLE response validates before ANY entry is
+  // spliced, so a bad batch can never leave the open tree half-updated (a
+  // half-applied batch would be unrecoverable under retry).
+  std::set<std::string> fresh;     // hole ids introduced by this response
+  std::set<std::string> consumed;  // entry ids already refined by it
+  for (const HoleFill& f : fills) {
+    if (consumed.count(f.hole_id) != 0) {
+      return Status::InvalidArgument(
+          "LXP batch violation: hole '" + f.hole_id + "' refined twice");
+    }
+    if (hole_by_id_.count(f.hole_id) != 0) {
+      // An outstanding hole of the open tree.
+    } else if (fresh.count(f.hole_id) != 0) {
+      // A continuation hole introduced by an earlier entry of this response;
+      // by the FillMany ordering contract it exists once that entry splices.
+      fresh.erase(f.hole_id);
+    } else {
+      return Status::InvalidArgument(
+          "LXP batch violation: entry refines unknown or already-filled "
+          "hole '" +
+          f.hole_id + "'");
+    }
+    consumed.insert(f.hole_id);
+    Status s =
+        ValidateFragments(f.fragments, /*top_level=*/true, &fresh, &consumed);
+    if (!s.ok()) return s;
+  }
+  for (const std::string& id : requested) {
+    if (consumed.count(id) == 0) {
+      return Status::InvalidArgument(
+          "LXP batch violation: requested hole '" + id + "' not answered");
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferComponent::RunWithRetry(bool background,
+                                     const std::function<Status()>& op) {
+  // Background (prefetch/push) exchanges never consume the command budget:
+  // they retry without charging a clock and without a deadline, so a flaky
+  // source can only degrade speculative holes, never stall the client.
+  net::SimClock* clock = background ? nullptr : options_.clock;
+  int64_t deadline_ns = background ? -1 : fill_deadline_ns_;
+  net::RetryPolicy::Outcome out = retry_.Run(op, clock, deadline_ns);
+  faults_ += out.failures;
+  retries_ += out.retries;
+  backoff_ns_ += out.backoff_ns;
+  if (options_.shared_counters != nullptr) {
+    options_.shared_counters->Add(out.failures, out.retries, out.backoff_ns);
+  }
+  return out.status;
+}
+
+void BufferComponent::MarkUnavailable(BNode* hole) {
+  MIX_CHECK(hole->is_hole);
+  hole_by_id_.erase(hole->hole_id);
+  hole->is_hole = false;
+  hole->unavailable = true;
+  hole->label = kUnavailableLabel;
+  hole->label_atom = Atom::Intern(hole->label);
+  // parent/pos are kept: the node stays addressable in its sibling list, so
+  // navigation around it keeps working.
+  --holes_outstanding_;
+  ++degraded_holes_;
+  if (options_.shared_counters != nullptr) {
+    options_.shared_counters->AddDegraded(1);
+  }
+}
+
+BufferComponent::BNode* BufferComponent::SynthesizeUnavailable(BNode* parent) {
+  BNode* n = NewNode();
+  n->unavailable = true;
+  n->label = kUnavailableLabel;
+  n->label_atom = Atom::Intern(n->label);
+  n->parent = parent;
+  n->pos = static_cast<int32_t>(parent->children.size());
+  parent->children.push_back(n);
+  ++degraded_holes_;
+  if (options_.shared_counters != nullptr) {
+    options_.shared_counters->AddDegraded(1);
+  }
+  return n;
+}
+
+void BufferComponent::Latch(const Status& status) {
+  if (!status.ok() && last_status_.ok()) last_status_ = status;
+}
+
+Status BufferComponent::TakeStatus() {
+  Status s = std::move(last_status_);
+  last_status_ = Status::OK();
+  return s;
+}
+
+void BufferComponent::SetCommandBudgetNs(int64_t budget_ns) {
+  fill_deadline_ns_ = (budget_ns < 0 || options_.clock == nullptr)
+                          ? -1
+                          : net::SaturatingAdd(options_.clock->now_ns(),
+                                               budget_ns);
+}
+
+Status BufferComponent::FillHole(BNode* hole, bool background) {
+  MIX_CHECK(hole->is_hole);
+  const std::string hole_id = hole->hole_id;
+  Status s = RunWithRetry(background, [&]() {
+    FragmentList fragments;
+    Status st = wrapper_->TryFill(hole_id, &fragments);
+    // Every attempt crosses the link: request plus a (possibly tiny error)
+    // response. Recovery cost is visible in the channel accounting.
+    Charge(16 + static_cast<int64_t>(hole_id.size()),
+           st.ok() ? FragmentListByteSize(fragments) : 16, background);
+    if (!st.ok()) return st;
+    st = ValidateFill(fragments);
+    if (!st.ok()) return st;
+    ++fill_count_;
+    Splice(hole, fragments);
+    return Status::OK();
+  });
+  if (!background) demand_fill_in_command_ = true;
+  // Exhausted retries or a permanent refusal degrade the hole; a deadline
+  // leaves it intact for a later, better-funded command.
+  if (!s.ok() && hole->is_hole &&
+      s.code() != Status::Code::kDeadlineExceeded) {
+    MarkUnavailable(hole);
+  }
+  return s;
+}
+
+Status BufferComponent::FillHolesBatch(const std::vector<BNode*>& holes,
+                                       const FillBudget& budget,
+                                       bool background) {
+  if (holes.empty()) return Status::OK();
   std::vector<std::string> ids;
   ids.reserve(holes.size());
   int64_t request_bytes = 16;
@@ -113,45 +261,66 @@ void BufferComponent::FillHolesBatch(const std::vector<BNode*>& holes,
     request_bytes += static_cast<int64_t>(h->hole_id.size());
     ids.push_back(h->hole_id);
   }
-  HoleFillList fills = wrapper_->FillMany(ids, budget);
-  MIX_CHECK_MSG(fills.size() >= ids.size(),
-                "FillMany returned fewer entries than requested holes");
-  fill_count_ += static_cast<int64_t>(fills.size());
-  if (!background) demand_fill_in_command_ = true;
   net::Channel* channel =
       background ? options_.prefetch_channel : options_.channel;
-  if (channel != nullptr) {
-    channel->SendBatch(request_bytes, static_cast<int64_t>(ids.size()));
-    channel->SendBatch(HoleFillListByteSize(fills),
-                       static_cast<int64_t>(fills.size()));
+  Status s = RunWithRetry(background, [&]() {
+    HoleFillList fills;
+    Status st = wrapper_->TryFillMany(ids, budget, &fills);
+    if (channel != nullptr) {
+      channel->SendBatch(request_bytes, static_cast<int64_t>(ids.size()));
+      if (st.ok()) {
+        channel->SendBatch(HoleFillListByteSize(fills),
+                           static_cast<int64_t>(fills.size()));
+      } else {
+        channel->Send(16);  // error response
+      }
+    }
+    if (!st.ok()) return st;
+    st = ValidateBatch(ids, fills);
+    if (!st.ok()) return st;
+    // The response validated as a whole; application cannot fail.
+    fill_count_ += static_cast<int64_t>(fills.size());
+    for (const HoleFill& f : fills) {
+      auto it = hole_by_id_.find(f.hole_id);
+      MIX_CHECK(it != hole_by_id_.end());
+      BNode* hole = by_index_[static_cast<size_t>(it->second)];
+      MIX_CHECK(hole->is_hole);
+      Splice(hole, f.fragments);
+    }
+    return Status::OK();
+  });
+  if (!background) demand_fill_in_command_ = true;
+  if (!s.ok() && s.code() != Status::Code::kDeadlineExceeded) {
+    for (BNode* h : holes) {
+      if (h->is_hole) MarkUnavailable(h);
+    }
   }
-  for (const HoleFill& f : fills) {
-    // Continuation entries refer to holes introduced by earlier splices in
-    // this same batch, so resolving in response order always succeeds.
-    auto it = hole_by_id_.find(f.hole_id);
-    MIX_CHECK_MSG(it != hole_by_id_.end(),
-                  "FillMany filled an unknown or already-filled hole");
-    BNode* hole = by_index_[static_cast<size_t>(it->second)];
-    MIX_CHECK(hole->is_hole);
-    Splice(hole, f.fragments);
-  }
+  return s;
 }
 
-void BufferComponent::CompleteChildList(BNode* parent) {
+Status BufferComponent::CompleteChildList(BNode* parent) {
   // One round for the chasing wrappers; non-chasing (default FillMany)
   // wrappers converge by the progress conditions, one level per round.
+  Status first_error = Status::OK();
   for (;;) {
     std::vector<BNode*> holes;
     for (BNode* c : parent->children) {
       if (c->is_hole) holes.push_back(c);
     }
-    if (holes.empty()) return;
-    FillHolesBatch(holes, FillBudget{}, /*background=*/false);
+    if (holes.empty()) return first_error;
+    Status s = FillHolesBatch(holes, FillBudget{}, /*background=*/false);
+    if (!s.ok()) {
+      if (first_error.ok()) first_error = s;
+      // A deadline leaves the holes intact — looping cannot progress. Any
+      // other failure degraded them, so the next round sees fewer holes.
+      if (s.code() == Status::Code::kDeadlineExceeded) return first_error;
+    }
   }
 }
 
 void BufferComponent::Splice(BNode* hole, const FragmentList& fragments) {
-  CheckProgress(fragments);
+  // Callers validated `fragments` (progress conditions + freshness) before
+  // getting here; Splice itself only maintains structural invariants.
   BNode* parent = hole->parent;
   MIX_CHECK(parent != nullptr);
   size_t at = static_cast<size_t>(hole->pos);
@@ -178,11 +347,14 @@ void BufferComponent::Splice(BNode* hole, const FragmentList& fragments) {
 
 bool BufferComponent::ApplyPushedFill(const std::string& hole_id,
                                       const FragmentList& fragments) {
-  EnsureRoot();
+  EnsureRoot();  // a degraded bootstrap simply leaves no hole to find
   auto it = hole_by_id_.find(hole_id);
   if (it == hole_by_id_.end()) return false;
   BNode* hole = by_index_[static_cast<size_t>(it->second)];
   if (!hole->is_hole) return false;
+  // A malformed push is dropped like a corrupt datagram would be — it must
+  // not poison the open tree (and there is no requester to report to).
+  if (!ValidateFill(fragments).ok()) return false;
   if (options_.prefetch_channel != nullptr) {
     options_.prefetch_channel->Send(FragmentListByteSize(fragments));
   }
@@ -190,14 +362,29 @@ bool BufferComponent::ApplyPushedFill(const std::string& hole_id,
   return true;
 }
 
-BufferComponent::BNode* BufferComponent::ChaseFirst(BNode* parent, size_t pos) {
+Status BufferComponent::ChaseFirst(BNode* parent, size_t pos, BNode** out) {
+  *out = nullptr;
   while (pos < parent->children.size()) {
     BNode* n = parent->children[pos];
-    if (!n->is_hole) return n;
-    FillHole(n, /*background=*/false);
+    if (!n->is_hole) {
+      if (n->unavailable) {
+        Latch(Status::Unavailable(
+            "subtree unavailable: fill retries exhausted"));
+      }
+      *out = n;
+      return Status::OK();
+    }
+    Status s = FillHole(n, /*background=*/false);
+    if (!s.ok()) {
+      // Still a hole: the deadline cut the fill short and the position
+      // cannot be resolved this command. Degraded: the hole became an
+      // unavailable node, re-examined (and returned) by the next iteration.
+      if (n->is_hole) return s;
+      Latch(s);
+    }
     // The list changed in place; re-examine the same position.
   }
-  return nullptr;
+  return Status::OK();
 }
 
 void BufferComponent::Prefetch(bool had_demand_fill) {
@@ -208,6 +395,8 @@ void BufferComponent::Prefetch(bool had_demand_fill) {
   // spend the remaining fill budget chasing continuation holes — the same
   // fills the one-at-a-time loop performed, in 2 messages instead of 2k.
   // Wrappers that do not chase (default FillMany) converge over rounds.
+  // Failed speculative batches degrade their holes (never retry forever,
+  // never charge the demand clock), so this loop always terminates.
   int64_t fills_done = 0;
   while (fills_done < options_.prefetch_per_command) {
     std::vector<BNode*> holes;
@@ -223,20 +412,38 @@ void BufferComponent::Prefetch(bool had_demand_fill) {
     FillHolesBatch(holes,
                    FillBudget{-1, options_.prefetch_per_command - fills_done},
                    /*background=*/true);
-    fills_done += fill_count_ - before;
+    const int64_t done = fill_count_ - before;
+    if (done == 0) return;  // speculative batch failed; stop running ahead
+    fills_done += done;
   }
 }
 
-void BufferComponent::EnsureRoot() {
-  if (initialized_) return;
+Status BufferComponent::EnsureRoot() {
+  if (initialized_) return Status::OK();
   initialized_ = true;
-  std::string root_id = wrapper_->GetRoot(uri_);
-  // get_root is one small request/response exchange.
-  Charge(16 + static_cast<int64_t>(uri_.size()),
-         16 + static_cast<int64_t>(root_id.size()), /*background=*/false);
+  std::string root_id;
+  Status s = RunWithRetry(/*background=*/false, [&]() {
+    root_id.clear();
+    Status st = wrapper_->TryGetRoot(uri_, &root_id);
+    // get_root is one small request/response exchange.
+    Charge(16 + static_cast<int64_t>(uri_.size()),
+           16 + static_cast<int64_t>(root_id.size()), /*background=*/false);
+    if (!st.ok()) return st;
+    if (root_id.empty()) {
+      return Status::InvalidArgument("get_root returned an empty hole id");
+    }
+    return Status::OK();
+  });
   super_root_ = NewNode();
   super_root_->label = "#super-root";
   super_root_->label_atom = Atom::Intern(super_root_->label);
+  if (!s.ok()) {
+    // Bootstrap failure degrades the whole view — without a root hole id
+    // there is nothing to retry against later, so even a deadline cannot
+    // leave the view "pending". The cause is the returned status.
+    SynthesizeUnavailable(super_root_);
+    return s;
+  }
   BNode* hole = NewNode();
   hole->is_hole = true;
   hole->hole_id = std::move(root_id);
@@ -246,6 +453,7 @@ void BufferComponent::EnsureRoot() {
   ++holes_outstanding_;
   hole_queue_.push_back(hole->index);
   hole_by_id_.emplace(hole->hole_id, hole->index);
+  return Status::OK();
 }
 
 NodeId BufferComponent::MakeId(const BNode* n) const {
@@ -253,18 +461,47 @@ NodeId BufferComponent::MakeId(const BNode* n) const {
 }
 
 BufferComponent::BNode* BufferComponent::Resolve(const NodeId& p) const {
-  MIX_CHECK_MSG(p.valid() && p.tag_atom() == kBufTag && p.IntAt(0) == instance_,
-                "foreign node-id passed to BufferComponent");
+  // Invalid, foreign, and stale ids resolve to nullptr (the caller answers
+  // ⊥ and latches) instead of aborting: ids reach the buffer from the
+  // mediator — which may legitimately hold the invalid NodeId a
+  // deadline-cut Root() returned — and, through it, from remote clients,
+  // neither of which may be able to kill the process with a bad handle.
+  if (!p.valid() || p.tag_atom() != kBufTag || p.IntAt(0) != instance_) {
+    return nullptr;
+  }
   int64_t index = p.IntAt(1);
-  MIX_CHECK(index >= 0 && index < static_cast<int64_t>(by_index_.size()));
-  return by_index_[static_cast<size_t>(index)];
+  if (index < 0 || index >= static_cast<int64_t>(by_index_.size())) {
+    return nullptr;
+  }
+  BNode* n = by_index_[static_cast<size_t>(index)];
+  // Hole indices are internal bookkeeping, never handed out via MakeId.
+  if (n->is_hole) return nullptr;
+  return n;
+}
+
+Status BufferComponent::BadIdStatus() {
+  return Status::InvalidArgument(
+      "foreign or stale node id passed to BufferComponent");
 }
 
 NodeId BufferComponent::Root() {
   demand_fill_in_command_ = false;
-  EnsureRoot();
-  BNode* root = ChaseFirst(super_root_, 0);
-  MIX_CHECK_MSG(root != nullptr, "LXP source exported an empty view");
+  Status s = EnsureRoot();
+  if (!s.ok()) Latch(s);
+  BNode* root = nullptr;
+  Status cs = ChaseFirst(super_root_, 0, &root);
+  if (!cs.ok()) {
+    // Deadline with the root hole intact: nothing to hand out yet; the
+    // invalid NodeId plus the latched status is the one unavoidable ⊥.
+    Latch(cs);
+    Prefetch(demand_fill_in_command_);
+    return NodeId();
+  }
+  if (root == nullptr) {
+    // Protocol violation (fill emptied the root list) — degrade, don't die.
+    Latch(Status::InvalidArgument("LXP source exported an empty view"));
+    root = SynthesizeUnavailable(super_root_);
+  }
   Prefetch(demand_fill_in_command_);
   return MakeId(root);
 }
@@ -272,8 +509,17 @@ NodeId BufferComponent::Root() {
 std::optional<NodeId> BufferComponent::Down(const NodeId& p) {
   demand_fill_in_command_ = false;
   BNode* n = Resolve(p);
-  MIX_CHECK(!n->is_hole);
-  BNode* child = ChaseFirst(n, 0);
+  if (n == nullptr) {
+    Latch(BadIdStatus());
+    return std::nullopt;
+  }
+  if (n->unavailable) {
+    Latch(Status::Unavailable("subtree unavailable: fill retries exhausted"));
+    return std::nullopt;
+  }
+  BNode* child = nullptr;
+  Status s = ChaseFirst(n, 0, &child);
+  if (!s.ok()) Latch(s);
   Prefetch(demand_fill_in_command_);
   if (child == nullptr) return std::nullopt;
   return MakeId(child);
@@ -282,8 +528,14 @@ std::optional<NodeId> BufferComponent::Down(const NodeId& p) {
 std::optional<NodeId> BufferComponent::Right(const NodeId& p) {
   demand_fill_in_command_ = false;
   BNode* n = Resolve(p);
+  if (n == nullptr) {
+    Latch(BadIdStatus());
+    return std::nullopt;
+  }
   MIX_CHECK(n->parent != nullptr);
-  BNode* sibling = ChaseFirst(n->parent, static_cast<size_t>(n->pos) + 1);
+  BNode* sibling = nullptr;
+  Status s = ChaseFirst(n->parent, static_cast<size_t>(n->pos) + 1, &sibling);
+  if (!s.ok()) Latch(s);
   Prefetch(demand_fill_in_command_);
   if (sibling == nullptr) return std::nullopt;
   return MakeId(sibling);
@@ -291,23 +543,49 @@ std::optional<NodeId> BufferComponent::Right(const NodeId& p) {
 
 Label BufferComponent::Fetch(const NodeId& p) {
   BNode* n = Resolve(p);
-  MIX_CHECK(!n->is_hole);
+  if (n == nullptr) {
+    Latch(BadIdStatus());
+    return Label();
+  }
+  if (n->unavailable) {
+    Latch(Status::Unavailable("node unavailable: fill retries exhausted"));
+  }
   return n->label;
 }
 
 Atom BufferComponent::FetchAtom(const NodeId& p) {
   BNode* n = Resolve(p);
-  MIX_CHECK(!n->is_hole);
+  if (n == nullptr) {
+    Latch(BadIdStatus());
+    return Atom();
+  }
+  if (n->unavailable) {
+    Latch(Status::Unavailable("node unavailable: fill retries exhausted"));
+  }
   return n->label_atom;
 }
 
 void BufferComponent::DownAll(const NodeId& p, std::vector<NodeId>* out) {
   demand_fill_in_command_ = false;
   BNode* n = Resolve(p);
-  MIX_CHECK(!n->is_hole);
-  CompleteChildList(n);
+  if (n == nullptr) {
+    Latch(BadIdStatus());
+    return;
+  }
+  if (n->unavailable) {
+    Latch(Status::Unavailable("subtree unavailable: fill retries exhausted"));
+    return;
+  }
+  Status s = CompleteChildList(n);
+  if (!s.ok()) Latch(s);
   out->reserve(out->size() + n->children.size());
-  for (const BNode* c : n->children) out->push_back(MakeId(c));
+  for (BNode* c : n->children) {
+    if (c->is_hole) continue;  // deadline remnant; latched above
+    if (c->unavailable) {
+      Latch(Status::Unavailable("child unavailable: fill retries exhausted"));
+    }
+    out->push_back(MakeId(c));
+  }
   Prefetch(demand_fill_in_command_);
 }
 
@@ -316,13 +594,17 @@ void BufferComponent::NextSiblings(const NodeId& p, int64_t limit,
   if (limit == 0) return;
   demand_fill_in_command_ = false;
   BNode* n = Resolve(p);
+  if (n == nullptr) {
+    Latch(BadIdStatus());
+    return;
+  }
   MIX_CHECK(n->parent != nullptr);
   BNode* parent = n->parent;
   size_t pos = static_cast<size_t>(n->pos) + 1;
   int64_t taken = 0;
   while (pos < parent->children.size() && (limit < 0 || taken < limit)) {
-    BNode* s = parent->children[pos];
-    if (s->is_hole) {
+    BNode* sib = parent->children[pos];
+    if (sib->is_hole) {
       FillBudget budget;  // default: refine completely
       if (limit >= 0) {
         // Ask only for the elements still missing: siblings already
@@ -335,10 +617,18 @@ void BufferComponent::NextSiblings(const NodeId& p, int64_t limit,
         }
         budget.elements = std::max<int64_t>(limit - taken - buffered_after, 0);
       }
-      FillHolesBatch({s}, budget, /*background=*/false);
+      Status s = FillHolesBatch({sib}, budget, /*background=*/false);
+      if (!s.ok()) {
+        Latch(s);
+        if (sib->is_hole) break;  // deadline: cannot advance past the hole
+      }
       continue;  // the list changed in place; re-examine the same position
     }
-    out->push_back(MakeId(s));
+    if (sib->unavailable) {
+      Latch(
+          Status::Unavailable("sibling unavailable: fill retries exhausted"));
+    }
+    out->push_back(MakeId(sib));
     ++taken;
     ++pos;
   }
@@ -350,20 +640,30 @@ void BufferComponent::FetchSubtreeOf(BNode* n, int32_t depth_here,
                                      std::vector<SubtreeEntry>* out) {
   const size_t slot = out->size();
   out->push_back(SubtreeEntry{n->label_atom, depth_here, false, NodeId()});
+  if (n->unavailable) {
+    // Emitted as a leaf marker; nothing below it can be fetched.
+    Latch(Status::Unavailable("subtree unavailable: fill retries exhausted"));
+    return;
+  }
   if (depth_limit >= 0 && depth_here >= depth_limit) {
     // Probe exactly like a node-at-a-time d at the cutoff would: resolve
     // leading holes until the first element (or an empty list) is known.
-    if (ChaseFirst(n, 0) != nullptr) {
+    BNode* first = nullptr;
+    Status s = ChaseFirst(n, 0, &first);
+    if (!s.ok()) Latch(s);
+    if (first != nullptr) {
       (*out)[slot].truncated = true;
       (*out)[slot].id = MakeId(n);
     }
     return;
   }
-  CompleteChildList(n);
+  Status s = CompleteChildList(n);
+  if (!s.ok()) Latch(s);
   // Snapshot: CompleteChildList on a descendant cannot reallocate this
   // vector (the list is already hole-free), but keep indices, not
   // iterators, for clarity.
   for (size_t i = 0; i < n->children.size(); ++i) {
+    if (n->children[i]->is_hole) continue;  // deadline remnant
     FetchSubtreeOf(n->children[i], depth_here + 1, depth_limit, out);
   }
 }
@@ -372,7 +672,10 @@ void BufferComponent::FetchSubtree(const NodeId& p, int64_t depth,
                                    std::vector<SubtreeEntry>* out) {
   demand_fill_in_command_ = false;
   BNode* n = Resolve(p);
-  MIX_CHECK(!n->is_hole);
+  if (n == nullptr) {
+    Latch(BadIdStatus());
+    return;
+  }
   FetchSubtreeOf(n, 0, depth, out);
   Prefetch(demand_fill_in_command_);
 }

@@ -12,16 +12,44 @@
 //
 // One generic implementation serves every wrapper — the modularity argument
 // of Section 4 against "fat" wrappers with ad-hoc buffering.
+//
+// Fault handling (DESIGN.md §4 "Fault handling & degradation"): every
+// wrapper exchange goes through the Status-returning Try* face of
+// LxpWrapper, is validated BEFORE any mutation (progress conditions,
+// hole-id freshness, batch completeness), and runs under a RetryPolicy —
+// bounded attempts, exponential backoff charged to the session's SimClock,
+// capped by the per-command virtual deadline (SetCommandBudgetNs). A
+// malformed or failed response can therefore never abort the process or
+// corrupt the open tree:
+//   * transient failures are retried and, on success, the answer is
+//     byte-identical to a fault-free run;
+//   * a fill that exhausts its attempts (or fails non-retryably) degrades
+//     the hole into an *unavailable* node — a real tree node labeled
+//     "#unavailable" with no children — and the rest of the tree stays
+//     navigable;
+//   * a fill abandoned because its backoff would overrun the command
+//     deadline leaves the hole intact (retryable by a later command).
+// Navigable has no Status channel (the paper's d/r/f return node-or-⊥), so
+// the triggering error is latched in last_status()/TakeStatus() — the
+// service layer drains it per command into a typed error frame. The only
+// navigation that cannot produce a node at all (Root() with the bootstrap
+// fill still pending at a deadline) returns an invalid NodeId plus a
+// latched kDeadlineExceeded; every other degraded path yields real,
+// resolvable ids.
 #ifndef MIX_BUFFER_BUFFER_H_
 #define MIX_BUFFER_BUFFER_H_
 
 #include <deque>
+#include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "buffer/lxp.h"
 #include "core/navigable.h"
+#include "core/status.h"
+#include "net/fault.h"
 #include "net/sim_net.h"
 
 namespace mix::buffer {
@@ -46,6 +74,19 @@ class BufferComponent : public Navigable {
     /// client command prefetches — unthrottled speculation that can stream
     /// the entire source (measured in bench_prefetch).
     bool prefetch_on_miss_only = true;
+
+    /// Retry discipline for failed wrapper exchanges (default: 1 attempt —
+    /// no retry, matching the pre-fault-layer behavior cost-wise).
+    net::RetryOptions retry;
+    /// Seed for the retry jitter (deterministic per buffer).
+    uint64_t retry_seed = 0x6d69782d72747279ull;
+    /// Clock that funds retry backoff and the per-command deadline; null
+    /// disables both (attempts are still bounded by `retry.max_attempts`).
+    /// Typically the same SimClock behind `channel`.
+    net::SimClock* clock = nullptr;
+    /// Optional service-wide fault counters (atomics) this buffer also
+    /// bumps — how per-session recovery aggregates into mixd metrics.
+    net::FaultCounters* shared_counters = nullptr;
   };
 
   /// `wrapper` is not owned and must outlive the buffer.
@@ -74,18 +115,36 @@ class BufferComponent : public Navigable {
   /// Section 4: "the wrapper can prefetch data from the source and fill
   /// in previously left open holes at the buffer". Splices `fragments`
   /// into the outstanding hole `hole_id`; returns false when that hole is
-  /// unknown or was already filled (the push is simply dropped, as a late
+  /// unknown or was already filled, or when the fragments violate the fill
+  /// validity conditions (a malformed push is simply dropped, as a corrupt
   /// network message would be). Traffic is charged to the prefetch
   /// channel (it overlaps client think time), never to the demand path.
   bool ApplyPushedFill(const std::string& hole_id,
                        const FragmentList& fragments);
 
-  /// Number of fill requests issued so far (demand + prefetch).
+  /// Number of fills successfully applied so far (demand + prefetch).
   int64_t fill_count() const { return fill_count_; }
   /// Elements currently materialized in the open tree.
   int64_t nodes_buffered() const { return nodes_buffered_; }
   /// Unfilled holes currently present.
   int64_t holes_outstanding() const { return holes_outstanding_; }
+  /// Holes degraded into unavailable nodes after exhausted/permanent fill
+  /// failures.
+  int64_t degraded_holes() const { return degraded_holes_; }
+
+  /// First error latched by navigation since the last TakeStatus() — the
+  /// typed face of ⊥/"#unavailable" answers. OK when navigation has been
+  /// clean.
+  const Status& last_status() const { return last_status_; }
+  /// Returns and clears the latch (one typed error per service command).
+  Status TakeStatus();
+
+  /// Arms the per-command fill deadline: demand fills issued by subsequent
+  /// commands may spend at most `budget_ns` of virtual time (clock +
+  /// backoff) before failing with kDeadlineExceeded; < 0 (or a null
+  /// Options::clock) disarms. The service layer calls this with the
+  /// executor deadline's remaining budget, 1 real ns = 1 virtual ns.
+  void SetCommandBudgetNs(int64_t budget_ns);
 
   /// One-call snapshot of the counters above — what a per-session metrics
   /// sweep (service layer) reads per buffered source.
@@ -93,8 +152,17 @@ class BufferComponent : public Navigable {
     int64_t fills = 0;
     int64_t nodes_buffered = 0;
     int64_t holes_outstanding = 0;
+    /// Fault/recovery counters: failed wrapper exchanges observed, retries
+    /// issued, virtual backoff time spent, holes degraded to unavailable.
+    int64_t faults = 0;
+    int64_t retries = 0;
+    int64_t backoff_ns = 0;
+    int64_t degraded_holes = 0;
   };
-  Stats stats() const { return {fill_count_, nodes_buffered_, holes_outstanding_}; }
+  Stats stats() const {
+    return {fill_count_,  nodes_buffered_, holes_outstanding_, faults_,
+            retries_,     backoff_ns_,     degraded_holes_};
+  }
 
   /// Term rendering of the current open tree (root list), holes included —
   /// lets tests assert the refinement sequence of Ex. 7.
@@ -103,6 +171,9 @@ class BufferComponent : public Navigable {
  private:
   struct BNode {
     bool is_hole = false;
+    /// A hole whose fill budget is exhausted: a real (navigable) node
+    /// labeled "#unavailable" with no children.
+    bool unavailable = false;
     std::string hole_id;
     std::string label;
     /// `label`, interned at graft time — answers f without re-hashing.
@@ -115,27 +186,65 @@ class BufferComponent : public Navigable {
 
   BNode* NewNode();
   BNode* Graft(const Fragment& fragment);
-  /// Splices `fragments` in place of `hole` and renumbers positions.
+  /// Splices `fragments` in place of `hole` and renumbers positions. The
+  /// fragments must already have passed validation.
   void Splice(BNode* hole, const FragmentList& fragments);
-  /// Issues fill() for `hole`, splices the result into the parent list, and
-  /// renumbers sibling positions. `background` selects the charge channel.
-  void FillHole(BNode* hole, bool background);
-  /// Issues one FillMany exchange for `holes` (all outstanding) under
-  /// `budget` and splices every returned entry. Charged as ONE request and
-  /// ONE response message, whatever the batch size.
-  void FillHolesBatch(const std::vector<BNode*>& holes,
-                      const FillBudget& budget, bool background);
-  /// Batch-fills until `parent`'s child list contains no holes.
-  void CompleteChildList(BNode* parent);
+
+  // --- fill-path validation (before ANY mutation) ---
+  /// Progress conditions + hole-id freshness for one fragment list.
+  /// `fresh` accumulates new hole ids across a response; `consumed` (may be
+  /// null) holds batch-entry ids already refined in the same response.
+  Status ValidateFragments(const FragmentList& list, bool top_level,
+                           std::set<std::string>* fresh,
+                           const std::set<std::string>* consumed) const;
+  /// One complete fill response for a single hole.
+  Status ValidateFill(const FragmentList& fragments) const;
+  /// One complete FillMany response: every entry refines a known hole at
+  /// most once, every requested hole is answered, every fragment list is
+  /// valid. Rejecting here is what keeps a malicious remote source from
+  /// aborting mixd (the old MIX_CHECKs) — the batch is applied only after
+  /// it validated as a whole.
+  Status ValidateBatch(const std::vector<std::string>& requested,
+                       const HoleFillList& fills) const;
+
+  // --- Status-returning fill internals ---
+  /// Runs one wrapper exchange under the retry policy; demand exchanges
+  /// (background=false) charge backoff to Options::clock and respect the
+  /// command deadline. Folds the outcome into the fault counters.
+  Status RunWithRetry(bool background, const std::function<Status()>& op);
+  Status FillHole(BNode* hole, bool background);
+  Status FillHolesBatch(const std::vector<BNode*>& holes,
+                        const FillBudget& budget, bool background);
+  /// Batch-fills until `parent`'s child list contains no holes (degraded
+  /// holes count as done). Returns the first error; stops early only on
+  /// kDeadlineExceeded (nothing was degraded, so looping cannot progress).
+  Status CompleteChildList(BNode* parent);
   /// Pre-order emit of `n`'s subtree, completing child lists as it goes.
   void FetchSubtreeOf(BNode* n, int32_t depth_here, int64_t depth_limit,
                       std::vector<SubtreeEntry>* out);
   /// First element at or after `pos` in `parent`'s list, filling holes as
-  /// needed (Fig. 8 chase_first). nullptr if the list is exhausted.
-  BNode* ChaseFirst(BNode* parent, size_t pos);
+  /// needed (Fig. 8 chase_first). *out = nullptr if the list is exhausted
+  /// (OK) or the blocking fill failed without degrading (error returned).
+  Status ChaseFirst(BNode* parent, size_t pos, BNode** out);
   void Prefetch(bool had_demand_fill);
-  void EnsureRoot();
+  /// Bootstraps the root hole. Never fails hard: a get_root that exhausts
+  /// its retries degrades the whole view to one unavailable root node (the
+  /// returned Status carries the cause for latching).
+  Status EnsureRoot();
+  /// Turns an exhausted hole into an unavailable node in place.
+  void MarkUnavailable(BNode* hole);
+  /// Appends a synthetic unavailable node to `parent`'s child list (root
+  /// bootstrap failure / empty-view protocol violation).
+  BNode* SynthesizeUnavailable(BNode* parent);
+  /// First-error latch (kept until TakeStatus).
+  void Latch(const Status& status);
+
+  /// nullptr for invalid, foreign, stale, or hole-internal ids — the public
+  /// navigation methods answer ⊥ and latch BadIdStatus() instead of
+  /// aborting (ids arrive from the mediator and, through it, from remote
+  /// clients; neither may be able to kill the process with a bad handle).
   BNode* Resolve(const NodeId& p) const;
+  static Status BadIdStatus();
   NodeId MakeId(const BNode* n) const;
   void Charge(int64_t request_bytes, int64_t response_bytes, bool background);
   std::string TermOf(const BNode* n) const;
@@ -144,6 +253,7 @@ class BufferComponent : public Navigable {
   std::string uri_;
   Options options_;
   int64_t instance_;
+  net::RetryPolicy retry_;
 
   std::deque<BNode> arena_;
   std::vector<BNode*> by_index_;
@@ -158,6 +268,13 @@ class BufferComponent : public Navigable {
   int64_t fill_count_ = 0;
   int64_t nodes_buffered_ = 0;
   int64_t holes_outstanding_ = 0;
+  int64_t faults_ = 0;
+  int64_t retries_ = 0;
+  int64_t backoff_ns_ = 0;
+  int64_t degraded_holes_ = 0;
+  /// Absolute virtual deadline for demand fills (-1: none).
+  int64_t fill_deadline_ns_ = -1;
+  Status last_status_;
   /// True while the current client command has triggered a demand fill.
   bool demand_fill_in_command_ = false;
 };

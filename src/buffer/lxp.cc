@@ -89,6 +89,22 @@ HoleFillList LxpWrapper::FillMany(const std::vector<std::string>& holes,
   return out;
 }
 
+Status LxpWrapper::TryGetRoot(const std::string& uri, std::string* out) {
+  *out = GetRoot(uri);
+  return Status::OK();
+}
+
+Status LxpWrapper::TryFill(const std::string& hole_id, FragmentList* out) {
+  *out = Fill(hole_id);
+  return Status::OK();
+}
+
+Status LxpWrapper::TryFillMany(const std::vector<std::string>& holes,
+                               const FillBudget& budget, HoleFillList* out) {
+  *out = FillMany(holes, budget);
+  return Status::OK();
+}
+
 HoleFillList LxpWrapper::ChaseFills(const std::vector<std::string>& holes,
                                     const FillBudget& budget) {
   HoleFillList out;

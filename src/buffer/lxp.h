@@ -111,6 +111,18 @@ class LxpWrapper {
   virtual HoleFillList FillMany(const std::vector<std::string>& holes,
                                 const FillBudget& budget);
 
+  /// Status-returning variants — the fallible face of the same protocol.
+  /// The buffer calls ONLY these: a wrapper backed by a real network (the
+  /// framed stub, a fault-injecting decorator) overrides them to report
+  /// transport failures as Status instead of fabricating empty results,
+  /// which is what lets the buffer retry, back off, or degrade instead of
+  /// aborting. The defaults delegate to the legacy methods and always
+  /// succeed, so existing in-process wrappers need no changes.
+  virtual Status TryGetRoot(const std::string& uri, std::string* out);
+  virtual Status TryFill(const std::string& hole_id, FragmentList* out);
+  virtual Status TryFillMany(const std::vector<std::string>& holes,
+                             const FillBudget& budget, HoleFillList* out);
+
  protected:
   /// Budgeted chasing loop shared by the concrete wrappers: serves each
   /// requested hole via Fill(), then keeps filling top-level holes

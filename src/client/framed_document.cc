@@ -23,9 +23,33 @@ Result<std::unique_ptr<FramedDocument>> FramedDocument::Open(
       new FramedDocument(transport, resp.value().session, deadline_ns));
 }
 
+Result<std::unique_ptr<FramedDocument>> FramedDocument::Open(
+    service::wire::FrameTransport* transport, const std::string& xmas_text,
+    int64_t deadline_ns, const net::RetryOptions& retry, uint64_t seed) {
+  net::RetryPolicy policy(retry, seed);
+  Result<std::unique_ptr<FramedDocument>> result =
+      Status::Internal("open never attempted");
+  net::RetryPolicy::Outcome outcome = policy.Run(
+      [&]() {
+        result = Open(transport, xmas_text, deadline_ns);
+        return result.ok() ? Status::OK() : result.status();
+      },
+      /*clock=*/nullptr, /*deadline_ns=*/-1);
+  if (!outcome.status.ok()) return outcome.status;
+  result.value()->set_retry(retry, seed);
+  result.value()->retries_ += outcome.retries;
+  return result;
+}
+
+void FramedDocument::set_retry(const net::RetryOptions& retry, uint64_t seed) {
+  retry_ = std::make_unique<net::RetryPolicy>(retry, seed);
+}
+
 Status FramedDocument::Close() {
+  // A close that failed in transit is safe to re-issue: a duplicate close
+  // reports kNotFound, which is non-retryable and surfaces as-is.
   Frame req = Request(MsgType::kClose);
-  Result<Frame> resp = service::wire::Call(transport_, req);
+  Result<Frame> resp = CallWithRetry(req);
   if (!resp.ok()) {
     last_status_ = resp.status();
     return resp.status();
@@ -41,8 +65,24 @@ Frame FramedDocument::Request(MsgType type) const {
   return f;
 }
 
+Result<Frame> FramedDocument::CallWithRetry(const Frame& request) {
+  if (retry_ == nullptr) return service::wire::Call(transport_, request);
+  Result<Frame> result = Status::Internal("call never attempted");
+  // No clock: client-side retries are attempt-bounded, not time-funded —
+  // the transport's own latency paces them.
+  net::RetryPolicy::Outcome outcome = retry_->Run(
+      [&]() {
+        result = service::wire::Call(transport_, request);
+        return result.ok() ? Status::OK() : result.status();
+      },
+      /*clock=*/nullptr, /*deadline_ns=*/-1);
+  retries_ += outcome.retries;
+  if (!outcome.status.ok()) return outcome.status;
+  return result;
+}
+
 std::optional<Frame> FramedDocument::Dispatch(const Frame& request) {
-  Result<Frame> resp = service::wire::Call(transport_, request);
+  Result<Frame> resp = CallWithRetry(request);
   if (!resp.ok()) {
     last_status_ = resp.status();
     return std::nullopt;

@@ -22,6 +22,7 @@
 
 #include "core/navigable.h"
 #include "core/status.h"
+#include "net/fault.h"
 #include "service/wire.h"
 
 namespace mix::client {
@@ -34,6 +35,15 @@ class FramedDocument : public Navigable {
       service::wire::FrameTransport* transport, const std::string& xmas_text,
       int64_t deadline_ns = 0);
 
+  /// Open with client-side retry: the open frame itself and every later
+  /// command retry transport-level failures per `retry`. (Server-reported
+  /// errors come back as kError frames, which Call converts to their
+  /// Status — retryable codes among those are retried too.)
+  static Result<std::unique_ptr<FramedDocument>> Open(
+      service::wire::FrameTransport* transport, const std::string& xmas_text,
+      int64_t deadline_ns, const net::RetryOptions& retry,
+      uint64_t seed = 0x636c69656e742d72ull);
+
   /// Closes the server-side session; further navigation returns ⊥ with
   /// last_status() == kNotFound. Idempotent (second close reports the
   /// server's kNotFound).
@@ -44,6 +54,15 @@ class FramedDocument : public Navigable {
   void clear_last_status() { last_status_ = Status::OK(); }
   /// Per-command deadline for subsequent requests (0 = none).
   void set_deadline_ns(int64_t ns) { deadline_ns_ = ns; }
+
+  /// Installs (or replaces) client-side retry for subsequent commands.
+  /// Client retries are attempt-bounded only (no clock: the transport's own
+  /// latency is the pacing); navigation requests are idempotent reads, so
+  /// re-issuing them is always safe.
+  void set_retry(const net::RetryOptions& retry,
+                 uint64_t seed = 0x636c69656e742d72ull);
+  /// Command re-issues performed by this stub so far.
+  int64_t retries() const { return retries_; }
 
   // --- Navigable over frames ---
   NodeId Root() override;
@@ -68,6 +87,9 @@ class FramedDocument : public Navigable {
 
   /// Builds a request frame bound to this session/deadline.
   service::wire::Frame Request(service::wire::MsgType type) const;
+  /// wire::Call, re-issued under the installed retry policy (if any).
+  Result<service::wire::Frame> CallWithRetry(
+      const service::wire::Frame& request);
   /// Calls and latches errors; nullopt response on failure.
   std::optional<service::wire::Frame> Dispatch(
       const service::wire::Frame& request);
@@ -76,6 +98,8 @@ class FramedDocument : public Navigable {
   uint64_t session_;
   int64_t deadline_ns_;
   Status last_status_;
+  std::unique_ptr<net::RetryPolicy> retry_;
+  int64_t retries_ = 0;
 };
 
 }  // namespace mix::client

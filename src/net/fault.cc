@@ -1,0 +1,136 @@
+#include "net/fault.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace mix::net {
+
+FaultRng::FaultRng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+uint64_t FaultRng::Next() {
+  // xorshift64*.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  return state_ * 0x2545f4914f6cdd1dull;
+}
+
+double FaultRng::NextUnit() {
+  // 53 random bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+uint64_t FaultRng::NextBelow(uint64_t bound) {
+  MIX_CHECK(bound > 0);
+  return Next() % bound;
+}
+
+FaultPolicy::FaultPolicy(const FaultSpec& spec, uint64_t seed)
+    : spec_(spec), rng_(seed) {}
+
+FaultDecision FaultPolicy::Decide(const std::string& op_key) {
+  ++counters_.decisions;
+  FaultDecision d;
+
+  // Orthogonal delay draw first, so the kind draw below consumes the same
+  // number of PRNG values whether or not a delay fires (keeps seeded runs
+  // comparable across delay settings).
+  if (spec_.p_delay > 0 && rng_.NextUnit() < spec_.p_delay) {
+    d.delay_ns = spec_.delay_ns;
+    ++counters_.delays;
+    if (clock_ != nullptr) clock_->Advance(spec_.delay_ns);
+  }
+
+  if (spec_.fail_first_n > 0) {
+    auto [it, fresh] = fails_left_.try_emplace(op_key, spec_.fail_first_n);
+    if (it->second > 0) {
+      --it->second;
+      ++counters_.fails;
+      d.kind = FaultKind::kFail;
+      return d;
+    }
+  }
+
+  double u = rng_.NextUnit();
+  if (u < spec_.p_fail) {
+    ++counters_.fails;
+    d.kind = FaultKind::kFail;
+  } else if (u < spec_.p_fail + spec_.p_truncate) {
+    ++counters_.truncates;
+    d.kind = FaultKind::kTruncate;
+  } else if (u < spec_.p_fail + spec_.p_truncate + spec_.p_garble) {
+    ++counters_.garbles;
+    d.kind = FaultKind::kGarble;
+  } else if (u <
+             spec_.p_fail + spec_.p_truncate + spec_.p_garble + spec_.p_duplicate) {
+    ++counters_.duplicates;
+    d.kind = FaultKind::kDuplicate;
+  }
+  return d;
+}
+
+Status FaultPolicy::FailStatus() const {
+  return Status::FromCode(spec_.fail_code, "injected fault");
+}
+
+bool IsRetryableCode(Status::Code code) {
+  switch (code) {
+    case Status::Code::kUnavailable:
+    case Status::Code::kInternal:
+    case Status::Code::kInvalidArgument:
+    case Status::Code::kParseError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+RetryPolicy::RetryPolicy(const RetryOptions& options, uint64_t seed)
+    : options_(options), rng_(seed) {}
+
+RetryPolicy::Outcome RetryPolicy::Run(const std::function<Status()>& op,
+                                      SimClock* clock, int64_t deadline_ns) {
+  Outcome out;
+  const bool deadlined = clock != nullptr && deadline_ns >= 0;
+  int64_t backoff = std::max<int64_t>(options_.initial_backoff_ns, 0);
+  const int max_attempts = std::max(options_.max_attempts, 1);
+  for (int attempt = 1;; ++attempt) {
+    if (deadlined && clock->now_ns() > deadline_ns) {
+      out.status = Status::DeadlineExceeded(
+          "request budget exhausted before attempt " + std::to_string(attempt));
+      return out;
+    }
+    out.status = op();
+    ++out.attempts;
+    if (out.status.ok()) return out;
+    ++out.failures;
+    if (!IsRetryableCode(out.status.code())) return out;
+    if (attempt >= max_attempts) return out;
+
+    int64_t wait = backoff;
+    if (options_.jitter > 0 && wait > 0) {
+      double scale = 1.0 + options_.jitter * (2.0 * rng_.NextUnit() - 1.0);
+      wait = static_cast<int64_t>(static_cast<double>(wait) * scale);
+      if (wait < 0) wait = 0;
+    }
+    if (deadlined && SaturatingAdd(clock->now_ns(), wait) > deadline_ns) {
+      // Never start a wait the budget cannot fund; the caller's state stays
+      // retryable for a later request.
+      out.status = Status::DeadlineExceeded(
+          "retry backoff of " + std::to_string(wait) +
+          "ns would exceed the request deadline (" + out.status.ToString() +
+          ")");
+      return out;
+    }
+    if (clock != nullptr) clock->Advance(wait);
+    out.backoff_ns = SaturatingAdd(out.backoff_ns, wait);
+    ++out.retries;
+    double next = static_cast<double>(backoff) * options_.backoff_multiplier;
+    backoff = (next >= static_cast<double>(options_.max_backoff_ns))
+                  ? options_.max_backoff_ns
+                  : static_cast<int64_t>(next);
+  }
+}
+
+}  // namespace mix::net

@@ -1,0 +1,195 @@
+// Deterministic fault injection and bounded-retry recovery.
+//
+// The paper's lazy-mediator pipeline (Section 4) presumes live network
+// sources; the ROADMAP's production north-star demands the mediator survive
+// flaky ones. These primitives make that *testable deterministically*:
+//
+//   * FaultPolicy — a seeded PRNG deciding, per wrapper/transport exchange,
+//     whether to refuse (fail-with-Status), stall (delay on the SimClock),
+//     or corrupt the response in a protocol-detectable way (truncated,
+//     garbled, duplicate). A fail-first-N schedule per operation key covers
+//     the "flaky then fine" shape retries exist for.
+//   * RetryPolicy — the standard remote-service discipline: bounded
+//     attempts, exponential backoff with jitter, every wait charged to the
+//     virtual SimClock and bounded by an absolute virtual deadline, so a
+//     retry loop can never outlive the request budget that spawned it.
+//
+// Nothing here sleeps for real: recovery cost is simulated time, which is
+// what lets the fault-matrix tests assert byte-identical answers AND exact
+// retry/backoff accounting under injected failure rates.
+#ifndef MIX_NET_FAULT_H_
+#define MIX_NET_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/status.h"
+#include "net/sim_net.h"
+
+namespace mix::net {
+
+/// xorshift64* — tiny and reproducible across platforms/compilers (the
+/// standard distributions over std::mt19937 are not), which the seeded
+/// fault-matrix tests depend on.
+class FaultRng {
+ public:
+  explicit FaultRng(uint64_t seed);
+  uint64_t Next();
+  /// Uniform in [0, 1).
+  double NextUnit();
+  /// Uniform in [0, bound); bound > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+ private:
+  uint64_t state_;
+};
+
+/// What one exchange suffers. The corruption kinds mirror what the LXP
+/// progress conditions / wire codec can detect — injection never produces a
+/// *plausible* wrong answer, only failures the receiver must survive.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kFail,       ///< exchange fails outright with FaultSpec::fail_code
+  kTruncate,   ///< response cut short (detectably incomplete)
+  kGarble,     ///< response violates protocol validity (e.g. adjacent holes)
+  kDuplicate,  ///< response repeats an entry / reuses an id
+};
+
+struct FaultSpec {
+  double p_fail = 0;
+  double p_truncate = 0;
+  double p_garble = 0;
+  double p_duplicate = 0;
+  /// Orthogonal to the kinds above: probability that the exchange is also
+  /// delayed by delay_ns on the injector's SimClock.
+  double p_delay = 0;
+  int64_t delay_ns = 2'000'000;  // 2 ms
+  /// Deterministic fail-N-then-succeed: the first fail_first_n exchanges
+  /// *per operation key* fail with fail_code before the probabilistic kinds
+  /// apply (0 disables).
+  int fail_first_n = 0;
+  Status::Code fail_code = Status::Code::kUnavailable;
+
+  /// True when any injection can ever happen — what gates interposing a
+  /// fault decorator at all.
+  bool any() const {
+    return p_fail > 0 || p_truncate > 0 || p_garble > 0 || p_duplicate > 0 ||
+           p_delay > 0 || fail_first_n > 0;
+  }
+};
+
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  /// Delay already charged to the attached clock (0 when none).
+  int64_t delay_ns = 0;
+};
+
+/// Per-exchange injection decisions plus counters of what was injected.
+/// Not thread-safe: use one policy per session wrapper / client transport,
+/// matching how the service builds per-session state.
+class FaultPolicy {
+ public:
+  FaultPolicy() : FaultPolicy(FaultSpec{}, 1) {}
+  FaultPolicy(const FaultSpec& spec, uint64_t seed);
+
+  /// Decides the fate of the exchange identified by `op_key` (the key only
+  /// scopes the fail-first-N schedule). Decided delays are charged to the
+  /// attached clock immediately.
+  FaultDecision Decide(const std::string& op_key);
+
+  /// Status for a kFail decision.
+  Status FailStatus() const;
+
+  void AttachClock(SimClock* clock) { clock_ = clock; }
+
+  struct Counters {
+    int64_t decisions = 0;
+    int64_t fails = 0;
+    int64_t truncates = 0;
+    int64_t garbles = 0;
+    int64_t duplicates = 0;
+    int64_t delays = 0;
+    int64_t injected() const { return fails + truncates + garbles + duplicates; }
+  };
+  const Counters& counters() const { return counters_; }
+  const FaultSpec& spec() const { return spec_; }
+
+ private:
+  FaultSpec spec_;
+  FaultRng rng_;
+  SimClock* clock_ = nullptr;
+  /// Remaining forced failures per operation key (fail-first-N state).
+  std::map<std::string, int> fails_left_;
+  Counters counters_;
+};
+
+/// Which failure codes are worth re-asking about: transient refusals
+/// (kUnavailable), wrapper hiccups (kInternal), and corrupt responses
+/// (kInvalidArgument, kParseError — a re-ask may come back clean).
+/// kNotFound is a permanent answer; kDeadlineExceeded means the budget is
+/// already gone.
+bool IsRetryableCode(Status::Code code);
+
+struct RetryOptions {
+  /// Total tries including the first; 1 = no retry.
+  int max_attempts = 1;
+  int64_t initial_backoff_ns = 1'000'000;  // 1 ms
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_ns = 64'000'000;  // 64 ms
+  /// Each wait is scaled by a uniform factor in [1-jitter, 1+jitter].
+  double jitter = 0.25;
+};
+
+/// Bounded retry with exponential backoff, charged to simulated time.
+class RetryPolicy {
+ public:
+  RetryPolicy() : RetryPolicy(RetryOptions{}, 0x5aadbeefcafef00dull) {}
+  RetryPolicy(const RetryOptions& options, uint64_t seed);
+
+  struct Outcome {
+    Status status;
+    int attempts = 0;        ///< operations actually issued
+    int retries = 0;         ///< re-issues after a retryable failure
+    int failures = 0;        ///< non-OK results observed (faults seen)
+    int64_t backoff_ns = 0;  ///< total backoff wait incurred
+  };
+
+  /// Runs `op` until it succeeds, fails non-retryably, exhausts
+  /// max_attempts, or hits the absolute virtual deadline `deadline_ns` on
+  /// `clock` (-1 = no deadline; a null clock disables both charging and the
+  /// deadline). A backoff wait that would overrun the deadline is never
+  /// started: the outcome is kDeadlineExceeded and the caller's state stays
+  /// retryable for a later, better-funded request.
+  Outcome Run(const std::function<Status()>& op, SimClock* clock,
+              int64_t deadline_ns);
+
+  const RetryOptions& options() const { return options_; }
+
+ private:
+  RetryOptions options_;
+  FaultRng rng_;
+};
+
+/// Service-wide fault/recovery counters, bumped from many worker threads.
+struct FaultCounters {
+  std::atomic<int64_t> faults{0};
+  std::atomic<int64_t> retries{0};
+  std::atomic<int64_t> backoff_ns{0};
+  std::atomic<int64_t> degraded_holes{0};
+
+  void Add(int64_t f, int64_t r, int64_t b) {
+    if (f != 0) faults.fetch_add(f, std::memory_order_relaxed);
+    if (r != 0) retries.fetch_add(r, std::memory_order_relaxed);
+    if (b != 0) backoff_ns.fetch_add(b, std::memory_order_relaxed);
+  }
+  void AddDegraded(int64_t n) {
+    if (n != 0) degraded_holes.fetch_add(n, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace mix::net
+
+#endif  // MIX_NET_FAULT_H_

@@ -23,14 +23,17 @@ std::string ChannelStats::ToString() const {
 
 void Channel::Send(int64_t payload_bytes) {
   MIX_CHECK(payload_bytes >= 0);
+  // Saturate: a peer-controlled payload size must pin the virtual clock at
+  // the end of time, not overflow it (UB) into running backwards.
   int64_t cost =
-      options_.latency_per_message_ns + payload_bytes * options_.ns_per_byte;
+      SaturatingAdd(options_.latency_per_message_ns,
+                    SaturatingMul(payload_bytes, options_.ns_per_byte));
   // A detached channel (null clock) still accounts traffic; it only skips
   // advancing simulated time.
   if (clock_ != nullptr) clock_->Advance(cost);
   ++stats_.messages;
-  stats_.bytes += payload_bytes;
-  stats_.busy_ns += cost;
+  stats_.bytes = SaturatingAdd(stats_.bytes, payload_bytes);
+  stats_.busy_ns = SaturatingAdd(stats_.busy_ns, cost);
 }
 
 void Channel::SendBatch(int64_t payload_bytes, int64_t parts) {

@@ -10,15 +10,38 @@
 #define MIX_NET_SIM_NET_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 
 namespace mix::net {
 
-/// Monotonic virtual clock, advanced by simulated activity.
+/// Saturating virtual-time arithmetic: adversarial payload sizes (or a
+/// saturated clock advanced again) must pin at the int64 extremes, not wrap
+/// — signed overflow is UB and a wrapped virtual clock runs backwards.
+inline int64_t SaturatingAdd(int64_t a, int64_t b) {
+  int64_t out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return a < 0 ? std::numeric_limits<int64_t>::min()
+                 : std::numeric_limits<int64_t>::max();
+  }
+  return out;
+}
+
+inline int64_t SaturatingMul(int64_t a, int64_t b) {
+  int64_t out;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return ((a < 0) != (b < 0)) ? std::numeric_limits<int64_t>::min()
+                                : std::numeric_limits<int64_t>::max();
+  }
+  return out;
+}
+
+/// Monotonic virtual clock, advanced by simulated activity. Saturates at
+/// INT64_MAX instead of wrapping (negative advances are clamped to 0).
 class SimClock {
  public:
   int64_t now_ns() const { return now_ns_; }
-  void Advance(int64_t ns) { now_ns_ += ns; }
+  void Advance(int64_t ns) { now_ns_ = SaturatingAdd(now_ns_, ns < 0 ? 0 : ns); }
 
  private:
   int64_t now_ns_ = 0;

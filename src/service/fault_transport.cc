@@ -1,0 +1,55 @@
+#include "service/fault_transport.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace mix::service {
+
+using net::FaultDecision;
+using net::FaultKind;
+
+FaultyFrameTransport::FaultyFrameTransport(wire::FrameTransport* inner,
+                                           const net::FaultSpec& spec,
+                                           uint64_t seed)
+    : inner_(inner),
+      policy_(spec, seed),
+      scramble_(seed ^ 0x9e3779b97f4a7c15ull) {
+  MIX_CHECK(inner_ != nullptr);
+}
+
+Result<std::string> FaultyFrameTransport::RoundTrip(
+    const std::string& request_bytes) {
+  FaultDecision d = policy_.Decide("rpc");
+  if (d.kind == FaultKind::kFail) return policy_.FailStatus();
+  Result<std::string> resp = inner_->RoundTrip(request_bytes);
+  if (!resp.ok()) return resp;
+  std::string bytes = std::move(resp.value());
+  switch (d.kind) {
+    case FaultKind::kTruncate:
+      // The connection dropped mid-response: the length prefix no longer
+      // matches the payload, which DecodeFrame rejects.
+      bytes.resize(bytes.size() / 2);
+      break;
+    case FaultKind::kGarble: {
+      // Flip a header byte (length prefix / magic / version) — always
+      // validated by the decoder, so garbling is always detected.
+      if (!bytes.empty()) {
+        size_t at = static_cast<size_t>(scramble_.NextBelow(
+            std::min<size_t>(bytes.size(), 7)));
+        bytes[at] = static_cast<char>(bytes[at] ^ 0x5a);
+      }
+      break;
+    }
+    case FaultKind::kDuplicate:
+      // The response arrives twice back-to-back; trailing bytes after one
+      // frame are a decode error for a single-frame round trip.
+      bytes += bytes;
+      break;
+    default:
+      break;
+  }
+  return bytes;
+}
+
+}  // namespace mix::service

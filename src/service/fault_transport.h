@@ -1,0 +1,42 @@
+// Fault-injecting FrameTransport decorator.
+//
+// The wire-level counterpart of buffer::FaultyLxpWrapper: wraps any
+// FrameTransport and injects, per round trip, refusals (fail-with-Status),
+// stalls (SimClock delays), and byte-level corruption. Corruption touches
+// only the frame header (length prefix, magic, version) — bytes the decoder
+// always checks — so an injected fault is guaranteed to surface as a decode
+// Status, never as a silently-valid wrong frame. That invariant is what the
+// byte-equality fault tests rest on.
+#ifndef MIX_SERVICE_FAULT_TRANSPORT_H_
+#define MIX_SERVICE_FAULT_TRANSPORT_H_
+
+#include <string>
+
+#include "net/fault.h"
+#include "service/wire.h"
+
+namespace mix::service {
+
+class FaultyFrameTransport : public wire::FrameTransport {
+ public:
+  /// Non-owning: `inner` must outlive this transport.
+  FaultyFrameTransport(wire::FrameTransport* inner, const net::FaultSpec& spec,
+                       uint64_t seed);
+
+  /// Injected delays advance this clock (optional).
+  void AttachClock(net::SimClock* clock) { policy_.AttachClock(clock); }
+  net::FaultPolicy& policy() { return policy_; }
+
+  Result<std::string> RoundTrip(const std::string& request_bytes) override;
+
+ private:
+  wire::FrameTransport* inner_;
+  net::FaultPolicy policy_;
+  /// Separate stream for picking corruption offsets, so header-byte choices
+  /// do not perturb the fault schedule itself.
+  net::FaultRng scramble_;
+};
+
+}  // namespace mix::service
+
+#endif  // MIX_SERVICE_FAULT_TRANSPORT_H_

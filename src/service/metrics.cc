@@ -48,7 +48,11 @@ std::string SessionMetrics::ToString() const {
          " errors=" + std::to_string(errors) +
          " fills=" + std::to_string(fills) +
          " p50_us=" + std::to_string(latency.PercentileNs(0.5) / 1000) +
-         " lxp{" + lxp.ToString() + "}";
+         " lxp{" + lxp.ToString() + "}" +
+         " faults{seen=" + std::to_string(source_faults) +
+         " retries=" + std::to_string(source_retries) +
+         " backoff_us=" + std::to_string(source_backoff_ns / 1000) +
+         " degraded=" + std::to_string(degraded_holes) + "}";
 }
 
 std::string ServiceMetricsSnapshot::ToString() const {
@@ -65,7 +69,11 @@ std::string ServiceMetricsSnapshot::ToString() const {
          " out=" + std::to_string(frames_out) + "}" +
          " wire{" + wire.ToString() + "}" +
          " latency{p50_us=" + std::to_string(p50_ns / 1000) +
-         " p99_us=" + std::to_string(p99_ns / 1000) + "}";
+         " p99_us=" + std::to_string(p99_ns / 1000) + "}" +
+         " faults{seen=" + std::to_string(source_faults) +
+         " retries=" + std::to_string(source_retries) +
+         " backoff_us=" + std::to_string(source_backoff_ns / 1000) +
+         " degraded=" + std::to_string(degraded_holes) + "}";
 }
 
 }  // namespace mix::service

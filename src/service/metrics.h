@@ -44,6 +44,13 @@ struct SessionMetrics {
   /// LXP traffic of this session's buffered sources (demand channel).
   net::ChannelStats lxp;
   int64_t fills = 0;
+  /// Fault handling on this session's sources: failed wrapper exchanges,
+  /// retries issued, virtual backoff time spent, holes degraded to
+  /// unavailable nodes.
+  int64_t source_faults = 0;
+  int64_t source_retries = 0;
+  int64_t source_backoff_ns = 0;
+  int64_t degraded_holes = 0;
 
   std::string ToString() const;
 };
@@ -68,6 +75,13 @@ struct ServiceMetricsSnapshot {
   // Latency over completed requests (admission to response).
   int64_t p50_ns = 0;
   int64_t p99_ns = 0;
+  // Fault handling, aggregated across all sessions ever built (survives
+  // session close/eviction — these come from the service's FaultCounters,
+  // not from per-session sweeps).
+  int64_t source_faults = 0;
+  int64_t source_retries = 0;
+  int64_t source_backoff_ns = 0;
+  int64_t degraded_holes = 0;
 
   std::string ToString() const;
 };

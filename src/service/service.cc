@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <future>
 
@@ -28,8 +29,10 @@ bool IsLxp(MsgType t) {
 MediatorService::MediatorService(const SessionEnvironment* env, Options options)
     : env_(env),
       options_(options),
-      registry_(env, SessionRegistry::Options{options.max_sessions,
-                                              options.session_idle_ttl_ns}),
+      registry_(env,
+                SessionRegistry::Options{options.max_sessions,
+                                         options.session_idle_ttl_ns,
+                                         &fault_counters_}),
       wire_channel_(&wire_clock_, options.wire_costs),
       executor_(Executor::Options{options.workers, options.queue_capacity}) {
   uint64_t key = kWrapperKeyBase;
@@ -107,12 +110,13 @@ void MediatorService::CallAsync(
   }
 
   auto started = std::chrono::steady_clock::now();
+  auto deadline = DeadlineFor(request);
   Status admitted = executor_.Submit(
-      key, DeadlineFor(request),
-      [this, request = std::move(request), respond,
-       started](const Status& admission) {
-        Frame response =
-            admission.ok() ? Execute(request) : Frame::Error(admission);
+      key, deadline,
+      [this, request = std::move(request), respond, started,
+       deadline](const Status& admission) {
+        Frame response = admission.ok() ? Execute(request, deadline)
+                                        : Frame::Error(admission);
         auto elapsed = std::chrono::steady_clock::now() - started;
         {
           std::lock_guard<std::mutex> lock(metrics_mu_);
@@ -147,7 +151,8 @@ void MediatorService::FinishRequest(const std::string& response_bytes,
   wire_channel_.Send(static_cast<int64_t>(response_bytes.size()));
 }
 
-Frame MediatorService::Execute(const Frame& request) {
+Frame MediatorService::Execute(
+    const Frame& request, std::chrono::steady_clock::time_point deadline) {
   switch (request.type) {
     case MsgType::kOpen:
       return ExecuteOpen(request);
@@ -165,11 +170,33 @@ Frame MediatorService::Execute(const Frame& request) {
   if (IsLxp(request.type)) return ExecuteLxp(request);
 
   std::shared_ptr<Session> session = registry_.Find(request.session);
+  // TTL sweep from the command path too — a service no longer seeing Opens
+  // must still reclaim abandoned sessions. The serving session is excluded
+  // (a session must never evict itself mid-dialogue); MaybeEvictIdle
+  // early-outs for free while nothing is near expiry.
+  registry_.MaybeEvictIdle(request.session);
   if (session == nullptr) {
     return Frame::Error(Status::NotFound("unknown session " +
                                          std::to_string(request.session)));
   }
+  // Propagate the executor deadline's remaining budget into the session's
+  // source buffers as a virtual fill deadline (1 real ns = 1 simulated ns).
+  int64_t budget_ns = -1;
+  if (deadline != std::chrono::steady_clock::time_point::max()) {
+    auto remaining = deadline - std::chrono::steady_clock::now();
+    budget_ns = std::max<int64_t>(
+        0, std::chrono::duration_cast<std::chrono::nanoseconds>(remaining)
+               .count());
+  }
+  session->BeginCommand(budget_ns);
   Frame response = ExecuteNavigation(request, *session);
+  session->EndCommand();
+  // A degraded or deadline-cut fill surfaces as a typed error frame even
+  // when navigation produced a partial answer shape.
+  Status source = session->TakeSourceStatus();
+  if (!source.ok() && response.type != MsgType::kError) {
+    response = Frame::Error(source);
+  }
   session->metrics().requests += 1;
   if (response.type == MsgType::kError) session->metrics().errors += 1;
   return response;
@@ -274,6 +301,13 @@ ServiceMetricsSnapshot MediatorService::Metrics() const {
     snap.p50_ns = latency_.PercentileNs(0.5);
     snap.p99_ns = latency_.PercentileNs(0.99);
   }
+  snap.source_faults = fault_counters_.faults.load(std::memory_order_relaxed);
+  snap.source_retries =
+      fault_counters_.retries.load(std::memory_order_relaxed);
+  snap.source_backoff_ns =
+      fault_counters_.backoff_ns.load(std::memory_order_relaxed);
+  snap.degraded_holes =
+      fault_counters_.degraded_holes.load(std::memory_order_relaxed);
   return snap;
 }
 

@@ -19,11 +19,13 @@
 #ifndef MIX_SERVICE_SERVICE_H_
 #define MIX_SERVICE_SERVICE_H_
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "net/fault.h"
 #include "net/sim_net.h"
 #include "service/executor.h"
 #include "service/metrics.h"
@@ -67,7 +69,10 @@ class MediatorService : public wire::FrameTransport {
 
  private:
   /// Runs a decoded request against its session and produces the response.
-  wire::Frame Execute(const wire::Frame& request);
+  /// `deadline` is the executor deadline; its remaining budget becomes the
+  /// session's per-command fill deadline (retry backoff cannot outlive it).
+  wire::Frame Execute(const wire::Frame& request,
+                      std::chrono::steady_clock::time_point deadline);
   wire::Frame ExecuteOpen(const wire::Frame& request);
   wire::Frame ExecuteLxp(const wire::Frame& request);
   wire::Frame ExecuteNavigation(const wire::Frame& request, Session& session);
@@ -83,6 +88,9 @@ class MediatorService : public wire::FrameTransport {
 
   const SessionEnvironment* env_;
   Options options_;
+  /// Declared before registry_: sessions hold a pointer to these counters,
+  /// so they must outlive every session the registry can destroy.
+  net::FaultCounters fault_counters_;
   SessionRegistry registry_;
 
   mutable std::mutex metrics_mu_;

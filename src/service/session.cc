@@ -1,5 +1,8 @@
 #include "service/session.h"
 
+#include <algorithm>
+
+#include "buffer/fault_wrapper.h"
 #include "mediator/translate.h"
 
 namespace mix::service {
@@ -20,9 +23,9 @@ void SessionEnvironment::ExportWrapper(std::string uri,
   exported_[std::move(uri)] = wrapper;
 }
 
-Result<std::shared_ptr<Session>> Session::Build(uint64_t id,
-                                                const SessionEnvironment& env,
-                                                const std::string& xmas_text) {
+Result<std::shared_ptr<Session>> Session::Build(
+    uint64_t id, const SessionEnvironment& env, const std::string& xmas_text,
+    net::FaultCounters* fault_counters) {
   Result<mediator::PlanPtr> plan = mediator::CompileXmas(xmas_text);
   if (!plan.ok()) return plan.status();
 
@@ -35,17 +38,34 @@ Result<std::shared_ptr<Session>> Session::Build(uint64_t id,
   for (const auto& s : env.shared()) {
     sources.Register(s.name, s.nav);
   }
+  size_t source_index = 0;
   for (const auto& w : env.wrappers()) {
     auto clock = std::make_unique<net::SimClock>();
     auto channel =
         std::make_unique<net::Channel>(clock.get(), w.options.channel);
     std::unique_ptr<buffer::LxpWrapper> wrapper = w.factory();
+    if (w.options.fault.any()) {
+      // Interpose the fault injector between buffer and wrapper. The seed
+      // mixes in the session id: deterministic per session, independent
+      // across sessions (fault isolation tests depend on both).
+      auto faulty = std::make_unique<buffer::FaultyLxpWrapper>(
+          std::move(wrapper), w.options.fault,
+          w.options.fault_seed ^ (id * 0x9e3779b97f4a7c15ull));
+      faulty->AttachClock(clock.get());
+      wrapper = std::move(faulty);
+    }
     buffer::BufferComponent::Options opts;
     opts.channel = channel.get();
     opts.prefetch_per_command = w.options.prefetch_per_command;
     // Prefetch traffic, when enabled, is charged to the same per-session
     // channel: a multi-session server has no separate "think time" lane.
     opts.prefetch_channel = channel.get();
+    opts.retry = w.options.retry;
+    opts.retry_seed =
+        (id * 0x9e3779b97f4a7c15ull) ^ (source_index + 0x72747279ull);
+    opts.clock = clock.get();
+    opts.shared_counters = fault_counters;
+    ++source_index;
     auto buffer = std::make_unique<buffer::BufferComponent>(wrapper.get(),
                                                             w.uri, opts);
     sources.Register(w.name, buffer.get());
@@ -65,9 +85,37 @@ Result<std::shared_ptr<Session>> Session::Build(uint64_t id,
 
 void Session::RefreshSourceMetrics() {
   metrics_.fills = 0;
+  metrics_.source_faults = 0;
+  metrics_.source_retries = 0;
+  metrics_.source_backoff_ns = 0;
+  metrics_.degraded_holes = 0;
   metrics_.lxp = net::ChannelStats();
-  for (const auto& buffer : buffers_) metrics_.fills += buffer->stats().fills;
+  for (const auto& buffer : buffers_) {
+    buffer::BufferComponent::Stats s = buffer->stats();
+    metrics_.fills += s.fills;
+    metrics_.source_faults += s.faults;
+    metrics_.source_retries += s.retries;
+    metrics_.source_backoff_ns += s.backoff_ns;
+    metrics_.degraded_holes += s.degraded_holes;
+  }
   for (const auto& channel : channels_) metrics_.lxp += channel->stats();
+}
+
+void Session::BeginCommand(int64_t budget_ns) {
+  for (const auto& buffer : buffers_) buffer->SetCommandBudgetNs(budget_ns);
+}
+
+void Session::EndCommand() {
+  for (const auto& buffer : buffers_) buffer->SetCommandBudgetNs(-1);
+}
+
+Status Session::TakeSourceStatus() {
+  Status first = Status::OK();
+  for (const auto& buffer : buffers_) {
+    Status s = buffer->TakeStatus();
+    if (!s.ok() && first.ok()) first = s;
+  }
+  return first;
 }
 
 Result<uint64_t> SessionRegistry::Open(const std::string& xmas_text) {
@@ -84,9 +132,11 @@ Result<uint64_t> SessionRegistry::Open(const std::string& xmas_text) {
   }
   // Compile/instantiate outside the registry lock — opens of different
   // sessions proceed in parallel on different workers.
-  Result<std::shared_ptr<Session>> session = Session::Build(id, *env_, xmas_text);
+  Result<std::shared_ptr<Session>> session =
+      Session::Build(id, *env_, xmas_text, options_.fault_counters);
   if (!session.ok()) return session.status();
-  session.value()->Touch(NowNs());
+  int64_t now = NowNs();
+  session.value()->Touch(now);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (sessions_.size() >= options_.max_sessions) {
@@ -95,6 +145,16 @@ Result<uint64_t> SessionRegistry::Open(const std::string& xmas_text) {
     sessions_.emplace(id, session.value());
     ++counters_.opened;
     counters_.open = static_cast<int64_t>(sessions_.size());
+  }
+  if (options_.idle_ttl_ns >= 0) {
+    // Monotone-min update of the expiry hint: this session can expire at
+    // now + ttl; an earlier hint (from an older session) stays.
+    int64_t expiry = now + options_.idle_ttl_ns;
+    int64_t seen = next_expiry_hint_ns_.load(std::memory_order_relaxed);
+    while (expiry < seen &&
+           !next_expiry_hint_ns_.compare_exchange_weak(
+               seen, expiry, std::memory_order_relaxed)) {
+    }
   }
   return id;
 }
@@ -121,24 +181,47 @@ std::shared_ptr<Session> SessionRegistry::Find(uint64_t id) {
   return it->second;
 }
 
-size_t SessionRegistry::EvictIdle() {
+size_t SessionRegistry::EvictIdle() { return EvictIdleExcept(0); }
+
+size_t SessionRegistry::EvictIdleExcept(uint64_t keep_id) {
   if (options_.idle_ttl_ns < 0) return 0;
   int64_t cutoff = NowNs() - options_.idle_ttl_ns;
   std::vector<std::shared_ptr<Session>> victims;  // destroyed outside lock
   {
     std::lock_guard<std::mutex> lock(mu_);
+    int64_t min_active = std::numeric_limits<int64_t>::max();
     for (auto it = sessions_.begin(); it != sessions_.end();) {
-      if (it->second->last_active_ns() < cutoff) {
+      int64_t active = it->second->last_active_ns();
+      if (active < cutoff && it->first != keep_id) {
         victims.push_back(std::move(it->second));
         it = sessions_.erase(it);
         ++counters_.evicted;
       } else {
+        min_active = std::min(min_active, active);
         ++it;
       }
     }
     counters_.open = static_cast<int64_t>(sessions_.size());
+    // Exact recompute of the hint from the survivors (the monotone-min
+    // updates elsewhere can only make it conservative, never late).
+    next_expiry_hint_ns_.store(
+        min_active == std::numeric_limits<int64_t>::max()
+            ? min_active
+            : net::SaturatingAdd(min_active, options_.idle_ttl_ns),
+        std::memory_order_relaxed);
   }
   return victims.size();
+}
+
+size_t SessionRegistry::MaybeEvictIdle(uint64_t keep_id) {
+  if (options_.idle_ttl_ns < 0) return 0;
+  // Lock-free early-out: nothing can have expired before the hint. Touch
+  // updates (Find) can only push real expiries later than the hint, so a
+  // stale hint causes at most one cheap full sweep, never a missed one.
+  if (NowNs() < next_expiry_hint_ns_.load(std::memory_order_relaxed)) {
+    return 0;
+  }
+  return EvictIdleExcept(keep_id);
 }
 
 SessionRegistry::Counters SessionRegistry::counters() const {

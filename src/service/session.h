@@ -26,6 +26,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -37,6 +38,7 @@
 #include "core/navigable.h"
 #include "core/status.h"
 #include "mediator/instantiate.h"
+#include "net/fault.h"
 #include "net/sim_net.h"
 #include "service/metrics.h"
 
@@ -58,6 +60,14 @@ class SessionEnvironment {
   struct WrapperOptions {
     net::ChannelOptions channel;
     int prefetch_per_command = 0;
+    /// Retry discipline for this source's fills (default: no retry).
+    net::RetryOptions retry;
+    /// Fault injection applied to every session's wrapper instance for this
+    /// source (default: none). Each session derives its own injection seed
+    /// from `fault_seed` and the session id, so schedules are deterministic
+    /// per session yet independent across sessions.
+    net::FaultSpec fault;
+    uint64_t fault_seed = 0x6d697864'666c7421ull;
   };
   void RegisterWrapperFactory(
       std::string name,
@@ -103,13 +113,27 @@ class SessionEnvironment {
 /// executor's per-session serialization.
 class Session {
  public:
-  static Result<std::shared_ptr<Session>> Build(uint64_t id,
-                                                const SessionEnvironment& env,
-                                                const std::string& xmas_text);
+  /// `fault_counters` (optional) aggregates every source buffer's fault/
+  /// retry/degradation counts service-wide.
+  static Result<std::shared_ptr<Session>> Build(
+      uint64_t id, const SessionEnvironment& env, const std::string& xmas_text,
+      net::FaultCounters* fault_counters = nullptr);
 
   uint64_t id() const { return id_; }
   Navigable* document() { return document_; }
   SessionMetrics& metrics() { return metrics_; }
+
+  /// Per-command deadline plumbing: the executor's remaining real budget
+  /// (ns; < 0 = none) becomes each source buffer's virtual fill deadline —
+  /// 1 real ns = 1 simulated ns — so retry backoff can never outlive the
+  /// request that is paying for it.
+  void BeginCommand(int64_t budget_ns);
+  void EndCommand();
+
+  /// Drains the first error latched by any source buffer during the last
+  /// command (OK when navigation was clean) — the typed face of degraded
+  /// answers, reported per command by the service layer.
+  Status TakeSourceStatus();
 
   /// Steady-clock ns of the last dispatched command (atomic: touched by the
   /// dispatcher, read by the evicting sweep).
@@ -148,6 +172,8 @@ class SessionRegistry {
     size_t max_sessions = 1024;
     /// Idle TTL in steady-clock ns; < 0 disables eviction.
     int64_t idle_ttl_ns = -1;
+    /// Service-wide fault counters handed to every session built.
+    net::FaultCounters* fault_counters = nullptr;
   };
 
   SessionRegistry(const SessionEnvironment* env, Options options)
@@ -166,6 +192,15 @@ class SessionRegistry {
   /// Evicts sessions idle past the TTL; returns how many.
   size_t EvictIdle();
 
+  /// Cheap sweep hook for the command/execute path: runs EvictIdle only
+  /// when some session could actually have expired (lock-free early-out on
+  /// the cached next-expiry hint). Without this, a service that stops
+  /// seeing Opens never reclaims abandoned sessions. `keep_id` (0 = none)
+  /// names the session serving the current command — it was just touched,
+  /// but with a TTL shorter than clock granularity even "just touched" can
+  /// look expired, and a session must never evict itself mid-dialogue.
+  size_t MaybeEvictIdle(uint64_t keep_id = 0);
+
   struct Counters {
     int64_t open = 0;
     int64_t opened = 0;
@@ -180,12 +215,19 @@ class SessionRegistry {
  private:
   static int64_t NowNs();
 
+  size_t EvictIdleExcept(uint64_t keep_id);
+
   const SessionEnvironment* env_;
   Options options_;
   mutable std::mutex mu_;
   std::map<uint64_t, std::shared_ptr<Session>> sessions_;
   uint64_t next_id_ = 1;
   Counters counters_;
+  /// Earliest steady-clock ns at which any session can expire (INT64_MAX
+  /// when none can) — the MaybeEvictIdle early-out. Monotone-min updated on
+  /// Open; recomputed exactly by each EvictIdle sweep.
+  std::atomic<int64_t> next_expiry_hint_ns_{
+      std::numeric_limits<int64_t>::max()};
 };
 
 }  // namespace mix::service

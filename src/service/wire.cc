@@ -390,7 +390,7 @@ Result<Frame> Call(FrameTransport* transport, const Frame& request) {
   return response;
 }
 
-std::string FramedLxpWrapper::GetRoot(const std::string& uri) {
+Status FramedLxpWrapper::TryGetRoot(const std::string& uri, std::string* out) {
   // The buffer passes its own uri through; the frame carries the exported
   // name this stub was bound to (they are typically the same string).
   Frame req;
@@ -399,12 +399,14 @@ std::string FramedLxpWrapper::GetRoot(const std::string& uri) {
   Result<Frame> resp = Call(transport_, req);
   if (!resp.ok()) {
     last_status_ = resp.status();
-    return "";
+    return resp.status();
   }
-  return resp.value().text;
+  *out = std::move(resp.value().text);
+  return Status::OK();
 }
 
-buffer::FragmentList FramedLxpWrapper::Fill(const std::string& hole_id) {
+Status FramedLxpWrapper::TryFill(const std::string& hole_id,
+                                 buffer::FragmentList* out) {
   Frame req;
   req.type = MsgType::kLxpFill;
   req.text = uri_;
@@ -412,13 +414,15 @@ buffer::FragmentList FramedLxpWrapper::Fill(const std::string& hole_id) {
   Result<Frame> resp = Call(transport_, req);
   if (!resp.ok()) {
     last_status_ = resp.status();
-    return {};
+    return resp.status();
   }
-  return std::move(resp.value().fragments);
+  *out = std::move(resp.value().fragments);
+  return Status::OK();
 }
 
-buffer::HoleFillList FramedLxpWrapper::FillMany(
-    const std::vector<std::string>& holes, const buffer::FillBudget& budget) {
+Status FramedLxpWrapper::TryFillMany(const std::vector<std::string>& holes,
+                                     const buffer::FillBudget& budget,
+                                     buffer::HoleFillList* out) {
   Frame req;
   req.type = MsgType::kLxpFillMany;
   req.text = uri_;
@@ -428,13 +432,35 @@ buffer::HoleFillList FramedLxpWrapper::FillMany(
   Result<Frame> resp = Call(transport_, req);
   if (!resp.ok()) {
     last_status_ = resp.status();
+    return resp.status();
+  }
+  *out = std::move(resp.value().hole_fills);
+  return Status::OK();
+}
+
+std::string FramedLxpWrapper::GetRoot(const std::string& uri) {
+  std::string out;
+  if (!TryGetRoot(uri, &out).ok()) return "";
+  return out;
+}
+
+buffer::FragmentList FramedLxpWrapper::Fill(const std::string& hole_id) {
+  buffer::FragmentList out;
+  if (!TryFill(hole_id, &out).ok()) return {};
+  return out;
+}
+
+buffer::HoleFillList FramedLxpWrapper::FillMany(
+    const std::vector<std::string>& holes, const buffer::FillBudget& budget) {
+  buffer::HoleFillList out;
+  if (!TryFillMany(holes, budget, &out).ok()) {
     // Degrade to the single-fill contract: answer each requested hole with
-    // an empty refinement so the buffer stays consistent.
+    // an empty refinement so callers of the infallible face stay consistent.
     buffer::HoleFillList fallback;
     for (const std::string& h : holes) fallback.push_back({h, {}});
     return fallback;
   }
-  return std::move(resp.value().hole_fills);
+  return out;
 }
 
 }  // namespace mix::service::wire

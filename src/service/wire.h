@@ -144,8 +144,19 @@ class FramedLxpWrapper : public buffer::LxpWrapper {
   buffer::HoleFillList FillMany(const std::vector<std::string>& holes,
                                 const buffer::FillBudget& budget) override;
 
-  /// LxpWrapper's interface cannot report failures, so errors surface as
-  /// empty results; the last non-OK status is retained here.
+  /// Primary path: frame the exchange and report transport/server failures
+  /// as Status — what lets a BufferComponent on top retry or degrade
+  /// instead of silently receiving empty results.
+  Status TryGetRoot(const std::string& uri, std::string* out) override;
+  Status TryFill(const std::string& hole_id,
+                 buffer::FragmentList* out) override;
+  Status TryFillMany(const std::vector<std::string>& holes,
+                     const buffer::FillBudget& budget,
+                     buffer::HoleFillList* out) override;
+
+  /// The legacy (infallible) LxpWrapper face cannot report failures, so
+  /// there errors surface as empty results; the last non-OK status is
+  /// retained here either way.
   const Status& last_status() const { return last_status_; }
 
  private:

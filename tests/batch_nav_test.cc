@@ -426,7 +426,8 @@ TEST(FillManyTest, FillCountBudgetBoundsSpeculation) {
 }
 
 /// A wrapper violating the FillMany contract (fewer entries than requested
-/// holes) — the buffer must reject it loudly.
+/// holes) — the buffer must reject the response as a typed error, degrade
+/// the unanswered hole, and never abort.
 class ShortFillWrapper : public buffer::LxpWrapper {
  public:
   std::string GetRoot(const std::string&) override { return "root"; }
@@ -439,14 +440,20 @@ class ShortFillWrapper : public buffer::LxpWrapper {
   }
 };
 
-TEST(FillManyDeathTest, BufferRejectsShortBatchResponse) {
+TEST(FillManyContractTest, BufferRejectsShortBatchResponse) {
   ShortFillWrapper wrapper;
   buffer::BufferComponent buffer(&wrapper, "u");
   // Root() rides the single-hole Fill path and succeeds; the batched child
   // enumeration goes through FillMany and must trip the contract check.
   NodeId r = buffer.Root();
   std::vector<NodeId> kids;
-  EXPECT_DEATH(buffer.DownAll(r, &kids), "FillMany");
+  buffer.DownAll(r, &kids);
+  ASSERT_EQ(kids.size(), 1u);
+  EXPECT_EQ(buffer.Fetch(kids[0]), "#unavailable");
+  Status s = buffer.TakeStatus();
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(s.message().find("not answered"), std::string::npos);
+  EXPECT_EQ(buffer.degraded_holes(), 1);
 }
 
 // ---------------------------------------------------------------------------

@@ -172,23 +172,41 @@ TEST(BufferTest, EmptyFillRemovesHole) {
   EXPECT_EQ(buffer.holes_outstanding(), 0);
 }
 
-TEST(BufferDeathTest, AdjacentHolesRejected) {
+// A fill violating the progress conditions is rejected *before* any splice:
+// the offending hole degrades to an unavailable node, the error is latched
+// as a typed Status, and the process never aborts (a remote wrapper must
+// not be able to kill the mediator).
+TEST(BufferFaultTest, AdjacentHolesRejectedWithStatus) {
   std::map<std::string, FL> fills;
   fills["root"] = {Fragment::Element(
       "r", {Fragment::Hole("x"), Fragment::Hole("y")})};
   ScriptedLxpWrapper wrapper("root", std::move(fills));
   BufferComponent buffer(&wrapper, "u");
-  EXPECT_DEATH(buffer.Root(), "adjacent holes");
+  NodeId r = buffer.Root();
+  ASSERT_TRUE(r.valid());
+  EXPECT_EQ(buffer.Fetch(r), "#unavailable");
+  Status s = buffer.TakeStatus();
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(s.message().find("adjacent holes"), std::string::npos);
+  EXPECT_EQ(buffer.degraded_holes(), 1);
+  // The latch is drained: clean navigation stays clean.
+  EXPECT_TRUE(buffer.TakeStatus().ok());
 }
 
-TEST(BufferDeathTest, AllHoleFillRejected) {
+TEST(BufferFaultTest, AllHoleFillRejectedWithStatus) {
   std::map<std::string, FL> fills;
   fills["root"] = {Fragment::Element("r", {Fragment::Hole("x")})};
   fills["x"] = {Fragment::Hole("y")};
   ScriptedLxpWrapper wrapper("root", std::move(fills));
   BufferComponent buffer(&wrapper, "u");
   NodeId r = buffer.Root();
-  EXPECT_DEATH(buffer.Down(r), "only of holes");
+  std::optional<NodeId> child = buffer.Down(r);
+  ASSERT_TRUE(child.has_value());
+  EXPECT_EQ(buffer.Fetch(*child), "#unavailable");
+  Status s = buffer.TakeStatus();
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(s.message().find("only of holes"), std::string::npos);
+  EXPECT_EQ(buffer.degraded_holes(), 1);
 }
 
 }  // namespace

@@ -100,5 +100,52 @@ TEST(ChannelTest, BulkTransferBeatsNodeAtATime) {
   EXPECT_GT(fine_clock.now_ns(), bulk_clock.now_ns());
 }
 
+// ---------------------------------------------------------------------------
+// Overflow hardening: adversarial payload sizes must saturate at the int64
+// extremes, never wrap (signed overflow is UB, and a wrapped virtual clock
+// runs backwards).
+// ---------------------------------------------------------------------------
+
+constexpr int64_t kInt64Max = std::numeric_limits<int64_t>::max();
+
+TEST(SaturatingMathTest, AddAndMulPinAtExtremes) {
+  EXPECT_EQ(SaturatingAdd(1, 2), 3);
+  EXPECT_EQ(SaturatingAdd(kInt64Max, 1), kInt64Max);
+  EXPECT_EQ(SaturatingAdd(kInt64Max, kInt64Max), kInt64Max);
+  EXPECT_EQ(SaturatingAdd(std::numeric_limits<int64_t>::min(), -1),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(SaturatingMul(6, 7), 42);
+  EXPECT_EQ(SaturatingMul(kInt64Max, 2), kInt64Max);
+  EXPECT_EQ(SaturatingMul(kInt64Max / 2, 3), kInt64Max);
+  EXPECT_EQ(SaturatingMul(kInt64Max, -2),
+            std::numeric_limits<int64_t>::min());
+}
+
+TEST(SimClockTest, AdvanceSaturatesInsteadOfWrapping) {
+  SimClock clock;
+  clock.Advance(kInt64Max);
+  EXPECT_EQ(clock.now_ns(), kInt64Max);
+  clock.Advance(kInt64Max);  // would wrap negative before the fix
+  EXPECT_EQ(clock.now_ns(), kInt64Max);
+  clock.Advance(-100);  // negative advances are clamped, never rewind
+  EXPECT_EQ(clock.now_ns(), kInt64Max);
+}
+
+TEST(ChannelTest, SendSaturatesOnHugePayload) {
+  SimClock clock;
+  ChannelOptions options;
+  options.latency_per_message_ns = 1000;
+  options.ns_per_byte = 10;
+  Channel channel(&clock, options);
+  // payload_bytes * ns_per_byte overflows int64; the cost (and the clock)
+  // must pin at INT64_MAX, not wrap to a negative advance.
+  channel.Send(kInt64Max / 2);
+  EXPECT_EQ(clock.now_ns(), kInt64Max);
+  EXPECT_EQ(channel.stats().busy_ns, kInt64Max);
+  // A later ordinary send keeps the clock pinned (monotone).
+  channel.Send(10);
+  EXPECT_EQ(clock.now_ns(), kInt64Max);
+}
+
 }  // namespace
 }  // namespace mix::net
