@@ -12,6 +12,10 @@
 # BM_ServiceThroughput workers:1..8 rows (worker-pool scaling on the
 # 64-session workload), the mismatches counter (framed answers must equal
 # in-process evaluation), and BM_ServiceOverload's ok/rejected/dropped split.
+# For BENCH_source_cache.json (E14) compare the cache_kb:0 vs cache_kb:4096
+# rows of BM_SharedCacheSessions: wrapper_exchanges (>= 50% reduction warm),
+# items_per_second (>= 2x), mismatches (= 0), and BM_CacheBudgetPressure's
+# evictions (> 0) / over_budget (= 0).
 #
 # Usage: scripts/run_bench.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -19,7 +23,7 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
-SUITES=(node_id plan_pipeline batch_nav lxp_chunking prefetch service faults)
+SUITES=(node_id plan_pipeline batch_nav lxp_chunking prefetch service faults source_cache)
 for name in "${SUITES[@]}"; do
   bin="$BUILD/bench/bench_$name"
   if [ ! -x "$bin" ]; then

@@ -222,8 +222,41 @@ void BufferComponent::SetCommandBudgetNs(int64_t budget_ns) {
                                                budget_ns);
 }
 
+bool BufferComponent::TrySpliceFromCache(BNode* hole) {
+  if (options_.source_cache == nullptr) return false;
+  std::shared_ptr<const FragmentList> cached =
+      options_.source_cache->LookupFill(options_.cache_source,
+                                        options_.cache_generation,
+                                        hole->hole_id);
+  if (cached == nullptr) {
+    ++cache_misses_;
+    return false;
+  }
+  // Re-validate against THIS buffer's hole set: the progress conditions
+  // held where the entry was published, but hole-id freshness is
+  // per-buffer (a non-deterministic wrapper could collide). Treat a
+  // failure as a miss and fall through to the wire.
+  if (!ValidateFill(*cached).ok()) {
+    ++cache_misses_;
+    return false;
+  }
+  ++fill_count_;
+  ++cache_hits_;
+  Splice(hole, *cached);
+  return true;
+}
+
+void BufferComponent::PublishFill(const std::string& hole_id,
+                                  FragmentList fragments) {
+  if (options_.source_cache == nullptr) return;
+  options_.source_cache->PublishFill(options_.cache_source,
+                                     options_.cache_generation, hole_id,
+                                     std::move(fragments));
+}
+
 Status BufferComponent::FillHole(BNode* hole, bool background) {
   MIX_CHECK(hole->is_hole);
+  if (TrySpliceFromCache(hole)) return Status::OK();
   const std::string hole_id = hole->hole_id;
   Status s = RunWithRetry(background, [&]() {
     FragmentList fragments;
@@ -237,6 +270,9 @@ Status BufferComponent::FillHole(BNode* hole, bool background) {
     if (!st.ok()) return st;
     ++fill_count_;
     Splice(hole, fragments);
+    // Publish only after the fill validated and spliced — a degraded
+    // (#unavailable) answer can never reach the shared cache.
+    PublishFill(hole_id, std::move(fragments));
     return Status::OK();
   });
   if (!background) demand_fill_in_command_ = true;
@@ -253,10 +289,25 @@ Status BufferComponent::FillHolesBatch(const std::vector<BNode*>& holes,
                                        const FillBudget& budget,
                                        bool background) {
   if (holes.empty()) return Status::OK();
+  std::vector<BNode*> wire_holes;
+  wire_holes.reserve(holes.size());
+  if (options_.source_cache != nullptr) {
+    // Serve what the shared cache already has; only the remainder crosses
+    // the wire. Splicing a cached hit can only ADD holes elsewhere in the
+    // tree, never invalidate the other requested BNodes (arena pointers
+    // are stable and each hole splices in place).
+    for (BNode* h : holes) {
+      MIX_CHECK(h->is_hole);
+      if (!TrySpliceFromCache(h)) wire_holes.push_back(h);
+    }
+    if (wire_holes.empty()) return Status::OK();
+  } else {
+    wire_holes = holes;
+  }
   std::vector<std::string> ids;
-  ids.reserve(holes.size());
+  ids.reserve(wire_holes.size());
   int64_t request_bytes = 16;
-  for (BNode* h : holes) {
+  for (BNode* h : wire_holes) {
     MIX_CHECK(h->is_hole);
     request_bytes += static_cast<int64_t>(h->hole_id.size());
     ids.push_back(h->hole_id);
@@ -280,18 +331,21 @@ Status BufferComponent::FillHolesBatch(const std::vector<BNode*>& holes,
     if (!st.ok()) return st;
     // The response validated as a whole; application cannot fail.
     fill_count_ += static_cast<int64_t>(fills.size());
-    for (const HoleFill& f : fills) {
+    for (HoleFill& f : fills) {
       auto it = hole_by_id_.find(f.hole_id);
       MIX_CHECK(it != hole_by_id_.end());
       BNode* hole = by_index_[static_cast<size_t>(it->second)];
       MIX_CHECK(hole->is_hole);
       Splice(hole, f.fragments);
+      // Every entry — requested holes AND chased continuations — is a
+      // validated fill other sessions can reuse.
+      PublishFill(f.hole_id, std::move(f.fragments));
     }
     return Status::OK();
   });
   if (!background) demand_fill_in_command_ = true;
   if (!s.ok() && s.code() != Status::Code::kDeadlineExceeded) {
-    for (BNode* h : holes) {
+    for (BNode* h : wire_holes) {
       if (h->is_hole) MarkUnavailable(h);
     }
   }
@@ -359,6 +413,8 @@ bool BufferComponent::ApplyPushedFill(const std::string& hole_id,
     options_.prefetch_channel->Send(FragmentListByteSize(fragments));
   }
   Splice(hole, fragments);
+  // A validated push is as publishable as a validated demand fill.
+  PublishFill(hole_id, fragments);
   return true;
 }
 
@@ -422,7 +478,22 @@ Status BufferComponent::EnsureRoot() {
   if (initialized_) return Status::OK();
   initialized_ = true;
   std::string root_id;
-  Status s = RunWithRetry(/*background=*/false, [&]() {
+  bool cached_root = false;
+  if (options_.source_cache != nullptr) {
+    // get_root is deterministic per (source, generation); the first session
+    // to bootstrap pays the exchange, every later one starts warm.
+    if (options_.source_cache->LookupRoot(options_.cache_source,
+                                          options_.cache_generation, uri_,
+                                          &root_id) &&
+        !root_id.empty()) {
+      cached_root = true;
+      ++cache_hits_;
+    } else {
+      ++cache_misses_;
+    }
+  }
+  Status s = Status::OK();
+  if (!cached_root) s = RunWithRetry(/*background=*/false, [&]() {
     root_id.clear();
     Status st = wrapper_->TryGetRoot(uri_, &root_id);
     // get_root is one small request/response exchange.
@@ -434,6 +505,11 @@ Status BufferComponent::EnsureRoot() {
     }
     return Status::OK();
   });
+  if (!cached_root && s.ok() && options_.source_cache != nullptr) {
+    options_.source_cache->PublishRoot(options_.cache_source,
+                                       options_.cache_generation, uri_,
+                                       root_id);
+  }
   super_root_ = NewNode();
   super_root_->label = "#super-root";
   super_root_->label_atom = Atom::Intern(super_root_->label);

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "buffer/lxp.h"
+#include "buffer/source_cache.h"
 #include "core/navigable.h"
 #include "core/status.h"
 #include "net/fault.h"
@@ -87,6 +88,19 @@ class BufferComponent : public Navigable {
     /// Optional service-wide fault counters (atomics) this buffer also
     /// bumps — how per-session recovery aggregates into mixd metrics.
     net::FaultCounters* shared_counters = nullptr;
+
+    /// Cross-session shared fragment cache (DESIGN.md §4 "Shared
+    /// source-fragment & plan caches"); nullptr disables. When set, fills
+    /// are looked up under (cache_source, cache_generation, hole id) before
+    /// any wrapper exchange, and validated fills are published after
+    /// splicing. Degraded `#unavailable` splices are never published.
+    SourceCache* source_cache = nullptr;
+    /// Cache key namespace — the service environment's source name.
+    std::string cache_source;
+    /// Generation pinned at session build: entries of other generations
+    /// are unreachable, preserving the E9 freshness/churn semantics
+    /// (SourceCache::BumpGeneration invalidates without scrubbing).
+    int64_t cache_generation = 0;
   };
 
   /// `wrapper` is not owned and must outlive the buffer.
@@ -158,10 +172,16 @@ class BufferComponent : public Navigable {
     int64_t retries = 0;
     int64_t backoff_ns = 0;
     int64_t degraded_holes = 0;
+    /// Shared-cache traffic: fills (and roots) answered from the shared
+    /// cache instead of a wrapper exchange, and lookups that went to the
+    /// wire. Zero when Options::source_cache is null.
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
   };
   Stats stats() const {
     return {fill_count_,  nodes_buffered_, holes_outstanding_, faults_,
-            retries_,     backoff_ns_,     degraded_holes_};
+            retries_,     backoff_ns_,     degraded_holes_,    cache_hits_,
+            cache_misses_};
   }
 
   /// Term rendering of the current open tree (root list), holes included —
@@ -226,6 +246,14 @@ class BufferComponent : public Navigable {
   /// needed (Fig. 8 chase_first). *out = nullptr if the list is exhausted
   /// (OK) or the blocking fill failed without degrading (error returned).
   Status ChaseFirst(BNode* parent, size_t pos, BNode** out);
+  /// Tries to answer `hole` from the shared cache: on a hit the cached
+  /// list is re-validated against THIS tree's hole set (freshness is
+  /// per-buffer), spliced, and counted as a fill — no wrapper exchange, no
+  /// channel charge. False on miss/no cache/validation failure.
+  bool TrySpliceFromCache(BNode* hole);
+  /// Publishes a validated+spliced fill to the shared cache (no-op without
+  /// one). Never called for degraded splices.
+  void PublishFill(const std::string& hole_id, FragmentList fragments);
   void Prefetch(bool had_demand_fill);
   /// Bootstraps the root hole. Never fails hard: a get_root that exhausts
   /// its retries degrades the whole view to one unavailable root node (the
@@ -272,6 +300,8 @@ class BufferComponent : public Navigable {
   int64_t retries_ = 0;
   int64_t backoff_ns_ = 0;
   int64_t degraded_holes_ = 0;
+  int64_t cache_hits_ = 0;
+  int64_t cache_misses_ = 0;
   /// Absolute virtual deadline for demand fills (-1: none).
   int64_t fill_deadline_ns_ = -1;
   Status last_status_;

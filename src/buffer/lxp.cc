@@ -111,26 +111,53 @@ HoleFillList LxpWrapper::ChaseFills(const std::vector<std::string>& holes,
   std::deque<std::string> pending;
   int64_t elements = 0;
   int64_t fills = 0;
+  int64_t last_elements = 0;
+  bool last_continued = false;
   auto serve = [&](std::string id) {
     FragmentList list = Fill(id);
     ++fills;
+    last_elements = 0;
+    last_continued = false;
     for (const Fragment& f : list) {
       if (f.is_hole) {
         pending.push_back(f.hole_id);
+        last_continued = true;
       } else {
         ++elements;
+        ++last_elements;
       }
     }
     out.push_back(HoleFill{std::move(id), std::move(list)});
   };
   for (const std::string& id : holes) serve(id);
+  // Grow fill sizes only on demand chases: a fill-bounded chase is the
+  // prefetcher speculating, and its budget is counted in fills.
+  const bool adaptive = budget.fills < 0;
+  int64_t hint = 0;
   while (!pending.empty() &&
          (budget.elements < 0 || elements < budget.elements) &&
          (budget.fills < 0 || fills < budget.fills)) {
+    if (adaptive) {
+      if (last_continued) {
+        // The previous fill ran to its size limit and left a continuation:
+        // double down. Never ask for more than the caller still wants.
+        hint = std::min(std::max(hint * 2, last_elements * 2),
+                        kMaxFillSizeHint);
+        int64_t offer = hint;
+        if (budget.elements >= 0) {
+          offer = std::min(offer, budget.elements - elements);
+        }
+        SetFillSizeHint(offer);
+      } else {
+        hint = 0;
+        SetFillSizeHint(0);
+      }
+    }
     std::string next = std::move(pending.front());
     pending.pop_front();
     serve(next);
   }
+  if (adaptive) SetFillSizeHint(0);
   return out;
 }
 

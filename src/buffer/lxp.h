@@ -130,8 +130,31 @@ class LxpWrapper {
   /// Nested holes (unexplored children) are never chased — they do not
   /// block the sibling lists the caller is completing, and filling them
   /// would ship bytes the client never asked for.
+  ///
+  /// Adaptive fill sizing: a chase that keeps producing full chunks with a
+  /// continuation hole is a scan, and per-chunk cursor re-seeks dominate at
+  /// small chunks (the PR 2 batched-full-scan regression). ChaseFills
+  /// therefore grows a fill-size hint geometrically (2x per consecutive
+  /// continued fill, capped by the remaining element budget and
+  /// kMaxFillSizeHint) and offers it to the wrapper via SetFillSizeHint
+  /// before each continuation fill. Demand chases only: a fill-bounded
+  /// (speculative/prefetch) chase keeps the wrapper's configured chunk, so
+  /// a speculation budget of k fills cannot balloon into k oversized ones.
   HoleFillList ChaseFills(const std::vector<std::string>& holes,
                           const FillBudget& budget);
+
+  /// Ceiling for the adaptive hint. Deliberately modest: inside a chase the
+  /// exchange is already coalesced (messages don't shrink with bigger
+  /// fills), so the hint only amortizes per-fill overhead — and oversized
+  /// fragment lists lose on allocator/cache locality (the E3 chunk sweep
+  /// puts the per-fill sweet spot near a few hundred elements).
+  static constexpr int64_t kMaxFillSizeHint = 512;
+
+  /// Suggested element count for the NEXT Fill() call; 0 resets to the
+  /// wrapper's configured chunk. Honoring it is optional (default no-op) —
+  /// wrappers with stateless cursor encodings simply serve
+  /// max(configured chunk, hint) elements.
+  virtual void SetFillSizeHint(int64_t elements) { (void)elements; }
 };
 
 /// Scripted wrapper for tests: replays a fixed hole-id → fragment-list map

@@ -1,0 +1,84 @@
+#include "mediator/plan_cache.h"
+
+#include <cctype>
+
+#include "mediator/translate.h"
+
+namespace mix::mediator {
+
+std::string CanonicalXmasKey(const std::string& xmas_text) {
+  // Mirrors the lexer's surface rules (xmas/parser.cc): whitespace
+  // separates tokens, `%` comments run to end of line, single quotes
+  // delimit string literals (no escapes; a quote always toggles).
+  std::string out;
+  out.reserve(xmas_text.size());
+  bool in_quote = false;
+  bool pending_space = false;
+  for (size_t i = 0; i < xmas_text.size(); ++i) {
+    char c = xmas_text[i];
+    if (in_quote) {
+      out.push_back(c);
+      if (c == '\'') in_quote = false;
+      continue;
+    }
+    if (c == '%') {
+      while (i + 1 < xmas_text.size() && xmas_text[i + 1] != '\n') ++i;
+      pending_space = true;  // the comment ran to a line break
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !out.empty()) out.push_back(' ');
+    pending_space = false;
+    out.push_back(c);
+    if (c == '\'') in_quote = true;
+  }
+  return out;
+}
+
+PlanCache::PlanCache(Options options) : options_(options) {}
+
+Result<std::shared_ptr<const PlanNode>> PlanCache::GetOrCompile(
+    const std::string& xmas_text) {
+  const std::string key = CanonicalXmasKey(xmas_text);
+  if (options_.capacity > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      return it->second->second;
+    }
+    ++misses_;
+  }
+  // Compile outside the lock: one slow compile must not stall Opens of
+  // other queries (the satellite guarantee the overlap test pins down).
+  Result<PlanPtr> plan = CompileXmas(xmas_text);
+  if (!plan.ok()) return plan.status();
+  std::shared_ptr<const PlanNode> shared(std::move(plan).ValueOrDie());
+  if (options_.capacity > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index_.count(key) == 0) {  // first insert wins
+      lru_.emplace_front(key, shared);
+      index_.emplace(key, lru_.begin());
+      while (static_cast<int64_t>(lru_.size()) > options_.capacity) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+      }
+    }
+  }
+  return shared;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.entries = static_cast<int64_t>(lru_.size());
+  return s;
+}
+
+}  // namespace mix::mediator

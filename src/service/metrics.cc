@@ -52,7 +52,9 @@ std::string SessionMetrics::ToString() const {
          " faults{seen=" + std::to_string(source_faults) +
          " retries=" + std::to_string(source_retries) +
          " backoff_us=" + std::to_string(source_backoff_ns / 1000) +
-         " degraded=" + std::to_string(degraded_holes) + "}";
+         " degraded=" + std::to_string(degraded_holes) + "}" +
+         " cache{hits=" + std::to_string(cache_hits) +
+         " misses=" + std::to_string(cache_misses) + "}";
 }
 
 std::string ServiceMetricsSnapshot::ToString() const {
@@ -73,7 +75,14 @@ std::string ServiceMetricsSnapshot::ToString() const {
          " faults{seen=" + std::to_string(source_faults) +
          " retries=" + std::to_string(source_retries) +
          " backoff_us=" + std::to_string(source_backoff_ns / 1000) +
-         " degraded=" + std::to_string(degraded_holes) + "}";
+         " degraded=" + std::to_string(degraded_holes) + "}" +
+         " cache{hits=" + std::to_string(cache_hits) +
+         " misses=" + std::to_string(cache_misses) +
+         " evictions=" + std::to_string(cache_evictions) +
+         " bytes=" + std::to_string(cache_bytes) +
+         " entries=" + std::to_string(cache_entries) + "}" +
+         " plans{hits=" + std::to_string(plan_cache_hits) +
+         " misses=" + std::to_string(plan_cache_misses) + "}";
 }
 
 }  // namespace mix::service

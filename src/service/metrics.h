@@ -51,6 +51,10 @@ struct SessionMetrics {
   int64_t source_retries = 0;
   int64_t source_backoff_ns = 0;
   int64_t degraded_holes = 0;
+  /// Shared-fragment-cache traffic of this session's buffers: fills
+  /// answered from the cache vs. lookups that went to the wrapper.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
 
   std::string ToString() const;
 };
@@ -82,6 +86,15 @@ struct ServiceMetricsSnapshot {
   int64_t source_retries = 0;
   int64_t source_backoff_ns = 0;
   int64_t degraded_holes = 0;
+  // Shared source-fragment cache (process-wide, all sessions).
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_bytes = 0;
+  int64_t cache_entries = 0;
+  // Compiled-plan cache (session-open path).
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
 
   std::string ToString() const;
 };

@@ -29,10 +29,15 @@ bool IsLxp(MsgType t) {
 MediatorService::MediatorService(const SessionEnvironment* env, Options options)
     : env_(env),
       options_(options),
+      source_cache_(buffer::SourceCache::Options{options.source_cache_bytes,
+                                                 options.source_cache_shards}),
+      plan_cache_(mediator::PlanCache::Options{options.plan_cache_entries}),
       registry_(env,
-                SessionRegistry::Options{options.max_sessions,
-                                         options.session_idle_ttl_ns,
-                                         &fault_counters_}),
+                SessionRegistry::Options{
+                    options.max_sessions, options.session_idle_ttl_ns,
+                    &fault_counters_,
+                    options.source_cache_bytes > 0 ? &source_cache_ : nullptr,
+                    options.plan_cache_entries > 0 ? &plan_cache_ : nullptr}),
       wire_channel_(&wire_clock_, options.wire_costs),
       executor_(Executor::Options{options.workers, options.queue_capacity}) {
   uint64_t key = kWrapperKeyBase;
@@ -308,6 +313,15 @@ ServiceMetricsSnapshot MediatorService::Metrics() const {
       fault_counters_.backoff_ns.load(std::memory_order_relaxed);
   snap.degraded_holes =
       fault_counters_.degraded_holes.load(std::memory_order_relaxed);
+  buffer::SourceCache::Stats cache = source_cache_.stats();
+  snap.cache_hits = cache.hits;
+  snap.cache_misses = cache.misses;
+  snap.cache_evictions = cache.evictions;
+  snap.cache_bytes = cache.bytes;
+  snap.cache_entries = cache.entries;
+  mediator::PlanCache::Stats plans = plan_cache_.stats();
+  snap.plan_cache_hits = plans.hits;
+  snap.plan_cache_misses = plans.misses;
   return snap;
 }
 

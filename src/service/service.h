@@ -44,6 +44,14 @@ class MediatorService : public wire::FrameTransport {
     int64_t session_idle_ttl_ns = -1;
     /// Cost model for the client<->service link (frame accounting).
     net::ChannelOptions wire_costs;
+    /// Byte budget of the shared source-fragment cache (DESIGN.md §4);
+    /// 0 disables it — sessions always exchange with their wrappers.
+    int64_t source_cache_bytes = 0;
+    /// Lock stripes of the fragment cache.
+    int source_cache_shards = 8;
+    /// Compiled-plan cache capacity in entries; 0 disables (every Open
+    /// compiles). On by default: plans are tiny and pure.
+    int64_t plan_cache_entries = 64;
   };
 
   /// `env` is not owned and must outlive the service; it must not be
@@ -66,6 +74,18 @@ class MediatorService : public wire::FrameTransport {
 
   /// Direct registry access for tests/tools (eviction sweeps, live ids).
   SessionRegistry& registry() { return registry_; }
+
+  /// The shared source-fragment cache (valid whether or not it is enabled;
+  /// disabled caches report zero traffic).
+  buffer::SourceCache& source_cache() { return source_cache_; }
+
+  /// Declares `source` (an environment source name) changed: bumps its
+  /// cache generation so sessions opened from now on re-fetch from the
+  /// live wrapper. In-flight sessions keep their pinned generation — the
+  /// same per-session consistency the E9 freshness semantics define.
+  void InvalidateSource(const std::string& source) {
+    source_cache_.BumpGeneration(source);
+  }
 
  private:
   /// Runs a decoded request against its session and produces the response.
@@ -91,6 +111,9 @@ class MediatorService : public wire::FrameTransport {
   /// Declared before registry_: sessions hold a pointer to these counters,
   /// so they must outlive every session the registry can destroy.
   net::FaultCounters fault_counters_;
+  /// Also before registry_ (session buffers point into the caches).
+  buffer::SourceCache source_cache_;
+  mediator::PlanCache plan_cache_;
   SessionRegistry registry_;
 
   mutable std::mutex metrics_mu_;

@@ -25,14 +25,24 @@ void SessionEnvironment::ExportWrapper(std::string uri,
 
 Result<std::shared_ptr<Session>> Session::Build(
     uint64_t id, const SessionEnvironment& env, const std::string& xmas_text,
-    net::FaultCounters* fault_counters) {
+    net::FaultCounters* fault_counters, buffer::SourceCache* source_cache) {
   Result<mediator::PlanPtr> plan = mediator::CompileXmas(xmas_text);
   if (!plan.ok()) return plan.status();
+  return Build(id, env,
+               std::shared_ptr<const mediator::PlanNode>(
+                   std::move(plan).ValueOrDie()),
+               fault_counters, source_cache);
+}
 
+Result<std::shared_ptr<Session>> Session::Build(
+    uint64_t id, const SessionEnvironment& env,
+    std::shared_ptr<const mediator::PlanNode> plan,
+    net::FaultCounters* fault_counters, buffer::SourceCache* source_cache) {
   // shared_ptr with private constructor: build through a local subclass.
   struct MakeShared : Session {};
   std::shared_ptr<Session> session = std::make_shared<MakeShared>();
   session->id_ = id;
+  session->plan_ = std::move(plan);
 
   mediator::SourceRegistry sources;
   for (const auto& s : env.shared()) {
@@ -65,6 +75,14 @@ Result<std::shared_ptr<Session>> Session::Build(
         (id * 0x9e3779b97f4a7c15ull) ^ (source_index + 0x72747279ull);
     opts.clock = clock.get();
     opts.shared_counters = fault_counters;
+    if (source_cache != nullptr && w.options.cache_fills) {
+      // Pin the source's generation now: the session keeps one consistent
+      // snapshot even if the source is invalidated mid-dialogue (E9
+      // freshness is per-session, exactly as without the cache).
+      opts.source_cache = source_cache;
+      opts.cache_source = w.name;
+      opts.cache_generation = source_cache->Generation(w.name);
+    }
     ++source_index;
     auto buffer = std::make_unique<buffer::BufferComponent>(wrapper.get(),
                                                             w.uri, opts);
@@ -76,7 +94,7 @@ Result<std::shared_ptr<Session>> Session::Build(
   }
 
   Result<std::unique_ptr<mediator::LazyMediator>> instance =
-      mediator::LazyMediator::Build(*plan.value(), sources);
+      mediator::LazyMediator::Build(*session->plan_, sources);
   if (!instance.ok()) return instance.status();
   session->mediator_ = std::move(instance).ValueOrDie();
   session->document_ = session->mediator_->document();
@@ -89,6 +107,8 @@ void Session::RefreshSourceMetrics() {
   metrics_.source_retries = 0;
   metrics_.source_backoff_ns = 0;
   metrics_.degraded_holes = 0;
+  metrics_.cache_hits = 0;
+  metrics_.cache_misses = 0;
   metrics_.lxp = net::ChannelStats();
   for (const auto& buffer : buffers_) {
     buffer::BufferComponent::Stats s = buffer->stats();
@@ -97,6 +117,8 @@ void Session::RefreshSourceMetrics() {
     metrics_.source_retries += s.retries;
     metrics_.source_backoff_ns += s.backoff_ns;
     metrics_.degraded_holes += s.degraded_holes;
+    metrics_.cache_hits += s.cache_hits;
+    metrics_.cache_misses += s.cache_misses;
   }
   for (const auto& channel : channels_) metrics_.lxp += channel->stats();
 }
@@ -130,10 +152,25 @@ Result<uint64_t> SessionRegistry::Open(const std::string& xmas_text) {
     }
     id = next_id_++;
   }
-  // Compile/instantiate outside the registry lock — opens of different
-  // sessions proceed in parallel on different workers.
+  // Compile/instantiate — and fill the plan cache — outside the registry
+  // lock: opens of different sessions proceed in parallel on different
+  // workers, and one slow compile cannot stall unrelated Opens
+  // (ConcurrentOpensOverlap in service_test pins this down).
+  std::shared_ptr<const mediator::PlanNode> plan;
+  if (options_.plan_cache != nullptr) {
+    Result<std::shared_ptr<const mediator::PlanNode>> cached =
+        options_.plan_cache->GetOrCompile(xmas_text);
+    if (!cached.ok()) return cached.status();
+    plan = std::move(cached).ValueOrDie();
+  } else {
+    Result<mediator::PlanPtr> compiled = mediator::CompileXmas(xmas_text);
+    if (!compiled.ok()) return compiled.status();
+    plan = std::shared_ptr<const mediator::PlanNode>(
+        std::move(compiled).ValueOrDie());
+  }
   Result<std::shared_ptr<Session>> session =
-      Session::Build(id, *env_, xmas_text, options_.fault_counters);
+      Session::Build(id, *env_, std::move(plan), options_.fault_counters,
+                     options_.source_cache);
   if (!session.ok()) return session.status();
   int64_t now = NowNs();
   session.value()->Touch(now);

@@ -35,9 +35,11 @@
 
 #include "buffer/buffer.h"
 #include "buffer/lxp.h"
+#include "buffer/source_cache.h"
 #include "core/navigable.h"
 #include "core/status.h"
 #include "mediator/instantiate.h"
+#include "mediator/plan_cache.h"
 #include "net/fault.h"
 #include "net/sim_net.h"
 #include "service/metrics.h"
@@ -68,6 +70,10 @@ class SessionEnvironment {
     /// per session yet independent across sessions.
     net::FaultSpec fault;
     uint64_t fault_seed = 0x6d697864'666c7421ull;
+    /// Let sessions answer this source's fills from the service's shared
+    /// SourceCache (effective only when the service has one). Off for a
+    /// source whose wrapper is not deterministic per (uri, hole id).
+    bool cache_fills = true;
   };
   void RegisterWrapperFactory(
       std::string name,
@@ -114,10 +120,22 @@ class SessionEnvironment {
 class Session {
  public:
   /// `fault_counters` (optional) aggregates every source buffer's fault/
-  /// retry/degradation counts service-wide.
+  /// retry/degradation counts service-wide. `plan` is the compiled query —
+  /// shared and immutable, typically from a PlanCache; the session keeps a
+  /// reference for its lifetime. `source_cache` (optional) is the shared
+  /// fragment cache every cache_fills source consults; each source's
+  /// generation is pinned here, at build time.
+  static Result<std::shared_ptr<Session>> Build(
+      uint64_t id, const SessionEnvironment& env,
+      std::shared_ptr<const mediator::PlanNode> plan,
+      net::FaultCounters* fault_counters = nullptr,
+      buffer::SourceCache* source_cache = nullptr);
+
+  /// Convenience overload: compiles `xmas_text` directly (no plan cache).
   static Result<std::shared_ptr<Session>> Build(
       uint64_t id, const SessionEnvironment& env, const std::string& xmas_text,
-      net::FaultCounters* fault_counters = nullptr);
+      net::FaultCounters* fault_counters = nullptr,
+      buffer::SourceCache* source_cache = nullptr);
 
   uint64_t id() const { return id_; }
   Navigable* document() { return document_; }
@@ -158,6 +176,9 @@ class Session {
   std::vector<std::unique_ptr<net::Channel>> channels_;
   std::vector<std::unique_ptr<buffer::LxpWrapper>> wrappers_;
   std::vector<std::unique_ptr<buffer::BufferComponent>> buffers_;
+  /// The (possibly cache-shared) compiled plan; the mediator tree holds
+  /// references into it, so it must outlive mediator_ (declared before).
+  std::shared_ptr<const mediator::PlanNode> plan_;
   std::unique_ptr<mediator::LazyMediator> mediator_;
   Navigable* document_ = nullptr;
   SessionMetrics metrics_;
@@ -174,6 +195,13 @@ class SessionRegistry {
     int64_t idle_ttl_ns = -1;
     /// Service-wide fault counters handed to every session built.
     net::FaultCounters* fault_counters = nullptr;
+    /// Shared source-fragment cache handed to every session built
+    /// (nullptr: sessions always go to their wrappers).
+    buffer::SourceCache* source_cache = nullptr;
+    /// Compiled-plan cache consulted before CompileXmas on Open (nullptr:
+    /// every Open compiles). Both caches are used OUTSIDE the registry
+    /// lock, so a slow compile or fill never stalls unrelated sessions.
+    mediator::PlanCache* plan_cache = nullptr;
   };
 
   SessionRegistry(const SessionEnvironment* env, Options options)

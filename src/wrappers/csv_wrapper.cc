@@ -127,7 +127,7 @@ FragmentList CsvLxpWrapper::Fill(const std::string& hole_id) {
                                                  nullptr, 10));
   MIX_CHECK(from <= table_->rows.size());
   size_t to = std::min(table_->rows.size(),
-                       from + static_cast<size_t>(options_.chunk));
+                       from + static_cast<size_t>(EffectiveChunk()));
   FragmentList out;
   for (size_t i = from; i < to; ++i) out.push_back(RowFragment(i));
   if (to < table_->rows.size()) {

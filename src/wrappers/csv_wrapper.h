@@ -11,6 +11,7 @@
 #ifndef MIX_WRAPPERS_CSV_WRAPPER_H_
 #define MIX_WRAPPERS_CSV_WRAPPER_H_
 
+#include <algorithm>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -51,12 +52,26 @@ class CsvLxpWrapper : public buffer::LxpWrapper {
 
   int64_t fills_served() const { return fills_served_; }
 
+ protected:
+  /// Adaptive fill sizing from the shared chase loop: full scans serve
+  /// max(chunk, hint) rows per fill.
+  void SetFillSizeHint(int64_t elements) override {
+    fill_size_hint_ = elements;
+  }
+
  private:
+  int64_t EffectiveChunk() const {
+    return fill_size_hint_ > 0
+               ? std::max<int64_t>(options_.chunk, fill_size_hint_)
+               : options_.chunk;
+  }
+
   buffer::Fragment RowFragment(size_t row) const;
 
   const CsvTable* table_;
   Options options_;
   int64_t fills_served_ = 0;
+  int64_t fill_size_hint_ = 0;
 };
 
 }  // namespace mix::wrappers

@@ -73,7 +73,7 @@ FragmentList RelationalLxpWrapper::FillTable(const std::string& table_name,
   MIX_CHECK(from_row >= 0 && from_row <= table->row_count());
 
   FragmentList out;
-  int64_t hi = std::min<int64_t>(from_row + options_.chunk, table->row_count());
+  int64_t hi = std::min<int64_t>(from_row + EffectiveChunk(), table->row_count());
   for (int64_t i = from_row; i < hi; ++i) {
     out.push_back(RowFragment(table->schema(), table->row(i)));
     ++rows_scanned_;
@@ -103,7 +103,8 @@ FragmentList RelationalLxpWrapper::FillQuery(int64_t query_id, int64_t from_row,
   // rows_scanned; we rebuild the absolute position of the *next* match by
   // walking matches one at a time.
   int64_t absolute = from_row;
-  while (produced < options_.chunk) {
+  const int64_t chunk = EffectiveChunk();
+  while (produced < chunk) {
     int64_t scanned_before = cursor.rows_scanned();
     if (!cursor.Next(&row)) break;
     absolute += cursor.rows_scanned() - scanned_before;

@@ -22,6 +22,7 @@
 #ifndef MIX_WRAPPERS_RELATIONAL_WRAPPER_H_
 #define MIX_WRAPPERS_RELATIONAL_WRAPPER_H_
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
@@ -57,7 +58,20 @@ class RelationalLxpWrapper : public buffer::LxpWrapper {
   /// Total source rows the wrapper's cursors stepped over (I/O proxy).
   int64_t rows_scanned() const { return rows_scanned_; }
 
+ protected:
+  /// Adaptive fill sizing from the shared chase loop: full scans serve
+  /// max(chunk, hint) rows per fill, amortizing the per-fill cursor reopen.
+  void SetFillSizeHint(int64_t elements) override {
+    fill_size_hint_ = elements;
+  }
+
  private:
+  int64_t EffectiveChunk() const {
+    return fill_size_hint_ > 0
+               ? std::max<int64_t>(options_.chunk, fill_size_hint_)
+               : options_.chunk;
+  }
+
   buffer::Fragment RowFragment(const rdb::Schema& schema, const rdb::Row& row);
   buffer::FragmentList FillDatabase();
   buffer::FragmentList FillTable(const std::string& table, int64_t from_row);
@@ -66,6 +80,7 @@ class RelationalLxpWrapper : public buffer::LxpWrapper {
 
   const rdb::Database* db_;
   Options options_;
+  int64_t fill_size_hint_ = 0;
   int64_t fills_served_ = 0;
   int64_t rows_scanned_ = 0;
 

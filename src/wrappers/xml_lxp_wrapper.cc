@@ -77,7 +77,7 @@ FragmentList XmlLxpWrapper::Fill(const std::string& hole_id) {
   MIX_CHECK(lo >= 0 && lo <= hi &&
             hi <= static_cast<int64_t>(parent->children.size()));
 
-  int64_t take = std::min<int64_t>(options_.chunk, hi - lo);
+  int64_t take = std::min<int64_t>(EffectiveChunk(), hi - lo);
   FragmentList out;
   if (take == 0) return out;
 

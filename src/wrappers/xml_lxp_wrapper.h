@@ -14,6 +14,7 @@
 #ifndef MIX_WRAPPERS_XML_LXP_WRAPPER_H_
 #define MIX_WRAPPERS_XML_LXP_WRAPPER_H_
 
+#include <algorithm>
 #include <string>
 
 #include "buffer/lxp.h"
@@ -56,12 +57,26 @@ class XmlLxpWrapper : public buffer::LxpWrapper {
 
   int64_t fills_served() const { return fills_served_; }
 
+ protected:
+  /// Adaptive fill sizing from the shared chase loop: long sibling scans
+  /// serve max(chunk, hint) children per fill.
+  void SetFillSizeHint(int64_t elements) override {
+    fill_size_hint_ = elements;
+  }
+
  private:
+  int64_t EffectiveChunk() const {
+    return fill_size_hint_ > 0
+               ? std::max<int64_t>(options_.chunk, fill_size_hint_)
+               : options_.chunk;
+  }
+
   buffer::Fragment FragmentFor(const xml::Node* child);
 
   const xml::Document* doc_;
   Options options_;
   int64_t fills_served_ = 0;
+  int64_t fill_size_hint_ = 0;
 };
 
 }  // namespace mix::wrappers

@@ -292,8 +292,10 @@ TEST(BufferBatchTest, DownAllCollapsesDemandMessages) {
   EXPECT_EQ(batch_channel.stats().messages - messages_after_root, 2);
   EXPECT_GT(batch_channel.stats().batched_parts,
             batch_channel.stats().batches);
-  // Same refinement work, radically fewer messages.
-  EXPECT_EQ(batch_buffer.fill_count(), loop_buffer.fill_count());
+  // Radically fewer messages — and, with adaptive fill sizing, the chased
+  // batch needs FEWER fills than the node-at-a-time loop (the wrapper
+  // doubles its chunk on consecutive continued fills), never more.
+  EXPECT_LE(batch_buffer.fill_count(), loop_buffer.fill_count());
   EXPECT_LT(batch_channel.stats().messages, loop_channel.stats().messages);
 
   // And the buffered tree is the same.
@@ -328,9 +330,10 @@ TEST(BufferBatchTest, NextSiblingsPagesWithoutOverFetch) {
   };
 
   for (int64_t limit : {int64_t{1}, int64_t{5}, int64_t{9}}) {
-    // Equal bytes: the batched page performs exactly the fills the
-    // node-at-a-time page would, just coalesced.
-    EXPECT_EQ(fills_for_page(limit, true), fills_for_page(limit, false))
+    // No over-fetch: the element budget caps the adaptive chunk growth, so
+    // the batched page ships the same elements; it may need fewer fills
+    // than the node-at-a-time walk (growing chunks), never more.
+    EXPECT_LE(fills_for_page(limit, true), fills_for_page(limit, false))
         << "limit=" << limit;
   }
 }
@@ -386,8 +389,10 @@ TEST(FillManyTest, ChaseCompletesSiblingListWithEmptyBudget) {
     }
   }
   EXPECT_EQ(elements, 8);
-  // Every hole introduced was itself refined within the same batch.
-  EXPECT_EQ(static_cast<int>(fills.size()), 4);  // 8 children / chunk 2
+  // Every hole introduced was itself refined within the same batch. With
+  // adaptive fill sizing the chunks grow geometrically (2 + 4 + 2 children)
+  // instead of costing 8/chunk = 4 fixed-size fills.
+  EXPECT_EQ(static_cast<int>(fills.size()), 3);
   EXPECT_TRUE(trailing_hole);  // intermediate responses contain the chased holes
 }
 

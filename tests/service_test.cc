@@ -4,9 +4,12 @@
 // multi-worker concurrency smoke test.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -420,6 +423,191 @@ TEST(ServiceTest, ConcurrentSessionsSmoke) {
   EXPECT_EQ(snap.requests_rejected, 0);
   EXPECT_EQ(snap.requests_error, 0);
   EXPECT_GT(snap.p99_ns, 0);
+}
+
+// Single-source query for the cache tests (one wrapper factory per open).
+const char* kHomesOnly = R"(
+CONSTRUCT <answer> $H {$H} </answer> {}
+WHERE homesSrc homes.home $H
+)";
+
+TEST(ServiceTest, ConcurrentOpensOverlap) {
+  // Session construction (wrapper factories, mediator instantiation) must
+  // run OUTSIDE the registry lock: two Opens dispatched to different
+  // workers rendezvous inside the wrapper factory. If Opens serialized,
+  // the first factory would wait out its timeout alone and max_inside
+  // would stay 1.
+  auto homes = testing::Doc(kHomes);
+  std::mutex mu;
+  std::condition_variable cv;
+  int inside = 0;
+  int max_inside = 0;
+
+  SessionEnvironment env;
+  env.RegisterWrapperFactory(
+      "homesSrc",
+      [&]() -> std::unique_ptr<buffer::LxpWrapper> {
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          ++inside;
+          max_inside = std::max(max_inside, inside);
+          cv.notify_all();
+          cv.wait_for(lock, std::chrono::seconds(2),
+                      [&] { return max_inside >= 2; });
+          --inside;
+        }
+        return std::make_unique<wrappers::XmlLxpWrapper>(homes.get());
+      },
+      "homes.xml");
+
+  MediatorService::Options options;
+  options.workers = 4;
+  MediatorService service(&env, options);
+
+  std::atomic<int> failures{0};
+  std::thread t1([&] {
+    if (!FramedDocument::Open(&service, kHomesOnly).ok()) ++failures;
+  });
+  std::thread t2([&] {
+    // Different text (a comment) so neither Open waits on the other's
+    // plan-cache entry — only the registry lock could serialize them.
+    std::string other = std::string(kHomesOnly) + "% second\n";
+    if (!FramedDocument::Open(&service, other).ok()) ++failures;
+  });
+  t1.join();
+  t2.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(max_inside, 2) << "concurrent Opens serialized on the registry";
+}
+
+TEST(ServiceTest, SharedCacheServesSecondSessionWithoutWrapperFills) {
+  auto homes = testing::Doc(kHomes);
+  std::mutex mu;
+  std::vector<wrappers::XmlLxpWrapper*> created;  // owned by their sessions
+
+  SessionEnvironment env;
+  env.RegisterWrapperFactory(
+      "homesSrc",
+      [&]() -> std::unique_ptr<buffer::LxpWrapper> {
+        auto w = std::make_unique<wrappers::XmlLxpWrapper>(homes.get());
+        std::lock_guard<std::mutex> lock(mu);
+        created.push_back(w.get());
+        return w;
+      },
+      "homes.xml");
+
+  MediatorService::Options options;
+  options.source_cache_bytes = 1 << 20;
+  MediatorService service(&env, options);
+
+  auto doc1 = FramedDocument::Open(&service, kHomesOnly).ValueOrDie();
+  std::string first = testing::MaterializeToTerm(doc1.get());
+
+  // Second session, same query reformatted: the compiled plan comes from
+  // the plan cache and every source fill from the fragment cache — its
+  // wrapper instance serves ZERO fills, and the answer is byte-identical.
+  std::string reformatted =
+      "CONSTRUCT <answer>  $H {$H} </answer> {} % same query\n"
+      "WHERE homesSrc homes.home $H";
+  auto doc2 = FramedDocument::Open(&service, reformatted).ValueOrDie();
+  EXPECT_EQ(testing::MaterializeToTerm(doc2.get()), first);
+
+  ASSERT_EQ(created.size(), 2u);
+  EXPECT_GT(created[0]->fills_served(), 0);
+  EXPECT_EQ(created[1]->fills_served(), 0);
+
+  ServiceMetricsSnapshot snap = service.Metrics();
+  EXPECT_GT(snap.cache_hits, 0);
+  EXPECT_GT(snap.cache_bytes, 0);
+  EXPECT_EQ(snap.plan_cache_hits, 1);
+  EXPECT_GE(snap.plan_cache_misses, 1);
+}
+
+TEST(ServiceTest, InvalidateSourcePreservesFreshnessSemantics) {
+  // The E9 churn scenario with the cache enabled: after the source changes
+  // AND InvalidateSource is called, new sessions see the new content; the
+  // cache never resurrects the old generation for them.
+  auto v1 = testing::Doc("homes[home[zip[91220]]]");
+  auto v2 = testing::Doc("homes[home[zip[99999]]]");
+  std::atomic<xml::Document*> current{v1.get()};
+
+  SessionEnvironment env;
+  env.RegisterWrapperFactory(
+      "homesSrc",
+      [&]() -> std::unique_ptr<buffer::LxpWrapper> {
+        return std::make_unique<wrappers::XmlLxpWrapper>(current.load());
+      },
+      "homes.xml");
+
+  MediatorService::Options options;
+  options.source_cache_bytes = 1 << 20;
+  MediatorService service(&env, options);
+
+  auto doc1 = FramedDocument::Open(&service, kHomesOnly).ValueOrDie();
+  EXPECT_EQ(testing::MaterializeToTerm(doc1.get()),
+            "answer[home[zip[91220]]]");
+
+  // The source churns. Without an invalidation the cache still answers
+  // from the published generation-0 fragments (the staleness window a
+  // shared cache introduces)...
+  current.store(v2.get());
+  auto stale = FramedDocument::Open(&service, kHomesOnly).ValueOrDie();
+  EXPECT_EQ(testing::MaterializeToTerm(stale.get()),
+            "answer[home[zip[91220]]]");
+
+  // ...and InvalidateSource closes it: the generation bump makes every old
+  // entry unreachable to sessions opened from now on.
+  service.InvalidateSource("homesSrc");
+  auto fresh = FramedDocument::Open(&service, kHomesOnly).ValueOrDie();
+  EXPECT_EQ(testing::MaterializeToTerm(fresh.get()),
+            "answer[home[zip[99999]]]");
+}
+
+TEST(ServiceTest, CacheStressManySessionsByteIdenticalUnderEviction) {
+  // 8 workers x 64 sessions over a shared hot source with an UNDERSIZED
+  // cache budget: every answer must match the cache-off truth
+  // (kExpectedAnswer) exactly, the byte account must respect the budget,
+  // and the budget pressure must show up as evictions. Runs under TSan in
+  // CI (thread-sanitize job).
+  ServiceFixture fx;
+  MediatorService::Options options;
+  options.workers = 8;
+  options.queue_capacity = 4096;
+  options.source_cache_bytes = 1024;  // a handful of entries — must churn
+  MediatorService service(&fx.env(), options);
+
+  constexpr int kThreads = 8;
+  constexpr int kSessionsPerThread = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &mismatches] {
+      for (int s = 0; s < kSessionsPerThread; ++s) {
+        auto doc = FramedDocument::Open(&service, kFig3);
+        if (!doc.ok()) {
+          ++mismatches;
+          continue;
+        }
+        if (testing::MaterializeToTerm(doc.value().get()) != kExpectedAnswer) {
+          ++mismatches;
+        }
+        if (!doc.value()->Close().ok()) ++mismatches;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  ServiceMetricsSnapshot snap = service.Metrics();
+  EXPECT_EQ(snap.sessions_opened, kThreads * kSessionsPerThread);
+  EXPECT_LE(snap.cache_bytes, options.source_cache_bytes);
+  EXPECT_GT(snap.cache_evictions, 0) << "undersized budget must evict";
+  EXPECT_GT(snap.cache_hits + snap.cache_misses, 0);
+  // Concurrent first misses may each compile (first insert wins), so up to
+  // kThreads opens can miss; everything after hits the shared plan.
+  EXPECT_GE(snap.plan_cache_hits, kThreads * (kSessionsPerThread - 1));
 }
 
 TEST(ServiceTest, MetricsFrameRoundTrip) {
