@@ -15,15 +15,30 @@
 # For BENCH_source_cache.json (E14) compare the cache_kb:0 vs cache_kb:4096
 # rows of BM_SharedCacheSessions: wrapper_exchanges (>= 50% reduction warm),
 # items_per_second (>= 2x), mismatches (= 0), and BM_CacheBudgetPressure's
-# evictions (> 0) / over_budget (= 0).
+# evictions (> 0) / over_budget (= 0). For BENCH_plan_opt.json (E15) compare
+# the level:0 vs level:1 rows of BM_RelationalScanPushdown and
+# BM_RelationalJoinPushdown: wrapper_exchanges (>= 25% reduction with the
+# optimizer on), mismatches (= 0); BM_XmlFig3Levels must show exchange
+# parity (the XML workload has no pushdown target) and BM_OptimizeCost is
+# the per-compile price of the pass pipeline.
 #
-# Usage: scripts/run_bench.sh [build-dir]   (default: build)
+# Usage: scripts/run_bench.sh [suite] [build-dir]
+#   With no arguments, runs every tracked suite against ./build. A first
+#   argument naming a suite (e.g. `plan_opt`) runs just that one; any other
+#   first argument is taken as the build dir.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-BUILD="${1:-build}"
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
-SUITES=(node_id plan_pipeline batch_nav lxp_chunking prefetch service faults source_cache)
+SUITES=(node_id plan_pipeline batch_nav lxp_chunking prefetch service faults source_cache plan_opt)
+BUILD="${1:-build}"
+for name in "${SUITES[@]}"; do
+  if [ "${1:-}" = "$name" ]; then
+    SUITES=("$name")
+    BUILD="${2:-build}"
+    break
+  fi
+done
 for name in "${SUITES[@]}"; do
   bin="$BUILD/bench/bench_$name"
   if [ ! -x "$bin" ]; then

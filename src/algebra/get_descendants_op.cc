@@ -108,9 +108,29 @@ bool GetDescendantsOp::Step(Cursor* cursor) {
   return false;
 }
 
+bool GetDescendantsOp::FilterPasses(const Cursor& cursor) {
+  if (!options_.filter.has_value()) return true;
+  const BindingPredicate& p = *options_.filter;
+  auto value_of = [this, &cursor](const std::string& var) -> ValueRef {
+    if (var == out_var_) {
+      return ValueRef{cursor.nav, cursor.stack.back().node};
+    }
+    return input_->Attr(cursor.input_b, var);
+  };
+  // Exactly BindingPredicate::Eval, with the output binding synthesized
+  // from the paused cursor instead of a stored binding id.
+  std::string left = AtomOf(value_of(p.left_var()));
+  std::string right =
+      p.is_var_var() ? AtomOf(value_of(p.right_var())) : p.constant();
+  return ApplyCompare(p.op(), CompareAtoms(left, right));
+}
+
 bool GetDescendantsOp::NextMatch(Cursor* cursor) {
   while (Step(cursor)) {
-    if (path_.nfa().AnyAccepting(cursor->stack.back().states)) return true;
+    if (path_.nfa().AnyAccepting(cursor->stack.back().states) &&
+        FilterPasses(*cursor)) {
+      return true;
+    }
   }
   return false;
 }
@@ -136,7 +156,8 @@ std::optional<NodeId> GetDescendantsOp::ScanInput(std::optional<NodeId> ib) {
     cursor.input_b = *ib;
     cursor.nav = anchor.nav;
     if (Seed(&cursor, anchor)) {
-      if (path_.nfa().AnyAccepting(cursor.stack.back().states) ||
+      if ((path_.nfa().AnyAccepting(cursor.stack.back().states) &&
+           FilterPasses(cursor)) ||
           NextMatch(&cursor)) {
         return StoreCursor(std::move(cursor));
       }

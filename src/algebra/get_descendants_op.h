@@ -38,6 +38,12 @@ class GetDescendantsOp : public OperatorBase {
     /// Use σ (SelectSibling) for sibling scans when the path expression is
     /// a literal label chain.
     bool use_select_sibling = false;
+    /// Inline filter (select/getDescendants fusion): a match is emitted
+    /// only when the predicate holds on the would-be output binding, with
+    /// exactly BindingPredicate::Eval semantics. May reference the output
+    /// variable and any input variable. Filtered-out matches store no
+    /// cursor — they cost a predicate evaluation, not a binding.
+    std::optional<BindingPredicate> filter;
   };
 
   /// `input` is not owned and must outlive the operator.
@@ -84,8 +90,12 @@ class GetDescendantsOp : public OperatorBase {
   bool Step(Cursor* cursor);
   /// Positions a fresh cursor at the first DFS node under the anchor.
   bool Seed(Cursor* cursor, const ValueRef& anchor);
-  /// Advances (or, with seeding, starts) to the next *accepting* node.
+  /// Advances (or, with seeding, starts) to the next *accepting* node that
+  /// passes the inline filter.
   bool NextMatch(Cursor* cursor);
+  /// Evaluates Options::filter against the would-be output binding of a
+  /// cursor paused on an accepting node. True when no filter is set.
+  bool FilterPasses(const Cursor& cursor);
   /// Scans input bindings starting at `ib` for the first with a match.
   std::optional<NodeId> ScanInput(std::optional<NodeId> ib);
 

@@ -82,6 +82,29 @@ struct FillBudget {
   int64_t fills = -1;
 };
 
+/// What a wrapper can absorb beyond plain LXP, advertised to the plan
+/// optimizer. Mirrors mediator::SourceCapability (mix_mediator does not
+/// link mix_buffer; the service layer converts between the two).
+struct PushdownCapability {
+  enum class ColumnType { kInt, kDouble, kString };
+  struct Column {
+    std::string name;
+    ColumnType type = ColumnType::kString;
+  };
+
+  /// The wrapper's views answer σ (sibling label selection) in one
+  /// exchange — label-chain getDescendants over them is bounded browsable.
+  bool sigma = false;
+  /// The wrapper accepts "sql:SELECT ..." view URIs whose WHERE clause it
+  /// evaluates server-side, so filtered tuples never cross the wire.
+  bool pushdown = false;
+  /// Root label of the exported database document; only set with
+  /// `pushdown`.
+  std::string database;
+  /// table -> columns, for the optimizer's type-legality checks.
+  std::map<std::string, std::vector<Column>> tables;
+};
+
 /// The LXP server role, implemented by every wrapper.
 ///
 /// Contract (paper Section 4): all ids handed out via GetRoot/embedded holes
@@ -91,6 +114,11 @@ struct FillBudget {
 class LxpWrapper {
  public:
   virtual ~LxpWrapper() = default;
+
+  /// Capability advertisement for the plan optimizer. The default is the
+  /// empty capability: no σ, no pushdown (correct for CSV/XML/scripted
+  /// wrappers, which serve exactly one fixed view).
+  virtual PushdownCapability Capability() const { return {}; }
 
   /// get_root: establishes the connection and returns the root hole id.
   virtual std::string GetRoot(const std::string& uri) = 0;

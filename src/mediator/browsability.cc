@@ -27,7 +27,21 @@ void Worsen(BrowsabilityReport* report, Browsability cls, std::string reason) {
 
 void Visit(const PlanNode& node, const BrowsabilityOptions& options,
            BrowsabilityReport* report) {
+  std::string reason;
+  Browsability cls = ClassifyOperator(node, options.sigma_available, &reason);
+  if (cls != Browsability::kBoundedBrowsable) {
+    Worsen(report, cls, std::move(reason));
+  }
+  for (const PlanPtr& c : node.children) Visit(*c, options, report);
+}
+
+}  // namespace
+
+Browsability ClassifyOperator(const PlanNode& node, bool sigma_available,
+                              std::string* reason) {
   using Kind = PlanNode::Kind;
+  std::string why;
+  Browsability cls = Browsability::kBoundedBrowsable;
   switch (node.kind) {
     case Kind::kSource:
     case Kind::kConcatenate:
@@ -44,53 +58,54 @@ void Visit(const PlanNode& node, const BrowsabilityOptions& options,
     case Kind::kGetDescendants: {
       auto path = pathexpr::PathExpr::Parse(node.path);
       bool chain = path.ok() && path.value().IsLabelChain();
-      if (chain && (node.use_sigma || options.sigma_available)) {
+      if (chain && (node.use_sigma || sigma_available)) {
         // One σ per level retrieves the next match: bounded (Section 2).
         break;
       }
-      Worsen(report, Browsability::kBrowsable,
-             "getDescendants[" + node.path +
-                 "]: sibling scan length depends on the data" +
-                 (chain ? " (σ would make it bounded)" : ""));
+      cls = Browsability::kBrowsable;
+      why = "getDescendants[" + node.path +
+            "]: sibling scan length depends on the data" +
+            (chain ? " (σ would make it bounded)" : "");
       break;
     }
     case Kind::kSelect:
-      Worsen(report, Browsability::kBrowsable,
-             "select[" + node.predicate->ToString() +
-                 "]: scan to the next satisfying binding is unbounded");
+      cls = Browsability::kBrowsable;
+      why = "select[" + node.predicate->ToString() +
+            "]: scan to the next satisfying binding is unbounded";
       break;
     case Kind::kJoin:
-      Worsen(report, Browsability::kBrowsable,
-             "join[" + node.predicate->ToString() +
-                 "]: inner scans per output binding are unbounded");
+      cls = Browsability::kBrowsable;
+      why = "join[" + node.predicate->ToString() +
+            "]: inner scans per output binding are unbounded";
       break;
     case Kind::kGroupBy:
-      Worsen(report, Browsability::kBrowsable,
-             "groupBy: next_gb/next scans are unbounded");
+      cls = Browsability::kBrowsable;
+      why = "groupBy: next_gb/next scans are unbounded";
       break;
     case Kind::kDistinct:
-      Worsen(report, Browsability::kBrowsable,
-             "distinct: scan past duplicates is unbounded");
+      cls = Browsability::kBrowsable;
+      why = "distinct: scan past duplicates is unbounded";
       break;
     case Kind::kOrderBy:
-      Worsen(report, Browsability::kUnbrowsable,
-             "orderBy: requires the complete input list before the first "
-             "result");
+      cls = Browsability::kUnbrowsable;
+      why =
+          "orderBy: requires the complete input list before the first "
+          "result";
       break;
     case Kind::kMaterialize:
-      Worsen(report, Browsability::kUnbrowsable,
-             "materialize: intermediate eager step drains its whole input");
+      cls = Browsability::kUnbrowsable;
+      why = "materialize: intermediate eager step drains its whole input";
       break;
     case Kind::kDifference:
-      Worsen(report, Browsability::kUnbrowsable,
-             "difference: requires the complete right input before the "
-             "first result");
+      cls = Browsability::kUnbrowsable;
+      why =
+          "difference: requires the complete right input before the "
+          "first result";
       break;
   }
-  for (const PlanPtr& c : node.children) Visit(*c, options, report);
+  if (reason != nullptr) *reason = std::move(why);
+  return cls;
 }
-
-}  // namespace
 
 BrowsabilityReport Classify(const PlanNode& plan,
                             const BrowsabilityOptions& options) {

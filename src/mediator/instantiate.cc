@@ -26,6 +26,16 @@ Navigable* SourceRegistry::Get(const std::string& name) const {
   return it == sources_.end() ? nullptr : it->second;
 }
 
+void SourceRegistry::RegisterOpener(const std::string& name, Opener opener) {
+  openers_[name] = std::move(opener);
+}
+
+SourceRegistry::Opener SourceRegistry::GetOpener(
+    const std::string& name) const {
+  auto it = openers_.find(name);
+  return it == openers_.end() ? nullptr : it->second;
+}
+
 Result<algebra::BindingStream*> LazyMediator::BuildStream(
     const PlanNode& node, const SourceRegistry& sources) {
   using Kind = PlanNode::Kind;
@@ -47,9 +57,29 @@ Result<algebra::BindingStream*> LazyMediator::BuildStream(
 
   switch (node.kind) {
     case Kind::kSource: {
-      Navigable* src = sources.Get(node.source_name);
-      if (src == nullptr) {
-        return Status::NotFound("unknown source: " + node.source_name);
+      Navigable* src = nullptr;
+      if (!node.source_uri.empty()) {
+        // Optimizer override: the plan is only correct against this view
+        // (predicates it absorbs were removed from the operator tree), so
+        // a missing opener is a hard error, not a fallback.
+        SourceRegistry::Opener opener = sources.GetOpener(node.source_name);
+        if (opener == nullptr) {
+          return Status::NotFound("source " + node.source_name +
+                                  " has no view opener for uri override: " +
+                                  node.source_uri);
+        }
+        std::unique_ptr<Navigable> view = opener(node.source_uri);
+        if (view == nullptr) {
+          return Status::NotFound("source " + node.source_name +
+                                  " cannot open view: " + node.source_uri);
+        }
+        src = view.get();
+        navigables_.push_back(std::move(view));
+      } else {
+        src = sources.Get(node.source_name);
+        if (src == nullptr) {
+          return Status::NotFound("unknown source: " + node.source_name);
+        }
       }
       // Source bindings anchor at a virtual document node so that source
       // path expressions match from the root element inclusive (see
@@ -64,6 +94,7 @@ Result<algebra::BindingStream*> LazyMediator::BuildStream(
       if (!path.ok()) return path.status();
       alg::GetDescendantsOp::Options options;
       options.use_select_sibling = node.use_sigma;
+      options.filter = node.predicate;
       return keep(std::make_unique<alg::GetDescendantsOp>(
           inputs[0], node.parent_var, std::move(path).ValueOrDie(),
           node.out_var, options));

@@ -13,6 +13,7 @@
 #ifndef MIX_MEDIATOR_INSTANTIATE_H_
 #define MIX_MEDIATOR_INSTANTIATE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -29,12 +30,27 @@ namespace mix::mediator {
 /// lower mediator's virtual document). Pointers are not owned.
 class SourceRegistry {
  public:
+  /// Opens a view of a source under an optimizer-chosen URI (the
+  /// PlanNode::source_uri override). The returned navigable is owned by
+  /// the instantiated mediator. nullptr = the view cannot be opened.
+  using Opener =
+      std::function<std::unique_ptr<Navigable>(const std::string& uri)>;
+
   void Register(std::string name, Navigable* source);
   /// nullptr when unknown.
   Navigable* Get(const std::string& name) const;
 
+  /// Registers a per-source view opener. Plans whose source node carries a
+  /// URI override instantiate against opener(uri) instead of Get(name);
+  /// without an opener (or when it returns nullptr) instantiation fails —
+  /// an overridden plan is only correct against the overridden view.
+  void RegisterOpener(const std::string& name, Opener opener);
+  /// Null function when the source has no opener.
+  Opener GetOpener(const std::string& name) const;
+
  private:
   std::map<std::string, Navigable*> sources_;
+  std::map<std::string, Opener> openers_;
 };
 
 class LazyMediator {

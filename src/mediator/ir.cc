@@ -1,0 +1,287 @@
+#include "mediator/ir.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "pathexpr/path_expr.h"
+
+namespace mix::mediator {
+
+namespace {
+
+/// Copies every operator parameter of `from` into `to` — children excluded.
+void CopyOp(const PlanNode& from, PlanNode* to) {
+  to->kind = from.kind;
+  to->source_name = from.source_name;
+  to->source_uri = from.source_uri;
+  to->var = from.var;
+  to->parent_var = from.parent_var;
+  to->out_var = from.out_var;
+  to->path = from.path;
+  to->use_sigma = from.use_sigma;
+  to->predicate = from.predicate;
+  to->join_cache_inner = from.join_cache_inner;
+  to->join_index_inner = from.join_index_inner;
+  to->order_by_occurrence = from.order_by_occurrence;
+  to->vars = from.vars;
+  to->grouped_var = from.grouped_var;
+  to->x_var = from.x_var;
+  to->y_var = from.y_var;
+  to->label_is_constant = from.label_is_constant;
+  to->label = from.label;
+  to->text = from.text;
+}
+
+bool IsLabelChain(const std::string& path) {
+  auto parsed = pathexpr::PathExpr::Parse(path);
+  return parsed.ok() && parsed.value().IsLabelChain();
+}
+
+Status Analyze(IrNode* n, const std::map<std::string, SourceCapability>& caps,
+               bool assume_all_sigma) {
+  using Kind = PlanNode::Kind;
+  for (IrPtr& c : n->children) {
+    Status s = Analyze(c.get(), caps, assume_all_sigma);
+    if (!s.ok()) return s;
+  }
+
+  // Schema (kTupleDestroy yields a document, not bindings: empty schema).
+  if (n->op.kind == Kind::kTupleDestroy) {
+    n->schema.clear();
+  } else {
+    std::vector<algebra::VarList> child_schemas;
+    for (const IrPtr& c : n->children) child_schemas.push_back(c->schema);
+    auto s = SchemaTransition(n->op, child_schemas);
+    if (!s.ok()) return s.status();
+    n->schema = std::move(s).ValueOrDie();
+  }
+
+  // Provenance: merge children, apply the operator's own bindings, then
+  // restrict to the output schema.
+  n->var_source.clear();
+  for (const IrPtr& c : n->children) {
+    n->var_source.insert(c->var_source.begin(), c->var_source.end());
+  }
+  switch (n->op.kind) {
+    case Kind::kSource:
+      n->var_source[n->op.var] = n->op.source_name;
+      break;
+    case Kind::kGetDescendants: {
+      auto it = n->var_source.find(n->op.parent_var);
+      n->var_source[n->op.out_var] =
+          it == n->var_source.end() ? "" : it->second;
+      break;
+    }
+    case Kind::kGroupBy:
+    case Kind::kConcatenate:
+    case Kind::kCreateElement:
+    case Kind::kWrapList:
+    case Kind::kConst:
+      // Constructors synthesize their output value.
+      n->var_source[n->op.out_var] = "";
+      break;
+    case Kind::kRename: {
+      auto it = n->var_source.find(n->op.x_var);
+      n->var_source[n->op.out_var] =
+          it == n->var_source.end() ? "" : it->second;
+      break;
+    }
+    default:
+      break;
+  }
+  for (auto it = n->var_source.begin(); it != n->var_source.end();) {
+    bool in_schema = std::find(n->schema.begin(), n->schema.end(),
+                               it->first) != n->schema.end();
+    it = in_schema ? std::next(it) : n->var_source.erase(it);
+  }
+
+  // Source set.
+  n->sources.clear();
+  for (const IrPtr& c : n->children) {
+    n->sources.insert(n->sources.end(), c->sources.begin(), c->sources.end());
+  }
+  if (n->op.kind == Kind::kSource) n->sources.push_back(n->op.source_name);
+  std::sort(n->sources.begin(), n->sources.end());
+  n->sources.erase(std::unique(n->sources.begin(), n->sources.end()),
+                   n->sources.end());
+
+  // Browsability, σ-capability resolved per source through provenance.
+  bool sigma = assume_all_sigma;
+  if (!sigma && n->op.kind == Kind::kGetDescendants && !n->children.empty()) {
+    auto v = n->children[0]->var_source.find(n->op.parent_var);
+    if (v != n->children[0]->var_source.end()) {
+      auto c = caps.find(v->second);
+      sigma = c != caps.end() && c->second.sigma;
+    }
+  }
+  n->self_cls = ClassifyOperator(n->op, sigma, nullptr);
+  n->cls = n->self_cls;
+  for (const IrPtr& c : n->children) {
+    n->cls = std::max(n->cls, c->cls,
+                      [](Browsability a, Browsability b) {
+                        return static_cast<int>(a) < static_cast<int>(b);
+                      });
+  }
+
+  // Fan-out estimate.
+  double in0 = n->children.empty() ? 1.0 : n->children[0]->fanout;
+  double in1 = n->children.size() > 1 ? n->children[1]->fanout : 1.0;
+  switch (n->op.kind) {
+    case Kind::kSource:
+      n->fanout = 1.0;
+      break;
+    case Kind::kGetDescendants:
+      n->fanout = in0 * (IsLabelChain(n->op.path) ? 4.0 : 8.0);
+      break;
+    case Kind::kSelect:
+      n->fanout = in0 * (n->op.predicate->is_var_var() ? 0.5 : 0.25);
+      break;
+    case Kind::kJoin:
+      n->fanout = in0 * in1 *
+                  (n->op.predicate->op() == algebra::CompareOp::kEq ? 0.1
+                                                                    : 0.5);
+      break;
+    case Kind::kGroupBy:
+      n->fanout = in0 * 0.5;
+      break;
+    case Kind::kDistinct:
+      n->fanout = in0 * 0.75;
+      break;
+    case Kind::kUnion:
+      n->fanout = in0 + in1;
+      break;
+    case Kind::kDifference:
+      n->fanout = in0;
+      break;
+    default:
+      n->fanout = in0;
+      break;
+  }
+  return Status::OK();
+}
+
+std::string RenderOpLine(const PlanNode& op) {
+  PlanNode shallow;
+  CopyOp(op, &shallow);
+  std::string line = shallow.ToString();
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  return line;
+}
+
+void Dump(const IrNode& n, int depth, bool annotate, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += RenderOpLine(n.op);
+  if (annotate) {
+    std::string schema = "{";
+    for (size_t i = 0; i < n.schema.size(); ++i) {
+      if (i > 0) schema += ",";
+      schema += "$" + n.schema[i];
+    }
+    schema += "}";
+    std::string src = "{";
+    bool first = true;
+    for (const auto& [var, source] : n.var_source) {
+      if (!first) src += ",";
+      first = false;
+      src += var + ":" + (source.empty() ? "-" : source);
+    }
+    src += "}";
+    char fanout[32];
+    std::snprintf(fanout, sizeof(fanout), "%.3g", n.fanout);
+    *out += " % schema=" + schema + " src=" + src +
+            " cls=" + BrowsabilityName(n.cls) + " fanout=" + fanout;
+  }
+  *out += '\n';
+  for (const IrPtr& c : n.children) Dump(*c, depth + 1, annotate, out);
+}
+
+}  // namespace
+
+IrPtr IrFromPlan(const PlanNode& plan) {
+  auto n = std::make_unique<IrNode>();
+  CopyOp(plan, &n->op);
+  for (const PlanPtr& c : plan.children) n->children.push_back(IrFromPlan(*c));
+  return n;
+}
+
+PlanPtr IrToPlan(const IrNode& ir) {
+  auto n = std::make_unique<PlanNode>();
+  CopyOp(ir.op, n.get());
+  for (const IrPtr& c : ir.children) n->children.push_back(IrToPlan(*c));
+  return n;
+}
+
+Status AnalyzeIr(IrNode* root,
+                 const std::map<std::string, SourceCapability>& caps,
+                 bool assume_all_sigma) {
+  return Analyze(root, caps, assume_all_sigma);
+}
+
+std::string DumpIr(const IrNode& ir, bool annotate) {
+  std::string out;
+  Dump(ir, 0, annotate, &out);
+  return out;
+}
+
+std::vector<std::string> InputVars(const PlanNode& op) {
+  using Kind = PlanNode::Kind;
+  std::vector<std::string> vars;
+  auto pred_vars = [&vars](const std::optional<algebra::BindingPredicate>& p) {
+    if (!p.has_value()) return;
+    vars.push_back(p->left_var());
+    if (p->is_var_var()) vars.push_back(p->right_var());
+  };
+  switch (op.kind) {
+    case Kind::kSource:
+    case Kind::kMaterialize:
+    case Kind::kUnion:
+    case Kind::kDifference:
+    case Kind::kDistinct:
+      break;
+    case Kind::kGetDescendants:
+      vars.push_back(op.parent_var);
+      pred_vars(op.predicate);
+      break;
+    case Kind::kSelect:
+    case Kind::kJoin:
+      pred_vars(op.predicate);
+      break;
+    case Kind::kGroupBy:
+      vars = op.vars;
+      vars.push_back(op.grouped_var);
+      break;
+    case Kind::kConcatenate:
+      vars.push_back(op.x_var);
+      vars.push_back(op.y_var);
+      break;
+    case Kind::kCreateElement:
+      vars.push_back(op.x_var);
+      if (!op.label_is_constant) vars.push_back(op.label);
+      break;
+    case Kind::kOrderBy:
+    case Kind::kProject:
+      vars = op.vars;
+      break;
+    case Kind::kWrapList:
+    case Kind::kRename:
+      vars.push_back(op.x_var);
+      break;
+    case Kind::kConst:
+      break;
+    case Kind::kTupleDestroy:
+      if (!op.var.empty()) vars.push_back(op.var);
+      break;
+  }
+  return vars;
+}
+
+int CountVarUses(const IrNode& root, const std::string& var) {
+  int count = 0;
+  for (const std::string& v : InputVars(root.op)) {
+    if (v == var) ++count;
+  }
+  for (const IrPtr& c : root.children) count += CountVarUses(*c, var);
+  return count;
+}
+
+}  // namespace mix::mediator

@@ -1,0 +1,115 @@
+// Optimizer IR over the XMAS algebra (DESIGN.md §6).
+//
+// The rewriter used to pattern-match directly on the PlanNode tree, which
+// forced every rule to re-derive schemas and re-walk subtrees for each
+// probe. The IR keeps the *same* operator vocabulary (each IrNode embeds a
+// childless PlanNode) but annotates every node with the facts the passes
+// keep asking for:
+//
+//   * schema       — the node's output binding schema (ComputeSchema's
+//                    per-operator transition, folded once bottom-up);
+//   * var_source   — which registered source each schema variable's value
+//                    navigates into ("" = synthesized by a constructor);
+//   * sources      — sorted set of source names in the subtree;
+//   * self_cls/cls — browsability of the operator alone / of the subtree,
+//                    with σ-capability resolved per source;
+//   * fanout       — crude cardinality estimate for join ordering.
+//
+// Passes mutate the tree shape freely and call AnalyzeIr() to refresh the
+// annotations; PassManager does this between passes, so a pass may trust
+// the annotations on entry.
+#ifndef MIX_MEDIATOR_IR_H_
+#define MIX_MEDIATOR_IR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mediator/browsability.h"
+#include "mediator/plan.h"
+
+namespace mix::mediator {
+
+/// Column types a pushdown-capable source exposes. Mirrors rdb::Type but
+/// lives here because mix_mediator does not link mix_rdb; the service layer
+/// converts from the wrapper's capability struct (buffer::PushdownCapability).
+enum class ColumnType { kInt, kDouble, kString };
+
+/// What the wrapper behind a registered source can absorb. Queried per
+/// source (ISSUE 6 satellite: capability is not a global bool), so a plan
+/// mixing relational and CSV legs only rewrites the legs that honor it.
+struct SourceCapability {
+  /// Source answers σ (sibling label selection) natively: label-chain
+  /// getDescendants over it is bounded browsable.
+  bool sigma = false;
+  /// Source accepts a "sql:SELECT ..." view URI: comparison predicates can
+  /// be compiled into the view so filtered tuples never cross the wire.
+  bool pushdown = false;
+  /// Root label of the exported database document (the <db> in
+  /// db.<table>.row paths). Only meaningful when `pushdown`.
+  std::string database;
+  struct Column {
+    std::string name;
+    ColumnType type = ColumnType::kString;
+  };
+  /// table name -> columns, for pushdown type-legality checks.
+  std::map<std::string, std::vector<Column>> tables;
+};
+
+struct IrNode;
+using IrPtr = std::unique_ptr<IrNode>;
+
+struct IrNode {
+  /// The operator: a PlanNode whose `children` vector is always empty
+  /// (structure lives in IrNode::children so annotations travel with it).
+  PlanNode op;
+  std::vector<IrPtr> children;
+
+  // --- annotations, valid after AnalyzeIr ---
+  /// Output schema. Empty for the kTupleDestroy root (document, not
+  /// bindings).
+  algebra::VarList schema;
+  /// schema var -> source name whose values it navigates, "" if the value
+  /// is synthesized (constructor / groupBy output).
+  std::map<std::string, std::string> var_source;
+  /// Sorted, deduplicated source names appearing in this subtree.
+  std::vector<std::string> sources;
+  /// Browsability of this operator alone / of the whole subtree.
+  Browsability self_cls = Browsability::kBoundedBrowsable;
+  Browsability cls = Browsability::kBoundedBrowsable;
+  /// Estimated output cardinality (arbitrary units; only ratios matter).
+  double fanout = 1.0;
+};
+
+/// Deep-copies `plan` into IR form (annotations unset; run AnalyzeIr).
+IrPtr IrFromPlan(const PlanNode& plan);
+
+/// Reconstructs a plain plan tree from the IR (deep copy).
+PlanPtr IrToPlan(const IrNode& ir);
+
+/// Recomputes every annotation bottom-up. Fails if the tree is not
+/// schema-valid (a pass broke variable scoping — the pass must revert).
+/// `caps` maps source name -> capability; missing sources get the default
+/// (no σ, no pushdown). `assume_all_sigma` preserves the legacy
+/// RewriteOptions::sigma_capable_sources behavior: treat every source as
+/// σ-capable regardless of `caps`.
+Status AnalyzeIr(IrNode* root, const std::map<std::string, SourceCapability>& caps,
+                 bool assume_all_sigma);
+
+/// Renders the IR via plan_text. With `annotate`, appends a trailing
+/// "% schema=... src=... cls=... fanout=..." comment per line (still
+/// parseable: plan_text strips % comments).
+std::string DumpIr(const IrNode& ir, bool annotate);
+
+/// Number of times `var` is consumed as an *input* anywhere in the tree
+/// (predicates, anchors, group/sort/project lists, constructor arguments,
+/// the tupleDestroy root variable). Schema pass-through does not count.
+int CountVarUses(const IrNode& root, const std::string& var);
+
+/// The variables `op` reads from its input bindings.
+std::vector<std::string> InputVars(const PlanNode& op);
+
+}  // namespace mix::mediator
+
+#endif  // MIX_MEDIATOR_IR_H_

@@ -1,0 +1,54 @@
+// Browsability classifier pass (legacy rewrite rule 1, promoted to an
+// analysis-driven rewrite): a label-chain getDescendants whose anchoring
+// value navigates a σ-capable source switches to σ sibling scans, which
+// upgrades it from browsable to bounded browsable (paper Section 2, end).
+// σ-capability is resolved per source through the IR's variable
+// provenance — a plan mixing relational and CSV legs only upgrades the
+// legs whose wrapper answers σ.
+#include "mediator/passes/pass.h"
+#include "pathexpr/path_expr.h"
+
+namespace mix::mediator::passes {
+
+namespace {
+
+class BrowsabilityPass : public Pass {
+ public:
+  const char* name() const override { return "browsability"; }
+
+  Result<int> Run(IrPtr* root, const OptimizerOptions& options) override {
+    return Walk(root->get(), options);
+  }
+
+ private:
+  int Walk(IrNode* node, const OptimizerOptions& options) {
+    int changes = 0;
+    if (node->op.kind == PlanNode::Kind::kGetDescendants &&
+        !node->op.use_sigma && SigmaAvailable(*node, options)) {
+      auto path = pathexpr::PathExpr::Parse(node->op.path);
+      if (path.ok() && path.value().IsLabelChain()) {
+        node->op.use_sigma = true;
+        ++changes;
+      }
+    }
+    for (IrPtr& c : node->children) changes += Walk(c.get(), options);
+    return changes;
+  }
+
+  bool SigmaAvailable(const IrNode& gd, const OptimizerOptions& options) {
+    if (options.assume_all_sigma) return true;
+    const auto& child_src = gd.children[0]->var_source;
+    auto v = child_src.find(gd.op.parent_var);
+    if (v == child_src.end() || v->second.empty()) return false;
+    auto cap = options.sources.find(v->second);
+    return cap != options.sources.end() && cap->second.sigma;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeBrowsabilityPass() {
+  return std::make_unique<BrowsabilityPass>();
+}
+
+}  // namespace mix::mediator::passes

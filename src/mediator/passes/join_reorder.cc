@@ -1,0 +1,118 @@
+// Join reordering by estimated fan-out. Nested-loop join output order is
+// lexicographic in leaf order, and both reassociation patterns below
+// preserve leaf order and output schema order, so the rewritten plan's
+// answer is byte-identical — only the intermediate cardinality (and with
+// it the scan work per navigation) changes.
+//
+//   join_p(join_q(A,B), C)  ->  join_q(A, join_p(B,C))
+//       legal iff vars(p) subset schema(B)+schema(C)
+//   join_p(A, join_q(B,C))  ->  join_q(join_p(A,B), C)
+//       legal iff vars(p) subset schema(A)+schema(B)
+//
+// Applied only when the new intermediate join's estimate beats the old
+// one by a strict 25% margin — the margin keeps the two mirrored patterns
+// from oscillating. Each predicate travels with its join node (cache /
+// index flags stay coherent). One rotation per invocation: annotations go
+// stale on reshape, and the PassManager re-analyzes between passes.
+#include <algorithm>
+
+#include "mediator/passes/pass.h"
+
+namespace mix::mediator::passes {
+
+namespace {
+
+using Kind = PlanNode::Kind;
+
+bool AllIn(const std::vector<std::string>& vars, const algebra::VarList& a,
+           const algebra::VarList& b) {
+  for (const std::string& v : vars) {
+    if (std::find(a.begin(), a.end(), v) == a.end() &&
+        std::find(b.begin(), b.end(), v) == b.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Mirrors AnalyzeIr's join fan-out rule for a hypothetical join.
+double JoinEst(const PlanNode& join, double left, double right) {
+  return left * right *
+         (join.predicate->op() == algebra::CompareOp::kEq ? 0.1 : 0.5);
+}
+
+class JoinReorderPass : public Pass {
+ public:
+  const char* name() const override { return "join_reorder"; }
+
+  Result<int> Run(IrPtr* root, const OptimizerOptions&) override {
+    return Walk(root);
+  }
+
+ private:
+  int Walk(IrPtr* slot) {
+    IrNode* p = slot->get();
+    if (p->op.kind == Kind::kJoin) {
+      std::vector<std::string> pvars = InputVars(p->op);
+
+      IrNode* q = p->children[0].get();
+      if (q->op.kind == Kind::kJoin) {
+        // join_p(join_q(A,B), C) -> join_q(A, join_p(B,C)).
+        IrNode* a = q->children[0].get();
+        IrNode* b = q->children[1].get();
+        IrNode* c = p->children[1].get();
+        if (AllIn(pvars, b->schema, c->schema) &&
+            JoinEst(p->op, b->fanout, c->fanout) <
+                0.75 * JoinEst(q->op, a->fanout, b->fanout)) {
+          IrPtr p_owned = std::move(*slot);
+          IrPtr q_owned = std::move(p_owned->children[0]);
+          IrPtr a_owned = std::move(q_owned->children[0]);
+          IrPtr b_owned = std::move(q_owned->children[1]);
+          IrPtr c_owned = std::move(p_owned->children[1]);
+          p_owned->children[0] = std::move(b_owned);
+          p_owned->children[1] = std::move(c_owned);
+          q_owned->children[0] = std::move(a_owned);
+          q_owned->children[1] = std::move(p_owned);
+          *slot = std::move(q_owned);
+          return 1;
+        }
+      }
+
+      q = p->children[1].get();
+      if (q->op.kind == Kind::kJoin) {
+        // join_p(A, join_q(B,C)) -> join_q(join_p(A,B), C).
+        IrNode* a = p->children[0].get();
+        IrNode* b = q->children[0].get();
+        IrNode* c = q->children[1].get();
+        if (AllIn(pvars, a->schema, b->schema) &&
+            JoinEst(p->op, a->fanout, b->fanout) <
+                0.75 * JoinEst(q->op, b->fanout, c->fanout)) {
+          IrPtr p_owned = std::move(*slot);
+          IrPtr q_owned = std::move(p_owned->children[1]);
+          IrPtr a_owned = std::move(p_owned->children[0]);
+          IrPtr b_owned = std::move(q_owned->children[0]);
+          IrPtr c_owned = std::move(q_owned->children[1]);
+          p_owned->children[0] = std::move(a_owned);
+          p_owned->children[1] = std::move(b_owned);
+          q_owned->children[0] = std::move(p_owned);
+          q_owned->children[1] = std::move(c_owned);
+          *slot = std::move(q_owned);
+          return 1;
+        }
+      }
+    }
+    for (IrPtr& child : slot->get()->children) {
+      int changes = Walk(&child);
+      if (changes != 0) return changes;
+    }
+    return 0;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeJoinReorderPass() {
+  return std::make_unique<JoinReorderPass>();
+}
+
+}  // namespace mix::mediator::passes

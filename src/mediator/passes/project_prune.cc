@@ -1,0 +1,37 @@
+// Projections that keep their input's full schema (same variables, same
+// order) are identity maps: drop them (legacy rewrite rule 3).
+#include "mediator/passes/pass.h"
+
+namespace mix::mediator::passes {
+
+namespace {
+
+class ProjectPrunePass : public Pass {
+ public:
+  const char* name() const override { return "project_prune"; }
+
+  Result<int> Run(IrPtr* root, const OptimizerOptions&) override {
+    return Walk(root);
+  }
+
+ private:
+  int Walk(IrPtr* slot) {
+    int changes = 0;
+    while ((*slot)->op.kind == PlanNode::Kind::kProject &&
+           (*slot)->children[0]->schema == (*slot)->op.vars) {
+      IrPtr project = std::move(*slot);
+      *slot = std::move(project->children[0]);
+      ++changes;
+    }
+    for (IrPtr& c : (*slot)->children) changes += Walk(&c);
+    return changes;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeProjectPrunePass() {
+  return std::make_unique<ProjectPrunePass>();
+}
+
+}  // namespace mix::mediator::passes

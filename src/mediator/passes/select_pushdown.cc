@@ -1,0 +1,104 @@
+// Selections sink toward the sources (legacy rewrite rule 2): below the
+// join side that binds all predicate variables, below getDescendants whose
+// output the predicate ignores, and below groupBy when the predicate only
+// reads group variables (those pass through unchanged, so filtering groups
+// equals filtering bindings). Earlier filtering means lazier scans.
+//
+// Runs its own internal fixpoint: selections are schema-preserving, so a
+// rotation invalidates no annotation this pass reads (the moved select's
+// own schema is patched locally).
+#include <algorithm>
+
+#include "mediator/passes/pass.h"
+
+namespace mix::mediator::passes {
+
+namespace {
+
+using Kind = PlanNode::Kind;
+
+bool Contains(const algebra::VarList& vars, const std::string& v) {
+  return std::find(vars.begin(), vars.end(), v) != vars.end();
+}
+
+bool AllIn(const std::vector<std::string>& vars,
+           const algebra::VarList& schema) {
+  for (const std::string& v : vars) {
+    if (!Contains(schema, v)) return false;
+  }
+  return true;
+}
+
+class SelectPushdownPass : public Pass {
+ public:
+  const char* name() const override { return "select_pushdown"; }
+
+  Result<int> Run(IrPtr* root, const OptimizerOptions&) override {
+    int total = 0;
+    for (int i = 0; i < 64; ++i) {
+      int changes = Walk(root);
+      if (changes == 0) break;
+      total += changes;
+    }
+    return total;
+  }
+
+ private:
+  /// One top-down sweep; stops and restarts at each rotation (the reshaped
+  /// subtree is revisited by the next sweep).
+  int Walk(IrPtr* slot) {
+    IrNode* node = slot->get();
+    if (node->op.kind == Kind::kSelect) {
+      IrNode* child = node->children[0].get();
+      std::vector<std::string> vars = InputVars(node->op);
+
+      if (child->op.kind == Kind::kJoin) {
+        for (size_t side = 0; side < 2; ++side) {
+          if (!AllIn(vars, child->children[side]->schema)) continue;
+          // select(join(a, b)) -> join(select(a), b) (or the right side).
+          IrPtr select = std::move(*slot);
+          IrPtr join = std::move(select->children[0]);
+          IrPtr target = std::move(join->children[side]);
+          select->schema = target->schema;
+          select->children[0] = std::move(target);
+          join->children[side] = std::move(select);
+          *slot = std::move(join);
+          return 1;
+        }
+      } else if (child->op.kind == Kind::kGetDescendants &&
+                 !Contains(vars, child->op.out_var)) {
+        // select(getDescendants(c)) -> getDescendants(select(c)).
+        IrPtr select = std::move(*slot);
+        IrPtr gd = std::move(select->children[0]);
+        IrPtr input = std::move(gd->children[0]);
+        select->schema = input->schema;
+        select->children[0] = std::move(input);
+        gd->children[0] = std::move(select);
+        *slot = std::move(gd);
+        return 1;
+      } else if (child->op.kind == Kind::kGroupBy &&
+                 AllIn(vars, child->op.vars)) {
+        // select(groupBy(c)) -> groupBy(select(c)).
+        IrPtr select = std::move(*slot);
+        IrPtr gb = std::move(select->children[0]);
+        IrPtr input = std::move(gb->children[0]);
+        select->schema = input->schema;
+        select->children[0] = std::move(input);
+        gb->children[0] = std::move(select);
+        *slot = std::move(gb);
+        return 1;
+      }
+    }
+    int changes = 0;
+    for (IrPtr& c : slot->get()->children) changes += Walk(&c);
+    return changes;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeSelectPushdownPass() {
+  return std::make_unique<SelectPushdownPass>();
+}
+
+}  // namespace mix::mediator::passes

@@ -191,6 +191,7 @@ PlanPtr PlanNode::Clone() const {
   auto n = std::make_unique<PlanNode>();
   n->kind = kind;
   n->source_name = source_name;
+  n->source_uri = source_uri;
   n->var = var;
   n->parent_var = parent_var;
   n->out_var = out_var;
@@ -265,10 +266,17 @@ std::string Params(const PlanNode& n) {
   };
   switch (n.kind) {
     case Kind::kSource:
-      return "[" + n.source_name + " -> $" + n.var + "]";
+      // The uri override is the LAST parameter and runs to the closing
+      // bracket verbatim (it may contain commas and quotes; plan_text
+      // parses it greedily).
+      return "[" + n.source_name + " -> $" + n.var +
+             (n.source_uri.empty() ? "" : ", uri=" + n.source_uri) + "]";
     case Kind::kGetDescendants:
       return std::string("[$") + n.parent_var + "," + n.path + " -> $" +
-             n.out_var + (n.use_sigma ? ", sigma" : "") + "]";
+             n.out_var + (n.use_sigma ? ", sigma" : "") +
+             (n.predicate.has_value() ? ", where " + n.predicate->ToString()
+                                      : "") +
+             "]";
     case Kind::kSelect:
     case Kind::kJoin:
       return "[" + n.predicate->ToString() + "]";
@@ -314,14 +322,18 @@ std::string PlanNode::ToString() const {
 }
 
 Result<algebra::VarList> ComputeSchema(const PlanNode& node) {
-  using Kind = PlanNode::Kind;
   std::vector<algebra::VarList> child_schemas;
   for (const PlanPtr& c : node.children) {
     auto s = ComputeSchema(*c);
     if (!s.ok()) return s.status();
     child_schemas.push_back(std::move(s).ValueOrDie());
   }
+  return SchemaTransition(node, child_schemas);
+}
 
+Result<algebra::VarList> SchemaTransition(
+    const PlanNode& node, const std::vector<algebra::VarList>& child_schemas) {
+  using Kind = PlanNode::Kind;
   switch (node.kind) {
     case Kind::kSource:
       return algebra::VarList{node.var};
@@ -332,6 +344,15 @@ Result<algebra::VarList> ComputeSchema(const PlanNode& node) {
       }
       if (Contains(s, node.out_var)) return DupVar(node.out_var);
       s.push_back(node.out_var);
+      if (node.predicate.has_value()) {
+        if (!Contains(s, node.predicate->left_var())) {
+          return MissingVar(node.predicate->left_var(), "getDescendants");
+        }
+        if (node.predicate->is_var_var() &&
+            !Contains(s, node.predicate->right_var())) {
+          return MissingVar(node.predicate->right_var(), "getDescendants");
+        }
+      }
       return s;
     }
     case Kind::kSelect: {

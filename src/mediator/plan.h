@@ -48,12 +48,21 @@ struct PlanNode {
 
   // --- parameters (validity depends on kind) ---
   std::string source_name;                            // kSource
+  /// kSource: optimizer-chosen view URI override. Empty = open the source
+  /// under its registered URI. Non-empty (set by the wrapper-pushdown
+  /// pass) = the instantiator must open THIS view instead — the plan is
+  /// only correct against it, because selections it absorbs have been
+  /// removed from the operator tree.
+  std::string source_uri;
   std::string var;                                    // kSource out / kTupleDestroy
   std::string parent_var;                             // kGetDescendants anchor
   std::string out_var;     // new variable: gd/groupBy/concat/create/wrap/const
   std::string path;        // kGetDescendants path-expression text
   bool use_sigma = false;  // kGetDescendants: σ sibling scans
-  std::optional<algebra::BindingPredicate> predicate;  // kSelect/kJoin
+  /// kSelect/kJoin: the comparison. kGetDescendants: optional inline filter
+  /// (select/getDescendants fusion) — a match is emitted only when the
+  /// predicate holds on the would-be output binding; may reference out_var.
+  std::optional<algebra::BindingPredicate> predicate;
   bool join_cache_inner = true;                        // kJoin
   bool join_index_inner = false;                       // kJoin (eager step)
   bool order_by_occurrence = false;                    // kOrderBy mode
@@ -105,6 +114,13 @@ struct PlanNode {
 /// Computes (and validates) the output schema of a binding-stream plan
 /// node. kTupleDestroy has no binding schema; passing it is an error.
 Result<algebra::VarList> ComputeSchema(const PlanNode& node);
+
+/// The single-operator schema rule: output schema of `node` given its
+/// children's schemas (node.children is NOT consulted). This is the
+/// transition ComputeSchema folds over the tree; the optimizer IR
+/// (mediator/ir.h) uses it to annotate nodes without re-walking subtrees.
+Result<algebra::VarList> SchemaTransition(
+    const PlanNode& node, const std::vector<algebra::VarList>& child_schemas);
 
 const char* PlanKindName(PlanNode::Kind kind);
 

@@ -38,11 +38,23 @@ std::string CanonicalXmasKey(const std::string& xmas_text) {
   return out;
 }
 
-PlanCache::PlanCache(Options options) : options_(options) {}
+PlanCache::PlanCache(Options options)
+    : options_(std::move(options)),
+      fingerprint_(passes::OptimizerFingerprint(options_.optimizer)) {}
 
 Result<std::shared_ptr<const PlanNode>> PlanCache::GetOrCompile(
     const std::string& xmas_text) {
-  const std::string key = CanonicalXmasKey(xmas_text);
+  auto entry = GetOrCompileEntry(xmas_text);
+  if (!entry.ok()) return entry.status();
+  return entry.value()->plan;
+}
+
+Result<std::shared_ptr<const PlanCache::Compiled>> PlanCache::GetOrCompileEntry(
+    const std::string& xmas_text) {
+  // The fingerprint participates in the key so that a cache whose optimizer
+  // config changes (level flip, capability registration) can never serve a
+  // shape produced under the old config.
+  const std::string key = fingerprint_ + '\n' + CanonicalXmasKey(xmas_text);
   if (options_.capacity > 0) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
@@ -53,14 +65,35 @@ Result<std::shared_ptr<const PlanNode>> PlanCache::GetOrCompile(
     }
     ++misses_;
   }
-  // Compile outside the lock: one slow compile must not stall Opens of
-  // other queries (the satellite guarantee the overlap test pins down).
+  // Compile (and optimize) outside the lock: one slow compile must not
+  // stall Opens of other queries (the overlap test pins this down).
   Result<PlanPtr> plan = CompileXmas(xmas_text);
   if (!plan.ok()) return plan.status();
-  std::shared_ptr<const PlanNode> shared(std::move(plan).ValueOrDie());
-  if (options_.capacity > 0) {
+  PlanPtr owned = std::move(plan).ValueOrDie();
+
+  auto compiled = std::make_shared<Compiled>();
+  if (options_.optimizer.level > 0) {
+    Result<passes::OptimizeReport> report =
+        passes::OptimizePlan(&owned, options_.optimizer);
+    // An optimizer failure is never a compile failure: serve the correct
+    // unoptimized plan (OptimizePlan left `owned` untouched) with an empty
+    // report rather than bouncing the query.
+    if (report.ok()) compiled->report = std::move(report).ValueOrDie();
+  }
+  compiled->plan = std::shared_ptr<const PlanNode>(std::move(owned));
+
+  std::shared_ptr<const Compiled> shared = std::move(compiled);
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    if (index_.count(key) == 0) {  // first insert wins
+    if (shared->report.total() > 0) {
+      ++optimized_;
+      rewrites_ += shared->report.total();
+      for (const auto& ps : shared->report.passes) {
+        if (ps.applied > 0) pass_applied_[ps.name] += ps.applied;
+      }
+    }
+    if (options_.capacity > 0 && index_.count(key) == 0) {
+      // First insert wins.
       lru_.emplace_front(key, shared);
       index_.emplace(key, lru_.begin());
       while (static_cast<int64_t>(lru_.size()) > options_.capacity) {
@@ -78,6 +111,9 @@ PlanCache::Stats PlanCache::stats() const {
   s.hits = hits_;
   s.misses = misses_;
   s.entries = static_cast<int64_t>(lru_.size());
+  s.optimized = optimized_;
+  s.rewrites = rewrites_;
+  s.pass_applied = pass_applied_;
   return s;
 }
 

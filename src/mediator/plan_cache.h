@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -28,6 +29,7 @@
 #include <utility>
 
 #include "core/status.h"
+#include "mediator/passes/pass.h"
 #include "mediator/plan.h"
 
 namespace mix::mediator {
@@ -43,6 +45,20 @@ class PlanCache {
     /// Max cached plans (LRU beyond that); <= 0 disables caching (every
     /// call compiles).
     int64_t capacity = 64;
+    /// Optimizer configuration applied after compilation. `level <= 0`
+    /// caches raw translator output (the A/B baseline). The cache key
+    /// mixes in OptimizerFingerprint(optimizer), so two caches — or one
+    /// cache reconfigured across restarts — never serve a shape produced
+    /// under a different config.
+    passes::OptimizerOptions optimizer;
+  };
+
+  /// A cached compilation: the (possibly optimized) plan plus the pass
+  /// report that produced it. `report` is all-zero when the optimizer is
+  /// off or declined the plan.
+  struct Compiled {
+    std::shared_ptr<const PlanNode> plan;
+    passes::OptimizeReport report;
   };
 
   explicit PlanCache(Options options);
@@ -51,28 +67,45 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  /// The cached plan for `xmas_text`, compiling on miss. The returned plan
-  /// is shared and immutable — instantiate it, never mutate it.
+  /// The cached plan for `xmas_text`, compiling (and optimizing, per
+  /// Options::optimizer) on miss. The returned plan is shared and
+  /// immutable — instantiate it, never mutate it.
   Result<std::shared_ptr<const PlanNode>> GetOrCompile(
+      const std::string& xmas_text);
+
+  /// Like GetOrCompile but also exposes the optimizer report — the
+  /// session-open path uses it to bump per-pass metrics without recording
+  /// cache hits as fresh rewrites (hits carry the original report).
+  Result<std::shared_ptr<const Compiled>> GetOrCompileEntry(
       const std::string& xmas_text);
 
   struct Stats {
     int64_t hits = 0;
     int64_t misses = 0;
     int64_t entries = 0;
+    /// Compiles whose plan the optimizer actually changed (total() > 0).
+    int64_t optimized = 0;
+    /// Total rewrites across those compiles.
+    int64_t rewrites = 0;
+    /// Per-pass rewrite totals across all fresh compiles.
+    std::map<std::string, int64_t> pass_applied;
   };
   Stats stats() const;
 
  private:
   using LruList =
-      std::list<std::pair<std::string, std::shared_ptr<const PlanNode>>>;
+      std::list<std::pair<std::string, std::shared_ptr<const Compiled>>>;
 
   Options options_;
+  std::string fingerprint_;  ///< OptimizerFingerprint(options_.optimizer)
   mutable std::mutex mu_;
   LruList lru_;  ///< front = most recently used
   std::unordered_map<std::string, LruList::iterator> index_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  int64_t optimized_ = 0;
+  int64_t rewrites_ = 0;
+  std::map<std::string, int64_t> pass_applied_;
 };
 
 }  // namespace mix::mediator

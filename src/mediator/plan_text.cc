@@ -33,6 +33,17 @@ Result<std::vector<Line>> Split(std::string_view text) {
                                            : eol - pos);
     pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
     ++number;
+    // Strip a trailing % comment (quote-aware: a % inside a '...' predicate
+    // constant is data). DumpIr's annotated mode relies on this to keep its
+    // per-line annotations round-trippable.
+    bool quoted = false;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] == '\'') quoted = !quoted;
+      if (raw[i] == '%' && !quoted) {
+        raw = raw.substr(0, i);
+        break;
+      }
+    }
     // Trim trailing whitespace.
     while (!raw.empty() && (raw.back() == ' ' || raw.back() == '\r')) {
       raw.remove_suffix(1);
@@ -211,14 +222,34 @@ class Builder {
     std::vector<std::string> parts = SplitParams(line.params);
 
     if (op == "source") {
+      // [name -> $var] with an optional trailing ", uri=<uri>" consuming
+      // everything up to the closing bracket verbatim (the uri may contain
+      // commas and quotes, so it cannot go through SplitParams).
+      std::string params = line.params;
+      std::string uri;
+      size_t uri_at = params.find(", uri=");
+      if (uri_at != std::string::npos) {
+        uri = params.substr(uri_at + 6);
+        params = params.substr(0, uri_at);
+      }
       std::string lhs, out;
-      if (!Arrow(line.params, &lhs, &out)) {
+      if (!Arrow(params, &lhs, &out)) {
         return Err(line, "source expects [name -> $var]");
       }
-      return PlanNode::Source(lhs, out);
+      PlanPtr n = PlanNode::Source(lhs, out);
+      n->source_uri = uri;
+      return n;
     }
     if (op == "getDescendants") {
-      // [$anchor,path -> $out] with optional trailing ", sigma".
+      // [$anchor,path -> $out] with optional trailing ", sigma" and
+      // ", where <predicate>" (inline filter from select/gd fusion).
+      std::optional<BindingPredicate> filter;
+      if (!parts.empty() && Trim(parts.back()).rfind("where ", 0) == 0) {
+        auto pred = ParsePredicate(line, Trim(parts.back()).substr(6));
+        if (!pred.ok()) return pred.status();
+        filter = std::move(pred).ValueOrDie();
+        parts.pop_back();
+      }
       bool sigma = false;
       if (!parts.empty() && Trim(parts.back()) == "sigma") {
         sigma = true;
@@ -233,6 +264,7 @@ class Builder {
       PlanPtr n = PlanNode::GetDescendants(std::move(children[0]), anchor,
                                            path, out);
       n->use_sigma = sigma;
+      n->predicate = std::move(filter);
       return n;
     }
     if (op == "select" || op == "join") {

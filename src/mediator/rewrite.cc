@@ -1,8 +1,7 @@
 #include "mediator/rewrite.h"
 
-#include <algorithm>
-
-#include "pathexpr/path_expr.h"
+#include "mediator/ir.h"
+#include "mediator/passes/pass.h"
 
 namespace mix::mediator {
 
@@ -12,125 +11,31 @@ std::string RewriteStats::ToString() const {
          " projects_removed=" + std::to_string(projects_removed);
 }
 
-namespace {
-
-bool Contains(const algebra::VarList& vars, const std::string& v) {
-  return std::find(vars.begin(), vars.end(), v) != vars.end();
-}
-
-/// Variables a predicate reads.
-std::vector<std::string> PredicateVars(const algebra::BindingPredicate& p) {
-  std::vector<std::string> vars{p.left_var()};
-  if (p.is_var_var()) vars.push_back(p.right_var());
-  return vars;
-}
-
-bool AllIn(const std::vector<std::string>& vars,
-           const algebra::VarList& schema) {
-  for (const std::string& v : vars) {
-    if (!Contains(schema, v)) return false;
-  }
-  return true;
-}
-
-/// Rule 1: enable σ scans on label-chain getDescendants.
-bool EnableSigma(PlanNode* node) {
-  if (node->kind != PlanNode::Kind::kGetDescendants || node->use_sigma) {
-    return false;
-  }
-  auto path = pathexpr::PathExpr::Parse(node->path);
-  if (!path.ok() || !path.value().IsLabelChain()) return false;
-  node->use_sigma = true;
-  return true;
-}
-
-/// Re-rooting helpers: detach/attach children by value.
-PlanPtr Detach(PlanPtr* slot) { return std::move(*slot); }
-
-/// Applies all rules to the subtree at *slot; returns number of changes.
-int RewriteNode(PlanPtr* slot, const RewriteOptions& options,
-                RewriteStats* stats) {
-  int changes = 0;
-  PlanNode* node = slot->get();
-
-  // Rule 1.
-  if (options.sigma_capable_sources && EnableSigma(node)) {
-    ++stats->sigma_enabled;
-    ++changes;
-  }
-
-  // Rule 2: select pushdown.
-  if (node->kind == PlanNode::Kind::kSelect) {
-    PlanNode* child = node->children[0].get();
-    std::vector<std::string> vars = PredicateVars(*node->predicate);
-
-    if (child->kind == PlanNode::Kind::kJoin) {
-      for (size_t side = 0; side < 2; ++side) {
-        auto schema = ComputeSchema(*child->children[side]);
-        if (!schema.ok()) break;
-        if (!AllIn(vars, schema.value())) continue;
-        // select(join(a, b)) → join(select(a), b) (or the right side).
-        PlanPtr select = Detach(slot);
-        PlanPtr join = std::move(select->children[0]);
-        PlanPtr target = std::move(join->children[side]);
-        select->children[0] = std::move(target);
-        join->children[side] = std::move(select);
-        *slot = std::move(join);
-        ++stats->selects_pushed;
-        return changes + 1;  // tree reshaped; caller recurses again
-      }
-    } else if (child->kind == PlanNode::Kind::kGetDescendants &&
-               !Contains(vars, child->out_var)) {
-      // select(getDescendants(c)) → getDescendants(select(c)).
-      PlanPtr select = Detach(slot);
-      PlanPtr gd = std::move(select->children[0]);
-      PlanPtr input = std::move(gd->children[0]);
-      select->children[0] = std::move(input);
-      gd->children[0] = std::move(select);
-      *slot = std::move(gd);
-      ++stats->selects_pushed;
-      return changes + 1;
-    } else if (child->kind == PlanNode::Kind::kGroupBy &&
-               AllIn(vars, child->vars)) {
-      // select(groupBy(c)) → groupBy(select(c)): group-by variables pass
-      // through unchanged, so filtering groups equals filtering bindings.
-      PlanPtr select = Detach(slot);
-      PlanPtr gb = std::move(select->children[0]);
-      PlanPtr input = std::move(gb->children[0]);
-      select->children[0] = std::move(input);
-      gb->children[0] = std::move(select);
-      *slot = std::move(gb);
-      ++stats->selects_pushed;
-      return changes + 1;
-    }
-  }
-
-  // Rule 3: project-prune.
-  if (node->kind == PlanNode::Kind::kProject) {
-    auto child_schema = ComputeSchema(*node->children[0]);
-    if (child_schema.ok() && child_schema.value() == node->vars) {
-      PlanPtr project = Detach(slot);
-      *slot = std::move(project->children[0]);
-      ++stats->projects_removed;
-      return changes + 1;
-    }
-  }
-
-  // Recurse.
-  for (PlanPtr& c : slot->get()->children) {
-    changes += RewriteNode(&c, options, stats);
-  }
-  return changes;
-}
-
-}  // namespace
-
+// Rewrite() is the legacy three-rule entry point, now a shim over the pass
+// pipeline (mediator/passes/): it runs exactly the passes implementing the
+// original rules — select_pushdown (rule 2), project_prune (rule 3), and
+// browsability (rule 1), with the global sigma_capable_sources bool mapped
+// to assume_all_sigma. The full pipeline (wrapper pushdown, fusion, join
+// reordering, per-source capabilities) is passes::OptimizePlan.
 RewriteStats Rewrite(PlanPtr* plan, const RewriteOptions& options) {
   RewriteStats stats;
-  // Fixpoint: each pass may expose new opportunities.
-  for (int pass = 0; pass < 64; ++pass) {
-    if (RewriteNode(plan, options, &stats) == 0) break;
-  }
+  passes::OptimizerOptions opts;
+  opts.assume_all_sigma = options.sigma_capable_sources;
+
+  IrPtr ir = IrFromPlan(**plan);
+  passes::PassManager pm;
+  pm.Add(passes::MakeSelectPushdownPass());
+  pm.Add(passes::MakeProjectPrunePass());
+  pm.Add(passes::MakeBrowsabilityPass());
+  auto report = pm.Run(&ir, opts);
+  // An unanalyzable plan (invalid variable scoping) is left untouched,
+  // matching the legacy rewriter's do-no-harm behavior.
+  if (!report.ok()) return stats;
+
+  *plan = IrToPlan(*ir);
+  stats.selects_pushed = report.value().applied("select_pushdown");
+  stats.projects_removed = report.value().applied("project_prune");
+  stats.sigma_enabled = report.value().applied("browsability");
   return stats;
 }
 

@@ -15,6 +15,16 @@ int BucketOf(int64_t ns) {
   return b;
 }
 
+std::string PassCounters(
+    const std::vector<std::pair<std::string, int64_t>>& passes) {
+  std::string out;
+  for (const auto& [name, applied] : passes) {
+    if (!out.empty()) out += ' ';
+    out += name + "=" + std::to_string(applied);
+  }
+  return out;
+}
+
 }  // namespace
 
 void LatencyHistogram::Record(int64_t ns) {
@@ -54,7 +64,8 @@ std::string SessionMetrics::ToString() const {
          " backoff_us=" + std::to_string(source_backoff_ns / 1000) +
          " degraded=" + std::to_string(degraded_holes) + "}" +
          " cache{hits=" + std::to_string(cache_hits) +
-         " misses=" + std::to_string(cache_misses) + "}";
+         " misses=" + std::to_string(cache_misses) + "}" +
+         " plan{rewrites=" + std::to_string(plan_rewrites) + "}";
 }
 
 std::string ServiceMetricsSnapshot::ToString() const {
@@ -82,7 +93,10 @@ std::string ServiceMetricsSnapshot::ToString() const {
          " bytes=" + std::to_string(cache_bytes) +
          " entries=" + std::to_string(cache_entries) + "}" +
          " plans{hits=" + std::to_string(plan_cache_hits) +
-         " misses=" + std::to_string(plan_cache_misses) + "}";
+         " misses=" + std::to_string(plan_cache_misses) +
+         " optimized=" + std::to_string(plans_optimized) +
+         " rewrites=" + std::to_string(optimizer_rewrites) + "}" +
+         " passes{" + PassCounters(optimizer_passes) + "}";
 }
 
 }  // namespace mix::service

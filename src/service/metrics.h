@@ -12,6 +12,8 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/navigable.h"
 #include "net/sim_net.h"
@@ -55,6 +57,10 @@ struct SessionMetrics {
   /// answered from the cache vs. lookups that went to the wrapper.
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+  /// Optimizer rewrites applied to this session's compiled plan (from the
+  /// plan-cache entry's report, so a cache hit reports the original
+  /// compile's rewrites; 0 when the optimizer is off or changed nothing).
+  int64_t plan_rewrites = 0;
 
   std::string ToString() const;
 };
@@ -95,6 +101,11 @@ struct ServiceMetricsSnapshot {
   // Compiled-plan cache (session-open path).
   int64_t plan_cache_hits = 0;
   int64_t plan_cache_misses = 0;
+  // Plan optimizer (runs inside the plan cache on fresh compiles).
+  int64_t plans_optimized = 0;   ///< compiles the optimizer changed
+  int64_t optimizer_rewrites = 0;  ///< total rewrites across those compiles
+  /// Per-pass rewrite totals (pass name, rewrites), name-sorted.
+  std::vector<std::pair<std::string, int64_t>> optimizer_passes;
 
   std::string ToString() const;
 };

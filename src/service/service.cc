@@ -24,6 +24,66 @@ bool IsLxp(MsgType t) {
          t == MsgType::kLxpFillMany;
 }
 
+mediator::ColumnType ConvertColumnType(
+    buffer::PushdownCapability::ColumnType t) {
+  switch (t) {
+    case buffer::PushdownCapability::ColumnType::kInt:
+      return mediator::ColumnType::kInt;
+    case buffer::PushdownCapability::ColumnType::kDouble:
+      return mediator::ColumnType::kDouble;
+    case buffer::PushdownCapability::ColumnType::kString:
+      return mediator::ColumnType::kString;
+  }
+  return mediator::ColumnType::kString;
+}
+
+/// Builds the optimizer's source-capability map from the environment:
+/// shared sources contribute their declared σ capability; wrapper sources
+/// the capability declared at registration (WrapperOptions::capability).
+/// Pushdown is honored only for wrappers registered on the whole-database
+/// "db" view — against any other view the plan's paths do not match the
+/// relational catalog.
+mediator::passes::OptimizerOptions BuildOptimizerOptions(
+    const SessionEnvironment& env, int level) {
+  mediator::passes::OptimizerOptions opts;
+  opts.level = level;
+  if (level <= 0) return opts;
+  for (const auto& s : env.shared()) {
+    if (s.capability.sigma) {
+      mediator::SourceCapability cap;
+      cap.sigma = true;
+      opts.sources[s.name] = cap;
+    }
+  }
+  for (const auto& w : env.wrappers()) {
+    const buffer::PushdownCapability& probed = w.options.capability;
+    mediator::SourceCapability cap;
+    cap.sigma = probed.sigma;
+    if (probed.pushdown && w.uri == "db") {
+      cap.pushdown = true;
+      cap.database = probed.database;
+      for (const auto& [table, cols] : probed.tables) {
+        std::vector<mediator::SourceCapability::Column> converted;
+        converted.reserve(cols.size());
+        for (const auto& c : cols) {
+          converted.push_back({c.name, ConvertColumnType(c.type)});
+        }
+        cap.tables[table] = std::move(converted);
+      }
+    }
+    if (cap.sigma || cap.pushdown) opts.sources[w.name] = cap;
+  }
+  return opts;
+}
+
+mediator::PlanCache::Options PlanCacheOptions(
+    const SessionEnvironment& env, const MediatorService::Options& options) {
+  mediator::PlanCache::Options o;
+  o.capacity = options.plan_cache_entries;
+  o.optimizer = BuildOptimizerOptions(env, options.optimizer_level);
+  return o;
+}
+
 }  // namespace
 
 MediatorService::MediatorService(const SessionEnvironment* env, Options options)
@@ -31,13 +91,15 @@ MediatorService::MediatorService(const SessionEnvironment* env, Options options)
       options_(options),
       source_cache_(buffer::SourceCache::Options{options.source_cache_bytes,
                                                  options.source_cache_shards}),
-      plan_cache_(mediator::PlanCache::Options{options.plan_cache_entries}),
+      plan_cache_(PlanCacheOptions(*env, options)),
       registry_(env,
                 SessionRegistry::Options{
                     options.max_sessions, options.session_idle_ttl_ns,
                     &fault_counters_,
                     options.source_cache_bytes > 0 ? &source_cache_ : nullptr,
-                    options.plan_cache_entries > 0 ? &plan_cache_ : nullptr}),
+                    options.plan_cache_entries > 0 ? &plan_cache_ : nullptr,
+                    // The no-plan-cache path optimizes with the same config.
+                    BuildOptimizerOptions(*env, options.optimizer_level)}),
       wire_channel_(&wire_clock_, options.wire_costs),
       executor_(Executor::Options{options.workers, options.queue_capacity}) {
   uint64_t key = kWrapperKeyBase;
@@ -322,6 +384,10 @@ ServiceMetricsSnapshot MediatorService::Metrics() const {
   mediator::PlanCache::Stats plans = plan_cache_.stats();
   snap.plan_cache_hits = plans.hits;
   snap.plan_cache_misses = plans.misses;
+  snap.plans_optimized = plans.optimized;
+  snap.optimizer_rewrites = plans.rewrites;
+  snap.optimizer_passes.assign(plans.pass_applied.begin(),
+                               plans.pass_applied.end());
   return snap;
 }
 

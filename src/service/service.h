@@ -52,6 +52,14 @@ class MediatorService : public wire::FrameTransport {
     /// Compiled-plan cache capacity in entries; 0 disables (every Open
     /// compiles). On by default: plans are tiny and pure.
     int64_t plan_cache_entries = 64;
+    /// Plan-optimizer level applied to every compiled plan (0 = off, the
+    /// A/B baseline). Source capabilities are probed once at construction:
+    /// shared sources from their registered SourceCapability, wrapper
+    /// sources from a probe instance's LxpWrapper::Capability() — with
+    /// pushdown honored only for sources registered on the whole-database
+    /// "db" view (a source already registered on a query view keeps plain
+    /// LXP: its document shape does not match the relational catalog).
+    int optimizer_level = 1;
   };
 
   /// `env` is not owned and must outlive the service; it must not be

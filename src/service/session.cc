@@ -7,8 +7,72 @@
 
 namespace mix::service {
 
+namespace {
+
+/// Non-owning Navigable pass-through. The mediator's view-opener contract
+/// hands ownership of the opened view to the instantiated mediator, but a
+/// session must keep its overridden-view BufferComponent in buffers_ (for
+/// budget/metrics/status plumbing) — so the opener hands out this borrow
+/// instead. Every method forwards, batched ones included, so the buffer's
+/// vectored overrides stay on the hot path.
+class BorrowedNavigable : public Navigable {
+ public:
+  explicit BorrowedNavigable(Navigable* inner) : inner_(inner) {}
+
+  NodeId Root() override { return inner_->Root(); }
+  std::optional<NodeId> Down(const NodeId& p) override {
+    return inner_->Down(p);
+  }
+  std::optional<NodeId> Right(const NodeId& p) override {
+    return inner_->Right(p);
+  }
+  Label Fetch(const NodeId& p) override { return inner_->Fetch(p); }
+  Atom FetchAtom(const NodeId& p) override { return inner_->FetchAtom(p); }
+  std::optional<NodeId> SelectSibling(const NodeId& p,
+                                      const LabelPredicate& pred) override {
+    return inner_->SelectSibling(p, pred);
+  }
+  std::optional<NodeId> NthChild(const NodeId& p, int64_t index) override {
+    return inner_->NthChild(p, index);
+  }
+  void DownAll(const NodeId& p, std::vector<NodeId>* out) override {
+    inner_->DownAll(p, out);
+  }
+  void NextSiblings(const NodeId& p, int64_t limit,
+                    std::vector<NodeId>* out) override {
+    inner_->NextSiblings(p, limit, out);
+  }
+  void FetchSubtree(const NodeId& p, int64_t depth,
+                    std::vector<SubtreeEntry>* out) override {
+    inner_->FetchSubtree(p, depth, out);
+  }
+
+ private:
+  Navigable* inner_;
+};
+
+/// Collects the optimizer's per-source view URI overrides from a compiled
+/// plan: source name -> URI. The wrapper-pushdown pass only rewrites a
+/// source it proved unique in the plan, so one URI per name suffices.
+void CollectUriOverrides(const mediator::PlanNode& node,
+                         std::map<std::string, std::string>* out) {
+  if (node.kind == mediator::PlanNode::Kind::kSource &&
+      !node.source_uri.empty()) {
+    (*out)[node.source_name] = node.source_uri;
+  }
+  for (const auto& child : node.children) CollectUriOverrides(*child, out);
+}
+
+}  // namespace
+
 void SessionEnvironment::RegisterShared(std::string name, Navigable* nav) {
-  shared_.push_back(SharedSource{std::move(name), nav});
+  shared_.push_back(SharedSource{std::move(name), nav, {}});
+}
+
+void SessionEnvironment::RegisterShared(std::string name, Navigable* nav,
+                                        mediator::SourceCapability capability) {
+  shared_.push_back(
+      SharedSource{std::move(name), nav, std::move(capability)});
 }
 
 void SessionEnvironment::RegisterWrapperFactory(
@@ -44,6 +108,14 @@ Result<std::shared_ptr<Session>> Session::Build(
   session->id_ = id;
   session->plan_ = std::move(plan);
 
+  // The optimizer may have retargeted a source to a different view of the
+  // same wrapper (wrapper predicate pushdown rewrites `db` into a
+  // "sql:SELECT ... WHERE ..." URI). The session honors that by opening
+  // the wrapper on the overridden URI and answering the plan's opener
+  // lookup with a borrow of that buffer.
+  std::map<std::string, std::string> uri_overrides;
+  CollectUriOverrides(*session->plan_, &uri_overrides);
+
   mediator::SourceRegistry sources;
   for (const auto& s : env.shared()) {
     sources.Register(s.name, s.nav);
@@ -75,18 +147,41 @@ Result<std::shared_ptr<Session>> Session::Build(
         (id * 0x9e3779b97f4a7c15ull) ^ (source_index + 0x72747279ull);
     opts.clock = clock.get();
     opts.shared_counters = fault_counters;
-    if (source_cache != nullptr && w.options.cache_fills) {
+    auto override_it = uri_overrides.find(w.name);
+    bool overridden = override_it != uri_overrides.end();
+    const std::string& uri = overridden ? override_it->second : w.uri;
+    if (source_cache != nullptr && w.options.cache_fills && !overridden) {
       // Pin the source's generation now: the session keeps one consistent
       // snapshot even if the source is invalidated mid-dialogue (E9
       // freshness is per-session, exactly as without the cache).
+      //
+      // Overridden views bypass the shared cache entirely: their hole ids
+      // ("q:<n>:<row>") denote different fragments per view URI, and
+      // InvalidateSource bumps the generation of the plain name only — a
+      // keyed-by-name cache would serve one view's rows to another, and a
+      // mangled key would dodge invalidation. Pushed-down scans ship less
+      // data anyway.
       opts.source_cache = source_cache;
       opts.cache_source = w.name;
       opts.cache_generation = source_cache->Generation(w.name);
     }
     ++source_index;
     auto buffer = std::make_unique<buffer::BufferComponent>(wrapper.get(),
-                                                            w.uri, opts);
+                                                            uri, opts);
     sources.Register(w.name, buffer.get());
+    if (overridden) {
+      // The plan's source node carries the override, so instantiation will
+      // resolve through the opener; it must hand back exactly this buffer
+      // (the session's budget/metrics plumbing walks buffers_).
+      sources.RegisterOpener(
+          w.name,
+          [nav = static_cast<Navigable*>(buffer.get()),
+           expected = uri](const std::string& open_uri)
+              -> std::unique_ptr<Navigable> {
+            if (open_uri != expected) return nullptr;
+            return std::make_unique<BorrowedNavigable>(nav);
+          });
+    }
     session->clocks_.push_back(std::move(clock));
     session->channels_.push_back(std::move(channel));
     session->wrappers_.push_back(std::move(wrapper));
@@ -157,21 +252,31 @@ Result<uint64_t> SessionRegistry::Open(const std::string& xmas_text) {
   // workers, and one slow compile cannot stall unrelated Opens
   // (ConcurrentOpensOverlap in service_test pins this down).
   std::shared_ptr<const mediator::PlanNode> plan;
+  int64_t plan_rewrites = 0;
   if (options_.plan_cache != nullptr) {
-    Result<std::shared_ptr<const mediator::PlanNode>> cached =
-        options_.plan_cache->GetOrCompile(xmas_text);
+    Result<std::shared_ptr<const mediator::PlanCache::Compiled>> cached =
+        options_.plan_cache->GetOrCompileEntry(xmas_text);
     if (!cached.ok()) return cached.status();
-    plan = std::move(cached).ValueOrDie();
+    plan = cached.value()->plan;
+    plan_rewrites = cached.value()->report.total();
   } else {
     Result<mediator::PlanPtr> compiled = mediator::CompileXmas(xmas_text);
     if (!compiled.ok()) return compiled.status();
-    plan = std::shared_ptr<const mediator::PlanNode>(
-        std::move(compiled).ValueOrDie());
+    mediator::PlanPtr owned = std::move(compiled).ValueOrDie();
+    if (options_.optimizer.level > 0) {
+      // Optimizer failure is not an Open failure: OptimizePlan leaves the
+      // plan untouched on error and the raw plan is always correct.
+      Result<mediator::passes::OptimizeReport> report =
+          mediator::passes::OptimizePlan(&owned, options_.optimizer);
+      if (report.ok()) plan_rewrites = report.value().total();
+    }
+    plan = std::shared_ptr<const mediator::PlanNode>(std::move(owned));
   }
   Result<std::shared_ptr<Session>> session =
       Session::Build(id, *env_, std::move(plan), options_.fault_counters,
                      options_.source_cache);
   if (!session.ok()) return session.status();
+  session.value()->metrics().plan_rewrites = plan_rewrites;
   int64_t now = NowNs();
   session.value()->Touch(now);
   {

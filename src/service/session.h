@@ -39,6 +39,8 @@
 #include "core/navigable.h"
 #include "core/status.h"
 #include "mediator/instantiate.h"
+#include "mediator/ir.h"
+#include "mediator/passes/pass.h"
 #include "mediator/plan_cache.h"
 #include "net/fault.h"
 #include "net/sim_net.h"
@@ -54,6 +56,13 @@ class SessionEnvironment {
   /// A source every session navigates directly. `nav` must tolerate
   /// concurrent navigation calls from multiple threads.
   void RegisterShared(std::string name, Navigable* nav);
+  /// Same, declaring the source's optimizer capability (e.g. `sigma` for a
+  /// source whose SelectSibling answers natively — stacked mediators, doc
+  /// navigables). Pushdown is meaningless for a shared navigable and is
+  /// ignored; wrapper-backed sources advertise theirs via
+  /// LxpWrapper::Capability() instead.
+  void RegisterShared(std::string name, Navigable* nav,
+                      mediator::SourceCapability capability);
 
   /// A wrapper-backed source: every session that opens gets its own wrapper
   /// instance (from `factory`), its own BufferComponent and its own
@@ -74,6 +83,13 @@ class SessionEnvironment {
     /// SourceCache (effective only when the service has one). Off for a
     /// source whose wrapper is not deterministic per (uri, hole id).
     bool cache_fills = true;
+    /// Capability advertised to the plan optimizer (σ, predicate pushdown,
+    /// relational catalog) — typically `wrapper->Capability()` of an
+    /// instance the registrant already has. Declared here rather than
+    /// probed from `factory` so registration never constructs a wrapper
+    /// (factories may count invocations or script per-session behavior).
+    /// Default: no capability, optimizer passes that need one stay off.
+    buffer::PushdownCapability capability;
   };
   void RegisterWrapperFactory(
       std::string name,
@@ -95,6 +111,7 @@ class SessionEnvironment {
   struct SharedSource {
     std::string name;
     Navigable* nav;
+    mediator::SourceCapability capability;
   };
   struct WrapperSource {
     std::string name;
@@ -202,6 +219,9 @@ class SessionRegistry {
     /// every Open compiles). Both caches are used OUTSIDE the registry
     /// lock, so a slow compile or fill never stalls unrelated sessions.
     mediator::PlanCache* plan_cache = nullptr;
+    /// Optimizer configuration for the no-plan-cache path. When plan_cache
+    /// is set its Options::optimizer governs and this field is ignored.
+    mediator::passes::OptimizerOptions optimizer;
   };
 
   SessionRegistry(const SessionEnvironment* env, Options options)

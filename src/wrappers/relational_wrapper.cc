@@ -18,6 +18,33 @@ RelationalLxpWrapper::RelationalLxpWrapper(const rdb::Database* db,
   MIX_CHECK(options_.chunk >= 1);
 }
 
+buffer::PushdownCapability RelationalLxpWrapper::Capability() const {
+  buffer::PushdownCapability cap;
+  cap.pushdown = true;
+  cap.database = db_->name();
+  for (const std::string& name : db_->table_names()) {
+    const rdb::Table* table = db_->GetTable(name);
+    std::vector<buffer::PushdownCapability::Column> cols;
+    for (const rdb::Column& c : table->schema().columns()) {
+      buffer::PushdownCapability::ColumnType type;
+      switch (c.type) {
+        case rdb::Type::kInt:
+          type = buffer::PushdownCapability::ColumnType::kInt;
+          break;
+        case rdb::Type::kDouble:
+          type = buffer::PushdownCapability::ColumnType::kDouble;
+          break;
+        default:
+          type = buffer::PushdownCapability::ColumnType::kString;
+          break;
+      }
+      cols.push_back({c.name, type});
+    }
+    cap.tables[name] = std::move(cols);
+  }
+  return cap;
+}
+
 std::string RelationalLxpWrapper::GetRoot(const std::string& uri) {
   if (uri == "db" || uri.empty()) {
     return "dbroot";

@@ -46,6 +46,13 @@ class RelationalLxpWrapper : public buffer::LxpWrapper {
   explicit RelationalLxpWrapper(const rdb::Database* db)
       : RelationalLxpWrapper(db, Options()) {}
 
+  /// Predicate pushdown capability: the optimizer may rewrite a plan's
+  /// source to a "sql:SELECT ... WHERE ..." query view, in which case the
+  /// WHERE clause runs against the relational cursors and filtered rows
+  /// never become fragments. σ stays off: crossing row holes still costs
+  /// one fill per chunk, so sibling selection is not a bounded exchange.
+  buffer::PushdownCapability Capability() const override;
+
   /// URIs: "db" for the whole-database view, "sql:<stmt>" for a query view.
   std::string GetRoot(const std::string& uri) override;
   buffer::FragmentList Fill(const std::string& hole_id) override;
