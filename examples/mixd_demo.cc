@@ -11,11 +11,13 @@
 #include <thread>
 #include <vector>
 
+#include "buffer/source_cache.h"
 #include "client/client.h"
 #include "client/framed_document.h"
 #include "service/service.h"
 #include "service/wire.h"
 #include "wrappers/xml_lxp_wrapper.h"
+#include "xml/materialize.h"
 #include "xml/parser.h"
 
 int main() {
@@ -46,11 +48,16 @@ int main() {
       },
       "schools.xml");
 
-  // 2. Start the service: 4 workers, bounded admission queue, 30s idle TTL.
+  // 2. Start the service: 4 workers, bounded admission queue, 30s idle TTL,
+  // and both cross-session caches on — the shared source-fragment cache
+  // (DESIGN.md §4) and the answer-view cache, so the later sessions below
+  // are served warm.
   service::MediatorService::Options options;
   options.workers = 4;
   options.queue_capacity = 256;
   options.session_idle_ttl_ns = int64_t{30} * 1'000'000'000;
+  options.source_cache_bytes = int64_t{1} << 20;
+  options.answer_view_cache_bytes = int64_t{1} << 20;
   service::MediatorService server(&env, options);
 
   // 3. The Fig. 3 query: homes joined with schools on zip.
@@ -96,7 +103,37 @@ int main() {
   }
   (void)doc->Close();
 
-  // 6. Service-wide metrics, fetched through the wire like any command.
+  // 6. Donate and reuse an answer view: one session materializes the full
+  // answer (publishing its navigation-complete export), and the next open
+  // of the same query is served from the snapshot with zero wrapper work.
+  {
+    auto donor = client::FramedDocument::Open(&server, query).ValueOrDie();
+    xml::Document full;
+    (void)xml::MaterializeInto(donor.get(), &full);
+    (void)donor->Close();
+    auto warm = client::FramedDocument::Open(&server, query).ValueOrDie();
+    client::VirtualXmlDocument warm_vdoc(warm.get());
+    std::printf("view-served session %llu sees %d med_home elements\n",
+                static_cast<unsigned long long>(warm->session_id()),
+                static_cast<int>(warm_vdoc.Root().Children().size()));
+    (void)warm->Close();
+  }
+
+  // 7. The shared fragment cache, shard by shard: per-stripe hit/miss/byte
+  // counters plus the byte high-water mark of the whole cache.
+  buffer::SourceCache::Stats cache_stats = server.source_cache().stats();
+  std::printf("--- source cache shards (peak %lld bytes) ---\n",
+              static_cast<long long>(cache_stats.peak_bytes));
+  for (size_t i = 0; i < cache_stats.shards.size(); ++i) {
+    const auto& shard = cache_stats.shards[i];
+    std::printf("  shard %zu: hits=%lld misses=%lld entries=%lld bytes=%lld\n",
+                i, static_cast<long long>(shard.hits),
+                static_cast<long long>(shard.misses),
+                static_cast<long long>(shard.entries),
+                static_cast<long long>(shard.bytes));
+  }
+
+  // 8. Service-wide metrics, fetched through the wire like any command.
   service::wire::Frame req;
   req.type = service::wire::MsgType::kMetrics;
   auto resp = service::wire::Call(&server, req).ValueOrDie();

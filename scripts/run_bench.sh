@@ -22,23 +22,41 @@
 # parity (the XML workload has no pushdown target) and BM_OptimizeCost is
 # the per-compile price of the pass pipeline.
 #
+# For BENCH_answer_views.json (E16) compare the views_kb:0 vs views_kb:1024
+# rows of BM_AnswerViewSessions: warm wrapper_exchanges (= 0 with views on),
+# items_per_second (>= 2x), mismatches (= 0), view_hits (> 0).
+#
 # Usage: scripts/run_bench.sh [suite] [build-dir]
 #   With no arguments, runs every tracked suite against ./build. A first
-#   argument naming a suite (e.g. `plan_opt`) runs just that one; any other
-#   first argument is taken as the build dir.
+#   argument naming a suite (e.g. `plan_opt`) runs just that one, with an
+#   optional build dir after it; a first argument naming an existing
+#   directory is taken as the build dir. Anything else is an error.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
-SUITES=(node_id plan_pipeline batch_nav lxp_chunking prefetch service faults source_cache plan_opt)
-BUILD="${1:-build}"
-for name in "${SUITES[@]}"; do
-  if [ "${1:-}" = "$name" ]; then
-    SUITES=("$name")
-    BUILD="${2:-build}"
-    break
+SUITES=(node_id plan_pipeline batch_nav lxp_chunking prefetch service faults source_cache plan_opt answer_views)
+BUILD=build
+if [ $# -gt 0 ]; then
+  matched=0
+  for name in "${SUITES[@]}"; do
+    if [ "$1" = "$name" ]; then
+      SUITES=("$name")
+      BUILD="${2:-build}"
+      matched=1
+      break
+    fi
+  done
+  if [ "$matched" = 0 ]; then
+    if [ -d "$1" ]; then
+      BUILD="$1"
+    else
+      echo "unknown suite or build dir '$1' — valid suites: node_id plan_pipeline batch_nav lxp_chunking prefetch service faults source_cache plan_opt answer_views" >&2
+      echo "usage: scripts/run_bench.sh [suite] [build-dir]" >&2
+      exit 1
+    fi
   fi
-done
+fi
 for name in "${SUITES[@]}"; do
   bin="$BUILD/bench/bench_$name"
   if [ ! -x "$bin" ]; then

@@ -1,0 +1,77 @@
+#include "algebra/cached_view_source_op.h"
+
+namespace mix::algebra {
+
+namespace {
+const Atom kCvdBTag = Atom::Intern("cvd_b");  // document mode
+const Atom kCvcBTag = Atom::Intern("cvc_b");  // children mode
+}  // namespace
+
+CachedViewSourceOp::CachedViewSourceOp(Navigable* view, std::string var,
+                                       Mode mode)
+    : view_(view), mode_(mode) {
+  MIX_CHECK(view_ != nullptr);
+  schema_.push_back(std::move(var));
+}
+
+void CachedViewSourceOp::EnsureChildren() {
+  if (children_loaded_) return;
+  view_->DownAll(view_->Root(), &children_);
+  children_loaded_ = true;
+}
+
+std::optional<NodeId> CachedViewSourceOp::FirstBinding() {
+  if (mode_ == Mode::kDocument) return NodeId(kCvdBTag, instance_);
+  EnsureChildren();
+  if (children_.empty()) return std::nullopt;
+  return NodeId(kCvcBTag, instance_, 0);
+}
+
+std::optional<NodeId> CachedViewSourceOp::NextBinding(const NodeId& b) {
+  if (mode_ == Mode::kDocument) {
+    CheckOwn(b, kCvdBTag);
+    return std::nullopt;
+  }
+  CheckOwn(b, kCvcBTag);
+  EnsureChildren();
+  int64_t next = b.IntAt(1) + 1;
+  if (next >= static_cast<int64_t>(children_.size())) return std::nullopt;
+  return NodeId(kCvcBTag, instance_, next);
+}
+
+void CachedViewSourceOp::NextBindings(const NodeId& after, int64_t limit,
+                                      std::vector<NodeId>* out) {
+  if (limit == 0) return;
+  if (mode_ == Mode::kDocument) {
+    if (after.valid()) return;
+    out->push_back(NodeId(kCvdBTag, instance_));
+    return;
+  }
+  EnsureChildren();
+  int64_t from = 0;
+  if (after.valid()) {
+    CheckOwn(after, kCvcBTag);
+    from = after.IntAt(1) + 1;
+  }
+  for (int64_t i = from; i < static_cast<int64_t>(children_.size()); ++i) {
+    out->push_back(NodeId(kCvcBTag, instance_, i));
+    if (limit > 0 && --limit == 0) return;
+  }
+}
+
+ValueRef CachedViewSourceOp::Attr(const NodeId& b, const std::string& var) {
+  MIX_CHECK_MSG(var == schema_[0],
+                "unknown variable requested from cached view");
+  if (mode_ == Mode::kDocument) {
+    CheckOwn(b, kCvdBTag);
+    return ValueRef{view_, view_->Root()};
+  }
+  CheckOwn(b, kCvcBTag);
+  EnsureChildren();
+  int64_t i = b.IntAt(1);
+  MIX_CHECK_MSG(i >= 0 && i < static_cast<int64_t>(children_.size()),
+                "cached-view binding out of range");
+  return ValueRef{view_, children_[static_cast<size_t>(i)]};
+}
+
+}  // namespace mix::algebra

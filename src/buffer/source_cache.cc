@@ -63,10 +63,12 @@ std::shared_ptr<const FragmentList> SourceCache::LookupFill(
   auto it = shard.index.find(key);
   if (it == shard.index.end() || it->second->second.fragments == nullptr) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.misses;
     return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   hits_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.hits;
   return it->second->second.fragments;
 }
 
@@ -91,10 +93,12 @@ bool SourceCache::LookupRoot(const std::string& source, int64_t generation,
   auto it = shard.index.find(key);
   if (it == shard.index.end() || it->second->second.fragments != nullptr) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.misses;
     return false;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   hits_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.hits;
   *root_id = it->second->second.root_id;
   return true;
 }
@@ -125,6 +129,7 @@ bool SourceCache::EvictOne() {
       freed = back.second.bytes;
       shard.index.erase(back.first);
       shard.lru.pop_back();
+      shard.bytes -= freed;
     }
     bytes_.fetch_sub(freed, std::memory_order_relaxed);
     entries_.fetch_sub(1, std::memory_order_relaxed);
@@ -150,6 +155,13 @@ void SourceCache::Insert(const std::string& key, Entry entry) {
     if (cur + added <= options_.byte_budget) {
       if (bytes_.compare_exchange_weak(cur, cur + added,
                                        std::memory_order_relaxed)) {
+        // Track the high-water mark of the reservation account (CAS-max:
+        // concurrent reservations race, the largest observed value sticks).
+        int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+        while (cur + added > peak &&
+               !peak_bytes_.compare_exchange_weak(peak, cur + added,
+                                                  std::memory_order_relaxed)) {
+        }
         break;  // reserved
       }
       continue;  // account moved; `cur` was reloaded by the failed CAS
@@ -166,6 +178,7 @@ void SourceCache::Insert(const std::string& key, Entry entry) {
     Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
     if (shard.index.count(key) == 0) {
+      shard.bytes += entry.bytes;
       shard.lru.emplace_front(key, std::move(entry));
       shard.index.emplace(key, shard.lru.begin());
       entries_.fetch_add(1, std::memory_order_relaxed);
@@ -186,6 +199,17 @@ SourceCache::Stats SourceCache::stats() const {
   s.rejects = rejects_.load(std::memory_order_relaxed);
   s.bytes = bytes_.load(std::memory_order_relaxed);
   s.entries = entries_.load(std::memory_order_relaxed);
+  s.peak_bytes = peak_bytes_.load(std::memory_order_relaxed);
+  s.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    ShardStats ss;
+    ss.hits = shard->hits;
+    ss.misses = shard->misses;
+    ss.entries = static_cast<int64_t>(shard->lru.size());
+    ss.bytes = shard->bytes;
+    s.shards.push_back(ss);
+  }
   return s;
 }
 

@@ -92,6 +92,13 @@ class SourceCache {
   void PublishRoot(const std::string& source, int64_t generation,
                    const std::string& uri, const std::string& root_id);
 
+  /// Per-shard traffic, for spotting hot shards or skewed key hashing.
+  struct ShardStats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t entries = 0;
+    int64_t bytes = 0;
+  };
   struct Stats {
     int64_t hits = 0;
     int64_t misses = 0;
@@ -102,6 +109,10 @@ class SourceCache {
     int64_t rejects = 0;
     int64_t bytes = 0;
     int64_t entries = 0;
+    /// Byte high-water mark of the reservation account. Never exceeds the
+    /// budget (reservations are bounded by construction).
+    int64_t peak_bytes = 0;
+    std::vector<ShardStats> shards;  ///< one per stripe, shard-ordered
   };
   Stats stats() const;
 
@@ -122,6 +133,10 @@ class SourceCache {
     std::unordered_map<std::string,
                        std::list<std::pair<std::string, Entry>>::iterator>
         index;
+    // Per-shard accounting, guarded by `mu` (plain ints, not atomics).
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t bytes = 0;
   };
 
   static std::string Key(const std::string& source, int64_t generation,
@@ -140,6 +155,8 @@ class SourceCache {
   Options options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<int64_t> bytes_{0};
+  /// High-water mark of `bytes_` (CAS-max on every reservation).
+  std::atomic<int64_t> peak_bytes_{0};
   std::atomic<int64_t> entries_{0};
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};

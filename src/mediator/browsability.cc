@@ -51,6 +51,7 @@ Browsability ClassifyOperator(const PlanNode& node, bool sigma_available,
     case Kind::kWrapList:
     case Kind::kConst:
     case Kind::kRename:
+    case Kind::kCachedView:
     case Kind::kTupleDestroy:
       // Structural operators: output navigations map to a bounded number
       // of input navigations (Example 1's q_conc).

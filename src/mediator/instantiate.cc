@@ -1,5 +1,6 @@
 #include "mediator/instantiate.h"
 
+#include "algebra/cached_view_source_op.h"
 #include "algebra/concatenate_op.h"
 #include "algebra/create_element_op.h"
 #include "algebra/extra_ops.h"
@@ -145,6 +146,19 @@ Result<algebra::BindingStream*> LazyMediator::BuildStream(
     case Kind::kRename:
       return keep(std::make_unique<alg::RenameOp>(inputs[0], node.x_var,
                                                   node.out_var));
+    case Kind::kCachedView: {
+      // Answer-view snapshot: the registered navigable's root IS the answer
+      // element (no SuperRoot re-anchoring — the plan serves it as-is).
+      Navigable* snap = sources.Get(node.source_name);
+      if (snap == nullptr) {
+        return Status::NotFound("unknown cached view: " + node.source_name);
+      }
+      auto mode = node.cached_view_children
+                      ? alg::CachedViewSourceOp::Mode::kChildren
+                      : alg::CachedViewSourceOp::Mode::kDocument;
+      return keep(
+          std::make_unique<alg::CachedViewSourceOp>(snap, node.var, mode));
+    }
     case Kind::kTupleDestroy:
       return Status::Internal("tupleDestroy inside a binding-stream subtree");
   }

@@ -80,6 +80,10 @@ Status Analyze(IrNode* n, const std::map<std::string, SourceCapability>& caps,
       // Constructors synthesize their output value.
       n->var_source[n->op.out_var] = "";
       break;
+    case Kind::kCachedView:
+      // Snapshot values have no live σ-capable source behind them.
+      n->var_source[n->op.var] = "";
+      break;
     case Kind::kRename: {
       auto it = n->var_source.find(n->op.x_var);
       n->var_source[n->op.out_var] =
@@ -233,6 +237,7 @@ std::vector<std::string> InputVars(const PlanNode& op) {
   };
   switch (op.kind) {
     case Kind::kSource:
+    case Kind::kCachedView:
     case Kind::kMaterialize:
     case Kind::kUnion:
     case Kind::kDifference:

@@ -187,6 +187,15 @@ PlanPtr PlanNode::TupleDestroy(PlanPtr child, std::string var) {
   return n;
 }
 
+PlanPtr PlanNode::CachedView(std::string source_name, std::string var,
+                             bool children) {
+  PlanPtr n = Make(Kind::kCachedView, {});
+  n->source_name = std::move(source_name);
+  n->var = std::move(var);
+  n->cached_view_children = children;
+  return n;
+}
+
 PlanPtr PlanNode::Clone() const {
   auto n = std::make_unique<PlanNode>();
   n->kind = kind;
@@ -208,6 +217,7 @@ PlanPtr PlanNode::Clone() const {
   n->label_is_constant = label_is_constant;
   n->label = label;
   n->text = text;
+  n->cached_view_children = cached_view_children;
   for (const PlanPtr& c : children) n->children.push_back(c->Clone());
   return n;
 }
@@ -246,6 +256,8 @@ const char* PlanKindName(PlanNode::Kind kind) {
       return "const";
     case PlanNode::Kind::kRename:
       return "rename";
+    case PlanNode::Kind::kCachedView:
+      return "cachedView";
     case PlanNode::Kind::kTupleDestroy:
       return "tupleDestroy";
   }
@@ -298,6 +310,9 @@ std::string Params(const PlanNode& n) {
       return "[$" + n.x_var + " -> $" + n.out_var + "]";
     case Kind::kConst:
       return "['" + n.text + "' -> $" + n.out_var + "]";
+    case Kind::kCachedView:
+      return "[" + n.source_name + " -> $" + n.var +
+             (n.cached_view_children ? ", children" : "") + "]";
     case Kind::kTupleDestroy:
       return n.var.empty() ? "" : "[$" + n.var + "]";
     default:
@@ -460,6 +475,8 @@ Result<algebra::VarList> SchemaTransition(
       }
       return s;
     }
+    case Kind::kCachedView:
+      return algebra::VarList{node.var};
     case Kind::kTupleDestroy:
       return Status::InvalidArgument(
           "tupleDestroy produces a document, not a binding stream");

@@ -40,6 +40,7 @@ struct PlanNode {
     kWrapList,
     kConst,
     kRename,
+    kCachedView,
     kTupleDestroy,
   };
 
@@ -72,6 +73,9 @@ struct PlanNode {
   bool label_is_constant = true;
   std::string label;           // kCreateElement (constant or variable name)
   std::string text;            // kConst literal
+  /// kCachedView: bind the snapshot root's children (one binding each, in
+  /// document order) instead of the root itself.
+  bool cached_view_children = false;
 
   // --- factories ---
   static PlanPtr Source(std::string source_name, std::string var);
@@ -103,6 +107,10 @@ struct PlanNode {
   static PlanPtr Rename(PlanPtr child, std::string old_var,
                         std::string new_var);
   static PlanPtr TupleDestroy(PlanPtr child, std::string var = "");
+  /// Leaf over a registered answer-view snapshot (answer_view_cache.h).
+  /// `source_name` names the snapshot in the session's SourceRegistry.
+  static PlanPtr CachedView(std::string source_name, std::string var,
+                            bool children);
 
   PlanPtr Clone() const;
 

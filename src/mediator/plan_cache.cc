@@ -72,6 +72,7 @@ Result<std::shared_ptr<const PlanCache::Compiled>> PlanCache::GetOrCompileEntry(
   PlanPtr owned = std::move(plan).ValueOrDie();
 
   auto compiled = std::make_shared<Compiled>();
+  compiled->view_shape = ComputeViewShape(*owned);
   if (options_.optimizer.level > 0) {
     Result<passes::OptimizeReport> report =
         passes::OptimizePlan(&owned, options_.optimizer);

@@ -29,6 +29,7 @@
 #include <utility>
 
 #include "core/status.h"
+#include "mediator/answer_view_cache.h"
 #include "mediator/passes/pass.h"
 #include "mediator/plan.h"
 
@@ -55,10 +56,14 @@ class PlanCache {
 
   /// A cached compilation: the (possibly optimized) plan plus the pass
   /// report that produced it. `report` is all-zero when the optimizer is
-  /// off or declined the plan.
+  /// off or declined the plan. `view_shape` is the answer-view descriptor
+  /// computed from the RAW translator output — it must be taken before
+  /// optimization, because wrapper pushdown absorbs predicates into
+  /// source URIs where subsumption matching can no longer see them.
   struct Compiled {
     std::shared_ptr<const PlanNode> plan;
     passes::OptimizeReport report;
+    ViewShape view_shape;
   };
 
   explicit PlanCache(Options options);

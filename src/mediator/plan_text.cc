@@ -204,7 +204,7 @@ class Builder {
     ++pos_;
 
     int arity = 1;
-    if (line.op == "source") arity = 0;
+    if (line.op == "source" || line.op == "cachedView") arity = 0;
     if (line.op == "join" || line.op == "union" || line.op == "difference") {
       arity = 2;
     }
@@ -239,6 +239,19 @@ class Builder {
       PlanPtr n = PlanNode::Source(lhs, out);
       n->source_uri = uri;
       return n;
+    }
+    if (op == "cachedView") {
+      // [name -> $var] with an optional trailing ", children".
+      bool view_children = false;
+      if (parts.size() == 2 && Trim(parts[1]) == "children") {
+        view_children = true;
+        parts.pop_back();
+      }
+      std::string lhs, out;
+      if (parts.size() != 1 || !Arrow(parts[0], &lhs, &out)) {
+        return Err(line, "cachedView expects [name -> $var]");
+      }
+      return PlanNode::CachedView(lhs, out, view_children);
     }
     if (op == "getDescendants") {
       // [$anchor,path -> $out] with optional trailing ", sigma" and

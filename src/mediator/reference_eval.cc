@@ -95,6 +95,9 @@ Result<Table> EvaluateReferenceTable(const PlanNode& node,
       }
       return out;
     }
+    case Kind::kCachedView:
+      return Status::InvalidArgument(
+          "cachedView is not supported by the reference evaluator");
     case Kind::kTupleDestroy:
       return Status::InvalidArgument(
           "tupleDestroy is not a binding-stream node");

@@ -151,6 +151,9 @@ Result<Shape> ShapeOf(const PlanNode& node, const std::string& var) {
       // left branch (documented limitation).
       return ShapeOf(*node.children[0], var);
 
+    case Kind::kCachedView:
+      return Status::InvalidArgument(
+          "schema inference: cachedView snapshots carry no source schema");
     case Kind::kTupleDestroy:
       return Status::InvalidArgument(
           "schema inference: tupleDestroy is not a binding-stream node");

@@ -25,6 +25,18 @@ std::string PassCounters(
   return out;
 }
 
+std::string ShardCounters(
+    const std::vector<ServiceMetricsSnapshot::CacheShard>& shards) {
+  std::string out;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(i) + "=" + std::to_string(shards[i].hits) + "/" +
+           std::to_string(shards[i].misses) + "/" +
+           std::to_string(shards[i].bytes);
+  }
+  return out;
+}
+
 }  // namespace
 
 void LatencyHistogram::Record(int64_t ns) {
@@ -65,7 +77,8 @@ std::string SessionMetrics::ToString() const {
          " degraded=" + std::to_string(degraded_holes) + "}" +
          " cache{hits=" + std::to_string(cache_hits) +
          " misses=" + std::to_string(cache_misses) + "}" +
-         " plan{rewrites=" + std::to_string(plan_rewrites) + "}";
+         " plan{rewrites=" + std::to_string(plan_rewrites) + "}" +
+         " view_served=" + std::to_string(view_served);
 }
 
 std::string ServiceMetricsSnapshot::ToString() const {
@@ -91,12 +104,22 @@ std::string ServiceMetricsSnapshot::ToString() const {
          " misses=" + std::to_string(cache_misses) +
          " evictions=" + std::to_string(cache_evictions) +
          " bytes=" + std::to_string(cache_bytes) +
+         " peak_bytes=" + std::to_string(cache_peak_bytes) +
          " entries=" + std::to_string(cache_entries) + "}" +
+         " shards{" + ShardCounters(cache_shards) + "}" +
          " plans{hits=" + std::to_string(plan_cache_hits) +
          " misses=" + std::to_string(plan_cache_misses) +
          " optimized=" + std::to_string(plans_optimized) +
          " rewrites=" + std::to_string(optimizer_rewrites) + "}" +
-         " passes{" + PassCounters(optimizer_passes) + "}";
+         " passes{" + PassCounters(optimizer_passes) + "}" +
+         " views{hits=" + std::to_string(view_hits) +
+         " misses=" + std::to_string(view_misses) +
+         " publishes=" + std::to_string(view_publishes) +
+         " evictions=" + std::to_string(view_evictions) +
+         " invalidations=" + std::to_string(view_invalidations) +
+         " bytes=" + std::to_string(view_bytes) +
+         " entries=" + std::to_string(view_entries) + "}" +
+         " view_rejects{" + PassCounters(view_rejects) + "}";
 }
 
 }  // namespace mix::service

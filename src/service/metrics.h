@@ -61,6 +61,9 @@ struct SessionMetrics {
   /// plan-cache entry's report, so a cache hit reports the original
   /// compile's rewrites; 0 when the optimizer is off or changed nothing).
   int64_t plan_rewrites = 0;
+  /// 1 when this session is served from a cached answer view (zero
+  /// wrapper exchanges by construction).
+  int64_t view_served = 0;
 
   std::string ToString() const;
 };
@@ -98,6 +101,16 @@ struct ServiceMetricsSnapshot {
   int64_t cache_evictions = 0;
   int64_t cache_bytes = 0;
   int64_t cache_entries = 0;
+  /// Byte high-water mark the fragment cache ever reached.
+  int64_t cache_peak_bytes = 0;
+  /// Per-shard (hits, misses, bytes) of the fragment cache, shard-ordered
+  /// — spotting a hot shard or a skewed key distribution at a glance.
+  struct CacheShard {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t bytes = 0;
+  };
+  std::vector<CacheShard> cache_shards;
   // Compiled-plan cache (session-open path).
   int64_t plan_cache_hits = 0;
   int64_t plan_cache_misses = 0;
@@ -106,6 +119,16 @@ struct ServiceMetricsSnapshot {
   int64_t optimizer_rewrites = 0;  ///< total rewrites across those compiles
   /// Per-pass rewrite totals (pass name, rewrites), name-sorted.
   std::vector<std::pair<std::string, int64_t>> optimizer_passes;
+  // Answer-view cache (cross-session materialized answers).
+  int64_t view_hits = 0;
+  int64_t view_misses = 0;
+  int64_t view_publishes = 0;
+  int64_t view_evictions = 0;
+  int64_t view_invalidations = 0;
+  int64_t view_bytes = 0;
+  int64_t view_entries = 0;
+  /// Subsumption/publish reject counts by reason, name-sorted.
+  std::vector<std::pair<std::string, int64_t>> view_rejects;
 
   std::string ToString() const;
 };

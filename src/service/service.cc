@@ -92,6 +92,8 @@ MediatorService::MediatorService(const SessionEnvironment* env, Options options)
       source_cache_(buffer::SourceCache::Options{options.source_cache_bytes,
                                                  options.source_cache_shards}),
       plan_cache_(PlanCacheOptions(*env, options)),
+      answer_view_cache_(mediator::AnswerViewCache::Options{
+          options.answer_view_cache_bytes}),
       registry_(env,
                 SessionRegistry::Options{
                     options.max_sessions, options.session_idle_ttl_ns,
@@ -99,7 +101,9 @@ MediatorService::MediatorService(const SessionEnvironment* env, Options options)
                     options.source_cache_bytes > 0 ? &source_cache_ : nullptr,
                     options.plan_cache_entries > 0 ? &plan_cache_ : nullptr,
                     // The no-plan-cache path optimizes with the same config.
-                    BuildOptimizerOptions(*env, options.optimizer_level)}),
+                    BuildOptimizerOptions(*env, options.optimizer_level),
+                    options.answer_view_cache_bytes > 0 ? &answer_view_cache_
+                                                        : nullptr}),
       wire_channel_(&wire_clock_, options.wire_costs),
       executor_(Executor::Options{options.workers, options.queue_capacity}) {
   uint64_t key = kWrapperKeyBase;
@@ -264,6 +268,19 @@ Frame MediatorService::Execute(
   if (!source.ok() && response.type != MsgType::kError) {
     response = Frame::Error(source);
   }
+  // Publish hook for the answer-view cache: a full-depth FetchSubtree of
+  // the document root that completed with no source fault is a
+  // navigation-complete snapshot of this session's answer. Publish runs
+  // here (not inside the session) because only this path knows the
+  // exchange succeeded end-to-end; Publish itself re-rejects truncated or
+  // degraded entries, so a partial snapshot can never enter the cache.
+  if (source.ok() && response.type == MsgType::kSubtree &&
+      request.number < 0 && session->CanPublishView() &&
+      request.node == session->document()->Root()) {
+    answer_view_cache_.Publish(session->publish_shape(), response.entries,
+                               session->publish_generations());
+    session->MarkViewPublished();
+  }
   session->metrics().requests += 1;
   if (response.type == MsgType::kError) session->metrics().errors += 1;
   return response;
@@ -381,6 +398,11 @@ ServiceMetricsSnapshot MediatorService::Metrics() const {
   snap.cache_evictions = cache.evictions;
   snap.cache_bytes = cache.bytes;
   snap.cache_entries = cache.entries;
+  snap.cache_peak_bytes = cache.peak_bytes;
+  snap.cache_shards.reserve(cache.shards.size());
+  for (const auto& sh : cache.shards) {
+    snap.cache_shards.push_back({sh.hits, sh.misses, sh.bytes});
+  }
   mediator::PlanCache::Stats plans = plan_cache_.stats();
   snap.plan_cache_hits = plans.hits;
   snap.plan_cache_misses = plans.misses;
@@ -388,6 +410,15 @@ ServiceMetricsSnapshot MediatorService::Metrics() const {
   snap.optimizer_rewrites = plans.rewrites;
   snap.optimizer_passes.assign(plans.pass_applied.begin(),
                                plans.pass_applied.end());
+  mediator::AnswerViewCache::Stats views = answer_view_cache_.stats();
+  snap.view_hits = views.hits;
+  snap.view_misses = views.misses;
+  snap.view_publishes = views.publishes;
+  snap.view_evictions = views.evictions;
+  snap.view_invalidations = views.invalidations;
+  snap.view_bytes = views.bytes;
+  snap.view_entries = views.entries;
+  snap.view_rejects.assign(views.rejects.begin(), views.rejects.end());
   return snap;
 }
 

@@ -60,6 +60,10 @@ class MediatorService : public wire::FrameTransport {
     /// "db" view (a source already registered on a query view keeps plain
     /// LXP: its document shape does not match the relational catalog).
     int optimizer_level = 1;
+    /// Byte budget of the answer-view cache (DESIGN.md §4 "Answer-view
+    /// cache"); 0 disables it — every Open builds a live session. This is
+    /// the E16 A/B knob.
+    int64_t answer_view_cache_bytes = 0;
   };
 
   /// `env` is not owned and must outlive the service; it must not be
@@ -87,12 +91,20 @@ class MediatorService : public wire::FrameTransport {
   /// disabled caches report zero traffic).
   buffer::SourceCache& source_cache() { return source_cache_; }
 
+  /// The answer-view cache (valid whether or not it is enabled).
+  mediator::AnswerViewCache& answer_view_cache() { return answer_view_cache_; }
+
+  /// The compiled-plan cache (valid whether or not it is enabled).
+  mediator::PlanCache& plan_cache() { return plan_cache_; }
+
   /// Declares `source` (an environment source name) changed: bumps its
   /// cache generation so sessions opened from now on re-fetch from the
-  /// live wrapper. In-flight sessions keep their pinned generation — the
-  /// same per-session consistency the E9 freshness semantics define.
+  /// live wrapper, and drops every cached answer view derived from it.
+  /// In-flight sessions keep their pinned generation — the same
+  /// per-session consistency the E9 freshness semantics define.
   void InvalidateSource(const std::string& source) {
     source_cache_.BumpGeneration(source);
+    answer_view_cache_.InvalidateSource(source);
   }
 
  private:
@@ -122,6 +134,9 @@ class MediatorService : public wire::FrameTransport {
   /// Also before registry_ (session buffers point into the caches).
   buffer::SourceCache source_cache_;
   mediator::PlanCache plan_cache_;
+  /// Before registry_: view-served sessions hold snapshot shared_ptrs, but
+  /// the registry's Open path also reads the cache directly.
+  mediator::AnswerViewCache answer_view_cache_;
   SessionRegistry registry_;
 
   mutable std::mutex metrics_mu_;

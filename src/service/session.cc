@@ -101,12 +101,30 @@ Result<std::shared_ptr<Session>> Session::Build(
 Result<std::shared_ptr<Session>> Session::Build(
     uint64_t id, const SessionEnvironment& env,
     std::shared_ptr<const mediator::PlanNode> plan,
-    net::FaultCounters* fault_counters, buffer::SourceCache* source_cache) {
+    net::FaultCounters* fault_counters, buffer::SourceCache* source_cache,
+    std::shared_ptr<const mediator::AnswerSnapshot> view_snapshot) {
   // shared_ptr with private constructor: build through a local subclass.
   struct MakeShared : Session {};
   std::shared_ptr<Session> session = std::make_shared<MakeShared>();
   session->id_ = id;
   session->plan_ = std::move(plan);
+
+  if (view_snapshot != nullptr) {
+    // Answer-view serving: the rewritten plan references only the pinned
+    // snapshot. No wrappers/buffers/channels are built — the dialogue
+    // costs zero wrapper exchanges by construction.
+    session->view_snapshot_ = std::move(view_snapshot);
+    mediator::SourceRegistry sources;
+    sources.Register(mediator::kAnswerViewSourceName,
+                     session->view_snapshot_->nav.get());
+    Result<std::unique_ptr<mediator::LazyMediator>> instance =
+        mediator::LazyMediator::Build(*session->plan_, sources);
+    if (!instance.ok()) return instance.status();
+    session->mediator_ = std::move(instance).ValueOrDie();
+    session->document_ = session->mediator_->document();
+    session->metrics_.view_served = 1;
+    return session;
+  }
 
   // The optimizer may have retargeted a source to a different view of the
   // same wrapper (wrapper predicate pushdown rewrites `db` into a
@@ -253,16 +271,23 @@ Result<uint64_t> SessionRegistry::Open(const std::string& xmas_text) {
   // (ConcurrentOpensOverlap in service_test pins this down).
   std::shared_ptr<const mediator::PlanNode> plan;
   int64_t plan_rewrites = 0;
+  mediator::ViewShape view_shape;
   if (options_.plan_cache != nullptr) {
     Result<std::shared_ptr<const mediator::PlanCache::Compiled>> cached =
         options_.plan_cache->GetOrCompileEntry(xmas_text);
     if (!cached.ok()) return cached.status();
     plan = cached.value()->plan;
     plan_rewrites = cached.value()->report.total();
+    view_shape = cached.value()->view_shape;
   } else {
     Result<mediator::PlanPtr> compiled = mediator::CompileXmas(xmas_text);
     if (!compiled.ok()) return compiled.status();
     mediator::PlanPtr owned = std::move(compiled).ValueOrDie();
+    // The view descriptor must come from the RAW plan — wrapper pushdown
+    // hides predicates inside source URIs below.
+    if (options_.answer_view_cache != nullptr) {
+      view_shape = mediator::ComputeViewShape(*owned);
+    }
     if (options_.optimizer.level > 0) {
       // Optimizer failure is not an Open failure: OptimizePlan leaves the
       // plan untouched on error and the raw plan is always correct.
@@ -272,11 +297,33 @@ Result<uint64_t> SessionRegistry::Open(const std::string& xmas_text) {
     }
     plan = std::shared_ptr<const mediator::PlanNode>(std::move(owned));
   }
+  // view_match: test the descriptor for subsumption against the cached
+  // answer views; on a hit the session is built over the snapshot instead
+  // of live wrappers.
+  std::shared_ptr<const mediator::AnswerSnapshot> snapshot;
+  if (options_.answer_view_cache != nullptr &&
+      options_.answer_view_cache->enabled()) {
+    mediator::AnswerViewCache::Match match =
+        options_.answer_view_cache->TryMatch(view_shape);
+    if (match.snapshot != nullptr) {
+      snapshot = std::move(match.snapshot);
+      plan = std::shared_ptr<const mediator::PlanNode>(std::move(match.plan));
+    }
+  }
   Result<std::shared_ptr<Session>> session =
       Session::Build(id, *env_, std::move(plan), options_.fault_counters,
-                     options_.source_cache);
+                     options_.source_cache, snapshot);
   if (!session.ok()) return session.status();
   session.value()->metrics().plan_rewrites = plan_rewrites;
+  if (snapshot == nullptr && options_.answer_view_cache != nullptr &&
+      options_.answer_view_cache->enabled() && view_shape.valid) {
+    // This session may later donate its answer: pin the answer-view
+    // generations of its sources now, mirroring the source-cache pin.
+    std::map<std::string, int64_t> pins =
+        options_.answer_view_cache->PinGenerations(view_shape.sources);
+    session.value()->SetPublishableShape(std::move(view_shape),
+                                         std::move(pins));
+  }
   int64_t now = NowNs();
   session.value()->Touch(now);
   {

@@ -38,6 +38,7 @@
 #include "buffer/source_cache.h"
 #include "core/navigable.h"
 #include "core/status.h"
+#include "mediator/answer_view_cache.h"
 #include "mediator/instantiate.h"
 #include "mediator/ir.h"
 #include "mediator/passes/pass.h"
@@ -142,11 +143,18 @@ class Session {
   /// reference for its lifetime. `source_cache` (optional) is the shared
   /// fragment cache every cache_fills source consults; each source's
   /// generation is pinned here, at build time.
+  /// `view_snapshot` (optional) marks an answer-view-served session: `plan`
+  /// is then the rewritten serving plan over the snapshot, which is pinned
+  /// for the session's lifetime and registered under
+  /// mediator::kAnswerViewSourceName. No wrappers, buffers, channels or
+  /// clocks are built at all — the whole dialogue navigates the immutable
+  /// snapshot, with zero wrapper exchanges.
   static Result<std::shared_ptr<Session>> Build(
       uint64_t id, const SessionEnvironment& env,
       std::shared_ptr<const mediator::PlanNode> plan,
       net::FaultCounters* fault_counters = nullptr,
-      buffer::SourceCache* source_cache = nullptr);
+      buffer::SourceCache* source_cache = nullptr,
+      std::shared_ptr<const mediator::AnswerSnapshot> view_snapshot = nullptr);
 
   /// Convenience overload: compiles `xmas_text` directly (no plan cache).
   static Result<std::shared_ptr<Session>> Build(
@@ -183,6 +191,32 @@ class Session {
   /// under the session's serialization before a metrics read.
   void RefreshSourceMetrics();
 
+  // --- answer-view cache plumbing (service/service.cc) ---
+
+  /// True when this session is served from a cached answer snapshot.
+  bool served_from_view() const { return view_snapshot_ != nullptr; }
+
+  /// Records the descriptor (and the answer-view generations pinned at
+  /// open) under which this session's answer may later be published.
+  void SetPublishableShape(mediator::ViewShape shape,
+                           std::map<std::string, int64_t> generations) {
+    publish_shape_ = std::move(shape);
+    publish_generations_ = std::move(generations);
+  }
+
+  /// True when a full-depth root export of this session is publishable:
+  /// it has a valid descriptor, is not itself view-served (no derived
+  /// views of views), and has not published yet. Touched only under the
+  /// executor's per-session serialization.
+  bool CanPublishView() const {
+    return publish_shape_.valid && view_snapshot_ == nullptr && !published_;
+  }
+  void MarkViewPublished() { published_ = true; }
+  const mediator::ViewShape& publish_shape() const { return publish_shape_; }
+  const std::map<std::string, int64_t>& publish_generations() const {
+    return publish_generations_;
+  }
+
  private:
   Session() = default;
 
@@ -196,10 +230,16 @@ class Session {
   /// The (possibly cache-shared) compiled plan; the mediator tree holds
   /// references into it, so it must outlive mediator_ (declared before).
   std::shared_ptr<const mediator::PlanNode> plan_;
+  /// Pinned answer snapshot for view-served sessions (the mediator
+  /// navigates into it, so it too must outlive mediator_).
+  std::shared_ptr<const mediator::AnswerSnapshot> view_snapshot_;
   std::unique_ptr<mediator::LazyMediator> mediator_;
   Navigable* document_ = nullptr;
   SessionMetrics metrics_;
   std::atomic<int64_t> last_active_ns_{0};
+  mediator::ViewShape publish_shape_;
+  std::map<std::string, int64_t> publish_generations_;
+  bool published_ = false;
 };
 
 /// Id → session map with TTL eviction. Thread-safe; lookups hand out
@@ -222,6 +262,10 @@ class SessionRegistry {
     /// Optimizer configuration for the no-plan-cache path. When plan_cache
     /// is set its Options::optimizer governs and this field is ignored.
     mediator::passes::OptimizerOptions optimizer;
+    /// Answer-view cache consulted on Open for subsumption-based serving
+    /// (nullptr or disabled: every Open builds a live session). Used
+    /// OUTSIDE the registry lock, like the other caches.
+    mediator::AnswerViewCache* answer_view_cache = nullptr;
   };
 
   SessionRegistry(const SessionEnvironment* env, Options options)

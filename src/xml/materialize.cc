@@ -34,17 +34,23 @@ Node* Copy(Navigable* nav, const NodeId& p, Document* doc, Budget* budget) {
   return element;
 }
 
-/// Rebuilds a tree from a pre-order SubtreeEntry snapshot: an entry is a
-/// leaf iff its successor is not deeper; stack[d] tracks the open element
-/// at each depth for parent linking.
-Node* BuildFromPreorder(const std::vector<SubtreeEntry>& entries,
-                        Document* doc) {
-  MIX_CHECK(!entries.empty());
+}  // namespace
+
+Node* BuildFromSubtreeEntries(const std::vector<SubtreeEntry>& entries,
+                              Document* doc) {
+  // Pre-order rebuild: an entry is a leaf iff its successor is not deeper;
+  // stack[d] tracks the open element at each depth for parent linking.
+  if (entries.empty() || doc == nullptr) return nullptr;
   std::vector<Node*> stack;
   Node* root = nullptr;
+  int64_t prev_depth = -1;
   for (size_t i = 0; i < entries.size(); ++i) {
     const SubtreeEntry& e = entries[i];
-    MIX_CHECK_MSG(!e.truncated, "full-depth fetch returned a truncated entry");
+    if (e.truncated) return nullptr;
+    if (i == 0 ? e.depth != 0 : (e.depth < 1 || e.depth > prev_depth + 1)) {
+      return nullptr;
+    }
+    prev_depth = e.depth;
     const bool has_children =
         i + 1 < entries.size() && entries[i + 1].depth > e.depth;
     Node* n = has_children ? doc->NewElement(std::string(e.label.name()))
@@ -62,15 +68,16 @@ Node* BuildFromPreorder(const std::vector<SubtreeEntry>& entries,
   return root;
 }
 
-}  // namespace
-
 Node* MaterializeInto(Navigable* nav, Document* doc) {
   MIX_CHECK(nav != nullptr && doc != nullptr);
   // One vectored fetch for the whole answer: the batch cascades through
   // every mediation layer instead of a d/r/f round per node.
   std::vector<SubtreeEntry> entries;
   nav->FetchSubtree(nav->Root(), -1, &entries);
-  return BuildFromPreorder(entries, doc);
+  Node* root = BuildFromSubtreeEntries(entries, doc);
+  MIX_CHECK_MSG(root != nullptr,
+                "full-depth fetch returned a truncated or malformed snapshot");
+  return root;
 }
 
 Node* MaterializeIntoNodeAtATime(Navigable* nav, Document* doc) {

@@ -34,6 +34,15 @@ std::unique_ptr<Document> Materialize(Navigable* nav);
 /// A negative limit means no limit.
 Node* MaterializePrefixInto(Navigable* nav, Document* doc, int64_t max_nodes);
 
+/// Rebuilds a tree from a full-depth pre-order FetchSubtree export without
+/// trusting it: returns nullptr (instead of aborting) when the export is
+/// empty, contains truncated entries, or its depth sequence is not a valid
+/// pre-order (first entry at depth 0, each later entry at most one level
+/// deeper than its predecessor). The answer-view cache publishes snapshots
+/// through this so hostile/partial exports are rejected, not fatal.
+Node* BuildFromSubtreeEntries(const std::vector<SubtreeEntry>& entries,
+                              Document* doc);
+
 }  // namespace mix::xml
 
 #endif  // MIX_XML_MATERIALIZE_H_

@@ -1,0 +1,144 @@
+// PlanCache LRU behavior under concurrent Session::Open churn (runs under
+// TSan in CI): 8 client threads opening distinct queries against a small
+// cache must never lose entries, double-compile beyond capacity misses, or
+// serve a wrong plan — every session's answer stays correct throughout.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/framed_document.h"
+#include "service/service.h"
+#include "service/session.h"
+#include "test_util.h"
+#include "wrappers/xml_lxp_wrapper.h"
+
+namespace mix::service {
+namespace {
+
+const char* kHomes =
+    "homes[home[addr[La Jolla],zip[91220]],home[addr[El Cajon],zip[91223]]]";
+
+/// Query #i constructs a distinct root label, so (a) every query is a
+/// distinct plan-cache entry and (b) the served answer proves which plan
+/// ran: the root label must match the query that opened the session.
+std::string QueryFor(int i) {
+  std::string label = "a" + std::to_string(i);
+  return "CONSTRUCT <" + label + "> $H {$H} </" + label +
+         "> {} WHERE homesSrc homes.home $H";
+}
+
+class ChurnFixture {
+ public:
+  ChurnFixture() : homes_(testing::Doc(kHomes)) {
+    env_.RegisterWrapperFactory(
+        "homesSrc",
+        [this] {
+          return std::make_unique<wrappers::XmlLxpWrapper>(homes_.get());
+        },
+        "homes.xml");
+  }
+  SessionEnvironment& env() { return env_; }
+
+ private:
+  std::unique_ptr<xml::Document> homes_;
+  SessionEnvironment env_;
+};
+
+/// Opens query #i, checks the root label round-trips, closes. Returns
+/// false on any mismatch or error.
+bool OpenAndVerify(MediatorService* service, int i) {
+  auto doc = client::FramedDocument::Open(service, QueryFor(i));
+  if (!doc.ok()) return false;
+  NodeId root = doc.value()->Root();
+  bool ok = root.valid() &&
+            doc.value()->Fetch(root) == "a" + std::to_string(i);
+  return doc.value()->Close().ok() && ok;
+}
+
+TEST(PlanCacheChurnTest, AmpleCapacityCompilesEachQueryExactlyOnce) {
+  constexpr int kDistinct = 16;
+  constexpr int kThreads = 8;
+  ChurnFixture fx;
+  MediatorService::Options options;
+  options.workers = 8;
+  options.queue_capacity = 4096;
+  options.plan_cache_entries = 64;  // capacity >= kDistinct
+  MediatorService service(&fx.env(), options);
+
+  // Serial warm pass: every query compiles exactly once.
+  for (int i = 0; i < kDistinct; ++i) {
+    ASSERT_TRUE(OpenAndVerify(&service, i)) << "query " << i;
+  }
+  ServiceMetricsSnapshot warm = service.Metrics();
+  EXPECT_EQ(warm.plan_cache_misses, kDistinct);
+  EXPECT_EQ(warm.plan_cache_hits, 0);
+
+  // Concurrent churn over the warmed set: hits only — a lost entry or a
+  // double compile would surface as extra misses.
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &bad, t] {
+      for (int i = 0; i < kDistinct; ++i) {
+        if (!OpenAndVerify(&service, (i + t) % kDistinct)) ++bad;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bad.load(), 0);
+
+  ServiceMetricsSnapshot snap = service.Metrics();
+  EXPECT_EQ(snap.plan_cache_misses, kDistinct)
+      << "no double-compiles beyond the warm misses";
+  EXPECT_EQ(snap.plan_cache_hits, int64_t{kThreads} * kDistinct)
+      << "every post-warm open must hit";
+  EXPECT_EQ(snap.sessions_opened, kDistinct + kThreads * kDistinct);
+  EXPECT_EQ(service.plan_cache().stats().entries, kDistinct);
+}
+
+TEST(PlanCacheChurnTest, UndersizedCapacityChurnsWithoutCorruption) {
+  constexpr int kDistinct = 24;
+  constexpr int kCapacity = 8;
+  constexpr int kThreads = 8;
+  ChurnFixture fx;
+  MediatorService::Options options;
+  options.workers = 8;
+  options.queue_capacity = 4096;
+  options.plan_cache_entries = kCapacity;
+  MediatorService service(&fx.env(), options);
+
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &bad, t] {
+      // Each thread walks the query set from its own offset, forcing
+      // continuous LRU eviction below capacity.
+      for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < kDistinct; ++i) {
+          if (!OpenAndVerify(&service, (i + t * 3) % kDistinct)) ++bad;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bad.load(), 0) << "every answer correct under churn";
+
+  ServiceMetricsSnapshot snap = service.Metrics();
+  const int64_t opens = int64_t{kThreads} * 3 * kDistinct;
+  EXPECT_EQ(snap.plan_cache_hits + snap.plan_cache_misses, opens)
+      << "every open is exactly one lookup";
+  EXPECT_GE(snap.plan_cache_misses, kDistinct)
+      << "each distinct query compiled at least once";
+  EXPECT_EQ(snap.sessions_opened, opens);
+  // LRU keeps the live entry count bounded by the configured capacity.
+  EXPECT_LE(service.plan_cache().stats().entries, kCapacity);
+  EXPECT_GT(service.plan_cache().stats().entries, 0);
+}
+
+}  // namespace
+}  // namespace mix::service
