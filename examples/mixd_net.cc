@@ -1,0 +1,141 @@
+// mixd_net: a real, standalone mixd server over TCP.
+//
+// Hosts the paper's homes/schools sources behind the framed wire protocol
+// on a loopback socket: point any FrameTransport client at the printed
+// port (e.g. mixd_demo's --transport=tcp path, or tests/bench binaries) and
+// drive DOM-VXD dialogues against it. Serves until stdin reaches EOF (pipe
+// /dev/null for "run until killed"), then drains in-flight commands and
+// prints the listener's final accounting.
+//
+// Usage: mixd_net [--port=N] [--loops=N] [--workers=N] [--self-test]
+//   --port=0 (default) binds an ephemeral port (printed on stdout).
+//   --self-test: after starting, run one Fig. 3 session against the server
+//     over the real wire, verify the answer shape, and exit — a one-binary
+//     smoke of the whole stack.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <memory>
+#include <string>
+
+#include "client/framed_document.h"
+#include "client/client.h"
+#include "net/tcp/tcp_server.h"
+#include "net/tcp/tcp_transport.h"
+#include "service/service.h"
+#include "service/wire.h"
+#include "wrappers/xml_lxp_wrapper.h"
+#include "xml/parser.h"
+
+namespace {
+
+const char* kFig3 = R"(
+CONSTRUCT <answer>
+  <med_home> $H $S {$S} </med_home> {$H}
+</answer> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+  AND schoolsSrc schools.school $S AND $S zip._ $V2
+  AND $V1 = $V2
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mix;
+
+  long port = 0;
+  long loops = 2;
+  long workers = 4;
+  bool self_test = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      port = std::strtol(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--loops=", 8) == 0) {
+      loops = std::strtol(argv[i] + 8, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = std::strtol(argv[i] + 10, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--self-test") == 0) {
+      self_test = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port=N] [--loops=N] [--workers=N] "
+                   "[--self-test]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (port < 0 || port > 65535 || loops < 1 || workers < 1) {
+    std::fprintf(stderr, "bad --port/--loops/--workers value\n");
+    return 1;
+  }
+
+  auto homes = xml::ParseTerm(
+                   "homes[home[addr[La Jolla],zip[91220]],"
+                   "home[addr[El Cajon],zip[91223]],"
+                   "home[addr[Nowhere],zip[99999]]]")
+                   .ValueOrDie();
+  auto schools = xml::ParseTerm(
+                     "schools[school[dir[Smith],zip[91220]],"
+                     "school[dir[Bar],zip[91220]],"
+                     "school[dir[Hart],zip[91223]]]")
+                     .ValueOrDie();
+  service::SessionEnvironment env;
+  env.RegisterWrapperFactory(
+      "homesSrc",
+      [&homes] { return std::make_unique<wrappers::XmlLxpWrapper>(homes.get()); },
+      "homes.xml");
+  env.RegisterWrapperFactory(
+      "schoolsSrc",
+      [&schools] {
+        return std::make_unique<wrappers::XmlLxpWrapper>(schools.get());
+      },
+      "schools.xml");
+
+  service::MediatorService::Options options;
+  options.workers = static_cast<int>(workers);
+  options.queue_capacity = 1024;
+  service::MediatorService service(&env, options);
+
+  net::tcp::TcpServerOptions sopts;
+  sopts.port = static_cast<uint16_t>(port);
+  sopts.event_loops = static_cast<int>(loops);
+  net::tcp::TcpServer server(&service, sopts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "mixd_net: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("mixd_net: listening on 127.0.0.1:%u (%ld loops, %ld workers)\n",
+              server.port(), loops, workers);
+  std::fflush(stdout);
+
+  int rc = 0;
+  if (self_test) {
+    net::tcp::TcpTransportOptions copts;
+    copts.port = server.port();
+    net::tcp::TcpFrameTransport transport(copts);
+    auto doc = client::FramedDocument::Open(&transport, kFig3);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "self-test open: %s\n",
+                   doc.status().ToString().c_str());
+      rc = 1;
+    } else {
+      client::VirtualXmlDocument vdoc(doc.value().get());
+      int n = static_cast<int>(vdoc.Root().Children().size());
+      std::printf("self-test: %d med_home elements over the wire\n", n);
+      if (n != 2) rc = 1;
+      (void)doc.value()->Close();
+    }
+  } else {
+    // Serve until whoever started us closes our stdin.
+    char buf[256];
+    while (std::fgets(buf, sizeof(buf), stdin) != nullptr) {
+    }
+  }
+
+  server.Stop();
+  std::printf("mixd_net: drained; net{%s}\n",
+              server.stats().ToString().c_str());
+  return rc;
+}

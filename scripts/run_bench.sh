@@ -26,6 +26,12 @@
 # rows of BM_AnswerViewSessions: warm wrapper_exchanges (= 0 with views on),
 # items_per_second (>= 2x), mismatches (= 0), view_hits (> 0).
 #
+# For BENCH_tcp.json (E17, real loopback sockets) the numbers that matter
+# are BM_TcpPipeline's items_per_second across depth:1/4/16 at each conns
+# level (pipelining must beat request/response lockstep), and mismatches
+# (= 0) in both BM_TcpPipeline and BM_TcpSessionThroughput — framed answers
+# over a real wire must equal in-process evaluation.
+#
 # Usage: scripts/run_bench.sh [suite] [build-dir]
 #   With no arguments, runs every tracked suite against ./build. A first
 #   argument naming a suite (e.g. `plan_opt`) runs just that one, with an
@@ -35,7 +41,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
-SUITES=(node_id plan_pipeline batch_nav lxp_chunking prefetch service faults source_cache plan_opt answer_views)
+SUITES=(node_id plan_pipeline batch_nav lxp_chunking prefetch service faults source_cache plan_opt answer_views tcp)
 BUILD=build
 if [ $# -gt 0 ]; then
   matched=0
@@ -51,7 +57,7 @@ if [ $# -gt 0 ]; then
     if [ -d "$1" ]; then
       BUILD="$1"
     else
-      echo "unknown suite or build dir '$1' — valid suites: node_id plan_pipeline batch_nav lxp_chunking prefetch service faults source_cache plan_opt answer_views" >&2
+      echo "unknown suite or build dir '$1' — valid suites: node_id plan_pipeline batch_nav lxp_chunking prefetch service faults source_cache plan_opt answer_views tcp" >&2
       echo "usage: scripts/run_bench.sh [suite] [build-dir]" >&2
       exit 1
     fi

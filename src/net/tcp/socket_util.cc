@@ -1,0 +1,157 @@
+#include "net/tcp/socket_util.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mix::net::tcp {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Remaining poll timeout in ms for an absolute deadline (-1 = forever).
+/// Clamped to >= 0 so an already-expired deadline polls nonblockingly once.
+int TimeoutMs(int64_t deadline_ns) {
+  if (deadline_ns < 0) return -1;
+  int64_t left = deadline_ns - NowNs();
+  if (left <= 0) return 0;
+  int64_t ms = left / 1'000'000;
+  if (ms > 1'000'000) ms = 1'000'000;
+  return static_cast<int>(ms) + 1;  // round up: never poll(0) while funded
+}
+
+Result<sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+int64_t NowNs() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return int64_t{ts.tv_sec} * 1'000'000'000 + ts.tv_nsec;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(Errno("fcntl(O_NONBLOCK)"));
+  }
+  return Status::OK();
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return Status::Internal(Errno("setsockopt(TCP_NODELAY)"));
+  }
+  return Status::OK();
+}
+
+Status WaitFd(int fd, short events, int64_t deadline_ns) {
+  for (;;) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    int n = ::poll(&p, 1, TimeoutMs(deadline_ns));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(Errno("poll"));
+    }
+    if (n == 0) {
+      if (deadline_ns >= 0 && NowNs() >= deadline_ns) {
+        return Status::DeadlineExceeded("socket wait deadline");
+      }
+      continue;
+    }
+    // Readable-or-hup both count as "ready": the next read/write reports
+    // the precise condition (EOF, ECONNRESET, ...).
+    if (p.revents & (events | POLLHUP | POLLERR | POLLRDHUP)) {
+      return Status::OK();
+    }
+  }
+}
+
+Result<int> ListenTcp(const std::string& host, uint16_t port, int backlog,
+                      uint16_t* bound_port) {
+  Result<sockaddr_in> addr = ResolveV4(host, port);
+  if (!addr.ok()) return addr.status();
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Status::Internal(Errno("socket"));
+  int one = 1;
+  (void)setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa = addr.value();
+  if (bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    return Status::Unavailable(Errno("bind"));
+  }
+  if (listen(fd.get(), backlog) < 0) {
+    return Status::Unavailable(Errno("listen"));
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in got{};
+    socklen_t len = sizeof(got);
+    if (getsockname(fd.get(), reinterpret_cast<sockaddr*>(&got), &len) < 0) {
+      return Status::Internal(Errno("getsockname"));
+    }
+    *bound_port = ntohs(got.sin_port);
+  }
+  return fd.release();
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       int64_t deadline_ns) {
+  Result<sockaddr_in> addr =
+      ResolveV4(host.empty() ? "127.0.0.1" : host, port);
+  if (!addr.ok()) return addr.status();
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Status::Internal(Errno("socket"));
+  sockaddr_in sa = addr.value();
+  int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  if (rc < 0 && errno != EINPROGRESS) {
+    return Status::Unavailable(Errno("connect"));
+  }
+  if (rc < 0) {
+    Status ready = WaitFd(fd.get(), POLLOUT, deadline_ns);
+    if (!ready.ok()) {
+      if (ready.code() == Status::Code::kDeadlineExceeded) {
+        return Status::DeadlineExceeded("connect deadline to " + host + ":" +
+                                        std::to_string(port));
+      }
+      return ready;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+        err != 0) {
+      errno = err != 0 ? err : errno;
+      return Status::Unavailable(Errno("connect"));
+    }
+  }
+  return fd.release();
+}
+
+}  // namespace mix::net::tcp

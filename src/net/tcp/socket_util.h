@@ -1,0 +1,74 @@
+// Small POSIX socket toolkit shared by the real TCP transport (tcp_server,
+// tcp_transport). Everything returns Status/Result — the TCP layer follows
+// the same no-abort discipline as the wire codec: nothing a peer or the
+// kernel does is allowed to crash the process.
+//
+// All deadlines are absolute CLOCK_MONOTONIC nanoseconds (NowNs()), -1 for
+// "no deadline" — the same convention the PR 4 retry machinery uses for its
+// virtual budgets, so a transport deadline slots directly into a
+// RetryPolicy::Run budget.
+#ifndef MIX_NET_TCP_SOCKET_UTIL_H_
+#define MIX_NET_TCP_SOCKET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+
+namespace mix::net::tcp {
+
+/// Owning file descriptor (close-on-destroy, move-only).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+  UniqueFd(UniqueFd&& o) noexcept : fd_(o.release()) {}
+  UniqueFd& operator=(UniqueFd&& o) noexcept {
+    if (this != &o) reset(o.release());
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// CLOCK_MONOTONIC now, in nanoseconds.
+int64_t NowNs();
+
+Status SetNonBlocking(int fd);
+/// Disables Nagle: one frame = one request, and request/response lockstep
+/// under Nagle+delayed-ACK is the classic 40 ms stall.
+Status SetNoDelay(int fd);
+
+/// poll()s `fd` for `events` (POLLIN/POLLOUT) until the absolute deadline.
+/// OK when ready; kDeadlineExceeded on timeout; kUnavailable on poll error
+/// or a hangup-only revent.
+Status WaitFd(int fd, short events, int64_t deadline_ns);
+
+/// Creates a nonblocking listening TCP socket bound to host:port
+/// (SO_REUSEADDR; port 0 picks an ephemeral port). `bound_port` (optional)
+/// receives the actual port. Returns the listening fd.
+Result<int> ListenTcp(const std::string& host, uint16_t port, int backlog,
+                      uint16_t* bound_port);
+
+/// Nonblocking connect with an absolute deadline; the returned fd is
+/// nonblocking. kDeadlineExceeded when the deadline cuts the handshake,
+/// kUnavailable when the peer refuses.
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       int64_t deadline_ns);
+
+}  // namespace mix::net::tcp
+
+#endif  // MIX_NET_TCP_SOCKET_UTIL_H_

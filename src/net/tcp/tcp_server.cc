@@ -1,0 +1,610 @@
+#include "net/tcp/tcp_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "service/wire.h"
+
+namespace mix::net::tcp {
+
+namespace {
+constexpr size_t kReadChunk = 64 * 1024;
+/// Compact the read buffer once the consumed prefix crosses this.
+constexpr size_t kCompactThreshold = 64 * 1024;
+}  // namespace
+
+/// Listener/connection counters. Lives in a shared_ptr so completion
+/// callbacks that outlive a force-closed connection (drain-deadline
+/// shutdown) can still account without touching the (possibly destroyed)
+/// server.
+struct TcpServer::Counters {
+  std::atomic<int64_t> accepts{0};
+  std::atomic<int64_t> conns_active{0};
+  std::atomic<int64_t> conns_closed{0};
+  std::atomic<int64_t> rx_bytes{0};
+  std::atomic<int64_t> tx_bytes{0};
+  std::atomic<int64_t> frames_in{0};
+  std::atomic<int64_t> frames_out{0};
+  std::atomic<int64_t> partial_reads{0};
+  std::atomic<int64_t> backpressure_stalls{0};
+  std::atomic<int64_t> slow_reader_closes{0};
+  std::atomic<int64_t> idle_closes{0};
+  std::atomic<int64_t> decode_closes{0};
+  std::atomic<int64_t> read_pauses{0};
+
+  service::NetStats Snapshot() const {
+    service::NetStats s;
+    s.accepts = accepts.load(std::memory_order_relaxed);
+    s.conns_active = conns_active.load(std::memory_order_relaxed);
+    s.conns_closed = conns_closed.load(std::memory_order_relaxed);
+    s.rx_bytes = rx_bytes.load(std::memory_order_relaxed);
+    s.tx_bytes = tx_bytes.load(std::memory_order_relaxed);
+    s.frames_in = frames_in.load(std::memory_order_relaxed);
+    s.frames_out = frames_out.load(std::memory_order_relaxed);
+    s.partial_reads = partial_reads.load(std::memory_order_relaxed);
+    s.backpressure_stalls = backpressure_stalls.load(std::memory_order_relaxed);
+    s.slow_reader_closes = slow_reader_closes.load(std::memory_order_relaxed);
+    s.idle_closes = idle_closes.load(std::memory_order_relaxed);
+    s.decode_closes = decode_closes.load(std::memory_order_relaxed);
+    s.read_pauses = read_pauses.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+/// One accepted connection.
+///
+/// Locking discipline (what keeps the reactor TSan-clean):
+///   * in_buf / in_off / next_dispatch_seq are touched only by the owning
+///     event loop thread.
+///   * Everything the completion path needs — fd validity, the write queue,
+///     the in-order release machinery, in_flight, epoll arming state — is
+///     guarded by `mu`.
+///   * The fd is *closed* only by the owning loop (under mu); workers use
+///     it only under mu after checking `closed`, so close/send can never
+///     race and a recycled descriptor can never be written.
+///   * Loop resources (epoll fd, wake fd) are only touched under mu with
+///     `closed == false`; the loop cannot exit while such a section runs
+///     (its own close needs mu), so those fds are provably still open.
+struct TcpServer::Conn : std::enable_shared_from_this<TcpServer::Conn> {
+  // Immutable after adoption.
+  Loop* loop = nullptr;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::shared_ptr<Counters> counters;
+  size_t write_high_water = 0;
+  size_t max_pipeline = 0;
+
+  // Owning-loop-thread only.
+  std::string in_buf;
+  size_t in_off = 0;
+  uint64_t next_dispatch_seq = 0;
+
+  std::atomic<int64_t> last_active_ns{0};
+
+  std::mutex mu;
+  int fd = -1;
+  bool closed = false;
+  bool want_write = false;
+  bool read_paused = false;
+  bool draining_close = false;  ///< close as soon as the queue flushes
+  bool doomed = false;          ///< owning loop should close asap
+  bool resume_parse = false;    ///< owning loop should re-run the parser
+  uint64_t next_release_seq = 0;
+  std::map<uint64_t, std::string> pending;  ///< out-of-order completions
+  std::string out_buf;
+  size_t out_off = 0;
+  size_t in_flight = 0;
+
+  uint32_t EventMaskLocked() const {
+    return EPOLLET | EPOLLRDHUP | (read_paused ? 0u : uint32_t{EPOLLIN}) |
+           (want_write ? uint32_t{EPOLLOUT} : 0u);
+  }
+  /// Re-registers the epoll interest set. EPOLL_CTL_MOD re-arms the edge,
+  /// so enabling EPOLLIN with bytes already buffered in the kernel WILL
+  /// deliver a fresh event.
+  void UpdateEventsLocked() {
+    if (closed) return;
+    epoll_event ev{};
+    ev.events = EventMaskLocked();
+    ev.data.ptr = this;
+    (void)epoll_ctl(epoll_fd, EPOLL_CTL_MOD, fd, &ev);
+  }
+  /// Asks the owning loop to close this connection (callable from any
+  /// thread under mu while !closed).
+  void DoomLocked() {
+    if (closed || doomed) return;
+    doomed = true;
+    WakeLoopLocked();
+  }
+  void WakeLoopLocked();
+
+  /// Drains the write queue into the socket; arms EPOLLOUT when the kernel
+  /// is full, dooms the connection on a hard error, and — once empty —
+  /// completes a pending draining close. mu held, !closed.
+  void FlushLocked() {
+    while (out_off < out_buf.size()) {
+      ssize_t w = ::send(fd, out_buf.data() + out_off, out_buf.size() - out_off,
+                         MSG_NOSIGNAL);
+      if (w > 0) {
+        out_off += static_cast<size_t>(w);
+        counters->tx_bytes.fetch_add(w, std::memory_order_relaxed);
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        counters->backpressure_stalls.fetch_add(1, std::memory_order_relaxed);
+        if (!want_write) {
+          want_write = true;
+          UpdateEventsLocked();
+        }
+        return;
+      }
+      DoomLocked();  // EPIPE / ECONNRESET: peer is gone
+      return;
+    }
+    out_buf.clear();
+    out_off = 0;
+    if (want_write) {
+      want_write = false;
+      UpdateEventsLocked();
+    }
+    if (draining_close) DoomLocked();
+  }
+};
+
+/// One reactor thread: an epoll instance, an eventfd for cross-thread
+/// wakeups, and the connections it owns. `conns` is touched only by the
+/// loop thread; adoption goes through the mutex-guarded pending queue.
+struct TcpServer::Loop {
+  int index = 0;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+
+  std::mutex pending_mu;
+  std::vector<int> pending_fds;
+
+  std::unordered_map<Conn*, std::shared_ptr<Conn>> conns;
+  /// Keeps conns closed mid-batch alive until the batch's stale epoll
+  /// events can no longer reference them.
+  std::vector<std::shared_ptr<Conn>> graveyard;
+  std::atomic<bool> attention{false};
+  bool listener_registered = false;
+
+  /// epoll data.ptr sentinels (distinct stable addresses).
+  int wake_marker = 0;
+  int listen_marker = 0;
+
+  ~Loop() {
+    if (epoll_fd >= 0) ::close(epoll_fd);
+    if (wake_fd >= 0) ::close(wake_fd);
+  }
+
+  void Wake() {
+    uint64_t one = 1;
+    ssize_t rc = ::write(wake_fd, &one, sizeof(one));
+    (void)rc;
+  }
+};
+
+void TcpServer::Conn::WakeLoopLocked() {
+  loop->attention.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  ssize_t rc = ::write(wake_fd, &one, sizeof(one));
+  (void)rc;
+}
+
+TcpServer::TcpServer(service::MediatorService* service, TcpServerOptions options)
+    : service_(service),
+      options_(std::move(options)),
+      counters_(std::make_shared<Counters>()) {
+  if (options_.event_loops < 1) options_.event_loops = 1;
+  if (options_.max_pipeline < 1) options_.max_pipeline = 1;
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  if (started_.load()) return Status::Internal("TcpServer already started");
+  uint16_t bound = 0;
+  Result<int> lfd = ListenTcp(options_.bind_address, options_.port,
+                              options_.listen_backlog, &bound);
+  if (!lfd.ok()) return lfd.status();
+  listen_fd_.reset(lfd.value());
+  port_ = bound;
+
+  for (int i = 0; i < options_.event_loops; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->index = i;
+    loop->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    loop->wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->epoll_fd < 0 || loop->wake_fd < 0) {
+      listen_fd_.reset();
+      loops_.clear();
+      return Status::Internal("epoll/eventfd creation failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = &loop->wake_marker;
+    epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &ev);
+    if (i == 0) {
+      epoll_event lev{};
+      lev.events = EPOLLIN;  // level-triggered: accept backlog can't starve
+      lev.data.ptr = &loop->listen_marker;
+      epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, listen_fd_.get(), &lev);
+      loop->listener_registered = true;
+    }
+    loops_.push_back(std::move(loop));
+  }
+  for (auto& loop : loops_) {
+    Loop* raw = loop.get();
+    raw->thread = std::thread([this, raw] { RunLoop(raw); });
+  }
+  service_->SetNetStatsProvider(
+      [c = counters_] { return c->Snapshot(); });
+  started_.store(true);
+  return Status::OK();
+}
+
+void TcpServer::Stop() {
+  if (!started_.load() || stopped_) return;
+  service_->SetNetStatsProvider(nullptr);
+  drain_deadline_ns_.store(NowNs() + std::max<int64_t>(0, options_.drain_timeout_ns));
+  stopping_.store(true);
+  for (auto& loop : loops_) loop->Wake();
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  loops_.clear();
+  listen_fd_.reset();
+  stopped_ = true;
+}
+
+service::NetStats TcpServer::stats() const { return counters_->Snapshot(); }
+
+void TcpServer::RunLoop(Loop* loop) {
+  std::vector<epoll_event> events(128);
+  for (;;) {
+    bool stopping = stopping_.load(std::memory_order_acquire);
+    int timeout_ms = 500;
+    if (stopping) {
+      timeout_ms = 10;
+    } else if (options_.idle_timeout_ns >= 0) {
+      int64_t half = options_.idle_timeout_ns / 2'000'000;
+      timeout_ms = static_cast<int>(std::max<int64_t>(1, std::min<int64_t>(100, half)));
+    }
+    int n = epoll_wait(loop->epoll_fd, events.data(),
+                       static_cast<int>(events.size()), timeout_ms);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      void* tag = events[i].data.ptr;
+      if (tag == &loop->wake_marker) {
+        uint64_t buf;
+        while (::read(loop->wake_fd, &buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (tag == &loop->listen_marker) {
+        if (!stopping) AcceptNew(loop);
+        continue;
+      }
+      auto it = loop->conns.find(static_cast<Conn*>(tag));
+      if (it == loop->conns.end()) continue;  // stale event from this batch
+      std::shared_ptr<Conn> conn = it->second;
+      uint32_t ev = events[i].events;
+      if (ev & EPOLLOUT) {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (!conn->closed) conn->FlushLocked();
+      }
+      if (ev & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+        HandleReadable(loop, conn);
+      }
+    }
+    AdoptPending(loop);
+    if (loop->attention.exchange(false, std::memory_order_acq_rel)) {
+      ServiceAttention(loop);
+    }
+    SweepIdle(loop);
+    loop->graveyard.clear();
+    if (stopping) {
+      if (loop->listener_registered) {
+        epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, listen_fd_.get(), nullptr);
+        loop->listener_registered = false;
+      }
+      DrainForShutdown(loop);
+      if (loop->conns.empty()) break;
+    }
+  }
+}
+
+void TcpServer::AcceptNew(Loop* loop) {
+  for (;;) {
+    int fd = accept4(listen_fd_.get(), nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient accept error: the next event retries
+    }
+    if (counters_->conns_active.load(std::memory_order_relaxed) >=
+        static_cast<int64_t>(options_.max_connections)) {
+      ::close(fd);  // shed load: beyond the connection budget
+      continue;
+    }
+    (void)SetNoDelay(fd);
+    if (options_.so_sndbuf > 0) {
+      (void)setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                       sizeof(options_.so_sndbuf));
+    }
+    counters_->accepts.fetch_add(1, std::memory_order_relaxed);
+    counters_->conns_active.fetch_add(1, std::memory_order_relaxed);
+    size_t target =
+        next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+    Loop* dest = loops_[target].get();
+    if (dest == loop) {
+      // Adopt directly: no queue hop for connections this loop owns.
+      std::lock_guard<std::mutex> lock(dest->pending_mu);
+      dest->pending_fds.push_back(fd);
+      dest->attention.store(true, std::memory_order_release);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(dest->pending_mu);
+        dest->pending_fds.push_back(fd);
+      }
+      dest->Wake();
+    }
+  }
+  // (unreachable)
+}
+
+void TcpServer::AdoptPending(Loop* loop) {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(loop->pending_mu);
+    fds.swap(loop->pending_fds);
+  }
+  for (int fd : fds) {
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      counters_->conns_active.fetch_sub(1, std::memory_order_relaxed);
+      counters_->conns_closed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->loop = loop;
+    conn->epoll_fd = loop->epoll_fd;
+    conn->wake_fd = loop->wake_fd;
+    conn->counters = counters_;
+    conn->write_high_water = options_.write_high_water;
+    conn->max_pipeline = options_.max_pipeline;
+    conn->fd = fd;
+    conn->last_active_ns.store(NowNs(), std::memory_order_relaxed);
+    epoll_event ev{};
+    ev.events = conn->EventMaskLocked();
+    ev.data.ptr = conn.get();
+    if (epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      counters_->conns_active.fetch_sub(1, std::memory_order_relaxed);
+      counters_->conns_closed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    loop->conns.emplace(conn.get(), conn);
+  }
+}
+
+void TcpServer::HandleReadable(Loop* loop, const std::shared_ptr<Conn>& conn) {
+  if (stopping_.load(std::memory_order_acquire)) return;
+  char buf[kReadChunk];
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->closed || conn->read_paused) return;
+    }
+    ssize_t r = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (r > 0) {
+      counters_->rx_bytes.fetch_add(r, std::memory_order_relaxed);
+      conn->last_active_ns.store(NowNs(), std::memory_order_relaxed);
+      conn->in_buf.append(buf, static_cast<size_t>(r));
+      if (!ParseFrames(loop, conn)) return;  // connection closed
+      continue;
+    }
+    if (r == 0) {  // peer closed its half: nothing more can arrive
+      CloseConn(loop, conn);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConn(loop, conn);
+    return;
+  }
+  if (conn->in_buf.size() > conn->in_off) {
+    counters_->partial_reads.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool TcpServer::ParseFrames(Loop* loop, const std::shared_ptr<Conn>& conn) {
+  for (;;) {
+    std::string_view rest(conn->in_buf.data() + conn->in_off,
+                          conn->in_buf.size() - conn->in_off);
+    if (rest.empty()) break;
+    size_t frame_size = 0;
+    service::wire::FramePeek peek =
+        service::wire::PeekFrame(rest, &frame_size);
+    if (peek == service::wire::FramePeek::kNeedMore) break;
+    if (peek == service::wire::FramePeek::kCorrupt) {
+      // Frame sync is unrecoverable: there is no way to locate the next
+      // frame boundary in a stream whose header lies. Drop only this
+      // connection; siblings are untouched.
+      counters_->decode_closes.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(loop, conn);
+      return false;
+    }
+    std::string frame = conn->in_buf.substr(conn->in_off, frame_size);
+    conn->in_off += frame_size;
+    DispatchFrame(conn, std::move(frame));
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->read_paused) break;
+    }
+  }
+  if (conn->in_off == conn->in_buf.size()) {
+    conn->in_buf.clear();
+    conn->in_off = 0;
+  } else if (conn->in_off > kCompactThreshold) {
+    conn->in_buf.erase(0, conn->in_off);
+    conn->in_off = 0;
+  }
+  return true;
+}
+
+void TcpServer::DispatchFrame(const std::shared_ptr<Conn>& conn,
+                              std::string frame) {
+  uint64_t seq = conn->next_dispatch_seq++;
+  counters_->frames_in.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->in_flight += 1;
+  }
+  // CallAsync may answer inline (decode errors, admission rejection), and
+  // CompleteResponse re-locks conn->mu — so no lock may be held here.
+  service_->CallAsync(
+      std::move(frame),
+      [self = conn->shared_from_this(), seq](std::string response) {
+        CompleteResponse(self, seq, std::move(response));
+      });
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (!conn->closed && !conn->read_paused &&
+      conn->in_flight >= conn->max_pipeline) {
+    conn->read_paused = true;
+    conn->counters->read_pauses.fetch_add(1, std::memory_order_relaxed);
+    conn->UpdateEventsLocked();
+  }
+}
+
+void TcpServer::CompleteResponse(const std::shared_ptr<Conn>& conn,
+                                 uint64_t seq, std::string response) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->in_flight > 0) conn->in_flight -= 1;
+  if (conn->closed) return;  // late completion of a force-closed connection
+  conn->pending.emplace(seq, std::move(response));
+  // Release every response whose turn has come — responses leave in
+  // request order no matter which worker finished first.
+  for (auto it = conn->pending.find(conn->next_release_seq);
+       it != conn->pending.end();
+       it = conn->pending.find(conn->next_release_seq)) {
+    conn->out_buf += it->second;
+    conn->pending.erase(it);
+    conn->next_release_seq += 1;
+    conn->counters->frames_out.fetch_add(1, std::memory_order_relaxed);
+  }
+  conn->last_active_ns.store(NowNs(), std::memory_order_relaxed);
+  conn->FlushLocked();
+  if (conn->closed || conn->doomed) return;
+  if (conn->out_buf.size() - conn->out_off > conn->write_high_water) {
+    // Slow reader: the peer is not draining its responses. Cutting the
+    // connection bounds server memory; the client sees a reset and its
+    // retry policy decides what to do.
+    conn->counters->slow_reader_closes.fetch_add(1, std::memory_order_relaxed);
+    conn->DoomLocked();
+    return;
+  }
+  if (conn->read_paused && conn->in_flight <= conn->max_pipeline / 2) {
+    conn->read_paused = false;
+    conn->UpdateEventsLocked();  // MOD re-arms: buffered bytes re-fire
+    conn->resume_parse = true;   // and already-read bytes re-parse
+    conn->WakeLoopLocked();
+  }
+}
+
+void TcpServer::CloseConn(Loop* loop, const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (!conn->closed) {
+      conn->closed = true;
+      epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+      ::close(conn->fd);
+      conn->fd = -1;
+      conn->pending.clear();
+      conn->out_buf.clear();
+      conn->out_off = 0;
+      counters_->conns_active.fetch_sub(1, std::memory_order_relaxed);
+      counters_->conns_closed.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  loop->graveyard.push_back(conn);
+  loop->conns.erase(conn.get());
+}
+
+void TcpServer::ServiceAttention(Loop* loop) {
+  std::vector<std::shared_ptr<Conn>> snapshot;
+  snapshot.reserve(loop->conns.size());
+  for (auto& [ptr, conn] : loop->conns) {
+    (void)ptr;
+    snapshot.push_back(conn);
+  }
+  for (auto& conn : snapshot) {
+    bool doom = false;
+    bool resume = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      doom = conn->doomed;
+      resume = conn->resume_parse;
+      conn->resume_parse = false;
+    }
+    if (doom) {
+      CloseConn(loop, conn);
+    } else if (resume) {
+      if (!ParseFrames(loop, conn)) continue;
+      HandleReadable(loop, conn);
+    }
+  }
+}
+
+void TcpServer::SweepIdle(Loop* loop) {
+  if (options_.idle_timeout_ns < 0) return;
+  int64_t now = NowNs();
+  std::vector<std::shared_ptr<Conn>> idle;
+  for (auto& [ptr, conn] : loop->conns) {
+    (void)ptr;
+    if (now - conn->last_active_ns.load(std::memory_order_relaxed) <
+        options_.idle_timeout_ns) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->in_flight == 0 && conn->out_off == conn->out_buf.size()) {
+      idle.push_back(conn);
+    }
+  }
+  for (auto& conn : idle) {
+    counters_->idle_closes.fetch_add(1, std::memory_order_relaxed);
+    CloseConn(loop, conn);
+  }
+}
+
+void TcpServer::DrainForShutdown(Loop* loop) {
+  bool force = NowNs() >= drain_deadline_ns_.load(std::memory_order_relaxed);
+  std::vector<std::shared_ptr<Conn>> closable;
+  for (auto& [ptr, conn] : loop->conns) {
+    (void)ptr;
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (force ||
+        (conn->in_flight == 0 && conn->pending.empty() &&
+         conn->out_off == conn->out_buf.size())) {
+      closable.push_back(conn);
+    } else {
+      conn->draining_close = true;  // FlushLocked dooms it once empty
+    }
+  }
+  for (auto& conn : closable) CloseConn(loop, conn);
+}
+
+}  // namespace mix::net::tcp

@@ -1,0 +1,179 @@
+#include "net/tcp/tcp_transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mix::net::tcp {
+
+namespace {
+constexpr size_t kReadChunk = 64 * 1024;
+
+int64_t DeadlineFrom(int64_t budget_ns) {
+  return budget_ns < 0 ? -1 : NowNs() + budget_ns;
+}
+
+/// The earlier of two absolute deadlines (-1 = none).
+int64_t MinDeadline(int64_t a, int64_t b) {
+  if (a < 0) return b;
+  if (b < 0) return a;
+  return a < b ? a : b;
+}
+}  // namespace
+
+TcpFrameTransport::TcpFrameTransport(TcpTransportOptions options)
+    : options_(std::move(options)) {}
+
+TcpFrameTransport::~TcpFrameTransport() { Disconnect(); }
+
+int64_t TcpFrameTransport::OpDeadline() const {
+  return DeadlineFrom(options_.op_timeout_ns);
+}
+
+Status TcpFrameTransport::Connect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EnsureConnectedLocked(DeadlineFrom(options_.connect_timeout_ns));
+}
+
+void TcpFrameTransport::Disconnect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DisconnectLocked();
+}
+
+void TcpFrameTransport::DisconnectLocked() {
+  fd_.reset();
+  in_buf_.clear();
+  in_off_ = 0;
+}
+
+bool TcpFrameTransport::connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fd_.valid();
+}
+
+Status TcpFrameTransport::EnsureConnectedLocked(int64_t deadline_ns) {
+  if (fd_.valid()) return Status::OK();
+  if (ever_connected_ && !options_.auto_reconnect) {
+    return Status::Unavailable("connection dropped (auto_reconnect off)");
+  }
+  int64_t connect_deadline =
+      MinDeadline(deadline_ns, DeadlineFrom(options_.connect_timeout_ns));
+  Result<int> fd = ConnectTcp(options_.host, options_.port, connect_deadline);
+  if (!fd.ok()) return fd.status();
+  (void)SetNoDelay(fd.value());
+  fd_.reset(fd.value());
+  ever_connected_ = true;
+  return Status::OK();
+}
+
+Status TcpFrameTransport::SendAllLocked(const std::string& bytes,
+                                        int64_t deadline_ns) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t w = ::send(fd_.get(), bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      Status ready = WaitFd(fd_.get(), POLLOUT, deadline_ns);
+      if (!ready.ok()) return ready;
+      continue;
+    }
+    return Status::Unavailable(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::string> TcpFrameTransport::ReadFrameLocked(int64_t deadline_ns) {
+  char buf[kReadChunk];
+  for (;;) {
+    std::string_view rest(in_buf_.data() + in_off_, in_buf_.size() - in_off_);
+    size_t frame_size = 0;
+    Status peek_error;
+    service::wire::FramePeek peek =
+        service::wire::PeekFrame(rest, &frame_size, &peek_error);
+    if (peek == service::wire::FramePeek::kCorrupt) {
+      return Status::Unavailable("response stream corrupt: " +
+                                 peek_error.message());
+    }
+    if (peek == service::wire::FramePeek::kReady) {
+      std::string frame(rest.substr(0, frame_size));
+      in_off_ += frame_size;
+      if (in_off_ == in_buf_.size()) {
+        in_buf_.clear();
+        in_off_ = 0;
+      }
+      return frame;
+    }
+    Status ready = WaitFd(fd_.get(), POLLIN, deadline_ns);
+    if (!ready.ok()) return ready;
+    ssize_t r = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    if (r > 0) {
+      in_buf_.append(buf, static_cast<size_t>(r));
+      continue;
+    }
+    if (r == 0) {
+      return Status::Unavailable("server closed connection");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return Status::Unavailable(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Result<std::string> TcpFrameTransport::RoundTrip(
+    const std::string& request_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t deadline = OpDeadline();
+  Status conn = EnsureConnectedLocked(deadline);
+  if (!conn.ok()) return conn;
+  Status sent = SendAllLocked(request_bytes, deadline);
+  if (!sent.ok()) {
+    // A partial request desyncs the stream — drop the connection so a
+    // retry starts clean.
+    DisconnectLocked();
+    return sent;
+  }
+  Result<std::string> response = ReadFrameLocked(deadline);
+  if (!response.ok()) {
+    DisconnectLocked();
+    return response.status();
+  }
+  return response;
+}
+
+Result<std::vector<std::string>> TcpFrameTransport::RoundTripMany(
+    const std::vector<std::string>& requests) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t deadline = OpDeadline();
+  Status conn = EnsureConnectedLocked(deadline);
+  if (!conn.ok()) return conn;
+  std::string batch;
+  size_t total = 0;
+  for (const std::string& r : requests) total += r.size();
+  batch.reserve(total);
+  for (const std::string& r : requests) batch += r;
+  Status sent = SendAllLocked(batch, deadline);
+  if (!sent.ok()) {
+    DisconnectLocked();
+    return sent;
+  }
+  std::vector<std::string> responses;
+  responses.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Result<std::string> response = ReadFrameLocked(deadline);
+    if (!response.ok()) {
+      DisconnectLocked();
+      return response.status();
+    }
+    responses.push_back(std::move(response.value()));
+  }
+  return responses;
+}
+
+}  // namespace mix::net::tcp

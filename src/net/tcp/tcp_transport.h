@@ -1,0 +1,89 @@
+// Client side of the real network transport: a service::wire::FrameTransport
+// over a nonblocking TCP connection.
+//
+// Because the transport seam is one virtual RoundTrip(bytes) -> bytes, every
+// client-side façade built for the in-process service — FramedDocument's
+// DOM-VXD navigation, FramedLxpWrapper's remote demand-paging — works over a
+// real socket *unchanged*: same frames, same typed errors, same retry
+// classification. That parity is tested byte-for-byte (tcp_transport_test).
+//
+// Deadlines and retries: each RoundTrip gets a budget (op_timeout_ns) that
+// covers connect + send + receive. A blown budget returns kDeadlineExceeded
+// (NOT retryable — the caller's deadline is gone either way); a refused or
+// dropped connection returns kUnavailable (retryable), so the PR 4
+// RetryPolicy machinery can drive reconnect-and-retry loops without knowing
+// the transport is real. After a deadline or any mid-frame failure the
+// connection is dropped: a byte stream with half a frame in flight has no
+// recoverable sync point.
+//
+// Thread-safety: calls are serialized on an internal mutex (one connection,
+// one request/response stream). Use one transport per client thread for
+// parallelism — connections are cheap, shared streams are not.
+#ifndef MIX_NET_TCP_TCP_TRANSPORT_H_
+#define MIX_NET_TCP_TCP_TRANSPORT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "net/tcp/socket_util.h"
+#include "service/wire.h"
+
+namespace mix::net::tcp {
+
+struct TcpTransportOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Budget for establishing a connection (lazy, on first use and after a
+  /// drop). -1: wait forever.
+  int64_t connect_timeout_ns = 2'000'000'000;
+  /// Budget for one RoundTrip (connect-if-needed + send + receive whole
+  /// response frame). -1: no deadline.
+  int64_t op_timeout_ns = -1;
+  /// Reconnect transparently on the next call after a dropped connection.
+  /// Off, a dropped transport fails every subsequent call with kUnavailable
+  /// (deterministic for tests).
+  bool auto_reconnect = true;
+};
+
+class TcpFrameTransport : public service::wire::FrameTransport {
+ public:
+  explicit TcpFrameTransport(TcpTransportOptions options);
+  ~TcpFrameTransport() override;
+
+  /// Connects eagerly (RoundTrip also connects lazily). kUnavailable when
+  /// the server refuses, kDeadlineExceeded when the handshake blows the
+  /// connect budget.
+  Status Connect();
+  void Disconnect();
+  bool connected() const;
+
+  Result<std::string> RoundTrip(const std::string& request_bytes) override;
+
+  /// Pipelined round-trip: writes every request back-to-back, then reads
+  /// the responses (the server releases them in request order). One TCP
+  /// window holds many frames in flight — this is the depth axis of
+  /// bench_tcp. The whole batch shares one op_timeout_ns budget.
+  Result<std::vector<std::string>> RoundTripMany(
+      const std::vector<std::string>& requests);
+
+ private:
+  Status EnsureConnectedLocked(int64_t deadline_ns);
+  Status SendAllLocked(const std::string& bytes, int64_t deadline_ns);
+  Result<std::string> ReadFrameLocked(int64_t deadline_ns);
+  void DisconnectLocked();
+  int64_t OpDeadline() const;
+
+  mutable std::mutex mu_;
+  TcpTransportOptions options_;
+  UniqueFd fd_;
+  bool ever_connected_ = false;
+  std::string in_buf_;  ///< bytes read past the previous response frame
+  size_t in_off_ = 0;
+};
+
+}  // namespace mix::net::tcp
+
+#endif  // MIX_NET_TCP_TCP_TRANSPORT_H_

@@ -81,6 +81,22 @@ std::string SessionMetrics::ToString() const {
          " view_served=" + std::to_string(view_served);
 }
 
+std::string NetStats::ToString() const {
+  return "accepts=" + std::to_string(accepts) +
+         " conns=" + std::to_string(conns_active) + "/" +
+         std::to_string(conns_closed) +
+         " rx_bytes=" + std::to_string(rx_bytes) +
+         " tx_bytes=" + std::to_string(tx_bytes) +
+         " frames_in=" + std::to_string(frames_in) +
+         " frames_out=" + std::to_string(frames_out) +
+         " partials=" + std::to_string(partial_reads) +
+         " stalls=" + std::to_string(backpressure_stalls) +
+         " slow_closes=" + std::to_string(slow_reader_closes) +
+         " idle_closes=" + std::to_string(idle_closes) +
+         " decode_closes=" + std::to_string(decode_closes) +
+         " read_pauses=" + std::to_string(read_pauses);
+}
+
 std::string ServiceMetricsSnapshot::ToString() const {
   return "sessions{open=" + std::to_string(sessions_open) +
          " opened=" + std::to_string(sessions_opened) +
@@ -119,7 +135,8 @@ std::string ServiceMetricsSnapshot::ToString() const {
          " invalidations=" + std::to_string(view_invalidations) +
          " bytes=" + std::to_string(view_bytes) +
          " entries=" + std::to_string(view_entries) + "}" +
-         " view_rejects{" + PassCounters(view_rejects) + "}";
+         " view_rejects{" + PassCounters(view_rejects) + "}" +
+         " net{" + net.ToString() + "}";
 }
 
 }  // namespace mix::service

@@ -68,6 +68,28 @@ struct SessionMetrics {
   std::string ToString() const;
 };
 
+/// Listener/connection counters of a real network transport hosting the
+/// service (src/net/tcp). Produced as a plain-value snapshot by the
+/// transport (its internals are atomics bumped from reactor and worker
+/// threads); all zeros when the service runs in-process/sim only.
+struct NetStats {
+  int64_t accepts = 0;            ///< connections ever accepted
+  int64_t conns_active = 0;       ///< currently open connections
+  int64_t conns_closed = 0;       ///< closed, any reason
+  int64_t rx_bytes = 0;           ///< bytes read off sockets
+  int64_t tx_bytes = 0;           ///< bytes written to sockets
+  int64_t frames_in = 0;          ///< whole request frames reassembled
+  int64_t frames_out = 0;         ///< response frames released to the wire
+  int64_t partial_reads = 0;      ///< read events ending in a partial frame
+  int64_t backpressure_stalls = 0;  ///< flushes that left bytes queued
+  int64_t slow_reader_closes = 0;   ///< disconnects at the write high-water
+  int64_t idle_closes = 0;          ///< idle-timeout disconnects
+  int64_t decode_closes = 0;        ///< garbled-header disconnects
+  int64_t read_pauses = 0;          ///< reads paused at the pipeline bound
+
+  std::string ToString() const;
+};
+
 /// Service-wide snapshot; every field is a copy.
 struct ServiceMetricsSnapshot {
   // Session registry.
@@ -129,6 +151,9 @@ struct ServiceMetricsSnapshot {
   int64_t view_entries = 0;
   /// Subsumption/publish reject counts by reason, name-sorted.
   std::vector<std::pair<std::string, int64_t>> view_rejects;
+  // Real network transport hosting this service (all zeros when the service
+  // is reached in-process or through the sim channel only).
+  NetStats net;
 
   std::string ToString() const;
 };

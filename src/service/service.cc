@@ -419,6 +419,10 @@ ServiceMetricsSnapshot MediatorService::Metrics() const {
   snap.view_bytes = views.bytes;
   snap.view_entries = views.entries;
   snap.view_rejects.assign(views.rejects.begin(), views.rejects.end());
+  {
+    std::lock_guard<std::mutex> lock(net_stats_mu_);
+    if (net_stats_provider_) snap.net = net_stats_provider_();
+  }
   return snap;
 }
 

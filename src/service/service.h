@@ -97,6 +97,16 @@ class MediatorService : public wire::FrameTransport {
   /// The compiled-plan cache (valid whether or not it is enabled).
   mediator::PlanCache& plan_cache() { return plan_cache_; }
 
+  /// Installs (or clears, with nullptr) the provider of the snapshot's
+  /// net{...} section. A real network transport hosting this service (e.g.
+  /// net::tcp::TcpServer) registers itself here so remote peers see
+  /// listener/connection counters through the ordinary kMetrics frame; the
+  /// transport must clear the hook before it is destroyed.
+  void SetNetStatsProvider(std::function<NetStats()> provider) {
+    std::lock_guard<std::mutex> lock(net_stats_mu_);
+    net_stats_provider_ = std::move(provider);
+  }
+
   /// Declares `source` (an environment source name) changed: bumps its
   /// cache generation so sessions opened from now on re-fetch from the
   /// live wrapper, and drops every cached answer view derived from it.
@@ -138,6 +148,9 @@ class MediatorService : public wire::FrameTransport {
   /// the registry's Open path also reads the cache directly.
   mediator::AnswerViewCache answer_view_cache_;
   SessionRegistry registry_;
+
+  mutable std::mutex net_stats_mu_;
+  std::function<NetStats()> net_stats_provider_;
 
   mutable std::mutex metrics_mu_;
   net::SimClock wire_clock_;

@@ -298,6 +298,43 @@ std::string EncodeFrame(const Frame& frame) {
   return out;
 }
 
+FramePeek PeekFrame(std::string_view bytes, size_t* frame_size,
+                    Status* error) {
+  auto corrupt = [error](std::string msg) {
+    if (error != nullptr) *error = Status::InvalidArgument(std::move(msg));
+    return FramePeek::kCorrupt;
+  };
+  // Validate the fixed header fields as soon as their bytes are present, so
+  // a garbled stream is abandoned at the earliest byte that proves it.
+  if (bytes.size() > 4 && static_cast<uint8_t>(bytes[4]) != kMagic0) {
+    return corrupt("bad frame magic");
+  }
+  if (bytes.size() > 5 && static_cast<uint8_t>(bytes[5]) != kMagic1) {
+    return corrupt("bad frame magic");
+  }
+  if (bytes.size() > 6 && static_cast<uint8_t>(bytes[6]) != kVersion) {
+    return corrupt("unsupported frame version");
+  }
+  if (bytes.size() > 7 && !KnownType(static_cast<uint8_t>(bytes[7]))) {
+    return corrupt("unknown frame type " +
+                   std::to_string(static_cast<uint8_t>(bytes[7])));
+  }
+  if (bytes.size() < 4) return FramePeek::kNeedMore;
+  uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[i]))
+                   << (8 * i);
+  }
+  if (payload_len > kMaxFrameBytes) {
+    return corrupt("frame payload exceeds limit");
+  }
+  if (bytes.size() < kHeaderBytes) return FramePeek::kNeedMore;
+  size_t total = kHeaderBytes + payload_len;
+  if (bytes.size() < total) return FramePeek::kNeedMore;
+  if (frame_size != nullptr) *frame_size = total;
+  return FramePeek::kReady;
+}
+
 Result<Frame> DecodeFrame(std::string_view bytes, size_t* consumed) {
   if (bytes.size() < kHeaderBytes) {
     return Status::InvalidArgument("truncated frame header");

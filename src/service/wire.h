@@ -114,6 +114,25 @@ std::string EncodeFrame(const Frame& frame);
 /// the frame's total size.
 Result<Frame> DecodeFrame(std::string_view bytes, size_t* consumed = nullptr);
 
+/// Outcome of inspecting the *prefix* of a byte stream for one frame — the
+/// primitive a stream transport's reassembly loop needs: DecodeFrame cannot
+/// distinguish "wait for more bytes" from "this connection is garbage", but
+/// a socket reader must (the former re-arms the read, the latter closes the
+/// connection).
+enum class FramePeek {
+  kNeedMore,  ///< valid prefix, shorter than one frame — keep reading
+  kReady,     ///< a whole frame is buffered (`*frame_size` bytes of it)
+  kCorrupt,   ///< header can never become a frame — abandon the stream
+};
+
+/// Examines the start of `bytes` without decoding the payload. On kReady,
+/// `*frame_size` is the frame's total length (header + payload) and
+/// `bytes.substr(0, *frame_size)` is ready for DecodeFrame. On kCorrupt,
+/// `*error` (optional) names the violation — bad magic/version, unknown
+/// type, payload over kMaxFrameBytes.
+FramePeek PeekFrame(std::string_view bytes, size_t* frame_size,
+                    Status* error = nullptr);
+
 /// A synchronous frame conduit — the client side's view of a mixd server.
 /// In-process, MediatorService implements this directly; a socket transport
 /// would frame the same bytes onto a connection.
