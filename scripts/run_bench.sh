@@ -32,6 +32,15 @@
 # (= 0) in both BM_TcpPipeline and BM_TcpSessionThroughput — framed answers
 # over a real wire must equal in-process evaluation.
 #
+# For BENCH_fleet.json (E18, the session router over 3 real TCP backends)
+# the numbers that matter are BM_FleetPlacement's open_p50_us/open_p99_us and
+# items_per_second at conns:16/per_thread:64 (1024 concurrent sessions),
+# mismatches (= 0 — placement must never change answers), sheds (= 0 while
+# every backend is healthy), and BM_FleetFailover's mismatches (= 0: a
+# backend killed mid-navigation must not change a single answer byte) with
+# failovers/replays > 0 proving the kill actually exercised the rebind and
+# path-replay machinery.
+#
 # Usage: scripts/run_bench.sh [suite] [build-dir]
 #   With no arguments, runs every tracked suite against ./build. A first
 #   argument naming a suite (e.g. `plan_opt`) runs just that one, with an
@@ -41,7 +50,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
-SUITES=(node_id plan_pipeline batch_nav lxp_chunking prefetch service faults source_cache plan_opt answer_views tcp)
+SUITES=(node_id plan_pipeline batch_nav lxp_chunking prefetch service faults source_cache plan_opt answer_views tcp fleet)
 BUILD=build
 if [ $# -gt 0 ]; then
   matched=0
@@ -57,7 +66,7 @@ if [ $# -gt 0 ]; then
     if [ -d "$1" ]; then
       BUILD="$1"
     else
-      echo "unknown suite or build dir '$1' — valid suites: node_id plan_pipeline batch_nav lxp_chunking prefetch service faults source_cache plan_opt answer_views tcp" >&2
+      echo "unknown suite or build dir '$1' — valid suites: node_id plan_pipeline batch_nav lxp_chunking prefetch service faults source_cache plan_opt answer_views tcp fleet" >&2
       echo "usage: scripts/run_bench.sh [suite] [build-dir]" >&2
       exit 1
     fi

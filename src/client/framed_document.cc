@@ -41,6 +41,27 @@ Result<std::unique_ptr<FramedDocument>> FramedDocument::Open(
   return result;
 }
 
+Result<std::unique_ptr<FramedDocument>> FramedDocument::Open(
+    std::unique_ptr<service::wire::FrameTransport> transport,
+    const std::string& xmas_text, int64_t deadline_ns) {
+  Result<std::unique_ptr<FramedDocument>> doc =
+      Open(transport.get(), xmas_text, deadline_ns);
+  if (!doc.ok()) return doc.status();
+  doc.value()->owned_transport_ = std::move(transport);
+  return doc;
+}
+
+Result<std::unique_ptr<FramedDocument>> FramedDocument::Open(
+    std::unique_ptr<service::wire::FrameTransport> transport,
+    const std::string& xmas_text, int64_t deadline_ns,
+    const net::RetryOptions& retry, uint64_t seed) {
+  Result<std::unique_ptr<FramedDocument>> doc =
+      Open(transport.get(), xmas_text, deadline_ns, retry, seed);
+  if (!doc.ok()) return doc.status();
+  doc.value()->owned_transport_ = std::move(transport);
+  return doc;
+}
+
 void FramedDocument::set_retry(const net::RetryOptions& retry, uint64_t seed) {
   retry_ = std::make_unique<net::RetryPolicy>(retry, seed);
 }

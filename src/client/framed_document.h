@@ -44,6 +44,18 @@ class FramedDocument : public Navigable {
       int64_t deadline_ns, const net::RetryOptions& retry,
       uint64_t seed = 0x636c69656e742d72ull);
 
+  /// Owning-transport Open: the document takes the transport with it. This
+  /// is the factory seam a connection-minting tier plugs into — e.g.
+  /// fleet::SessionRouter::OpenDocument hands each client document its own
+  /// routed transport — without the caller tracking two lifetimes.
+  static Result<std::unique_ptr<FramedDocument>> Open(
+      std::unique_ptr<service::wire::FrameTransport> transport,
+      const std::string& xmas_text, int64_t deadline_ns = 0);
+  static Result<std::unique_ptr<FramedDocument>> Open(
+      std::unique_ptr<service::wire::FrameTransport> transport,
+      const std::string& xmas_text, int64_t deadline_ns,
+      const net::RetryOptions& retry, uint64_t seed = 0x636c69656e742d72ull);
+
   /// Closes the server-side session; further navigation returns ⊥ with
   /// last_status() == kNotFound. Idempotent (second close reports the
   /// server's kNotFound).
@@ -95,6 +107,10 @@ class FramedDocument : public Navigable {
       const service::wire::Frame& request);
 
   service::wire::FrameTransport* transport_;
+  /// Set only by the owning-transport Open overloads; transport_ aliases it
+  /// then. Destroyed after no request can be in flight (documents are not
+  /// thread-safe, so destruction is ordered after the last call).
+  std::unique_ptr<service::wire::FrameTransport> owned_transport_;
   uint64_t session_;
   int64_t deadline_ns_;
   Status last_status_;

@@ -21,6 +21,8 @@ const char* CodeName(Status::Code code) {
       return "Unavailable";
     case Status::Code::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case Status::Code::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -29,6 +29,12 @@ class Status {
     kUnavailable,
     /// The request's deadline elapsed before it could be served.
     kDeadlineExceeded,
+    /// A stream lost synchronization with work already in flight (e.g. a
+    /// pipelined batch partially written or partially answered): the state
+    /// of the in-flight commands is unknown, so a blind retry could observe
+    /// or cause duplicated effects. NOT retryable — callers must rebuild
+    /// their stream state first.
+    kDataLoss,
   };
 
   /// Default-constructed status is OK.
@@ -55,6 +61,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(Code::kDataLoss, std::move(msg));
   }
   /// Rebuilds a status from its parts — how a wire peer's error frame is
   /// turned back into the Status the remote call site sees.

@@ -1,0 +1,79 @@
+// Consistent-hash ring for mixd session placement.
+//
+// The fleet keys sessions on the *canonical XMAS text* of the query
+// (mediator::CanonicalXmasKey), not on the client: two clients browsing the
+// same virtual view should land on the same backend, where the second one
+// hits the plan cache, the shared source-fragment cache, and — after the
+// first full materialization — the answer-view cache. Placement therefore
+// decides cache temperature, which is why the ring hashes queries rather
+// than round-robining connections.
+//
+// Classic Karger ring with virtual nodes: every backend contributes
+// `virtual_nodes` points hashed from "<name>#<replica>"; a key is served by
+// the first point clockwise from its own hash. Virtual nodes smooth the
+// per-backend share to ±O(1/sqrt(vnodes)) and — more importantly for a
+// fleet — make the re-placement caused by removing one backend spread
+// evenly over the survivors instead of dumping onto one neighbor.
+//
+// Hashing is FNV-1a 64: tiny, dependency-free, and — unlike
+// std::hash<std::string> — identical across platforms and standard
+// libraries, so placement decisions are reproducible in tests and stable
+// across the heterogeneous binaries of one fleet (router, bench, example
+// all agree where a key lives).
+//
+// The ring itself is immutable after construction and holds *indices*, not
+// health: liveness is the HealthTracker's job and load bounds are the
+// router's, both layered on top via Preference() — the full walk order a
+// key would try, healthiest-first filtering applied by the caller. This
+// keeps placement deterministic (same key -> same preference list, always)
+// while failover state changes by the second.
+#ifndef MIX_FLEET_HASH_RING_H_
+#define MIX_FLEET_HASH_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mix::fleet {
+
+/// FNV-1a 64-bit over `bytes` — the fleet's one hash function.
+uint64_t FleetHash(const std::string& bytes);
+
+class HashRing {
+ public:
+  /// `backend_names` must be non-empty and duplicate-free; `virtual_nodes`
+  /// points are placed per backend (>= 1 enforced).
+  HashRing(const std::vector<std::string>& backend_names, int virtual_nodes);
+
+  size_t backend_count() const { return backend_count_; }
+
+  /// The backend index owning `key_hash` (first ring point clockwise).
+  size_t Owner(uint64_t key_hash) const;
+
+  /// Every backend index in the order `key_hash` would try them: the owner
+  /// first, then each *distinct* backend in clockwise ring order. The
+  /// caller (router) walks this list skipping unhealthy or over-loaded
+  /// entries — element 0 is the cache-affine home, element 1 is where the
+  /// key's sessions land if the home is ejected, and so on. Size ==
+  /// backend_count(), each index exactly once.
+  std::vector<size_t> Preference(uint64_t key_hash) const;
+
+  /// Convenience: Preference over the hashed key string.
+  std::vector<size_t> PreferenceFor(const std::string& key) const {
+    return Preference(FleetHash(key));
+  }
+
+ private:
+  struct Point {
+    uint64_t hash;
+    size_t backend;
+  };
+  /// Sorted by hash; ties broken by backend index so construction order
+  /// cannot change placement.
+  std::vector<Point> points_;
+  size_t backend_count_;
+};
+
+}  // namespace mix::fleet
+
+#endif  // MIX_FLEET_HASH_RING_H_

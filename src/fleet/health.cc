@@ -1,0 +1,80 @@
+#include "fleet/health.h"
+
+#include "core/check.h"
+
+namespace mix::fleet {
+
+HealthTracker::HealthTracker(size_t backend_count, HealthOptions options)
+    : options_(options), backends_(backend_count) {
+  MIX_CHECK_MSG(backend_count > 0, "HealthTracker needs at least one backend");
+  if (options_.failure_threshold < 1) options_.failure_threshold = 1;
+}
+
+bool HealthTracker::Admit(size_t backend, int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Backend& b = backends_[backend];
+  switch (b.state) {
+    case BackendState::kHealthy:
+      return true;
+    case BackendState::kEjected:
+      if (now_ns - b.ejected_at_ns < options_.probe_interval_ns) return false;
+      b.state = BackendState::kHalfOpen;
+      ++stats_.probes;
+      return true;  // this request IS the probe
+    case BackendState::kHalfOpen:
+      return false;  // one probe at a time
+  }
+  return false;
+}
+
+void HealthTracker::ReportSuccess(size_t backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Backend& b = backends_[backend];
+  if (b.state == BackendState::kHalfOpen) ++stats_.readmissions;
+  b.state = BackendState::kHealthy;
+  b.consecutive_failures = 0;
+}
+
+void HealthTracker::ReportFailure(size_t backend, int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Backend& b = backends_[backend];
+  switch (b.state) {
+    case BackendState::kHealthy:
+      if (++b.consecutive_failures >= options_.failure_threshold) {
+        b.state = BackendState::kEjected;
+        b.ejected_at_ns = now_ns;
+        ++stats_.ejections;
+      }
+      return;
+    case BackendState::kHalfOpen:
+      // The probe failed: back to the bench, interval restarted.
+      b.state = BackendState::kEjected;
+      b.ejected_at_ns = now_ns;
+      ++stats_.ejections;
+      return;
+    case BackendState::kEjected:
+      // Late report from a request admitted before ejection; nothing new.
+      return;
+  }
+}
+
+BackendState HealthTracker::state(size_t backend) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backends_[backend].state;
+}
+
+size_t HealthTracker::healthy_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const Backend& b : backends_) {
+    if (b.state == BackendState::kHealthy) ++n;
+  }
+  return n;
+}
+
+HealthTracker::Stats HealthTracker::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mix::fleet

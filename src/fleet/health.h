@@ -1,0 +1,92 @@
+// Per-backend health tracking for the mixd fleet: the circuit-breaker
+// state machine that decides which ring candidates a router may use.
+//
+//               N consecutive failures
+//   kHealthy ──────────────────────────▶ kEjected
+//      ▲                                    │ probe_interval elapses
+//      │  probe succeeds                    ▼
+//      └──────────────────────────────  kHalfOpen
+//                                           │ probe fails
+//                                           ▼
+//                                        kEjected  (timer restarts)
+//
+// * kHealthy — requests flow. Any success resets the consecutive-failure
+//   count (a backend must fail `failure_threshold` times IN A ROW to be
+//   ejected; interleaved successes prove it is alive, just lossy — that is
+//   the RetryPolicy's department, not ours).
+// * kEjected — no requests at all until `probe_interval_ns` has elapsed.
+//   Ejection is what converts "every command pays a connect timeout to a
+//   dead peer" into "one failure per interval".
+// * kHalfOpen — exactly ONE in-flight probe is admitted (Admit hands out
+//   the slot; concurrent calls are refused until the probe reports). A
+//   success readmits the backend; a failure re-ejects it and restarts the
+//   interval. One probe, not a thundering herd of them.
+//
+// Thread-safety: all methods are safe from any thread (one mutex; every
+// operation is O(1)). Time is passed in by the caller (steady-clock ns) so
+// tests drive the state machine with a fake clock.
+#ifndef MIX_FLEET_HEALTH_H_
+#define MIX_FLEET_HEALTH_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mix::fleet {
+
+struct HealthOptions {
+  /// Consecutive failures that eject a backend.
+  int failure_threshold = 3;
+  /// How long an ejected backend sits out before one probe is allowed.
+  int64_t probe_interval_ns = 200'000'000;  // 200 ms
+};
+
+enum class BackendState : uint8_t {
+  kHealthy = 0,
+  kEjected,
+  kHalfOpen,  ///< probe in flight
+};
+
+class HealthTracker {
+ public:
+  HealthTracker(size_t backend_count, HealthOptions options);
+
+  /// May a request be sent to `backend` right now? kHealthy: yes.
+  /// kEjected: yes exactly once per interval — that call flips the backend
+  /// to kHalfOpen and the request doubles as the probe. kHalfOpen: no (a
+  /// probe is already out).
+  bool Admit(size_t backend, int64_t now_ns);
+
+  /// Outcome reporting. Every admitted request must report exactly one of
+  /// these; the half-open probe's report decides readmission.
+  void ReportSuccess(size_t backend);
+  void ReportFailure(size_t backend, int64_t now_ns);
+
+  BackendState state(size_t backend) const;
+  /// Backends currently in kHealthy (diagnostics; racy by nature).
+  size_t healthy_count() const;
+
+  struct Stats {
+    int64_t ejections = 0;     ///< kHealthy/kHalfOpen -> kEjected
+    int64_t probes = 0;        ///< half-open probe slots handed out
+    int64_t readmissions = 0;  ///< probes that restored kHealthy
+  };
+  Stats stats() const;
+
+ private:
+  struct Backend {
+    BackendState state = BackendState::kHealthy;
+    int consecutive_failures = 0;
+    int64_t ejected_at_ns = 0;
+  };
+
+  HealthOptions options_;
+  mutable std::mutex mu_;
+  std::vector<Backend> backends_;
+  Stats stats_;
+};
+
+}  // namespace mix::fleet
+
+#endif  // MIX_FLEET_HEALTH_H_

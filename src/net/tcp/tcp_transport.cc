@@ -161,6 +161,13 @@ Result<std::vector<std::string>> TcpFrameTransport::RoundTripMany(
   Status sent = SendAllLocked(batch, deadline);
   if (!sent.ok()) {
     DisconnectLocked();
+    if (requests.size() > 1 &&
+        sent.code() != Status::Code::kDeadlineExceeded) {
+      // Part of the batch may be on the wire already; see the read-side
+      // desync conversion below.
+      return Status::DataLoss("pipelined batch partially written: " +
+                              sent.message());
+    }
     return sent;
   }
   std::vector<std::string> responses;
@@ -168,8 +175,23 @@ Result<std::vector<std::string>> TcpFrameTransport::RoundTripMany(
   for (size_t i = 0; i < requests.size(); ++i) {
     Result<std::string> response = ReadFrameLocked(deadline);
     if (!response.ok()) {
+      // The whole batch hit the wire, so commands past the last response
+      // received are in unknown state: some may have executed, some not.
+      // A single command can be re-asked wholesale (RoundTrip's contract),
+      // but blindly replaying a multi-command batch could double-execute
+      // the prefix — so for batches the retryable transport codes are
+      // converted to non-retryable kDataLoss, mirroring the partial-write
+      // desync above. kDeadlineExceeded stays as-is (already
+      // non-retryable: the caller's budget is gone either way).
       DisconnectLocked();
-      return response.status();
+      Status s = response.status();
+      if (requests.size() > 1 &&
+          s.code() != Status::Code::kDeadlineExceeded) {
+        return Status::DataLoss(
+            "pipelined batch desynced after " + std::to_string(i) + "/" +
+            std::to_string(requests.size()) + " responses: " + s.message());
+      }
+      return s;
     }
     responses.push_back(std::move(response.value()));
   }

@@ -66,6 +66,15 @@ class TcpFrameTransport : public service::wire::FrameTransport {
   /// the responses (the server releases them in request order). One TCP
   /// window holds many frames in flight — this is the depth axis of
   /// bench_tcp. The whole batch shares one op_timeout_ns budget.
+  ///
+  /// Failure semantics differ from RoundTrip: once a multi-command batch
+  /// has (partially) hit the wire, a dropped connection leaves the
+  /// already-written commands in unknown state, so the failure surfaces as
+  /// non-retryable kDataLoss instead of retryable kUnavailable — a blind
+  /// replay of the whole batch could double-execute its prefix. Callers
+  /// that want automatic re-issue must fall back to per-command RoundTrip.
+  /// (Deadline overruns stay kDeadlineExceeded; a 1-element batch keeps
+  /// RoundTrip's retryable classification.)
   Result<std::vector<std::string>> RoundTripMany(
       const std::vector<std::string>& requests);
 

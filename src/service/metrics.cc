@@ -98,10 +98,14 @@ std::string NetStats::ToString() const {
 }
 
 std::string ServiceMetricsSnapshot::ToString() const {
-  return "sessions{open=" + std::to_string(sessions_open) +
+  return (backend_id.empty() ? std::string()
+                             : "backend=" + backend_id + " ") +
+         "sessions{open=" + std::to_string(sessions_open) +
          " opened=" + std::to_string(sessions_opened) +
          " closed=" + std::to_string(sessions_closed) +
-         " evicted=" + std::to_string(sessions_evicted) + "}" +
+         " evicted=" + std::to_string(sessions_evicted) +
+         " replays=" + std::to_string(sessions_open_replays) +
+         " sweeps=" + std::to_string(registry_sweep_scans) + "}" +
          " requests{ok=" + std::to_string(requests_ok) +
          " error=" + std::to_string(requests_error) +
          " rejected=" + std::to_string(requests_rejected) +

@@ -92,11 +92,20 @@ struct NetStats {
 
 /// Service-wide snapshot; every field is a copy.
 struct ServiceMetricsSnapshot {
+  /// Which fleet member produced this snapshot ("" outside a fleet). Set
+  /// from MediatorService::Options::backend_id so a router aggregating
+  /// kMetrics responses can attribute them.
+  std::string backend_id;
   // Session registry.
   int64_t sessions_open = 0;
   int64_t sessions_opened = 0;
   int64_t sessions_closed = 0;
   int64_t sessions_evicted = 0;
+  /// Opens answered from a live session via idempotency token (failover
+  /// replays re-attaching instead of leaking duplicates).
+  int64_t sessions_open_replays = 0;
+  /// Full-registry eviction scans the session registry actually paid.
+  int64_t registry_sweep_scans = 0;
   // Admission / execution.
   int64_t requests_ok = 0;
   int64_t requests_error = 0;

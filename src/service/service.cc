@@ -287,7 +287,9 @@ Frame MediatorService::Execute(
 }
 
 Frame MediatorService::ExecuteOpen(const Frame& request) {
-  Result<uint64_t> id = registry_.Open(request.text);
+  // text2 carries the optional idempotency token (kOpen never used it, so
+  // older clients — which always send it empty — are unaffected).
+  Result<uint64_t> id = registry_.Open(request.text, request.text2);
   if (!id.ok()) return Frame::Error(id.status());
   Frame f;
   f.type = MsgType::kOpenOk;
@@ -328,31 +330,46 @@ Frame MediatorService::ExecuteLxp(const Frame& request) {
 Frame MediatorService::ExecuteNavigation(const Frame& request,
                                          Session& session) {
   Navigable* doc = session.document();
+  // Boundary validation: every command except kRoot navigates FROM an id the
+  // client holds, and ids are only meaningful to the session that minted
+  // them (operator fw-ids carry a plan-instance owner stamp — the navigable
+  // layer CHECK-fails on foreign ones). Reject anything this session never
+  // issued with a typed frame instead of letting a stale handle — a
+  // restarted peer, a failed-over client, a fuzzer — abort the process.
+  if (request.type != MsgType::kRoot && !session.KnowsNode(request.node)) {
+    return Frame::Error(Status::InvalidArgument(
+        "node id was not issued by this session (stale or foreign handle)"));
+  }
   Frame f;
   switch (request.type) {
     case MsgType::kRoot:
-      return Frame::OptionalNode(doc->Root());
+      f = Frame::OptionalNode(doc->Root());
+      break;
     case MsgType::kDown:
-      return Frame::OptionalNode(doc->Down(request.node));
+      f = Frame::OptionalNode(doc->Down(request.node));
+      break;
     case MsgType::kRight:
-      return Frame::OptionalNode(doc->Right(request.node));
+      f = Frame::OptionalNode(doc->Right(request.node));
+      break;
     case MsgType::kFetch:
       f.type = MsgType::kLabel;
       f.text = doc->Fetch(request.node);
       return f;
     case MsgType::kSelectSibling:
-      return Frame::OptionalNode(doc->SelectSibling(
+      f = Frame::OptionalNode(doc->SelectSibling(
           request.node, LabelPredicate::Equals(request.text2)));
+      break;
     case MsgType::kNthChild:
-      return Frame::OptionalNode(doc->NthChild(request.node, request.number));
+      f = Frame::OptionalNode(doc->NthChild(request.node, request.number));
+      break;
     case MsgType::kDownAll:
       f.type = MsgType::kNodeList;
       doc->DownAll(request.node, &f.nodes);
-      return f;
+      break;
     case MsgType::kNextSiblings:
       f.type = MsgType::kNodeList;
       doc->NextSiblings(request.node, request.number, &f.nodes);
-      return f;
+      break;
     case MsgType::kFetchSubtree:
       f.type = MsgType::kSubtree;
       doc->FetchSubtree(request.node, request.number, &f.entries);
@@ -362,15 +379,24 @@ Frame MediatorService::ExecuteNavigation(const Frame& request,
           "frame type is not a request: " +
           std::to_string(static_cast<int>(request.type))));
   }
+  // Remember what we handed out so the next inbound id can be validated.
+  if (f.type == MsgType::kNode && f.flag) session.RememberNode(f.node);
+  if (f.type == MsgType::kNodeList) {
+    for (const NodeId& n : f.nodes) session.RememberNode(n);
+  }
+  return f;
 }
 
 ServiceMetricsSnapshot MediatorService::Metrics() const {
   ServiceMetricsSnapshot snap;
+  snap.backend_id = options_.backend_id;
   SessionRegistry::Counters sessions = registry_.counters();
   snap.sessions_open = sessions.open;
   snap.sessions_opened = sessions.opened;
   snap.sessions_closed = sessions.closed;
   snap.sessions_evicted = sessions.evicted;
+  snap.sessions_open_replays = sessions.open_replays;
+  snap.registry_sweep_scans = sessions.sweep_scans;
   Executor::Stats exec = executor_.stats();
   snap.requests_rejected = exec.rejected;
   snap.requests_expired = exec.expired;

@@ -37,6 +37,9 @@ namespace mix::service {
 class MediatorService : public wire::FrameTransport {
  public:
   struct Options {
+    /// Name this instance reports in its metrics snapshot ("" outside a
+    /// fleet) — how a router tells the members of a mixd fleet apart.
+    std::string backend_id;
     int workers = 4;
     size_t queue_capacity = 256;
     size_t max_sessions = 1024;

@@ -253,11 +253,31 @@ Status Session::TakeSourceStatus() {
   return first;
 }
 
-Result<uint64_t> SessionRegistry::Open(const std::string& xmas_text) {
-  EvictIdle();
+Result<uint64_t> SessionRegistry::Open(const std::string& xmas_text,
+                                       const std::string& idempotency_token) {
+  // Hint-gated sweep: the unconditional EvictIdle here used to cost a full
+  // O(open sessions) registry scan on EVERY Open — ruinous for an open
+  // storm against a big table. MaybeEvictIdle's early-out skips the scan
+  // unless some session could actually have expired.
+  MaybeEvictIdle();
   uint64_t id;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (!idempotency_token.empty()) {
+      // Replay fast path: a live session already opened under this token
+      // is THE answer — the first attempt's response was lost in flight,
+      // not its effect.
+      auto tok = tokens_.find(idempotency_token);
+      if (tok != tokens_.end()) {
+        auto live = sessions_.find(tok->second);
+        if (live != sessions_.end()) {
+          live->second->Touch(NowNs());
+          ++counters_.open_replays;
+          return tok->second;
+        }
+        tokens_.erase(tok);
+      }
+    }
     if (sessions_.size() >= options_.max_sessions) {
       return Status::Unavailable(
           "session table full (" + std::to_string(options_.max_sessions) +
@@ -326,9 +346,22 @@ Result<uint64_t> SessionRegistry::Open(const std::string& xmas_text) {
   }
   int64_t now = NowNs();
   session.value()->Touch(now);
+  session.value()->set_open_token(idempotency_token);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (!idempotency_token.empty()) {
+      // Two replays of one token can race past the fast path above and
+      // both build; first insert wins, the loser's session is discarded
+      // (destroyed outside the lock when `session` leaves scope).
+      auto tok = tokens_.find(idempotency_token);
+      if (tok != tokens_.end() && sessions_.count(tok->second) != 0) {
+        ++counters_.open_replays;
+        return tok->second;
+      }
+      tokens_[idempotency_token] = id;
+    }
     if (sessions_.size() >= options_.max_sessions) {
+      if (!idempotency_token.empty()) tokens_.erase(idempotency_token);
       return Status::Unavailable("session table full");
     }
     sessions_.emplace(id, session.value());
@@ -357,6 +390,7 @@ Status SessionRegistry::Close(uint64_t id) {
   }
   victim = std::move(it->second);
   sessions_.erase(it);
+  if (!victim->open_token().empty()) tokens_.erase(victim->open_token());
   ++counters_.closed;
   counters_.open = static_cast<int64_t>(sessions_.size());
   return Status::OK();
@@ -374,18 +408,30 @@ size_t SessionRegistry::EvictIdle() { return EvictIdleExcept(0); }
 
 size_t SessionRegistry::EvictIdleExcept(uint64_t keep_id) {
   if (options_.idle_ttl_ns < 0) return 0;
-  int64_t cutoff = NowNs() - options_.idle_ttl_ns;
+  int64_t now = NowNs();
+  int64_t cutoff = now - options_.idle_ttl_ns;
   std::vector<std::shared_ptr<Session>> victims;  // destroyed outside lock
   {
     std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.sweep_scans;
     int64_t min_active = std::numeric_limits<int64_t>::max();
     for (auto it = sessions_.begin(); it != sessions_.end();) {
       int64_t active = it->second->last_active_ns();
       if (active < cutoff && it->first != keep_id) {
+        if (!it->second->open_token().empty()) {
+          tokens_.erase(it->second->open_token());
+        }
         victims.push_back(std::move(it->second));
         it = sessions_.erase(it);
         ++counters_.evicted;
       } else {
+        // keep_id is serving a command RIGHT NOW — it is active as of
+        // `now` no matter what its (possibly stale) last_active says.
+        // Folding the stale value into min_active would store a hint
+        // already in the past, and every subsequent command would pay
+        // another full no-op scan until the session happened to be
+        // touched again.
+        if (it->first == keep_id) active = std::max(active, now);
         min_active = std::min(min_active, active);
         ++it;
       }

@@ -31,6 +31,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "buffer/buffer.h"
@@ -178,6 +180,13 @@ class Session {
   /// answers, reported per command by the service layer.
   Status TakeSourceStatus();
 
+  /// Idempotency token of the Open that created this session ("" = none);
+  /// the registry indexes live sessions by it so a replayed Open (a
+  /// failover re-issue whose response was lost) re-attaches instead of
+  /// leaking a duplicate session.
+  const std::string& open_token() const { return open_token_; }
+  void set_open_token(std::string token) { open_token_ = std::move(token); }
+
   /// Steady-clock ns of the last dispatched command (atomic: touched by the
   /// dispatcher, read by the evicting sweep).
   int64_t last_active_ns() const {
@@ -190,6 +199,25 @@ class Session {
   /// Folds the per-source buffer/channel counters into metrics() — called
   /// under the session's serialization before a metrics read.
   void RefreshSourceMetrics();
+
+  // --- node-id boundary validation (service/service.cc) ---
+  //
+  // Answer-document node ids embed plan-instance-private state (operator
+  // fw-ids wrap a ValueSpace owner stamp and navigable handles), and the
+  // navigable layer CHECK-fails on ids it never minted — an internal-bug
+  // trap that a remote peer must not be able to spring with a stale or
+  // fabricated frame. The service therefore accepts an inbound node id
+  // only if this session previously issued it; everything else gets a
+  // typed kInvalidArgument frame. Touched only under the executor's
+  // per-session serialization.
+
+  /// True when `id` was handed out by a response of this session.
+  bool KnowsNode(const NodeId& id) const {
+    return issued_nodes_.find(id) != issued_nodes_.end();
+  }
+  void RememberNode(const NodeId& id) {
+    if (id.valid()) issued_nodes_.insert(id);
+  }
 
   // --- answer-view cache plumbing (service/service.cc) ---
 
@@ -236,10 +264,14 @@ class Session {
   std::unique_ptr<mediator::LazyMediator> mediator_;
   Navigable* document_ = nullptr;
   SessionMetrics metrics_;
+  std::string open_token_;
   std::atomic<int64_t> last_active_ns_{0};
   mediator::ViewShape publish_shape_;
   std::map<std::string, int64_t> publish_generations_;
   bool published_ = false;
+  /// Every node id a response of this session has handed out (the client's
+  /// working set — bounded by what it actually navigated).
+  std::unordered_set<NodeId, NodeIdHash> issued_nodes_;
 };
 
 /// Id → session map with TTL eviction. Thread-safe; lookups hand out
@@ -271,9 +303,19 @@ class SessionRegistry {
   SessionRegistry(const SessionEnvironment* env, Options options)
       : env_(env), options_(options) {}
 
-  /// Compiles and instantiates; runs the idle sweep first so abandoned
-  /// sessions make room. kUnavailable when the session table is full.
-  Result<uint64_t> Open(const std::string& xmas_text);
+  /// Compiles and instantiates; runs the idle sweep first (hint-gated —
+  /// a full-registry scan only happens when some session could actually
+  /// have expired) so abandoned sessions make room. kUnavailable when the
+  /// session table is full.
+  ///
+  /// `idempotency_token` ("" = none) makes the Open replay-safe: when a
+  /// live session was already opened under the same token, its id is
+  /// returned and no new session is built. A router failing over a lost
+  /// Open response re-issues the frame with the original token, so the
+  /// backend that DID serve the first attempt hands back the same session
+  /// instead of leaking a duplicate until TTL eviction.
+  Result<uint64_t> Open(const std::string& xmas_text,
+                        const std::string& idempotency_token = "");
 
   /// kNotFound for unknown (or already closed/evicted) ids.
   Status Close(uint64_t id);
@@ -298,6 +340,13 @@ class SessionRegistry {
     int64_t opened = 0;
     int64_t closed = 0;
     int64_t evicted = 0;
+    /// Full-registry eviction scans actually performed (each is O(open
+    /// sessions) under the registry lock). The expiry hint exists to keep
+    /// this near zero while nothing is expiring — the fleet bench opens
+    /// thousands of sessions and must not pay a scan per Open.
+    int64_t sweep_scans = 0;
+    /// Opens answered from a live session via idempotency token.
+    int64_t open_replays = 0;
   };
   Counters counters() const;
 
@@ -313,6 +362,9 @@ class SessionRegistry {
   Options options_;
   mutable std::mutex mu_;
   std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  /// Live idempotency tokens -> session id (entries removed on close and
+  /// eviction; sessions opened without a token never enter this map).
+  std::unordered_map<std::string, uint64_t> tokens_;
   uint64_t next_id_ = 1;
   Counters counters_;
   /// Earliest steady-clock ns at which any session can expire (INT64_MAX

@@ -255,8 +255,7 @@ Status Frame::ToStatus() const {
   // An out-of-range code in an error frame still has to surface as *some*
   // error; map it to kInternal.
   int64_t code = number;
-  if (code <= 0 ||
-      code > static_cast<int64_t>(Status::Code::kDeadlineExceeded)) {
+  if (code <= 0 || code > static_cast<int64_t>(Status::Code::kDataLoss)) {
     return Status::Internal("peer error: " + text);
   }
   return Status::FromCode(static_cast<Status::Code>(code), text);

@@ -270,6 +270,115 @@ TEST(ServiceTest, IdleSessionsAreEvicted) {
   EXPECT_EQ(service.Metrics().sessions_evicted, 1);
 }
 
+TEST(ServiceTest, TouchedSessionDoesNotCauseSweepScanStorm) {
+  ServiceFixture fx;
+  MediatorService::Options options;
+  options.session_idle_ttl_ns = 30'000'000;  // 30 ms
+  MediatorService service(&fx.env(), options);
+
+  auto doc = FramedDocument::Open(&service, kFig3).ValueOrDie();
+  NodeId root = doc->Root();
+  EXPECT_EQ(doc->Fetch(root), "answer");
+  // Everything is fresh: the expiry hint is in the future, so neither the
+  // Open nor the commands paid a registry scan.
+  EXPECT_EQ(service.registry().counters().sweep_scans, 0);
+
+  // Let the TTL lapse, then keep the session hot with a burst of commands.
+  // The hint still points at the session's ORIGINAL expiry, so the first
+  // command finds it in the past and pays one (no-op) scan. That scan must
+  // recompute the hint from the touched activity time — before that fix the
+  // hint stayed stale and every one of these commands scanned.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(doc->Fetch(root), "answer");
+  }
+  int64_t scans = service.registry().counters().sweep_scans;
+  EXPECT_GE(scans, 1);
+  EXPECT_LE(scans, 3) << "stale expiry hint: every command is scanning";
+  // The kept session survived its own sweeps mid-dialogue.
+  EXPECT_EQ(service.Metrics().sessions_evicted, 0);
+}
+
+TEST(ServiceTest, OpenIdempotencyTokenReplaysLiveSession) {
+  ServiceFixture fx;
+  MediatorService service(&fx.env(), {});
+
+  Frame open;
+  open.type = MsgType::kOpen;
+  open.text = kFig3;
+  open.text2 = "failover-token-1";
+  Result<Frame> first = wire::Call(&service, open);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.value().type, MsgType::kOpenOk);
+
+  // Replaying the same token (a failover re-issue whose response was lost)
+  // re-attaches to the live session instead of leaking a second one.
+  Result<Frame> replay = wire::Call(&service, open);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay.value().type, MsgType::kOpenOk);
+  EXPECT_EQ(replay.value().session, first.value().session);
+  EXPECT_EQ(service.registry().counters().open_replays, 1);
+  EXPECT_EQ(service.registry().counters().opened, 1);
+
+  // A different token — and no token at all — each build fresh sessions.
+  open.text2 = "failover-token-2";
+  Result<Frame> second = wire::Call(&service, open);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second.value().session, first.value().session);
+  open.text2.clear();
+  Result<Frame> third = wire::Call(&service, open);
+  ASSERT_TRUE(third.ok());
+  EXPECT_NE(third.value().session, first.value().session);
+  EXPECT_EQ(service.registry().counters().opened, 3);
+
+  // Close retires the token; the next open under it is a new session.
+  Frame close;
+  close.type = MsgType::kClose;
+  close.session = first.value().session;
+  ASSERT_EQ(wire::Call(&service, close).ValueOrDie().type, MsgType::kCloseOk);
+  open.text2 = "failover-token-1";
+  Result<Frame> fresh = wire::Call(&service, open);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(fresh.value().session, first.value().session);
+  EXPECT_EQ(service.registry().counters().open_replays, 1);
+}
+
+TEST(ServiceTest, ForeignNodeIdIsRejectedWithTypedErrorNotAbort) {
+  // Answer-document node ids embed plan-instance-private state; handing one
+  // session's ids to another (a failed-over client, a restarted peer, a
+  // fuzzer) used to trip the navigable layer's internal-bug CHECK and abort
+  // the whole process. The boundary must answer with a typed frame instead.
+  ServiceFixture fx;
+  MediatorService service(&fx.env(), {});
+
+  auto doc_a = FramedDocument::Open(&service, kFig3).ValueOrDie();
+  auto doc_b = FramedDocument::Open(&service, kFig3).ValueOrDie();
+  NodeId root_a = doc_a->Root();
+  ASSERT_TRUE(root_a.valid());
+  std::optional<NodeId> child_a = doc_a->Down(root_a);
+  ASSERT_TRUE(child_a.has_value());
+
+  // Session A's id inside session B's dialogue: typed rejection, no crash.
+  Frame cross;
+  cross.type = MsgType::kDown;
+  cross.session = doc_b->session_id();
+  cross.node = *child_a;
+  Result<Frame> rejected = wire::Call(&service, cross);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), Status::Code::kInvalidArgument);
+
+  // An entirely fabricated id gets the same treatment.
+  cross.node = NodeId("fw", {int64_t{424242}, int64_t{7},
+                             NodeId("bogus", {int64_t{1}})});
+  rejected = wire::Call(&service, cross);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), Status::Code::kInvalidArgument);
+
+  // Both sessions keep serving their OWN ids afterwards.
+  EXPECT_EQ(doc_a->Fetch(*child_a), "med_home");
+  EXPECT_EQ(doc_b->Fetch(doc_b->Root()), "answer");
+}
+
 TEST(ServiceTest, SessionTableCapacity) {
   ServiceFixture fx;
   MediatorService::Options options;

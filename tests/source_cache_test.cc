@@ -115,6 +115,59 @@ TEST(SourceCacheTest, DisabledCacheDropsEverything) {
   EXPECT_EQ(cache.stats().bytes, 0);
 }
 
+TEST(SourceCacheTest, DuplicatePublishRaceLeaksNoBytes) {
+  // Satellite check for the reserve-then-insert protocol: PublishFill
+  // reserves its bytes (CAS on the global account) BEFORE taking the shard
+  // lock, and first-publish-wins means every concurrent duplicate loses the
+  // insert. A loser that failed to release its reservation would leak
+  // account bytes on every race — invisible to entry counts, fatal to the
+  // budget (the account creeps up until all inserts are rejected).
+  //
+  // Baseline: one entry's exact charge (key width fixed so all keys cost
+  // the same).
+  int64_t per_entry;
+  {
+    SourceCache probe(SourceCache::Options{1 << 20, 1});
+    probe.PublishFill("s", 0, "k:00", OneElement("vv"));
+    per_entry = probe.stats().bytes;
+    ASSERT_GT(per_entry, 0);
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 32;
+  constexpr int kRounds = 64;
+  SourceCache cache(SourceCache::Options{1 << 20, 8});
+  auto key = [](int i) {
+    return std::string("k:") + (i < 10 ? "0" : "") + std::to_string(i);
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        for (int i = 0; i < kKeys; ++i) {
+          cache.PublishFill("s", 0, key(i), OneElement("vv"));
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // Exactly one copy of each key survives, and the byte account is exactly
+  // kKeys entries — every losing duplicate returned its reservation.
+  SourceCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, kKeys);
+  EXPECT_EQ(stats.bytes, kKeys * per_entry);
+  EXPECT_EQ(stats.insertions, kKeys);
+  EXPECT_EQ(stats.evictions, 0);
+  // The global reservation account agrees with what the shards hold.
+  int64_t shard_sum = 0;
+  for (const auto& ss : stats.shards) shard_sum += ss.bytes;
+  EXPECT_EQ(stats.bytes, shard_sum);
+  for (int i = 0; i < kKeys; ++i) {
+    EXPECT_NE(cache.LookupFill("s", 0, key(i)), nullptr);
+  }
+}
+
 TEST(SourceCacheTest, GenerationBumpInvalidatesWithoutScrubbing) {
   SourceCache cache(SourceCache::Options{1 << 20, 4});
   int64_t g0 = cache.Generation("homes");

@@ -448,6 +448,88 @@ TEST(TcpTransportTest, PipelinedResponsesArriveInRequestOrder) {
   }
 }
 
+TEST(TcpTransportTest, PipelinedBatchDyingMidReadSurfacesDataLoss) {
+  TcpFixture fx;
+  MediatorService service(&fx.env(), {});
+
+  // A front that answers exactly ONE frame, then slams the connection: the
+  // pipelined batch is desynced mid-read — responses 2..4 can never be
+  // matched to their requests.
+  uint16_t port = 0;
+  Result<int> listener = ListenTcp("127.0.0.1", 0, 8, &port);
+  ASSERT_TRUE(listener.ok());
+  UniqueFd listen_fd(listener.value());
+  std::thread front([&] {
+    if (!WaitFd(listen_fd.get(), POLLIN, NowNs() + 5'000'000'000).ok()) return;
+    int fd = accept4(listen_fd.get(), nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) return;
+    UniqueFd conn(fd);
+    std::string buf;
+    for (;;) {
+      size_t frame_size = 0;
+      auto peek = service::wire::PeekFrame(buf, &frame_size);
+      if (peek == service::wire::FramePeek::kReady) {
+        Result<std::string> resp =
+            service.RoundTrip(buf.substr(0, frame_size));
+        if (!resp.ok()) return;
+        size_t sent = 0;
+        while (sent < resp.value().size()) {
+          ssize_t w = ::send(conn.get(), resp.value().data() + sent,
+                             resp.value().size() - sent, MSG_NOSIGNAL);
+          if (w > 0) {
+            sent += static_cast<size_t>(w);
+          } else if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            if (!WaitFd(conn.get(), POLLOUT, NowNs() + 1'000'000'000).ok()) {
+              return;
+            }
+          } else if (!(w < 0 && errno == EINTR)) {
+            return;
+          }
+        }
+        return;  // one answer served; UniqueFd closes the connection
+      }
+      if (!WaitFd(conn.get(), POLLIN, NowNs() + 5'000'000'000).ok()) return;
+      char chunk[4096];
+      ssize_t r = ::recv(conn.get(), chunk, sizeof(chunk), 0);
+      if (r > 0) {
+        buf.append(chunk, static_cast<size_t>(r));
+      } else if (r == 0 || (errno != EAGAIN && errno != EWOULDBLOCK &&
+                            errno != EINTR)) {
+        return;
+      }
+    }
+  });
+
+  TcpTransportOptions copts;
+  copts.port = port;
+  copts.op_timeout_ns = 5'000'000'000;
+  TcpFrameTransport transport(copts);
+  std::vector<std::string> requests(4, MetricsRequest());
+  Result<std::vector<std::string>> responses =
+      transport.RoundTripMany(requests);
+  front.join();
+
+  // One of four answers arrived; the batch result must be kDataLoss — NOT a
+  // retryable kUnavailable, because blindly re-sending the whole batch over
+  // a fresh connection could double-apply the request that *was* answered.
+  ASSERT_FALSE(responses.ok());
+  EXPECT_EQ(responses.status().code(), Status::Code::kDataLoss);
+  EXPECT_FALSE(IsRetryableCode(responses.status().code()));
+  EXPECT_FALSE(transport.connected());
+
+  // A single-frame RoundTrip keeps the retryable classification: the same
+  // transport reports plain kUnavailable once reconnects keep failing.
+  listen_fd.reset();  // stop listening: connects are now refused outright
+  TcpTransportOptions dead;
+  dead.port = port;
+  dead.connect_timeout_ns = 100'000'000;
+  dead.op_timeout_ns = 1'000'000'000;
+  TcpFrameTransport dead_transport(dead);
+  Result<std::string> single = dead_transport.RoundTrip(MetricsRequest());
+  ASSERT_FALSE(single.ok());
+  EXPECT_EQ(single.status().code(), Status::Code::kUnavailable);
+}
+
 // --------------------------------------------------------------------------
 // Backpressure: a peer that stops reading gets disconnected, not buffered
 // into oblivion.
