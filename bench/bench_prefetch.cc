@@ -8,6 +8,15 @@
 // charged to a separate channel (it overlaps think time); the *demand*
 // channel only pays for fills the user actually has to wait for.
 //
+// Since the async fill engine landed (E19, bench_async_fill), this
+// dual-channel setup is purely the *deterministic-sim knob*: a separate
+// `prefetch_channel` models overlap on virtual SimClock time with exact,
+// reproducible message counts. Real concurrency — wrapper exchanges in
+// flight on background threads — is the readahead window
+// (`max_in_flight`) plus the service's BackgroundPrefetcher, measured on
+// wall clock in bench_async_fill. Both views are kept: this one for
+// byte/message accounting, E19 for elapsed time.
+//
 // Workload: page through the first 600 books of a 10k-book store (25
 // books per page). Expected shape: client-visible (demand) latency drops
 // toward zero as prefetch depth covers the page rate; total bytes rise

@@ -41,6 +41,15 @@
 # failovers/replays > 0 proving the kill actually exercised the rebind and
 # path-replay machinery.
 #
+# For BENCH_async_fill.json (E19, the async fill engine) the numbers that
+# matter are BM_AsyncFillJoinOverTcp's real_time at window:0 vs window:8 —
+# the concurrent readahead window over 250us-latency TCP wrappers must cut
+# the two-source-join wall clock by >= 1.5x — with mismatches (= 0),
+# async_batches > 0 (real pipelined RoundTripMany on the wire) and
+# readahead_hits > 0; and BM_BackgroundPrefetchWarm's real_time at
+# workers:0 vs workers:2 (background pool vs inline sync prefetch) with
+# pushed_or_cached > 0 (fills landed via mailbox/SourceCache, not demand).
+#
 # Usage: scripts/run_bench.sh [suite] [build-dir]
 #   With no arguments, runs every tracked suite against ./build. A first
 #   argument naming a suite (e.g. `plan_opt`) runs just that one, with an
@@ -50,7 +59,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
-SUITES=(node_id plan_pipeline batch_nav lxp_chunking prefetch service faults source_cache plan_opt answer_views tcp fleet)
+SUITES=(node_id plan_pipeline batch_nav lxp_chunking prefetch service faults source_cache plan_opt answer_views tcp fleet async_fill)
 BUILD=build
 if [ $# -gt 0 ]; then
   matched=0
@@ -66,7 +75,7 @@ if [ $# -gt 0 ]; then
     if [ -d "$1" ]; then
       BUILD="$1"
     else
-      echo "unknown suite or build dir '$1' — valid suites: node_id plan_pipeline batch_nav lxp_chunking prefetch service faults source_cache plan_opt answer_views tcp fleet" >&2
+      echo "unknown suite or build dir '$1' — valid suites: node_id plan_pipeline batch_nav lxp_chunking prefetch service faults source_cache plan_opt answer_views tcp fleet async_fill" >&2
       echo "usage: scripts/run_bench.sh [suite] [build-dir]" >&2
       exit 1
     fi

@@ -1,0 +1,92 @@
+#include "buffer/async_fill.h"
+
+namespace mix::buffer {
+
+void FillFuture::Complete(Status status, HoleFillList fills) {
+  Callback cb;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (done_) return;  // first writer wins
+    done_ = true;
+    status_ = std::move(status);
+    fills_ = std::move(fills);
+    cb = std::move(callback_);
+    callback_ = nullptr;
+  }
+  cv_.notify_all();
+  if (cb) cb(status_, fills_);
+}
+
+Status FillFuture::Wait(HoleFillList* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  if (out != nullptr) *out = std::move(fills_);
+  return status_;
+}
+
+bool FillFuture::Ready() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void FillFuture::OnComplete(Callback cb) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!done_) {
+      callback_ = std::move(cb);
+      return;
+    }
+  }
+  // Already complete: fire on the caller's thread. fills_ stays readable —
+  // only Wait() moves it out.
+  cb(status_, fills_);
+}
+
+std::shared_ptr<FillFuture> FillFuture::Resolved(Status status,
+                                                 HoleFillList fills) {
+  auto f = std::make_shared<FillFuture>();
+  f->Complete(std::move(status), std::move(fills));
+  return f;
+}
+
+bool PushMailbox::Deliver(PushedFill fill) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_ || pending_.size() >= kMaxPending) {
+    ++dropped_;
+    return false;
+  }
+  pending_.push_back(std::move(fill));
+  ++delivered_;
+  return true;
+}
+
+std::vector<PushedFill> PushMailbox::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PushedFill> out(std::make_move_iterator(pending_.begin()),
+                              std::make_move_iterator(pending_.end()));
+  pending_.clear();
+  return out;
+}
+
+void PushMailbox::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  pending_.clear();
+}
+
+bool PushMailbox::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+int64_t PushMailbox::delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+int64_t PushMailbox::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace mix::buffer

@@ -28,6 +28,15 @@ BufferComponent::BufferComponent(LxpWrapper* wrapper, std::string uri,
   MIX_CHECK(wrapper_ != nullptr);
 }
 
+BufferComponent::~BufferComponent() {
+  // Cancellation on close: flip the mailbox so background prefetch workers
+  // drop further deliveries, and abandon in-flight readahead futures —
+  // their completions own their shared state, so the exchanges finish (or
+  // fail at transport teardown) without touching this buffer.
+  if (options_.mailbox != nullptr) options_.mailbox->Close();
+  inflight_.clear();
+}
+
 BufferComponent::BNode* BufferComponent::NewNode() {
   arena_.emplace_back();
   BNode* n = &arena_.back();
@@ -177,6 +186,7 @@ Status BufferComponent::RunWithRetry(bool background,
 void BufferComponent::MarkUnavailable(BNode* hole) {
   MIX_CHECK(hole->is_hole);
   hole_by_id_.erase(hole->hole_id);
+  inflight_.erase(hole->hole_id);  // orphan any readahead flight
   hole->is_hole = false;
   hole->unavailable = true;
   hole->label = kUnavailableLabel;
@@ -256,6 +266,7 @@ void BufferComponent::PublishFill(const std::string& hole_id,
 
 Status BufferComponent::FillHole(BNode* hole, bool background) {
   MIX_CHECK(hole->is_hole);
+  if (!background && ConsumeInflight(hole)) return Status::OK();
   if (TrySpliceFromCache(hole)) return Status::OK();
   const std::string hole_id = hole->hole_id;
   Status s = RunWithRetry(background, [&]() {
@@ -282,6 +293,7 @@ Status BufferComponent::FillHole(BNode* hole, bool background) {
       s.code() != Status::Code::kDeadlineExceeded) {
     MarkUnavailable(hole);
   }
+  if (s.ok() && !background) MaybeIssueReadahead();
   return s;
 }
 
@@ -291,13 +303,15 @@ Status BufferComponent::FillHolesBatch(const std::vector<BNode*>& holes,
   if (holes.empty()) return Status::OK();
   std::vector<BNode*> wire_holes;
   wire_holes.reserve(holes.size());
-  if (options_.source_cache != nullptr) {
-    // Serve what the shared cache already has; only the remainder crosses
-    // the wire. Splicing a cached hit can only ADD holes elsewhere in the
-    // tree, never invalidate the other requested BNodes (arena pointers
-    // are stable and each hole splices in place).
+  if (options_.source_cache != nullptr || !inflight_.empty()) {
+    // Serve what a completed readahead flight or the shared cache already
+    // has; only the remainder crosses the wire. Splicing a hit can only
+    // ADD holes elsewhere in the tree, never invalidate the other
+    // requested BNodes (arena pointers are stable and each hole splices in
+    // place).
     for (BNode* h : holes) {
       MIX_CHECK(h->is_hole);
+      if (!background && ConsumeInflight(h)) continue;
       if (!TrySpliceFromCache(h)) wire_holes.push_back(h);
     }
     if (wire_holes.empty()) return Status::OK();
@@ -316,7 +330,11 @@ Status BufferComponent::FillHolesBatch(const std::vector<BNode*>& holes,
       background ? options_.prefetch_channel : options_.channel;
   Status s = RunWithRetry(background, [&]() {
     HoleFillList fills;
-    Status st = wrapper_->TryFillMany(ids, budget, &fills);
+    // Demand fills ride the async submit/complete seam too: over a sync
+    // shim this IS TryFillMany inline (deterministic immediate
+    // completion); over a native-async transport the exchange goes through
+    // the same dispatch machinery as readahead flights.
+    Status st = wrapper_->BeginFillMany(ids, budget)->Wait(&fills);
     if (channel != nullptr) {
       channel->SendBatch(request_bytes, static_cast<int64_t>(ids.size()));
       if (st.ok()) {
@@ -349,6 +367,10 @@ Status BufferComponent::FillHolesBatch(const std::vector<BNode*>& holes,
       if (h->is_hole) MarkUnavailable(h);
     }
   }
+  // Overlap continuation chasing with splicing: the batch landed; put the
+  // next holes (often the continuations it just introduced) in flight
+  // while the caller consumes the spliced data.
+  if (s.ok() && !background) MaybeIssueReadahead();
   return s;
 }
 
@@ -392,8 +414,11 @@ void BufferComponent::Splice(BNode* hole, const FragmentList& fragments) {
     siblings[i]->parent = parent;
     siblings[i]->pos = static_cast<int32_t>(i);
   }
-  // The filled hole is gone; mark it so queued prefetches skip it.
+  // The filled hole is gone; mark it so queued prefetches skip it. A
+  // readahead flight for it (filled via cache or push instead) is
+  // orphaned — its completion owns its own shared state.
   hole_by_id_.erase(hole->hole_id);
+  inflight_.erase(hole->hole_id);
   hole->is_hole = false;
   hole->parent = nullptr;
   --holes_outstanding_;
@@ -446,6 +471,24 @@ Status BufferComponent::ChaseFirst(BNode* parent, size_t pos, BNode** out) {
 void BufferComponent::Prefetch(bool had_demand_fill) {
   if (options_.prefetch_on_miss_only && !had_demand_fill) return;
   if (options_.prefetch_per_command <= 0) return;
+  if (options_.prefetch_sink) {
+    // Real asynchrony: hand the run-ahead to the service prefetch pool and
+    // return immediately. Results land in the mailbox (drained at the next
+    // command start) and in the shared SourceCache; a dropped job merely
+    // leaves its holes for the demand path.
+    std::vector<std::string> ids;
+    while (static_cast<int64_t>(ids.size()) < options_.prefetch_per_command &&
+           !hole_queue_.empty()) {
+      BNode* candidate = by_index_[static_cast<size_t>(hole_queue_.front())];
+      hole_queue_.pop_front();
+      if (candidate->is_hole) ids.push_back(candidate->hole_id);
+    }
+    if (!ids.empty()) options_.prefetch_sink(std::move(ids));
+    return;
+  }
+  // Deterministic-sim model (no sink): fill synchronously, charging the
+  // prefetch channel to pretend the time overlapped — kept as the
+  // reproducible single-thread harness (bench_prefetch / E7).
   // Coalesce the run-ahead: draw up to prefetch_per_command outstanding
   // holes from the FIFO and fill them in one exchange, letting the wrapper
   // spend the remaining fill budget chasing continuation holes — the same
@@ -471,6 +514,85 @@ void BufferComponent::Prefetch(bool had_demand_fill) {
     const int64_t done = fill_count_ - before;
     if (done == 0) return;  // speculative batch failed; stop running ahead
     fills_done += done;
+  }
+}
+
+void BufferComponent::MaybeIssueReadahead() {
+  if (options_.max_in_flight <= 0) return;
+  if (fill_deadline_ns_ >= 0 && options_.clock != nullptr &&
+      options_.clock->now_ns() >= fill_deadline_ns_) {
+    return;  // command budget gone — don't speculate on its behalf
+  }
+  while (static_cast<int64_t>(inflight_.size()) < options_.max_in_flight &&
+         !hole_queue_.empty()) {
+    BNode* candidate = by_index_[static_cast<size_t>(hole_queue_.front())];
+    hole_queue_.pop_front();
+    if (!candidate->is_hole) continue;  // filled or degraded meanwhile
+    ++readahead_issued_;
+    inflight_.emplace(
+        candidate->hole_id,
+        wrapper_->BeginFillMany({candidate->hole_id},
+                                FillBudget{/*elements=*/-1, /*fills=*/1}));
+  }
+}
+
+bool BufferComponent::ConsumeInflight(BNode* hole) {
+  if (inflight_.empty()) return false;
+  auto it = inflight_.find(hole->hole_id);
+  if (it == inflight_.end()) return false;
+  std::shared_ptr<FillFuture> flight = std::move(it->second);
+  inflight_.erase(it);
+  if (!flight->Ready() && fill_deadline_ns_ >= 0 &&
+      options_.clock != nullptr &&
+      options_.clock->now_ns() >= fill_deadline_ns_) {
+    // Deadline propagation: the command budget is already gone, so don't
+    // block on the wire. The sync path fails with kDeadlineExceeded and
+    // leaves the hole intact for a better-funded command.
+    ++readahead_fallbacks_;
+    return false;
+  }
+  HoleFillList fills;
+  Status s = flight->Wait(&fills);
+  if (s.ok()) s = ValidateBatch({hole->hole_id}, fills);
+  if (!s.ok()) {
+    // Failed or stale flight: fall back to the sync demand path, which
+    // owns retry/degradation semantics — answers stay byte-identical to a
+    // readahead-off run.
+    ++readahead_fallbacks_;
+    return false;
+  }
+  // Same charging shape as a one-hole demand FillHolesBatch: the consumed
+  // flight substitutes for the demand exchange it saved.
+  if (options_.channel != nullptr) {
+    options_.channel->SendBatch(
+        16 + static_cast<int64_t>(hole->hole_id.size()), 1);
+    options_.channel->SendBatch(HoleFillListByteSize(fills),
+                                static_cast<int64_t>(fills.size()));
+  }
+  fill_count_ += static_cast<int64_t>(fills.size());
+  for (HoleFill& f : fills) {
+    auto hit = hole_by_id_.find(f.hole_id);
+    MIX_CHECK(hit != hole_by_id_.end());
+    BNode* target = by_index_[static_cast<size_t>(hit->second)];
+    MIX_CHECK(target->is_hole);
+    Splice(target, f.fragments);
+    PublishFill(f.hole_id, std::move(f.fragments));
+  }
+  ++readahead_hits_;
+  demand_fill_in_command_ = true;
+  MaybeIssueReadahead();
+  return true;
+}
+
+void BufferComponent::DrainPushed() {
+  if (options_.mailbox == nullptr) return;
+  std::vector<PushedFill> pushed = options_.mailbox->Drain();
+  for (PushedFill& p : pushed) {
+    if (ApplyPushedFill(p.hole_id, p.fragments)) {
+      ++pushed_applied_;
+    } else {
+      ++pushed_dropped_;
+    }
   }
 }
 
@@ -562,6 +684,7 @@ Status BufferComponent::BadIdStatus() {
 
 NodeId BufferComponent::Root() {
   demand_fill_in_command_ = false;
+  DrainPushed();
   Status s = EnsureRoot();
   if (!s.ok()) Latch(s);
   BNode* root = nullptr;
@@ -584,6 +707,7 @@ NodeId BufferComponent::Root() {
 
 std::optional<NodeId> BufferComponent::Down(const NodeId& p) {
   demand_fill_in_command_ = false;
+  DrainPushed();
   BNode* n = Resolve(p);
   if (n == nullptr) {
     Latch(BadIdStatus());
@@ -603,6 +727,7 @@ std::optional<NodeId> BufferComponent::Down(const NodeId& p) {
 
 std::optional<NodeId> BufferComponent::Right(const NodeId& p) {
   demand_fill_in_command_ = false;
+  DrainPushed();
   BNode* n = Resolve(p);
   if (n == nullptr) {
     Latch(BadIdStatus());
@@ -643,6 +768,7 @@ Atom BufferComponent::FetchAtom(const NodeId& p) {
 
 void BufferComponent::DownAll(const NodeId& p, std::vector<NodeId>* out) {
   demand_fill_in_command_ = false;
+  DrainPushed();
   BNode* n = Resolve(p);
   if (n == nullptr) {
     Latch(BadIdStatus());
@@ -669,6 +795,7 @@ void BufferComponent::NextSiblings(const NodeId& p, int64_t limit,
                                    std::vector<NodeId>* out) {
   if (limit == 0) return;
   demand_fill_in_command_ = false;
+  DrainPushed();
   BNode* n = Resolve(p);
   if (n == nullptr) {
     Latch(BadIdStatus());
@@ -747,6 +874,7 @@ void BufferComponent::FetchSubtreeOf(BNode* n, int32_t depth_here,
 void BufferComponent::FetchSubtree(const NodeId& p, int64_t depth,
                                    std::vector<SubtreeEntry>* out) {
   demand_fill_in_command_ = false;
+  DrainPushed();
   BNode* n = Resolve(p);
   if (n == nullptr) {
     Latch(BadIdStatus());

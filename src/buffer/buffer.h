@@ -42,10 +42,12 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "buffer/async_fill.h"
 #include "buffer/lxp.h"
 #include "buffer/source_cache.h"
 #include "core/navigable.h"
@@ -64,9 +66,16 @@ class BufferComponent : public Navigable {
 
     /// Asynchronous prefetching (Section 4 / future work in Section 6):
     /// opportunistically fill up to this many outstanding holes after a
-    /// client command. Modeling the asynchrony: prefetch traffic is
-    /// charged to `prefetch_channel` (background time that overlaps client
-    /// think time), not to `channel`.
+    /// client command. Two modes:
+    ///   * `prefetch_sink` set — REAL asynchrony: the hole ids are handed
+    ///     to the service-layer BackgroundPrefetcher, which fills them on
+    ///     its own worker pool and delivers through `mailbox`; overlap is
+    ///     measured, not modeled.
+    ///   * `prefetch_sink` null — deterministic-sim knob (the pre-async
+    ///     model): fills run synchronously and their traffic is charged to
+    ///     `prefetch_channel` (a null-clock channel) to *pretend* the time
+    ///     overlapped. Kept for reproducible single-thread benchmarks
+    ///     (bench_prefetch / E7).
     int prefetch_per_command = 0;
     net::Channel* prefetch_channel = nullptr;
     /// Readahead-on-miss (default): prefetch only after commands that had
@@ -101,12 +110,41 @@ class BufferComponent : public Navigable {
     /// are unreachable, preserving the E9 freshness/churn semantics
     /// (SourceCache::BumpGeneration invalidates without scrubbing).
     int64_t cache_generation = 0;
+
+    /// Async readahead window (the tentpole of the async fill engine):
+    /// after a demand fill, keep up to this many single-hole fill
+    /// exchanges in flight via LxpWrapper::BeginFillMany. A later command
+    /// that hits one of those holes consumes the completed future instead
+    /// of issuing a blocking exchange — continuation chasing overlaps
+    /// splicing and, across sources, one buffer's flights overlap the
+    /// other's demand fills. 0 disables (the default: message-count
+    /// assertions in existing tests stay exact). Failed or stale flights
+    /// fall back to the ordinary retry/degradation demand path, so answers
+    /// are byte-identical with the window on or off.
+    int max_in_flight = 0;
+
+    /// Landing mailbox for service-pool background prefetch results; the
+    /// buffer drains it at each command start through the validated
+    /// ApplyPushedFill path and closes it on destruction (cancellation:
+    /// post-close deliveries are dropped by the mailbox, never touching
+    /// freed memory).
+    std::shared_ptr<PushMailbox> mailbox;
+
+    /// Real-prefetch handoff: when set, Prefetch() forwards up to
+    /// prefetch_per_command outstanding hole ids here (the service-layer
+    /// BackgroundPrefetcher) instead of filling synchronously.
+    std::function<void(std::vector<std::string>)> prefetch_sink;
   };
 
   /// `wrapper` is not owned and must outlive the buffer.
   BufferComponent(LxpWrapper* wrapper, std::string uri, Options options);
   BufferComponent(LxpWrapper* wrapper, std::string uri)
       : BufferComponent(wrapper, std::move(uri), Options()) {}
+
+  /// Closes the mailbox (dropping in-flight background deliveries) and
+  /// abandons outstanding readahead futures — their completions hold their
+  /// own shared state, so no exchange dangles into freed memory.
+  ~BufferComponent() override;
 
   NodeId Root() override;
   std::optional<NodeId> Down(const NodeId& p) override;
@@ -177,11 +215,22 @@ class BufferComponent : public Navigable {
     /// wire. Zero when Options::source_cache is null.
     int64_t cache_hits = 0;
     int64_t cache_misses = 0;
+    /// Async engine: readahead exchanges put in flight, holes answered
+    /// from a completed flight, flights that had to fall back to the sync
+    /// demand path (failure/staleness/deadline), and background-prefetch
+    /// deliveries applied/dropped from the mailbox.
+    int64_t readahead_issued = 0;
+    int64_t readahead_hits = 0;
+    int64_t readahead_fallbacks = 0;
+    int64_t pushed_applied = 0;
+    int64_t pushed_dropped = 0;
   };
   Stats stats() const {
-    return {fill_count_,  nodes_buffered_, holes_outstanding_, faults_,
-            retries_,     backoff_ns_,     degraded_holes_,    cache_hits_,
-            cache_misses_};
+    return {fill_count_,        nodes_buffered_,  holes_outstanding_,
+            faults_,            retries_,         backoff_ns_,
+            degraded_holes_,    cache_hits_,      cache_misses_,
+            readahead_issued_,  readahead_hits_,  readahead_fallbacks_,
+            pushed_applied_,    pushed_dropped_};
   }
 
   /// Term rendering of the current open tree (root list), holes included —
@@ -255,6 +304,21 @@ class BufferComponent : public Navigable {
   /// one). Never called for degraded splices.
   void PublishFill(const std::string& hole_id, FragmentList fragments);
   void Prefetch(bool had_demand_fill);
+  /// Tops the readahead window up: draws outstanding holes from the FIFO
+  /// and puts single-hole BeginFillMany exchanges in flight until
+  /// Options::max_in_flight are pending. Single-hole flights maximize
+  /// overlap granularity; a transport with a dispatch thread coalesces the
+  /// queued submits into one pipelined batch on the wire.
+  void MaybeIssueReadahead();
+  /// Answers `hole` from a completed (or completing) readahead flight:
+  /// waits (unless the command deadline already passed), validates the
+  /// response against the CURRENT hole set and splices through the same
+  /// path as a demand batch. False → caller falls back to the sync demand
+  /// path (which owns retry/degradation semantics).
+  bool ConsumeInflight(BNode* hole);
+  /// Applies every pending mailbox delivery (validated push splices);
+  /// called at each command start, before navigation resolves.
+  void DrainPushed();
   /// Bootstraps the root hole. Never fails hard: a get_root that exhausts
   /// its retries degrades the whole view to one unavailable root node (the
   /// returned Status carries the cause for latching).
@@ -292,6 +356,10 @@ class BufferComponent : public Navigable {
   std::deque<int64_t> hole_queue_;
   /// Outstanding holes by wrapper id (for push fills).
   std::map<std::string, int64_t> hole_by_id_;
+  /// In-flight readahead exchanges by requested hole id. Entries are
+  /// erased when consumed, or when the hole is filled/degraded by another
+  /// path (the orphaned future completes into its own shared state).
+  std::map<std::string, std::shared_ptr<FillFuture>> inflight_;
 
   int64_t fill_count_ = 0;
   int64_t nodes_buffered_ = 0;
@@ -302,6 +370,11 @@ class BufferComponent : public Navigable {
   int64_t degraded_holes_ = 0;
   int64_t cache_hits_ = 0;
   int64_t cache_misses_ = 0;
+  int64_t readahead_issued_ = 0;
+  int64_t readahead_hits_ = 0;
+  int64_t readahead_fallbacks_ = 0;
+  int64_t pushed_applied_ = 0;
+  int64_t pushed_dropped_ = 0;
   /// Absolute virtual deadline for demand fills (-1: none).
   int64_t fill_deadline_ns_ = -1;
   Status last_status_;

@@ -3,6 +3,7 @@
 #include <deque>
 #include <utility>
 
+#include "buffer/async_fill.h"
 #include "core/check.h"
 
 namespace mix::buffer {
@@ -103,6 +104,22 @@ Status LxpWrapper::TryFillMany(const std::vector<std::string>& holes,
                                const FillBudget& budget, HoleFillList* out) {
   *out = FillMany(holes, budget);
   return Status::OK();
+}
+
+std::shared_ptr<FillFuture> LxpWrapper::BeginFillMany(
+    const std::vector<std::string>& holes, const FillBudget& budget) {
+  // Sync shim: run the exchange inline and hand back a resolved future.
+  // Deterministic immediate completion — the async engine degenerates to
+  // the exact synchronous call sequence over wrappers that don't override.
+  HoleFillList fills;
+  Status status = TryFillMany(holes, budget, &fills);
+  return FillFuture::Resolved(std::move(status), std::move(fills));
+}
+
+std::shared_ptr<FillFuture> LxpWrapper::BeginFill(const std::string& hole_id) {
+  // fills=1: serve exactly the requested hole, no chasing — single-Fill
+  // semantics behind the async seam.
+  return BeginFillMany({hole_id}, FillBudget{/*elements=*/-1, /*fills=*/1});
 }
 
 HoleFillList LxpWrapper::ChaseFills(const std::vector<std::string>& holes,

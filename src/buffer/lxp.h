@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,8 @@
 #include "xml/tree.h"
 
 namespace mix::buffer {
+
+class FillFuture;  // async_fill.h — completion handle for in-flight fills.
 
 /// One node of an open tree fragment: an element/leaf or a hole.
 struct Fragment {
@@ -150,6 +153,28 @@ class LxpWrapper {
   virtual Status TryFill(const std::string& hole_id, FragmentList* out);
   virtual Status TryFillMany(const std::vector<std::string>& holes,
                              const FillBudget& budget, HoleFillList* out);
+
+  /// Async submit/complete seam. BeginFillMany submits one batched fill
+  /// exchange and returns a completion handle immediately; the caller
+  /// overlaps other work and later Wait()s (or registers OnComplete).
+  ///
+  /// The default is a *sync shim*: it runs TryFillMany inline and returns
+  /// an already-completed future — deterministic immediate completion, so
+  /// every existing wrapper (scripted, XML, CSV, relational, the
+  /// fault-injecting decorator) participates in the async engine unchanged
+  /// and byte-identically. Only wrappers backed by a real async transport
+  /// (FramedLxpWrapper over TcpFrameTransport) override this to put the
+  /// exchange genuinely in flight.
+  ///
+  /// Thread-safety contract: unless a wrapper documents otherwise, callers
+  /// must not invoke Begin*/Try*/Fill concurrently on one wrapper — the
+  /// concurrency lives *between* wrappers (one per source) and inside the
+  /// transport, not inside a wrapper instance.
+  virtual std::shared_ptr<FillFuture> BeginFillMany(
+      const std::vector<std::string>& holes, const FillBudget& budget);
+
+  /// Single-hole convenience over BeginFillMany.
+  std::shared_ptr<FillFuture> BeginFill(const std::string& hole_id);
 
  protected:
   /// Budgeted chasing loop shared by the concrete wrappers: serves each

@@ -21,6 +21,13 @@ std::string ChannelStats::ToString() const {
          " batched_parts=" + std::to_string(batched_parts);
 }
 
+void Channel::SaturatingFetchAdd(std::atomic<int64_t>* counter, int64_t v) {
+  int64_t cur = counter->load(std::memory_order_relaxed);
+  while (!counter->compare_exchange_weak(cur, SaturatingAdd(cur, v),
+                                         std::memory_order_relaxed)) {
+  }
+}
+
 void Channel::Send(int64_t payload_bytes) {
   MIX_CHECK(payload_bytes >= 0);
   // Saturate: a peer-controlled payload size must pin the virtual clock at
@@ -31,16 +38,16 @@ void Channel::Send(int64_t payload_bytes) {
   // A detached channel (null clock) still accounts traffic; it only skips
   // advancing simulated time.
   if (clock_ != nullptr) clock_->Advance(cost);
-  ++stats_.messages;
-  stats_.bytes = SaturatingAdd(stats_.bytes, payload_bytes);
-  stats_.busy_ns = SaturatingAdd(stats_.busy_ns, cost);
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  SaturatingFetchAdd(&bytes_, payload_bytes);
+  SaturatingFetchAdd(&busy_ns_, cost);
 }
 
 void Channel::SendBatch(int64_t payload_bytes, int64_t parts) {
   MIX_CHECK(parts >= 1);
   Send(payload_bytes);
-  ++stats_.batches;
-  stats_.batched_parts += parts;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_parts_.fetch_add(parts, std::memory_order_relaxed);
 }
 
 }  // namespace mix::net

@@ -9,6 +9,7 @@
 #ifndef MIX_NET_SIM_NET_H_
 #define MIX_NET_SIM_NET_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -38,13 +39,24 @@ inline int64_t SaturatingMul(int64_t a, int64_t b) {
 
 /// Monotonic virtual clock, advanced by simulated activity. Saturates at
 /// INT64_MAX instead of wrapping (negative advances are clamped to 0).
+///
+/// Thread-safe: background prefetch workers charge their own channels (and
+/// through them, clocks) concurrently with the demand path, so the counter
+/// is atomic and Advance is a CAS loop (plain fetch_add could wrap past the
+/// saturation point).
 class SimClock {
  public:
-  int64_t now_ns() const { return now_ns_; }
-  void Advance(int64_t ns) { now_ns_ = SaturatingAdd(now_ns_, ns < 0 ? 0 : ns); }
+  int64_t now_ns() const { return now_ns_.load(std::memory_order_relaxed); }
+  void Advance(int64_t ns) {
+    if (ns < 0) ns = 0;
+    int64_t cur = now_ns_.load(std::memory_order_relaxed);
+    while (!now_ns_.compare_exchange_weak(cur, SaturatingAdd(cur, ns),
+                                          std::memory_order_relaxed)) {
+    }
+  }
 
  private:
-  int64_t now_ns_ = 0;
+  std::atomic<int64_t> now_ns_{0};
 };
 
 /// Cost model of one mediator↔wrapper link.
@@ -79,6 +91,11 @@ struct ChannelStats {
 /// messages/bytes/busy time, it just cannot advance a shared clock. This is
 /// how background (prefetch) channels model traffic that overlaps client
 /// think time instead of adding latency to the demand path.
+///
+/// Thread-safe: counters are atomics so the real background prefetcher can
+/// charge a channel concurrently with the demand path; `stats()` therefore
+/// returns a snapshot by value (individual counters are each consistent;
+/// cross-counter invariants may be mid-update under concurrent senders).
 class Channel {
  public:
   Channel(SimClock* clock, ChannelOptions options)
@@ -91,13 +108,33 @@ class Channel {
   /// combined payload. This is the wire-level shape of a FillMany exchange.
   void SendBatch(int64_t payload_bytes, int64_t parts);
 
-  const ChannelStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ChannelStats(); }
+  ChannelStats stats() const {
+    ChannelStats out;
+    out.messages = messages_.load(std::memory_order_relaxed);
+    out.bytes = bytes_.load(std::memory_order_relaxed);
+    out.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+    out.batches = batches_.load(std::memory_order_relaxed);
+    out.batched_parts = batched_parts_.load(std::memory_order_relaxed);
+    return out;
+  }
+  void ResetStats() {
+    messages_.store(0, std::memory_order_relaxed);
+    bytes_.store(0, std::memory_order_relaxed);
+    busy_ns_.store(0, std::memory_order_relaxed);
+    batches_.store(0, std::memory_order_relaxed);
+    batched_parts_.store(0, std::memory_order_relaxed);
+  }
 
  private:
+  static void SaturatingFetchAdd(std::atomic<int64_t>* counter, int64_t v);
+
   SimClock* clock_;
   ChannelOptions options_;
-  ChannelStats stats_;
+  std::atomic<int64_t> messages_{0};
+  std::atomic<int64_t> bytes_{0};
+  std::atomic<int64_t> busy_ns_{0};
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> batched_parts_{0};
 };
 
 }  // namespace mix::net

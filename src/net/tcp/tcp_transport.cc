@@ -27,7 +27,10 @@ int64_t MinDeadline(int64_t a, int64_t b) {
 TcpFrameTransport::TcpFrameTransport(TcpTransportOptions options)
     : options_(std::move(options)) {}
 
-TcpFrameTransport::~TcpFrameTransport() { Disconnect(); }
+TcpFrameTransport::~TcpFrameTransport() {
+  StopDispatch();
+  Disconnect();
+}
 
 int64_t TcpFrameTransport::OpDeadline() const {
   return DeadlineFrom(options_.op_timeout_ns);
@@ -196,6 +199,82 @@ Result<std::vector<std::string>> TcpFrameTransport::RoundTripMany(
     responses.push_back(std::move(response.value()));
   }
   return responses;
+}
+
+void TcpFrameTransport::RoundTripAsync(
+    std::string request_bytes, service::wire::FrameTransport::AsyncDone done) {
+  std::lock_guard<std::mutex> lock(async_mu_);
+  if (async_stop_) {
+    // Teardown raced the submit; fail inline rather than silently dropping.
+    done(Status::Unavailable("transport shutting down"));
+    return;
+  }
+  if (!dispatch_started_) {
+    dispatch_started_ = true;
+    dispatch_ = std::thread([this] { DispatchLoop(); });
+  }
+  async_queue_.push_back(AsyncOp{std::move(request_bytes), std::move(done)});
+  ++async_ops_;
+  async_cv_.notify_one();
+}
+
+void TcpFrameTransport::DispatchLoop() {
+  for (;;) {
+    std::vector<AsyncOp> batch;
+    {
+      std::unique_lock<std::mutex> lock(async_mu_);
+      async_cv_.wait(lock,
+                     [this] { return async_stop_ || !async_queue_.empty(); });
+      if (async_queue_.empty()) return;  // stop requested, nothing pending
+      // Take everything queued: ops that accumulated while the previous
+      // exchange held the wire become one pipelined batch.
+      batch.assign(std::make_move_iterator(async_queue_.begin()),
+                   std::make_move_iterator(async_queue_.end()));
+      async_queue_.clear();
+      ++async_batches_;
+    }
+    if (batch.size() == 1) {
+      batch[0].done(RoundTrip(batch[0].request));
+      continue;
+    }
+    std::vector<std::string> requests;
+    requests.reserve(batch.size());
+    for (AsyncOp& op : batch) requests.push_back(std::move(op.request));
+    Result<std::vector<std::string>> responses = RoundTripMany(requests);
+    if (responses.ok()) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        batch[i].done(std::move(responses.value()[i]));
+      }
+    } else {
+      for (AsyncOp& op : batch) op.done(responses.status());
+    }
+  }
+}
+
+void TcpFrameTransport::StopDispatch() {
+  std::deque<AsyncOp> orphans;
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    async_stop_ = true;
+    orphans.swap(async_queue_);
+    async_cv_.notify_all();
+  }
+  // Fail undispatched ops outside the lock (completions may run arbitrary
+  // callbacks). Ops already claimed by the dispatch thread complete there.
+  for (AsyncOp& op : orphans) {
+    op.done(Status::Unavailable("transport destroyed with ops pending"));
+  }
+  if (dispatch_.joinable()) dispatch_.join();
+}
+
+int64_t TcpFrameTransport::async_ops() const {
+  std::lock_guard<std::mutex> lock(async_mu_);
+  return async_ops_;
+}
+
+int64_t TcpFrameTransport::async_batches() const {
+  std::lock_guard<std::mutex> lock(async_mu_);
+  return async_batches_;
 }
 
 }  // namespace mix::net::tcp

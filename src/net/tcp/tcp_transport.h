@@ -22,9 +22,13 @@
 #ifndef MIX_NET_TCP_TCP_TRANSPORT_H_
 #define MIX_NET_TCP_TCP_TRANSPORT_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/status.h"
@@ -78,7 +82,32 @@ class TcpFrameTransport : public service::wire::FrameTransport {
   Result<std::vector<std::string>> RoundTripMany(
       const std::vector<std::string>& requests);
 
+  /// Native async: enqueues the request for a lazily-started dispatch
+  /// thread and returns immediately; `done` fires on that thread. Ops
+  /// queued while an exchange is on the wire are coalesced into one
+  /// pipelined RoundTripMany — the async window turns into real on-wire
+  /// pipelining. Destruction fails every pending op with kUnavailable
+  /// before joining the thread, so no completion is ever dropped.
+  ///
+  /// Failure classification follows RoundTripMany: a single in-flight op
+  /// keeps RoundTrip's retryable kUnavailable; a coalesced batch that
+  /// desyncs mid-read surfaces non-retryable kDataLoss to every op in it.
+  void RoundTripAsync(std::string request_bytes,
+                      service::wire::FrameTransport::AsyncDone done) override;
+
+  /// Ops submitted / coalesced batches dispatched (observability for tests
+  /// and the E19 bench).
+  int64_t async_ops() const;
+  int64_t async_batches() const;
+
  private:
+  struct AsyncOp {
+    std::string request;
+    service::wire::FrameTransport::AsyncDone done;
+  };
+
+  void DispatchLoop();
+  void StopDispatch();
   Status EnsureConnectedLocked(int64_t deadline_ns);
   Status SendAllLocked(const std::string& bytes, int64_t deadline_ns);
   Result<std::string> ReadFrameLocked(int64_t deadline_ns);
@@ -91,6 +120,17 @@ class TcpFrameTransport : public service::wire::FrameTransport {
   bool ever_connected_ = false;
   std::string in_buf_;  ///< bytes read past the previous response frame
   size_t in_off_ = 0;
+
+  // Async dispatch state (its own mutex: the dispatch thread holds mu_ for
+  // the duration of a wire exchange, and submitters must not block on that).
+  mutable std::mutex async_mu_;
+  std::condition_variable async_cv_;
+  std::deque<AsyncOp> async_queue_;
+  bool async_stop_ = false;
+  bool dispatch_started_ = false;
+  std::thread dispatch_;
+  int64_t async_ops_ = 0;
+  int64_t async_batches_ = 0;
 };
 
 }  // namespace mix::net::tcp

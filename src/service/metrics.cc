@@ -78,6 +78,11 @@ std::string SessionMetrics::ToString() const {
          " cache{hits=" + std::to_string(cache_hits) +
          " misses=" + std::to_string(cache_misses) + "}" +
          " plan{rewrites=" + std::to_string(plan_rewrites) + "}" +
+         " async{readahead=" + std::to_string(readahead_issued) +
+         " hits=" + std::to_string(readahead_hits) +
+         " fallbacks=" + std::to_string(readahead_fallbacks) +
+         " pushed=" + std::to_string(pushed_applied) +
+         " pushed_dropped=" + std::to_string(pushed_dropped) + "}" +
          " view_served=" + std::to_string(view_served);
 }
 
@@ -140,6 +145,14 @@ std::string ServiceMetricsSnapshot::ToString() const {
          " bytes=" + std::to_string(view_bytes) +
          " entries=" + std::to_string(view_entries) + "}" +
          " view_rejects{" + PassCounters(view_rejects) + "}" +
+         " prefetch{jobs=" + std::to_string(prefetch_jobs) +
+         " dropped=" + std::to_string(prefetch_jobs_dropped) +
+         " exchanges=" + std::to_string(prefetch_exchanges) +
+         " fills=" + std::to_string(prefetch_fills) +
+         " published=" + std::to_string(prefetch_published) +
+         " delivered=" + std::to_string(prefetch_delivered) +
+         " skipped=" + std::to_string(prefetch_skipped_cached) +
+         " failures=" + std::to_string(prefetch_failures) + "}" +
          " net{" + net.ToString() + "}";
 }
 

@@ -1,0 +1,195 @@
+#include "service/prefetcher.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mix::service {
+
+namespace {
+
+/// Cap on a slot's dedupe set; past it the set is cleared (re-fetching a
+/// hole costs one wasted exchange, unbounded memory costs the server).
+constexpr size_t kMaxRequestedPerSlot = 1 << 16;
+
+/// The LXP progress conditions checkable without the session's tree: within
+/// every sibling list no two holes are adjacent, and a non-empty top-level
+/// list is not all holes. Junk is dropped here so it never reaches the
+/// shared cache; the buffer re-validates against its own tree on splice.
+bool SiblingListOk(const buffer::FragmentList& list) {
+  bool prev_hole = false;
+  for (const buffer::Fragment& f : list) {
+    if (f.is_hole && prev_hole) return false;
+    prev_hole = f.is_hole;
+    if (!f.is_hole && !SiblingListOk(f.children)) return false;
+  }
+  return true;
+}
+
+bool ProgressOk(const buffer::FragmentList& list) {
+  if (!list.empty()) {
+    bool all_holes = true;
+    for (const buffer::Fragment& f : list) all_holes &= f.is_hole;
+    if (all_holes) return false;
+  }
+  return SiblingListOk(list);
+}
+
+}  // namespace
+
+BackgroundPrefetcher::BackgroundPrefetcher(const SessionEnvironment* env,
+                                           buffer::SourceCache* source_cache,
+                                           Options options)
+    : source_cache_(source_cache), options_(std::move(options)) {
+  for (const auto& w : env->wrappers()) {
+    if (!w.options.background_prefetch) continue;
+    auto slot = std::make_unique<SourceSlot>();
+    slot->wrapper = w.factory();
+    slot->uri = w.uri;
+    slots_.emplace(w.name, std::move(slot));
+  }
+  if (options_.workers < 1) options_.workers = 1;
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BackgroundPrefetcher::~BackgroundPrefetcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    queue_.clear();  // pending speculation is worthless at teardown
+    cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+}
+
+void BackgroundPrefetcher::Submit(
+    const std::string& source, int64_t generation,
+    std::vector<std::string> holes,
+    std::shared_ptr<buffer::PushMailbox> mailbox) {
+  if (holes.empty()) return;
+  auto it = slots_.find(source);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (it == slots_.end() || stop_ || queue_.size() >= options_.queue_capacity) {
+    ++stats_.jobs_dropped;
+    return;
+  }
+  queue_.push_back(Job{it->second.get(), source, generation, std::move(holes),
+                       std::move(mailbox)});
+  ++stats_.jobs_submitted;
+  cv_.notify_one();
+}
+
+void BackgroundPrefetcher::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock,
+                [this] { return stop_ || (queue_.empty() && running_ == 0); });
+}
+
+void BackgroundPrefetcher::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+      ++stats_.jobs_run;
+    }
+    RunJob(job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void BackgroundPrefetcher::RunJob(Job& job) {
+  SourceSlot& slot = *job.slot;
+  int64_t skipped = 0;
+  int64_t exchanges = 0;
+  int64_t filled = 0;
+  int64_t published = 0;
+  int64_t delivered = 0;
+  int64_t failures = 0;
+  {
+    std::lock_guard<std::mutex> wrapper_lock(slot.mu);
+    // Register the view on the worker's wrapper instance once: stateless
+    // hole ids survive the instance boundary, but wrappers that bind views
+    // at get_root (the relational catalog) need the registration first.
+    if (!slot.root_ok) {
+      std::string root;
+      if (!slot.wrapper->TryGetRoot(slot.uri, &root).ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.failures;
+        return;
+      }
+      slot.root_ok = true;
+    }
+    std::vector<std::string> wanted;
+    wanted.reserve(job.holes.size());
+    for (std::string& id : job.holes) {
+      if (slot.requested.count(id) != 0) continue;
+      if (source_cache_ != nullptr &&
+          source_cache_->LookupFill(job.source, job.generation, id) !=
+              nullptr) {
+        ++skipped;
+        continue;
+      }
+      wanted.push_back(std::move(id));
+    }
+    if (!wanted.empty()) {
+      if (slot.requested.size() > kMaxRequestedPerSlot) slot.requested.clear();
+      for (const std::string& id : wanted) slot.requested.insert(id);
+      buffer::FillBudget budget;
+      budget.elements = -1;
+      budget.fills = options_.fills_per_job > 0
+                         ? std::max<int64_t>(options_.fills_per_job,
+                                             static_cast<int64_t>(wanted.size()))
+                         : static_cast<int64_t>(wanted.size());
+      buffer::HoleFillList fills;
+      ++exchanges;
+      Status s = slot.wrapper->TryFillMany(wanted, budget, &fills);
+      if (!s.ok()) {
+        // Speculation failed: drop it (the demand path owns retry and
+        // degradation) and let a later job re-try these holes.
+        for (const std::string& id : wanted) slot.requested.erase(id);
+        ++failures;
+      } else {
+        for (buffer::HoleFill& f : fills) {
+          if (!ProgressOk(f.fragments)) continue;
+          ++filled;
+          if (source_cache_ != nullptr) {
+            source_cache_->PublishFill(job.source, job.generation, f.hole_id,
+                                       f.fragments);
+            ++published;
+          }
+          if (job.mailbox != nullptr &&
+              job.mailbox->Deliver(buffer::PushedFill{
+                  std::move(f.hole_id), std::move(f.fragments)})) {
+            ++delivered;
+          }
+        }
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.skipped_cached += skipped;
+  stats_.exchanges += exchanges;
+  stats_.fills += filled;
+  stats_.published += published;
+  stats_.delivered += delivered;
+  stats_.failures += failures;
+}
+
+BackgroundPrefetcher::Stats BackgroundPrefetcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mix::service

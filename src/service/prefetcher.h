@@ -1,0 +1,140 @@
+// Background fill engine: a service-wide worker pool that refines holes
+// sessions queued for prefetch but have not navigated into yet (DESIGN.md
+// §4 "Async fill engine").
+//
+// Sessions with `WrapperOptions::background_prefetch` hand their overflow
+// prefetch candidates here (via the registry's PrefetchDispatch) instead of
+// filling them synchronously between commands. A worker fills on its OWN
+// wrapper instance — built from the same factory the sessions use — so
+// background exchanges never contend with a session's wrapper, never charge
+// a session's channel, and keep the per-session fault/retry schedules
+// byte-identical to a prefetcher-less run. Results land in two places:
+//
+//   1. the shared SourceCache (when the service runs one), so EVERY session
+//      of the pinned generation answers the hole cache-side, and
+//   2. the submitting session's PushMailbox, drained at its next command
+//      boundary through the validated ApplyPushedFill path.
+//
+// Hole-id contract: the worker's wrapper instance answers the SESSION'S
+// hole ids, which is only sound for wrappers whose ids are stateless
+// encodings of source positions (`page:<n>`, `t:<table>:<row>`, ...) — the
+// same property the SourceCache already requires. That is why
+// background_prefetch is opt-in per source; the worker still performs a
+// GetRoot(uri) once per source so wrappers that register views on get_root
+// (the relational catalog) accept the ids.
+//
+// Budget: each job is one TryFillMany under FillBudget{-1, fills_per_job} —
+// the paper's speculation-depth bound — so a burst of candidates costs one
+// exchange per job, never an unbounded chase.
+#ifndef MIX_SERVICE_PREFETCHER_H_
+#define MIX_SERVICE_PREFETCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "buffer/async_fill.h"
+#include "buffer/lxp.h"
+#include "buffer/source_cache.h"
+#include "service/session.h"
+
+namespace mix::service {
+
+class BackgroundPrefetcher {
+ public:
+  struct Options {
+    /// Worker threads draining the job queue.
+    int workers = 2;
+    /// Per-job chase budget (FillBudget::fills) — speculation depth.
+    int64_t fills_per_job = 8;
+    /// Jobs queued beyond this are dropped (prefetch is advisory; shedding
+    /// load must never block a session's command path).
+    size_t queue_capacity = 256;
+  };
+
+  /// Builds one per-source wrapper slot for every `background_prefetch`
+  /// source in `env`; `source_cache` (optional) receives validated fills.
+  /// Both must outlive the prefetcher.
+  BackgroundPrefetcher(const SessionEnvironment* env,
+                       buffer::SourceCache* source_cache, Options options);
+  ~BackgroundPrefetcher();
+
+  BackgroundPrefetcher(const BackgroundPrefetcher&) = delete;
+  BackgroundPrefetcher& operator=(const BackgroundPrefetcher&) = delete;
+
+  /// Enqueues a fill job (non-blocking; drops when the queue is full or the
+  /// source is not registered for background prefetch). `generation` is the
+  /// submitting session's pinned cache generation; `mailbox` (optional)
+  /// receives the fills for splice-on-next-command.
+  void Submit(const std::string& source, int64_t generation,
+              std::vector<std::string> holes,
+              std::shared_ptr<buffer::PushMailbox> mailbox);
+
+  /// Blocks until every job submitted so far has been executed (test/bench
+  /// determinism — "the prefetcher went quiet").
+  void Drain();
+
+  struct Stats {
+    int64_t jobs_submitted = 0;   ///< accepted into the queue
+    int64_t jobs_dropped = 0;     ///< shed: queue full or unknown source
+    int64_t jobs_run = 0;
+    int64_t exchanges = 0;        ///< wrapper FillMany exchanges performed
+    int64_t fills = 0;            ///< hole fills obtained (incl. chased)
+    int64_t published = 0;        ///< fills published into the SourceCache
+    int64_t delivered = 0;        ///< fills accepted by a session mailbox
+    int64_t skipped_cached = 0;   ///< candidates already cache-resident
+    int64_t failures = 0;         ///< failed exchanges (speculation dropped)
+  };
+  Stats stats() const;
+
+ private:
+  /// Per-source slot: the worker-side wrapper and its dedupe set. `mu`
+  /// serializes wrapper use (wrappers are not internally thread-safe).
+  struct SourceSlot {
+    std::mutex mu;
+    std::unique_ptr<buffer::LxpWrapper> wrapper;
+    std::string uri;
+    bool root_ok = false;
+    /// Holes ever requested by this slot (bounded; cleared when large) —
+    /// keeps a hot hole from being re-fetched by every session prefetching
+    /// the same neighborhood.
+    std::unordered_set<std::string> requested;
+  };
+
+  struct Job {
+    SourceSlot* slot = nullptr;
+    std::string source;
+    int64_t generation = 0;
+    std::vector<std::string> holes;
+    std::shared_ptr<buffer::PushMailbox> mailbox;
+  };
+
+  void WorkerLoop();
+  void RunJob(Job& job);
+
+  buffer::SourceCache* source_cache_;  // may be null
+  Options options_;
+  std::map<std::string, std::unique_ptr<SourceSlot>> slots_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        ///< workers: queue non-empty or stop
+  std::condition_variable idle_cv_;   ///< Drain: queue empty and none running
+  std::deque<Job> queue_;
+  int running_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+
+  // Counters, guarded by mu_ (bumped at submit/run boundaries only).
+  Stats stats_;
+};
+
+}  // namespace mix::service
+
+#endif  // MIX_SERVICE_PREFETCHER_H_

@@ -84,6 +84,16 @@ mediator::PlanCache::Options PlanCacheOptions(
   return o;
 }
 
+/// Registry hook -> prefetcher pool; empty when the pool is off.
+PrefetchDispatch MakePrefetchDispatch(BackgroundPrefetcher* pool) {
+  if (pool == nullptr) return {};
+  return [pool](const std::string& source, int64_t generation,
+                std::vector<std::string> holes,
+                std::shared_ptr<buffer::PushMailbox> mailbox) {
+    pool->Submit(source, generation, std::move(holes), std::move(mailbox));
+  };
+}
+
 }  // namespace
 
 MediatorService::MediatorService(const SessionEnvironment* env, Options options)
@@ -94,6 +104,15 @@ MediatorService::MediatorService(const SessionEnvironment* env, Options options)
       plan_cache_(PlanCacheOptions(*env, options)),
       answer_view_cache_(mediator::AnswerViewCache::Options{
           options.answer_view_cache_bytes}),
+      prefetcher_(options.prefetch_workers > 0
+                      ? std::make_unique<BackgroundPrefetcher>(
+                            env,
+                            options.source_cache_bytes > 0 ? &source_cache_
+                                                           : nullptr,
+                            BackgroundPrefetcher::Options{
+                                options.prefetch_workers,
+                                options.prefetch_fills_per_job})
+                      : nullptr),
       registry_(env,
                 SessionRegistry::Options{
                     options.max_sessions, options.session_idle_ttl_ns,
@@ -103,13 +122,16 @@ MediatorService::MediatorService(const SessionEnvironment* env, Options options)
                     // The no-plan-cache path optimizes with the same config.
                     BuildOptimizerOptions(*env, options.optimizer_level),
                     options.answer_view_cache_bytes > 0 ? &answer_view_cache_
-                                                        : nullptr}),
+                                                        : nullptr,
+                    MakePrefetchDispatch(prefetcher_.get())}),
       wire_channel_(&wire_clock_, options.wire_costs),
       executor_(Executor::Options{options.workers, options.queue_capacity}) {
   uint64_t key = kWrapperKeyBase;
   for (const auto& [uri, wrapper] : env_->exported()) {
     (void)wrapper;
-    wrapper_keys_[uri] = key++;
+    // Key 0 marks a concurrent export: KeyForRequest hands those ops a
+    // fresh lane each so pipelined exchanges overlap across the pool.
+    wrapper_keys_[uri] = env_->exported_concurrent(uri) ? 0 : key++;
   }
 }
 
@@ -131,6 +153,12 @@ uint64_t MediatorService::KeyForRequest(const Frame& request,
       if (it == wrapper_keys_.end()) {
         *error = Status::NotFound("no exported wrapper '" + request.text + "'");
         return 0;
+      }
+      if (it->second == 0) {
+        // Concurrent export: the wrapper locks itself, each exchange gets
+        // its own lane (same spread trick as kOpen, distinct key range).
+        static std::atomic<uint64_t> lxp_key{uint64_t{1} << 61};
+        return lxp_key.fetch_add(1, std::memory_order_relaxed);
       }
       return it->second;
     }
@@ -445,6 +473,17 @@ ServiceMetricsSnapshot MediatorService::Metrics() const {
   snap.view_bytes = views.bytes;
   snap.view_entries = views.entries;
   snap.view_rejects.assign(views.rejects.begin(), views.rejects.end());
+  if (prefetcher_ != nullptr) {
+    BackgroundPrefetcher::Stats pf = prefetcher_->stats();
+    snap.prefetch_jobs = pf.jobs_submitted;
+    snap.prefetch_jobs_dropped = pf.jobs_dropped;
+    snap.prefetch_exchanges = pf.exchanges;
+    snap.prefetch_fills = pf.fills;
+    snap.prefetch_published = pf.published;
+    snap.prefetch_delivered = pf.delivered;
+    snap.prefetch_skipped_cached = pf.skipped_cached;
+    snap.prefetch_failures = pf.failures;
+  }
   {
     std::lock_guard<std::mutex> lock(net_stats_mu_);
     if (net_stats_provider_) snap.net = net_stats_provider_();

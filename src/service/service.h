@@ -29,6 +29,7 @@
 #include "net/sim_net.h"
 #include "service/executor.h"
 #include "service/metrics.h"
+#include "service/prefetcher.h"
 #include "service/session.h"
 #include "service/wire.h"
 
@@ -67,6 +68,13 @@ class MediatorService : public wire::FrameTransport {
     /// cache"); 0 disables it — every Open builds a live session. This is
     /// the E16 A/B knob.
     int64_t answer_view_cache_bytes = 0;
+    /// Worker threads of the background fill engine (DESIGN.md §4 "Async
+    /// fill engine"); 0 disables it — background_prefetch sources keep the
+    /// synchronous prefetch path. Pair with source_cache_bytes > 0 so
+    /// background fills warm every session, not just the submitter.
+    int prefetch_workers = 0;
+    /// Per-job chase budget of a background fill (FillBudget::fills).
+    int64_t prefetch_fills_per_job = 8;
   };
 
   /// `env` is not owned and must outlive the service; it must not be
@@ -85,6 +93,18 @@ class MediatorService : public wire::FrameTransport {
   /// client threads concurrently.
   Result<std::string> RoundTrip(const std::string& request_bytes) override;
 
+  /// Native async FrameTransport: routes through CallAsync, so `done` fires
+  /// on a worker thread once the request executes (inline for requests
+  /// refused at the door). The service always answers — server-side errors
+  /// arrive as kError frames inside an OK Result.
+  void RoundTripAsync(std::string request_bytes,
+                      wire::FrameTransport::AsyncDone done) override {
+    CallAsync(std::move(request_bytes),
+              [done = std::move(done)](std::string response_bytes) {
+                done(Result<std::string>(std::move(response_bytes)));
+              });
+  }
+
   ServiceMetricsSnapshot Metrics() const;
 
   /// Direct registry access for tests/tools (eviction sweeps, live ids).
@@ -99,6 +119,9 @@ class MediatorService : public wire::FrameTransport {
 
   /// The compiled-plan cache (valid whether or not it is enabled).
   mediator::PlanCache& plan_cache() { return plan_cache_; }
+
+  /// The background fill engine; nullptr when prefetch_workers == 0.
+  BackgroundPrefetcher* prefetcher() { return prefetcher_.get(); }
 
   /// Installs (or clears, with nullptr) the provider of the snapshot's
   /// net{...} section. A real network transport hosting this service (e.g.
@@ -150,6 +173,11 @@ class MediatorService : public wire::FrameTransport {
   /// Before registry_: view-served sessions hold snapshot shared_ptrs, but
   /// the registry's Open path also reads the cache directly.
   mediator::AnswerViewCache answer_view_cache_;
+  /// Before registry_ too: sessions call the registry's prefetch_dispatch
+  /// (which targets this pool) while they live, so the pool must be built
+  /// first and torn down after the last session is gone. nullptr when
+  /// prefetch_workers == 0.
+  std::unique_ptr<BackgroundPrefetcher> prefetcher_;
   SessionRegistry registry_;
 
   mutable std::mutex net_stats_mu_;

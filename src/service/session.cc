@@ -83,7 +83,9 @@ void SessionEnvironment::RegisterWrapperFactory(
 }
 
 void SessionEnvironment::ExportWrapper(std::string uri,
-                                       buffer::LxpWrapper* wrapper) {
+                                       buffer::LxpWrapper* wrapper,
+                                       bool concurrent) {
+  if (concurrent) exported_concurrent_.insert(uri);
   exported_[std::move(uri)] = wrapper;
 }
 
@@ -102,7 +104,8 @@ Result<std::shared_ptr<Session>> Session::Build(
     uint64_t id, const SessionEnvironment& env,
     std::shared_ptr<const mediator::PlanNode> plan,
     net::FaultCounters* fault_counters, buffer::SourceCache* source_cache,
-    std::shared_ptr<const mediator::AnswerSnapshot> view_snapshot) {
+    std::shared_ptr<const mediator::AnswerSnapshot> view_snapshot,
+    const PrefetchDispatch& prefetch_dispatch) {
   // shared_ptr with private constructor: build through a local subclass.
   struct MakeShared : Session {};
   std::shared_ptr<Session> session = std::make_shared<MakeShared>();
@@ -183,6 +186,23 @@ Result<std::shared_ptr<Session>> Session::Build(
       opts.cache_source = w.name;
       opts.cache_generation = source_cache->Generation(w.name);
     }
+    opts.max_in_flight = w.options.max_in_flight;
+    if (prefetch_dispatch && w.options.background_prefetch && !overridden) {
+      // Background fills: prefetch candidates go to the service's worker
+      // pool instead of being filled synchronously between commands, and
+      // the results come back through the mailbox (spliced at the next
+      // command boundary) and the shared cache. Overridden views are
+      // excluded for the same hole-id-per-view reason as the cache above.
+      auto mailbox = std::make_shared<buffer::PushMailbox>();
+      opts.mailbox = mailbox;
+      int64_t generation =
+          opts.source_cache != nullptr ? opts.cache_generation : 0;
+      opts.prefetch_sink = [dispatch = prefetch_dispatch, source = w.name,
+                            generation,
+                            mailbox](std::vector<std::string> holes) {
+        dispatch(source, generation, std::move(holes), mailbox);
+      };
+    }
     ++source_index;
     auto buffer = std::make_unique<buffer::BufferComponent>(wrapper.get(),
                                                             uri, opts);
@@ -222,6 +242,11 @@ void Session::RefreshSourceMetrics() {
   metrics_.degraded_holes = 0;
   metrics_.cache_hits = 0;
   metrics_.cache_misses = 0;
+  metrics_.readahead_issued = 0;
+  metrics_.readahead_hits = 0;
+  metrics_.readahead_fallbacks = 0;
+  metrics_.pushed_applied = 0;
+  metrics_.pushed_dropped = 0;
   metrics_.lxp = net::ChannelStats();
   for (const auto& buffer : buffers_) {
     buffer::BufferComponent::Stats s = buffer->stats();
@@ -232,6 +257,11 @@ void Session::RefreshSourceMetrics() {
     metrics_.degraded_holes += s.degraded_holes;
     metrics_.cache_hits += s.cache_hits;
     metrics_.cache_misses += s.cache_misses;
+    metrics_.readahead_issued += s.readahead_issued;
+    metrics_.readahead_hits += s.readahead_hits;
+    metrics_.readahead_fallbacks += s.readahead_fallbacks;
+    metrics_.pushed_applied += s.pushed_applied;
+    metrics_.pushed_dropped += s.pushed_dropped;
   }
   for (const auto& channel : channels_) metrics_.lxp += channel->stats();
 }
@@ -332,7 +362,8 @@ Result<uint64_t> SessionRegistry::Open(const std::string& xmas_text,
   }
   Result<std::shared_ptr<Session>> session =
       Session::Build(id, *env_, std::move(plan), options_.fault_counters,
-                     options_.source_cache, snapshot);
+                     options_.source_cache, snapshot,
+                     options_.prefetch_dispatch);
   if (!session.ok()) return session.status();
   session.value()->metrics().plan_rewrites = plan_rewrites;
   if (snapshot == nullptr && options_.answer_view_cache != nullptr &&

@@ -30,6 +30,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -93,6 +94,17 @@ class SessionEnvironment {
     /// (factories may count invocations or script per-session behavior).
     /// Default: no capability, optimizer passes that need one stay off.
     buffer::PushdownCapability capability;
+    /// Concurrent single-hole readahead flights per session buffer
+    /// (BufferComponent::Options::max_in_flight); 0 = demand-only, the
+    /// byte-identical baseline.
+    int max_in_flight = 0;
+    /// Hand this source's prefetch candidates to the service's background
+    /// fill engine (effective only when the service runs prefetch workers;
+    /// also needs prefetch_per_command > 0 to produce candidates). Opt-in
+    /// per source because the workers fill on their OWN wrapper instance:
+    /// the source's hole ids must be stateless encodings of positions —
+    /// the same property cache_fills already requires.
+    bool background_prefetch = false;
   };
   void RegisterWrapperFactory(
       std::string name,
@@ -107,9 +119,17 @@ class SessionEnvironment {
   }
 
   /// Exports `wrapper` for remote LXP serving (wire kLxpGetRoot/kLxpFill/
-  /// kLxpFillMany frames address it by `uri`). The service serializes
-  /// access per exported wrapper, so `wrapper` itself needs no locking.
-  void ExportWrapper(std::string uri, buffer::LxpWrapper* wrapper);
+  /// kLxpFillMany frames address it by `uri`). By default the service
+  /// serializes access per exported wrapper, so `wrapper` itself needs no
+  /// locking. `concurrent = true` opts out of that serialization: pipelined
+  /// exchanges for the same uri then run on multiple workers at once (a
+  /// client's async readahead window becomes real server-side overlap) —
+  /// the wrapper must be internally thread-safe.
+  void ExportWrapper(std::string uri, buffer::LxpWrapper* wrapper,
+                     bool concurrent = false);
+  bool exported_concurrent(const std::string& uri) const {
+    return exported_concurrent_.count(uri) > 0;
+  }
 
   struct SharedSource {
     std::string name;
@@ -132,7 +152,18 @@ class SessionEnvironment {
   std::vector<SharedSource> shared_;
   std::vector<WrapperSource> wrappers_;
   std::map<std::string, buffer::LxpWrapper*> exported_;
+  std::set<std::string> exported_concurrent_;
 };
+
+/// Hands a batch of prefetch candidates to a background fill engine:
+/// (source name, the session's pinned cache generation, hole ids, and the
+/// session buffer's mailbox for splice-on-next-command delivery). Supplied
+/// by the service layer (service/prefetcher.h); empty function = background
+/// prefetch off, sources fall back to the synchronous prefetch path.
+using PrefetchDispatch = std::function<void(
+    const std::string& source, int64_t generation,
+    std::vector<std::string> holes,
+    std::shared_ptr<buffer::PushMailbox> mailbox)>;
 
 /// One open session. Construction happens on a worker (plan compilation is
 /// part of the Open request); navigation state is only touched under the
@@ -156,7 +187,8 @@ class Session {
       std::shared_ptr<const mediator::PlanNode> plan,
       net::FaultCounters* fault_counters = nullptr,
       buffer::SourceCache* source_cache = nullptr,
-      std::shared_ptr<const mediator::AnswerSnapshot> view_snapshot = nullptr);
+      std::shared_ptr<const mediator::AnswerSnapshot> view_snapshot = nullptr,
+      const PrefetchDispatch& prefetch_dispatch = {});
 
   /// Convenience overload: compiles `xmas_text` directly (no plan cache).
   static Result<std::shared_ptr<Session>> Build(
@@ -298,6 +330,9 @@ class SessionRegistry {
     /// (nullptr or disabled: every Open builds a live session). Used
     /// OUTSIDE the registry lock, like the other caches.
     mediator::AnswerViewCache* answer_view_cache = nullptr;
+    /// Background fill engine hook handed to every session built (empty:
+    /// background_prefetch sources keep the synchronous prefetch path).
+    PrefetchDispatch prefetch_dispatch;
   };
 
   SessionRegistry(const SessionEnvironment* env, Options options)

@@ -456,6 +456,38 @@ Status FramedLxpWrapper::TryFill(const std::string& hole_id,
   return Status::OK();
 }
 
+std::shared_ptr<buffer::FillFuture> FramedLxpWrapper::BeginFillMany(
+    const std::vector<std::string>& holes, const buffer::FillBudget& budget) {
+  Frame req;
+  req.type = MsgType::kLxpFillMany;
+  req.text = uri_;
+  req.strings = holes;
+  req.number = budget.elements;
+  req.number2 = budget.fills;
+  auto future = std::make_shared<buffer::FillFuture>();
+  // The completion owns only the future: decoding is static, so the stub
+  // (and its session) may die mid-flight without a dangling capture.
+  transport_->RoundTripAsync(
+      EncodeFrame(req), [future](Result<std::string> bytes) {
+        if (!bytes.ok()) {
+          future->Complete(bytes.status(), {});
+          return;
+        }
+        Result<Frame> resp = DecodeFrame(bytes.value());
+        if (!resp.ok()) {
+          future->Complete(resp.status(), {});
+          return;
+        }
+        Status err = resp.value().ToStatus();
+        if (!err.ok()) {
+          future->Complete(err, {});
+          return;
+        }
+        future->Complete(Status::OK(), std::move(resp.value().hole_fills));
+      });
+  return future;
+}
+
 Status FramedLxpWrapper::TryFillMany(const std::vector<std::string>& holes,
                                      const buffer::FillBudget& budget,
                                      buffer::HoleFillList* out) {

@@ -21,10 +21,13 @@
 #define MIX_SERVICE_WIRE_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "buffer/async_fill.h"
 #include "buffer/lxp.h"
 #include "core/navigable.h"
 #include "core/node_id.h"
@@ -144,6 +147,22 @@ class FrameTransport {
   /// frame. Transport-level failures (not server-reported errors, which
   /// arrive as kError frames) come back as non-OK Results.
   virtual Result<std::string> RoundTrip(const std::string& request_bytes) = 0;
+
+  /// Async submit/complete: delivers the request and invokes `done` with
+  /// the response exactly once — possibly on another thread (transport
+  /// dispatch thread, service worker). The default shim completes inline
+  /// via RoundTrip (deterministic immediate completion — the sim
+  /// transport's mode). Implementations guarantee `done` fires even on
+  /// failure and on transport teardown (with a non-OK Result), so a caller
+  /// blocked on a completion can never hang.
+  ///
+  /// Lifetime contract: `done` must own everything it touches (capture
+  /// shared state by shared_ptr, never a raw `this` that can die first) —
+  /// that is what makes dropping the submitting object a safe cancel.
+  using AsyncDone = std::function<void(Result<std::string>)>;
+  virtual void RoundTripAsync(std::string request_bytes, AsyncDone done) {
+    done(RoundTrip(request_bytes));
+  }
 };
 
 /// Encode + RoundTrip + decode in one step.
@@ -172,6 +191,15 @@ class FramedLxpWrapper : public buffer::LxpWrapper {
   Status TryFillMany(const std::vector<std::string>& holes,
                      const buffer::FillBudget& budget,
                      buffer::HoleFillList* out) override;
+
+  /// Genuinely async fill: encodes the exchange up front and submits it via
+  /// RoundTripAsync. The completion captures only the returned future (no
+  /// `this`), so the stub — and the session owning it — may be destroyed
+  /// while the exchange is in flight; the transport still completes the
+  /// future and the last reference drops it.
+  std::shared_ptr<buffer::FillFuture> BeginFillMany(
+      const std::vector<std::string>& holes,
+      const buffer::FillBudget& budget) override;
 
   /// The legacy (infallible) LxpWrapper face cannot report failures, so
   /// there errors surface as empty results; the last non-OK status is
